@@ -1,0 +1,91 @@
+// Shared helpers for the figure-reproduction benchmarks.
+//
+// Every bench binary prints: the measured (simulated) values, the paper's
+// reported values where the paper gives numbers, and the ratio checks the
+// text calls out.  Flags: --full reproduces paper-size workloads; --runs=N
+// repeats with different seeds and reports mean ± stddev.
+#pragma once
+
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "workloads/workloads.hpp"
+
+namespace sgfs::bench {
+
+struct Flags {
+  bool full = false;
+  int runs = 1;
+  std::map<std::string, std::string> raw;
+
+  static Flags parse(int argc, char** argv) {
+    Flags flags;
+    for (int i = 1; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg == "--full") {
+        flags.full = true;
+      } else if (arg.rfind("--runs=", 0) == 0) {
+        flags.runs = std::atoi(arg.c_str() + 7);
+        if (flags.runs < 1) flags.runs = 1;
+      } else if (arg.rfind("--", 0) == 0) {
+        auto eq = arg.find('=');
+        if (eq != std::string::npos) {
+          flags.raw[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
+        } else {
+          flags.raw[arg.substr(2)] = "1";
+        }
+      }
+    }
+    return flags;
+  }
+
+  int64_t get_int(const std::string& key, int64_t def) const {
+    auto it = raw.find(key);
+    return it == raw.end() ? def : std::atoll(it->second.c_str());
+  }
+};
+
+inline void print_header(const std::string& title,
+                         const std::string& workload_desc) {
+  std::printf("\n=== %s ===\n", title.c_str());
+  std::printf("workload: %s\n", workload_desc.c_str());
+  std::printf("(simulated seconds; calibrated2007 cost model — compare "
+              "shapes/ratios, not absolutes)\n\n");
+}
+
+inline void print_row(const std::string& name, double measured,
+                      double stddev, const char* note = "") {
+  if (stddev > 0) {
+    std::printf("  %-12s %9.1f s  (± %.1f)  %s\n", name.c_str(), measured,
+                stddev, note);
+  } else {
+    std::printf("  %-12s %9.1f s  %s\n", name.c_str(), measured, note);
+  }
+}
+
+inline void print_check(const std::string& what, double measured,
+                        const std::string& paper) {
+  std::printf("  check: %-44s measured %6.2f   paper %s\n", what.c_str(),
+              measured, paper.c_str());
+}
+
+/// Runs `body(testbed)` once per seed; returns per-phase vectors of totals.
+template <typename MakeTestbed, typename Body>
+std::vector<workloads::PhaseTimes> run_seeds(int runs, MakeTestbed&& make,
+                                             Body&& body) {
+  std::vector<workloads::PhaseTimes> out;
+  for (int r = 0; r < runs; ++r) {
+    auto tb = make(42 + 1000ull * r);
+    out.push_back(body(*tb, 42 + 1000ull * r));
+    if (!tb->engine().errors().empty()) {
+      std::fprintf(stderr, "WARNING: simulation errors: %s\n",
+                   tb->engine().errors()[0].c_str());
+    }
+  }
+  return out;
+}
+
+}  // namespace sgfs::bench

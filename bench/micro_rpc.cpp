@@ -1,0 +1,80 @@
+// Microbenchmarks (wall clock, google-benchmark): XDR codec and RPC message
+// serialization — the per-message work every simulated RPC really performs.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "nfs/nfs3.hpp"
+#include "rpc/rpc_msg.hpp"
+
+using namespace sgfs;
+
+namespace {
+
+void BM_XdrEncode32kOpaque(benchmark::State& state) {
+  Rng rng(1);
+  Buffer data = rng.bytes(32 * 1024);
+  for (auto _ : state) {
+    xdr::Encoder enc;
+    enc.put_u32(7);
+    enc.put_opaque(data);
+    benchmark::DoNotOptimize(enc.take());
+  }
+  state.SetBytesProcessed(state.iterations() * 32 * 1024);
+}
+BENCHMARK(BM_XdrEncode32kOpaque);
+
+void BM_XdrDecode32kOpaque(benchmark::State& state) {
+  Rng rng(1);
+  xdr::Encoder enc;
+  enc.put_u32(7);
+  enc.put_opaque(rng.bytes(32 * 1024));
+  Buffer wire = enc.take();
+  for (auto _ : state) {
+    xdr::Decoder dec(wire);
+    benchmark::DoNotOptimize(dec.get_u32());
+    benchmark::DoNotOptimize(dec.get_opaque());
+  }
+  state.SetBytesProcessed(state.iterations() * 32 * 1024);
+}
+BENCHMARK(BM_XdrDecode32kOpaque);
+
+void BM_RpcCallRoundTrip(benchmark::State& state) {
+  Rng rng(2);
+  Buffer args = rng.bytes(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    rpc::CallMsg call;
+    call.xid = 1;
+    call.prog = nfs::kNfsProgram;
+    call.vers = 3;
+    call.proc = 6;
+    call.cred = rpc::OpaqueAuth::sys(rpc::AuthSys(1000, 1000));
+    call.args = args;
+    Buffer wire = call.serialize();
+    benchmark::DoNotOptimize(rpc::CallMsg::deserialize(wire));
+  }
+}
+BENCHMARK(BM_RpcCallRoundTrip)->Arg(128)->Arg(32 * 1024);
+
+void BM_Nfs3ReadResCodec(benchmark::State& state) {
+  Rng rng(3);
+  nfs::ReadRes res;
+  res.count = 32 * 1024;
+  res.eof = false;
+  res.data = rng.bytes(32 * 1024);
+  vfs::Attributes attrs;
+  attrs.size = 1 << 20;
+  res.post_attrs = attrs;
+  for (auto _ : state) {
+    xdr::Encoder enc;
+    res.encode(enc);
+    Buffer wire = enc.take();
+    xdr::Decoder dec(wire);
+    benchmark::DoNotOptimize(nfs::ReadRes::decode(dec));
+  }
+  state.SetBytesProcessed(state.iterations() * 32 * 1024);
+}
+BENCHMARK(BM_Nfs3ReadResCodec);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,118 @@
+// Testbed: assembles the paper's experimental setups (§6.1).
+//
+// Two VMs (client 256MB, server 768MB) joined by an emulated network
+// (NIST Net substitute), a kernel NFS server exporting /GFS, and one of:
+//
+//   nfs-v3   kernel NFSv3, client mounts the server directly
+//   nfs-v4   NFSv4-lite COMPOUND protocol, same topology
+//   sfs      SFS-like user-level daemons: asynchronous (pipelined) RPC,
+//            aggressive in-memory attr/name caching, no data caching,
+//            high daemon CPU cost (the paper measured >30% utilization)
+//   gfs      basic GFS: the SGFS proxies with security disabled
+//   gfs-ssh  gfs + SSH tunnel (double user-level forwarding + tunnel crypto)
+//   sgfs     the paper's contribution: SSL-secured proxies, GSI certs,
+//            gridmap, optional per-session disk caching
+//
+// All timing constants carry the `calibrated2007` preset documented in
+// DESIGN.md §3; absolute numbers model the paper's VMware/Xeon testbed and
+// the *ratios* are what the benchmarks validate.
+#pragma once
+
+#include <memory>
+
+#include "baselines/tunnel.hpp"
+#include "nfs/nfs3_client.hpp"
+#include "nfs/nfs3_server.hpp"
+#include "nfs/nfs4.hpp"
+#include "sgfs/client_proxy.hpp"
+#include "sgfs/server_proxy.hpp"
+
+namespace sgfs::baselines {
+
+enum class SetupKind { kNfsV3, kNfsV4, kSfs, kGfs, kGfsSsh, kSgfs };
+
+std::string to_string(SetupKind kind);
+
+struct TestbedOptions {
+  SetupKind kind = SetupKind::kSgfs;
+  // sgfs security variant (§6.2.1): sgfs-sha = {kNull, kHmacSha1},
+  // sgfs-rc = {kRc4_128, kHmacSha1}, sgfs-aes = {kAes256Cbc, kHmacSha1}.
+  crypto::Cipher cipher = crypto::Cipher::kAes256Cbc;
+  crypto::MacAlgo mac = crypto::MacAlgo::kHmacSha1;
+  /// Client-proxy disk cache (the paper enables it for WAN runs; LAN runs
+  /// of IOzone/PostMark/MAB have it off unless stated).
+  bool proxy_disk_cache = false;
+  bool proxy_write_back = true;
+  core::Consistency consistency = core::Consistency::kSessionExclusive;
+  /// 0 = LAN (0.3 ms RTT); otherwise the emulated WAN round-trip time.
+  sim::SimDur wan_rtt = 0;
+  uint64_t client_mem_bytes = 256ull << 20;  // paper: 256 MB client VM
+  uint64_t server_mem_bytes = 768ull << 20;  // paper: 768 MB server VM
+  /// Effective end-to-end wire throughput of the virtualized GbE testbed.
+  double wire_bytes_per_sec = 400.0e6 / 8.0;
+  size_t readahead_blocks = 8;  // kernel client read-ahead depth
+  uint64_t seed = 42;
+
+  TestbedOptions() = default;
+};
+
+class Testbed {
+ public:
+  explicit Testbed(TestbedOptions options);
+  ~Testbed();
+
+  sim::Engine& engine() { return eng_; }
+  net::Network& network() { return net_; }
+  net::Host& client_host() { return *client_; }
+  net::Host& server_host() { return *server_; }
+  vfs::FileSystem& server_fs() { return *fs_; }
+  nfs::Nfs3Server& kernel_server() { return *kernel_nfs_; }
+  core::ClientProxy* client_proxy() { return client_proxy_.get(); }
+  core::ServerProxy* server_proxy() { return server_proxy_.get(); }
+  const TestbedOptions& options() const { return options_; }
+
+  /// Mounts the grid filesystem the way this setup's client would.
+  sim::Task<std::shared_ptr<nfs::MountPoint>> mount();
+
+  /// Drains client-side state at the end of a run: flushes the kernel
+  /// client (caller does that via MountPoint) and the proxy disk cache.
+  /// Returns the simulated seconds spent writing back (Figures 9/10 report
+  /// this separately).
+  sim::Task<double> flush_session();
+
+  /// Populates a server file directly (no network) and optionally preloads
+  /// it into the server's page cache (the paper's IOzone setup).
+  void preload_file(const std::string& path, uint64_t bytes, bool warm,
+                    uint64_t content_seed = 1);
+
+  /// Fraction-busy series (5s windows) of the user-level daemon on each
+  /// side — Figures 5/6.  Includes the daemon's crypto work.
+  std::vector<double> client_daemon_cpu_series() const;
+  std::vector<double> server_daemon_cpu_series() const;
+
+  /// The path workloads operate in (owned by the grid user's account).
+  static constexpr const char* kDataPath = "/GFS/grid";
+  static constexpr uint32_t kGridUid = 1000;
+
+ private:
+  struct Pki;
+
+  TestbedOptions options_;
+  sim::Engine eng_;
+  net::Network net_;
+  net::Host* client_;
+  net::Host* server_;
+  std::unique_ptr<Pki> pki_;
+  std::shared_ptr<vfs::FileSystem> fs_;
+  std::shared_ptr<nfs::Nfs3Server> kernel_nfs_;
+  std::unique_ptr<rpc::RpcServer> kernel_rpc_;
+  std::shared_ptr<core::ServerProxy> server_proxy_;
+  std::shared_ptr<core::ClientProxy> client_proxy_;
+  std::unique_ptr<SshTunnel> tunnel_;
+  Rng rng_;
+};
+
+/// Per-variant display name for the sgfs cipher configurations ("sgfs-aes").
+std::string sgfs_variant_name(const TestbedOptions& options);
+
+}  // namespace sgfs::baselines

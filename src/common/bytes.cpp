@@ -1,0 +1,59 @@
+#include "common/bytes.hpp"
+
+#include <stdexcept>
+
+namespace sgfs {
+
+Buffer to_bytes(std::string_view s) {
+  return Buffer(s.begin(), s.end());
+}
+
+std::string to_string(ByteView b) {
+  return std::string(reinterpret_cast<const char*>(b.data()), b.size());
+}
+
+std::string to_hex(ByteView b) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(b.size() * 2);
+  for (uint8_t byte : b) {
+    out.push_back(kDigits[byte >> 4]);
+    out.push_back(kDigits[byte & 0xF]);
+  }
+  return out;
+}
+
+namespace {
+int hex_nibble(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  throw std::invalid_argument("from_hex: invalid hex digit");
+}
+}  // namespace
+
+Buffer from_hex(std::string_view hex) {
+  if (hex.size() % 2 != 0) {
+    throw std::invalid_argument("from_hex: odd-length input");
+  }
+  Buffer out;
+  out.reserve(hex.size() / 2);
+  for (size_t i = 0; i < hex.size(); i += 2) {
+    out.push_back(static_cast<uint8_t>((hex_nibble(hex[i]) << 4) |
+                                       hex_nibble(hex[i + 1])));
+  }
+  return out;
+}
+
+void append(Buffer& dst, ByteView src) {
+  dst.insert(dst.end(), src.begin(), src.end());
+}
+
+bool ct_equal(ByteView a, ByteView b) {
+  if (a.size() != b.size()) return false;
+  uint8_t acc = 0;
+  for (size_t i = 0; i < a.size(); ++i) acc |= a[i] ^ b[i];
+  return acc == 0;
+}
+
+}  // namespace sgfs

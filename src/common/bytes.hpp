@@ -1,0 +1,37 @@
+// Byte-buffer primitives shared by every SGFS module.
+//
+// All wire-facing code (XDR, RPC, crypto, NFS) operates on contiguous byte
+// buffers.  `Buffer` owns bytes, `ByteView` is a non-owning read view.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sgfs {
+
+using Buffer = std::vector<uint8_t>;
+using ByteView = std::span<const uint8_t>;
+using MutByteView = std::span<uint8_t>;
+
+/// Builds a Buffer from an ASCII string (no terminator).
+Buffer to_bytes(std::string_view s);
+
+/// Interprets a byte range as an ASCII string.
+std::string to_string(ByteView b);
+
+/// Lower-case hex encoding ("deadbeef").
+std::string to_hex(ByteView b);
+
+/// Decodes lower/upper-case hex; throws std::invalid_argument on bad input.
+Buffer from_hex(std::string_view hex);
+
+/// Appends `src` to `dst`.
+void append(Buffer& dst, ByteView src);
+
+/// Constant-time equality for MAC/digest comparison.
+bool ct_equal(ByteView a, ByteView b);
+
+}  // namespace sgfs

@@ -1,0 +1,31 @@
+#include "common/log.hpp"
+
+#include <cstdio>
+
+namespace sgfs {
+
+namespace {
+LogLevel g_level = LogLevel::kWarn;
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+LogLevel log_level() { return g_level; }
+void set_log_level(LogLevel level) { g_level = level; }
+
+void log_write(LogLevel level, const std::string& component,
+               const std::string& message) {
+  std::fprintf(stderr, "[%-5s] %s: %s\n", level_name(level), component.c_str(),
+               message.c_str());
+}
+
+}  // namespace sgfs

@@ -1,0 +1,49 @@
+// Minimal leveled logger.
+//
+// Logging is off by default (benchmarks must not pay for I/O); tests and
+// examples can raise the level.  Not thread-safe by design: the simulation
+// is single-threaded and deterministic.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace sgfs {
+
+enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+void log_write(LogLevel level, const std::string& component,
+               const std::string& message);
+
+namespace detail {
+template <typename... Args>
+std::string log_format(Args&&... args) {
+  std::ostringstream ss;
+  (ss << ... << args);
+  return ss.str();
+}
+}  // namespace detail
+
+#define SGFS_LOG(level, component, ...)                                  \
+  do {                                                                   \
+    if (::sgfs::log_level() <= (level)) {                                \
+      ::sgfs::log_write((level), (component),                            \
+                        ::sgfs::detail::log_format(__VA_ARGS__));        \
+    }                                                                    \
+  } while (0)
+
+#define SGFS_TRACE(component, ...) \
+  SGFS_LOG(::sgfs::LogLevel::kTrace, component, __VA_ARGS__)
+#define SGFS_DEBUG(component, ...) \
+  SGFS_LOG(::sgfs::LogLevel::kDebug, component, __VA_ARGS__)
+#define SGFS_INFO(component, ...) \
+  SGFS_LOG(::sgfs::LogLevel::kInfo, component, __VA_ARGS__)
+#define SGFS_WARN(component, ...) \
+  SGFS_LOG(::sgfs::LogLevel::kWarn, component, __VA_ARGS__)
+#define SGFS_ERROR(component, ...) \
+  SGFS_LOG(::sgfs::LogLevel::kError, component, __VA_ARGS__)
+
+}  // namespace sgfs

@@ -1,0 +1,44 @@
+// Deterministic, seedable PRNG used everywhere randomness is needed.
+//
+// The simulation must be bit-reproducible across runs, so no component may
+// touch std::random_device or wall-clock entropy.  Rng is xoshiro256**,
+// seeded via SplitMix64.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+#include "common/bytes.hpp"
+
+namespace sgfs {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x5eed5eed5eed5eedULL);
+
+  /// Uniform 64-bit value.
+  uint64_t next_u64();
+
+  /// Uniform in [0, bound) — bound must be > 0.
+  uint64_t next_below(uint64_t bound);
+
+  /// Uniform in [lo, hi] inclusive.
+  uint64_t next_range(uint64_t lo, uint64_t hi);
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Fills `out` with random bytes.
+  void fill(MutByteView out);
+
+  /// Returns n random bytes.
+  Buffer bytes(size_t n);
+
+  /// Forks an independent child stream (stable given call order).
+  Rng fork();
+
+ private:
+  uint64_t s_[4];
+};
+
+}  // namespace sgfs

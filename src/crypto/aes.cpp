@@ -1,0 +1,277 @@
+#include "crypto/aes.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace sgfs::crypto {
+
+namespace {
+
+// GF(2^8) helpers (polynomial x^8 + x^4 + x^3 + x + 1).
+uint8_t xtime(uint8_t x) {
+  return static_cast<uint8_t>((x << 1) ^ ((x >> 7) * 0x1b));
+}
+
+uint8_t gmul(uint8_t a, uint8_t b) {
+  uint8_t p = 0;
+  while (b) {
+    if (b & 1) p ^= a;
+    a = xtime(a);
+    b >>= 1;
+  }
+  return p;
+}
+
+struct Tables {
+  uint8_t sbox[256];
+  uint8_t inv_sbox[256];
+  uint32_t te[4][256];  // encryption T-tables
+  uint32_t td[4][256];  // decryption T-tables
+
+  Tables() {
+    // Build the S-box from multiplicative inverses + affine transform,
+    // using log/antilog tables over generator 3.
+    uint8_t log_t[256], alog[256];
+    uint8_t p = 1;
+    for (int i = 0; i < 255; ++i) {
+      alog[i] = p;
+      log_t[p] = static_cast<uint8_t>(i);
+      p = static_cast<uint8_t>(p ^ xtime(p));  // multiply by 3
+    }
+    alog[255] = alog[0];
+    for (int i = 0; i < 256; ++i) {
+      uint8_t inv = i == 0 ? 0 : alog[255 - log_t[i]];
+      uint8_t s = inv;
+      // Affine transform: s ^= rotl(inv,1..4); s ^= 0x63.
+      uint8_t x = inv;
+      for (int r = 0; r < 4; ++r) {
+        x = static_cast<uint8_t>((x << 1) | (x >> 7));
+        s ^= x;
+      }
+      s ^= 0x63;
+      sbox[i] = s;
+      inv_sbox[s] = static_cast<uint8_t>(i);
+    }
+    for (int i = 0; i < 256; ++i) {
+      const uint8_t s = sbox[i];
+      const uint32_t enc = (static_cast<uint32_t>(gmul(s, 2)) << 24) |
+                           (static_cast<uint32_t>(s) << 16) |
+                           (static_cast<uint32_t>(s) << 8) |
+                           static_cast<uint32_t>(gmul(s, 3));
+      te[0][i] = enc;
+      te[1][i] = (enc >> 8) | (enc << 24);
+      te[2][i] = (enc >> 16) | (enc << 16);
+      te[3][i] = (enc >> 24) | (enc << 8);
+
+      const uint8_t si = inv_sbox[i];
+      const uint32_t dec = (static_cast<uint32_t>(gmul(si, 14)) << 24) |
+                           (static_cast<uint32_t>(gmul(si, 9)) << 16) |
+                           (static_cast<uint32_t>(gmul(si, 13)) << 8) |
+                           static_cast<uint32_t>(gmul(si, 11));
+      td[0][i] = dec;
+      td[1][i] = (dec >> 8) | (dec << 24);
+      td[2][i] = (dec >> 16) | (dec << 16);
+      td[3][i] = (dec >> 24) | (dec << 8);
+    }
+  }
+};
+
+const Tables& tables() {
+  static const Tables t;
+  return t;
+}
+
+uint32_t load_be32(const uint8_t* p) {
+  return (static_cast<uint32_t>(p[0]) << 24) |
+         (static_cast<uint32_t>(p[1]) << 16) |
+         (static_cast<uint32_t>(p[2]) << 8) | static_cast<uint32_t>(p[3]);
+}
+
+void store_be32(uint8_t* p, uint32_t v) {
+  p[0] = static_cast<uint8_t>(v >> 24);
+  p[1] = static_cast<uint8_t>(v >> 16);
+  p[2] = static_cast<uint8_t>(v >> 8);
+  p[3] = static_cast<uint8_t>(v);
+}
+
+uint32_t sub_word(uint32_t w) {
+  const auto& t = tables();
+  return (static_cast<uint32_t>(t.sbox[(w >> 24) & 0xff]) << 24) |
+         (static_cast<uint32_t>(t.sbox[(w >> 16) & 0xff]) << 16) |
+         (static_cast<uint32_t>(t.sbox[(w >> 8) & 0xff]) << 8) |
+         static_cast<uint32_t>(t.sbox[w & 0xff]);
+}
+
+uint32_t rot_word(uint32_t w) { return (w << 8) | (w >> 24); }
+
+// InvMixColumns applied to a round-key word (equivalent inverse cipher).
+uint32_t inv_mix(uint32_t w) {
+  uint8_t b[4] = {static_cast<uint8_t>(w >> 24), static_cast<uint8_t>(w >> 16),
+                  static_cast<uint8_t>(w >> 8), static_cast<uint8_t>(w)};
+  uint8_t o[4];
+  o[0] = gmul(b[0], 14) ^ gmul(b[1], 11) ^ gmul(b[2], 13) ^ gmul(b[3], 9);
+  o[1] = gmul(b[0], 9) ^ gmul(b[1], 14) ^ gmul(b[2], 11) ^ gmul(b[3], 13);
+  o[2] = gmul(b[0], 13) ^ gmul(b[1], 9) ^ gmul(b[2], 14) ^ gmul(b[3], 11);
+  o[3] = gmul(b[0], 11) ^ gmul(b[1], 13) ^ gmul(b[2], 9) ^ gmul(b[3], 14);
+  return (static_cast<uint32_t>(o[0]) << 24) |
+         (static_cast<uint32_t>(o[1]) << 16) |
+         (static_cast<uint32_t>(o[2]) << 8) | static_cast<uint32_t>(o[3]);
+}
+
+}  // namespace
+
+Aes::Aes(ByteView key) {
+  const size_t nk = key.size() / 4;  // key length in words
+  if (key.size() != 16 && key.size() != 32) {
+    throw std::invalid_argument("AES key must be 16 or 32 bytes");
+  }
+  rounds_ = static_cast<int>(nk) + 6;  // 10 or 14
+  const size_t total = 4 * (rounds_ + 1);
+  ek_.resize(total);
+  for (size_t i = 0; i < nk; ++i) ek_[i] = load_be32(key.data() + 4 * i);
+  uint32_t rcon = 0x01000000u;
+  for (size_t i = nk; i < total; ++i) {
+    uint32_t temp = ek_[i - 1];
+    if (i % nk == 0) {
+      temp = sub_word(rot_word(temp)) ^ rcon;
+      rcon = static_cast<uint32_t>(xtime(static_cast<uint8_t>(rcon >> 24)))
+             << 24;
+    } else if (nk == 8 && i % nk == 4) {
+      temp = sub_word(temp);
+    }
+    ek_[i] = ek_[i - nk] ^ temp;
+  }
+  // Equivalent inverse cipher round keys: reverse order, InvMixColumns on
+  // all but the first and last rounds.
+  dk_.resize(total);
+  for (int r = 0; r <= rounds_; ++r) {
+    for (int c = 0; c < 4; ++c) {
+      uint32_t w = ek_[4 * (rounds_ - r) + c];
+      dk_[4 * r + c] = (r == 0 || r == rounds_) ? w : inv_mix(w);
+    }
+  }
+}
+
+void Aes::encrypt_block(const uint8_t in[16], uint8_t out[16]) const {
+  const auto& t = tables();
+  uint32_t s0 = load_be32(in) ^ ek_[0];
+  uint32_t s1 = load_be32(in + 4) ^ ek_[1];
+  uint32_t s2 = load_be32(in + 8) ^ ek_[2];
+  uint32_t s3 = load_be32(in + 12) ^ ek_[3];
+  for (int r = 1; r < rounds_; ++r) {
+    const uint32_t* rk = &ek_[4 * r];
+    uint32_t t0 = t.te[0][s0 >> 24] ^ t.te[1][(s1 >> 16) & 0xff] ^
+                  t.te[2][(s2 >> 8) & 0xff] ^ t.te[3][s3 & 0xff] ^ rk[0];
+    uint32_t t1 = t.te[0][s1 >> 24] ^ t.te[1][(s2 >> 16) & 0xff] ^
+                  t.te[2][(s3 >> 8) & 0xff] ^ t.te[3][s0 & 0xff] ^ rk[1];
+    uint32_t t2 = t.te[0][s2 >> 24] ^ t.te[1][(s3 >> 16) & 0xff] ^
+                  t.te[2][(s0 >> 8) & 0xff] ^ t.te[3][s1 & 0xff] ^ rk[2];
+    uint32_t t3 = t.te[0][s3 >> 24] ^ t.te[1][(s0 >> 16) & 0xff] ^
+                  t.te[2][(s1 >> 8) & 0xff] ^ t.te[3][s2 & 0xff] ^ rk[3];
+    s0 = t0;
+    s1 = t1;
+    s2 = t2;
+    s3 = t3;
+  }
+  const uint32_t* rk = &ek_[4 * rounds_];
+  auto final_word = [&](uint32_t a, uint32_t b, uint32_t c, uint32_t d,
+                        uint32_t k) {
+    return ((static_cast<uint32_t>(t.sbox[a >> 24]) << 24) |
+            (static_cast<uint32_t>(t.sbox[(b >> 16) & 0xff]) << 16) |
+            (static_cast<uint32_t>(t.sbox[(c >> 8) & 0xff]) << 8) |
+            static_cast<uint32_t>(t.sbox[d & 0xff])) ^
+           k;
+  };
+  store_be32(out, final_word(s0, s1, s2, s3, rk[0]));
+  store_be32(out + 4, final_word(s1, s2, s3, s0, rk[1]));
+  store_be32(out + 8, final_word(s2, s3, s0, s1, rk[2]));
+  store_be32(out + 12, final_word(s3, s0, s1, s2, rk[3]));
+}
+
+void Aes::decrypt_block(const uint8_t in[16], uint8_t out[16]) const {
+  const auto& t = tables();
+  uint32_t s0 = load_be32(in) ^ dk_[0];
+  uint32_t s1 = load_be32(in + 4) ^ dk_[1];
+  uint32_t s2 = load_be32(in + 8) ^ dk_[2];
+  uint32_t s3 = load_be32(in + 12) ^ dk_[3];
+  for (int r = 1; r < rounds_; ++r) {
+    const uint32_t* rk = &dk_[4 * r];
+    uint32_t t0 = t.td[0][s0 >> 24] ^ t.td[1][(s3 >> 16) & 0xff] ^
+                  t.td[2][(s2 >> 8) & 0xff] ^ t.td[3][s1 & 0xff] ^ rk[0];
+    uint32_t t1 = t.td[0][s1 >> 24] ^ t.td[1][(s0 >> 16) & 0xff] ^
+                  t.td[2][(s3 >> 8) & 0xff] ^ t.td[3][s2 & 0xff] ^ rk[1];
+    uint32_t t2 = t.td[0][s2 >> 24] ^ t.td[1][(s1 >> 16) & 0xff] ^
+                  t.td[2][(s0 >> 8) & 0xff] ^ t.td[3][s3 & 0xff] ^ rk[2];
+    uint32_t t3 = t.td[0][s3 >> 24] ^ t.td[1][(s2 >> 16) & 0xff] ^
+                  t.td[2][(s1 >> 8) & 0xff] ^ t.td[3][s0 & 0xff] ^ rk[3];
+    s0 = t0;
+    s1 = t1;
+    s2 = t2;
+    s3 = t3;
+  }
+  const uint32_t* rk = &dk_[4 * rounds_];
+  auto final_word = [&](uint32_t a, uint32_t b, uint32_t c, uint32_t d,
+                        uint32_t k) {
+    return ((static_cast<uint32_t>(t.inv_sbox[a >> 24]) << 24) |
+            (static_cast<uint32_t>(t.inv_sbox[(b >> 16) & 0xff]) << 16) |
+            (static_cast<uint32_t>(t.inv_sbox[(c >> 8) & 0xff]) << 8) |
+            static_cast<uint32_t>(t.inv_sbox[d & 0xff])) ^
+           k;
+  };
+  store_be32(out, final_word(s0, s3, s2, s1, rk[0]));
+  store_be32(out + 4, final_word(s1, s0, s3, s2, rk[1]));
+  store_be32(out + 8, final_word(s2, s1, s0, s3, rk[2]));
+  store_be32(out + 12, final_word(s3, s2, s1, s0, rk[3]));
+}
+
+Buffer aes_cbc_encrypt(const Aes& aes, ByteView iv, ByteView plaintext) {
+  if (iv.size() != Aes::kBlockSize) {
+    throw std::invalid_argument("CBC IV must be 16 bytes");
+  }
+  const size_t pad = Aes::kBlockSize - plaintext.size() % Aes::kBlockSize;
+  Buffer padded(plaintext.begin(), plaintext.end());
+  padded.insert(padded.end(), pad, static_cast<uint8_t>(pad));
+  Buffer out(padded.size());
+  uint8_t chain[Aes::kBlockSize];
+  std::memcpy(chain, iv.data(), Aes::kBlockSize);
+  for (size_t off = 0; off < padded.size(); off += Aes::kBlockSize) {
+    uint8_t block[Aes::kBlockSize];
+    for (size_t i = 0; i < Aes::kBlockSize; ++i) {
+      block[i] = padded[off + i] ^ chain[i];
+    }
+    aes.encrypt_block(block, out.data() + off);
+    std::memcpy(chain, out.data() + off, Aes::kBlockSize);
+  }
+  return out;
+}
+
+Buffer aes_cbc_decrypt(const Aes& aes, ByteView iv, ByteView ciphertext) {
+  if (iv.size() != Aes::kBlockSize) {
+    throw std::invalid_argument("CBC IV must be 16 bytes");
+  }
+  if (ciphertext.empty() || ciphertext.size() % Aes::kBlockSize != 0) {
+    throw std::runtime_error("CBC ciphertext not block-aligned");
+  }
+  Buffer out(ciphertext.size());
+  uint8_t chain[Aes::kBlockSize];
+  std::memcpy(chain, iv.data(), Aes::kBlockSize);
+  for (size_t off = 0; off < ciphertext.size(); off += Aes::kBlockSize) {
+    uint8_t block[Aes::kBlockSize];
+    aes.decrypt_block(ciphertext.data() + off, block);
+    for (size_t i = 0; i < Aes::kBlockSize; ++i) {
+      out[off + i] = block[i] ^ chain[i];
+    }
+    std::memcpy(chain, ciphertext.data() + off, Aes::kBlockSize);
+  }
+  const uint8_t pad = out.back();
+  if (pad == 0 || pad > Aes::kBlockSize || pad > out.size()) {
+    throw std::runtime_error("CBC padding corrupt");
+  }
+  for (size_t i = out.size() - pad; i < out.size(); ++i) {
+    if (out[i] != pad) throw std::runtime_error("CBC padding corrupt");
+  }
+  out.resize(out.size() - pad);
+  return out;
+}
+
+}  // namespace sgfs::crypto

@@ -1,0 +1,41 @@
+// AES (Rijndael, FIPS-197) from scratch: AES-128 and AES-256, plus CBC mode
+// with PKCS#7 padding.
+//
+// AES-256-CBC is the paper's "very strong cipher" (sgfs-aes configuration,
+// §6.2.1) and the cipher of the emulated SSH tunnel (gfs-ssh).  The
+// implementation uses the classic 32-bit T-table formulation; tables are
+// derived programmatically from the GF(2^8) S-box at first use.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bytes.hpp"
+
+namespace sgfs::crypto {
+
+class Aes {
+ public:
+  static constexpr size_t kBlockSize = 16;
+
+  /// key must be 16 (AES-128) or 32 (AES-256) bytes.
+  explicit Aes(ByteView key);
+
+  void encrypt_block(const uint8_t in[16], uint8_t out[16]) const;
+  void decrypt_block(const uint8_t in[16], uint8_t out[16]) const;
+
+  int rounds() const { return rounds_; }
+
+ private:
+  std::vector<uint32_t> ek_;  // encryption round keys
+  std::vector<uint32_t> dk_;  // decryption round keys (equivalent inverse)
+  int rounds_;
+};
+
+/// CBC-mode encryption with PKCS#7 padding; iv must be 16 bytes.
+Buffer aes_cbc_encrypt(const Aes& aes, ByteView iv, ByteView plaintext);
+
+/// CBC-mode decryption; throws std::runtime_error on corrupt padding.
+Buffer aes_cbc_decrypt(const Aes& aes, ByteView iv, ByteView ciphertext);
+
+}  // namespace sgfs::crypto

@@ -1,0 +1,194 @@
+#include "crypto/cert.hpp"
+
+#include <stdexcept>
+
+#include "xdr/xdr.hpp"
+
+namespace sgfs::crypto {
+
+std::string DistinguishedName::to_string() const {
+  return "/O=" + organization + "/CN=" + common_name;
+}
+
+DistinguishedName DistinguishedName::parse(const std::string& s) {
+  const std::string o_tag = "/O=", cn_tag = "/CN=";
+  size_t o = s.find(o_tag);
+  size_t cn = s.find(cn_tag);
+  if (o != 0 || cn == std::string::npos) {
+    throw std::invalid_argument("malformed DN: " + s);
+  }
+  DistinguishedName dn;
+  dn.organization = s.substr(o_tag.size(), cn - o_tag.size());
+  dn.common_name = s.substr(cn + cn_tag.size());
+  return dn;
+}
+
+Buffer Certificate::tbs_bytes() const {
+  xdr::Encoder enc;
+  enc.put_u64(serial);
+  enc.put_string(subject.organization);
+  enc.put_string(subject.common_name);
+  enc.put_string(issuer.organization);
+  enc.put_string(issuer.common_name);
+  enc.put_enum(type);
+  enc.put_i64(not_before);
+  enc.put_i64(not_after);
+  enc.put_opaque(key.serialize());
+  return enc.take();
+}
+
+Buffer Certificate::serialize() const {
+  xdr::Encoder enc;
+  enc.put_opaque(tbs_bytes());
+  enc.put_opaque(signature);
+  return enc.take();
+}
+
+Certificate Certificate::deserialize(ByteView data) {
+  xdr::Decoder outer(data);
+  Buffer tbs = outer.get_opaque();
+  Buffer sig = outer.get_opaque();
+
+  xdr::Decoder dec(tbs);
+  Certificate cert;
+  cert.serial = dec.get_u64();
+  cert.subject.organization = dec.get_string();
+  cert.subject.common_name = dec.get_string();
+  cert.issuer.organization = dec.get_string();
+  cert.issuer.common_name = dec.get_string();
+  cert.type = dec.get_enum<CertType>();
+  cert.not_before = dec.get_i64();
+  cert.not_after = dec.get_i64();
+  cert.key = RsaPublicKey::deserialize(dec.get_opaque());
+  dec.expect_done();
+  cert.signature = std::move(sig);
+  return cert;
+}
+
+std::vector<Certificate> Credential::presented_chain() const {
+  std::vector<Certificate> out;
+  out.reserve(1 + chain.size());
+  out.push_back(cert);
+  out.insert(out.end(), chain.begin(), chain.end());
+  return out;
+}
+
+CertificateAuthority::CertificateAuthority(Rng& rng, DistinguishedName name,
+                                           int64_t not_before,
+                                           int64_t not_after,
+                                           size_t key_bits) {
+  RsaKeyPair kp = rsa_generate(rng, key_bits);
+  key_ = kp.priv;
+  root_.serial = next_serial_++;
+  root_.subject = name;
+  root_.issuer = name;
+  root_.type = CertType::kCa;
+  root_.not_before = not_before;
+  root_.not_after = not_after;
+  root_.key = kp.pub;
+  root_.signature = rsa_sign_sha1(key_, root_.tbs_bytes());
+}
+
+Certificate CertificateAuthority::sign(const DistinguishedName& subject,
+                                       CertType type, const RsaPublicKey& key,
+                                       int64_t not_before,
+                                       int64_t not_after) {
+  if (type == CertType::kCa || type == CertType::kProxy) {
+    throw std::invalid_argument(
+        "CA issues identity/host certs only; proxies are user-signed");
+  }
+  Certificate cert;
+  cert.serial = next_serial_++;
+  cert.subject = subject;
+  cert.issuer = root_.subject;
+  cert.type = type;
+  cert.not_before = not_before;
+  cert.not_after = not_after;
+  cert.key = key;
+  cert.signature = rsa_sign_sha1(key_, cert.tbs_bytes());
+  return cert;
+}
+
+Credential CertificateAuthority::issue(Rng& rng,
+                                       const DistinguishedName& subject,
+                                       CertType type, int64_t not_before,
+                                       int64_t not_after, size_t key_bits) {
+  RsaKeyPair kp = rsa_generate(rng, key_bits);
+  Certificate cert = sign(subject, type, kp.pub, not_before, not_after);
+  return Credential(std::move(cert), kp.priv);
+}
+
+Credential issue_proxy(Rng& rng, const Credential& delegator,
+                       int64_t not_before, int64_t not_after,
+                       size_t key_bits) {
+  if (delegator.cert.type != CertType::kIdentity &&
+      delegator.cert.type != CertType::kProxy) {
+    throw std::invalid_argument("only identities (or proxies) may delegate");
+  }
+  RsaKeyPair kp = rsa_generate(rng, key_bits);
+  Certificate cert;
+  cert.serial = delegator.cert.serial;  // proxies share the lineage serial
+  cert.subject = DistinguishedName(delegator.cert.subject.organization,
+                                   delegator.cert.subject.common_name +
+                                       "/proxy");
+  cert.issuer = delegator.cert.subject;
+  cert.type = CertType::kProxy;
+  cert.not_before = not_before;
+  cert.not_after = not_after;
+  cert.key = kp.pub;
+  cert.signature = rsa_sign_sha1(delegator.private_key, cert.tbs_bytes());
+  return Credential(std::move(cert), kp.priv, delegator.presented_chain());
+}
+
+ValidationResult validate_chain(const std::vector<Certificate>& chain,
+                                const std::vector<Certificate>& trusted,
+                                int64_t now) {
+  if (chain.empty()) return ValidationResult::failure("empty chain");
+
+  // Walk proxies down the front of the chain: each must be signed by the
+  // next cert's key and carry that cert's subject as issuer.
+  size_t i = 0;
+  while (i < chain.size() && chain[i].type == CertType::kProxy) {
+    const Certificate& proxy = chain[i];
+    if (!proxy.valid_at(now)) {
+      return ValidationResult::failure("proxy certificate expired");
+    }
+    if (i + 1 >= chain.size()) {
+      return ValidationResult::failure("proxy chain missing signer");
+    }
+    const Certificate& signer = chain[i + 1];
+    if (proxy.issuer != signer.subject) {
+      return ValidationResult::failure("proxy issuer mismatch");
+    }
+    if (!rsa_verify_sha1(signer.key, proxy.tbs_bytes(), proxy.signature)) {
+      return ValidationResult::failure("proxy signature invalid");
+    }
+    ++i;
+  }
+
+  if (i >= chain.size()) {
+    return ValidationResult::failure("chain has no end-entity certificate");
+  }
+  const Certificate& entity = chain[i];
+  if (entity.type != CertType::kIdentity && entity.type != CertType::kHost) {
+    return ValidationResult::failure("end entity has wrong type");
+  }
+  if (!entity.valid_at(now)) {
+    return ValidationResult::failure("certificate expired");
+  }
+
+  // The end entity must be signed by a trusted CA root.
+  for (const Certificate& root : trusted) {
+    if (root.type != CertType::kCa) continue;
+    if (!root.valid_at(now)) continue;
+    if (entity.issuer != root.subject) continue;
+    if (rsa_verify_sha1(root.key, entity.tbs_bytes(), entity.signature)) {
+      return ValidationResult(true, "", entity.subject);
+    }
+    return ValidationResult::failure("CA signature invalid");
+  }
+  return ValidationResult::failure("no trusted CA for issuer " +
+                                   entity.issuer.to_string());
+}
+
+}  // namespace sgfs::crypto

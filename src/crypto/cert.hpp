@@ -1,0 +1,143 @@
+// X.509/GSI-style certificates: CA-rooted identity chains with proxy
+// (delegation) certificates.
+//
+// The paper authenticates SGFS sessions with X.509 grid certificates, where
+// a user certificate may be a *proxy certificate* issued by the user to
+// support delegation (§3.1).  This module reproduces that trust model with
+// an XDR-serialized certificate format signed by our RSA implementation:
+//   - a CertificateAuthority self-signs a root and issues user/host certs;
+//   - users issue short-lived proxy certs signed by their own key;
+//   - validate_chain() walks leaf -> (proxies) -> identity -> trusted root,
+//     checking signatures, validity windows and type constraints, and
+//     returns the *effective grid identity* (the base user DN), which is
+//     what gridmap files and ACLs match against.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/rng.hpp"
+#include "crypto/rsa.hpp"
+
+namespace sgfs::crypto {
+
+/// Distinguished name.  Non-aggregate by design (GCC 12 coroutine rule).
+struct DistinguishedName {
+  std::string organization;
+  std::string common_name;
+
+  DistinguishedName() = default;
+  DistinguishedName(std::string org, std::string cn)
+      : organization(std::move(org)), common_name(std::move(cn)) {}
+
+  /// Canonical "/O=.../CN=..." form — the gridmap key.
+  std::string to_string() const;
+  static DistinguishedName parse(const std::string& s);
+
+  bool operator==(const DistinguishedName&) const = default;
+};
+
+enum class CertType : int32_t {
+  kCa = 0,       // may sign identity and host certificates
+  kIdentity = 1, // a grid user
+  kHost = 2,     // a file/compute server
+  kProxy = 3,    // short-lived delegation cert signed by an identity (or
+                 // another proxy) key
+};
+
+class Certificate {
+ public:
+  uint64_t serial = 0;
+  DistinguishedName subject;
+  DistinguishedName issuer;
+  CertType type = CertType::kIdentity;
+  int64_t not_before = 0;  // inclusive, seconds
+  int64_t not_after = 0;   // exclusive, seconds
+  RsaPublicKey key;
+  Buffer signature;  // issuer's RSA-SHA1 signature over tbs_bytes()
+
+  /// The "to be signed" serialization (everything except the signature).
+  Buffer tbs_bytes() const;
+
+  Buffer serialize() const;
+  static Certificate deserialize(ByteView data);
+
+  bool is_self_signed() const { return subject == issuer; }
+  bool valid_at(int64_t t) const { return t >= not_before && t < not_after; }
+
+  bool operator==(const Certificate&) const = default;
+};
+
+/// A certificate plus its private key and any delegation chain below it.
+/// chain[0] is the next cert up (e.g. the user identity cert for a proxy).
+struct Credential {
+  Certificate cert;
+  RsaPrivateKey private_key;
+  std::vector<Certificate> chain;
+
+  Credential() = default;
+  Credential(Certificate c, RsaPrivateKey k,
+             std::vector<Certificate> ch = {})
+      : cert(std::move(c)), private_key(std::move(k)), chain(std::move(ch)) {}
+
+  /// Certificates presented to a peer: cert followed by chain.
+  std::vector<Certificate> presented_chain() const;
+};
+
+class CertificateAuthority {
+ public:
+  /// Creates a self-signed root CA (deterministic from rng).
+  CertificateAuthority(Rng& rng, DistinguishedName name,
+                       int64_t not_before = 0,
+                       int64_t not_after = 1'000'000'000,
+                       size_t key_bits = 512);
+
+  const Certificate& root() const { return root_; }
+
+  /// Issues an identity or host certificate.
+  Credential issue(Rng& rng, const DistinguishedName& subject, CertType type,
+                   int64_t not_before = 0, int64_t not_after = 1'000'000'000,
+                   size_t key_bits = 512);
+
+  /// Signs an externally generated key (for key-reuse scenarios).
+  Certificate sign(const DistinguishedName& subject, CertType type,
+                   const RsaPublicKey& key, int64_t not_before,
+                   int64_t not_after);
+
+ private:
+  Certificate root_;
+  RsaPrivateKey key_;
+  uint64_t next_serial_ = 1;
+};
+
+/// Issues a proxy certificate: subject = delegator's subject + "/proxy",
+/// signed by the delegator's private key (GSI-style delegation).
+Credential issue_proxy(Rng& rng, const Credential& delegator,
+                       int64_t not_before, int64_t not_after,
+                       size_t key_bits = 512);
+
+struct ValidationResult {
+  bool ok = false;
+  std::string error;                     // empty when ok
+  DistinguishedName effective_identity;  // base user DN (proxies unwrapped)
+
+  ValidationResult() = default;
+  ValidationResult(bool o, std::string e, DistinguishedName id)
+      : ok(o), error(std::move(e)), effective_identity(std::move(id)) {}
+
+  static ValidationResult failure(std::string why) {
+    return ValidationResult(false, std::move(why), DistinguishedName());
+  }
+};
+
+/// Validates chain[0] (the leaf) up through proxies to an identity/host cert
+/// that must be signed by one of `trusted` roots.  `now` is the validation
+/// time in seconds.
+ValidationResult validate_chain(const std::vector<Certificate>& chain,
+                                const std::vector<Certificate>& trusted,
+                                int64_t now);
+
+}  // namespace sgfs::crypto

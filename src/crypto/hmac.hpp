@@ -1,0 +1,68 @@
+// HMAC (FIPS 198 / RFC 2104) over any hash exposing update()/finish().
+//
+// SHA1-HMAC is the message-integrity mechanism of all SGFS security
+// configurations evaluated in the paper (§6.2.1).
+#pragma once
+
+#include "common/bytes.hpp"
+#include "crypto/sha.hpp"
+
+namespace sgfs::crypto {
+
+template <typename Hash>
+class Hmac {
+ public:
+  static constexpr size_t kDigestSize = Hash::kDigestSize;
+  using Digest = typename Hash::Digest;
+
+  explicit Hmac(ByteView key) {
+    Buffer k(key.begin(), key.end());
+    if (k.size() > Hash::kBlockSize) {
+      auto d = Hash::hash(k);
+      k.assign(d.begin(), d.end());
+    }
+    k.resize(Hash::kBlockSize, 0);
+    ipad_ = k;
+    opad_ = k;
+    for (auto& b : ipad_) b ^= 0x36;
+    for (auto& b : opad_) b ^= 0x5c;
+    reset();
+  }
+
+  void reset() {
+    inner_ = Hash();
+    inner_.update(ipad_);
+  }
+
+  void update(ByteView data) { inner_.update(data); }
+
+  Digest finish() {
+    auto inner_digest = inner_.finish();
+    Hash outer;
+    outer.update(opad_);
+    outer.update(ByteView(inner_digest.data(), inner_digest.size()));
+    return outer.finish();
+  }
+
+  /// One-shot convenience.
+  static Digest mac(ByteView key, ByteView data) {
+    Hmac h(key);
+    h.update(data);
+    return h.finish();
+  }
+
+  /// Constant-time verification.
+  static bool verify(ByteView key, ByteView data, ByteView expected) {
+    auto d = mac(key, data);
+    return ct_equal(ByteView(d.data(), d.size()), expected);
+  }
+
+ private:
+  Buffer ipad_, opad_;
+  Hash inner_;
+};
+
+using HmacSha1 = Hmac<Sha1>;
+using HmacSha256 = Hmac<Sha256>;
+
+}  // namespace sgfs::crypto

@@ -1,0 +1,41 @@
+#include "crypto/rc4.hpp"
+
+#include <numeric>
+#include <stdexcept>
+
+namespace sgfs::crypto {
+
+Rc4::Rc4(ByteView key) {
+  if (key.empty() || key.size() > 256) {
+    throw std::invalid_argument("RC4 key must be 1..256 bytes");
+  }
+  std::iota(s_.begin(), s_.end(), 0);
+  uint8_t j = 0;
+  for (size_t i = 0; i < 256; ++i) {
+    j = static_cast<uint8_t>(j + s_[i] + key[i % key.size()]);
+    std::swap(s_[i], s_[j]);
+  }
+}
+
+uint8_t Rc4::next_byte() {
+  i_ = static_cast<uint8_t>(i_ + 1);
+  j_ = static_cast<uint8_t>(j_ + s_[i_]);
+  std::swap(s_[i_], s_[j_]);
+  return s_[static_cast<uint8_t>(s_[i_] + s_[j_])];
+}
+
+void Rc4::process(MutByteView data) {
+  for (auto& b : data) b ^= next_byte();
+}
+
+Buffer Rc4::process_copy(ByteView data) {
+  Buffer out(data.begin(), data.end());
+  process(out);
+  return out;
+}
+
+void Rc4::skip(size_t n) {
+  for (size_t k = 0; k < n; ++k) next_byte();
+}
+
+}  // namespace sgfs::crypto

@@ -1,0 +1,35 @@
+// RC4 (ARCFOUR) stream cipher, from the published algorithm description.
+//
+// RC4-128 is the paper's "medium-strength" cipher (sgfs-rc configuration),
+// and an RC4 variant is what SFS uses — both baselines need it.
+// RC4 is cryptographically broken by modern standards; it exists here to
+// reproduce the 2007 evaluation, not for real-world protection.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.hpp"
+
+namespace sgfs::crypto {
+
+class Rc4 {
+ public:
+  explicit Rc4(ByteView key);
+
+  /// XORs the keystream into data in place (encrypt == decrypt).
+  void process(MutByteView data);
+
+  /// Convenience: returns the transformed copy.
+  Buffer process_copy(ByteView data);
+
+  /// Discards n keystream bytes (RC4-drop[n], mitigates weak early bytes).
+  void skip(size_t n);
+
+ private:
+  uint8_t next_byte();
+  std::array<uint8_t, 256> s_;
+  uint8_t i_ = 0, j_ = 0;
+};
+
+}  // namespace sgfs::crypto

@@ -1,0 +1,517 @@
+#include "crypto/secure_channel.hpp"
+
+#include "common/log.hpp"
+#include "xdr/xdr.hpp"
+
+namespace sgfs::crypto {
+
+namespace {
+
+constexpr uint32_t kHelloMagic = 0x53474653;  // "SGFS"
+constexpr size_t kRandomSize = 32;
+constexpr size_t kPremasterSize = 48;
+constexpr size_t kMaxRecord = 4u << 20;  // 4 MiB
+
+Buffer be64(uint64_t v) {
+  Buffer out(8);
+  for (int i = 7; i >= 0; --i) {
+    out[i] = static_cast<uint8_t>(v);
+    v >>= 8;
+  }
+  return out;
+}
+
+// HMAC-SHA256-based key expansion (TLS-PRF substitute).
+Buffer derive(ByteView secret, const std::string& label, ByteView seed,
+              size_t out_len) {
+  Buffer out;
+  uint32_t counter = 0;
+  while (out.size() < out_len) {
+    HmacSha256 h(secret);
+    h.update(to_bytes(label));
+    h.update(seed);
+    Buffer c = {static_cast<uint8_t>(counter >> 24),
+                static_cast<uint8_t>(counter >> 16),
+                static_cast<uint8_t>(counter >> 8),
+                static_cast<uint8_t>(counter)};
+    h.update(c);
+    auto d = h.finish();
+    append(out, ByteView(d.data(), d.size()));
+    ++counter;
+  }
+  out.resize(out_len);
+  return out;
+}
+
+void encode_chain(xdr::Encoder& enc, const std::vector<Certificate>& chain) {
+  enc.put_u32(static_cast<uint32_t>(chain.size()));
+  for (const auto& c : chain) enc.put_opaque(c.serialize());
+}
+
+std::vector<Certificate> decode_chain(xdr::Decoder& dec) {
+  uint32_t n = dec.get_u32();
+  if (n > 8) throw SecurityError("certificate chain too long");
+  std::vector<Certificate> chain;
+  chain.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    chain.push_back(Certificate::deserialize(dec.get_opaque()));
+  }
+  return chain;
+}
+
+}  // namespace
+
+std::string to_string(Cipher c) {
+  switch (c) {
+    case Cipher::kNull: return "null";
+    case Cipher::kRc4_128: return "rc4-128";
+    case Cipher::kAes128Cbc: return "aes-128-cbc";
+    case Cipher::kAes256Cbc: return "aes-256-cbc";
+  }
+  return "?";
+}
+
+std::string to_string(MacAlgo m) {
+  switch (m) {
+    case MacAlgo::kNull: return "null";
+    case MacAlgo::kHmacSha1: return "hmac-sha1";
+  }
+  return "?";
+}
+
+Cipher cipher_from_string(const std::string& s) {
+  if (s == "null" || s == "none") return Cipher::kNull;
+  if (s == "rc4-128" || s == "rc4") return Cipher::kRc4_128;
+  if (s == "aes-128-cbc" || s == "aes-128") return Cipher::kAes128Cbc;
+  if (s == "aes-256-cbc" || s == "aes-256") return Cipher::kAes256Cbc;
+  throw std::invalid_argument("unknown cipher: " + s);
+}
+
+MacAlgo mac_from_string(const std::string& s) {
+  if (s == "null" || s == "none") return MacAlgo::kNull;
+  if (s == "hmac-sha1" || s == "sha1") return MacAlgo::kHmacSha1;
+  throw std::invalid_argument("unknown MAC: " + s);
+}
+
+sim::SimDur CryptoCostModel::record_cost(Cipher c, MacAlgo m,
+                                         size_t bytes) const {
+  double secs = 0;
+  switch (c) {
+    case Cipher::kNull: break;
+    case Cipher::kRc4_128: secs += bytes / rc4_bytes_per_sec; break;
+    case Cipher::kAes128Cbc: secs += bytes / aes128_bytes_per_sec; break;
+    case Cipher::kAes256Cbc: secs += bytes / aes256_bytes_per_sec; break;
+  }
+  if (m == MacAlgo::kHmacSha1) secs += bytes / sha1_bytes_per_sec;
+  return per_record_cpu + sim::from_seconds(secs);
+}
+
+SecureChannel::SecureChannel(net::StreamPtr stream,
+                             const SecurityConfig& config, Rng& rng,
+                             bool is_client, int64_t now_epoch)
+    : stream_(std::move(stream)),
+      config_(config),
+      rng_(rng),
+      is_client_(is_client),
+      now_epoch_(now_epoch) {}
+
+sim::Task<std::unique_ptr<SecureChannel>> SecureChannel::connect(
+    net::StreamPtr stream, const SecurityConfig& config, Rng& rng,
+    int64_t now_epoch) {
+  auto ch = std::unique_ptr<SecureChannel>(new SecureChannel(
+      std::move(stream), config, rng, /*is_client=*/true, now_epoch));
+  try {
+    co_await ch->handshake();
+  } catch (...) {
+    ch->stream_->close();  // unblock the peer
+    throw;
+  }
+  co_return ch;
+}
+
+sim::Task<std::unique_ptr<SecureChannel>> SecureChannel::accept(
+    net::StreamPtr stream, const SecurityConfig& config, Rng& rng,
+    int64_t now_epoch) {
+  auto ch = std::unique_ptr<SecureChannel>(new SecureChannel(
+      std::move(stream), config, rng, /*is_client=*/false, now_epoch));
+  try {
+    co_await ch->handshake();
+  } catch (...) {
+    ch->stream_->close();  // unblock the peer
+    throw;
+  }
+  co_return ch;
+}
+
+// --- record layer -----------------------------------------------------------
+
+sim::Task<void> SecureChannel::charge_crypto(size_t bytes) {
+  const sim::SimDur cost = config_.cost.record_cost(cipher_, mac_, bytes);
+  co_await stream_->local_host().cpu().use(cost, "crypto");
+}
+
+Buffer SecureChannel::protect(uint64_t seq, ByteView plaintext) {
+  Buffer data;
+  switch (cipher_) {
+    case Cipher::kNull:
+      data.assign(plaintext.begin(), plaintext.end());
+      break;
+    case Cipher::kRc4_128:
+      data = send_rc4_->process_copy(plaintext);
+      break;
+    case Cipher::kAes128Cbc:
+    case Cipher::kAes256Cbc: {
+      auto iv_mac = HmacSha1::mac(send_iv_key_, be64(seq));
+      ByteView iv(iv_mac.data(), Aes::kBlockSize);
+      data = aes_cbc_encrypt(*send_aes_, iv, plaintext);
+      break;
+    }
+  }
+  if (mac_ == MacAlgo::kHmacSha1) {
+    HmacSha1 h(send_mac_key_);
+    h.update(be64(seq));
+    h.update(data);
+    auto m = h.finish();
+    append(data, ByteView(m.data(), m.size()));
+  }
+  return data;
+}
+
+Buffer SecureChannel::unprotect(uint64_t seq, ByteView record) {
+  ByteView body = record;
+  if (mac_ == MacAlgo::kHmacSha1) {
+    if (record.size() < Sha1::kDigestSize) {
+      throw SecurityError("record too short for MAC");
+    }
+    body = record.first(record.size() - Sha1::kDigestSize);
+    ByteView mac = record.last(Sha1::kDigestSize);
+    HmacSha1 h(recv_mac_key_);
+    h.update(be64(seq));
+    h.update(body);
+    auto expect = h.finish();
+    if (!ct_equal(ByteView(expect.data(), expect.size()), mac)) {
+      throw SecurityError("record MAC verification failed");
+    }
+  }
+  switch (cipher_) {
+    case Cipher::kNull:
+      return Buffer(body.begin(), body.end());
+    case Cipher::kRc4_128: {
+      Buffer out(body.begin(), body.end());
+      recv_rc4_->process(out);
+      return out;
+    }
+    case Cipher::kAes128Cbc:
+    case Cipher::kAes256Cbc: {
+      auto iv_mac = HmacSha1::mac(recv_iv_key_, be64(seq));
+      ByteView iv(iv_mac.data(), Aes::kBlockSize);
+      try {
+        return aes_cbc_decrypt(*recv_aes_, iv, body);
+      } catch (const std::runtime_error& e) {
+        throw SecurityError(e.what());
+      }
+    }
+  }
+  throw SecurityError("bad cipher state");
+}
+
+sim::Task<void> SecureChannel::send_record(RecordType type,
+                                           ByteView payload) {
+  if (payload.size() > kMaxRecord) throw SecurityError("record too large");
+  co_await charge_crypto(payload.size());
+  const uint64_t seq = send_seq_++;
+  // The record type is authenticated: it is prepended to the plaintext.
+  Buffer framed;
+  framed.reserve(payload.size() + 1);
+  framed.push_back(static_cast<uint8_t>(type));
+  append(framed, payload);
+  Buffer wire = protect(seq, framed);
+  xdr::Encoder enc;
+  enc.put_u32(static_cast<uint32_t>(wire.size()));
+  Buffer header = enc.take();
+  append(header, wire);
+  co_await stream_->write(header);
+}
+
+sim::Task<SecureChannel::Record> SecureChannel::recv_record() {
+  Buffer len_buf = co_await stream_->read_exact(4);
+  xdr::Decoder dec(len_buf);
+  const uint32_t len = dec.get_u32();
+  if (len == 0 || len > kMaxRecord + 64) {
+    throw SecurityError("bad record length");
+  }
+  Buffer wire = co_await stream_->read_exact(len);
+  co_await charge_crypto(wire.size());
+  const uint64_t seq = recv_seq_++;
+  Buffer framed = unprotect(seq, wire);
+  if (framed.empty()) throw SecurityError("empty record");
+  const auto type = static_cast<RecordType>(framed[0]);
+  co_return Record(type, Buffer(framed.begin() + 1, framed.end()));
+}
+
+sim::Task<void> SecureChannel::send_handshake_msg(ByteView payload) {
+  append(transcript_, payload);
+  co_await send_record(RecordType::kHandshake, payload);
+}
+
+sim::Task<Buffer> SecureChannel::recv_handshake_msg() {
+  Record rec = co_await recv_record();
+  if (rec.type != RecordType::kHandshake) {
+    throw SecurityError("expected handshake message");
+  }
+  append(transcript_, rec.payload);
+  co_return std::move(rec.payload);
+}
+
+// --- key schedule -----------------------------------------------------------
+
+void SecureChannel::install_keys(ByteView premaster, ByteView client_random,
+                                 ByteView server_random) {
+  Buffer seed(client_random.begin(), client_random.end());
+  append(seed, server_random);
+  Buffer master = derive(premaster, "sgfs master", seed, 48);
+  // Key block: c2s_mac(20) s2c_mac(20) c2s_key(32) s2c_key(32)
+  //            c2s_iv(20) s2c_iv(20)
+  Buffer block = derive(master, "sgfs keys", seed, 144);
+  auto slice = [&](size_t off, size_t len) {
+    return Buffer(block.begin() + off, block.begin() + off + len);
+  };
+  Buffer c2s_mac = slice(0, 20), s2c_mac = slice(20, 20);
+  Buffer c2s_key = slice(40, 32), s2c_key = slice(72, 32);
+  Buffer c2s_iv = slice(104, 20), s2c_iv = slice(124, 20);
+
+  const Buffer& smac = is_client_ ? c2s_mac : s2c_mac;
+  const Buffer& rmac = is_client_ ? s2c_mac : c2s_mac;
+  const Buffer& skey = is_client_ ? c2s_key : s2c_key;
+  const Buffer& rkey = is_client_ ? s2c_key : c2s_key;
+  const Buffer& siv = is_client_ ? c2s_iv : s2c_iv;
+  const Buffer& riv = is_client_ ? s2c_iv : c2s_iv;
+
+  send_mac_key_ = smac;
+  recv_mac_key_ = rmac;
+  send_iv_key_ = siv;
+  recv_iv_key_ = riv;
+  send_aes_.reset();
+  recv_aes_.reset();
+  send_rc4_.reset();
+  recv_rc4_.reset();
+
+  cipher_ = config_.cipher;
+  mac_ = config_.mac;
+  switch (cipher_) {
+    case Cipher::kNull:
+      break;
+    case Cipher::kRc4_128: {
+      send_rc4_ = std::make_unique<Rc4>(ByteView(skey.data(), 16));
+      recv_rc4_ = std::make_unique<Rc4>(ByteView(rkey.data(), 16));
+      send_rc4_->skip(1024);  // RC4-drop
+      recv_rc4_->skip(1024);
+      break;
+    }
+    case Cipher::kAes128Cbc:
+      send_aes_ = std::make_unique<Aes>(ByteView(skey.data(), 16));
+      recv_aes_ = std::make_unique<Aes>(ByteView(rkey.data(), 16));
+      break;
+    case Cipher::kAes256Cbc:
+      send_aes_ = std::make_unique<Aes>(skey);
+      recv_aes_ = std::make_unique<Aes>(rkey);
+      break;
+  }
+  ++key_generation_;
+}
+
+// --- handshake --------------------------------------------------------------
+
+sim::Task<void> SecureChannel::handshake() {
+  // Handshake records travel under the *current* protection state: plaintext
+  // for the initial handshake, the live session keys for renegotiation.
+  transcript_.clear();
+  const int64_t epoch =
+      now_epoch_ +
+      sim::to_seconds(stream_->local_host().engine().now());
+
+  co_await stream_->local_host().cpu().use(config_.cost.handshake_cpu,
+                                           "crypto");
+
+  if (is_client_) {
+    // ClientHello
+    Buffer client_random = rng_.bytes(kRandomSize);
+    {
+      xdr::Encoder enc;
+      enc.put_u32(kHelloMagic);
+      enc.put_opaque(client_random);
+      enc.put_enum(config_.cipher);
+      enc.put_enum(config_.mac);
+      co_await send_handshake_msg(enc.take());
+    }
+    // ServerHello
+    Buffer server_random;
+    {
+      Buffer msg = co_await recv_handshake_msg();
+      xdr::Decoder dec(msg);
+      if (dec.get_u32() != kHelloMagic) throw SecurityError("bad magic");
+      server_random = dec.get_opaque(kRandomSize);
+      const auto srv_cipher = dec.get_enum<Cipher>();
+      const auto srv_mac = dec.get_enum<MacAlgo>();
+      if (srv_cipher != config_.cipher || srv_mac != config_.mac) {
+        throw SecurityError("cipher suite mismatch");
+      }
+      auto chain = decode_chain(dec);
+      auto result = validate_chain(chain, config_.trusted, epoch);
+      if (!result.ok) {
+        throw SecurityError("server certificate rejected: " + result.error);
+      }
+      peer_cert_ = chain.front();
+      peer_identity_ = result.effective_identity;
+    }
+    // ClientKey: chain + encrypted premaster + CertificateVerify.
+    Buffer premaster = rng_.bytes(kPremasterSize);
+    {
+      xdr::Encoder enc;
+      encode_chain(enc, config_.credential.presented_chain());
+      enc.put_opaque(rsa_encrypt(peer_cert_.key, rng_, premaster));
+      enc.put_opaque(
+          rsa_sign_sha1(config_.credential.private_key, transcript_));
+      co_await send_handshake_msg(enc.take());
+    }
+    install_keys(premaster, client_random, server_random);
+    // Finished exchange under the new keys.
+    Buffer base = transcript_;
+    {
+      HmacSha1 h(send_mac_key_);
+      h.update(base);
+      h.update(to_bytes("client finished"));
+      auto m = h.finish();
+      co_await send_record(RecordType::kHandshake,
+                           ByteView(m.data(), m.size()));
+    }
+    {
+      Record rec = co_await recv_record();
+      if (rec.type != RecordType::kHandshake) {
+        throw SecurityError("expected server finished");
+      }
+      HmacSha1 h(recv_mac_key_);
+      h.update(base);
+      h.update(to_bytes("server finished"));
+      auto expect = h.finish();
+      if (!ct_equal(ByteView(expect.data(), expect.size()), rec.payload)) {
+        throw SecurityError("server finished MAC mismatch");
+      }
+    }
+  } else {
+    // ClientHello
+    Buffer client_random;
+    {
+      Buffer msg = co_await recv_handshake_msg();
+      xdr::Decoder dec(msg);
+      if (dec.get_u32() != kHelloMagic) throw SecurityError("bad magic");
+      client_random = dec.get_opaque(kRandomSize);
+      const auto cli_cipher = dec.get_enum<Cipher>();
+      const auto cli_mac = dec.get_enum<MacAlgo>();
+      if (cli_cipher != config_.cipher || cli_mac != config_.mac) {
+        throw SecurityError("cipher suite mismatch");
+      }
+    }
+    // ServerHello
+    Buffer server_random = rng_.bytes(kRandomSize);
+    {
+      xdr::Encoder enc;
+      enc.put_u32(kHelloMagic);
+      enc.put_opaque(server_random);
+      enc.put_enum(config_.cipher);
+      enc.put_enum(config_.mac);
+      encode_chain(enc, config_.credential.presented_chain());
+      co_await send_handshake_msg(enc.take());
+    }
+    // ClientKey
+    Buffer premaster;
+    {
+      Buffer msg = co_await recv_handshake_msg();
+      xdr::Decoder dec(msg);
+      auto chain = decode_chain(dec);
+      Buffer enc_premaster = dec.get_opaque();
+      Buffer verify_sig = dec.get_opaque();
+
+      auto result = validate_chain(chain, config_.trusted, epoch);
+      if (!result.ok) {
+        throw SecurityError("client certificate rejected: " + result.error);
+      }
+      // CertificateVerify covers the transcript up to (excluding) the
+      // ClientKey message itself.
+      Buffer signed_transcript(
+          transcript_.begin(),
+          transcript_.end() - static_cast<ptrdiff_t>(msg.size()));
+      if (!rsa_verify_sha1(chain.front().key, signed_transcript,
+                           verify_sig)) {
+        throw SecurityError("client CertificateVerify failed");
+      }
+      peer_cert_ = chain.front();
+      peer_identity_ = result.effective_identity;
+      try {
+        premaster = rsa_decrypt(config_.credential.private_key,
+                                enc_premaster);
+      } catch (const std::runtime_error& e) {
+        throw SecurityError(std::string("premaster decrypt: ") + e.what());
+      }
+      if (premaster.size() != kPremasterSize) {
+        throw SecurityError("bad premaster size");
+      }
+    }
+    install_keys(premaster, client_random, server_random);
+    Buffer base = transcript_;
+    {
+      Record rec = co_await recv_record();
+      if (rec.type != RecordType::kHandshake) {
+        throw SecurityError("expected client finished");
+      }
+      HmacSha1 h(recv_mac_key_);
+      h.update(base);
+      h.update(to_bytes("client finished"));
+      auto expect = h.finish();
+      if (!ct_equal(ByteView(expect.data(), expect.size()), rec.payload)) {
+        throw SecurityError("client finished MAC mismatch");
+      }
+    }
+    {
+      HmacSha1 h(send_mac_key_);
+      h.update(base);
+      h.update(to_bytes("server finished"));
+      auto m = h.finish();
+      co_await send_record(RecordType::kHandshake,
+                           ByteView(m.data(), m.size()));
+    }
+  }
+  established_ = true;
+}
+
+// --- application API --------------------------------------------------------
+
+sim::Task<void> SecureChannel::send(ByteView message) {
+  if (!established_) throw SecurityError("channel not established");
+  co_await send_record(RecordType::kData, message);
+}
+
+sim::Task<Buffer> SecureChannel::recv() {
+  for (;;) {
+    Record rec = co_await recv_record();
+    switch (rec.type) {
+      case RecordType::kData:
+        co_return std::move(rec.payload);
+      case RecordType::kRenegotiate:
+        if (is_client_) throw SecurityError("unexpected renegotiate");
+        co_await handshake();
+        continue;
+      case RecordType::kHandshake:
+        throw SecurityError("unexpected handshake record");
+    }
+    throw SecurityError("unknown record type");
+  }
+}
+
+sim::Task<void> SecureChannel::renegotiate() {
+  if (!is_client_) throw SecurityError("server cannot initiate renegotiate");
+  co_await send_record(RecordType::kRenegotiate, ByteView{});
+  co_await handshake();
+}
+
+}  // namespace sgfs::crypto

@@ -1,0 +1,223 @@
+#include "crypto/sha.hpp"
+
+#include <cstring>
+
+namespace sgfs::crypto {
+
+namespace {
+inline uint32_t rotl32(uint32_t x, int k) { return (x << k) | (x >> (32 - k)); }
+inline uint32_t rotr32(uint32_t x, int k) { return (x >> k) | (x << (32 - k)); }
+
+inline uint32_t load_be32(const uint8_t* p) {
+  return (static_cast<uint32_t>(p[0]) << 24) |
+         (static_cast<uint32_t>(p[1]) << 16) |
+         (static_cast<uint32_t>(p[2]) << 8) | static_cast<uint32_t>(p[3]);
+}
+
+inline void store_be32(uint8_t* p, uint32_t v) {
+  p[0] = static_cast<uint8_t>(v >> 24);
+  p[1] = static_cast<uint8_t>(v >> 16);
+  p[2] = static_cast<uint8_t>(v >> 8);
+  p[3] = static_cast<uint8_t>(v);
+}
+}  // namespace
+
+// --- SHA-1 ------------------------------------------------------------------
+
+Sha1::Sha1()
+    : state_{0x67452301u, 0xEFCDAB89u, 0x98BADCFEu, 0x10325476u, 0xC3D2E1F0u} {
+}
+
+void Sha1::process_block(const uint8_t* block) {
+  uint32_t w[80];
+  for (int i = 0; i < 16; ++i) w[i] = load_be32(block + 4 * i);
+  for (int i = 16; i < 80; ++i) {
+    w[i] = rotl32(w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16], 1);
+  }
+  uint32_t a = state_[0], b = state_[1], c = state_[2], d = state_[3],
+           e = state_[4];
+  for (int i = 0; i < 80; ++i) {
+    uint32_t f, k;
+    if (i < 20) {
+      f = (b & c) | (~b & d);
+      k = 0x5A827999u;
+    } else if (i < 40) {
+      f = b ^ c ^ d;
+      k = 0x6ED9EBA1u;
+    } else if (i < 60) {
+      f = (b & c) | (b & d) | (c & d);
+      k = 0x8F1BBCDCu;
+    } else {
+      f = b ^ c ^ d;
+      k = 0xCA62C1D6u;
+    }
+    uint32_t tmp = rotl32(a, 5) + f + e + k + w[i];
+    e = d;
+    d = c;
+    c = rotl32(b, 30);
+    b = a;
+    a = tmp;
+  }
+  state_[0] += a;
+  state_[1] += b;
+  state_[2] += c;
+  state_[3] += d;
+  state_[4] += e;
+}
+
+void Sha1::update(ByteView data) {
+  total_len_ += data.size();
+  size_t off = 0;
+  if (buffer_len_ > 0) {
+    size_t take = std::min(kBlockSize - buffer_len_, data.size());
+    std::memcpy(buffer_.data() + buffer_len_, data.data(), take);
+    buffer_len_ += take;
+    off = take;
+    if (buffer_len_ == kBlockSize) {
+      process_block(buffer_.data());
+      buffer_len_ = 0;
+    }
+  }
+  while (off + kBlockSize <= data.size()) {
+    process_block(data.data() + off);
+    off += kBlockSize;
+  }
+  if (off < data.size()) {
+    std::memcpy(buffer_.data(), data.data() + off, data.size() - off);
+    buffer_len_ = data.size() - off;
+  }
+}
+
+Sha1::Digest Sha1::finish() {
+  const uint64_t bit_len = total_len_ * 8;
+  const uint8_t pad = 0x80;
+  update(ByteView(&pad, 1));
+  static constexpr uint8_t kZeros[kBlockSize] = {};
+  while (buffer_len_ != 56) {
+    const size_t gap = buffer_len_ < 56 ? 56 - buffer_len_
+                                        : kBlockSize - buffer_len_ + 56;
+    update(ByteView(kZeros, std::min<size_t>(gap, kBlockSize)));
+  }
+  uint8_t len_be[8];
+  store_be32(len_be, static_cast<uint32_t>(bit_len >> 32));
+  store_be32(len_be + 4, static_cast<uint32_t>(bit_len));
+  update(ByteView(len_be, 8));
+  Digest out;
+  for (int i = 0; i < 5; ++i) store_be32(out.data() + 4 * i, state_[i]);
+  return out;
+}
+
+Sha1::Digest Sha1::hash(ByteView data) {
+  Sha1 h;
+  h.update(data);
+  return h.finish();
+}
+
+// --- SHA-256 ----------------------------------------------------------------
+
+namespace {
+constexpr uint32_t kSha256K[64] = {
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1,
+    0x923f82a4, 0xab1c5ed5, 0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3,
+    0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174, 0xe49b69c1, 0xefbe4786,
+    0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147,
+    0x06ca6351, 0x14292967, 0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13,
+    0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85, 0xa2bfe8a1, 0xa81a664b,
+    0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a,
+    0x5b9cca4f, 0x682e6ff3, 0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208,
+    0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2};
+}  // namespace
+
+Sha256::Sha256()
+    : state_{0x6a09e667u, 0xbb67ae85u, 0x3c6ef372u, 0xa54ff53au,
+             0x510e527fu, 0x9b05688cu, 0x1f83d9abu, 0x5be0cd19u} {}
+
+void Sha256::process_block(const uint8_t* block) {
+  uint32_t w[64];
+  for (int i = 0; i < 16; ++i) w[i] = load_be32(block + 4 * i);
+  for (int i = 16; i < 64; ++i) {
+    uint32_t s0 = rotr32(w[i - 15], 7) ^ rotr32(w[i - 15], 18) ^
+                  (w[i - 15] >> 3);
+    uint32_t s1 = rotr32(w[i - 2], 17) ^ rotr32(w[i - 2], 19) ^
+                  (w[i - 2] >> 10);
+    w[i] = w[i - 16] + s0 + w[i - 7] + s1;
+  }
+  uint32_t a = state_[0], b = state_[1], c = state_[2], d = state_[3],
+           e = state_[4], f = state_[5], g = state_[6], h = state_[7];
+  for (int i = 0; i < 64; ++i) {
+    uint32_t s1 = rotr32(e, 6) ^ rotr32(e, 11) ^ rotr32(e, 25);
+    uint32_t ch = (e & f) ^ (~e & g);
+    uint32_t t1 = h + s1 + ch + kSha256K[i] + w[i];
+    uint32_t s0 = rotr32(a, 2) ^ rotr32(a, 13) ^ rotr32(a, 22);
+    uint32_t maj = (a & b) ^ (a & c) ^ (b & c);
+    uint32_t t2 = s0 + maj;
+    h = g;
+    g = f;
+    f = e;
+    e = d + t1;
+    d = c;
+    c = b;
+    b = a;
+    a = t1 + t2;
+  }
+  state_[0] += a;
+  state_[1] += b;
+  state_[2] += c;
+  state_[3] += d;
+  state_[4] += e;
+  state_[5] += f;
+  state_[6] += g;
+  state_[7] += h;
+}
+
+void Sha256::update(ByteView data) {
+  total_len_ += data.size();
+  size_t off = 0;
+  if (buffer_len_ > 0) {
+    size_t take = std::min(kBlockSize - buffer_len_, data.size());
+    std::memcpy(buffer_.data() + buffer_len_, data.data(), take);
+    buffer_len_ += take;
+    off = take;
+    if (buffer_len_ == kBlockSize) {
+      process_block(buffer_.data());
+      buffer_len_ = 0;
+    }
+  }
+  while (off + kBlockSize <= data.size()) {
+    process_block(data.data() + off);
+    off += kBlockSize;
+  }
+  if (off < data.size()) {
+    std::memcpy(buffer_.data(), data.data() + off, data.size() - off);
+    buffer_len_ = data.size() - off;
+  }
+}
+
+Sha256::Digest Sha256::finish() {
+  const uint64_t bit_len = total_len_ * 8;
+  const uint8_t pad = 0x80;
+  update(ByteView(&pad, 1));
+  static constexpr uint8_t kZeros[kBlockSize] = {};
+  while (buffer_len_ != 56) {
+    const size_t gap = buffer_len_ < 56 ? 56 - buffer_len_
+                                        : kBlockSize - buffer_len_ + 56;
+    update(ByteView(kZeros, std::min<size_t>(gap, kBlockSize)));
+  }
+  uint8_t len_be[8];
+  store_be32(len_be, static_cast<uint32_t>(bit_len >> 32));
+  store_be32(len_be + 4, static_cast<uint32_t>(bit_len));
+  update(ByteView(len_be, 8));
+  Digest out;
+  for (int i = 0; i < 8; ++i) store_be32(out.data() + 4 * i, state_[i]);
+  return out;
+}
+
+Sha256::Digest Sha256::hash(ByteView data) {
+  Sha256 h;
+  h.update(data);
+  return h.finish();
+}
+
+}  // namespace sgfs::crypto

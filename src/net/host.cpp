@@ -1,0 +1,27 @@
+#include "net/host.hpp"
+
+namespace sgfs::net {
+
+sim::SimDur Disk::op_cost(size_t bytes, bool sequential) const {
+  const sim::SimDur transfer = static_cast<sim::SimDur>(
+      static_cast<double>(bytes) / params_.bytes_per_sec *
+      static_cast<double>(sim::kSecond));
+  return (sequential ? 0 : params_.seek) + transfer;
+}
+
+sim::Task<void> Disk::read(size_t bytes, bool sequential, std::string tag) {
+  co_await res_.use(op_cost(bytes, sequential), std::move(tag));
+}
+
+sim::Task<void> Disk::write(size_t bytes, bool sequential, std::string tag) {
+  co_await res_.use(op_cost(bytes, sequential), std::move(tag));
+}
+
+Host::Host(sim::Engine& eng, Network& net, std::string name, DiskParams disk)
+    : eng_(eng),
+      net_(net),
+      name_(std::move(name)),
+      cpu_(eng, name_ + ".cpu"),
+      disk_(eng, name_ + ".disk", disk) {}
+
+}  // namespace sgfs::net

@@ -1,0 +1,64 @@
+// Simulated machines.
+//
+// A Host models one of the paper's testbed VMs: a single-core CPU resource
+// (all protocol processing on that machine queues on it) and a disk with a
+// seek + transfer cost model.  The client VM additionally has a bounded page
+// cache (enforced by the NFS client emulation, not here).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "sim/engine.hpp"
+#include "sim/resource.hpp"
+
+namespace sgfs::net {
+
+/// Disk cost model: per-operation positioning cost plus transfer time.
+struct DiskParams {
+  sim::SimDur seek = 8 * sim::kMillisecond;
+  double bytes_per_sec = 60.0 * 1024 * 1024;
+};
+
+class Disk {
+ public:
+  Disk(sim::Engine& eng, std::string name, DiskParams params)
+      : res_(eng, std::move(name)), params_(params) {}
+
+  /// Charges one random-access read of `bytes`.
+  sim::Task<void> read(size_t bytes, bool sequential = false,
+                       std::string tag = "disk");
+  /// Charges one write of `bytes`.
+  sim::Task<void> write(size_t bytes, bool sequential = false,
+                        std::string tag = "disk");
+
+  sim::Resource& resource() { return res_; }
+  const DiskParams& params() const { return params_; }
+
+ private:
+  sim::SimDur op_cost(size_t bytes, bool sequential) const;
+  sim::Resource res_;
+  DiskParams params_;
+};
+
+class Network;
+
+class Host {
+ public:
+  Host(sim::Engine& eng, Network& net, std::string name, DiskParams disk);
+
+  const std::string& name() const { return name_; }
+  sim::Engine& engine() { return eng_; }
+  Network& network() { return net_; }
+  sim::Resource& cpu() { return cpu_; }
+  Disk& disk() { return disk_; }
+
+ private:
+  sim::Engine& eng_;
+  Network& net_;
+  std::string name_;
+  sim::Resource cpu_;
+  Disk disk_;
+};
+
+}  // namespace sgfs::net

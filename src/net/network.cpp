@@ -1,0 +1,199 @@
+#include "net/network.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+
+namespace sgfs::net {
+
+Host& Network::add_host(const std::string& name, DiskParams disk) {
+  auto [it, inserted] = hosts_.try_emplace(
+      name, std::make_unique<Host>(eng_, *this, name, disk));
+  if (!inserted) throw std::runtime_error("duplicate host: " + name);
+  return *it->second;
+}
+
+Host& Network::host(const std::string& name) {
+  auto it = hosts_.find(name);
+  if (it == hosts_.end()) throw std::runtime_error("unknown host: " + name);
+  return *it->second;
+}
+
+void Network::set_link(const std::string& a, const std::string& b,
+                       LinkParams params) {
+  link_overrides_[{std::min(a, b), std::max(a, b)}] = params;
+}
+
+LinkParams Network::link_params(const std::string& a,
+                                const std::string& b) const {
+  if (a == b) return loopback_;
+  auto it = link_overrides_.find({std::min(a, b), std::max(a, b)});
+  return it != link_overrides_.end() ? it->second : default_link_;
+}
+
+Network::LinkState& Network::link_state(const std::string& from,
+                                        const std::string& to) {
+  auto& st = link_states_[{from, to}];
+  st.params = link_params(from, to);  // refresh in case set_link() ran later
+  return st;
+}
+
+// --- Listener ---------------------------------------------------------------
+
+Network::Listener::~Listener() {
+  close();
+  if (auto reg = registry_.lock()) reg->erase(addr_);
+}
+
+sim::Task<StreamPtr> Network::Listener::accept() {
+  auto s = co_await pending_.recv();
+  co_return s ? *s : nullptr;
+}
+
+void Network::Listener::close() {
+  if (!closed_) {
+    closed_ = true;
+    pending_.close();
+  }
+}
+
+std::unique_ptr<Network::Listener> Network::listen(Host& host, uint16_t port) {
+  Address addr{host.name(), port};
+  if (registry_->count(addr)) {
+    throw std::runtime_error("address in use: " + addr.to_string());
+  }
+  auto l = std::make_unique<Listener>(*this, addr);
+  (*registry_)[addr] = l.get();
+  return l;
+}
+
+sim::Task<StreamPtr> Network::connect(Host& from, const Address& to) {
+  // TCP-style three-way handshake: connection usable after one RTT.
+  const LinkParams link = link_params(from.name(), to.host);
+  co_await eng_.sleep(2 * link.latency_one_way);
+  auto it = registry_->find(to);
+  if (it == registry_->end() || it->second->closed_) {
+    throw std::runtime_error("connection refused: " + to.to_string());
+  }
+  Host& remote = host(to.host);
+  auto [client_end, server_end] = Stream::make_pair(*this, from, remote);
+  it->second->pending_.send(server_end);
+  co_return client_end;
+}
+
+// --- Stream -----------------------------------------------------------------
+
+std::pair<StreamPtr, StreamPtr> Stream::make_pair(Network& net, Host& a,
+                                                  Host& b) {
+  auto sa = StreamPtr(new Stream());
+  auto sb = StreamPtr(new Stream());
+  sa->net_ = &net;
+  sa->local_ = &a;
+  sa->remote_ = &b;
+  sa->peer_ = sb;
+  sb->net_ = &net;
+  sb->local_ = &b;
+  sb->remote_ = &a;
+  sb->peer_ = sa;
+  return {sa, sb};
+}
+
+sim::Task<void> Stream::deliver_task(sim::Engine& eng, sim::SimTime arrive,
+                                     std::weak_ptr<Stream> peer, Buffer data,
+                                     bool eof) {
+  co_await eng.sleep_until(arrive);
+  if (auto p = peer.lock()) {
+    if (eof) {
+      p->deliver_eof();
+    } else {
+      p->deliver(std::move(data));
+    }
+  }
+}
+
+sim::Task<void> Stream::write(ByteView data) {
+  if (local_closed_) throw StreamClosed();
+  auto& eng = net_->engine();
+  auto& st = net_->link_state(local_->name(), remote_->name());
+  const sim::SimTime depart = std::max(eng.now(), st.next_free);
+  const sim::SimDur serialization = static_cast<sim::SimDur>(
+      static_cast<double>(data.size()) / st.params.bytes_per_sec *
+      static_cast<double>(sim::kSecond));
+  st.next_free = depart + serialization;
+  const sim::SimTime arrive = depart + serialization +
+                              st.params.latency_one_way;
+  bytes_sent_ += data.size();
+  eng.spawn(deliver_task(eng, arrive, peer_,
+                         Buffer(data.begin(), data.end()), /*eof=*/false));
+  // The sender is occupied until its data is serialized onto the link.
+  co_await eng.sleep_until(depart + serialization);
+}
+
+void Stream::close() {
+  if (local_closed_) return;
+  local_closed_ = true;
+  auto& eng = net_->engine();
+  auto& st = net_->link_state(local_->name(), remote_->name());
+  // EOF travels in-order behind already-queued data.
+  const sim::SimTime depart = std::max(eng.now(), st.next_free);
+  const sim::SimTime arrive = depart + st.params.latency_one_way;
+  eng.spawn(deliver_task(eng, arrive, peer_, Buffer{}, /*eof=*/true));
+}
+
+void Stream::deliver(Buffer data) {
+  if (data.empty()) return;
+  bytes_received_ += data.size();
+  rx_.buffered += data.size();
+  rx_.segments.push_back(std::move(data));
+  wake_readers();
+}
+
+void Stream::deliver_eof() {
+  rx_.eof = true;
+  wake_readers();
+}
+
+void Stream::wake_readers() {
+  for (auto h : rx_.waiters) net_->engine().schedule_now(h);
+  rx_.waiters.clear();
+}
+
+sim::Task<size_t> Stream::read_some(MutByteView out) {
+  if (out.empty()) co_return 0;
+  for (;;) {
+    if (rx_.buffered > 0) {
+      size_t copied = 0;
+      while (copied < out.size() && rx_.buffered > 0) {
+        Buffer& seg = rx_.segments.front();
+        const size_t avail = seg.size() - rx_.head_offset;
+        const size_t take = std::min(avail, out.size() - copied);
+        std::copy_n(seg.data() + rx_.head_offset, take,
+                    out.data() + copied);
+        copied += take;
+        rx_.head_offset += take;
+        rx_.buffered -= take;
+        if (rx_.head_offset == seg.size()) {
+          rx_.segments.pop_front();
+          rx_.head_offset = 0;
+        }
+      }
+      co_return copied;
+    }
+    if (rx_.eof) co_return 0;
+    co_await ReadWaiter{rx_};
+  }
+}
+
+sim::Task<Buffer> Stream::read_exact(size_t n) {
+  Buffer out(n);
+  size_t have = 0;
+  while (have < n) {
+    size_t got = co_await read_some(
+        MutByteView(out.data() + have, n - have));
+    if (got == 0) throw StreamClosed();
+    have += got;
+  }
+  co_return out;
+}
+
+}  // namespace sgfs::net

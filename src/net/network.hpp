@@ -1,0 +1,206 @@
+// Simulated network: links, reliable byte streams, listeners.
+//
+// This is the repo's NIST Net substitute (paper §6.1): every host pair is
+// joined by a link with one-way propagation delay and a bandwidth that is
+// shared, per direction, by all connections on that pair.  Streams are
+// reliable and ordered (TCP semantics); connection setup costs one RTT.
+// Same-host ("loopback") traffic uses a separate low-latency link — crossing
+// it still costs real simulated time, which is exactly the user-level
+// forwarding penalty the paper measures.
+#pragma once
+
+#include <coroutine>
+#include <deque>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+
+#include "common/bytes.hpp"
+#include "net/host.hpp"
+#include "sim/channel.hpp"
+#include "sim/engine.hpp"
+
+namespace sgfs::net {
+
+/// "host:port" endpoint.
+///
+/// NOTE: deliberately NOT an aggregate.  GCC 12 miscompiles aggregate
+/// (braced-init) temporaries used as arguments inside co_await expressions
+/// (bitwise frame copy -> bad free).  A user-defined constructor sidesteps
+/// the bug; keep one on every struct that crosses a coroutine call boundary.
+struct Address {
+  std::string host;
+  uint16_t port = 0;
+
+  Address() = default;
+  Address(std::string h, uint16_t p) : host(std::move(h)), port(p) {}
+
+  auto operator<=>(const Address&) const = default;
+  std::string to_string() const {
+    return host + ":" + std::to_string(port);
+  }
+};
+
+/// One-way propagation delay + shared bandwidth of a host pair.
+struct LinkParams {
+  sim::SimDur latency_one_way = 150 * sim::kMicrosecond;  // LAN RTT 0.3 ms
+  double bytes_per_sec = 940.0e6 / 8.0;                   // effective GbE
+
+  static LinkParams lan() { return {}; }
+  static LinkParams wan(sim::SimDur rtt) {
+    // The paper's emulated WAN keeps the GbE substrate; NIST Net adds delay.
+    return {rtt / 2, 940.0e6 / 8.0};
+  }
+  static LinkParams loopback() {
+    return {5 * sim::kMicrosecond, 800.0e6};  // ~800 MB/s memory-speed copy
+  }
+};
+
+class StreamClosed : public std::runtime_error {
+ public:
+  StreamClosed() : std::runtime_error("stream closed by peer") {}
+};
+
+class Stream;
+using StreamPtr = std::shared_ptr<Stream>;
+
+class Network {
+ public:
+  explicit Network(sim::Engine& eng) : eng_(eng) {}
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  sim::Engine& engine() { return eng_; }
+
+  /// Creates a host; name must be unique.
+  Host& add_host(const std::string& name, DiskParams disk = {});
+  Host& host(const std::string& name);
+
+  /// Default parameters for links between distinct hosts.
+  void set_default_link(LinkParams params) { default_link_ = params; }
+  /// Parameters for a specific unordered host pair (overrides default).
+  void set_link(const std::string& a, const std::string& b,
+                LinkParams params);
+  /// Parameters for same-host traffic.
+  void set_loopback(LinkParams params) { loopback_ = params; }
+
+  LinkParams link_params(const std::string& a, const std::string& b) const;
+
+  class Listener {
+   public:
+    Listener(Network& net, Address addr)
+        : registry_(net.registry_), addr_(addr), pending_(net.engine()) {}
+    ~Listener();
+
+    const Address& address() const { return addr_; }
+
+    /// Waits for an inbound connection; nullptr after close().
+    sim::Task<StreamPtr> accept();
+
+    /// Stops accepting; queued connections are drained, then nullptr.
+    void close();
+
+   private:
+    friend class Network;
+    // Weak: the Network (and its registry) may be destroyed while a
+    // detached accept loop still holds this listener alive.
+    std::weak_ptr<std::map<Address, Listener*>> registry_;
+    Address addr_;
+    sim::Channel<StreamPtr> pending_;
+    bool closed_ = false;
+  };
+
+  /// Binds a listener on (host, port).  Throws if the port is taken.
+  std::unique_ptr<Listener> listen(Host& host, uint16_t port);
+
+  /// Opens a connection from `from` to `to`; costs one RTT.
+  /// Throws std::runtime_error if nothing listens there.
+  sim::Task<StreamPtr> connect(Host& from, const Address& to);
+
+ private:
+  friend class Stream;
+
+  // Shared per-ordered-pair serialization state (bandwidth queue).
+  struct LinkState {
+    LinkParams params;
+    sim::SimTime next_free = 0;
+  };
+  LinkState& link_state(const std::string& from, const std::string& to);
+
+  sim::Engine& eng_;
+  std::map<std::string, std::unique_ptr<Host>> hosts_;
+  LinkParams default_link_ = LinkParams::lan();
+  LinkParams loopback_ = LinkParams::loopback();
+  std::map<std::pair<std::string, std::string>, LinkParams> link_overrides_;
+  std::map<std::pair<std::string, std::string>, LinkState> link_states_;
+  std::shared_ptr<std::map<Address, Listener*>> registry_ =
+      std::make_shared<std::map<Address, Listener*>>();
+};
+
+/// A reliable, ordered, bidirectional byte stream between two hosts.
+class Stream : public std::enable_shared_from_this<Stream> {
+ public:
+  /// Sends bytes; completes once the data is serialized onto the link.
+  sim::Task<void> write(ByteView data);
+
+  /// Reads at least 1 byte (up to out.size()); returns 0 at EOF.
+  sim::Task<size_t> read_some(MutByteView out);
+
+  /// Reads exactly n bytes; throws StreamClosed on premature EOF.
+  sim::Task<Buffer> read_exact(size_t n);
+
+  /// Closes the write direction (half-close, like shutdown(SHUT_WR));
+  /// the peer sees EOF after in-flight data.  Reads remain possible.
+  void close();
+
+  bool write_closed() const { return local_closed_; }
+  Host& local_host() { return *local_; }
+  Host& remote_host() { return *remote_; }
+
+  /// Total payload bytes sent / received on this stream.
+  uint64_t bytes_sent() const { return bytes_sent_; }
+  uint64_t bytes_received() const { return bytes_received_; }
+
+ private:
+  friend class Network;
+
+  struct Pipe {
+    std::deque<Buffer> segments;
+    size_t head_offset = 0;  // consumed bytes of segments.front()
+    size_t buffered = 0;
+    bool eof = false;
+    std::deque<std::coroutine_handle<>> waiters;
+  };
+
+  static std::pair<StreamPtr, StreamPtr> make_pair(Network& net, Host& a,
+                                                   Host& b);
+  static sim::Task<void> deliver_task(sim::Engine& eng, sim::SimTime arrive,
+                                      std::weak_ptr<Stream> peer, Buffer data,
+                                      bool eof);
+
+  Stream() = default;
+  void deliver(Buffer data);
+  void deliver_eof();
+  void wake_readers();
+
+  struct ReadWaiter {
+    Pipe& pipe;
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<> h) {
+      pipe.waiters.push_back(h);
+    }
+    void await_resume() const noexcept {}
+  };
+
+  Network* net_ = nullptr;
+  Host* local_ = nullptr;
+  Host* remote_ = nullptr;
+  std::weak_ptr<Stream> peer_;
+  Pipe rx_;
+  bool local_closed_ = false;
+  uint64_t bytes_sent_ = 0;
+  uint64_t bytes_received_ = 0;
+};
+
+}  // namespace sgfs::net

@@ -1,0 +1,761 @@
+#include "nfs/nfs3_client.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+
+namespace sgfs::nfs {
+
+namespace {
+std::vector<std::string> path_components(const std::string& path) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (start < path.size()) {
+    while (start < path.size() && path[start] == '/') ++start;
+    if (start >= path.size()) break;
+    size_t end = path.find('/', start);
+    if (end == std::string::npos) end = path.size();
+    out.push_back(path.substr(start, end - start));
+    start = end;
+  }
+  return out;
+}
+
+void throw_if_error(Status status) {
+  if (status != Status::kOk) throw FsError(status);
+}
+}  // namespace
+
+MountPoint::MountPoint(net::Host& host, Nfs3ClientConfig config)
+    : host_(host), config_(config) {}
+
+MountPoint::~MountPoint() {
+  *alive_ = false;
+  if (ops_) ops_->close();
+}
+
+sim::Task<std::shared_ptr<MountPoint>> MountPoint::mount(
+    net::Host& host, const net::Address& server,
+    const std::string& remote_path, rpc::AuthSys auth,
+    Nfs3ClientConfig config) {
+  auto ops = co_await V3WireOps::connect(host, server, auth);
+  co_return co_await mount_with(host, std::move(ops), remote_path, config);
+}
+
+sim::Task<std::shared_ptr<MountPoint>> MountPoint::mount_with(
+    net::Host& host, std::unique_ptr<WireOps> ops,
+    const std::string& remote_path, Nfs3ClientConfig config) {
+  auto mp = std::shared_ptr<MountPoint>(new MountPoint(host, config));
+  mp->ops_ = std::move(ops);
+  mp->root_ = co_await mp->ops_->mount(remote_path);
+  co_return mp;
+}
+
+sim::Task<void> MountPoint::charge(Proc3 proc) {
+  ++rpc_calls_;
+  ++rpc_by_proc_[proc];
+  co_await host_.cpu().use(config_.per_call_cpu, "knfsc");
+}
+
+uint64_t MountPoint::rpc_calls_for(Proc3 p) const {
+  auto it = rpc_by_proc_.find(p);
+  return it == rpc_by_proc_.end() ? 0 : it->second;
+}
+
+// --- attribute & name caches ---------------------------------------------------
+
+void MountPoint::remember_attrs(const Fh& fh, const vfs::Attributes& attrs) {
+  AttrEntry entry;
+  entry.attrs = attrs;
+  entry.fetched = host_.engine().now();
+  const sim::SimDur age = entry.fetched - attrs.mtime * sim::kSecond;
+  entry.ttl = std::clamp(age, config_.ac_min, config_.ac_max);
+  attr_cache_[fh.fileid] = entry;
+}
+
+void MountPoint::maybe_remember(const Fh& fh,
+                                const std::optional<vfs::Attributes>& attrs) {
+  if (attrs) remember_attrs(fh, *attrs);
+}
+
+std::optional<vfs::Attributes> MountPoint::cached_attrs(const Fh& fh) {
+  auto it = attr_cache_.find(fh.fileid);
+  if (it == attr_cache_.end()) return std::nullopt;
+  if (host_.engine().now() - it->second.fetched > it->second.ttl) {
+    return std::nullopt;  // stale (entry kept for mtime comparison)
+  }
+  return it->second.attrs;
+}
+
+sim::Task<vfs::Attributes> MountPoint::getattr(const Fh& fh, bool force) {
+  if (!force) {
+    if (auto a = cached_attrs(fh)) co_return *a;
+  }
+  // Remember the previous view for change detection.
+  std::optional<vfs::Attributes> before;
+  auto it = attr_cache_.find(fh.fileid);
+  if (it != attr_cache_.end()) before = it->second.attrs;
+
+  co_await charge(Proc3::kGetattr);
+  GetattrRes res = co_await ops_->getattr(fh);
+  throw_if_error(res.status);
+  remember_attrs(fh, res.attrs);
+
+  // Close-to-open: if the file changed under us and we hold no dirty data,
+  // drop its cached blocks.
+  if (before && dirty_.find(fh.fileid) == dirty_.end() &&
+      (before->mtime != res.attrs.mtime || before->size != res.attrs.size)) {
+    invalidate_file(fh.fileid);
+  }
+  co_return res.attrs;
+}
+
+void MountPoint::invalidate_file(uint64_t fileid) {
+  auto it = blocks_.lower_bound(BlockKey{fileid, 0});
+  while (it != blocks_.end() && it->first.fileid == fileid) {
+    cache_bytes_used_ -= config_.block_size;
+    lru_.erase(it->second.lru);
+    it = blocks_.erase(it);
+  }
+  dirty_.erase(fileid);
+}
+
+// --- path walking ----------------------------------------------------------------
+
+sim::Task<Fh> MountPoint::lookup(const Fh& dir, const std::string& name) {
+  auto key = std::make_pair(dir.fileid, name);
+  auto hit = dnlc_.find(key);
+  if (hit != dnlc_.end()) {
+    // Valid while the directory attributes are fresh; on expiry revalidate
+    // the directory and keep the entry if its mtime did not move.
+    if (cached_attrs(dir)) co_return hit->second;
+    auto it = attr_cache_.find(dir.fileid);
+    std::optional<int64_t> old_mtime;
+    if (it != attr_cache_.end()) old_mtime = it->second.attrs.mtime;
+    auto fresh = co_await getattr(dir, /*force=*/true);
+    if (old_mtime && fresh.mtime == *old_mtime) co_return hit->second;
+    // Directory changed: drop its name entries.
+    auto dn = dnlc_.lower_bound({dir.fileid, ""});
+    while (dn != dnlc_.end() && dn->first.first == dir.fileid) {
+      dn = dnlc_.erase(dn);
+    }
+  }
+  co_await charge(Proc3::kLookup);
+  LookupRes res = co_await ops_->lookup(dir, name);
+  maybe_remember(dir, res.dir_attrs);
+  throw_if_error(res.status);
+  maybe_remember(res.fh, res.attrs);
+  dnlc_[{dir.fileid, name}] = res.fh;
+  co_return res.fh;
+}
+
+sim::Task<Fh> MountPoint::walk(const std::string& path) {
+  Fh cur = root_;
+  for (const auto& comp : path_components(path)) {
+    cur = co_await lookup(cur, comp);
+  }
+  co_return cur;
+}
+
+sim::Task<std::pair<Fh, std::string>> MountPoint::walk_parent(
+    const std::string& path) {
+  auto comps = path_components(path);
+  if (comps.empty()) throw FsError(Status::kInval);
+  Fh cur = root_;
+  for (size_t i = 0; i + 1 < comps.size(); ++i) {
+    cur = co_await lookup(cur, comps[i]);
+  }
+  co_return std::make_pair(cur, comps.back());
+}
+
+// --- page cache -------------------------------------------------------------------
+
+MountPoint::CachedBlock& MountPoint::insert_block(uint64_t fileid,
+                                                  uint64_t block) {
+  BlockKey key{fileid, block};
+  auto it = blocks_.find(key);
+  if (it == blocks_.end()) {
+    CachedBlock cb;
+    cb.data.assign(config_.block_size, 0);
+    cb.lru = ++lru_clock_;
+    it = blocks_.emplace(key, std::move(cb)).first;
+    lru_[it->second.lru] = key;
+    cache_bytes_used_ += config_.block_size;
+  } else {
+    lru_.erase(it->second.lru);
+    it->second.lru = ++lru_clock_;
+    lru_[it->second.lru] = key;
+  }
+  return it->second;
+}
+
+sim::Task<void> MountPoint::writeback_block(uint64_t fileid, uint64_t block) {
+  BlockKey key{fileid, block};
+  auto it = blocks_.find(key);
+  if (it == blocks_.end() || !it->second.dirty) co_return;
+  const Fh fh(root_.fsid, fileid);
+  Buffer data(it->second.data.begin(),
+              it->second.data.begin() + it->second.valid);
+  co_await charge(Proc3::kWrite);
+  WriteRes res = co_await ops_->write(
+      fh, block * config_.block_size,
+      config_.write_behind ? StableHow::kUnstable : StableHow::kFileSync,
+      data);
+  throw_if_error(res.status);
+  maybe_remember(fh, res.post_attrs);
+  // The block may have been evicted while the RPC was outstanding.
+  auto again = blocks_.find(key);
+  if (again != blocks_.end()) again->second.dirty = false;
+  auto ds = dirty_.find(fileid);
+  if (ds != dirty_.end()) {
+    ds->second.erase(block);
+    if (ds->second.empty()) dirty_.erase(ds);
+  }
+  if (config_.write_behind) needs_commit_.insert(fileid);
+}
+
+bool MountPoint::make_room_clean(size_t incoming) {
+  auto it = lru_.begin();
+  while (cache_bytes_used_ + incoming > config_.cache_bytes &&
+         it != lru_.end()) {
+    auto bit = blocks_.find(it->second);
+    if (bit != blocks_.end() && !bit->second.dirty) {
+      blocks_.erase(bit);
+      it = lru_.erase(it);
+      cache_bytes_used_ -= config_.block_size;
+    } else {
+      ++it;
+    }
+  }
+  return cache_bytes_used_ + incoming <= config_.cache_bytes;
+}
+
+sim::Task<void> MountPoint::ensure_space(size_t incoming) {
+  while (cache_bytes_used_ + incoming > config_.cache_bytes &&
+         !lru_.empty()) {
+    const BlockKey victim = lru_.begin()->second;
+    auto it = blocks_.find(victim);
+    if (it != blocks_.end() && it->second.dirty) {
+      co_await writeback_block(victim.fileid, victim.block);
+      it = blocks_.find(victim);
+    }
+    if (it != blocks_.end()) {
+      lru_.erase(it->second.lru);
+      blocks_.erase(it);
+      cache_bytes_used_ -= config_.block_size;
+    } else {
+      lru_.erase(lru_.begin());
+    }
+  }
+}
+
+sim::Task<void> MountPoint::fetch_block(const Fh& fh, uint64_t block) {
+  BlockKey key{fh.fileid, block};
+  auto ev = std::make_shared<sim::SimEvent>(host_.engine());
+  inflight_[key] = ev;
+  co_await charge(Proc3::kRead);
+  ReadRes res;
+  try {
+    res = co_await ops_->read(fh, block * config_.block_size,
+                              static_cast<uint32_t>(config_.block_size));
+  } catch (...) {
+    inflight_.erase(key);
+    ev->set();
+    throw;
+  }
+  inflight_.erase(key);
+  ev->set();
+  throw_if_error(res.status);
+  maybe_remember(fh, res.post_attrs);
+  co_await ensure_space(config_.block_size);
+  CachedBlock& cb = insert_block(fh.fileid, block);
+  std::copy(res.data.begin(), res.data.end(), cb.data.begin());
+  cb.valid = std::max(cb.valid, res.count);
+}
+
+void MountPoint::start_readahead(const Fh& fh, uint64_t from_block) {
+  auto attrs = attr_cache_.find(fh.fileid);
+  if (attrs == attr_cache_.end()) return;
+  const uint64_t max_block =
+      attrs->second.attrs.size == 0
+          ? 0
+          : (attrs->second.attrs.size - 1) / config_.block_size;
+  for (size_t i = 1; i <= config_.readahead_blocks; ++i) {
+    const uint64_t b = from_block + i;
+    if (b > max_block) break;
+    BlockKey key{fh.fileid, b};
+    if (blocks_.count(key) || inflight_.count(key)) continue;
+    auto ev = std::make_shared<sim::SimEvent>(host_.engine());
+    inflight_[key] = ev;
+    ++rpc_calls_;
+    ++rpc_by_proc_[Proc3::kRead];
+    // Detached prefetch: after each suspension it re-checks `alive`, so a
+    // destroyed MountPoint only costs a dropped prefetch.
+    auto task = [](MountPoint* mp, std::shared_ptr<bool> alive,
+                   WireOps* ops, net::Host* host, sim::SimDur cpu_cost,
+                   Fh fh, uint64_t block, size_t block_size,
+                   std::shared_ptr<sim::SimEvent> ev) -> sim::Task<void> {
+      ReadRes res;
+      bool ok = true;
+      try {
+        co_await host->cpu().use(cpu_cost, "knfsc");
+        if (!*alive) co_return;  // MountPoint (and its WireOps) are gone
+        res = co_await ops->read(fh, block * block_size,
+                                 static_cast<uint32_t>(block_size));
+      } catch (...) {
+        ok = false;
+      }
+      if (!*alive) co_return;
+      mp->inflight_.erase(BlockKey{fh.fileid, block});
+      ev->set();
+      if (!ok || res.status != Status::kOk) co_return;
+      mp->maybe_remember(fh, res.post_attrs);
+      // Make room by evicting *clean* LRU blocks (no write-back from a
+      // prefetch path); only drop the data if everything is dirty.
+      if (!mp->make_room_clean(mp->config_.block_size)) co_return;
+      CachedBlock& cb = mp->insert_block(fh.fileid, block);
+      std::copy(res.data.begin(), res.data.end(), cb.data.begin());
+      cb.valid = std::max(cb.valid, res.count);
+    };
+    host_.engine().spawn(task(this, alive_, ops_.get(), &host_,
+                              config_.per_call_cpu, fh, b,
+                              config_.block_size, ev));
+  }
+}
+
+sim::Task<MountPoint::CachedBlock*> MountPoint::get_block_for_read(
+    const Fh& fh, uint64_t block, bool readahead) {
+  BlockKey key{fh.fileid, block};
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    auto it = blocks_.find(key);
+    if (it != blocks_.end()) {
+      ++cache_hits_;
+      lru_.erase(it->second.lru);
+      it->second.lru = ++lru_clock_;
+      lru_[it->second.lru] = key;
+      if (readahead) start_readahead(fh, block);
+      co_return &it->second;
+    }
+    auto inflight = inflight_.find(key);
+    if (inflight != inflight_.end()) {
+      auto ev = inflight->second;
+      co_await ev->wait();
+      continue;  // re-check the cache
+    }
+    break;
+  }
+  ++cache_misses_;
+  co_await fetch_block(fh, block);
+  if (readahead) start_readahead(fh, block);
+  auto it = blocks_.find(key);
+  if (it == blocks_.end()) throw FsError(Status::kStale);
+  co_return &it->second;
+}
+
+sim::Task<void> MountPoint::flush_file(const Fh& fh, bool commit) {
+  auto ds = dirty_.find(fh.fileid);
+  if (ds != dirty_.end()) {
+    // Copy: writeback mutates the set.
+    std::vector<uint64_t> pending(ds->second.begin(), ds->second.end());
+    for (uint64_t block : pending) {
+      co_await writeback_block(fh.fileid, block);
+    }
+  }
+  if (commit && needs_commit_.count(fh.fileid)) {
+    co_await charge(Proc3::kCommit);
+    CommitRes res = co_await ops_->commit(fh);
+    throw_if_error(res.status);
+    needs_commit_.erase(fh.fileid);
+  }
+}
+
+// --- POSIX API -------------------------------------------------------------------
+
+sim::Task<int> MountPoint::open(const std::string& path, uint32_t flags,
+                                uint32_t mode) {
+  Fh fh;
+  bool fresh_create = false;
+  if (flags & kCreate) {
+    auto [dir, name] = co_await walk_parent(path);
+    co_await charge(Proc3::kCreate);
+    CreateRes res = co_await ops_->create(dir, name, mode,
+                                          (flags & kExcl) != 0);
+    maybe_remember(dir, res.dir_attrs);
+    throw_if_error(res.status);
+    fh = res.fh;
+    maybe_remember(fh, res.attrs);
+    dnlc_[{dir.fileid, name}] = fh;
+    fresh_create = res.attrs && res.attrs->size == 0;
+  } else {
+    fh = co_await walk(path);
+  }
+
+  // Close-to-open consistency: revalidate at open; permission check via
+  // ACCESS when the cached access rights went stale with the attributes
+  // (kernel clients cache ACCESS results alongside attributes).
+  vfs::Attributes attrs;
+  bool was_fresh = cached_attrs(fh).has_value();
+  if (fresh_create) {
+    attrs = attr_cache_[fh.fileid].attrs;
+    was_fresh = true;
+  } else {
+    attrs = co_await getattr(fh, /*force=*/true);
+  }
+  if (attrs.type == vfs::FileType::kDirectory) throw FsError(Status::kIsDir);
+  if (!was_fresh) {
+    const uint32_t want =
+        (flags & (kWrOnly | kRdWr | kAppend | kTrunc))
+            ? (vfs::kAccessModify | vfs::kAccessExtend)
+            : vfs::kAccessRead;
+    co_await charge(Proc3::kAccess);
+    AccessRes ares = co_await ops_->access(fh, want);
+    throw_if_error(ares.status);
+    maybe_remember(fh, ares.post_attrs);
+    if ((ares.access & want) != want) throw FsError(Status::kAcces);
+  }
+
+  if (flags & kTrunc) {
+    co_await charge(Proc3::kSetattr);
+    vfs::SetAttrs trunc;
+    trunc.size = 0;
+    WccRes res = co_await ops_->setattr(fh, trunc);
+    throw_if_error(res.status);
+    invalidate_file(fh.fileid);
+    maybe_remember(fh, res.post_attrs);
+    attrs.size = 0;
+  }
+
+  OpenFile of;
+  of.fh = fh;
+  of.flags = flags;
+  of.pos = (flags & kAppend) ? attrs.size : 0;
+  const int fd = next_fd_++;
+  open_files_[fd] = of;
+  co_return fd;
+}
+
+sim::Task<void> MountPoint::close(int fd) {
+  auto it = open_files_.find(fd);
+  if (it == open_files_.end()) throw FsError(Status::kInval);
+  Fh fh = it->second.fh;
+  open_files_.erase(it);
+  co_await flush_file(fh, /*commit=*/true);
+}
+
+sim::Task<void> MountPoint::fsync(int fd) {
+  auto it = open_files_.find(fd);
+  if (it == open_files_.end()) throw FsError(Status::kInval);
+  co_await flush_file(it->second.fh, /*commit=*/true);
+}
+
+sim::Task<size_t> MountPoint::pread(int fd, uint64_t offset,
+                                    MutByteView out) {
+  auto it = open_files_.find(fd);
+  if (it == open_files_.end()) throw FsError(Status::kInval);
+  OpenFile& of = it->second;
+  const Fh fh = of.fh;
+
+  vfs::Attributes attrs = co_await getattr(fh, /*force=*/false);
+  if (offset >= attrs.size) co_return 0;
+  const size_t want = std::min<uint64_t>(out.size(), attrs.size - offset);
+
+  size_t done = 0;
+  while (done < want) {
+    const uint64_t pos = offset + done;
+    const uint64_t block = pos / config_.block_size;
+    const size_t in_block = pos % config_.block_size;
+    auto open_it = open_files_.find(fd);
+    const bool sequential =
+        open_it == open_files_.end() ||
+        open_it->second.last_read_block == UINT64_MAX ||
+        block == open_it->second.last_read_block ||
+        block == open_it->second.last_read_block + 1;
+    CachedBlock* cb = co_await get_block_for_read(fh, block, sequential);
+    const size_t take = std::min(want - done, config_.block_size - in_block);
+    std::copy_n(cb->data.begin() + in_block, take, out.begin() + done);
+    done += take;
+    open_it = open_files_.find(fd);
+    if (open_it != open_files_.end()) {
+      open_it->second.last_read_block = block;
+    }
+  }
+  co_return done;
+}
+
+sim::Task<size_t> MountPoint::read(int fd, MutByteView out) {
+  auto it = open_files_.find(fd);
+  if (it == open_files_.end()) throw FsError(Status::kInval);
+  const uint64_t offset = it->second.pos;
+  size_t n = co_await pread(fd, offset, out);
+  auto again = open_files_.find(fd);
+  if (again != open_files_.end()) again->second.pos = offset + n;
+  co_return n;
+}
+
+sim::Task<size_t> MountPoint::pwrite(int fd, uint64_t offset, ByteView data) {
+  auto it = open_files_.find(fd);
+  if (it == open_files_.end()) throw FsError(Status::kInval);
+  const Fh fh = it->second.fh;
+
+  // Current size (for read-modify-write decisions).
+  uint64_t size = 0;
+  if (auto a = cached_attrs(fh)) {
+    size = a->size;
+  } else {
+    size = (co_await getattr(fh, false)).size;
+  }
+
+  size_t done = 0;
+  while (done < data.size()) {
+    const uint64_t pos = offset + done;
+    const uint64_t block = pos / config_.block_size;
+    const size_t in_block = pos % config_.block_size;
+    const size_t take =
+        std::min(data.size() - done, config_.block_size - in_block);
+
+    BlockKey key{fh.fileid, block};
+    auto bit = blocks_.find(key);
+    if (bit == blocks_.end()) {
+      // Partial write into a block that has existing server data: fetch it
+      // first (read-modify-write), unless the write covers the whole block
+      // or lies entirely beyond EOF.
+      const bool covers_block =
+          in_block == 0 &&
+          (take == config_.block_size || pos + take >= size);
+      const bool beyond_eof = block * config_.block_size >= size;
+      if (!covers_block && !beyond_eof) {
+        co_await get_block_for_read(fh, block, false);
+      } else {
+        co_await ensure_space(config_.block_size);
+        insert_block(fh.fileid, block);
+      }
+      bit = blocks_.find(key);
+      if (bit == blocks_.end()) throw FsError(Status::kStale);
+    } else {
+      lru_.erase(bit->second.lru);
+      bit->second.lru = ++lru_clock_;
+      lru_[bit->second.lru] = key;
+    }
+    CachedBlock& cb = bit->second;
+    std::copy_n(data.begin() + done, take, cb.data.begin() + in_block);
+    cb.valid =
+        std::max<uint32_t>(cb.valid, static_cast<uint32_t>(in_block + take));
+    cb.dirty = true;
+    dirty_[fh.fileid].insert(block);
+    done += take;
+
+    if (!config_.write_behind) {
+      co_await writeback_block(fh.fileid, block);
+    }
+  }
+
+  // Keep the cached size fresh so subsequent reads see the extension.
+  auto ac = attr_cache_.find(fh.fileid);
+  if (ac != attr_cache_.end()) {
+    ac->second.attrs.size =
+        std::max<uint64_t>(ac->second.attrs.size, offset + data.size());
+  }
+  co_return data.size();
+}
+
+sim::Task<size_t> MountPoint::write(int fd, ByteView data) {
+  auto it = open_files_.find(fd);
+  if (it == open_files_.end()) throw FsError(Status::kInval);
+  uint64_t offset = it->second.pos;
+  if (it->second.flags & kAppend) {
+    if (auto a = cached_attrs(it->second.fh)) offset = a->size;
+  }
+  size_t n = co_await pwrite(fd, offset, data);
+  auto again = open_files_.find(fd);
+  if (again != open_files_.end()) again->second.pos = offset + n;
+  co_return n;
+}
+
+sim::Task<vfs::Attributes> MountPoint::fstat(int fd) {
+  auto it = open_files_.find(fd);
+  if (it == open_files_.end()) throw FsError(Status::kInval);
+  co_return co_await getattr(it->second.fh, false);
+}
+
+sim::Task<vfs::Attributes> MountPoint::stat(const std::string& path) {
+  Fh fh = co_await walk(path);
+  co_return co_await getattr(fh, false);
+}
+
+sim::Task<uint32_t> MountPoint::access(const std::string& path,
+                                       uint32_t want) {
+  Fh fh = co_await walk(path);
+  co_await charge(Proc3::kAccess);
+  AccessRes res = co_await ops_->access(fh, want);
+  maybe_remember(fh, res.post_attrs);
+  throw_if_error(res.status);
+  co_return res.access;
+}
+
+sim::Task<void> MountPoint::truncate(const std::string& path,
+                                     uint64_t size) {
+  Fh fh = co_await walk(path);
+  co_await charge(Proc3::kSetattr);
+  vfs::SetAttrs sattr;
+  sattr.size = size;
+  WccRes res = co_await ops_->setattr(fh, sattr);
+  throw_if_error(res.status);
+  invalidate_file(fh.fileid);
+  maybe_remember(fh, res.post_attrs);
+}
+
+sim::Task<void> MountPoint::chmod(const std::string& path, uint32_t mode) {
+  Fh fh = co_await walk(path);
+  co_await charge(Proc3::kSetattr);
+  vfs::SetAttrs sattr;
+  sattr.mode = mode;
+  WccRes res = co_await ops_->setattr(fh, sattr);
+  throw_if_error(res.status);
+  maybe_remember(fh, res.post_attrs);
+}
+
+sim::Task<void> MountPoint::utimens(const std::string& path, int64_t mtime) {
+  Fh fh = co_await walk(path);
+  co_await charge(Proc3::kSetattr);
+  vfs::SetAttrs sattr;
+  sattr.mtime = mtime;
+  WccRes res = co_await ops_->setattr(fh, sattr);
+  throw_if_error(res.status);
+  maybe_remember(fh, res.post_attrs);
+}
+
+sim::Task<void> MountPoint::mkdir(const std::string& path, uint32_t mode) {
+  auto [dir, name] = co_await walk_parent(path);
+  co_await charge(Proc3::kMkdir);
+  CreateRes res = co_await ops_->mkdir(dir, name, mode);
+  maybe_remember(dir, res.dir_attrs);
+  throw_if_error(res.status);
+  maybe_remember(res.fh, res.attrs);
+  dnlc_[{dir.fileid, name}] = res.fh;
+}
+
+sim::Task<void> MountPoint::rmdir(const std::string& path) {
+  auto [dir, name] = co_await walk_parent(path);
+  co_await charge(Proc3::kRmdir);
+  WccRes res = co_await ops_->rmdir(dir, name);
+  maybe_remember(dir, res.post_attrs);
+  throw_if_error(res.status);
+  dnlc_.erase({dir.fileid, name});
+}
+
+sim::Task<void> MountPoint::unlink(const std::string& path) {
+  auto [dir, name] = co_await walk_parent(path);
+  // Identify the victim so we can drop its cached state.
+  std::optional<Fh> victim;
+  auto hit = dnlc_.find({dir.fileid, name});
+  if (hit != dnlc_.end()) victim = hit->second;
+  co_await charge(Proc3::kRemove);
+  WccRes res = co_await ops_->remove(dir, name);
+  maybe_remember(dir, res.post_attrs);
+  throw_if_error(res.status);
+  dnlc_.erase({dir.fileid, name});
+  if (victim) {
+    invalidate_file(victim->fileid);
+    attr_cache_.erase(victim->fileid);
+    needs_commit_.erase(victim->fileid);
+  }
+}
+
+sim::Task<void> MountPoint::rename(const std::string& from,
+                                   const std::string& to) {
+  auto [fdir, fname] = co_await walk_parent(from);
+  auto [tdir, tname] = co_await walk_parent(to);
+  co_await charge(Proc3::kRename);
+  WccRes res = co_await ops_->rename(fdir, fname, tdir, tname);
+  maybe_remember(tdir, res.post_attrs);
+  throw_if_error(res.status);
+  auto hit = dnlc_.find({fdir.fileid, fname});
+  if (hit != dnlc_.end()) {
+    Fh moved = hit->second;
+    dnlc_.erase(hit);
+    dnlc_[{tdir.fileid, tname}] = moved;
+  } else {
+    dnlc_.erase({tdir.fileid, tname});
+  }
+}
+
+sim::Task<void> MountPoint::symlink(const std::string& target,
+                                    const std::string& path) {
+  auto [dir, name] = co_await walk_parent(path);
+  co_await charge(Proc3::kSymlink);
+  CreateRes res = co_await ops_->symlink(dir, name, target);
+  throw_if_error(res.status);
+  dnlc_[{dir.fileid, name}] = res.fh;
+}
+
+sim::Task<std::string> MountPoint::readlink(const std::string& path) {
+  Fh fh = co_await walk(path);
+  co_await charge(Proc3::kReadlink);
+  ReadlinkRes res = co_await ops_->readlink(fh);
+  throw_if_error(res.status);
+  co_return res.target;
+}
+
+sim::Task<void> MountPoint::link(const std::string& existing,
+                                 const std::string& path) {
+  Fh file = co_await walk(existing);
+  auto [dir, name] = co_await walk_parent(path);
+  co_await charge(Proc3::kLink);
+  WccRes res = co_await ops_->link(file, dir, name);
+  throw_if_error(res.status);
+  dnlc_[{dir.fileid, name}] = file;
+}
+
+sim::Task<std::vector<MountPoint::Dirent>> MountPoint::readdir(
+    const std::string& path) {
+  Fh dir = co_await walk(path);
+  std::vector<Dirent> out;
+  uint64_t cookie = 0;
+  const bool plus = config_.use_readdirplus;
+  for (;;) {
+    co_await charge(plus ? Proc3::kReaddirplus : Proc3::kReaddir);
+    ReaddirRes res = co_await ops_->readdir(dir, cookie, 256, plus);
+    throw_if_error(res.status);
+    for (auto& entry : res.entries) {
+      if (entry.fh) {
+        if (entry.attrs) remember_attrs(*entry.fh, *entry.attrs);
+        if (entry.name != "." && entry.name != "..") {
+          dnlc_[{dir.fileid, entry.name}] = *entry.fh;
+        }
+      }
+      Dirent de;
+      de.name = entry.name;
+      de.fileid = entry.fileid;
+      if (entry.attrs) de.type = entry.attrs->type;
+      cookie = entry.cookie;
+      if (de.name != "." && de.name != "..") out.push_back(std::move(de));
+    }
+    if (res.eof || res.entries.empty()) break;
+  }
+  co_return out;
+}
+
+sim::Task<void> MountPoint::flush_all() {
+  std::vector<uint64_t> files;
+  for (const auto& [fileid, set] : dirty_) files.push_back(fileid);
+  for (uint64_t fileid : files) {
+    co_await flush_file(Fh(root_.fsid, fileid), /*commit=*/true);
+  }
+  // Commit any files with unstable data but no remaining dirty blocks.
+  std::vector<uint64_t> commits(needs_commit_.begin(), needs_commit_.end());
+  for (uint64_t fileid : commits) {
+    co_await flush_file(Fh(root_.fsid, fileid), /*commit=*/true);
+  }
+}
+
+void MountPoint::drop_caches() {
+  blocks_.clear();
+  lru_.clear();
+  cache_bytes_used_ = 0;
+  attr_cache_.clear();
+  dnlc_.clear();
+  dirty_.clear();
+  needs_commit_.clear();
+}
+
+}  // namespace sgfs::nfs

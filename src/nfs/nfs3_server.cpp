@@ -1,0 +1,473 @@
+#include "nfs/nfs3_server.hpp"
+
+#include "common/log.hpp"
+
+namespace sgfs::nfs {
+
+Nfs3Server::Nfs3Server(net::Host& host, std::shared_ptr<vfs::FileSystem> fs,
+                       uint64_t fsid, ServerCostModel cost)
+    : host_(host),
+      fs_(std::move(fs)),
+      fsid_(fsid),
+      cost_(cost),
+      write_verf_(0x5347465356455246ull ^ fsid),
+      cache_capacity_blocks_(cost.memory_bytes / kCacheBlock) {
+  // The VFS stamps mtimes from the simulation clock.
+  fs_->set_clock([&eng = host.engine()] {
+    return static_cast<int64_t>(eng.now() / sim::kSecond);
+  });
+}
+
+uint64_t Nfs3Server::ops_for(Proc3 p) const {
+  auto it = ops_by_proc_.find(p);
+  return it == ops_by_proc_.end() ? 0 : it->second;
+}
+
+vfs::Cred Nfs3Server::cred_of(const rpc::CallContext& ctx) const {
+  if (!ctx.auth_sys) return vfs::Cred(65534, 65534);  // nobody
+  vfs::Cred cred(ctx.auth_sys->uid, ctx.auth_sys->gid);
+  cred.gids = ctx.auth_sys->gids;
+  return cred;
+}
+
+std::optional<vfs::Attributes> Nfs3Server::attrs_of(vfs::FileId id) const {
+  auto r = fs_->getattr(id);
+  if (!r.ok()) return std::nullopt;
+  return r.value;
+}
+
+// --- page-cache timing model --------------------------------------------------
+
+void Nfs3Server::cache_insert(uint64_t fileid, uint64_t block) {
+  auto key = std::make_pair(fileid, block);
+  auto it = cached_.find(key);
+  if (it != cached_.end()) {
+    lru_.erase(it->second);
+    it->second = ++lru_clock_;
+    lru_[lru_clock_] = key;
+    return;
+  }
+  while (cached_.size() >= cache_capacity_blocks_ && !lru_.empty()) {
+    auto oldest = lru_.begin();
+    cached_.erase(oldest->second);
+    lru_.erase(oldest);
+  }
+  cached_[key] = ++lru_clock_;
+  lru_[lru_clock_] = key;
+}
+
+bool Nfs3Server::cache_has(uint64_t fileid, uint64_t block) const {
+  return cached_.count({fileid, block}) > 0;
+}
+
+void Nfs3Server::warm_file(const std::string& path) {
+  vfs::Cred root(0, 0);
+  auto id = fs_->resolve(root, path);
+  if (!id.ok()) return;
+  auto attrs = fs_->getattr(id.value);
+  if (!attrs.ok()) return;
+  const uint64_t blocks = (attrs.value.size + kCacheBlock - 1) / kCacheBlock;
+  for (uint64_t b = 0; b < blocks; ++b) cache_insert(id.value, b);
+}
+
+sim::Task<void> Nfs3Server::charge_read(uint64_t fileid, uint64_t offset,
+                                        size_t len) {
+  // Find the cache-miss span and charge one disk read for it.
+  const uint64_t first = offset / kCacheBlock;
+  const uint64_t last = (offset + (len ? len : 1) - 1) / kCacheBlock;
+  uint64_t miss_blocks = 0;
+  for (uint64_t b = first; b <= last; ++b) {
+    if (!cache_has(fileid, b)) ++miss_blocks;
+    cache_insert(fileid, b);
+  }
+  if (miss_blocks > 0) {
+    ++disk_reads_;
+    co_await host_.disk().read(miss_blocks * kCacheBlock,
+                               /*sequential=*/miss_blocks > 1, "nfsd.read");
+  }
+}
+
+sim::Task<void> Nfs3Server::charge_meta() {
+  // Synchronous-update export (§6.1): metadata changes hit the disk before
+  // the reply (directory + inode update, ~one positioning op).
+  ++disk_writes_;
+  co_await host_.disk().write(4096, /*sequential=*/false, "nfsd.meta");
+}
+
+sim::Task<void> Nfs3Server::charge_write(uint64_t fileid, uint64_t offset,
+                                         size_t len, bool sync) {
+  const uint64_t first = offset / kCacheBlock;
+  const uint64_t last = (offset + (len ? len : 1) - 1) / kCacheBlock;
+  for (uint64_t b = first; b <= last; ++b) cache_insert(fileid, b);
+  if (sync) {
+    ++disk_writes_;
+    co_await host_.disk().write(len, /*sequential=*/false, "nfsd.write");
+  } else {
+    unstable_bytes_[fileid] += len;
+  }
+}
+
+// --- dispatch -------------------------------------------------------------------
+
+sim::Task<Buffer> Nfs3Server::handle(const rpc::CallContext& ctx,
+                                     ByteView args) {
+  ++ops_total_;
+  const auto proc = static_cast<Proc3>(ctx.proc);
+  ++ops_by_proc_[proc];
+  const vfs::Cred cred = cred_of(ctx);
+
+  // Kernel nfsd processing cost.
+  co_await host_.cpu().use(cost_.per_op_cpu, "nfsd");
+
+  xdr::Decoder dec(args);
+  xdr::Encoder enc;
+
+  switch (proc) {
+    case Proc3::kNull:
+      co_return Buffer{};
+
+    case Proc3::kGetattr: {
+      auto a = GetattrArgs::decode(dec);
+      GetattrRes res;
+      if (!fh_ok(a.fh)) {
+        res.status = Status::kStale;
+      } else {
+        auto r = fs_->getattr(a.fh.fileid);
+        res.status = r.status;
+        if (r.ok()) res.attrs = r.value;
+      }
+      res.encode(enc);
+      co_return enc.take();
+    }
+
+    case Proc3::kSetattr: {
+      auto a = SetattrArgs::decode(dec);
+      WccRes res;
+      if (!fh_ok(a.fh)) {
+        res.status = Status::kStale;
+      } else {
+        res.status = fs_->setattr(cred, a.fh.fileid, a.sattr);
+        if (res.status == Status::kOk) co_await charge_meta();
+        res.post_attrs = attrs_of(a.fh.fileid);
+      }
+      res.encode(enc);
+      co_return enc.take();
+    }
+
+    case Proc3::kLookup: {
+      auto a = DiropArgs::decode(dec);
+      LookupRes res;
+      if (!fh_ok(a.dir)) {
+        res.status = Status::kStale;
+      } else {
+        auto r = fs_->lookup(cred, a.dir.fileid, a.name);
+        res.status = r.status;
+        if (r.ok()) {
+          res.fh = Fh(fsid_, r.value);
+          res.attrs = attrs_of(r.value);
+        }
+        res.dir_attrs = attrs_of(a.dir.fileid);
+      }
+      res.encode(enc);
+      co_return enc.take();
+    }
+
+    case Proc3::kAccess: {
+      auto a = AccessArgs::decode(dec);
+      AccessRes res;
+      if (!fh_ok(a.fh)) {
+        res.status = Status::kStale;
+      } else {
+        res.access = fs_->access(cred, a.fh.fileid, a.access);
+        res.post_attrs = attrs_of(a.fh.fileid);
+        if (!res.post_attrs) res.status = Status::kStale;
+      }
+      res.encode(enc);
+      co_return enc.take();
+    }
+
+    case Proc3::kReadlink: {
+      auto a = GetattrArgs::decode(dec);
+      ReadlinkRes res;
+      if (!fh_ok(a.fh)) {
+        res.status = Status::kStale;
+      } else {
+        auto r = fs_->readlink(a.fh.fileid);
+        res.status = r.status;
+        if (r.ok()) res.target = r.value;
+      }
+      res.encode(enc);
+      co_return enc.take();
+    }
+
+    case Proc3::kRead: {
+      auto a = ReadArgs::decode(dec);
+      ReadRes res;
+      if (!fh_ok(a.fh)) {
+        res.status = Status::kStale;
+      } else {
+        auto r = fs_->read(cred, a.fh.fileid, a.offset, a.count);
+        res.status = r.status;
+        if (r.ok()) {
+          co_await charge_read(a.fh.fileid, a.offset, r.value.data.size());
+          co_await host_.cpu().use(
+              sim::from_seconds(static_cast<double>(r.value.data.size()) /
+                                cost_.copy_bytes_per_sec),
+              "nfsd");
+          res.count = static_cast<uint32_t>(r.value.data.size());
+          res.eof = r.value.eof;
+          res.data = std::move(r.value.data);
+          res.post_attrs = attrs_of(a.fh.fileid);
+        }
+      }
+      res.encode(enc);
+      co_return enc.take();
+    }
+
+    case Proc3::kWrite: {
+      auto a = WriteArgs::decode(dec);
+      WriteRes res;
+      if (!fh_ok(a.fh)) {
+        res.status = Status::kStale;
+      } else {
+        auto r = fs_->write(cred, a.fh.fileid, a.offset, a.data);
+        res.status = r.status;
+        if (r.ok()) {
+          co_await host_.cpu().use(
+              sim::from_seconds(static_cast<double>(a.data.size()) /
+                                cost_.copy_bytes_per_sec),
+              "nfsd");
+          co_await charge_write(a.fh.fileid, a.offset, a.data.size(),
+                                a.stable != StableHow::kUnstable);
+          res.count = r.value;
+          res.committed = a.stable == StableHow::kUnstable
+                              ? StableHow::kUnstable
+                              : StableHow::kFileSync;
+          res.verf = write_verf_;
+          res.post_attrs = attrs_of(a.fh.fileid);
+        }
+      }
+      res.encode(enc);
+      co_return enc.take();
+    }
+
+    case Proc3::kCreate: {
+      auto a = CreateArgs::decode(dec);
+      CreateRes res;
+      if (!fh_ok(a.dir)) {
+        res.status = Status::kStale;
+      } else {
+        auto r = fs_->create(cred, a.dir.fileid, a.name, a.mode, a.exclusive);
+        res.status = r.status;
+        if (r.ok()) {
+          co_await charge_meta();
+          res.fh = Fh(fsid_, r.value);
+          res.attrs = attrs_of(r.value);
+        }
+        res.dir_attrs = attrs_of(a.dir.fileid);
+      }
+      res.encode(enc);
+      co_return enc.take();
+    }
+
+    case Proc3::kMkdir: {
+      auto a = MkdirArgs::decode(dec);
+      CreateRes res;
+      if (!fh_ok(a.dir)) {
+        res.status = Status::kStale;
+      } else {
+        auto r = fs_->mkdir(cred, a.dir.fileid, a.name, a.mode);
+        res.status = r.status;
+        if (r.ok()) {
+          co_await charge_meta();
+          res.fh = Fh(fsid_, r.value);
+          res.attrs = attrs_of(r.value);
+        }
+        res.dir_attrs = attrs_of(a.dir.fileid);
+      }
+      res.encode(enc);
+      co_return enc.take();
+    }
+
+    case Proc3::kSymlink: {
+      auto a = SymlinkArgs::decode(dec);
+      CreateRes res;
+      if (!fh_ok(a.dir)) {
+        res.status = Status::kStale;
+      } else {
+        auto r = fs_->symlink(cred, a.dir.fileid, a.name, a.target);
+        res.status = r.status;
+        if (r.ok()) {
+          co_await charge_meta();
+          res.fh = Fh(fsid_, r.value);
+          res.attrs = attrs_of(r.value);
+        }
+        res.dir_attrs = attrs_of(a.dir.fileid);
+      }
+      res.encode(enc);
+      co_return enc.take();
+    }
+
+    case Proc3::kRemove:
+    case Proc3::kRmdir: {
+      auto a = DiropArgs::decode(dec);
+      WccRes res;
+      if (!fh_ok(a.dir)) {
+        res.status = Status::kStale;
+      } else {
+        res.status = proc == Proc3::kRemove
+                         ? fs_->remove(cred, a.dir.fileid, a.name)
+                         : fs_->rmdir(cred, a.dir.fileid, a.name);
+        if (res.status == Status::kOk) co_await charge_meta();
+        res.post_attrs = attrs_of(a.dir.fileid);
+      }
+      res.encode(enc);
+      co_return enc.take();
+    }
+
+    case Proc3::kRename: {
+      auto a = RenameArgs::decode(dec);
+      WccRes res;
+      if (!fh_ok(a.from_dir) || !fh_ok(a.to_dir)) {
+        res.status = Status::kStale;
+      } else {
+        res.status = fs_->rename(cred, a.from_dir.fileid, a.from_name,
+                                 a.to_dir.fileid, a.to_name);
+        if (res.status == Status::kOk) co_await charge_meta();
+        res.post_attrs = attrs_of(a.to_dir.fileid);
+      }
+      res.encode(enc);
+      co_return enc.take();
+    }
+
+    case Proc3::kLink: {
+      auto a = LinkArgs::decode(dec);
+      WccRes res;
+      if (!fh_ok(a.file) || !fh_ok(a.dir)) {
+        res.status = Status::kStale;
+      } else {
+        res.status = fs_->link(cred, a.file.fileid, a.dir.fileid, a.name);
+        if (res.status == Status::kOk) co_await charge_meta();
+        res.post_attrs = attrs_of(a.dir.fileid);
+      }
+      res.encode(enc);
+      co_return enc.take();
+    }
+
+    case Proc3::kReaddir:
+    case Proc3::kReaddirplus: {
+      auto a = ReaddirArgs::decode(dec);
+      ReaddirRes res;
+      if (!fh_ok(a.dir)) {
+        res.status = Status::kStale;
+      } else {
+        const uint32_t max = a.count ? a.count : 1024;
+        auto r = fs_->readdir(cred, a.dir.fileid, a.cookie, max);
+        res.status = r.status;
+        if (r.ok()) {
+          const bool plus = proc == Proc3::kReaddirplus || a.plus;
+          for (const auto& entry : r.value) {
+            DirEntry3 e3;
+            e3.fileid = entry.fileid;
+            e3.name = entry.name;
+            e3.cookie = entry.cookie;
+            if (plus) {
+              e3.attrs = attrs_of(entry.fileid);
+              e3.fh = Fh(fsid_, entry.fileid);
+            }
+            res.entries.push_back(std::move(e3));
+          }
+          res.eof = r.value.size() < max;
+        }
+      }
+      res.encode(enc);
+      co_return enc.take();
+    }
+
+    case Proc3::kFsstat: {
+      FsstatRes res;
+      res.total_bytes = 1ull << 40;
+      res.free_bytes = (1ull << 40) - fs_->bytes_used();
+      res.total_files = fs_->inode_count();
+      res.encode(enc);
+      co_return enc.take();
+    }
+
+    case Proc3::kFsinfo: {
+      FsinfoRes res;
+      res.encode(enc);
+      co_return enc.take();
+    }
+
+    case Proc3::kCommit: {
+      auto a = CommitArgs::decode(dec);
+      CommitRes res;
+      if (!fh_ok(a.fh)) {
+        res.status = Status::kStale;
+      } else {
+        auto it = unstable_bytes_.find(a.fh.fileid);
+        if (it != unstable_bytes_.end() && it->second > 0) {
+          ++disk_writes_;
+          const uint64_t bytes = it->second;
+          unstable_bytes_.erase(it);
+          co_await host_.disk().write(bytes, /*sequential=*/false,
+                                      "nfsd.commit");
+        }
+        res.verf = write_verf_;
+      }
+      res.encode(enc);
+      co_return enc.take();
+    }
+  }
+  throw rpc::RpcError(rpc::AcceptStat::kProcUnavail, "unknown NFS proc");
+}
+
+// --- MOUNT ---------------------------------------------------------------------
+
+std::shared_ptr<rpc::RpcProgram> Nfs3Server::mount_program() {
+  return std::make_shared<MountProgram>(shared_from_this());
+}
+
+sim::Task<Buffer> MountProgram::handle(const rpc::CallContext& ctx,
+                                       ByteView args) {
+  xdr::Decoder dec(args);
+  xdr::Encoder enc;
+  switch (static_cast<MountProc>(ctx.proc)) {
+    case MountProc::kNull:
+      co_return Buffer{};
+    case MountProc::kMnt: {
+      auto a = MntArgs::decode(dec);
+      MntRes res;
+      const ExportEntry* match = nullptr;
+      for (const auto& e : server_->exports_) {
+        if (a.dirpath == e.path ||
+            (a.dirpath.starts_with(e.path) &&
+             a.dirpath.size() > e.path.size() &&
+             a.dirpath[e.path.size()] == '/')) {
+          match = &e;
+          break;
+        }
+      }
+      if (!match) {
+        res.status = Status::kAcces;
+      } else if (!match->allowed_hosts.empty() &&
+                 !match->allowed_hosts.count(ctx.peer_host)) {
+        SGFS_INFO("mountd", "refusing mount of ", a.dirpath, " from ",
+                  ctx.peer_host);
+        res.status = Status::kAcces;
+      } else {
+        vfs::Cred root(0, 0);
+        auto id = server_->fs_->resolve(root, a.dirpath);
+        res.status = id.status;
+        if (id.ok()) res.root_fh = Fh(server_->fsid_, id.value);
+      }
+      res.encode(enc);
+      co_return enc.take();
+    }
+    case MountProc::kUmnt:
+      co_return Buffer{};
+  }
+  throw rpc::RpcError(rpc::AcceptStat::kProcUnavail, "unknown MOUNT proc");
+}
+
+}  // namespace sgfs::nfs

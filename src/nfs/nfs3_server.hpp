@@ -1,0 +1,127 @@
+// Kernel NFSv3 server emulation over the VFS.
+//
+// Models the paper's file server VM: a kernel nfsd that serves the exported
+// tree with "write delay and synchronous update" (§6.1).  Timing model:
+//   - each call charges a small nfsd CPU cost on the host CPU;
+//   - READs that miss the server page cache charge disk seek+transfer;
+//     the cache is LRU over 32KB blocks bounded by the VM's memory
+//     (768 MB in the paper) — warm_file() reproduces the IOzone preload;
+//   - FILE_SYNC WRITEs charge the disk synchronously (sync export);
+//     UNSTABLE WRITEs are absorbed in memory and charged at COMMIT.
+//
+// Access control: MOUNT checks the exports table against the calling host
+// (the kernel exports file, Figure 1 — exported "to localhost" under SGFS);
+// per-call authorization uses AUTH_SYS uid/gid mapped onto VFS permission
+// bits, exactly the weak model whose grid-level replacement is the point of
+// the paper.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <set>
+
+#include "net/host.hpp"
+#include "nfs/nfs3.hpp"
+#include "rpc/rpc_server.hpp"
+#include "vfs/vfs.hpp"
+
+namespace sgfs::nfs {
+
+struct ExportEntry {
+  std::string path;                       // e.g. "/GFS"
+  std::set<std::string> allowed_hosts;    // empty = any host
+  bool read_only = false;
+
+  ExportEntry() = default;
+  explicit ExportEntry(std::string p, std::set<std::string> hosts = {},
+                       bool ro = false)
+      : path(std::move(p)), allowed_hosts(std::move(hosts)), read_only(ro) {}
+};
+
+struct ServerCostModel {
+  sim::SimDur per_op_cpu = 30 * sim::kMicrosecond;  // kernel nfsd work
+  double copy_bytes_per_sec = 1.5e9;                // in-kernel data copies
+  uint64_t memory_bytes = 768ull << 20;             // page cache (768 MB VM)
+
+  ServerCostModel() = default;
+};
+
+class Nfs3Server : public rpc::RpcProgram,
+                   public std::enable_shared_from_this<Nfs3Server> {
+ public:
+  Nfs3Server(net::Host& host, std::shared_ptr<vfs::FileSystem> fs,
+             uint64_t fsid = 1, ServerCostModel cost = ServerCostModel());
+
+  void add_export(ExportEntry entry) {
+    exports_.push_back(std::move(entry));
+  }
+
+  /// Preloads a file's blocks into the page-cache model (IOzone setup).
+  void warm_file(const std::string& path);
+
+  /// MOUNT-protocol handler sharing this server's exports and fsid.
+  std::shared_ptr<rpc::RpcProgram> mount_program();
+
+  sim::Task<Buffer> handle(const rpc::CallContext& ctx,
+                           ByteView args) override;
+
+  vfs::FileSystem& filesystem() { return *fs_; }
+  uint64_t fsid() const { return fsid_; }
+  uint64_t ops_total() const { return ops_total_; }
+  uint64_t ops_for(Proc3 p) const;
+  uint64_t disk_reads() const { return disk_reads_; }
+  uint64_t disk_writes() const { return disk_writes_; }
+
+ private:
+  friend class MountProgram;
+  friend class Nfs4Server;  // v4-lite shares the VFS + page-cache model
+  static constexpr size_t kCacheBlock = 32 * 1024;
+
+  vfs::Cred cred_of(const rpc::CallContext& ctx) const;
+  bool fh_ok(const Fh& fh) const { return fh.fsid == fsid_; }
+  std::optional<vfs::Attributes> attrs_of(vfs::FileId id) const;
+
+  // Page-cache timing model.
+  sim::Task<void> charge_meta();
+  sim::Task<void> charge_read(uint64_t fileid, uint64_t offset, size_t len);
+  sim::Task<void> charge_write(uint64_t fileid, uint64_t offset, size_t len,
+                               bool sync);
+  void cache_insert(uint64_t fileid, uint64_t block);
+  bool cache_has(uint64_t fileid, uint64_t block) const;
+
+  net::Host& host_;
+  std::shared_ptr<vfs::FileSystem> fs_;
+  uint64_t fsid_;
+  ServerCostModel cost_;
+  std::vector<ExportEntry> exports_;
+  uint64_t write_verf_;
+
+  // LRU page-cache presence model.
+  std::map<std::pair<uint64_t, uint64_t>, uint64_t> cached_;  // block -> lru
+  std::map<uint64_t, std::pair<uint64_t, uint64_t>> lru_;     // lru -> block
+  uint64_t lru_clock_ = 0;
+  size_t cache_capacity_blocks_;
+
+  // Unstable write bytes awaiting COMMIT, per file.
+  std::map<uint64_t, uint64_t> unstable_bytes_;
+
+  uint64_t ops_total_ = 0;
+  std::map<Proc3, uint64_t> ops_by_proc_;
+  uint64_t disk_reads_ = 0;
+  uint64_t disk_writes_ = 0;
+};
+
+/// MOUNT v3 program (separate RPC program number).
+class MountProgram : public rpc::RpcProgram {
+ public:
+  explicit MountProgram(std::shared_ptr<Nfs3Server> server)
+      : server_(std::move(server)) {}
+
+  sim::Task<Buffer> handle(const rpc::CallContext& ctx,
+                           ByteView args) override;
+
+ private:
+  std::shared_ptr<Nfs3Server> server_;
+};
+
+}  // namespace sgfs::nfs

@@ -1,0 +1,111 @@
+// NFSv4-lite: a COMPOUND-procedure protocol (RFC 3530 flavor) over the same
+// VFS and cost model as the v3 server.
+//
+// The paper's nfs-v4 baseline "showed no performance advantage" over v3 in
+// their testbed because the delegation feature was not supported (§6.2.2) —
+// v4-lite reproduces exactly that configuration: stateful-looking OPEN but
+// no delegation, no mandatory locking, and per-operation semantics identical
+// to v3, batched into COMPOUNDs (PUTFH;OP;GETATTR).  V4WireOps plugs under
+// the shared MountPoint kernel-client cache.
+#pragma once
+
+#include "nfs/nfs3_server.hpp"
+#include "nfs/wire_ops.hpp"
+
+namespace sgfs::nfs {
+
+inline constexpr uint32_t kNfsVersion4 = 4;
+inline constexpr uint32_t kCompoundProc = 1;
+
+enum class Op4 : uint32_t {
+  kPutRootFh = 1,
+  kPutFh = 2,
+  kGetFh = 3,
+  kGetattr = 4,
+  kLookup = 5,
+  kAccess = 6,
+  kRead = 7,
+  kWrite = 8,
+  kOpen = 9,
+  kClose = 10,
+  kCreateDir = 11,
+  kSymlink = 12,
+  kRemove = 13,
+  kSaveFh = 14,
+  kRename = 15,
+  kLink = 16,
+  kReaddir = 17,
+  kSetattr = 18,
+  kCommit = 19,
+  kReadlink = 20,
+};
+
+/// NFSv4-lite server program.  Shares the VFS, page-cache timing model and
+/// disk of an Nfs3Server (a kernel serves both protocols from one cache).
+class Nfs4Server : public rpc::RpcProgram {
+ public:
+  explicit Nfs4Server(std::shared_ptr<Nfs3Server> backend)
+      : backend_(std::move(backend)) {}
+
+  sim::Task<Buffer> handle(const rpc::CallContext& ctx,
+                           ByteView args) override;
+
+  uint64_t compounds() const { return compounds_; }
+  uint64_t ops() const { return ops_; }
+
+ private:
+  std::shared_ptr<Nfs3Server> backend_;
+  uint64_t compounds_ = 0;
+  uint64_t ops_ = 0;
+  uint64_t next_stateid_ = 1;
+};
+
+/// NFSv4 client backend: one COMPOUND per semantic operation.
+class V4WireOps final : public WireOps {
+ public:
+  static sim::Task<std::unique_ptr<V4WireOps>> connect(
+      net::Host& host, const net::Address& server, rpc::AuthSys auth);
+
+  sim::Task<Fh> mount(const std::string& path) override;
+  sim::Task<LookupRes> lookup(Fh dir, const std::string& name) override;
+  sim::Task<GetattrRes> getattr(Fh fh) override;
+  sim::Task<WccRes> setattr(Fh fh, const vfs::SetAttrs& sattr) override;
+  sim::Task<AccessRes> access(Fh fh, uint32_t want) override;
+  sim::Task<ReadRes> read(Fh fh, uint64_t offset, uint32_t count) override;
+  sim::Task<WriteRes> write(Fh fh, uint64_t offset, StableHow stable,
+                            ByteView data) override;
+  sim::Task<CreateRes> create(Fh dir, const std::string& name, uint32_t mode,
+                              bool exclusive) override;
+  sim::Task<CreateRes> mkdir(Fh dir, const std::string& name,
+                             uint32_t mode) override;
+  sim::Task<CreateRes> symlink(Fh dir, const std::string& name,
+                               const std::string& target) override;
+  sim::Task<WccRes> remove(Fh dir, const std::string& name) override;
+  sim::Task<WccRes> rmdir(Fh dir, const std::string& name) override;
+  sim::Task<WccRes> rename(Fh from_dir, const std::string& from_name,
+                           Fh to_dir, const std::string& to_name) override;
+  sim::Task<WccRes> link(Fh file, Fh dir, const std::string& name) override;
+  sim::Task<ReaddirRes> readdir(Fh dir, uint64_t cookie, uint32_t count,
+                                bool plus) override;
+  sim::Task<ReadlinkRes> readlink(Fh fh) override;
+  sim::Task<CommitRes> commit(Fh fh) override;
+  void close() override;
+
+ private:
+  V4WireOps() = default;
+
+  // A decoded compound reply: status + per-op payload decoders.
+  struct CompoundReply {
+    Status status = Status::kOk;
+    std::vector<std::pair<Op4, Buffer>> results;
+    CompoundReply() = default;
+
+    /// Payload of the first result for `op`, if present.
+    const Buffer* find(Op4 op) const;
+  };
+  sim::Task<CompoundReply> call(ByteView compound_args);
+
+  std::unique_ptr<rpc::RpcClient> client_;
+};
+
+}  // namespace sgfs::nfs

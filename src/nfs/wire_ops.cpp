@@ -1,0 +1,214 @@
+#include "nfs/wire_ops.hpp"
+
+namespace sgfs::nfs {
+
+sim::Task<std::unique_ptr<V3WireOps>> V3WireOps::connect(
+    net::Host& host, const net::Address& server, rpc::AuthSys auth) {
+  auto ops = std::unique_ptr<V3WireOps>(new V3WireOps(host, server, auth));
+  ops->client_ =
+      co_await rpc::clnt_create(host, server, kNfsProgram, kNfsVersion3);
+  ops->client_->set_auth(auth);
+  co_return ops;
+}
+
+void V3WireOps::close() {
+  if (client_) client_->close();
+}
+
+sim::Task<Fh> V3WireOps::mount(const std::string& path) {
+  auto mount_client = co_await rpc::clnt_create(host_, server_, kMountProgram,
+                                                kMountVersion3);
+  mount_client->set_auth(auth_);
+  MntArgs margs(path);
+  xdr::Encoder enc;
+  margs.encode(enc);
+  Buffer reply = co_await mount_client->call(
+      static_cast<uint32_t>(MountProc::kMnt), enc.data());
+  xdr::Decoder dec(reply);
+  MntRes res = MntRes::decode(dec);
+  mount_client->close();
+  if (res.status != Status::kOk) throw FsError(res.status);
+  co_return res.root_fh;
+}
+
+sim::Task<LookupRes> V3WireOps::lookup(Fh dir, const std::string& name) {
+  DiropArgs args(dir, name);
+  xdr::Encoder enc;
+  args.encode(enc);
+  Buffer reply = co_await call(Proc3::kLookup, enc.data());
+  xdr::Decoder dec(reply);
+  co_return LookupRes::decode(dec);
+}
+
+sim::Task<GetattrRes> V3WireOps::getattr(Fh fh) {
+  GetattrArgs args;
+  args.fh = fh;
+  xdr::Encoder enc;
+  args.encode(enc);
+  Buffer reply = co_await call(Proc3::kGetattr, enc.data());
+  xdr::Decoder dec(reply);
+  co_return GetattrRes::decode(dec);
+}
+
+sim::Task<WccRes> V3WireOps::setattr(Fh fh, const vfs::SetAttrs& sattr) {
+  SetattrArgs args;
+  args.fh = fh;
+  args.sattr = sattr;
+  xdr::Encoder enc;
+  args.encode(enc);
+  Buffer reply = co_await call(Proc3::kSetattr, enc.data());
+  xdr::Decoder dec(reply);
+  co_return WccRes::decode(dec);
+}
+
+sim::Task<AccessRes> V3WireOps::access(Fh fh, uint32_t want) {
+  AccessArgs args(fh, want);
+  xdr::Encoder enc;
+  args.encode(enc);
+  Buffer reply = co_await call(Proc3::kAccess, enc.data());
+  xdr::Decoder dec(reply);
+  co_return AccessRes::decode(dec);
+}
+
+sim::Task<ReadRes> V3WireOps::read(Fh fh, uint64_t offset, uint32_t count) {
+  ReadArgs args(fh, offset, count);
+  xdr::Encoder enc;
+  args.encode(enc);
+  Buffer reply = co_await call(Proc3::kRead, enc.data());
+  xdr::Decoder dec(reply);
+  co_return ReadRes::decode(dec);
+}
+
+sim::Task<WriteRes> V3WireOps::write(Fh fh, uint64_t offset, StableHow stable,
+                                     ByteView data) {
+  WriteArgs args;
+  args.fh = fh;
+  args.offset = offset;
+  args.stable = stable;
+  args.data.assign(data.begin(), data.end());
+  xdr::Encoder enc;
+  args.encode(enc);
+  Buffer reply = co_await call(Proc3::kWrite, enc.data());
+  xdr::Decoder dec(reply);
+  co_return WriteRes::decode(dec);
+}
+
+sim::Task<CreateRes> V3WireOps::create(Fh dir, const std::string& name,
+                                       uint32_t mode, bool exclusive) {
+  CreateArgs args;
+  args.dir = dir;
+  args.name = name;
+  args.mode = mode;
+  args.exclusive = exclusive;
+  xdr::Encoder enc;
+  args.encode(enc);
+  Buffer reply = co_await call(Proc3::kCreate, enc.data());
+  xdr::Decoder dec(reply);
+  co_return CreateRes::decode(dec);
+}
+
+sim::Task<CreateRes> V3WireOps::mkdir(Fh dir, const std::string& name,
+                                      uint32_t mode) {
+  MkdirArgs args;
+  args.dir = dir;
+  args.name = name;
+  args.mode = mode;
+  xdr::Encoder enc;
+  args.encode(enc);
+  Buffer reply = co_await call(Proc3::kMkdir, enc.data());
+  xdr::Decoder dec(reply);
+  co_return CreateRes::decode(dec);
+}
+
+sim::Task<CreateRes> V3WireOps::symlink(Fh dir, const std::string& name,
+                                        const std::string& target) {
+  SymlinkArgs args;
+  args.dir = dir;
+  args.name = name;
+  args.target = target;
+  xdr::Encoder enc;
+  args.encode(enc);
+  Buffer reply = co_await call(Proc3::kSymlink, enc.data());
+  xdr::Decoder dec(reply);
+  co_return CreateRes::decode(dec);
+}
+
+sim::Task<WccRes> V3WireOps::remove(Fh dir, const std::string& name) {
+  DiropArgs args(dir, name);
+  xdr::Encoder enc;
+  args.encode(enc);
+  Buffer reply = co_await call(Proc3::kRemove, enc.data());
+  xdr::Decoder dec(reply);
+  co_return WccRes::decode(dec);
+}
+
+sim::Task<WccRes> V3WireOps::rmdir(Fh dir, const std::string& name) {
+  DiropArgs args(dir, name);
+  xdr::Encoder enc;
+  args.encode(enc);
+  Buffer reply = co_await call(Proc3::kRmdir, enc.data());
+  xdr::Decoder dec(reply);
+  co_return WccRes::decode(dec);
+}
+
+sim::Task<WccRes> V3WireOps::rename(Fh from_dir, const std::string& from_name,
+                                    Fh to_dir, const std::string& to_name) {
+  RenameArgs args;
+  args.from_dir = from_dir;
+  args.from_name = from_name;
+  args.to_dir = to_dir;
+  args.to_name = to_name;
+  xdr::Encoder enc;
+  args.encode(enc);
+  Buffer reply = co_await call(Proc3::kRename, enc.data());
+  xdr::Decoder dec(reply);
+  co_return WccRes::decode(dec);
+}
+
+sim::Task<WccRes> V3WireOps::link(Fh file, Fh dir, const std::string& name) {
+  LinkArgs args;
+  args.file = file;
+  args.dir = dir;
+  args.name = name;
+  xdr::Encoder enc;
+  args.encode(enc);
+  Buffer reply = co_await call(Proc3::kLink, enc.data());
+  xdr::Decoder dec(reply);
+  co_return WccRes::decode(dec);
+}
+
+sim::Task<ReaddirRes> V3WireOps::readdir(Fh dir, uint64_t cookie,
+                                         uint32_t count, bool plus) {
+  ReaddirArgs args;
+  args.dir = dir;
+  args.cookie = cookie;
+  args.count = count;
+  args.plus = plus;
+  xdr::Encoder enc;
+  args.encode(enc);
+  Buffer reply = co_await call(
+      plus ? Proc3::kReaddirplus : Proc3::kReaddir, enc.data());
+  xdr::Decoder dec(reply);
+  co_return ReaddirRes::decode(dec);
+}
+
+sim::Task<ReadlinkRes> V3WireOps::readlink(Fh fh) {
+  GetattrArgs args;
+  args.fh = fh;
+  xdr::Encoder enc;
+  args.encode(enc);
+  Buffer reply = co_await call(Proc3::kReadlink, enc.data());
+  xdr::Decoder dec(reply);
+  co_return ReadlinkRes::decode(dec);
+}
+
+sim::Task<CommitRes> V3WireOps::commit(Fh fh) {
+  CommitArgs args(fh, 0, 0);
+  xdr::Encoder enc;
+  args.encode(enc);
+  Buffer reply = co_await call(Proc3::kCommit, enc.data());
+  xdr::Decoder dec(reply);
+  co_return CommitRes::decode(dec);
+}
+
+}  // namespace sgfs::nfs

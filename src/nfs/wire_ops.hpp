@@ -1,0 +1,96 @@
+// Wire-operation strategy: the kernel-client cache logic (MountPoint) is
+// protocol-agnostic; a WireOps backend turns each semantic operation into
+// NFSv3 procedure calls or NFSv4-lite COMPOUNDs.
+//
+// Result structures are the NFSv3 ones from nfs3.hpp — the v4 backend fills
+// the same shapes, which is also how the paper could swap nfs-v3/nfs-v4
+// under identical workloads (§6.1).
+#pragma once
+
+#include <memory>
+
+#include "nfs/nfs3.hpp"
+#include "rpc/rpc_client.hpp"
+
+namespace sgfs::nfs {
+
+class WireOps {
+ public:
+  virtual ~WireOps() = default;
+
+  virtual sim::Task<Fh> mount(const std::string& path) = 0;
+  virtual sim::Task<LookupRes> lookup(Fh dir, const std::string& name) = 0;
+  virtual sim::Task<GetattrRes> getattr(Fh fh) = 0;
+  virtual sim::Task<WccRes> setattr(Fh fh, const vfs::SetAttrs& sattr) = 0;
+  virtual sim::Task<AccessRes> access(Fh fh, uint32_t want) = 0;
+  virtual sim::Task<ReadRes> read(Fh fh, uint64_t offset, uint32_t count) = 0;
+  virtual sim::Task<WriteRes> write(Fh fh, uint64_t offset, StableHow stable,
+                                    ByteView data) = 0;
+  virtual sim::Task<CreateRes> create(Fh dir, const std::string& name,
+                                      uint32_t mode, bool exclusive) = 0;
+  virtual sim::Task<CreateRes> mkdir(Fh dir, const std::string& name,
+                                     uint32_t mode) = 0;
+  virtual sim::Task<CreateRes> symlink(Fh dir, const std::string& name,
+                                       const std::string& target) = 0;
+  virtual sim::Task<WccRes> remove(Fh dir, const std::string& name) = 0;
+  virtual sim::Task<WccRes> rmdir(Fh dir, const std::string& name) = 0;
+  virtual sim::Task<WccRes> rename(Fh from_dir, const std::string& from_name,
+                                   Fh to_dir, const std::string& to_name) = 0;
+  virtual sim::Task<WccRes> link(Fh file, Fh dir,
+                                 const std::string& name) = 0;
+  virtual sim::Task<ReaddirRes> readdir(Fh dir, uint64_t cookie,
+                                        uint32_t count, bool plus) = 0;
+  virtual sim::Task<ReadlinkRes> readlink(Fh fh) = 0;
+  virtual sim::Task<CommitRes> commit(Fh fh) = 0;
+
+  virtual void close() = 0;
+};
+
+/// NFSv3 backend: one RPC per operation (plus the MOUNT protocol).
+class V3WireOps final : public WireOps {
+ public:
+  /// Connects the MOUNT and NFS RPC clients.
+  static sim::Task<std::unique_ptr<V3WireOps>> connect(
+      net::Host& host, const net::Address& server, rpc::AuthSys auth);
+
+  sim::Task<Fh> mount(const std::string& path) override;
+  sim::Task<LookupRes> lookup(Fh dir, const std::string& name) override;
+  sim::Task<GetattrRes> getattr(Fh fh) override;
+  sim::Task<WccRes> setattr(Fh fh, const vfs::SetAttrs& sattr) override;
+  sim::Task<AccessRes> access(Fh fh, uint32_t want) override;
+  sim::Task<ReadRes> read(Fh fh, uint64_t offset, uint32_t count) override;
+  sim::Task<WriteRes> write(Fh fh, uint64_t offset, StableHow stable,
+                            ByteView data) override;
+  sim::Task<CreateRes> create(Fh dir, const std::string& name, uint32_t mode,
+                              bool exclusive) override;
+  sim::Task<CreateRes> mkdir(Fh dir, const std::string& name,
+                             uint32_t mode) override;
+  sim::Task<CreateRes> symlink(Fh dir, const std::string& name,
+                               const std::string& target) override;
+  sim::Task<WccRes> remove(Fh dir, const std::string& name) override;
+  sim::Task<WccRes> rmdir(Fh dir, const std::string& name) override;
+  sim::Task<WccRes> rename(Fh from_dir, const std::string& from_name,
+                           Fh to_dir, const std::string& to_name) override;
+  sim::Task<WccRes> link(Fh file, Fh dir, const std::string& name) override;
+  sim::Task<ReaddirRes> readdir(Fh dir, uint64_t cookie, uint32_t count,
+                                bool plus) override;
+  sim::Task<ReadlinkRes> readlink(Fh fh) override;
+  sim::Task<CommitRes> commit(Fh fh) override;
+  void close() override;
+
+ private:
+  V3WireOps(net::Host& host, const net::Address& server, rpc::AuthSys auth)
+      : host_(host), server_(server), auth_(auth) {}
+
+  sim::Task<Buffer> call(Proc3 proc, ByteView args) {
+    co_return co_await client_->call(static_cast<uint32_t>(proc),
+                                     args);
+  }
+
+  net::Host& host_;
+  net::Address server_;
+  rpc::AuthSys auth_;
+  std::unique_ptr<rpc::RpcClient> client_;
+};
+
+}  // namespace sgfs::nfs

@@ -1,0 +1,112 @@
+#include "rpc/rpc_client.hpp"
+
+#include "common/log.hpp"
+
+namespace sgfs::rpc {
+
+RpcClient::RpcClient(sim::Engine& eng,
+                     std::unique_ptr<MsgTransport> transport, uint32_t prog,
+                     uint32_t vers)
+    : eng_(eng),
+      transport_(std::move(transport)),
+      state_(std::make_shared<State>()),
+      prog_(prog),
+      vers_(vers) {
+  eng_.spawn(reader_loop(transport_, state_));
+}
+
+void RpcClient::close() {
+  if (!state_->closed) {
+    state_->closed = true;
+    transport_->close();
+    state_->fail_all();
+  }
+}
+
+sim::Task<void> RpcClient::reader_loop(
+    std::shared_ptr<MsgTransport> transport, std::shared_ptr<State> state) {
+  while (!state->closed) {
+    Buffer msg;
+    try {
+      msg = co_await transport->recv();
+    } catch (const std::exception&) {
+      break;  // EOF or tamper: fail all outstanding calls
+    }
+    ReplyMsg reply;
+    try {
+      reply = ReplyMsg::deserialize(msg);
+    } catch (const std::exception& e) {
+      SGFS_WARN("rpc", "dropping malformed reply: ", e.what());
+      continue;
+    }
+    auto it = state->pending.find(reply.xid);
+    if (it == state->pending.end()) {
+      SGFS_WARN("rpc", "reply for unknown xid ", reply.xid);
+      continue;
+    }
+    auto p = it->second;
+    state->pending.erase(it);
+    p->reply = std::move(reply);
+    p->done.set();
+  }
+  state->fail_all();
+}
+
+sim::Task<Buffer> RpcClient::call(uint32_t proc, ByteView args) {
+  if (state_->closed) throw net::StreamClosed();
+  CallMsg msg;
+  msg.xid = state_->next_xid++;
+  msg.prog = prog_;
+  msg.vers = vers_;
+  msg.proc = proc;
+  msg.cred = cred_;
+  msg.args.assign(args.begin(), args.end());
+  auto pending = std::make_shared<Pending>(eng_);
+  state_->pending[msg.xid] = pending;
+  ++state_->calls_sent;
+  co_await transport_->send(msg.serialize());
+  co_await pending->done.wait();
+  if (!pending->reply) throw net::StreamClosed();
+  ReplyMsg& reply = *pending->reply;
+  if (reply.stat == ReplyStat::kDenied) {
+    throw RpcAuthError(reply.auth_stat);
+  }
+  switch (reply.accept_stat) {
+    case AcceptStat::kSuccess:
+      co_return std::move(reply.results);
+    case AcceptStat::kProgUnavail:
+      throw RpcError(reply.accept_stat, "program unavailable");
+    case AcceptStat::kProgMismatch:
+      throw RpcError(reply.accept_stat, "program version mismatch");
+    case AcceptStat::kProcUnavail:
+      throw RpcError(reply.accept_stat, "procedure unavailable");
+    case AcceptStat::kGarbageArgs:
+      throw RpcError(reply.accept_stat, "garbage arguments");
+    case AcceptStat::kSystemErr:
+      throw RpcError(reply.accept_stat, "server system error");
+  }
+  throw RpcError(reply.accept_stat, "unknown accept status");
+}
+
+sim::Task<std::unique_ptr<RpcClient>> clnt_create(net::Host& from,
+                                                  const net::Address& to,
+                                                  uint32_t prog,
+                                                  uint32_t vers) {
+  net::StreamPtr stream = co_await from.network().connect(from, to);
+  co_return std::make_unique<RpcClient>(
+      from.engine(), std::make_unique<StreamTransport>(std::move(stream)),
+      prog, vers);
+}
+
+sim::Task<std::unique_ptr<RpcClient>> clnt_ssl_create(
+    net::Host& from, const net::Address& to, uint32_t prog, uint32_t vers,
+    const crypto::SecurityConfig& security, Rng& rng, int64_t now_epoch) {
+  net::StreamPtr stream = co_await from.network().connect(from, to);
+  auto channel = co_await crypto::SecureChannel::connect(
+      std::move(stream), security, rng, now_epoch);
+  co_return std::make_unique<RpcClient>(
+      from.engine(), std::make_unique<SecureTransport>(std::move(channel)),
+      prog, vers);
+}
+
+}  // namespace sgfs::rpc

@@ -1,0 +1,156 @@
+#include "rpc/rpc_server.hpp"
+
+#include "common/log.hpp"
+
+namespace sgfs::rpc {
+
+RpcServer::RpcServer(net::Host& host, uint16_t port)
+    : host_(&host),
+      port_(port),
+      listener_(host.network().listen(host, port)),
+      state_(std::make_shared<State>()) {}
+
+RpcServer::RpcServer(net::Host& host, uint16_t port,
+                     crypto::SecurityConfig security, Rng rng,
+                     int64_t now_epoch)
+    : RpcServer(host, port) {
+  state_->security = std::move(security);
+  state_->rng = rng;
+  state_->now_epoch = now_epoch;
+}
+
+RpcServer::~RpcServer() { stop(); }
+
+void RpcServer::register_program(uint32_t prog, uint32_t vers,
+                                 std::shared_ptr<RpcProgram> program) {
+  state_->programs[{prog, vers}] = std::move(program);
+}
+
+void RpcServer::start() {
+  if (started_) return;
+  started_ = true;
+  host_->engine().spawn(accept_loop(listener_, state_));
+}
+
+void RpcServer::stop() {
+  if (!state_->stopped) {
+    state_->stopped = true;
+    listener_->close();
+  }
+}
+
+sim::Task<void> RpcServer::accept_loop(
+    std::shared_ptr<net::Network::Listener> listener,
+    std::shared_ptr<State> state) {
+  for (;;) {
+    net::StreamPtr stream = co_await listener->accept();
+    if (!stream || state->stopped) co_return;
+    ++state->accepted;
+    sim::Engine& eng = stream->local_host().engine();
+    if (state->security) {
+      // Complete the SSL handshake before serving; reject on failure.
+      eng.spawn([](net::StreamPtr s, std::shared_ptr<State> st)
+                    -> sim::Task<void> {
+        std::unique_ptr<crypto::SecureChannel> channel;
+        try {
+          channel = co_await crypto::SecureChannel::accept(
+              s, *st->security, st->rng,
+              st->now_epoch);
+        } catch (const std::exception& e) {
+          SGFS_INFO("rpc", "secure handshake rejected: ", e.what());
+          co_return;
+        }
+        co_await serve_connection(
+            s->local_host().engine(),
+            std::make_shared<SecureTransport>(std::move(channel)), st);
+      }(std::move(stream), state));
+    } else {
+      eng.spawn(serve_connection(
+          eng, std::make_shared<StreamTransport>(std::move(stream)), state));
+    }
+  }
+}
+
+sim::Task<void> RpcServer::serve_connection(
+    sim::Engine& eng, std::shared_ptr<MsgTransport> transport,
+    std::shared_ptr<State> state) {
+  while (!state->stopped) {
+    Buffer msg;
+    try {
+      msg = co_await transport->recv();
+    } catch (const std::exception&) {
+      co_return;  // connection closed
+    }
+    // Each call runs in its own task so slow handlers do not block the
+    // connection (clients match replies by xid).
+    eng.spawn(serve_one(transport, state, std::move(msg)));
+  }
+}
+
+sim::Task<void> RpcServer::serve_one(std::shared_ptr<MsgTransport> transport,
+                                     std::shared_ptr<State> state,
+                                     Buffer msg) {
+  CallMsg call;
+  try {
+    call = CallMsg::deserialize(msg);
+  } catch (const std::exception& e) {
+    SGFS_WARN("rpc", "malformed call dropped: ", e.what());
+    co_return;
+  }
+  ReplyMsg reply;
+  auto it = state->programs.find({call.prog, call.vers});
+  if (it == state->programs.end()) {
+    // Distinguish unknown program from wrong version.
+    bool prog_known = false;
+    for (const auto& [key, prog] : state->programs) {
+      if (key.first == call.prog) prog_known = true;
+    }
+    reply = ReplyMsg::error(
+        call.xid,
+        prog_known ? AcceptStat::kProgMismatch : AcceptStat::kProgUnavail);
+  } else {
+    CallContext ctx;
+    ctx.xid = call.xid;
+    ctx.prog = call.prog;
+    ctx.vers = call.vers;
+    ctx.proc = call.proc;
+    ctx.peer_identity = transport->peer_identity();
+    ctx.peer_host = transport->peer_host();
+    bool bad_cred = false;
+    if (call.cred.flavor == AuthFlavor::kSys) {
+      try {
+        ctx.auth_sys = AuthSys::deserialize(call.cred.body);
+      } catch (const std::exception&) {
+        bad_cred = true;
+      }
+    }
+    if (bad_cred) {
+      reply = ReplyMsg::auth_error(call.xid, AuthStat::kBadCred);
+    } else {
+      try {
+        Buffer results = co_await it->second->handle(ctx, call.args);
+        reply = ReplyMsg::success(call.xid, std::move(results));
+      } catch (const RpcAuthError& e) {
+        reply = ReplyMsg::auth_error(call.xid, e.stat());
+      } catch (const RpcError& e) {
+        reply = ReplyMsg::error(call.xid, e.stat());
+      } catch (const xdr::XdrError&) {
+        reply = ReplyMsg::error(call.xid, AcceptStat::kGarbageArgs);
+      } catch (const net::StreamClosed&) {
+        // Upstream connection went away mid-call (e.g. session teardown).
+        reply = ReplyMsg::error(call.xid, AcceptStat::kSystemErr);
+      } catch (const std::exception& e) {
+        SGFS_WARN("rpc", "handler error: ", e.what());
+        reply = ReplyMsg::error(call.xid, AcceptStat::kSystemErr);
+      }
+    }
+  }
+  ++state->served;
+  try {
+    co_await transport->send(reply.serialize());
+  } catch (const std::exception&) {
+    // Peer went away; nothing to do.
+  }
+}
+
+}  // namespace sgfs::rpc

@@ -1,0 +1,97 @@
+// RPC server: accept loop, per-connection dispatch, program registry.
+//
+// A server may listen plain (the kernel NFS server on the loopback, paper
+// Figure 1) or secured (svc_tli_ssl_create, §4.1) — in the latter case every
+// connection is mutually authenticated and the validated grid identity is
+// handed to the program handlers for authorization decisions.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+
+#include "rpc/rpc_msg.hpp"
+#include "rpc/transport.hpp"
+#include "sim/engine.hpp"
+
+namespace sgfs::rpc {
+
+/// Context a handler sees for one call.
+struct CallContext {
+  uint32_t xid = 0;
+  uint32_t prog = 0;
+  uint32_t vers = 0;
+  uint32_t proc = 0;
+  /// AUTH_SYS credentials, if the caller attached them.
+  std::optional<AuthSys> auth_sys;
+  /// Grid identity of the peer, if the connection is secure.
+  std::optional<crypto::DistinguishedName> peer_identity;
+  /// Host name on the other end of the connection.
+  std::string peer_host;
+
+  CallContext() = default;
+};
+
+/// A program implementation: maps (proc, args) to reply bytes.
+/// Throw RpcError(kProcUnavail/kGarbageArgs/...) to signal protocol errors;
+/// throw RpcAuthError to deny authentication.
+class RpcProgram {
+ public:
+  virtual ~RpcProgram() = default;
+  virtual sim::Task<Buffer> handle(const CallContext& ctx,
+                                   ByteView args) = 0;
+};
+
+class RpcServer {
+ public:
+  /// Plain server.
+  RpcServer(net::Host& host, uint16_t port);
+  /// SSL-enabled server (svc_tli_ssl_create): all inbound connections must
+  /// complete the mutual handshake.
+  RpcServer(net::Host& host, uint16_t port,
+            crypto::SecurityConfig security, Rng rng, int64_t now_epoch);
+  ~RpcServer();
+  RpcServer(const RpcServer&) = delete;
+  RpcServer& operator=(const RpcServer&) = delete;
+
+  void register_program(uint32_t prog, uint32_t vers,
+                        std::shared_ptr<RpcProgram> program);
+
+  /// Starts the accept loop (idempotent).
+  void start();
+  void stop();
+
+  net::Host& host() { return *host_; }
+  uint16_t port() const { return port_; }
+  uint64_t connections_accepted() const { return state_->accepted; }
+  uint64_t calls_served() const { return state_->served; }
+
+ private:
+  struct State {
+    bool stopped = false;
+    uint64_t accepted = 0;
+    uint64_t served = 0;
+    std::map<std::pair<uint32_t, uint32_t>, std::shared_ptr<RpcProgram>>
+        programs;
+    std::optional<crypto::SecurityConfig> security;
+    Rng rng{0};
+    int64_t now_epoch = 0;
+  };
+
+  static sim::Task<void> accept_loop(
+      std::shared_ptr<net::Network::Listener> listener,
+      std::shared_ptr<State> state);
+  static sim::Task<void> serve_connection(
+      sim::Engine& eng, std::shared_ptr<MsgTransport> transport,
+      std::shared_ptr<State> state);
+  static sim::Task<void> serve_one(std::shared_ptr<MsgTransport> transport,
+                                   std::shared_ptr<State> state, Buffer msg);
+
+  net::Host* host_;
+  uint16_t port_;
+  std::shared_ptr<net::Network::Listener> listener_;
+  std::shared_ptr<State> state_;
+  bool started_ = false;
+};
+
+}  // namespace sgfs::rpc

@@ -1,0 +1,38 @@
+#include "rpc/transport.hpp"
+
+#include "xdr/xdr.hpp"
+
+namespace sgfs::rpc {
+
+sim::Task<void> StreamTransport::send(ByteView message) {
+  // RFC 5531 record marking: each fragment carries a 32-bit header whose MSB
+  // flags the final fragment of the record.
+  size_t off = 0;
+  do {
+    const size_t len = std::min(message.size() - off, kMaxFragment);
+    const bool last = off + len == message.size();
+    xdr::Encoder enc;
+    enc.put_u32(static_cast<uint32_t>(len) | (last ? 0x80000000u : 0));
+    Buffer frame = enc.take();
+    append(frame, message.subspan(off, len));
+    co_await stream_->write(frame);
+    off += len;
+  } while (off < message.size());
+}
+
+sim::Task<Buffer> StreamTransport::recv() {
+  Buffer message;
+  for (;;) {
+    Buffer hdr = co_await stream_->read_exact(4);
+    xdr::Decoder dec(hdr);
+    const uint32_t word = dec.get_u32();
+    const bool last = word & 0x80000000u;
+    const uint32_t len = word & 0x7fffffffu;
+    if (len > (64u << 20)) throw std::runtime_error("RPC fragment too large");
+    Buffer frag = co_await stream_->read_exact(len);
+    append(message, frag);
+    if (last) co_return message;
+  }
+}
+
+}  // namespace sgfs::rpc

@@ -1,0 +1,86 @@
+// Message transports for RPC: plain TCP with record marking, or the
+// SSL-enabled secure transport built on crypto::SecureChannel.
+//
+// The secure variant is the heart of the paper's contribution (§4.1): a
+// secure RPC library whose API mirrors TI-RPC's expert-level calls
+// (clnt_tli_ssl_create / svc_tli_ssl_create) — see rpc_client.hpp for those
+// entry points.
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "common/bytes.hpp"
+#include "crypto/secure_channel.hpp"
+#include "net/network.hpp"
+#include "sim/task.hpp"
+
+namespace sgfs::rpc {
+
+/// A reliable, message-oriented duplex transport.
+class MsgTransport {
+ public:
+  virtual ~MsgTransport() = default;
+
+  virtual sim::Task<void> send(ByteView message) = 0;
+  /// Throws net::StreamClosed at orderly EOF.
+  virtual sim::Task<Buffer> recv() = 0;
+  virtual void close() = 0;
+
+  /// Authenticated peer identity; nullopt on plain transports.
+  virtual std::optional<crypto::DistinguishedName> peer_identity() const {
+    return std::nullopt;
+  }
+
+  /// Name of the host on the other end (for exports-file checks).
+  virtual std::string peer_host() const = 0;
+};
+
+/// Plain TCP transport with RFC 5531 record marking (31-bit fragment length
+/// with a last-fragment flag).
+class StreamTransport final : public MsgTransport {
+ public:
+  explicit StreamTransport(net::StreamPtr stream)
+      : stream_(std::move(stream)) {}
+
+  sim::Task<void> send(ByteView message) override;
+  sim::Task<Buffer> recv() override;
+  void close() override { stream_->close(); }
+
+  net::Stream& stream() { return *stream_; }
+  std::string peer_host() const override { return stream_->remote_host().name(); }
+
+  /// Fragment size used when splitting large messages.
+  static constexpr size_t kMaxFragment = 1u << 20;
+
+ private:
+  net::StreamPtr stream_;
+};
+
+/// Secure transport: every RPC message is one SecureChannel record.
+class SecureTransport final : public MsgTransport {
+ public:
+  explicit SecureTransport(std::unique_ptr<crypto::SecureChannel> channel)
+      : channel_(std::move(channel)) {}
+
+  sim::Task<void> send(ByteView message) override {
+    co_await channel_->send(message);
+  }
+  sim::Task<Buffer> recv() override { co_return co_await channel_->recv(); }
+  void close() override { channel_->close(); }
+
+  std::optional<crypto::DistinguishedName> peer_identity() const override {
+    return channel_->peer_identity();
+  }
+
+  std::string peer_host() const override {
+    return channel_->stream().remote_host().name();
+  }
+
+  crypto::SecureChannel& channel() { return *channel_; }
+
+ private:
+  std::unique_ptr<crypto::SecureChannel> channel_;
+};
+
+}  // namespace sgfs::rpc

@@ -1,0 +1,140 @@
+#include "services/envelope.hpp"
+
+#include <sstream>
+
+#include "xdr/xdr.hpp"
+
+namespace sgfs::services {
+
+Buffer Envelope::canonical_bytes() const {
+  xdr::Encoder enc;
+  enc.put_string(action);
+  enc.put_i64(timestamp);
+  enc.put_u32(static_cast<uint32_t>(fields.size()));
+  for (const auto& [k, v] : fields) {  // std::map: sorted, canonical
+    enc.put_string(k);
+    enc.put_string(v);
+  }
+  return enc.take();
+}
+
+Buffer Envelope::serialize() const {
+  xdr::Encoder enc;
+  enc.put_opaque(canonical_bytes());
+  enc.put_u32(static_cast<uint32_t>(signer_chain.size()));
+  for (const auto& cert : signer_chain) enc.put_opaque(cert.serialize());
+  enc.put_opaque(signature);
+  return enc.take();
+}
+
+Envelope Envelope::deserialize(ByteView data) {
+  xdr::Decoder outer(data);
+  Buffer canonical = outer.get_opaque();
+  Envelope env;
+  {
+    xdr::Decoder dec(canonical);
+    env.action = dec.get_string();
+    env.timestamp = dec.get_i64();
+    const uint32_t n = dec.get_u32();
+    if (n > 256) throw xdr::XdrError("too many envelope fields");
+    for (uint32_t i = 0; i < n; ++i) {
+      std::string k = dec.get_string();
+      env.fields[k] = dec.get_string();
+    }
+    dec.expect_done();
+  }
+  const uint32_t chain_len = outer.get_u32();
+  if (chain_len > 8) throw xdr::XdrError("envelope chain too long");
+  for (uint32_t i = 0; i < chain_len; ++i) {
+    env.signer_chain.push_back(
+        crypto::Certificate::deserialize(outer.get_opaque()));
+  }
+  env.signature = outer.get_opaque();
+  return env;
+}
+
+namespace {
+std::string xml_escape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    switch (c) {
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '&': out += "&amp;"; break;
+      case '"': out += "&quot;"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+}  // namespace
+
+std::string Envelope::to_xml() const {
+  std::ostringstream out;
+  out << "<soap:Envelope>\n";
+  out << "  <soap:Header>\n";
+  out << "    <wsse:Security>\n";
+  out << "      <wsu:Timestamp>" << timestamp << "</wsu:Timestamp>\n";
+  if (!signer_chain.empty()) {
+    out << "      <wsse:BinarySecurityToken subject=\""
+        << xml_escape(signer_chain.front().subject.to_string())
+        << "\"/>\n";
+  }
+  out << "      <ds:SignatureValue>" << to_hex(signature).substr(0, 32)
+      << "...</ds:SignatureValue>\n";
+  out << "    </wsse:Security>\n";
+  out << "  </soap:Header>\n";
+  out << "  <soap:Body action=\"" << xml_escape(action) << "\">\n";
+  for (const auto& [k, v] : fields) {
+    out << "    <" << k << ">" << xml_escape(v) << "</" << k << ">\n";
+  }
+  out << "  </soap:Body>\n";
+  out << "</soap:Envelope>\n";
+  return out.str();
+}
+
+Envelope sign_envelope(const std::string& action,
+                       std::map<std::string, std::string> fields,
+                       const crypto::Credential& signer, int64_t timestamp) {
+  Envelope env;
+  env.action = action;
+  env.fields = std::move(fields);
+  env.timestamp = timestamp;
+  env.signer_chain = signer.presented_chain();
+  env.signature =
+      crypto::rsa_sign_sha1(signer.private_key, env.canonical_bytes());
+  return env;
+}
+
+VerifiedEnvelope verify_envelope(
+    const Envelope& envelope,
+    const std::vector<crypto::Certificate>& trusted, int64_t now,
+    int64_t max_skew_seconds) {
+  VerifiedEnvelope out;
+  if (envelope.signer_chain.empty()) {
+    out.error = "unsigned envelope";
+    return out;
+  }
+  if (now - envelope.timestamp > max_skew_seconds ||
+      envelope.timestamp - now > max_skew_seconds) {
+    out.error = "stale timestamp";
+    return out;
+  }
+  auto chain_result =
+      crypto::validate_chain(envelope.signer_chain, trusted, now);
+  if (!chain_result.ok) {
+    out.error = "certificate rejected: " + chain_result.error;
+    return out;
+  }
+  if (!crypto::rsa_verify_sha1(envelope.signer_chain.front().key,
+                               envelope.canonical_bytes(),
+                               envelope.signature)) {
+    out.error = "signature verification failed";
+    return out;
+  }
+  out.ok = true;
+  out.signer = chain_result.effective_identity;
+  return out;
+}
+
+}  // namespace sgfs::services

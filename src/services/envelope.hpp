@@ -1,0 +1,60 @@
+// Message-level security for the management services (paper §3.2, §4.4).
+//
+// The paper uses WSRF::Lite with WS-Security: SOAP envelopes whose bodies
+// are digitally signed with X.509 certificates.  This module reproduces the
+// essentials: an Envelope carries an action, string fields, a timestamp and
+// the signer's certificate chain; the signature is RSA-SHA1 over a canonical
+// serialization of all of it.  to_xml() renders the SOAP-style form for
+// humans/logs; the wire format is the canonical XDR (a self-inflicted XML
+// parser adds nothing when both ends are this library — the substitution is
+// recorded in DESIGN.md).
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "crypto/cert.hpp"
+
+namespace sgfs::services {
+
+class Envelope {
+ public:
+  std::string action;
+  std::map<std::string, std::string> fields;
+  int64_t timestamp = 0;  // seconds; receivers reject stale envelopes
+  std::vector<crypto::Certificate> signer_chain;
+  Buffer signature;
+
+  Envelope() = default;
+
+  /// The byte string the signature covers.
+  Buffer canonical_bytes() const;
+
+  /// Wire form (canonical + chain + signature).
+  Buffer serialize() const;
+  static Envelope deserialize(ByteView data);
+
+  /// SOAP-style rendering (for logs and the examples).
+  std::string to_xml() const;
+};
+
+/// Builds and signs an envelope with the credential's key.
+Envelope sign_envelope(const std::string& action,
+                       std::map<std::string, std::string> fields,
+                       const crypto::Credential& signer, int64_t timestamp);
+
+struct VerifiedEnvelope {
+  bool ok = false;
+  std::string error;
+  crypto::DistinguishedName signer;  // effective identity
+
+  VerifiedEnvelope() = default;
+};
+
+/// Verifies signature, certificate chain and freshness (|now - ts| <= skew).
+VerifiedEnvelope verify_envelope(
+    const Envelope& envelope,
+    const std::vector<crypto::Certificate>& trusted, int64_t now,
+    int64_t max_skew_seconds = 300);
+
+}  // namespace sgfs::services

@@ -1,0 +1,179 @@
+// SGFS management services (paper §3.2, §4.4): FSS and DSS.
+//
+// The File System Service (FSS) runs on every client and server host and
+// controls the local proxies; the Data Scheduler Service (DSS) creates and
+// customizes sessions by talking to both FSSs.  All service interactions are
+// WS-Security-style signed envelopes (src/services/envelope) over RPC —
+// message-level security, off the data path, exactly the paper's two-level
+// architecture (Figure 3).
+//
+// Delegation: the user issues a proxy certificate to the DSS, which uses it
+// to have the client-side FSS configure a proxy that authenticates *as the
+// user* (paper §3.2: "delegate the management services the right to create
+// a SGFS session on behalf of the user").
+#pragma once
+
+#include "nfs/nfs3_server.hpp"
+#include "rpc/rpc_client.hpp"
+#include "rpc/rpc_server.hpp"
+#include "services/envelope.hpp"
+#include "sgfs/client_proxy.hpp"
+#include "sgfs/server_proxy.hpp"
+
+namespace sgfs::services {
+
+inline constexpr uint32_t kFssProgram = 400001;
+inline constexpr uint32_t kFssVersion = 1;
+inline constexpr uint32_t kDssProgram = 400002;
+inline constexpr uint32_t kDssVersion = 1;
+
+// Service procedures; all carry one signed Envelope as args and return one.
+enum class ServiceProc : uint32_t {
+  kNull = 0,
+  kCreateServerProxy = 1,  // FSS (server host)
+  kCreateClientProxy = 2,  // FSS (client host)
+  kDestroyProxy = 3,       // FSS
+  kPutAcl = 4,             // FSS (server host)
+  kReconfigure = 5,        // FSS (client host)
+  kCreateSession = 10,     // DSS
+  kGrantAccess = 11,       // DSS ACL DB management
+  kPutFileAcl = 12,        // DSS -> server FSS fine-grained ACL
+};
+
+/// Serializes a credential for GSI-style delegation transport.
+std::string credential_to_field(const crypto::Credential& cred);
+crypto::Credential credential_from_field(const std::string& field);
+
+/// FSS: per-host proxy factory, driven by signed envelopes from the DSS.
+class FileSystemService
+    : public rpc::RpcProgram,
+      public std::enable_shared_from_this<FileSystemService> {
+ public:
+  /// `exported_fs` is non-null on file-server hosts (gives ACL access and
+  /// tells the FSS which kernel NFS address to wire server proxies to).
+  FileSystemService(net::Host& host, crypto::Credential service_cred,
+                    std::vector<crypto::Certificate> trusted,
+                    std::vector<std::string> authorized_controller_dns,
+                    std::shared_ptr<vfs::FileSystem> exported_fs,
+                    net::Address kernel_nfs, Rng rng);
+
+  void start(uint16_t port);
+  void stop();
+
+  sim::Task<Buffer> handle(const rpc::CallContext& ctx,
+                           ByteView args) override;
+
+  core::ServerProxy* server_proxy(uint16_t port);
+  core::ClientProxy* client_proxy(uint16_t port);
+  size_t session_count() const {
+    return server_proxies_.size() + client_proxies_.size();
+  }
+
+ private:
+  int64_t now_epoch() const {
+    return static_cast<int64_t>(host_.engine().now() / sim::kSecond);
+  }
+  Envelope reply_env(const std::string& action,
+                     std::map<std::string, std::string> fields);
+
+  net::Host& host_;
+  crypto::Credential cred_;
+  std::vector<crypto::Certificate> trusted_;
+  std::vector<std::string> authorized_;  // DNs allowed to control this FSS
+  std::shared_ptr<vfs::FileSystem> exported_fs_;
+  net::Address kernel_nfs_;
+  Rng rng_;
+  std::unique_ptr<rpc::RpcServer> rpc_server_;
+  std::map<uint16_t, std::shared_ptr<core::ServerProxy>> server_proxies_;
+  std::map<uint16_t, std::shared_ptr<core::ClientProxy>> client_proxies_;
+  uint16_t next_port_ = 5000;
+};
+
+/// DSS: session scheduling + the per-filesystem ACL database that generates
+/// gridmap files (paper §4.4).
+class DataSchedulerService
+    : public rpc::RpcProgram,
+      public std::enable_shared_from_this<DataSchedulerService> {
+ public:
+  DataSchedulerService(net::Host& host, crypto::Credential service_cred,
+                       std::vector<crypto::Certificate> trusted, Rng rng);
+
+  void start(uint16_t port);
+  void stop();
+
+  /// Registers an exported filesystem with its FSS endpoint and the local
+  /// account files are stored under.
+  void register_filesystem(const std::string& path,
+                           const net::Address& server_fss,
+                           const std::string& account, uint32_t uid,
+                           uint32_t gid);
+
+  /// Grants `user_dn` access to `path` (the DSS ACL DB; becomes a gridmap
+  /// entry in sessions created afterwards).
+  void grant(const std::string& path, const std::string& user_dn);
+  void revoke(const std::string& path, const std::string& user_dn);
+
+  sim::Task<Buffer> handle(const rpc::CallContext& ctx,
+                           ByteView args) override;
+
+ private:
+  struct ExportInfo {
+    net::Address server_fss;
+    std::string account;
+    uint32_t uid = 0;
+    uint32_t gid = 0;
+    std::set<std::string> granted_dns;
+    ExportInfo() = default;
+  };
+
+  int64_t now_epoch() const {
+    return static_cast<int64_t>(host_.engine().now() / sim::kSecond);
+  }
+  sim::Task<Envelope> call_fss(const net::Address& fss, ServiceProc proc,
+                               const Envelope& env);
+
+  net::Host& host_;
+  crypto::Credential cred_;
+  std::vector<crypto::Certificate> trusted_;
+  Rng rng_;
+  std::unique_ptr<rpc::RpcServer> rpc_server_;
+  std::map<std::string, ExportInfo> exports_;
+};
+
+/// User-side client of the DSS (what a job scheduler or the user's tooling
+/// calls).  Creates a delegation proxy certificate and signed requests.
+class DssClient {
+ public:
+  DssClient(net::Host& host, net::Address dss,
+            crypto::Credential user_credential,
+            std::vector<crypto::Certificate> trusted, Rng rng);
+
+  struct Session {
+    uint16_t client_proxy_port = 0;  // mount target on the client host
+    std::string client_host;
+    Session() = default;
+  };
+
+  /// Asks the DSS to create an SGFS session for `path`, with the proxies on
+  /// `client_host` configured from the given cache/security choices.
+  sim::Task<Session> create_session(const std::string& path,
+                                    const std::string& client_host,
+                                    const net::Address& client_fss,
+                                    crypto::Cipher cipher,
+                                    crypto::MacAlgo mac,
+                                    const core::CacheConfig& cache);
+
+  /// Fine-grained ACL management through the services (paper §4.4).
+  sim::Task<bool> put_file_acl(const std::string& path,
+                               const std::string& file,
+                               const core::Acl& acl);
+
+ private:
+  net::Host& host_;
+  net::Address dss_;
+  crypto::Credential user_;
+  std::vector<crypto::Certificate> trusted_;
+  Rng rng_;
+};
+
+}  // namespace sgfs::services

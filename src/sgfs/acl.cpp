@@ -1,0 +1,164 @@
+#include "sgfs/acl.hpp"
+
+#include <sstream>
+
+#include "common/config.hpp"
+
+namespace sgfs::core {
+
+std::optional<Account> AccountTable::find(const std::string& name) const {
+  auto it = accounts_.find(name);
+  if (it == accounts_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<std::string> GridMap::lookup(const std::string& dn) const {
+  auto it = entries_.find(dn);
+  if (it == entries_.end()) return std::nullopt;
+  return it->second;
+}
+
+GridMap GridMap::parse(const std::string& text) {
+  GridMap map;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    std::string_view sv = trim(line);
+    if (sv.empty() || sv[0] == '#') continue;
+    // Format: "DN with spaces" account
+    if (sv.front() == '"') {
+      size_t close = sv.find('"', 1);
+      if (close == std::string_view::npos) continue;
+      std::string dn(sv.substr(1, close - 1));
+      std::string account(trim(sv.substr(close + 1)));
+      if (!account.empty()) map.add(dn, account);
+    } else {
+      // Unquoted: last token is the account.
+      size_t sep = sv.find_last_of(" \t");
+      if (sep == std::string_view::npos) continue;
+      map.add(std::string(trim(sv.substr(0, sep))),
+              std::string(trim(sv.substr(sep + 1))));
+    }
+  }
+  return map;
+}
+
+std::string GridMap::to_string() const {
+  std::ostringstream out;
+  for (const auto& [dn, account] : entries_) {
+    out << '"' << dn << "\" " << account << "\n";
+  }
+  return out.str();
+}
+
+std::optional<uint32_t> Acl::mask_for(const std::string& dn) const {
+  auto it = entries.find(dn);
+  if (it == entries.end()) return std::nullopt;
+  return it->second;
+}
+
+Acl Acl::parse(const std::string& text) {
+  Acl acl;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    std::string_view sv = trim(line);
+    if (sv.empty() || sv[0] == '#') continue;
+    size_t sep = sv.find_last_of(" \t");
+    if (sep == std::string_view::npos) continue;
+    std::string dn(trim(sv.substr(0, sep)));
+    std::string mask_str(trim(sv.substr(sep + 1)));
+    acl.entries[dn] =
+        static_cast<uint32_t>(std::strtoul(mask_str.c_str(), nullptr, 0));
+  }
+  return acl;
+}
+
+std::string Acl::to_string() const {
+  std::ostringstream out;
+  for (const auto& [dn, mask] : entries) {
+    out << dn << " 0x" << std::hex << mask << std::dec << "\n";
+  }
+  return out.str();
+}
+
+std::string acl_name_for(const std::string& name) {
+  return "." + name + ".acl";
+}
+
+bool is_acl_name(const std::string& name) {
+  return name.size() > 5 && name.front() == '.' &&
+         name.ends_with(".acl");
+}
+
+std::optional<Acl> AclStore::load_acl(vfs::FileId dir,
+                                      const std::string& name) {
+  ++lookups_;
+  auto key = std::make_pair(dir, name);
+  auto hit = cache_.find(key);
+  if (hit != cache_.end()) return hit->second;
+
+  std::optional<Acl> result;
+  vfs::Cred root(0, 0);
+  auto id = fs_->lookup(root, dir, acl_name_for(name));
+  if (id.ok()) {
+    ++loads_;
+    auto attrs = fs_->getattr(id.value);
+    if (attrs.ok()) {
+      auto content = fs_->read(root, id.value, 0,
+                               static_cast<uint32_t>(attrs.value.size));
+      if (content.ok()) {
+        result = Acl::parse(sgfs::to_string(content.value.data));
+      }
+    }
+  }
+  cache_[key] = result;
+  return result;
+}
+
+std::optional<Acl> AclStore::effective_acl(vfs::FileId dir,
+                                           const std::string& name) {
+  if (auto own = load_acl(dir, name)) return own;
+  return effective_acl_dir(dir);
+}
+
+std::optional<Acl> AclStore::effective_acl_dir(vfs::FileId dir) {
+  // Walk up parents: a directory's own ACL is stored in *its* parent as
+  // ".dirname.acl"; we locate it via the parent's entry map.
+  vfs::Cred root(0, 0);
+  vfs::FileId cur = dir;
+  for (int depth = 0; depth < 64; ++depth) {
+    auto parent = fs_->lookup(root, cur, "..");
+    if (!parent.ok()) return std::nullopt;
+    if (parent.value == cur) return std::nullopt;  // reached the FS root
+    // Find cur's name within the parent.
+    auto entries = fs_->readdir(root, parent.value, 0, 100000);
+    if (!entries.ok()) return std::nullopt;
+    std::string name;
+    for (const auto& e : entries.value) {
+      if (e.fileid == cur && e.name != "." && e.name != "..") {
+        name = e.name;
+        break;
+      }
+    }
+    if (name.empty()) return std::nullopt;
+    if (auto acl = load_acl(parent.value, name)) return acl;
+    cur = parent.value;
+  }
+  return std::nullopt;
+}
+
+vfs::Status AclStore::put_acl(vfs::FileId dir, const std::string& name,
+                              const Acl& acl) {
+  vfs::Cred root(0, 0);
+  auto file = fs_->create(root, dir, acl_name_for(name), 0600);
+  if (!file.ok()) return file.status;
+  vfs::SetAttrs trunc;
+  trunc.size = 0;
+  fs_->setattr(root, file.value, trunc);
+  auto w = fs_->write(root, file.value, 0, to_bytes(acl.to_string()));
+  cache_.erase({dir, name});
+  return w.status;
+}
+
+}  // namespace sgfs::core

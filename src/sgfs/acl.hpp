@@ -1,0 +1,117 @@
+// Grid file access control (paper §4.3): gridmap identity mapping and
+// fine-grained per-file/directory ACLs.
+//
+// The gridmap file maps a grid identity (certificate distinguished name) to
+// a local account; mapped users get that account's access rights to the
+// exported filesystem.  Unmapped users are mapped to an anonymous account or
+// denied, per session configuration.
+//
+// Fine-grained ACLs live next to the files they protect, as ".name.acl"
+// files holding "DN mask" lines.  A file without a dedicated ACL inherits
+// its parent directory's; the server-side proxy caches parsed ACLs in
+// memory and hides the ACL files from remote access.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "common/bytes.hpp"
+#include "vfs/vfs.hpp"
+
+namespace sgfs::core {
+
+/// A local account the gridmap can map to.
+struct Account {
+  std::string name;
+  uint32_t uid = 65534;
+  uint32_t gid = 65534;
+
+  Account() = default;
+  Account(std::string n, uint32_t u, uint32_t g)
+      : name(std::move(n)), uid(u), gid(g) {}
+};
+
+/// /etc/passwd stand-in: account name -> uid/gid.
+class AccountTable {
+ public:
+  void add(const Account& account) { accounts_[account.name] = account; }
+  std::optional<Account> find(const std::string& name) const;
+
+ private:
+  std::map<std::string, Account> accounts_;
+};
+
+/// Gridmap file: "DN" -> local account name.  Per-session (paper §4.3:
+/// a user shares her files by adding the peer's DN to her session gridmap).
+class GridMap {
+ public:
+  void add(const std::string& dn, const std::string& account) {
+    entries_[dn] = account;
+  }
+  void remove(const std::string& dn) { entries_.erase(dn); }
+  std::optional<std::string> lookup(const std::string& dn) const;
+  size_t size() const { return entries_.size(); }
+
+  /// Parses gridmap-file syntax: one `"DN" account` per line.
+  static GridMap parse(const std::string& text);
+  std::string to_string() const;
+
+ private:
+  std::map<std::string, std::string> entries_;
+};
+
+/// Parsed ACL: DN -> NFSv3 ACCESS bit mask.
+struct Acl {
+  std::map<std::string, uint32_t> entries;
+
+  Acl() = default;
+  std::optional<uint32_t> mask_for(const std::string& dn) const;
+
+  /// Text form: one "DN mask" line each (mask in octal/hex/decimal).
+  static Acl parse(const std::string& text);
+  std::string to_string() const;
+};
+
+/// Builds the ".name.acl" sibling path for a file name.
+std::string acl_name_for(const std::string& name);
+/// True if `name` is an ACL file (".x.acl").
+bool is_acl_name(const std::string& name);
+
+/// Server-proxy ACL store: reads ACL files directly from the exported VFS
+/// (the proxy is collocated with the file server), caches them in memory,
+/// and resolves inheritance through parent directories.
+class AclStore {
+ public:
+  explicit AclStore(std::shared_ptr<vfs::FileSystem> fs)
+      : fs_(std::move(fs)) {}
+
+  /// Effective ACL for the entry `name` in directory `dir`, following
+  /// parent inheritance.  nullopt when no ACL governs the file.
+  std::optional<Acl> effective_acl(vfs::FileId dir, const std::string& name);
+
+  /// Effective ACL for a directory itself.
+  std::optional<Acl> effective_acl_dir(vfs::FileId dir);
+
+  /// Writes an ACL file (used by the management services, §4.4).
+  vfs::Status put_acl(vfs::FileId dir, const std::string& name,
+                      const Acl& acl);
+
+  /// Drops the in-memory cache (e.g. after external modification).
+  void invalidate() { cache_.clear(); }
+
+  uint64_t loads() const { return loads_; }   // disk reads performed
+  uint64_t lookups() const { return lookups_; }
+
+ private:
+  std::optional<Acl> load_acl(vfs::FileId dir, const std::string& name);
+
+  std::shared_ptr<vfs::FileSystem> fs_;
+  // (dir inode, name) -> parsed ACL or nullopt (negative entry).
+  std::map<std::pair<vfs::FileId, std::string>, std::optional<Acl>> cache_;
+  uint64_t loads_ = 0;
+  uint64_t lookups_ = 0;
+};
+
+}  // namespace sgfs::core

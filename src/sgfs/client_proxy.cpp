@@ -1,0 +1,658 @@
+#include "sgfs/client_proxy.hpp"
+
+#include "common/log.hpp"
+
+namespace sgfs::core {
+
+using nfs::Fh;
+using nfs::Proc3;
+using nfs::Status;
+
+ClientProxy::ClientProxy(net::Host& host, ClientProxyConfig config, Rng rng)
+    : host_(host),
+      config_(std::move(config)),
+      rng_(rng),
+      forward_mutex_(host.engine()) {}
+
+void ClientProxy::start(uint16_t port) {
+  rpc_server_ = std::make_unique<rpc::RpcServer>(host_, port);
+  auto self = shared_from_this();
+  rpc_server_->register_program(nfs::kNfsProgram, nfs::kNfsVersion3, self);
+  rpc_server_->register_program(nfs::kMountProgram, nfs::kMountVersion3,
+                                self);
+  rpc_server_->start();
+  if (config_.security.renegotiate_interval > 0) {
+    host_.engine().spawn(renegotiate_loop(alive_));
+  }
+}
+
+void ClientProxy::stop() {
+  stopped_ = true;
+  *alive_ = false;
+  if (rpc_server_) rpc_server_->stop();
+  if (upstream_nfs_) upstream_nfs_->close();
+  if (upstream_mount_) upstream_mount_->close();
+}
+
+uint64_t ClientProxy::dirty_bytes() const {
+  uint64_t total = 0;
+  for (const auto& [fileid, set] : dirty_) {
+    total += set.size() * config_.cache.block_size;
+  }
+  return total;
+}
+
+uint32_t ClientProxy::key_generation() const { return handshakes_; }
+
+sim::Task<void> ClientProxy::ensure_upstream() {
+  const int64_t epoch =
+      static_cast<int64_t>(host_.engine().now() / sim::kSecond);
+  if (!upstream_nfs_) {
+    if (config_.plain_transport) {
+      upstream_nfs_ = co_await rpc::clnt_create(
+          host_, config_.server_proxy, nfs::kNfsProgram, nfs::kNfsVersion3);
+    } else {
+      upstream_nfs_ = co_await rpc::clnt_ssl_create(
+          host_, config_.server_proxy, nfs::kNfsProgram, nfs::kNfsVersion3,
+          config_.security, rng_, epoch);
+    }
+    ++handshakes_;
+  }
+  if (!upstream_mount_) {
+    if (config_.plain_transport) {
+      upstream_mount_ = co_await rpc::clnt_create(
+          host_, config_.server_proxy, nfs::kMountProgram,
+          nfs::kMountVersion3);
+    } else {
+      upstream_mount_ = co_await rpc::clnt_ssl_create(
+          host_, config_.server_proxy, nfs::kMountProgram,
+          nfs::kMountVersion3, config_.security, rng_, epoch);
+    }
+  }
+}
+
+sim::Task<Buffer> ClientProxy::forward(const rpc::CallContext& ctx,
+                                       ByteView args) {
+  std::optional<sim::SimMutex::Guard> guard;
+  if (config_.serialize_forwarding) {
+    guard.emplace(co_await forward_mutex_.scoped());
+  }
+  co_await ensure_upstream();
+  ++forwarded_;
+  rpc::RpcClient& client =
+      ctx.prog == nfs::kMountProgram ? *upstream_mount_ : *upstream_nfs_;
+  // Pass the job account's AUTH_SYS credentials through; the server-side
+  // proxy performs the identity mapping.
+  if (ctx.auth_sys) {
+    client.set_auth(*ctx.auth_sys);
+  } else {
+    client.clear_auth();
+  }
+  if (config_.cost.per_msg_latency > 0) {
+    co_await host_.engine().sleep(config_.cost.per_msg_latency);
+  }
+  Buffer reply = co_await client.call(ctx.proc, args);
+  // Reply processing: inside the blocking proxy's single thread this
+  // serializes with everything else; an async daemon overlaps it.
+  co_await host_.cpu().use(config_.cost.msg_cost(reply.size()), "proxy");
+  if (config_.cost.overlapped_bytes_per_sec > 0) {
+    host_.cpu().charge(
+        sim::from_seconds(reply.size() /
+                          config_.cost.overlapped_bytes_per_sec),
+        "proxy");
+  }
+  co_return reply;
+}
+
+sim::Task<void> ClientProxy::renegotiate_loop(std::shared_ptr<bool> alive) {
+  const sim::SimDur interval = config_.security.renegotiate_interval;
+  auto& eng = host_.engine();
+  for (;;) {
+    co_await eng.sleep(interval);
+    if (!*alive) co_return;
+    try {
+      co_await renegotiate();
+    } catch (const std::exception& e) {
+      if (*alive) SGFS_WARN("sgfs-proxy", "renegotiation failed: ", e.what());
+      co_return;
+    }
+    if (!*alive) co_return;
+  }
+}
+
+sim::Task<void> ClientProxy::renegotiate() {
+  // Re-keys the session by running a fresh handshake: the proxy's upstream
+  // RPC connection has a concurrent reader, so in-band renegotiation (which
+  // SecureChannel supports for single-stream users) is replaced by an
+  // equivalent reconnect — new session keys, re-read and re-validated
+  // certificates (paper §4.2).
+  auto guard = co_await forward_mutex_.scoped();
+  if (!upstream_nfs_) co_return;
+  upstream_nfs_->close();
+  upstream_mount_->close();
+  upstream_nfs_.reset();
+  upstream_mount_.reset();
+  co_await ensure_upstream();
+}
+
+void ClientProxy::reload(const ClientProxyConfig& config) {
+  const bool security_changed =
+      config.security.cipher != config_.security.cipher ||
+      config.security.mac != config_.security.mac;
+  config_ = config;
+  if (security_changed) {
+    // Tear down the secured connections; the next request re-handshakes
+    // under the new configuration (certificates are re-read then too).
+    if (upstream_nfs_) upstream_nfs_->close();
+    if (upstream_mount_) upstream_mount_->close();
+    upstream_nfs_.reset();
+    upstream_mount_.reset();
+  }
+}
+
+// --- cache plumbing -----------------------------------------------------------
+
+sim::Task<void> ClientProxy::cache_disk_io(uint64_t fileid, uint64_t block,
+                                           size_t bytes, bool write) {
+  const bool sequential = last_disk_block_.first == fileid &&
+                          (block == last_disk_block_.second + 1 ||
+                           block == last_disk_block_.second);
+  last_disk_block_ = {fileid, block};
+  if (write) {
+    co_await host_.disk().write(bytes, sequential, "proxy.cache");
+  } else {
+    co_await host_.disk().read(bytes, sequential, "proxy.cache");
+  }
+}
+
+void ClientProxy::spawn_cache_store(uint64_t fileid, uint64_t block,
+                                    size_t bytes) {
+  // Writing a fetched block to the cache disk happens off the reply path.
+  auto task = [](ClientProxy* proxy, std::shared_ptr<bool> alive,
+                 uint64_t fileid, uint64_t block,
+                 size_t bytes) -> sim::Task<void> {
+    if (!*alive) co_return;
+    co_await proxy->cache_disk_io(fileid, block, bytes, /*write=*/true);
+  };
+  host_.engine().spawn(task(this, alive_, fileid, block, bytes));
+}
+
+bool ClientProxy::attrs_fresh(const AttrEntry& entry) const {
+  if (config_.cache.consistency == Consistency::kSessionExclusive) {
+    return true;
+  }
+  return host_.engine().now() - entry.fetched <= config_.cache.attr_ttl;
+}
+
+void ClientProxy::remember(const Fh& fh,
+                           const std::optional<vfs::Attributes>& attrs) {
+  if (!attrs || !config_.cache.cache_attrs) return;
+  attrs_[fh.fileid] = AttrEntry{*attrs, host_.engine().now()};
+}
+
+void ClientProxy::drop_file(uint64_t fileid) {
+  auto it = blocks_.lower_bound({fileid, 0});
+  while (it != blocks_.end() && it->first.first == fileid) {
+    if (it->second.dirty) {
+      cancelled_writeback_bytes_ += it->second.valid;
+    }
+    cache_bytes_used_ -= config_.cache.block_size;
+    lru_.erase(it->second.lru);
+    it = blocks_.erase(it);
+  }
+  dirty_.erase(fileid);
+  attrs_.erase(fileid);
+  access_cache_.erase(fileid);
+  dir_cache_.erase(fileid);
+}
+
+void ClientProxy::invalidate_dir(uint64_t dir_fileid) {
+  dir_cache_.erase(dir_fileid);
+  auto it = names_.lower_bound({dir_fileid, ""});
+  while (it != names_.end() && it->first.first == dir_fileid) {
+    it = names_.erase(it);
+  }
+}
+
+ClientProxy::Block& ClientProxy::put_block(uint64_t fileid, uint64_t block) {
+  BlockKey key{fileid, block};
+  auto it = blocks_.find(key);
+  if (it == blocks_.end()) {
+    Block b;
+    b.data.assign(config_.cache.block_size, 0);
+    b.lru = ++lru_clock_;
+    it = blocks_.emplace(key, std::move(b)).first;
+    lru_[it->second.lru] = key;
+    cache_bytes_used_ += config_.cache.block_size;
+  } else {
+    lru_.erase(it->second.lru);
+    it->second.lru = ++lru_clock_;
+    lru_[it->second.lru] = key;
+  }
+  return it->second;
+}
+
+sim::Task<void> ClientProxy::writeback_block(uint64_t fileid, uint64_t block,
+                                             bool file_sync) {
+  BlockKey key{fileid, block};
+  auto it = blocks_.find(key);
+  if (it == blocks_.end() || !it->second.dirty) co_return;
+  // Read the block back from the cache disk, then push it upstream.
+  co_await cache_disk_io(fileid, block, it->second.valid, /*write=*/false);
+  nfs::WriteArgs wargs;
+  wargs.fh = Fh(seen_fsid_, fileid);
+  wargs.offset = block * config_.cache.block_size;
+  wargs.stable = file_sync ? nfs::StableHow::kFileSync
+                           : nfs::StableHow::kUnstable;
+  wargs.data.assign(it->second.data.begin(),
+                    it->second.data.begin() + it->second.valid);
+  xdr::Encoder enc;
+  wargs.encode(enc);
+  rpc::CallContext fake;
+  fake.prog = nfs::kNfsProgram;
+  fake.vers = nfs::kNfsVersion3;
+  fake.proc = static_cast<uint32_t>(Proc3::kWrite);
+  fake.auth_sys = last_client_auth_;
+  Buffer reply = co_await forward(fake, enc.data());
+  xdr::Decoder dec(reply);
+  auto res = nfs::WriteRes::decode(dec);
+  if (res.status != Status::kOk) {
+    SGFS_WARN("sgfs-proxy", "write-back failed: ",
+              vfs::to_string(res.status));
+  }
+  flushed_bytes_ += it->second.valid;
+  auto again = blocks_.find(key);
+  if (again != blocks_.end()) again->second.dirty = false;
+  auto ds = dirty_.find(fileid);
+  if (ds != dirty_.end()) {
+    ds->second.erase(block);
+    if (ds->second.empty()) dirty_.erase(ds);
+  }
+}
+
+sim::Task<void> ClientProxy::evict_if_needed() {
+  while (cache_bytes_used_ > config_.cache.capacity_bytes && !lru_.empty()) {
+    const BlockKey victim = lru_.begin()->second;
+    auto it = blocks_.find(victim);
+    if (it != blocks_.end() && it->second.dirty) {
+      co_await writeback_block(victim.first, victim.second,
+                               /*file_sync=*/true);
+      it = blocks_.find(victim);
+    }
+    if (it != blocks_.end()) {
+      lru_.erase(it->second.lru);
+      blocks_.erase(it);
+      cache_bytes_used_ -= config_.cache.block_size;
+    } else {
+      lru_.erase(lru_.begin());
+    }
+  }
+}
+
+sim::Task<void> ClientProxy::flush() {
+  // Push dirty blocks per file, then COMMIT each file once.
+  std::vector<uint64_t> files;
+  for (const auto& [fileid, set] : dirty_) files.push_back(fileid);
+  for (uint64_t fileid : files) {
+    std::vector<uint64_t> pending;
+    auto ds = dirty_.find(fileid);
+    if (ds == dirty_.end()) continue;
+    pending.assign(ds->second.begin(), ds->second.end());
+    for (uint64_t block : pending) {
+      co_await writeback_block(fileid, block, /*file_sync=*/false);
+    }
+    nfs::CommitArgs cargs(Fh(seen_fsid_, fileid), 0, 0);
+    xdr::Encoder enc;
+    cargs.encode(enc);
+    rpc::CallContext fake;
+    fake.prog = nfs::kNfsProgram;
+    fake.vers = nfs::kNfsVersion3;
+    fake.proc = static_cast<uint32_t>(Proc3::kCommit);
+    fake.auth_sys = last_client_auth_;
+    (void)co_await forward(fake, enc.data());
+  }
+}
+
+// --- request handling -----------------------------------------------------------
+
+sim::Task<Buffer> ClientProxy::handle(const rpc::CallContext& ctx,
+                                      ByteView args) {
+  co_await host_.cpu().use(config_.cost.msg_cost(args.size()), "proxy");
+  if (config_.cost.overlapped_bytes_per_sec > 0) {
+    host_.cpu().charge(sim::from_seconds(args.size() /
+                                         config_.cost.overlapped_bytes_per_sec),
+                       "proxy");
+  }
+  if (ctx.auth_sys) last_client_auth_ = ctx.auth_sys;
+
+  if (ctx.prog == nfs::kMountProgram || !config_.cache.enabled) {
+    co_return co_await forward(ctx, args);
+  }
+
+  const auto proc = static_cast<Proc3>(ctx.proc);
+  const size_t bs = config_.cache.block_size;
+
+  switch (proc) {
+    case Proc3::kGetattr: {
+      xdr::Decoder dec(args);
+      auto a = nfs::GetattrArgs::decode(dec);
+      auto hit = attrs_.find(a.fh.fileid);
+      if (config_.cache.cache_attrs && hit != attrs_.end() &&
+          attrs_fresh(hit->second)) {
+        ++absorbed_getattrs_;
+        nfs::GetattrRes res;
+        res.attrs = hit->second.attrs;
+        xdr::Encoder enc;
+        res.encode(enc);
+        co_return enc.take();
+      }
+      Buffer reply = co_await forward(ctx, args);
+      xdr::Decoder rdec(reply);
+      auto res = nfs::GetattrRes::decode(rdec);
+      if (res.status == Status::kOk) {
+        remember(a.fh, res.attrs);
+      }
+      co_return reply;
+    }
+
+    case Proc3::kLookup: {
+      xdr::Decoder dec(args);
+      auto a = nfs::DiropArgs::decode(dec);
+      auto key = std::make_pair(a.dir.fileid, a.name);
+      auto hit = names_.find(key);
+      if (config_.cache.cache_names && hit != names_.end()) {
+        ++absorbed_lookups_;
+        nfs::LookupRes res = hit->second;
+        // Refresh attrs from the attribute cache (local writes move them).
+        auto at = attrs_.find(res.fh.fileid);
+        if (at != attrs_.end()) res.attrs = at->second.attrs;
+        xdr::Encoder enc;
+        res.encode(enc);
+        co_return enc.take();
+      }
+      Buffer reply = co_await forward(ctx, args);
+      xdr::Decoder rdec(reply);
+      auto res = nfs::LookupRes::decode(rdec);
+      if (res.status == Status::kOk && config_.cache.cache_names) {
+        names_[key] = res;
+        remember(res.fh, res.attrs);
+        remember(a.dir, res.dir_attrs);
+      }
+      co_return reply;
+    }
+
+    case Proc3::kAccess: {
+      xdr::Decoder dec(args);
+      auto a = nfs::AccessArgs::decode(dec);
+      auto hit = access_cache_.find(a.fh.fileid);
+      if (hit != access_cache_.end() &&
+          (a.access & ~hit->second.first) == 0) {
+        nfs::AccessRes res;
+        res.access = hit->second.second & a.access;
+        auto at = attrs_.find(a.fh.fileid);
+        if (at != attrs_.end()) res.post_attrs = at->second.attrs;
+        xdr::Encoder enc;
+        res.encode(enc);
+        co_return enc.take();
+      }
+      Buffer reply = co_await forward(ctx, args);
+      xdr::Decoder rdec(reply);
+      auto res = nfs::AccessRes::decode(rdec);
+      if (res.status == Status::kOk) {
+        access_cache_[a.fh.fileid] = {a.access, res.access};
+        remember(a.fh, res.post_attrs);
+      }
+      co_return reply;
+    }
+
+    case Proc3::kRead: {
+      xdr::Decoder dec(args);
+      auto a = nfs::ReadArgs::decode(dec);
+      seen_fsid_ = a.fh.fsid;
+      const bool aligned =
+          config_.cache.cache_data && a.offset % bs == 0 && a.count <= bs;
+      if (aligned) {
+        auto bit = blocks_.find({a.fh.fileid, a.offset / bs});
+        auto at = attrs_.find(a.fh.fileid);
+        if (bit != blocks_.end() && at != attrs_.end() &&
+            attrs_fresh(at->second)) {
+          ++absorbed_reads_;
+          const uint64_t size = at->second.attrs.size;
+          const Block& b = bit->second;
+          const size_t have =
+              a.offset >= size
+                  ? 0
+                  : std::min<uint64_t>(std::min<uint64_t>(a.count, b.valid),
+                                       size - a.offset);
+          co_await cache_disk_io(a.fh.fileid, a.offset / bs, have ? have : 1,
+                                 /*write=*/false);
+          nfs::ReadRes res;
+          res.count = static_cast<uint32_t>(have);
+          res.eof = a.offset + have >= size;
+          res.data.assign(b.data.begin(), b.data.begin() + have);
+          res.post_attrs = at->second.attrs;
+          xdr::Encoder enc;
+          res.encode(enc);
+          co_return enc.take();
+        }
+      }
+      Buffer reply = co_await forward(ctx, args);
+      xdr::Decoder rdec(reply);
+      auto res = nfs::ReadRes::decode(rdec);
+      if (res.status == Status::kOk && aligned) {
+        remember(a.fh, res.post_attrs);
+        Block& b = put_block(a.fh.fileid, a.offset / bs);
+        std::copy(res.data.begin(), res.data.end(), b.data.begin());
+        b.valid = std::max(b.valid, res.count);
+        spawn_cache_store(a.fh.fileid, a.offset / bs, res.count);
+        co_await evict_if_needed();
+      }
+      co_return reply;
+    }
+
+    case Proc3::kWrite: {
+      xdr::Decoder dec(args);
+      auto a = nfs::WriteArgs::decode(dec);
+      seen_fsid_ = a.fh.fsid;
+      const bool aligned =
+          config_.cache.cache_data && a.offset % bs == 0 &&
+          a.data.size() <= bs;
+      if (config_.cache.write_back && aligned) {
+        ++absorbed_writes_;
+        Block& b = put_block(a.fh.fileid, a.offset / bs);
+        std::copy(a.data.begin(), a.data.end(), b.data.begin());
+        b.valid = std::max<uint32_t>(b.valid,
+                                     static_cast<uint32_t>(a.data.size()));
+        b.dirty = true;
+        dirty_[a.fh.fileid].insert(a.offset / bs);
+        spawn_cache_store(a.fh.fileid, a.offset / bs, a.data.size());
+        // Update the locally-known attributes.
+        auto at = attrs_.find(a.fh.fileid);
+        if (at != attrs_.end()) {
+          at->second.attrs.size = std::max<uint64_t>(
+              at->second.attrs.size, a.offset + a.data.size());
+          at->second.attrs.mtime =
+              static_cast<int64_t>(host_.engine().now() / sim::kSecond);
+          at->second.fetched = host_.engine().now();
+        }
+        nfs::WriteRes res;
+        res.count = static_cast<uint32_t>(a.data.size());
+        res.committed = nfs::StableHow::kFileSync;  // durable in disk cache
+        res.verf = 0x53474653;
+        if (at != attrs_.end()) res.post_attrs = at->second.attrs;
+        xdr::Encoder enc;
+        res.encode(enc);
+        co_await evict_if_needed();
+        co_return enc.take();
+      }
+      Buffer reply = co_await forward(ctx, args);
+      xdr::Decoder rdec(reply);
+      auto res = nfs::WriteRes::decode(rdec);
+      if (res.status == Status::kOk) remember(a.fh, res.post_attrs);
+      co_return reply;
+    }
+
+    case Proc3::kCommit: {
+      if (config_.cache.write_back && config_.cache.cache_data) {
+        // Data is durable in the proxy's disk cache; the real write-back
+        // happens at flush() (end of session) or under eviction pressure.
+        nfs::CommitRes res;
+        res.verf = 0x53474653;
+        xdr::Encoder enc;
+        res.encode(enc);
+        co_return enc.take();
+      }
+      co_return co_await forward(ctx, args);
+    }
+
+    case Proc3::kCreate:
+    case Proc3::kMkdir:
+    case Proc3::kSymlink: {
+      xdr::Decoder dec(args);
+      Fh dir;
+      std::string name;
+      if (proc == Proc3::kCreate) {
+        auto a = nfs::CreateArgs::decode(dec);
+        dir = a.dir;
+        name = a.name;
+      } else if (proc == Proc3::kMkdir) {
+        auto a = nfs::MkdirArgs::decode(dec);
+        dir = a.dir;
+        name = a.name;
+      } else {
+        auto a = nfs::SymlinkArgs::decode(dec);
+        dir = a.dir;
+        name = a.name;
+      }
+      Buffer reply = co_await forward(ctx, args);
+      xdr::Decoder rdec(reply);
+      auto res = nfs::CreateRes::decode(rdec);
+      // A create invalidates the cached listing but not sibling names.
+      dir_cache_.erase(dir.fileid);
+      if (res.status == Status::kOk) {
+        remember(res.fh, res.attrs);
+        remember(dir, res.dir_attrs);
+        if (config_.cache.cache_names) {
+          nfs::LookupRes lr;
+          lr.fh = res.fh;
+          lr.attrs = res.attrs;
+          names_[{dir.fileid, name}] = lr;
+        }
+      }
+      co_return reply;
+    }
+
+    case Proc3::kRemove:
+    case Proc3::kRmdir: {
+      xdr::Decoder dec(args);
+      auto a = nfs::DiropArgs::decode(dec);
+      // Identify the victim before forwarding so pending write-backs can be
+      // cancelled (paper §6.3.2).
+      std::optional<uint64_t> victim;
+      auto hit = names_.find({a.dir.fileid, a.name});
+      if (hit != names_.end()) victim = hit->second.fh.fileid;
+      Buffer reply = co_await forward(ctx, args);
+      xdr::Decoder rdec(reply);
+      auto res = nfs::WccRes::decode(rdec);
+      if (res.status == Status::kOk) {
+        dir_cache_.erase(a.dir.fileid);
+        names_.erase({a.dir.fileid, a.name});
+        remember(a.dir, res.post_attrs);
+        if (victim) drop_file(*victim);
+      }
+      co_return reply;
+    }
+
+    case Proc3::kRename: {
+      xdr::Decoder dec(args);
+      auto a = nfs::RenameArgs::decode(dec);
+      Buffer reply = co_await forward(ctx, args);
+      xdr::Decoder rdec(reply);
+      auto res = nfs::WccRes::decode(rdec);
+      if (res.status == Status::kOk) {
+        dir_cache_.erase(a.from_dir.fileid);
+        dir_cache_.erase(a.to_dir.fileid);
+        auto moved = names_.find({a.from_dir.fileid, a.from_name});
+        if (moved != names_.end()) {
+          nfs::LookupRes entry = moved->second;
+          names_.erase(moved);
+          names_[{a.to_dir.fileid, a.to_name}] = entry;
+        } else {
+          names_.erase({a.to_dir.fileid, a.to_name});
+        }
+      }
+      co_return reply;
+    }
+
+    case Proc3::kSetattr: {
+      xdr::Decoder dec(args);
+      auto a = nfs::SetattrArgs::decode(dec);
+      Buffer reply = co_await forward(ctx, args);
+      xdr::Decoder rdec(reply);
+      auto res = nfs::WccRes::decode(rdec);
+      if (res.status == Status::kOk) {
+        if (a.sattr.size) {
+          // Truncate: drop cached blocks beyond the new size.
+          const uint64_t keep_blocks = (*a.sattr.size + bs - 1) / bs;
+          auto it = blocks_.lower_bound({a.fh.fileid, keep_blocks});
+          while (it != blocks_.end() && it->first.first == a.fh.fileid) {
+            if (it->second.dirty) {
+              cancelled_writeback_bytes_ += it->second.valid;
+              auto ds = dirty_.find(a.fh.fileid);
+              if (ds != dirty_.end()) ds->second.erase(it->first.second);
+            }
+            cache_bytes_used_ -= bs;
+            lru_.erase(it->second.lru);
+            it = blocks_.erase(it);
+          }
+          auto ds = dirty_.find(a.fh.fileid);
+          if (ds != dirty_.end() && ds->second.empty()) {
+            dirty_.erase(ds);
+          }
+        }
+        remember(a.fh, res.post_attrs);
+      }
+      co_return reply;
+    }
+
+    case Proc3::kReaddir:
+    case Proc3::kReaddirplus: {
+      xdr::Decoder dec(args);
+      auto a = nfs::ReaddirArgs::decode(dec);
+      if (config_.cache.cache_dirs && a.cookie == 0) {
+        auto hit = dir_cache_.find(a.dir.fileid);
+        if (hit != dir_cache_.end()) {
+          xdr::Encoder enc;
+          hit->second.encode(enc);
+          co_return enc.take();
+        }
+      }
+      Buffer reply = co_await forward(ctx, args);
+      if (config_.cache.cache_dirs && a.cookie == 0) {
+        xdr::Decoder rdec(reply);
+        auto res = nfs::ReaddirRes::decode(rdec);
+        if (res.status == Status::kOk && res.eof) {
+          for (const auto& entry : res.entries) {
+            if (entry.fh && entry.attrs) {
+              remember(*entry.fh, entry.attrs);
+              if (config_.cache.cache_names && entry.name != "." &&
+                  entry.name != "..") {
+                nfs::LookupRes lr;
+                lr.fh = *entry.fh;
+                lr.attrs = entry.attrs;
+                names_[{a.dir.fileid, entry.name}] = lr;
+              }
+            }
+          }
+          dir_cache_[a.dir.fileid] = std::move(res);
+        }
+      }
+      co_return reply;
+    }
+
+    default:
+      co_return co_await forward(ctx, args);
+  }
+}
+
+}  // namespace sgfs::core

@@ -1,0 +1,137 @@
+// SGFS client-side proxy (paper §4.2, §6).
+//
+// Sits on the compute host's loopback between the unmodified kernel NFS
+// client and the wide-area link: forwards RPCs to the server-side proxy over
+// the SSL-secured channel and hides WAN latency with a disk cache:
+//
+//   - data blocks and attributes are cached on the proxy's local disk with
+//     session-exclusive consistency (the paper's sessions are dedicated to
+//     one user/job, §6.1) or TTL-revalidation;
+//   - write-back: WRITE and COMMIT are absorbed locally (durable in the
+//     disk cache) and propagated on flush() — end-of-session write-back is
+//     what Figures 9/10 report separately;
+//   - REMOVE cancels pending write-backs of the victim ("only the final
+//     results are written back, not the temporary data", §6.3.2);
+//   - the session's security configuration can be reloaded and the SSL
+//     session key renegotiated in-band, manually or on a timer (§4.2).
+//
+// Forwarding uses blocking RPC (one outstanding upstream call) like the
+// paper's prototype.
+#pragma once
+
+#include <set>
+
+#include "nfs/nfs3.hpp"
+#include "rpc/rpc_client.hpp"
+#include "rpc/rpc_server.hpp"
+#include "sgfs/session.hpp"
+#include "sim/mutex.hpp"
+
+namespace sgfs::core {
+
+class ClientProxy : public rpc::RpcProgram,
+                    public std::enable_shared_from_this<ClientProxy> {
+ public:
+  ClientProxy(net::Host& host, ClientProxyConfig config, Rng rng);
+
+  /// Starts the plain RPC service on the loopback `port`.
+  void start(uint16_t port);
+  void stop();
+
+  sim::Task<Buffer> handle(const rpc::CallContext& ctx,
+                           ByteView args) override;
+
+  /// Writes all dirty cached data back to the server (session teardown —
+  /// the separately-reported write-back time in Figures 9/10).
+  sim::Task<void> flush();
+
+  /// Applies a new cache/security configuration (paper §4.2 reload).  A
+  /// changed cipher suite tears down the secure connection; the next call
+  /// reconnects and re-handshakes with the new configuration.
+  void reload(const ClientProxyConfig& config);
+
+  /// Re-keys the secure session (paper §4.2: refresh the session key of a
+  /// long-lived session): runs a fresh mutual handshake.
+  sim::Task<void> renegotiate();
+
+  // Stats (used by benchmarks and tests).
+  uint64_t forwarded() const { return forwarded_; }
+  uint64_t absorbed_reads() const { return absorbed_reads_; }
+  uint64_t absorbed_writes() const { return absorbed_writes_; }
+  uint64_t absorbed_getattrs() const { return absorbed_getattrs_; }
+  uint64_t absorbed_lookups() const { return absorbed_lookups_; }
+  uint64_t cancelled_writeback_bytes() const {
+    return cancelled_writeback_bytes_;
+  }
+  uint64_t flushed_bytes() const { return flushed_bytes_; }
+  uint64_t dirty_bytes() const;
+  uint32_t key_generation() const;
+
+ private:
+  struct Block {
+    Buffer data;
+    uint32_t valid = 0;
+    bool dirty = false;
+    uint64_t lru = 0;
+  };
+  struct AttrEntry {
+    vfs::Attributes attrs;
+    sim::SimTime fetched = 0;
+  };
+  using BlockKey = std::pair<uint64_t, uint64_t>;  // (fileid, block)
+
+  sim::Task<void> ensure_upstream();
+  sim::Task<Buffer> forward(const rpc::CallContext& ctx, ByteView args);
+  sim::Task<void> cache_disk_io(uint64_t fileid, uint64_t block,
+                                size_t bytes, bool write);
+  void spawn_cache_store(uint64_t fileid, uint64_t block, size_t bytes);
+  bool attrs_fresh(const AttrEntry& entry) const;
+  void remember(const nfs::Fh& fh,
+                const std::optional<vfs::Attributes>& attrs);
+  void drop_file(uint64_t fileid);
+  void invalidate_dir(uint64_t dir_fileid);
+  Block& put_block(uint64_t fileid, uint64_t block);
+  sim::Task<void> evict_if_needed();
+  sim::Task<void> writeback_block(uint64_t fileid, uint64_t block,
+                                  bool file_sync);
+  sim::Task<void> renegotiate_loop(std::shared_ptr<bool> alive);
+
+  net::Host& host_;
+  ClientProxyConfig config_;
+  Rng rng_;
+  std::unique_ptr<rpc::RpcServer> rpc_server_;
+  std::unique_ptr<rpc::RpcClient> upstream_nfs_;
+  std::unique_ptr<rpc::RpcClient> upstream_mount_;
+  sim::SimMutex forward_mutex_;
+  bool stopped_ = false;
+
+  // Disk cache state.
+  std::map<BlockKey, Block> blocks_;
+  std::map<uint64_t, BlockKey> lru_;
+  uint64_t lru_clock_ = 0;
+  uint64_t cache_bytes_used_ = 0;
+  std::map<uint64_t, AttrEntry> attrs_;
+  std::map<std::pair<uint64_t, std::string>, nfs::LookupRes> names_;
+  std::map<uint64_t, std::pair<uint32_t, uint32_t>> access_cache_;
+  std::map<uint64_t, nfs::ReaddirRes> dir_cache_;
+  std::map<uint64_t, std::set<uint64_t>> dirty_;
+  // Sequential-pattern tracking for disk cost (seek vs streaming).
+  BlockKey last_disk_block_{UINT64_MAX, UINT64_MAX};
+  // Session bookkeeping: the job account's credentials (re-used for flush)
+  // and the exported filesystem id (single export per session).
+  std::optional<rpc::AuthSys> last_client_auth_;
+  uint64_t seen_fsid_ = 1;
+
+  uint64_t forwarded_ = 0;
+  uint64_t absorbed_reads_ = 0;
+  uint64_t absorbed_writes_ = 0;
+  uint64_t absorbed_getattrs_ = 0;
+  uint64_t absorbed_lookups_ = 0;
+  uint64_t cancelled_writeback_bytes_ = 0;
+  uint64_t flushed_bytes_ = 0;
+  uint32_t handshakes_ = 0;
+
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
+};
+
+}  // namespace sgfs::core

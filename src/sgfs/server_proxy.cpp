@@ -1,0 +1,306 @@
+#include "sgfs/server_proxy.hpp"
+
+#include "common/log.hpp"
+
+namespace sgfs::core {
+
+using nfs::Fh;
+using nfs::Proc3;
+using nfs::Status;
+
+ServerProxy::ServerProxy(net::Host& host, ServerProxyConfig config,
+                         std::shared_ptr<vfs::FileSystem> fs_for_acls,
+                         Rng rng)
+    : host_(host),
+      config_(std::move(config)),
+      rng_(rng),
+      forward_mutex_(host.engine()) {
+  if (fs_for_acls && config_.fine_grained_acls) {
+    acl_store_ = std::make_unique<AclStore>(std::move(fs_for_acls));
+  }
+}
+
+void ServerProxy::start(uint16_t port) {
+  if (config_.plain_transport) {
+    rpc_server_ = std::make_unique<rpc::RpcServer>(host_, port);
+  } else {
+    rpc_server_ = std::make_unique<rpc::RpcServer>(
+        host_, port, config_.security, rng_.fork(),
+        /*now_epoch=*/0);
+  }
+  auto self = shared_from_this();
+  rpc_server_->register_program(nfs::kNfsProgram, nfs::kNfsVersion3, self);
+  rpc_server_->register_program(nfs::kMountProgram, nfs::kMountVersion3,
+                                self);
+  rpc_server_->start();
+}
+
+void ServerProxy::stop() {
+  if (rpc_server_) rpc_server_->stop();
+  if (upstream_nfs_) upstream_nfs_->close();
+  if (upstream_mount_) upstream_mount_->close();
+}
+
+void ServerProxy::reload(ServerProxyConfig config) {
+  // Keep live connections; swap policy state (gridmap, ACL switches).
+  config_.gridmap = config.gridmap;
+  config_.accounts = config.accounts;
+  config_.unmapped = config.unmapped;
+  config_.anonymous = config.anonymous;
+  config_.fine_grained_acls = config.fine_grained_acls;
+  if (acl_store_) acl_store_->invalidate();
+}
+
+sim::Task<void> ServerProxy::ensure_upstream() {
+  if (!upstream_nfs_) {
+    upstream_nfs_ = co_await rpc::clnt_create(
+        host_, config_.kernel_nfs, nfs::kNfsProgram, nfs::kNfsVersion3);
+  }
+  if (!upstream_mount_) {
+    upstream_mount_ = co_await rpc::clnt_create(
+        host_, config_.kernel_nfs, nfs::kMountProgram, nfs::kMountVersion3);
+  }
+}
+
+std::optional<Account> ServerProxy::authorize(const rpc::CallContext& ctx) {
+  if (config_.plain_transport) {
+    // Basic GFS: authentication handled out of band (session keys in the
+    // paper); every request maps to the session's account.
+    if (config_.plain_account) return config_.plain_account;
+    return config_.unmapped == UnmappedPolicy::kAnonymous
+               ? std::optional<Account>(config_.anonymous)
+               : std::nullopt;
+  }
+  if (!ctx.peer_identity) return std::nullopt;  // plaintext: never authorized
+  auto account_name = config_.gridmap.lookup(ctx.peer_identity->to_string());
+  if (account_name) {
+    auto account = config_.accounts.find(*account_name);
+    if (account) return account;
+    SGFS_WARN("sgfs-proxy", "gridmap maps to unknown account ",
+              *account_name);
+    return std::nullopt;
+  }
+  if (config_.unmapped == UnmappedPolicy::kAnonymous) {
+    return config_.anonymous;
+  }
+  return std::nullopt;
+}
+
+sim::Task<Buffer> ServerProxy::forward(uint32_t prog, uint32_t vers,
+                                       uint32_t proc, ByteView args,
+                                       const rpc::AuthSys& cred) {
+  // Blocking RPC library: one outstanding upstream call at a time.
+  // (SFS-style daemons skip the serialization and pipeline.)
+  std::optional<sim::SimMutex::Guard> guard;
+  if (config_.serialize_forwarding) {
+    guard.emplace(co_await forward_mutex_.scoped());
+  }
+  co_await ensure_upstream();
+  ++forwarded_;
+  rpc::RpcClient& client =
+      prog == nfs::kMountProgram ? *upstream_mount_ : *upstream_nfs_;
+  client.set_auth(cred);
+  (void)vers;
+  if (config_.cost.per_msg_latency > 0) {
+    co_await host_.engine().sleep(config_.cost.per_msg_latency);
+  }
+  Buffer reply = co_await client.call(proc, args);
+  co_await host_.cpu().use(config_.cost.msg_cost(reply.size()), "proxy");
+  if (config_.cost.overlapped_bytes_per_sec > 0) {
+    host_.cpu().charge(
+        sim::from_seconds(reply.size() /
+                          config_.cost.overlapped_bytes_per_sec),
+        "proxy");
+  }
+  co_return reply;
+}
+
+void ServerProxy::learn_fh(const Fh& fh, const Fh& parent,
+                           const std::string& name) {
+  fh_names_[fh] = {parent, name};
+}
+
+std::optional<uint32_t> ServerProxy::acl_mask(const Fh& fh,
+                                              const std::string& dn) {
+  if (!acl_store_) return std::nullopt;
+  auto it = fh_names_.find(fh);
+  std::optional<Acl> acl;
+  if (it != fh_names_.end()) {
+    acl = acl_store_->effective_acl(it->second.first.fileid,
+                                    it->second.second);
+  } else {
+    // Unknown lineage (e.g. the export root): treat as a directory.
+    acl = acl_store_->effective_acl_dir(fh.fileid);
+  }
+  if (!acl) return std::nullopt;
+  ++acl_decisions_;
+  auto mask = acl->mask_for(dn);
+  return mask ? *mask : 0;  // governed but unlisted: no permissions
+}
+
+sim::Task<Buffer> ServerProxy::handle(const rpc::CallContext& ctx,
+                                      ByteView args) {
+  // User-level processing cost for this message.
+  co_await host_.cpu().use(config_.cost.msg_cost(args.size()), "proxy");
+
+  auto account = authorize(ctx);
+  if (!account) {
+    ++denied_;
+    SGFS_INFO("sgfs-proxy", "denying ",
+              ctx.peer_identity ? ctx.peer_identity->to_string()
+                                : "<no identity>");
+    throw rpc::RpcAuthError(rpc::AuthStat::kRejectedCred);
+  }
+  // Identity mapping (§4.3): forwarded credentials are the local account's.
+  rpc::AuthSys mapped(account->uid, account->gid, "sgfs-proxy");
+
+  if (ctx.prog == nfs::kMountProgram) {
+    Buffer reply =
+        co_await forward(ctx.prog, ctx.vers, ctx.proc, args, mapped);
+    co_return reply;
+  }
+
+  const auto proc = static_cast<Proc3>(ctx.proc);
+  const std::string dn =
+      ctx.peer_identity ? ctx.peer_identity->to_string() : account->name;
+
+  switch (proc) {
+    case Proc3::kLookup: {
+      xdr::Decoder dec(args);
+      auto a = nfs::DiropArgs::decode(dec);
+      if (is_acl_name(a.name)) {
+        // ACL files are invisible remotely.
+        nfs::LookupRes res;
+        res.status = Status::kNoEnt;
+        xdr::Encoder enc;
+        res.encode(enc);
+        co_return enc.take();
+      }
+      Buffer reply =
+          co_await forward(ctx.prog, ctx.vers, ctx.proc, args, mapped);
+      xdr::Decoder rdec(reply);
+      auto res = nfs::LookupRes::decode(rdec);
+      if (res.status == Status::kOk) learn_fh(res.fh, a.dir, a.name);
+      co_return reply;
+    }
+
+    case Proc3::kCreate:
+    case Proc3::kMkdir: {
+      xdr::Decoder dec(args);
+      Fh dir;
+      std::string name;
+      if (proc == Proc3::kCreate) {
+        auto a = nfs::CreateArgs::decode(dec);
+        dir = a.dir;
+        name = a.name;
+      } else {
+        auto a = nfs::MkdirArgs::decode(dec);
+        dir = a.dir;
+        name = a.name;
+      }
+      if (is_acl_name(name)) {
+        nfs::CreateRes res;
+        res.status = Status::kAcces;
+        xdr::Encoder enc;
+        res.encode(enc);
+        co_return enc.take();
+      }
+      Buffer reply =
+          co_await forward(ctx.prog, ctx.vers, ctx.proc, args, mapped);
+      xdr::Decoder rdec(reply);
+      auto res = nfs::CreateRes::decode(rdec);
+      if (res.status == Status::kOk) learn_fh(res.fh, dir, name);
+      co_return reply;
+    }
+
+    case Proc3::kRemove: {
+      xdr::Decoder dec(args);
+      auto a = nfs::DiropArgs::decode(dec);
+      if (is_acl_name(a.name)) {
+        nfs::WccRes res;
+        res.status = Status::kAcces;
+        xdr::Encoder enc;
+        res.encode(enc);
+        co_return enc.take();
+      }
+      co_return co_await forward(ctx.prog, ctx.vers, ctx.proc, args, mapped);
+    }
+
+    case Proc3::kAccess: {
+      xdr::Decoder dec(args);
+      auto a = nfs::AccessArgs::decode(dec);
+      Buffer reply =
+          co_await forward(ctx.prog, ctx.vers, ctx.proc, args, mapped);
+      if (auto mask = acl_mask(a.fh, dn)) {
+        // Grid ACL governs this file: the proxy's decision replaces the
+        // kernel's (the paper disables kernel ACLs entirely).
+        xdr::Decoder rdec(reply);
+        auto res = nfs::AccessRes::decode(rdec);
+        if (res.status == Status::kOk) {
+          res.access = a.access & *mask;
+          xdr::Encoder enc;
+          res.encode(enc);
+          co_return enc.take();
+        }
+      }
+      co_return reply;
+    }
+
+    case Proc3::kRead: {
+      xdr::Decoder dec(args);
+      auto a = nfs::ReadArgs::decode(dec);
+      if (auto mask = acl_mask(a.fh, dn);
+          mask && !(*mask & vfs::kAccessRead)) {
+        ++denied_;
+        nfs::ReadRes res;
+        res.status = Status::kAcces;
+        xdr::Encoder enc;
+        res.encode(enc);
+        co_return enc.take();
+      }
+      co_return co_await forward(ctx.prog, ctx.vers, ctx.proc, args, mapped);
+    }
+
+    case Proc3::kWrite: {
+      xdr::Decoder dec(args);
+      auto a = nfs::WriteArgs::decode(dec);
+      if (auto mask = acl_mask(a.fh, dn);
+          mask && !(*mask & (vfs::kAccessModify | vfs::kAccessExtend))) {
+        ++denied_;
+        nfs::WriteRes res;
+        res.status = Status::kAcces;
+        xdr::Encoder enc;
+        res.encode(enc);
+        co_return enc.take();
+      }
+      co_return co_await forward(ctx.prog, ctx.vers, ctx.proc, args, mapped);
+    }
+
+    case Proc3::kReaddir:
+    case Proc3::kReaddirplus: {
+      xdr::Decoder dec(args);
+      auto a = nfs::ReaddirArgs::decode(dec);
+      Buffer reply =
+          co_await forward(ctx.prog, ctx.vers, ctx.proc, args, mapped);
+      xdr::Decoder rdec(reply);
+      auto res = nfs::ReaddirRes::decode(rdec);
+      if (res.status != Status::kOk) co_return reply;
+      std::vector<nfs::DirEntry3> kept;
+      kept.reserve(res.entries.size());
+      for (auto& entry : res.entries) {
+        if (is_acl_name(entry.name)) continue;  // hidden
+        if (entry.fh) learn_fh(*entry.fh, a.dir, entry.name);
+        kept.push_back(std::move(entry));
+      }
+      res.entries = std::move(kept);
+      xdr::Encoder enc;
+      res.encode(enc);
+      co_return enc.take();
+    }
+
+    default:
+      co_return co_await forward(ctx.prog, ctx.vers, ctx.proc, args, mapped);
+  }
+}
+
+}  // namespace sgfs::core

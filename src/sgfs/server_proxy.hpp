@@ -1,0 +1,85 @@
+// SGFS server-side proxy (paper §4.2, §4.3).
+//
+// Terminates the SSL-secured RPC session, authenticates the grid user from
+// the certificate chain, authorizes and identity-maps every request, and
+// forwards it over the loopback to the unmodified kernel NFS server (which
+// exports the tree to localhost only — Figure 1).
+//
+// Interpositions:
+//   - gridmap: peer DN -> local account; AUTH_SYS uid/gid in forwarded
+//     calls are rewritten to that account (unmapped users become anonymous
+//     or are denied, per config);
+//   - fine-grained ACLs: ACCESS consults the ".name.acl" store (with parent
+//     inheritance and an in-memory cache); READ/WRITE against ACL-governed
+//     files are checked too; ACL files themselves are hidden from remote
+//     LOOKUP/READDIR and unwritable remotely;
+//   - MOUNT requests are forwarded to the kernel mountd (the kernel exports
+//     file still applies, restricted to localhost).
+//
+// The proxy uses blocking RPC forwarding (one outstanding upstream call),
+// reproducing the serialization the paper measures against SFS's
+// asynchronous RPCs (§6.2.1).
+#pragma once
+
+#include "nfs/nfs3.hpp"
+#include "rpc/rpc_client.hpp"
+#include "rpc/rpc_server.hpp"
+#include "sgfs/session.hpp"
+#include "sim/mutex.hpp"
+
+namespace sgfs::core {
+
+class ServerProxy : public rpc::RpcProgram,
+                    public std::enable_shared_from_this<ServerProxy> {
+ public:
+  /// `fs_for_acls` gives the proxy local (collocated) access to the exported
+  /// tree for reading ACL files; pass nullptr to disable fine-grained ACLs.
+  ServerProxy(net::Host& host, ServerProxyConfig config,
+              std::shared_ptr<vfs::FileSystem> fs_for_acls, Rng rng);
+
+  /// Starts the SSL-enabled RPC service on `port` (svc_tli_ssl_create).
+  void start(uint16_t port);
+  void stop();
+
+  sim::Task<Buffer> handle(const rpc::CallContext& ctx,
+                           ByteView args) override;
+
+  /// Reloads gridmap/ACL/security configuration (paper §4.2: signal the
+  /// proxy to reload its configuration file).
+  void reload(ServerProxyConfig config);
+
+  AclStore* acl_store() { return acl_store_ ? acl_store_.get() : nullptr; }
+
+  // Stats.
+  uint64_t forwarded() const { return forwarded_; }
+  uint64_t denied() const { return denied_; }
+  uint64_t acl_decisions() const { return acl_decisions_; }
+
+ private:
+  sim::Task<void> ensure_upstream();
+  sim::Task<Buffer> forward(uint32_t prog, uint32_t vers, uint32_t proc,
+                            ByteView args, const rpc::AuthSys& cred);
+  std::optional<Account> authorize(const rpc::CallContext& ctx);
+  void learn_fh(const nfs::Fh& fh, const nfs::Fh& parent,
+                const std::string& name);
+  std::optional<uint32_t> acl_mask(const nfs::Fh& fh,
+                                   const std::string& dn);
+
+  net::Host& host_;
+  ServerProxyConfig config_;
+  std::unique_ptr<AclStore> acl_store_;
+  Rng rng_;
+  std::unique_ptr<rpc::RpcServer> rpc_server_;
+  std::unique_ptr<rpc::RpcClient> upstream_nfs_;
+  std::unique_ptr<rpc::RpcClient> upstream_mount_;
+  sim::SimMutex forward_mutex_;
+
+  // fh -> (parent fh, name), learned from forwarded lookups/creates.
+  std::map<nfs::Fh, std::pair<nfs::Fh, std::string>> fh_names_;
+
+  uint64_t forwarded_ = 0;
+  uint64_t denied_ = 0;
+  uint64_t acl_decisions_ = 0;
+};
+
+}  // namespace sgfs::core

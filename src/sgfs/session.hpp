@@ -1,0 +1,110 @@
+// SGFS session configuration (paper §3, §4.2).
+//
+// A session is one user's (or application's) secure grid file system: a
+// client-side proxy on the compute host and a server-side proxy on the file
+// server, mutually authenticated with grid certificates, customized per
+// session: cipher/MAC selection, gridmap + ACL policy, disk-cache
+// parameters, consistency model and key-renegotiation period.
+//
+// SessionConfig parses/produces the proxy configuration-file format
+// (INI sections [security], [cache], [gridmap]); the services (src/services)
+// generate these when they create sessions on a user's behalf.
+#pragma once
+
+#include "common/config.hpp"
+#include "crypto/secure_channel.hpp"
+#include "net/network.hpp"
+#include "sgfs/acl.hpp"
+
+namespace sgfs::core {
+
+enum class UnmappedPolicy { kDeny, kAnonymous };
+
+enum class Consistency {
+  kSessionExclusive,  // paper §6.1: file system dedicated to one user/job
+  kRevalidate,        // attribute TTL + revalidation (shared sessions)
+};
+
+/// User-level processing cost of a proxy (one hop of the paper's measured
+/// "user-level virtualization overhead").
+struct ProxyCostModel {
+  sim::SimDur per_msg_cpu = 150 * sim::kMicrosecond;  // parse+dispatch+fwd
+  double copy_bytes_per_sec = 600.0e6;                // user-space copies
+  /// Internal per-message turnaround latency that is NOT CPU (daemon
+  /// scheduling, small-transfer chunking).  Zero for the SGFS proxies;
+  /// the SFS daemons carry one (slow *and* only ~30% CPU, Figures 4/5).
+  sim::SimDur per_msg_latency = 0;
+  /// CPU the daemon burns *overlapped* with I/O waits (async daemons doing
+  /// crypto/processing off the critical path — accounted for utilization,
+  /// Figures 5/6, without extending the request path).
+  double overlapped_bytes_per_sec = 0;
+
+  ProxyCostModel() = default;
+
+  sim::SimDur msg_cost(size_t bytes) const {
+    return per_msg_cpu +
+           sim::from_seconds(static_cast<double>(bytes) /
+                             copy_bytes_per_sec);
+  }
+};
+
+/// Client-proxy disk cache parameters (paper §4.2 configuration file).
+struct CacheConfig {
+  bool enabled = true;
+  /// Cache data blocks (sgfs disk cache).  SFS caches only attributes,
+  /// names and access rights in memory.
+  bool cache_data = true;
+  size_t block_size = 32 * 1024;
+  uint64_t capacity_bytes = 4ull << 30;  // disk-sized
+  bool write_back = true;
+  bool cache_attrs = true;
+  bool cache_names = true;
+  bool cache_dirs = true;
+  Consistency consistency = Consistency::kSessionExclusive;
+  sim::SimDur attr_ttl = 30 * sim::kSecond;  // kRevalidate mode only
+
+  CacheConfig() = default;
+};
+
+struct ServerProxyConfig {
+  /// Plain (unsecured) transport — the paper's basic GFS baseline.
+  bool plain_transport = false;
+  /// When plain, every caller maps to this account (the paper's gfs uses
+  /// out-of-band session-key setup; the account stands in for it).
+  std::optional<Account> plain_account;
+  /// Blocking RPC forwarding (one outstanding upstream call).  SFS-style
+  /// daemons set this false to pipeline asynchronously.
+  bool serialize_forwarding = true;
+  crypto::SecurityConfig security;
+  GridMap gridmap;
+  AccountTable accounts;
+  UnmappedPolicy unmapped = UnmappedPolicy::kDeny;
+  Account anonymous = Account("nobody", 65534, 65534);
+  bool fine_grained_acls = true;
+  net::Address kernel_nfs;  // loopback address of the kernel NFS server
+  ProxyCostModel cost;
+
+  ServerProxyConfig() = default;
+};
+
+struct ClientProxyConfig {
+  bool plain_transport = false;       // gfs / gfs-ssh baselines
+  bool serialize_forwarding = true;   // false: SFS-style async RPC
+  crypto::SecurityConfig security;
+  net::Address server_proxy;
+  CacheConfig cache;
+  ProxyCostModel cost;
+
+  ClientProxyConfig() = default;
+};
+
+/// Parses the [security]/[cache] sections of a proxy configuration file
+/// into an existing config (certificates are resolved by the caller).
+void apply_config_text(const Config& cfg, CacheConfig& cache,
+                       crypto::SecurityConfig& security);
+
+/// Serializes cache+security choices back to configuration text.
+std::string to_config_text(const CacheConfig& cache,
+                           const crypto::SecurityConfig& security);
+
+}  // namespace sgfs::core

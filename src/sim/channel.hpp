@@ -1,0 +1,84 @@
+// Unbounded deterministic channel for inter-actor messaging.
+//
+// send() never blocks; recv() suspends until an item or close() arrives.
+// Waiters are resumed through the engine queue (never inline) so message
+// interleaving stays deterministic and stack depth stays bounded.  recv()
+// re-checks after every wakeup, so multiple concurrent receivers are safe
+// even when a ready-path receiver "steals" an item first.
+#pragma once
+
+#include <coroutine>
+#include <deque>
+#include <optional>
+
+#include "sim/engine.hpp"
+
+namespace sgfs::sim {
+
+template <typename T>
+class Channel {
+ public:
+  explicit Channel(Engine& eng) : eng_(eng) {}
+  Channel(const Channel&) = delete;
+  Channel& operator=(const Channel&) = delete;
+
+  /// Enqueues an item; wakes one waiting receiver.
+  void send(T item) {
+    items_.push_back(std::move(item));
+    if (!waiters_.empty()) {
+      eng_.schedule_now(waiters_.front());
+      waiters_.pop_front();
+    }
+  }
+
+  /// Closes the channel; receivers drain remaining items, then get nullopt.
+  void close() {
+    closed_ = true;
+    while (!waiters_.empty()) {
+      eng_.schedule_now(waiters_.front());
+      waiters_.pop_front();
+    }
+  }
+
+  bool closed() const { return closed_; }
+  size_t size() const { return items_.size(); }
+
+  /// Suspends until an item is available or the channel closes.
+  /// nullopt means closed and drained.
+  Task<std::optional<T>> recv() {
+    for (;;) {
+      if (!items_.empty()) {
+        T item = std::move(items_.front());
+        items_.pop_front();
+        co_return std::optional<T>(std::move(item));
+      }
+      if (closed_) co_return std::nullopt;
+      co_await WaitAwaiter{*this};
+    }
+  }
+
+  /// Non-blocking receive.
+  std::optional<T> try_recv() {
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    return item;
+  }
+
+ private:
+  struct WaitAwaiter {
+    Channel& ch;
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<> h) {
+      ch.waiters_.push_back(h);
+    }
+    void await_resume() const noexcept {}
+  };
+
+  Engine& eng_;
+  std::deque<T> items_;
+  std::deque<std::coroutine_handle<>> waiters_;
+  bool closed_ = false;
+};
+
+}  // namespace sgfs::sim

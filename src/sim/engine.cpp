@@ -1,0 +1,123 @@
+#include "sim/engine.hpp"
+
+#include <exception>
+#include <stdexcept>
+
+#include "common/log.hpp"
+
+namespace sgfs::sim {
+
+struct Engine::RootPromise {
+  Engine* eng = nullptr;
+
+  Root get_return_object();
+  std::suspend_always initial_suspend() noexcept { return {}; }
+
+  struct FinalAwaiter {
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(RootHandle h) noexcept {
+      // Self-destructing coroutine: h is suspended at final_suspend, so
+      // destroying the frame here is safe; resume() returns afterwards
+      // without touching the frame again.
+      h.promise().eng->on_root_done(h);
+    }
+    void await_resume() const noexcept {}
+  };
+  FinalAwaiter final_suspend() noexcept { return {}; }
+
+  void return_void() noexcept {}
+  void unhandled_exception() noexcept {
+    // make_root's body catches everything; reaching here is a logic error.
+    std::terminate();
+  }
+};
+
+struct Engine::Root {
+  using promise_type = Engine::RootPromise;
+  RootHandle handle;
+};
+
+Engine::Root Engine::RootPromise::get_return_object() {
+  return Root{RootHandle::from_promise(*this)};
+}
+
+Engine::Root Engine::make_root(Engine* eng, Task<void> task) {
+  try {
+    co_await std::move(task);
+  } catch (const std::exception& e) {
+    eng->errors_.emplace_back(e.what());
+    SGFS_ERROR("sim", "actor terminated with exception: ", e.what());
+  } catch (...) {
+    eng->errors_.emplace_back("unknown exception");
+    SGFS_ERROR("sim", "actor terminated with unknown exception");
+  }
+}
+
+Engine::~Engine() {
+  // Drop pending resumptions first so nothing runs during teardown, then
+  // destroy surviving actor frames (their locals own nested task frames).
+  while (!queue_.empty()) queue_.pop();
+  auto live = live_;
+  live_.clear();
+  for (void* p : live) RootHandle::from_address(p).destroy();
+}
+
+void Engine::schedule_at(SimTime t, std::coroutine_handle<> h) {
+  queue_.push(Event{t < now_ ? now_ : t, next_seq_++, h});
+}
+
+void Engine::spawn(Task<void> task) {
+  Root root = make_root(this, std::move(task));
+  root.handle.promise().eng = this;
+  live_.insert(root.handle.address());
+  schedule_now(root.handle);
+}
+
+void Engine::on_root_done(RootHandle h) {
+  live_.erase(h.address());
+  h.destroy();
+}
+
+bool Engine::step() {
+  if (queue_.empty()) return false;
+  Event ev = queue_.top();
+  queue_.pop();
+  now_ = ev.t;
+  ev.h.resume();
+  return true;
+}
+
+void Engine::run() {
+  while (step()) {
+  }
+}
+
+void Engine::run_until(SimTime t) {
+  while (!queue_.empty() && queue_.top().t <= t) step();
+  if (t > now_) now_ = t;
+}
+
+void Engine::run_task(Task<void> task) {
+  bool done = false;
+  std::exception_ptr error;
+  auto wrapper = [](Task<void> inner, bool* flag,
+                    std::exception_ptr* err) -> Task<void> {
+    try {
+      co_await std::move(inner);
+    } catch (...) {
+      *err = std::current_exception();
+    }
+    *flag = true;
+  };
+  spawn(wrapper(std::move(task), &done, &error));
+  while (!done) {
+    if (!step()) {
+      throw std::runtime_error(
+          "Engine::run_task: event queue drained before task completion "
+          "(deadlock?)");
+    }
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+}  // namespace sgfs::sim

@@ -1,0 +1,143 @@
+// Discrete-event simulation engine.
+//
+// The Engine owns a virtual clock and an event queue of coroutine resumptions
+// ordered by (time, insertion sequence) — the sequence number makes runs
+// bit-deterministic.  Detached actors are started with spawn(); they run
+// until completion and report escaped exceptions to the engine's error list.
+//
+// Cancellation is cooperative: tasks exit when their channels close or their
+// shutdown events fire.  The engine never destroys a live task mid-run; any
+// coroutines still suspended at engine destruction are destroyed then.
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <queue>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/task.hpp"
+#include "sim/time.hpp"
+
+namespace sgfs::sim {
+
+class Engine {
+ public:
+  Engine() = default;
+  ~Engine();
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  SimTime now() const { return now_; }
+
+  /// Enqueues a coroutine resumption at absolute time t (>= now).
+  void schedule_at(SimTime t, std::coroutine_handle<> h);
+
+  /// Enqueues a resumption at the current time (after already-queued
+  /// same-time events — FIFO fairness).
+  void schedule_now(std::coroutine_handle<> h) { schedule_at(now_, h); }
+
+  /// Starts a detached actor.  The engine owns its lifetime.
+  void spawn(Task<void> task);
+
+  /// Runs a single event.  Returns false when the queue is empty.
+  bool step();
+
+  /// Runs until the event queue drains.
+  void run();
+
+  /// Runs events with timestamp <= t, then advances the clock to t.
+  void run_until(SimTime t);
+
+  /// Runs for d simulated time from now.
+  void run_for(SimDur d) { run_until(now_ + d); }
+
+  /// Drives the engine until `task` completes (spawns it internally).
+  /// Throws std::runtime_error if the queue drains first (deadlock).
+  void run_task(Task<void> task);
+
+  size_t pending_events() const { return queue_.size(); }
+  size_t live_actors() const { return live_.size(); }
+
+  /// Messages from actors that terminated with an exception.
+  const std::vector<std::string>& errors() const { return errors_; }
+
+  // --- awaitables ---------------------------------------------------------
+
+  struct SleepAwaiter {
+    Engine& eng;
+    SimTime wake;
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<> h) { eng.schedule_at(wake, h); }
+    void await_resume() const noexcept {}
+  };
+
+  /// co_await eng.sleep(d): resume d simulated ns later.
+  SleepAwaiter sleep(SimDur d) { return {*this, now_ + (d > 0 ? d : 0)}; }
+
+  /// co_await eng.sleep_until(t): resume at absolute time t.
+  SleepAwaiter sleep_until(SimTime t) {
+    return {*this, t > now_ ? t : now_};
+  }
+
+  /// co_await eng.yield(): requeue behind same-time events.
+  SleepAwaiter yield() { return {*this, now_}; }
+
+ private:
+  struct Root;
+  struct RootPromise;
+  using RootHandle = std::coroutine_handle<RootPromise>;
+
+  static Root make_root(Engine* eng, Task<void> task);
+  void on_root_done(RootHandle h);
+
+  struct Event {
+    SimTime t;
+    uint64_t seq;
+    std::coroutine_handle<> h;
+    bool operator>(const Event& o) const {
+      return t != o.t ? t > o.t : seq > o.seq;
+    }
+  };
+
+  SimTime now_ = 0;
+  uint64_t next_seq_ = 0;
+  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> queue_;
+  std::unordered_set<void*> live_;
+  std::vector<std::string> errors_;
+};
+
+/// Manual-reset event: waiters block until set() is called.
+class SimEvent {
+ public:
+  explicit SimEvent(Engine& eng) : eng_(eng) {}
+
+  bool is_set() const { return set_; }
+
+  void set() {
+    set_ = true;
+    for (auto h : waiters_) eng_.schedule_now(h);
+    waiters_.clear();
+  }
+
+  void reset() { set_ = false; }
+
+  struct Awaiter {
+    SimEvent& ev;
+    bool await_ready() const noexcept { return ev.set_; }
+    void await_suspend(std::coroutine_handle<> h) {
+      ev.waiters_.push_back(h);
+    }
+    void await_resume() const noexcept {}
+  };
+
+  Awaiter wait() { return {*this}; }
+
+ private:
+  Engine& eng_;
+  bool set_ = false;
+  std::vector<std::coroutine_handle<>> waiters_;
+};
+
+}  // namespace sgfs::sim

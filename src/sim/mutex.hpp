@@ -1,0 +1,78 @@
+// Cooperative FIFO mutex for simulation actors.
+//
+// Used to model *blocking* user-level components: the paper's SGFS proxy
+// uses blocking RPCs and cannot overlap outstanding requests (§6.2.1, the
+// sgfs-vs-sfs comparison) — a proxy holds this mutex across each upstream
+// round trip, serializing concurrent kernel-client requests.
+#pragma once
+
+#include <coroutine>
+#include <deque>
+
+#include "sim/engine.hpp"
+
+namespace sgfs::sim {
+
+class SimMutex {
+ public:
+  explicit SimMutex(Engine& eng) : eng_(eng) {}
+  SimMutex(const SimMutex&) = delete;
+  SimMutex& operator=(const SimMutex&) = delete;
+
+  bool locked() const { return locked_; }
+
+  /// Acquires the mutex, queueing FIFO behind earlier waiters.
+  Task<void> lock() {
+    for (;;) {
+      if (!locked_) {
+        locked_ = true;
+        co_return;
+      }
+      co_await Waiter{*this};
+    }
+  }
+
+  void unlock() {
+    locked_ = false;
+    if (!waiters_.empty()) {
+      eng_.schedule_now(waiters_.front());
+      waiters_.pop_front();
+    }
+  }
+
+  /// RAII-style scope guard usable across co_await points.
+  class Guard {
+   public:
+    explicit Guard(SimMutex& m) : mutex_(&m) {}
+    Guard(Guard&& o) noexcept : mutex_(std::exchange(o.mutex_, nullptr)) {}
+    Guard(const Guard&) = delete;
+    ~Guard() {
+      if (mutex_) mutex_->unlock();
+    }
+
+   private:
+    SimMutex* mutex_;
+  };
+
+  /// co_await m.scoped() -> Guard (unlocks when the guard dies).
+  Task<Guard> scoped() {
+    co_await lock();
+    co_return Guard(*this);
+  }
+
+ private:
+  struct Waiter {
+    SimMutex& m;
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<> h) {
+      m.waiters_.push_back(h);
+    }
+    void await_resume() const noexcept {}
+  };
+
+  Engine& eng_;
+  bool locked_ = false;
+  std::deque<std::coroutine_handle<>> waiters_;
+};
+
+}  // namespace sgfs::sim

@@ -1,0 +1,153 @@
+// Lazy coroutine task for the simulation.
+//
+// Task<T> is the unit of concurrency in SGFS: every protocol actor (NFS
+// client, proxy, server, service) is a tree of Task coroutines driven by the
+// sim::Engine event loop.  Tasks are lazy (start on first co_await), use
+// symmetric transfer to resume their awaiter on completion, and propagate
+// exceptions across co_await boundaries.
+#pragma once
+
+#include <coroutine>
+#include <exception>
+#include <utility>
+
+namespace sgfs::sim {
+
+template <typename T>
+class Task;
+
+namespace detail {
+
+struct FinalAwaiter {
+  bool await_ready() const noexcept { return false; }
+  template <typename Promise>
+  std::coroutine_handle<> await_suspend(
+      std::coroutine_handle<Promise> h) noexcept {
+    auto cont = h.promise().continuation;
+    return cont ? cont : std::noop_coroutine();
+  }
+  void await_resume() const noexcept {}
+};
+
+struct PromiseBase {
+  std::coroutine_handle<> continuation;
+  std::exception_ptr exception;
+
+  std::suspend_always initial_suspend() noexcept { return {}; }
+  FinalAwaiter final_suspend() noexcept { return {}; }
+  void unhandled_exception() noexcept { exception = std::current_exception(); }
+};
+
+}  // namespace detail
+
+/// An owning handle to a lazily-started coroutine producing a T.
+template <typename T>
+class [[nodiscard]] Task {
+ public:
+  struct promise_type : detail::PromiseBase {
+    alignas(T) unsigned char storage[sizeof(T)];
+    bool has_value = false;
+
+    Task get_return_object() {
+      return Task(std::coroutine_handle<promise_type>::from_promise(*this));
+    }
+    template <typename U>
+    void return_value(U&& value) {
+      ::new (static_cast<void*>(storage)) T(std::forward<U>(value));
+      has_value = true;
+    }
+    ~promise_type() {
+      if (has_value) value_ref().~T();
+    }
+    T& value_ref() { return *reinterpret_cast<T*>(storage); }
+  };
+
+  using Handle = std::coroutine_handle<promise_type>;
+
+  Task() = default;
+  explicit Task(Handle h) : h_(h) {}
+  Task(Task&& other) noexcept : h_(std::exchange(other.h_, {})) {}
+  Task& operator=(Task&& other) noexcept {
+    if (this != &other) {
+      destroy();
+      h_ = std::exchange(other.h_, {});
+    }
+    return *this;
+  }
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  ~Task() { destroy(); }
+
+  bool valid() const { return static_cast<bool>(h_); }
+
+  // Awaiting a Task starts it; the awaiter resumes when it finishes.
+  bool await_ready() const noexcept { return false; }
+  std::coroutine_handle<> await_suspend(std::coroutine_handle<> awaiter) {
+    h_.promise().continuation = awaiter;
+    return h_;
+  }
+  T await_resume() {
+    auto& p = h_.promise();
+    if (p.exception) std::rethrow_exception(p.exception);
+    return std::move(p.value_ref());
+  }
+
+ private:
+  void destroy() {
+    if (h_) {
+      h_.destroy();
+      h_ = {};
+    }
+  }
+  Handle h_;
+};
+
+template <>
+class [[nodiscard]] Task<void> {
+ public:
+  struct promise_type : detail::PromiseBase {
+    Task get_return_object() {
+      return Task(std::coroutine_handle<promise_type>::from_promise(*this));
+    }
+    void return_void() noexcept {}
+  };
+
+  using Handle = std::coroutine_handle<promise_type>;
+
+  Task() = default;
+  explicit Task(Handle h) : h_(h) {}
+  Task(Task&& other) noexcept : h_(std::exchange(other.h_, {})) {}
+  Task& operator=(Task&& other) noexcept {
+    if (this != &other) {
+      destroy();
+      h_ = std::exchange(other.h_, {});
+    }
+    return *this;
+  }
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  ~Task() { destroy(); }
+
+  bool valid() const { return static_cast<bool>(h_); }
+
+  bool await_ready() const noexcept { return false; }
+  std::coroutine_handle<> await_suspend(std::coroutine_handle<> awaiter) {
+    h_.promise().continuation = awaiter;
+    return h_;
+  }
+  void await_resume() {
+    auto& p = h_.promise();
+    if (p.exception) std::rethrow_exception(p.exception);
+  }
+
+ private:
+  void destroy() {
+    if (h_) {
+      h_.destroy();
+      h_ = {};
+    }
+  }
+  Handle h_;
+};
+
+}  // namespace sgfs::sim

@@ -1,0 +1,48 @@
+// Virtual time for the discrete-event simulation.
+//
+// All SGFS timing (network latency, cipher cost, disk seeks, application
+// compute) is charged on this clock, never on wall-clock time, so every run
+// is deterministic and WAN-scale experiments complete in seconds.
+#pragma once
+
+#include <cstdint>
+
+namespace sgfs::sim {
+
+/// Nanoseconds since simulation start.
+using SimTime = int64_t;
+
+/// A span of simulated nanoseconds.
+using SimDur = int64_t;
+
+inline constexpr SimDur kNanosecond = 1;
+inline constexpr SimDur kMicrosecond = 1000;
+inline constexpr SimDur kMillisecond = 1000 * kMicrosecond;
+inline constexpr SimDur kSecond = 1000 * kMillisecond;
+
+/// Converts virtual time to floating-point seconds (for reporting).
+constexpr double to_seconds(SimTime t) {
+  return static_cast<double>(t) / static_cast<double>(kSecond);
+}
+
+/// Converts floating-point seconds to a duration (rounds down).
+constexpr SimDur from_seconds(double s) {
+  return static_cast<SimDur>(s * static_cast<double>(kSecond));
+}
+
+namespace literals {
+constexpr SimDur operator""_ns(unsigned long long v) {
+  return static_cast<SimDur>(v);
+}
+constexpr SimDur operator""_us(unsigned long long v) {
+  return static_cast<SimDur>(v) * kMicrosecond;
+}
+constexpr SimDur operator""_ms(unsigned long long v) {
+  return static_cast<SimDur>(v) * kMillisecond;
+}
+constexpr SimDur operator""_s(unsigned long long v) {
+  return static_cast<SimDur>(v) * kSecond;
+}
+}  // namespace literals
+
+}  // namespace sgfs::sim

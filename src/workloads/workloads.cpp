@@ -1,0 +1,444 @@
+#include "workloads/workloads.hpp"
+
+#include <cmath>
+
+namespace sgfs::workloads {
+
+using nfs::kAppend;
+using nfs::kCreate;
+using nfs::kRdOnly;
+using nfs::kTrunc;
+using nfs::kWrOnly;
+
+sim::Task<void> app_compute(Testbed& tb, double seconds) {
+  co_await tb.client_host().cpu().use(sim::from_seconds(seconds), "app");
+}
+
+Stats stats_of(const std::vector<double>& xs) {
+  Stats s;
+  if (xs.empty()) return s;
+  for (double x : xs) s.mean += x;
+  s.mean /= xs.size();
+  if (xs.size() > 1) {
+    double var = 0;
+    for (double x : xs) var += (x - s.mean) * (x - s.mean);
+    s.stddev = std::sqrt(var / (xs.size() - 1));
+  }
+  return s;
+}
+
+namespace {
+double seconds_since(Testbed& tb, sim::SimTime start) {
+  return sim::to_seconds(tb.engine().now() - start);
+}
+}  // namespace
+
+// --- IOzone ------------------------------------------------------------------
+
+sim::Task<PhaseTimes> run_iozone(Testbed& tb,
+                                 std::shared_ptr<nfs::MountPoint> mp,
+                                 IozoneParams params) {
+  PhaseTimes out;
+  Buffer record(params.record_bytes);
+  for (int pass = 0; pass < 2; ++pass) {
+    const sim::SimTime start = tb.engine().now();
+    int fd = co_await mp->open("iozone.tmp", kRdOnly);
+    uint64_t off = 0;
+    while (off < params.file_bytes) {
+      size_t n = co_await mp->read(fd, record);
+      if (n == 0) break;
+      off += n;
+    }
+    co_await mp->close(fd);
+    out.add(pass == 0 ? "read" : "reread", seconds_since(tb, start));
+  }
+  co_return out;
+}
+
+// --- PostMark ------------------------------------------------------------------
+
+namespace {
+std::string pm_dir(int i) { return "pm" + std::to_string(i); }
+std::string pm_file(int dir, int file) {
+  return pm_dir(dir) + "/f" + std::to_string(file);
+}
+
+sim::Task<void> pm_write_file(Testbed& tb, nfs::MountPoint& mp,
+                              const std::string& path, size_t size, Rng& rng,
+                              bool append) {
+  int fd = co_await mp.open(path, kWrOnly | kCreate | (append ? kAppend
+                                                              : kTrunc));
+  Buffer data = rng.bytes(size);
+  co_await mp.write(fd, data);
+  co_await mp.close(fd);
+  co_await app_compute(tb, 0.0001);  // tool bookkeeping
+}
+
+sim::Task<void> pm_read_file(Testbed& tb, nfs::MountPoint& mp,
+                             const std::string& path) {
+  int fd = co_await mp.open(path, kRdOnly);
+  Buffer buf(64 * 1024);
+  while (co_await mp.read(fd, buf) > 0) {
+  }
+  co_await mp.close(fd);
+  co_await app_compute(tb, 0.0001);
+}
+}  // namespace
+
+sim::Task<PhaseTimes> run_postmark(Testbed& tb,
+                                   std::shared_ptr<nfs::MountPoint> mp,
+                                   PostmarkParams params) {
+  PhaseTimes out;
+  Rng rng(params.seed);
+  auto rand_size = [&] {
+    return params.min_size +
+           rng.next_below(params.max_size - params.min_size + 1);
+  };
+
+  // Creation phase: directory pool + initial file set.
+  sim::SimTime start = tb.engine().now();
+  for (int d = 0; d < params.directories; ++d) {
+    co_await mp->mkdir(pm_dir(d));
+  }
+  std::vector<std::pair<int, int>> live;  // (dir, file)
+  for (int f = 0; f < params.files; ++f) {
+    const int d = static_cast<int>(rng.next_below(params.directories));
+    co_await pm_write_file(tb, *mp, pm_file(d, f), rand_size(), rng, false);
+    live.emplace_back(d, f);
+  }
+  out.add("creation", seconds_since(tb, start));
+
+  // Transaction phase: create/delete and read/append, equally likely.
+  start = tb.engine().now();
+  int next_file = params.files;
+  for (int t = 0; t < params.transactions; ++t) {
+    const bool structural = rng.next_below(2) == 0;
+    if (structural) {
+      if (rng.next_below(2) == 0 || live.empty()) {
+        const int d = static_cast<int>(rng.next_below(params.directories));
+        const int f = next_file++;
+        co_await pm_write_file(tb, *mp, pm_file(d, f), rand_size(), rng,
+                               false);
+        live.emplace_back(d, f);
+      } else {
+        const size_t idx = rng.next_below(live.size());
+        auto [d, f] = live[idx];
+        live.erase(live.begin() + idx);
+        co_await mp->unlink(pm_file(d, f));
+      }
+    } else {
+      if (live.empty()) continue;
+      const size_t idx = rng.next_below(live.size());
+      auto [d, f] = live[idx];
+      if (rng.next_below(2) == 0) {
+        co_await pm_read_file(tb, *mp, pm_file(d, f));
+      } else {
+        co_await pm_write_file(tb, *mp, pm_file(d, f), rand_size(), rng,
+                               true);
+      }
+    }
+  }
+  out.add("transaction", seconds_since(tb, start));
+
+  // Deletion phase: remove everything.
+  start = tb.engine().now();
+  for (auto [d, f] : live) {
+    co_await mp->unlink(pm_file(d, f));
+  }
+  for (int d = 0; d < params.directories; ++d) {
+    co_await mp->rmdir(pm_dir(d));
+  }
+  out.add("deletion", seconds_since(tb, start));
+  co_return out;
+}
+
+// --- MAB -----------------------------------------------------------------------
+
+namespace {
+// Deterministic synthetic openssh-4.6p1 layout.
+struct MabTree {
+  struct File {
+    std::string path;     // relative, e.g. "dir3/sshconnect.c"
+    size_t bytes;
+    bool compiles;        // produces an object file
+  };
+  std::vector<std::string> dirs;
+  std::vector<File> files;
+};
+
+MabTree mab_tree(const MabParams& params) {
+  MabTree tree;
+  Rng rng(params.seed);
+  tree.dirs.push_back("");  // root of the tree
+  for (int d = 1; d < params.dirs; ++d) {
+    // 3-level tree: a few top-level dirs, the rest nested.
+    if (d <= 4) {
+      tree.dirs.push_back("d" + std::to_string(d));
+    } else {
+      tree.dirs.push_back(tree.dirs[1 + (d % 4)] + "/sub" +
+                          std::to_string(d));
+    }
+  }
+  for (int f = 0; f < params.files; ++f) {
+    MabTree::File file;
+    const std::string& dir = tree.dirs[rng.next_below(tree.dirs.size())];
+    const bool is_source = f < params.outputs;  // first N compile to .o
+    file.path = (dir.empty() ? "" : dir + "/") + "f" + std::to_string(f) +
+                (is_source ? ".c" : ".h");
+    // Sizes spread around the average (0.25x .. 4x).
+    const double scale = 0.25 + rng.next_double() * 3.75;
+    file.bytes = static_cast<size_t>(params.avg_file_bytes * scale);
+    file.compiles = is_source;
+    tree.files.push_back(std::move(file));
+  }
+  return tree;
+}
+}  // namespace
+
+void mab_prepare_tree(Testbed& tb, const MabParams& params) {
+  MabTree tree = mab_tree(params);
+  vfs::Cred grid(Testbed::kGridUid, Testbed::kGridUid);
+  Rng content(params.seed + 1);
+  const std::string base = std::string(Testbed::kDataPath) + "/src/";
+  for (const auto& dir : tree.dirs) {
+    if (!dir.empty()) tb.server_fs().mkdir_p(grid, base + dir, 0755);
+  }
+  for (const auto& file : tree.files) {
+    tb.server_fs().write_file(grid, base + file.path,
+                              content.bytes(file.bytes));
+  }
+}
+
+sim::Task<PhaseTimes> run_mab(Testbed& tb,
+                              std::shared_ptr<nfs::MountPoint> mp,
+                              MabParams params) {
+  PhaseTimes out;
+  MabTree tree = mab_tree(params);
+
+  // Phase 1 — copy: replicate src/ into build/.
+  sim::SimTime start = tb.engine().now();
+  co_await mp->mkdir("build");
+  for (const auto& dir : tree.dirs) {
+    if (!dir.empty()) co_await mp->mkdir("build/" + dir);
+  }
+  Buffer buf(64 * 1024);
+  for (const auto& file : tree.files) {
+    int in = co_await mp->open("src/" + file.path, kRdOnly);
+    int outf = co_await mp->open("build/" + file.path, kWrOnly | kCreate);
+    size_t n;
+    while ((n = co_await mp->read(in, buf)) > 0) {
+      co_await mp->write(outf, ByteView(buf.data(), n));
+    }
+    co_await mp->close(in);
+    co_await mp->close(outf);
+  }
+  out.add("copy", seconds_since(tb, start));
+
+  // Phase 2 — stat: recursive status of every file.
+  start = tb.engine().now();
+  for (const auto& dir : tree.dirs) {
+    // Named local: GCC 12 miscompiles conditional-expression temporaries
+    // inside co_await statements (see net::Address note).
+    std::string path = "build";
+    if (!dir.empty()) path += "/" + dir;
+    (void)co_await mp->readdir(path);
+  }
+  for (const auto& file : tree.files) {
+    (void)co_await mp->stat("build/" + file.path);
+  }
+  out.add("stat", seconds_since(tb, start));
+
+  // Phase 3 — search: read every file fully (grep for a keyword).
+  start = tb.engine().now();
+  for (const auto& file : tree.files) {
+    int fd = co_await mp->open("build/" + file.path, kRdOnly);
+    while (co_await mp->read(fd, buf) > 0) {
+    }
+    co_await mp->close(fd);
+    co_await app_compute(tb, 0.00005);  // grep per file
+  }
+  out.add("search", seconds_since(tb, start));
+
+  // Phase 4 — compile: read each source (+ some headers), burn gcc CPU,
+  // emit an object file; finally link everything into binaries.
+  start = tb.engine().now();
+  const double cpu_per_unit =
+      params.compile_cpu_seconds / (params.outputs + 4.0);
+  Rng rng(params.seed + 2);
+  int object_index = 0;
+  for (const auto& file : tree.files) {
+    if (!file.compiles) continue;
+    int fd = co_await mp->open("build/" + file.path, kRdOnly);
+    while (co_await mp->read(fd, buf) > 0) {
+    }
+    co_await mp->close(fd);
+    // gcc opens and reads a pile of headers per translation unit; most are
+    // cache hits, but each open revalidates once the attributes go stale.
+    for (int h = 0; h < 48; ++h) {
+      const auto& header =
+          tree.files[params.outputs +
+                     rng.next_below(tree.files.size() - params.outputs)];
+      std::string hpath = "build/" + header.path;
+      int hfd = co_await mp->open(hpath, kRdOnly);
+      size_t hn;
+      while ((hn = co_await mp->read(hfd, buf)) > 0) {
+      }
+      co_await mp->close(hfd);
+    }
+    co_await app_compute(tb, cpu_per_unit);
+    const std::string obj =
+        "build/obj" + std::to_string(object_index++) + ".o";
+    int ofd = co_await mp->open(obj, kWrOnly | kCreate);
+    Buffer object = rng.bytes(file.bytes * 6 / 10);
+    co_await mp->write(ofd, object);
+    co_await mp->close(ofd);
+  }
+  // Link: read all objects, write 4 binaries.
+  for (int b = 0; b < 4; ++b) {
+    co_await app_compute(tb, cpu_per_unit);
+    uint64_t total = 0;
+    for (int o = b; o < object_index; o += 4) {
+      int fd = co_await mp->open("build/obj" + std::to_string(o) + ".o",
+                                 kRdOnly);
+      size_t n;
+      while ((n = co_await mp->read(fd, buf)) > 0) total += n;
+      co_await mp->close(fd);
+    }
+    int fd = co_await mp->open("build/bin" + std::to_string(b),
+                               kWrOnly | kCreate);
+    Buffer binary = rng.bytes(static_cast<size_t>(total / 2 + 1024));
+    co_await mp->write(fd, binary);
+    co_await mp->close(fd);
+  }
+  out.add("compile", seconds_since(tb, start));
+  co_return out;
+}
+
+// --- Seismic -------------------------------------------------------------------
+
+namespace {
+// Streams `bytes` through `fd` in 256KB chunks, interleaving the phase's
+// compute budget proportionally (the paper's phases mix CPU and I/O).
+sim::Task<void> stream_write(Testbed& tb, nfs::MountPoint& mp, int fd,
+                             uint64_t bytes, double cpu_seconds, Rng& rng) {
+  constexpr size_t kChunk = 256 * 1024;
+  const uint64_t chunks = (bytes + kChunk - 1) / kChunk;
+  const double cpu_per_chunk = chunks ? cpu_seconds / chunks : 0;
+  Buffer chunk(kChunk);
+  uint64_t off = 0;
+  while (off < bytes) {
+    const size_t n =
+        static_cast<size_t>(std::min<uint64_t>(kChunk, bytes - off));
+    rng.fill(MutByteView(chunk.data(), n));
+    co_await app_compute(tb, cpu_per_chunk);
+    co_await mp.write(fd, ByteView(chunk.data(), n));
+    off += n;
+  }
+}
+
+// Gather-style read: the stacking phase accesses traces in shot order, not
+// file order — random 32KB accesses that defeat kernel read-ahead (this is
+// what makes nfs-v3's phase 2 collapse over the WAN, Figure 10).
+sim::Task<uint64_t> gather_read(Testbed& tb, nfs::MountPoint& mp, int fd,
+                                double cpu_seconds, uint64_t file_bytes,
+                                Rng& rng) {
+  constexpr size_t kBlock = 32 * 1024;
+  const uint64_t blocks = (file_bytes + kBlock - 1) / kBlock;
+  std::vector<uint64_t> order(blocks);
+  for (uint64_t i = 0; i < blocks; ++i) order[i] = i;
+  for (uint64_t i = blocks; i > 1; --i) {
+    std::swap(order[i - 1], order[rng.next_below(i)]);
+  }
+  const double cpu_per_block = blocks ? cpu_seconds / blocks : 0;
+  Buffer buf(kBlock);
+  uint64_t total = 0;
+  for (uint64_t b : order) {
+    size_t n = co_await mp.pread(fd, b * kBlock, buf);
+    co_await app_compute(tb, cpu_per_block);
+    total += n;
+  }
+  co_return total;
+}
+
+sim::Task<uint64_t> stream_read(Testbed& tb, nfs::MountPoint& mp, int fd,
+                                double cpu_seconds, uint64_t expect_bytes) {
+  constexpr size_t kChunk = 256 * 1024;
+  const uint64_t chunks = (expect_bytes + kChunk - 1) / kChunk;
+  const double cpu_per_chunk = chunks ? cpu_seconds / chunks : 0;
+  Buffer chunk(kChunk);
+  uint64_t total = 0;
+  size_t n;
+  while ((n = co_await mp.read(fd, chunk)) > 0) {
+    co_await app_compute(tb, cpu_per_chunk);
+    total += n;
+  }
+  co_return total;
+}
+}  // namespace
+
+sim::Task<PhaseTimes> run_seismic(Testbed& tb,
+                                  std::shared_ptr<nfs::MountPoint> mp,
+                                  SeismicParams params) {
+  PhaseTimes out;
+  Rng rng(params.seed);
+  const uint64_t d1 = params.trace_bytes;
+  const uint64_t d2 = d1 / 4;   // stacked traces
+  const uint64_t d3 = d2 / 2;   // time-migrated section
+  const uint64_t d4 = d3;       // depth-migrated section
+
+  // Phase 1 — data generation: compute + write the big trace file.
+  sim::SimTime start = tb.engine().now();
+  {
+    int fd = co_await mp->open("traces.dat", kWrOnly | kCreate);
+    co_await stream_write(tb, *mp, fd, d1, params.generate_cpu_seconds, rng);
+    co_await mp->close(fd);
+  }
+  out.add("phase1", seconds_since(tb, start));
+
+  // Phase 2 — stacking: gather the traces (shot order, non-sequential),
+  // write the stacked file.
+  start = tb.engine().now();
+  {
+    int in = co_await mp->open("traces.dat", kRdOnly);
+    co_await gather_read(tb, *mp, in, params.stack_cpu_seconds, d1, rng);
+    co_await mp->close(in);
+    int fd = co_await mp->open("stacked.dat", kWrOnly | kCreate);
+    co_await stream_write(tb, *mp, fd, d2, 0.0, rng);
+    co_await mp->close(fd);
+  }
+  out.add("phase2", seconds_since(tb, start));
+
+  // Phase 3 — time migration: read stacked, write migrated.
+  start = tb.engine().now();
+  {
+    int in = co_await mp->open("stacked.dat", kRdOnly);
+    co_await stream_read(tb, *mp, in, params.timemig_cpu_seconds / 2, d2);
+    co_await mp->close(in);
+    int fd = co_await mp->open("timemig.dat", kWrOnly | kCreate);
+    co_await stream_write(tb, *mp, fd, d3, params.timemig_cpu_seconds / 2,
+                          rng);
+    co_await mp->close(fd);
+  }
+  out.add("phase3", seconds_since(tb, start));
+
+  // Phase 4 — depth migration: compute-dominant, reads the time migration,
+  // writes the final section.
+  start = tb.engine().now();
+  {
+    int in = co_await mp->open("timemig.dat", kRdOnly);
+    co_await stream_read(tb, *mp, in, params.depthmig_cpu_seconds * 0.9, d3);
+    co_await mp->close(in);
+    int fd = co_await mp->open("depthmig.dat", kWrOnly | kCreate);
+    co_await stream_write(tb, *mp, fd, d4,
+                          params.depthmig_cpu_seconds * 0.1, rng);
+    co_await mp->close(fd);
+  }
+  // Intermediate outputs are removed; only the last two phases' results
+  // survive — cancelling their pending write-backs under sgfs (§6.3.2).
+  co_await mp->unlink("traces.dat");
+  co_await mp->unlink("stacked.dat");
+  out.add("phase4", seconds_since(tb, start));
+  co_return out;
+}
+
+}  // namespace sgfs::workloads

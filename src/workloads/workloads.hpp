@@ -1,0 +1,129 @@
+// Workload generators reproducing the paper's benchmarks (§6).
+//
+// Each generator drives a MountPoint with the operation stream the original
+// tool issues; application compute ("think time", compilation, seismic
+// migration kernels) is charged on the client host CPU so the simulated
+// runtimes mix I/O and computation the way the paper's applications do.
+// Every run reports per-phase simulated seconds.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "baselines/testbed.hpp"
+
+namespace sgfs::workloads {
+
+using baselines::Testbed;
+
+/// One phase's simulated wall time.
+struct PhaseTimes {
+  std::vector<std::pair<std::string, double>> phases;
+
+  PhaseTimes() = default;
+  void add(std::string name, double seconds) {
+    phases.emplace_back(std::move(name), seconds);
+  }
+  double total() const {
+    double t = 0;
+    for (const auto& [n, s] : phases) t += s;
+    return t;
+  }
+  double operator[](const std::string& name) const {
+    for (const auto& [n, s] : phases) {
+      if (n == name) return s;
+    }
+    return 0;
+  }
+};
+
+// --- IOzone (§6.2.1): sequential read + reread of one large file -------------
+
+struct IozoneParams {
+  uint64_t file_bytes = 512ull << 20;  // paper: 512 MB vs 256 MB client RAM
+  size_t record_bytes = 32 * 1024;
+
+  IozoneParams() = default;
+};
+
+/// Runs read/reread against a pre-created, server-cache-warm file named
+/// "iozone.tmp" (Testbed::preload_file does the paper's preload).
+sim::Task<PhaseTimes> run_iozone(Testbed& tb,
+                                 std::shared_ptr<nfs::MountPoint> mp,
+                                 IozoneParams params);
+
+// --- PostMark (§6.2.2): small-file create/transaction/delete -----------------
+
+struct PostmarkParams {
+  int directories = 100;
+  int files = 500;
+  int transactions = 1000;
+  size_t min_size = 512;
+  size_t max_size = 16 * 1024;
+  uint64_t seed = 1;
+
+  PostmarkParams() = default;
+};
+
+sim::Task<PhaseTimes> run_postmark(Testbed& tb,
+                                   std::shared_ptr<nfs::MountPoint> mp,
+                                   PostmarkParams params);
+
+// --- Modified Andrew Benchmark (§6.3.1) ---------------------------------------
+
+struct MabParams {
+  // The openssh-4.6p1 stand-in: 3-level tree, 13 dirs, 449 files, and a
+  // compile phase producing 194 outputs.
+  int dirs = 13;
+  int files = 449;
+  int outputs = 194;
+  size_t avg_file_bytes = 14 * 1024;  // ~6 MB tree
+  /// Total CPU seconds of the compile phase (gcc time on the 2007 testbed).
+  double compile_cpu_seconds = 95.0;
+  uint64_t seed = 2;
+
+  MabParams() = default;
+};
+
+/// Creates the pristine source tree under "src" directly on the server.
+void mab_prepare_tree(Testbed& tb, const MabParams& params);
+
+/// Runs copy/stat/search/compile.  The copy phase reads "src" and writes
+/// "build"; compile reads sources from "build" and writes objects there.
+sim::Task<PhaseTimes> run_mab(Testbed& tb,
+                              std::shared_ptr<nfs::MountPoint> mp,
+                              MabParams params);
+
+// --- Seismic (SPEC HPC96 derived, §6.3.2) --------------------------------------
+
+struct SeismicParams {
+  uint64_t trace_bytes = 320ull << 20;  // phase-1 output (> client RAM)
+  double generate_cpu_seconds = 20.0;   // phase 1 compute
+  double stack_cpu_seconds = 10.0;      // phase 2 compute
+  double timemig_cpu_seconds = 2.0;     // phase 3 compute
+  double depthmig_cpu_seconds = 165.0;  // phase 4 compute (dominant)
+  uint64_t seed = 3;
+
+  SeismicParams() = default;
+};
+
+/// Four phases; intermediates are removed at the end (only the last two
+/// phases' outputs survive — the write-back cancellation path).
+sim::Task<PhaseTimes> run_seismic(Testbed& tb,
+                                  std::shared_ptr<nfs::MountPoint> mp,
+                                  SeismicParams params);
+
+// --- helpers --------------------------------------------------------------------
+
+/// Charges `seconds` of application compute on the client CPU.
+sim::Task<void> app_compute(Testbed& tb, double seconds);
+
+struct Stats {
+  double mean = 0;
+  double stddev = 0;
+  Stats() = default;
+};
+Stats stats_of(const std::vector<double>& xs);
+
+}  // namespace sgfs::workloads

@@ -1,0 +1,92 @@
+#include "xdr/xdr.hpp"
+
+namespace sgfs::xdr {
+
+void Encoder::put_u32(uint32_t v) {
+  buf_.push_back(static_cast<uint8_t>(v >> 24));
+  buf_.push_back(static_cast<uint8_t>(v >> 16));
+  buf_.push_back(static_cast<uint8_t>(v >> 8));
+  buf_.push_back(static_cast<uint8_t>(v));
+}
+
+void Encoder::put_u64(uint64_t v) {
+  put_u32(static_cast<uint32_t>(v >> 32));
+  put_u32(static_cast<uint32_t>(v));
+}
+
+void Encoder::put_opaque_fixed(ByteView data) {
+  append(buf_, data);
+  static constexpr uint8_t kPad[3] = {0, 0, 0};
+  const size_t pad = (4 - data.size() % 4) % 4;
+  append(buf_, ByteView(kPad, pad));
+}
+
+void Encoder::put_opaque(ByteView data) {
+  if (data.size() > UINT32_MAX) throw XdrError("opaque too large");
+  put_u32(static_cast<uint32_t>(data.size()));
+  put_opaque_fixed(data);
+}
+
+void Encoder::put_string(std::string_view s) {
+  put_opaque(ByteView(reinterpret_cast<const uint8_t*>(s.data()), s.size()));
+}
+
+ByteView Decoder::need(size_t n) {
+  if (data_.size() - pos_ < n) throw XdrError("decode underrun");
+  ByteView out = data_.subspan(pos_, n);
+  pos_ += n;
+  return out;
+}
+
+void Decoder::skip_padding(size_t n) {
+  const size_t pad = (4 - n % 4) % 4;
+  ByteView p = need(pad);
+  for (uint8_t b : p) {
+    if (b != 0) throw XdrError("nonzero padding");
+  }
+}
+
+uint32_t Decoder::get_u32() {
+  ByteView b = need(4);
+  return (static_cast<uint32_t>(b[0]) << 24) |
+         (static_cast<uint32_t>(b[1]) << 16) |
+         (static_cast<uint32_t>(b[2]) << 8) | static_cast<uint32_t>(b[3]);
+}
+
+uint64_t Decoder::get_u64() {
+  uint64_t hi = get_u32();
+  uint64_t lo = get_u32();
+  return (hi << 32) | lo;
+}
+
+bool Decoder::get_bool() {
+  uint32_t v = get_u32();
+  if (v > 1) throw XdrError("bad bool value");
+  return v == 1;
+}
+
+void Decoder::get_opaque_fixed(MutByteView out) {
+  ByteView b = need(out.size());
+  std::copy(b.begin(), b.end(), out.begin());
+  skip_padding(out.size());
+}
+
+Buffer Decoder::get_opaque(size_t max_len) {
+  uint32_t len = get_u32();
+  if (len > max_len) throw XdrError("opaque exceeds limit");
+  ByteView b = need(len);
+  Buffer out(b.begin(), b.end());
+  skip_padding(len);
+  return out;
+}
+
+std::string Decoder::get_string(size_t max_len) {
+  Buffer b = get_opaque(max_len);
+  return to_string(b);
+}
+
+void Decoder::expect_done() const {
+  if (!done()) throw XdrError("trailing bytes after message");
+}
+
+}  // namespace sgfs::xdr

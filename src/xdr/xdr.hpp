@@ -1,0 +1,123 @@
+// XDR — External Data Representation (RFC 4506).
+//
+// ONC RPC and NFS encode every message in XDR: big-endian 32/64-bit words,
+// everything padded to 4-byte alignment, variable-length data prefixed by a
+// 32-bit length.  This is the wire-format foundation for src/rpc and src/nfs.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/bytes.hpp"
+
+namespace sgfs::xdr {
+
+class XdrError : public std::runtime_error {
+ public:
+  explicit XdrError(const std::string& what) : std::runtime_error(what) {}
+};
+
+class Encoder {
+ public:
+  void put_u32(uint32_t v);
+  void put_i32(int32_t v) { put_u32(static_cast<uint32_t>(v)); }
+  void put_u64(uint64_t v);
+  void put_i64(int64_t v) { put_u64(static_cast<uint64_t>(v)); }
+  void put_bool(bool v) { put_u32(v ? 1 : 0); }
+
+  /// Enum values are encoded as signed 32-bit integers (RFC 4506 §4.3).
+  template <typename E>
+  void put_enum(E v) {
+    put_i32(static_cast<int32_t>(v));
+  }
+
+  /// Fixed-length opaque: bytes + zero padding to a 4-byte boundary.
+  void put_opaque_fixed(ByteView data);
+
+  /// Variable-length opaque: u32 length, bytes, padding.
+  void put_opaque(ByteView data);
+
+  /// String: identical encoding to variable-length opaque.
+  void put_string(std::string_view s);
+
+  /// Optional ("pointer"): bool present + value when present.
+  template <typename T, typename F>
+  void put_optional(const std::optional<T>& v, F&& encode_value) {
+    put_bool(v.has_value());
+    if (v) encode_value(*v);
+  }
+
+  size_t size() const { return buf_.size(); }
+  const Buffer& data() const { return buf_; }
+  Buffer take() { return std::move(buf_); }
+
+ private:
+  Buffer buf_;
+};
+
+class Decoder {
+ public:
+  explicit Decoder(ByteView data) : data_(data) {}
+
+  uint32_t get_u32();
+  int32_t get_i32() { return static_cast<int32_t>(get_u32()); }
+  uint64_t get_u64();
+  int64_t get_i64() { return static_cast<int64_t>(get_u64()); }
+  bool get_bool();
+
+  template <typename E>
+  E get_enum() {
+    return static_cast<E>(get_i32());
+  }
+
+  /// Reads exactly out.size() opaque bytes (+ skips padding).
+  void get_opaque_fixed(MutByteView out);
+
+  /// Reads a variable-length opaque; rejects lengths above max_len.
+  Buffer get_opaque(size_t max_len = kDefaultMax);
+
+  /// Reads a string; rejects lengths above max_len.
+  std::string get_string(size_t max_len = kDefaultMax);
+
+  template <typename T, typename F>
+  std::optional<T> get_optional(F&& decode_value) {
+    if (!get_bool()) return std::nullopt;
+    return decode_value();
+  }
+
+  size_t remaining() const { return data_.size() - pos_; }
+  bool done() const { return pos_ == data_.size(); }
+
+  /// Throws unless the buffer is fully consumed — catches trailing garbage.
+  void expect_done() const;
+
+  static constexpr size_t kDefaultMax = 1u << 26;  // 64 MiB sanity bound
+
+ private:
+  ByteView need(size_t n);
+  void skip_padding(size_t n);
+
+  ByteView data_;
+  size_t pos_ = 0;
+};
+
+/// Round-trip helper for types exposing encode(Encoder&)/decode(Decoder&).
+template <typename T>
+Buffer encode_message(const T& msg) {
+  Encoder enc;
+  msg.encode(enc);
+  return enc.take();
+}
+
+template <typename T>
+T decode_message(ByteView data) {
+  Decoder dec(data);
+  T out = T::decode(dec);
+  return out;
+}
+
+}  // namespace sgfs::xdr

@@ -1,0 +1,56 @@
+#include "common/bytes.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sgfs {
+namespace {
+
+TEST(Bytes, RoundTripString) {
+  Buffer b = to_bytes("hello sgfs");
+  EXPECT_EQ(to_string(b), "hello sgfs");
+}
+
+TEST(Bytes, EmptyString) {
+  EXPECT_TRUE(to_bytes("").empty());
+  EXPECT_EQ(to_string({}), "");
+}
+
+TEST(Bytes, HexEncode) {
+  Buffer b = {0x00, 0x01, 0xab, 0xff};
+  EXPECT_EQ(to_hex(b), "0001abff");
+}
+
+TEST(Bytes, HexDecode) {
+  EXPECT_EQ(from_hex("0001abff"), (Buffer{0x00, 0x01, 0xab, 0xff}));
+  EXPECT_EQ(from_hex("DEADbeef"), (Buffer{0xde, 0xad, 0xbe, 0xef}));
+}
+
+TEST(Bytes, HexRoundTrip) {
+  Buffer b;
+  for (int i = 0; i < 256; ++i) b.push_back(static_cast<uint8_t>(i));
+  EXPECT_EQ(from_hex(to_hex(b)), b);
+}
+
+TEST(Bytes, HexRejectsOddLength) {
+  EXPECT_THROW(from_hex("abc"), std::invalid_argument);
+}
+
+TEST(Bytes, HexRejectsNonHex) {
+  EXPECT_THROW(from_hex("zz"), std::invalid_argument);
+}
+
+TEST(Bytes, Append) {
+  Buffer a = to_bytes("ab");
+  append(a, to_bytes("cd"));
+  EXPECT_EQ(to_string(a), "abcd");
+}
+
+TEST(Bytes, ConstantTimeEqual) {
+  EXPECT_TRUE(ct_equal(to_bytes("same"), to_bytes("same")));
+  EXPECT_FALSE(ct_equal(to_bytes("same"), to_bytes("diff")));
+  EXPECT_FALSE(ct_equal(to_bytes("short"), to_bytes("longer")));
+  EXPECT_TRUE(ct_equal({}, {}));
+}
+
+}  // namespace
+}  // namespace sgfs

@@ -1,0 +1,110 @@
+#include "common/config.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sgfs {
+namespace {
+
+constexpr const char* kSample = R"(
+# SGFS proxy session configuration
+cache = on
+
+[security]
+cipher = aes-256-cbc
+mac = hmac-sha1
+renegotiate_s = 3600
+
+[cache]
+enabled = true
+block_kb = 32
+size_mb = 512
+write_policy = writeback
+hit_ratio = 0.9
+)";
+
+TEST(Config, ParsesSectionsAndKeys) {
+  Config c = Config::parse(kSample);
+  EXPECT_EQ(c.get_or("", "cache", ""), "on");
+  EXPECT_EQ(c.get_or("security", "cipher", ""), "aes-256-cbc");
+  EXPECT_EQ(c.get_int("security", "renegotiate_s", -1), 3600);
+  EXPECT_TRUE(c.get_bool("cache", "enabled", false));
+  EXPECT_DOUBLE_EQ(c.get_double("cache", "hit_ratio", 0), 0.9);
+}
+
+TEST(Config, MissingKeysFallBack) {
+  Config c = Config::parse(kSample);
+  EXPECT_EQ(c.get("nope", "cipher"), std::nullopt);
+  EXPECT_EQ(c.get_or("security", "nope", "dflt"), "dflt");
+  EXPECT_EQ(c.get_int("security", "nope", 42), 42);
+  EXPECT_FALSE(c.get_bool("security", "nope", false));
+}
+
+TEST(Config, SetOverridesValue) {
+  Config c = Config::parse(kSample);
+  c.set("security", "cipher", "rc4-128");
+  EXPECT_EQ(c.get_or("security", "cipher", ""), "rc4-128");
+}
+
+TEST(Config, BoolSpellings) {
+  Config c = Config::parse("a=1\nb=true\nc=yes\nd=on\ne=0\nf=false\n");
+  EXPECT_TRUE(c.get_bool("", "a", false));
+  EXPECT_TRUE(c.get_bool("", "b", false));
+  EXPECT_TRUE(c.get_bool("", "c", false));
+  EXPECT_TRUE(c.get_bool("", "d", false));
+  EXPECT_FALSE(c.get_bool("", "e", true));
+  EXPECT_FALSE(c.get_bool("", "f", true));
+}
+
+TEST(Config, CommentsAndBlanksIgnored) {
+  Config c = Config::parse("# comment\n; also comment\n\nkey = v\n");
+  EXPECT_EQ(c.get_or("", "key", ""), "v");
+  EXPECT_EQ(c.keys("").size(), 1u);
+}
+
+TEST(Config, RejectsMalformedLine) {
+  EXPECT_THROW(Config::parse("just a line without equals\n"),
+               std::runtime_error);
+  EXPECT_THROW(Config::parse("[unterminated\n"), std::runtime_error);
+}
+
+TEST(Config, RoundTripThroughToString) {
+  Config c = Config::parse(kSample);
+  Config c2 = Config::parse(c.to_string());
+  EXPECT_EQ(c2.get_or("security", "cipher", ""), "aes-256-cbc");
+  EXPECT_EQ(c2.get_int("cache", "block_kb", 0), 32);
+  EXPECT_EQ(c2.get_or("", "cache", ""), "on");
+}
+
+TEST(Config, KeysListsSectionContents) {
+  Config c = Config::parse(kSample);
+  auto keys = c.keys("cache");
+  ASSERT_EQ(keys.size(), 5u);
+  EXPECT_EQ(keys[0], "enabled");
+  EXPECT_EQ(keys[1], "block_kb");
+}
+
+TEST(Config, SectionsInInsertionOrder) {
+  Config c = Config::parse(kSample);
+  auto s = c.sections();
+  ASSERT_EQ(s.size(), 3u);
+  EXPECT_EQ(s[0], "");
+  EXPECT_EQ(s[1], "security");
+  EXPECT_EQ(s[2], "cache");
+}
+
+TEST(StringUtil, Trim) {
+  EXPECT_EQ(trim("  x  "), "x");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim(" \t\n "), "");
+}
+
+TEST(StringUtil, Split) {
+  auto parts = split("a, b ,c", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+  EXPECT_EQ(parts[2], "c");
+}
+
+}  // namespace
+}  // namespace sgfs

@@ -1,0 +1,79 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace sgfs {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, NextBelowInRange) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(r.next_below(17), 17u);
+}
+
+TEST(Rng, NextRangeInclusive) {
+  Rng r(7);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    uint64_t v = r.next_range(5, 8);
+    EXPECT_GE(v, 5u);
+    EXPECT_LE(v, 8u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 4u);  // all four values hit
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng r(9);
+  for (int i = 0; i < 1000; ++i) {
+    double d = r.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, FillCoversAllLengths) {
+  Rng r(11);
+  for (size_t n = 0; n < 32; ++n) {
+    Buffer b = r.bytes(n);
+    EXPECT_EQ(b.size(), n);
+  }
+}
+
+TEST(Rng, BytesLookRandom) {
+  Rng r(13);
+  Buffer b = r.bytes(4096);
+  std::set<uint8_t> values(b.begin(), b.end());
+  EXPECT_GT(values.size(), 200u);  // all byte values essentially present
+}
+
+TEST(Rng, ForkIndependent) {
+  Rng parent(42);
+  Rng child = parent.fork();
+  // Child stream differs from the parent's continuation.
+  EXPECT_NE(child.next_u64(), parent.next_u64());
+}
+
+TEST(Rng, ForkDeterministic) {
+  Rng p1(42), p2(42);
+  Rng c1 = p1.fork(), c2 = p2.fork();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(c1.next_u64(), c2.next_u64());
+}
+
+}  // namespace
+}  // namespace sgfs

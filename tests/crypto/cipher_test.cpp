@@ -1,0 +1,170 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "crypto/aes.hpp"
+#include "crypto/rc4.hpp"
+
+namespace sgfs::crypto {
+namespace {
+
+// FIPS-197 Appendix C known-answer tests.
+TEST(Aes, Fips197Aes128) {
+  Buffer key = from_hex("000102030405060708090a0b0c0d0e0f");
+  Buffer pt = from_hex("00112233445566778899aabbccddeeff");
+  Aes aes(key);
+  uint8_t ct[16];
+  aes.encrypt_block(pt.data(), ct);
+  EXPECT_EQ(to_hex(ByteView(ct, 16)), "69c4e0d86a7b0430d8cdb78070b4c55a");
+  uint8_t back[16];
+  aes.decrypt_block(ct, back);
+  EXPECT_EQ(to_hex(ByteView(back, 16)), to_hex(pt));
+}
+
+TEST(Aes, Fips197Aes256) {
+  Buffer key =
+      from_hex("000102030405060708090a0b0c0d0e0f"
+               "101112131415161718191a1b1c1d1e1f");
+  Buffer pt = from_hex("00112233445566778899aabbccddeeff");
+  Aes aes(key);
+  uint8_t ct[16];
+  aes.encrypt_block(pt.data(), ct);
+  EXPECT_EQ(to_hex(ByteView(ct, 16)), "8ea2b7ca516745bfeafc49904b496089");
+  uint8_t back[16];
+  aes.decrypt_block(ct, back);
+  EXPECT_EQ(to_hex(ByteView(back, 16)), to_hex(pt));
+}
+
+TEST(Aes, RoundCounts) {
+  EXPECT_EQ(Aes(Buffer(16, 0)).rounds(), 10);
+  EXPECT_EQ(Aes(Buffer(32, 0)).rounds(), 14);
+}
+
+TEST(Aes, RejectsBadKeySizes) {
+  EXPECT_THROW(Aes(Buffer(15, 0)), std::invalid_argument);
+  EXPECT_THROW(Aes(Buffer(24, 0)), std::invalid_argument);  // no AES-192 here
+  EXPECT_THROW(Aes(Buffer(0, 0)), std::invalid_argument);
+}
+
+TEST(AesCbc, RoundTripVariousLengths) {
+  Rng rng(3);
+  Aes aes(rng.bytes(32));
+  Buffer iv = rng.bytes(16);
+  for (size_t len : {0u, 1u, 15u, 16u, 17u, 31u, 32u, 1000u, 32768u}) {
+    Buffer pt = rng.bytes(len);
+    Buffer ct = aes_cbc_encrypt(aes, iv, pt);
+    EXPECT_EQ(ct.size() % 16, 0u);
+    EXPECT_GT(ct.size(), pt.size());  // PKCS#7 always pads
+    EXPECT_EQ(aes_cbc_decrypt(aes, iv, ct), pt);
+  }
+}
+
+TEST(AesCbc, TamperedCiphertextFailsPadding) {
+  Rng rng(4);
+  Aes aes(rng.bytes(32));
+  Buffer iv = rng.bytes(16);
+  Buffer pt = rng.bytes(100);
+  Buffer ct = aes_cbc_encrypt(aes, iv, pt);
+  // Flip a bit in the last block: padding check must reject (with high
+  // probability) or decode to different plaintext.
+  Buffer bad = ct;
+  bad[bad.size() - 1] ^= 0x80;
+  try {
+    Buffer out = aes_cbc_decrypt(aes, iv, bad);
+    EXPECT_NE(out, pt);
+  } catch (const std::runtime_error&) {
+    SUCCEED();
+  }
+}
+
+TEST(AesCbc, WrongIvChangesPlaintext) {
+  Rng rng(5);
+  Aes aes(rng.bytes(16));
+  Buffer iv1 = rng.bytes(16), iv2 = rng.bytes(16);
+  Buffer pt = rng.bytes(64);
+  Buffer ct = aes_cbc_encrypt(aes, iv1, pt);
+  try {
+    EXPECT_NE(aes_cbc_decrypt(aes, iv2, ct), pt);
+  } catch (const std::runtime_error&) {
+    SUCCEED();  // padding failure is also acceptable
+  }
+}
+
+TEST(AesCbc, IdenticalBlocksDoNotRepeat) {
+  // CBC chaining: equal plaintext blocks must yield distinct ciphertext.
+  Rng rng(6);
+  Aes aes(rng.bytes(32));
+  Buffer iv = rng.bytes(16);
+  Buffer pt(64, 0x42);  // four identical blocks
+  Buffer ct = aes_cbc_encrypt(aes, iv, pt);
+  EXPECT_NE(Buffer(ct.begin(), ct.begin() + 16),
+            Buffer(ct.begin() + 16, ct.begin() + 32));
+}
+
+TEST(AesCbc, RejectsMisalignedCiphertext) {
+  Rng rng(7);
+  Aes aes(rng.bytes(16));
+  Buffer iv = rng.bytes(16);
+  EXPECT_THROW(aes_cbc_decrypt(aes, iv, Buffer(15, 0)), std::runtime_error);
+  EXPECT_THROW(aes_cbc_decrypt(aes, iv, Buffer{}), std::runtime_error);
+}
+
+TEST(AesCbc, RejectsBadIv) {
+  Rng rng(8);
+  Aes aes(rng.bytes(16));
+  EXPECT_THROW(aes_cbc_encrypt(aes, Buffer(8, 0), Buffer(16, 0)),
+               std::invalid_argument);
+}
+
+// Classic RC4 vectors (Wikipedia / original cypherpunks post).
+TEST(Rc4, KeyKeyPlaintext) {
+  Rc4 rc4(to_bytes("Key"));
+  Buffer ct = rc4.process_copy(to_bytes("Plaintext"));
+  EXPECT_EQ(to_hex(ct), "bbf316e8d940af0ad3");
+}
+
+TEST(Rc4, WikiPedia) {
+  Rc4 rc4(to_bytes("Wiki"));
+  Buffer ct = rc4.process_copy(to_bytes("pedia"));
+  EXPECT_EQ(to_hex(ct), "1021bf0420");
+}
+
+TEST(Rc4, SecretAttack) {
+  Rc4 rc4(to_bytes("Secret"));
+  Buffer ct = rc4.process_copy(to_bytes("Attack at dawn"));
+  EXPECT_EQ(to_hex(ct), "45a01f645fc35b383552544b9bf5");
+}
+
+TEST(Rc4, EncryptDecryptSymmetry) {
+  Rng rng(9);
+  Buffer key = rng.bytes(16);
+  Buffer pt = rng.bytes(10000);
+  Rc4 enc(key), dec(key);
+  Buffer ct = enc.process_copy(pt);
+  EXPECT_NE(ct, pt);
+  EXPECT_EQ(dec.process_copy(ct), pt);
+}
+
+TEST(Rc4, StreamIsStateful) {
+  Buffer key = to_bytes("k");
+  Rc4 a(key);
+  Buffer first = a.process_copy(Buffer(8, 0));
+  Buffer second = a.process_copy(Buffer(8, 0));
+  EXPECT_NE(first, second);  // keystream advances
+}
+
+TEST(Rc4, SkipMatchesManualDrop) {
+  Buffer key = to_bytes("dropkey");
+  Rc4 a(key), b(key);
+  a.skip(1024);
+  Buffer burn(1024, 0);
+  b.process(burn);
+  EXPECT_EQ(a.process_copy(Buffer(16, 0)), b.process_copy(Buffer(16, 0)));
+}
+
+TEST(Rc4, RejectsBadKeys) {
+  EXPECT_THROW(Rc4(Buffer{}), std::invalid_argument);
+  EXPECT_THROW(Rc4(Buffer(257, 1)), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sgfs::crypto

@@ -1,0 +1,166 @@
+#include "crypto/sha.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "crypto/hmac.hpp"
+
+namespace sgfs::crypto {
+namespace {
+
+std::string hex_digest(ByteView d) { return to_hex(d); }
+
+template <typename H>
+std::string hash_hex(std::string_view msg) {
+  auto d = H::hash(to_bytes(msg));
+  return to_hex(ByteView(d.data(), d.size()));
+}
+
+// FIPS 180-4 / classic known-answer vectors.
+TEST(Sha1, EmptyString) {
+  EXPECT_EQ(hash_hex<Sha1>(""), "da39a3ee5e6b4b0d3255bfef95601890afd80709");
+}
+
+TEST(Sha1, Abc) {
+  EXPECT_EQ(hash_hex<Sha1>("abc"),
+            "a9993e364706816aba3e25717850c26c9cd0d89d");
+}
+
+TEST(Sha1, TwoBlockMessage) {
+  EXPECT_EQ(hash_hex<Sha1>(
+                "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"),
+            "84983e441c3bd26ebaae4aa1f95129e5e54670f1");
+}
+
+TEST(Sha1, MillionAs) {
+  Sha1 h;
+  Buffer chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.update(chunk);
+  auto d = h.finish();
+  EXPECT_EQ(hex_digest(ByteView(d.data(), d.size())),
+            "34aa973cd4c4daa4f61eeb2bdbad27316534016f");
+}
+
+TEST(Sha1, IncrementalMatchesOneShot) {
+  Rng rng(1);
+  Buffer data = rng.bytes(10000);
+  auto one = Sha1::hash(data);
+  Sha1 h;
+  size_t off = 0;
+  size_t step = 1;
+  while (off < data.size()) {
+    size_t n = std::min(step, data.size() - off);
+    h.update(ByteView(data.data() + off, n));
+    off += n;
+    step = step * 3 + 1;
+  }
+  EXPECT_EQ(h.finish(), one);
+}
+
+TEST(Sha256, EmptyString) {
+  EXPECT_EQ(hash_hex<Sha256>(""),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256, Abc) {
+  EXPECT_EQ(hash_hex<Sha256>("abc"),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, TwoBlockMessage) {
+  EXPECT_EQ(hash_hex<Sha256>(
+                "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, IncrementalMatchesOneShot) {
+  Rng rng(2);
+  Buffer data = rng.bytes(5000);
+  auto one = Sha256::hash(data);
+  Sha256 h;
+  for (size_t off = 0; off < data.size(); off += 17) {
+    h.update(ByteView(data.data() + off, std::min<size_t>(17, data.size() - off)));
+  }
+  EXPECT_EQ(h.finish(), one);
+}
+
+// Boundary sweep: messages near the 64-byte block/padding boundary.
+class ShaBoundaryTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(ShaBoundaryTest, LengthEncodedCorrectly) {
+  // Hash(msg) must differ from Hash(msg + one byte) and incremental must
+  // agree with one-shot at every boundary length.
+  Buffer msg(GetParam(), 0x61);
+  auto a = Sha1::hash(msg);
+  Sha1 inc;
+  if (!msg.empty()) {
+    inc.update(ByteView(msg.data(), msg.size() / 2));
+    inc.update(ByteView(msg.data() + msg.size() / 2,
+                        msg.size() - msg.size() / 2));
+  }
+  EXPECT_EQ(inc.finish(), a);
+  Buffer longer = msg;
+  longer.push_back(0x61);
+  EXPECT_NE(Sha1::hash(longer), a);
+}
+
+INSTANTIATE_TEST_SUITE_P(Boundaries, ShaBoundaryTest,
+                         ::testing::Values(0, 1, 54, 55, 56, 57, 63, 64, 65,
+                                           119, 120, 128));
+
+// RFC 2202 HMAC-SHA1 vectors.
+TEST(HmacSha1, Rfc2202Case1) {
+  Buffer key(20, 0x0b);
+  auto d = HmacSha1::mac(key, to_bytes("Hi There"));
+  EXPECT_EQ(to_hex(ByteView(d.data(), d.size())),
+            "b617318655057264e28bc0b6fb378c8ef146be00");
+}
+
+TEST(HmacSha1, Rfc2202Case2) {
+  auto d = HmacSha1::mac(to_bytes("Jefe"),
+                         to_bytes("what do ya want for nothing?"));
+  EXPECT_EQ(to_hex(ByteView(d.data(), d.size())),
+            "effcdf6ae5eb2fa2d27416d5f184df9c259a7c79");
+}
+
+TEST(HmacSha1, Rfc2202Case3) {
+  Buffer key(20, 0xaa);
+  Buffer data(50, 0xdd);
+  auto d = HmacSha1::mac(key, data);
+  EXPECT_EQ(to_hex(ByteView(d.data(), d.size())),
+            "125d7342b9ac11cd91a39af48aa17b4f63f175d3");
+}
+
+TEST(HmacSha1, LongKeyIsHashedFirst) {
+  // RFC 2202 case 6: 80-byte key.
+  Buffer key(80, 0xaa);
+  auto d = HmacSha1::mac(key, to_bytes("Test Using Larger Than Block-Size "
+                                       "Key - Hash Key First"));
+  EXPECT_EQ(to_hex(ByteView(d.data(), d.size())),
+            "aa4ae5e15272d00e95705637ce8a3b55ed402112");
+}
+
+TEST(HmacSha1, VerifyAcceptsAndRejects) {
+  Buffer key = to_bytes("secret");
+  Buffer msg = to_bytes("the message");
+  auto mac = HmacSha1::mac(key, msg);
+  EXPECT_TRUE(HmacSha1::verify(key, msg, ByteView(mac.data(), mac.size())));
+  Buffer tampered = msg;
+  tampered[0] ^= 1;
+  EXPECT_FALSE(
+      HmacSha1::verify(key, tampered, ByteView(mac.data(), mac.size())));
+  Buffer wrong_key = to_bytes("Secret");
+  EXPECT_FALSE(HmacSha1::verify(wrong_key, msg,
+                                ByteView(mac.data(), mac.size())));
+}
+
+TEST(HmacSha256, KnownVector) {
+  // RFC 4231 test case 2.
+  auto d = HmacSha256::mac(to_bytes("Jefe"),
+                           to_bytes("what do ya want for nothing?"));
+  EXPECT_EQ(to_hex(ByteView(d.data(), d.size())),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+}  // namespace
+}  // namespace sgfs::crypto

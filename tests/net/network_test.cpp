@@ -1,0 +1,269 @@
+#include "net/network.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sgfs::net {
+namespace {
+
+using namespace sgfs::sim::literals;
+using sim::Engine;
+using sim::SimTime;
+using sim::Task;
+
+struct Fixture {
+  Engine eng;
+  Network net{eng};
+  Host* client;
+  Host* server;
+
+  Fixture() {
+    client = &net.add_host("client");
+    server = &net.add_host("server");
+  }
+};
+
+Task<void> echo_server(Network::Listener& listener) {
+  for (;;) {
+    StreamPtr s = co_await listener.accept();
+    if (!s) co_return;
+    for (;;) {
+      Buffer buf(4096);
+      size_t n = co_await s->read_some(buf);
+      if (n == 0) break;
+      co_await s->write(ByteView(buf.data(), n));
+    }
+    s->close();
+  }
+}
+
+TEST(Network, ConnectCostsOneRtt) {
+  Fixture f;
+  f.net.set_default_link(LinkParams::wan(40_ms));
+  auto listener = f.net.listen(*f.server, 2049);
+  SimTime connected = -1;
+  f.eng.spawn(echo_server(*listener));
+  f.eng.run_task([](Fixture& f, SimTime* out) -> Task<void> {
+    auto s = co_await f.net.connect(*f.client, {"server", 2049});
+    *out = f.eng.now();
+    s->close();
+  }(f, &connected));
+  EXPECT_EQ(connected, 40_ms);
+}
+
+TEST(Network, ConnectionRefusedWithoutListener) {
+  Fixture f;
+  EXPECT_THROW(f.eng.run_task([](Fixture& f) -> Task<void> {
+    co_await f.net.connect(*f.client, {"server", 9999});
+  }(f)),
+               std::runtime_error);
+}
+
+TEST(Network, EchoRoundTrip) {
+  Fixture f;
+  auto listener = f.net.listen(*f.server, 2049);
+  f.eng.spawn(echo_server(*listener));
+  std::string reply;
+  f.eng.run_task([](Fixture& f, std::string* out) -> Task<void> {
+    auto s = co_await f.net.connect(*f.client, {"server", 2049});
+    co_await s->write(to_bytes("ping"));
+    Buffer got = co_await s->read_exact(4);
+    *out = to_string(got);
+    s->close();
+  }(f, &reply));
+  EXPECT_EQ(reply, "ping");
+}
+
+TEST(Network, LatencyChargedEachDirection) {
+  Fixture f;
+  f.net.set_default_link({20_ms, 1e12});  // 40 ms RTT, infinite bandwidth
+  auto listener = f.net.listen(*f.server, 2049);
+  f.eng.spawn(echo_server(*listener));
+  SimTime elapsed = -1;
+  f.eng.run_task([](Fixture& f, SimTime* out) -> Task<void> {
+    auto s = co_await f.net.connect(*f.client, {"server", 2049});
+    SimTime start = f.eng.now();
+    co_await s->write(to_bytes("x"));
+    (void)co_await s->read_exact(1);
+    *out = f.eng.now() - start;
+    s->close();
+  }(f, &elapsed));
+  // One request + one response = one RTT.
+  EXPECT_EQ(elapsed, 40_ms);
+}
+
+TEST(Network, BandwidthBoundsThroughput) {
+  Fixture f;
+  // 1 MB/s, negligible latency: 1 MB transfer ~ 1 s on the wire.
+  f.net.set_default_link({1_us, 1024.0 * 1024.0});
+  auto listener = f.net.listen(*f.server, 2049);
+  f.eng.spawn(echo_server(*listener));
+  const size_t kSize = 1024 * 1024;
+  SimTime elapsed = -1;
+  f.eng.run_task([](Fixture& f, size_t size, SimTime* out) -> Task<void> {
+    auto s = co_await f.net.connect(*f.client, {"server", 2049});
+    SimTime start = f.eng.now();
+    Buffer data(size, 0xAB);
+    co_await s->write(data);
+    Buffer back = co_await s->read_exact(size);
+    *out = f.eng.now() - start;
+    s->close();
+  }(f, kSize, &elapsed));
+  // Request + echo: two 1-second serializations (directions independent).
+  EXPECT_NEAR(sim::to_seconds(elapsed), 2.0, 0.05);
+}
+
+TEST(Network, DataArrivesInOrder) {
+  Fixture f;
+  auto listener = f.net.listen(*f.server, 7);
+  f.eng.spawn(echo_server(*listener));
+  std::string got;
+  f.eng.run_task([](Fixture& f, std::string* out) -> Task<void> {
+    auto s = co_await f.net.connect(*f.client, {"server", 7});
+    co_await s->write(to_bytes("abc"));
+    co_await s->write(to_bytes("def"));
+    co_await s->write(to_bytes("ghi"));
+    Buffer all = co_await s->read_exact(9);
+    *out = to_string(all);
+    s->close();
+  }(f, &got));
+  EXPECT_EQ(got, "abcdefghi");
+}
+
+TEST(Network, EofAfterInFlightData) {
+  Fixture f;
+  auto listener = f.net.listen(*f.server, 7);
+  // Server reads until EOF and records everything it saw.
+  std::string seen;
+  f.eng.spawn([](Network::Listener& l, std::string* out) -> Task<void> {
+    auto s = co_await l.accept();
+    for (;;) {
+      Buffer buf(64);
+      size_t n = co_await s->read_some(buf);
+      if (n == 0) break;
+      out->append(reinterpret_cast<char*>(buf.data()), n);
+    }
+  }(*listener, &seen));
+  f.eng.run_task([](Fixture& f) -> Task<void> {
+    auto s = co_await f.net.connect(*f.client, {"server", 7});
+    co_await s->write(to_bytes("last words"));
+    s->close();  // EOF must not beat the data
+  }(f));
+  f.eng.run();
+  EXPECT_EQ(seen, "last words");
+}
+
+TEST(Network, ReadExactThrowsOnPrematureEof) {
+  Fixture f;
+  auto listener = f.net.listen(*f.server, 7);
+  f.eng.spawn([](Network::Listener& l) -> Task<void> {
+    auto s = co_await l.accept();
+    co_await s->write(to_bytes("xy"));
+    s->close();
+  }(*listener));
+  EXPECT_THROW(f.eng.run_task([](Fixture& f) -> Task<void> {
+    auto s = co_await f.net.connect(*f.client, {"server", 7});
+    (void)co_await s->read_exact(10);
+  }(f)),
+               StreamClosed);
+}
+
+TEST(Network, WriteAfterCloseThrows) {
+  Fixture f;
+  auto listener = f.net.listen(*f.server, 7);
+  f.eng.spawn(echo_server(*listener));
+  EXPECT_THROW(f.eng.run_task([](Fixture& f) -> Task<void> {
+    auto s = co_await f.net.connect(*f.client, {"server", 7});
+    s->close();
+    co_await s->write(to_bytes("zombie"));
+  }(f)),
+               StreamClosed);
+}
+
+TEST(Network, PerPairLinkOverride) {
+  Engine eng;
+  Network net(eng);
+  Host& a = net.add_host("a");
+  Host& b = net.add_host("b");
+  net.add_host("c");
+  net.set_default_link({1_ms, 1e12});
+  net.set_link("a", "b", {50_ms, 1e12});
+  EXPECT_EQ(net.link_params("a", "b").latency_one_way, 50_ms);
+  EXPECT_EQ(net.link_params("b", "a").latency_one_way, 50_ms);
+  EXPECT_EQ(net.link_params("a", "c").latency_one_way, 1_ms);
+  (void)a;
+  (void)b;
+}
+
+TEST(Network, LoopbackIsFast) {
+  Engine eng;
+  Network net(eng);
+  net.add_host("x");
+  EXPECT_LT(net.link_params("x", "x").latency_one_way, 100_us);
+}
+
+TEST(Network, DuplicateHostRejected) {
+  Engine eng;
+  Network net(eng);
+  net.add_host("dup");
+  EXPECT_THROW(net.add_host("dup"), std::runtime_error);
+}
+
+TEST(Network, DuplicateListenRejected) {
+  Fixture f;
+  auto l1 = f.net.listen(*f.server, 2049);
+  EXPECT_THROW(f.net.listen(*f.server, 2049), std::runtime_error);
+}
+
+TEST(Network, ListenerCloseUnblocksAccept) {
+  Fixture f;
+  auto listener = f.net.listen(*f.server, 2049);
+  bool got_null = false;
+  f.eng.spawn([](Network::Listener& l, bool* out) -> Task<void> {
+    auto s = co_await l.accept();
+    *out = (s == nullptr);
+  }(*listener, &got_null));
+  f.eng.spawn([](Engine& e, Network::Listener& l) -> Task<void> {
+    co_await e.sleep(1_ms);
+    l.close();
+  }(f.eng, *listener));
+  f.eng.run();
+  EXPECT_TRUE(got_null);
+}
+
+TEST(Network, StreamByteCounters) {
+  Fixture f;
+  auto listener = f.net.listen(*f.server, 7);
+  f.eng.spawn(echo_server(*listener));
+  uint64_t sent = 0, received = 0;
+  f.eng.run_task([](Fixture& f, uint64_t* s_out,
+                    uint64_t* r_out) -> Task<void> {
+    auto s = co_await f.net.connect(*f.client, {"server", 7});
+    co_await s->write(Buffer(100, 1));
+    (void)co_await s->read_exact(100);
+    *s_out = s->bytes_sent();
+    *r_out = s->bytes_received();
+    s->close();
+  }(f, &sent, &received));
+  EXPECT_EQ(sent, 100u);
+  EXPECT_EQ(received, 100u);
+}
+
+TEST(Network, LoopbackConnectSameHost) {
+  Engine eng;
+  Network net(eng);
+  Host& h = net.add_host("solo");
+  auto listener = net.listen(h, 111);
+  eng.spawn(echo_server(*listener));
+  std::string got;
+  eng.run_task([](Network& net, Host& h, std::string* out) -> Task<void> {
+    auto s = co_await net.connect(h, {"solo", 111});
+    co_await s->write(to_bytes("local"));
+    Buffer b = co_await s->read_exact(5);
+    *out = to_string(b);
+    s->close();
+  }(net, h, &got));
+  EXPECT_EQ(got, "local");
+}
+
+}  // namespace
+}  // namespace sgfs::net

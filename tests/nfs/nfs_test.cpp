@@ -1,0 +1,469 @@
+#include <gtest/gtest.h>
+
+#include "nfs/nfs3_client.hpp"
+#include "nfs/nfs3_server.hpp"
+#include "nfs/nfs4.hpp"
+
+namespace sgfs::nfs {
+namespace {
+
+using namespace sgfs::sim::literals;
+using sim::Engine;
+using sim::Task;
+
+// Test rig: one client host, one server host, exported /GFS tree.
+struct Rig {
+  Engine eng;
+  net::Network net{eng};
+  net::Host* client_host;
+  net::Host* server_host;
+  std::shared_ptr<vfs::FileSystem> fs;
+  std::shared_ptr<Nfs3Server> nfs_server;
+  std::unique_ptr<rpc::RpcServer> rpc_server;
+
+  Rig() {
+    client_host = &net.add_host("client");
+    server_host = &net.add_host("server");
+    fs = std::make_shared<vfs::FileSystem>();
+    vfs::Cred root(0, 0);
+    fs->mkdir_p(root, "/GFS/data", 0777);  // world-writable scratch tree
+    fs->write_file(root, "/GFS/data/hello.txt", to_bytes("hello grid"));
+    nfs_server = std::make_shared<Nfs3Server>(*server_host, fs);
+    nfs_server->add_export(ExportEntry("/GFS"));
+    rpc_server = std::make_unique<rpc::RpcServer>(*server_host, 2049);
+    rpc_server->register_program(kNfsProgram, kNfsVersion3, nfs_server);
+    rpc_server->register_program(kMountProgram, kMountVersion3,
+                                 nfs_server->mount_program());
+    rpc_server->register_program(kNfsProgram, kNfsVersion4,
+                                 std::make_shared<Nfs4Server>(nfs_server));
+    rpc_server->start();
+  }
+
+  sim::Task<std::shared_ptr<MountPoint>> do_mount(
+      bool v4, Nfs3ClientConfig config = Nfs3ClientConfig()) {
+    net::Address addr("server", 2049);
+    rpc::AuthSys auth(1000, 1000, "client");
+    if (v4) {
+      auto ops = co_await V4WireOps::connect(*client_host, addr, auth);
+      co_return co_await MountPoint::mount_with(*client_host, std::move(ops),
+                                                "/GFS", config);
+    }
+    co_return co_await MountPoint::mount(*client_host, addr, "/GFS", auth,
+                                         config);
+  }
+};
+
+// Most behaviours must be identical across the v3 and v4-lite backends.
+class NfsEndToEnd : public ::testing::TestWithParam<bool> {};
+
+TEST_P(NfsEndToEnd, MountAndStat) {
+  Rig rig;
+  rig.eng.run_task([](Rig& rig, bool v4) -> Task<void> {
+    auto mp = co_await rig.do_mount(v4);
+    auto attrs = co_await mp->stat("data/hello.txt");
+    EXPECT_EQ(attrs.size, 10u);
+    EXPECT_EQ(attrs.type, vfs::FileType::kRegular);
+  }(rig, GetParam()));
+}
+
+TEST_P(NfsEndToEnd, ReadFile) {
+  Rig rig;
+  rig.eng.run_task([](Rig& rig, bool v4) -> Task<void> {
+    auto mp = co_await rig.do_mount(v4);
+    int fd = co_await mp->open("data/hello.txt", kRdOnly);
+    Buffer buf(64);
+    size_t n = co_await mp->read(fd, buf);
+    EXPECT_EQ(n, 10u);
+    EXPECT_EQ(sgfs::to_string(ByteView(buf.data(), n)), "hello grid");
+    co_await mp->close(fd);
+  }(rig, GetParam()));
+}
+
+TEST_P(NfsEndToEnd, WriteReadBack) {
+  Rig rig;
+  rig.eng.run_task([](Rig& rig, bool v4) -> Task<void> {
+    auto mp = co_await rig.do_mount(v4);
+    int fd = co_await mp->open("data/new.txt", kWrOnly | kCreate, 0644);
+    Buffer payload = to_bytes("written through NFS");
+    EXPECT_EQ(co_await mp->write(fd, payload), payload.size());
+    co_await mp->close(fd);
+
+    // Verify on the server's VFS directly (data must have been committed).
+    auto content = rig.fs->read_file(vfs::Cred(0, 0), "/GFS/data/new.txt");
+    EXPECT_TRUE(content.ok());
+    EXPECT_EQ(content.value, payload);
+  }(rig, GetParam()));
+}
+
+TEST_P(NfsEndToEnd, LargeSequentialWriteAndRead) {
+  Rig rig;
+  rig.eng.run_task([](Rig& rig, bool v4) -> Task<void> {
+    auto mp = co_await rig.do_mount(v4);
+    Rng rng(77);
+    Buffer payload = rng.bytes(1 << 20);  // 1 MiB: spans many 32K blocks
+    int fd = co_await mp->open("data/big.bin", kWrOnly | kCreate);
+    co_await mp->write(fd, payload);
+    co_await mp->close(fd);
+
+    mp->drop_caches();
+    fd = co_await mp->open("data/big.bin", kRdOnly);
+    Buffer back(payload.size());
+    size_t n = co_await mp->read(fd, back);
+    EXPECT_EQ(n, payload.size());
+    EXPECT_EQ(back, payload);
+    co_await mp->close(fd);
+  }(rig, GetParam()));
+}
+
+TEST_P(NfsEndToEnd, MkdirReaddirRemove) {
+  Rig rig;
+  rig.eng.run_task([](Rig& rig, bool v4) -> Task<void> {
+    auto mp = co_await rig.do_mount(v4);
+    co_await mp->mkdir("data/sub");
+    int fd = co_await mp->open("data/sub/a.txt", kWrOnly | kCreate);
+    co_await mp->close(fd);
+    fd = co_await mp->open("data/sub/b.txt", kWrOnly | kCreate);
+    co_await mp->close(fd);
+
+    auto entries = co_await mp->readdir("data/sub");
+    EXPECT_EQ(entries.size(), 2u);
+    if (entries.size() == 2) {
+      EXPECT_EQ(entries[0].name, "a.txt");
+      EXPECT_EQ(entries[1].name, "b.txt");
+    }
+
+    co_await mp->unlink("data/sub/a.txt");
+    co_await mp->unlink("data/sub/b.txt");
+    co_await mp->rmdir("data/sub");
+    bool gone = false;
+    try {
+      (void)co_await mp->stat("data/sub");
+    } catch (const FsError& e) {
+      gone = e.status() == Status::kNoEnt;
+    }
+    EXPECT_TRUE(gone);
+  }(rig, GetParam()));
+}
+
+TEST_P(NfsEndToEnd, RenameAcrossDirectories) {
+  Rig rig;
+  rig.eng.run_task([](Rig& rig, bool v4) -> Task<void> {
+    auto mp = co_await rig.do_mount(v4);
+    co_await mp->mkdir("data/dst");
+    co_await mp->rename("data/hello.txt", "data/dst/renamed.txt");
+    auto attrs = co_await mp->stat("data/dst/renamed.txt");
+    EXPECT_EQ(attrs.size, 10u);
+  }(rig, GetParam()));
+}
+
+TEST_P(NfsEndToEnd, SymlinkReadlink) {
+  Rig rig;
+  rig.eng.run_task([](Rig& rig, bool v4) -> Task<void> {
+    auto mp = co_await rig.do_mount(v4);
+    co_await mp->symlink("/GFS/data/hello.txt", "data/ln");
+    EXPECT_EQ(co_await mp->readlink("data/ln"), "/GFS/data/hello.txt");
+  }(rig, GetParam()));
+}
+
+TEST_P(NfsEndToEnd, AccessBitsPropagate) {
+  Rig rig;
+  rig.eng.run_task([](Rig& rig, bool v4) -> Task<void> {
+    auto mp = co_await rig.do_mount(v4);
+    // hello.txt was created by root with 0644; caller is uid 1000.
+    uint32_t bits = co_await mp->access(
+        "data/hello.txt", vfs::kAccessRead | vfs::kAccessModify);
+    EXPECT_EQ(bits, vfs::kAccessRead);
+  }(rig, GetParam()));
+}
+
+TEST_P(NfsEndToEnd, TruncateAndAppend) {
+  Rig rig;
+  rig.eng.run_task([](Rig& rig, bool v4) -> Task<void> {
+    auto mp = co_await rig.do_mount(v4);
+    // Work on a file the client owns.
+    int fd = co_await mp->open("data/mine.txt", kWrOnly | kCreate);
+    co_await mp->write(fd, to_bytes("hello grid"));
+    co_await mp->close(fd);
+    co_await mp->truncate("data/mine.txt", 5);
+    EXPECT_EQ((co_await mp->stat("data/mine.txt")).size, 5u);
+    fd = co_await mp->open("data/mine.txt", kWrOnly | kAppend);
+    co_await mp->write(fd, to_bytes("!!"));
+    co_await mp->close(fd);
+    EXPECT_EQ((co_await mp->stat("data/mine.txt")).size, 7u);
+    auto content = rig.fs->read_file(vfs::Cred(0, 0), "/GFS/data/mine.txt");
+    EXPECT_EQ(sgfs::to_string(content.value), "hello!!");
+  }(rig, GetParam()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Versions, NfsEndToEnd, ::testing::Bool(),
+                         [](const auto& info) {
+                           return info.param ? "v4" : "v3";
+                         });
+
+// --- v3-specific behaviours ----------------------------------------------------
+
+TEST(NfsClient, PageCacheAvoidsRereadRpcs) {
+  Rig rig;
+  rig.eng.run_task([](Rig& rig) -> Task<void> {
+    auto mp = co_await rig.do_mount(false);
+    int fd = co_await mp->open("data/hello.txt", kRdOnly);
+    Buffer buf(16);
+    co_await mp->read(fd, buf);
+    const uint64_t reads_before = mp->rpc_calls_for(Proc3::kRead);
+    co_await mp->close(fd);
+    // Re-open within the attribute TTL: data still cached, no new READ.
+    fd = co_await mp->open("data/hello.txt", kRdOnly);
+    co_await mp->pread(fd, 0, buf);
+    co_await mp->close(fd);
+    EXPECT_EQ(mp->rpc_calls_for(Proc3::kRead), reads_before);
+    EXPECT_GT(mp->cache_hits(), 0u);
+  }(rig));
+}
+
+TEST(NfsClient, WriteBehindBatchesToCloseCommit) {
+  Rig rig;
+  rig.eng.run_task([](Rig& rig) -> Task<void> {
+    auto mp = co_await rig.do_mount(false);
+    int fd = co_await mp->open("data/wb.bin", kWrOnly | kCreate);
+    Buffer chunk(4096, 0xAB);
+    for (int i = 0; i < 8; ++i) co_await mp->write(fd, chunk);  // one block
+    // Nothing hits the wire until close.
+    EXPECT_EQ(mp->rpc_calls_for(Proc3::kWrite), 0u);
+    co_await mp->close(fd);
+    EXPECT_EQ(mp->rpc_calls_for(Proc3::kWrite), 1u);
+    EXPECT_EQ(mp->rpc_calls_for(Proc3::kCommit), 1u);
+  }(rig));
+}
+
+TEST(NfsClient, WriteThroughModeWritesSynchronously) {
+  Rig rig;
+  rig.eng.run_task([](Rig& rig) -> Task<void> {
+    Nfs3ClientConfig cfg;
+    cfg.write_behind = false;
+    auto mp = co_await rig.do_mount(false, cfg);
+    int fd = co_await mp->open("data/wt.bin", kWrOnly | kCreate);
+    co_await mp->write(fd, Buffer(1000, 1));
+    EXPECT_EQ(mp->rpc_calls_for(Proc3::kWrite), 1u);
+    co_await mp->close(fd);
+    EXPECT_EQ(mp->rpc_calls_for(Proc3::kCommit), 0u);  // FILE_SYNC: no commit
+  }(rig));
+}
+
+TEST(NfsClient, AttrCacheServesStatWithinTtl) {
+  Rig rig;
+  rig.eng.run_task([](Rig& rig) -> Task<void> {
+    auto mp = co_await rig.do_mount(false);
+    (void)co_await mp->stat("data/hello.txt");
+    const uint64_t getattrs = mp->rpc_calls_for(Proc3::kGetattr);
+    const uint64_t lookups = mp->rpc_calls_for(Proc3::kLookup);
+    for (int i = 0; i < 10; ++i) (void)co_await mp->stat("data/hello.txt");
+    // All ten stats served from dnlc + attribute cache.
+    EXPECT_EQ(mp->rpc_calls_for(Proc3::kGetattr), getattrs);
+    EXPECT_EQ(mp->rpc_calls_for(Proc3::kLookup), lookups);
+  }(rig));
+}
+
+TEST(NfsClient, AttrCacheExpiresAfterTtl) {
+  Rig rig;
+  rig.eng.run_task([](Rig& rig) -> Task<void> {
+    auto mp = co_await rig.do_mount(false);
+    (void)co_await mp->stat("data/hello.txt");
+    const uint64_t getattrs = mp->rpc_calls_for(Proc3::kGetattr);
+    co_await rig.eng.sleep(120_s);  // past ac_max
+    (void)co_await mp->stat("data/hello.txt");
+    EXPECT_GT(mp->rpc_calls_for(Proc3::kGetattr), getattrs);
+  }(rig));
+}
+
+TEST(NfsClient, CloseToOpenSeesRemoteChange) {
+  Rig rig;
+  rig.eng.run_task([](Rig& rig) -> Task<void> {
+    auto mp = co_await rig.do_mount(false);
+    int fd = co_await mp->open("data/hello.txt", kRdOnly);
+    Buffer buf(64);
+    size_t n = co_await mp->read(fd, buf);
+    EXPECT_EQ(sgfs::to_string(ByteView(buf.data(), n)), "hello grid");
+    co_await mp->close(fd);
+
+    // Another client (the server itself) rewrites the file.
+    co_await rig.eng.sleep(2_s);
+    rig.fs->write_file(vfs::Cred(0, 0), "/GFS/data/hello.txt",
+                       to_bytes("CHANGED CONTENT"));
+
+    fd = co_await mp->open("data/hello.txt", kRdOnly);  // revalidates
+    n = co_await mp->read(fd, buf);
+    EXPECT_EQ(sgfs::to_string(ByteView(buf.data(), n)), "CHANGED CONTENT");
+    co_await mp->close(fd);
+  }(rig));
+}
+
+TEST(NfsClient, CachePressureEvictsLru) {
+  Rig rig;
+  rig.eng.run_task([](Rig& rig) -> Task<void> {
+    Nfs3ClientConfig cfg;
+    cfg.cache_bytes = 8 * cfg.block_size;  // tiny cache: 8 blocks
+    cfg.readahead_blocks = 0;
+    auto mp = co_await rig.do_mount(false, cfg);
+    Rng rng(3);
+    Buffer payload = rng.bytes(32 * cfg.block_size);
+    int fd = co_await mp->open("data/large.bin", kWrOnly | kCreate);
+    co_await mp->write(fd, payload);  // forces eviction write-backs
+    EXPECT_LE(mp->bytes_cached(), cfg.cache_bytes);
+    co_await mp->close(fd);
+    EXPECT_GE(mp->rpc_calls_for(Proc3::kWrite), 24u);
+    // Data integrity after all that eviction:
+    mp->drop_caches();
+    fd = co_await mp->open("data/large.bin", kRdOnly);
+    Buffer back(payload.size());
+    co_await mp->read(fd, back);
+    EXPECT_EQ(back, payload);
+    co_await mp->close(fd);
+  }(rig));
+}
+
+TEST(NfsClient, ReadaheadPipelinesSequentialReads) {
+  Rig rig;
+  rig.eng.run_task([](Rig& rig) -> Task<void> {
+    // Create a 64-block file first.
+    vfs::Cred root(0, 0);
+    Rng rng(4);
+    rig.fs->write_file(root, "/GFS/data/seq.bin", rng.bytes(64 * 32768));
+    rig.nfs_server->warm_file("/GFS/data/seq.bin");
+
+    Nfs3ClientConfig with_ra;
+    with_ra.readahead_blocks = 8;
+    auto mp1 = co_await rig.do_mount(false, with_ra);
+    sim::SimTime t0 = rig.eng.now();
+    int fd = co_await mp1->open("data/seq.bin", kRdOnly);
+    Buffer buf(64 * 32768);
+    co_await mp1->read(fd, buf);
+    co_await mp1->close(fd);
+    const sim::SimDur with_time = rig.eng.now() - t0;
+
+    Nfs3ClientConfig without_ra;
+    without_ra.readahead_blocks = 0;
+    auto mp2 = co_await rig.do_mount(false, without_ra);
+    t0 = rig.eng.now();
+    fd = co_await mp2->open("data/seq.bin", kRdOnly);
+    co_await mp2->read(fd, buf);
+    co_await mp2->close(fd);
+    const sim::SimDur without_time = rig.eng.now() - t0;
+
+    // Read-ahead must overlap RTTs: at least 2x faster on sequential scan.
+    EXPECT_LT(with_time * 2, without_time);
+  }(rig));
+}
+
+TEST(NfsServer, ExportsEnforcedByHost) {
+  Engine eng;
+  net::Network net(eng);
+  net::Host& good = net.add_host("good");
+  net.add_host("bad");
+  net::Host& bad = net.host("bad");
+  net::Host& server = net.add_host("server");
+  auto fs = std::make_shared<vfs::FileSystem>();
+  fs->mkdir_p(vfs::Cred(0, 0), "/GFS");
+  auto nfs = std::make_shared<Nfs3Server>(server, fs);
+  nfs->add_export(ExportEntry("/GFS", {"good"}));
+  rpc::RpcServer srv(server, 2049);
+  srv.register_program(kNfsProgram, kNfsVersion3, nfs);
+  srv.register_program(kMountProgram, kMountVersion3, nfs->mount_program());
+  srv.start();
+
+  eng.run_task([](net::Host& good, net::Host& bad) -> Task<void> {
+    net::Address addr("server", 2049);
+    rpc::AuthSys auth(1000, 1000);
+    auto mp = co_await MountPoint::mount(good, addr, "/GFS", auth);
+    EXPECT_TRUE(mp != nullptr);
+    bool refused = false;
+    try {
+      auto mp2 = co_await MountPoint::mount(bad, addr, "/GFS", auth);
+    } catch (const FsError& e) {
+      refused = e.status() == Status::kAcces;
+    }
+    EXPECT_TRUE(refused);
+  }(good, bad));
+}
+
+TEST(NfsServer, UnknownExportRefused) {
+  Rig rig;
+  rig.eng.run_task([](Rig& rig) -> Task<void> {
+    net::Address addr("server", 2049);
+    rpc::AuthSys auth(1000, 1000);
+    bool refused = false;
+    try {
+      auto mp = co_await MountPoint::mount(*rig.client_host, addr,
+                                           "/not-exported", auth);
+    } catch (const FsError&) {
+      refused = true;
+    }
+    EXPECT_TRUE(refused);
+  }(rig));
+}
+
+TEST(NfsServer, PermissionDeniedPropagates) {
+  Rig rig;
+  // Root-owned 0600 file.
+  rig.fs->write_file(vfs::Cred(0, 0), "/GFS/data/secret.txt",
+                     to_bytes("root only"), 0600);
+  rig.eng.run_task([](Rig& rig) -> Task<void> {
+    auto mp = co_await rig.do_mount(false);
+    bool denied = false;
+    try {
+      int fd = co_await mp->open("data/secret.txt", kRdOnly);
+      Buffer b(16);
+      co_await mp->read(fd, b);
+    } catch (const FsError& e) {
+      denied = e.status() == Status::kAcces;
+    }
+    EXPECT_TRUE(denied);
+  }(rig));
+}
+
+TEST(NfsServer, DiskChargedOnColdReadsOnly) {
+  Rig rig;
+  rig.fs->write_file(vfs::Cred(0, 0), "/GFS/data/cold.bin",
+                     Buffer(256 * 1024, 7));
+  rig.eng.run_task([](Rig& rig) -> Task<void> {
+    auto mp = co_await rig.do_mount(false);
+    int fd = co_await mp->open("data/cold.bin", kRdOnly);
+    Buffer buf(256 * 1024);
+    co_await mp->read(fd, buf);
+    co_await mp->close(fd);
+    EXPECT_GT(rig.nfs_server->disk_reads(), 0u);
+    const uint64_t cold = rig.nfs_server->disk_reads();
+
+    // Second client re-reads: server page cache is warm now.
+    auto mp2 = co_await rig.do_mount(false);
+    fd = co_await mp2->open("data/cold.bin", kRdOnly);
+    co_await mp2->read(fd, buf);
+    co_await mp2->close(fd);
+    EXPECT_EQ(rig.nfs_server->disk_reads(), cold);
+  }(rig));
+}
+
+TEST(NfsServer, OpCountersTrack) {
+  Rig rig;
+  rig.eng.run_task([](Rig& rig) -> Task<void> {
+    auto mp = co_await rig.do_mount(false);
+    (void)co_await mp->stat("data/hello.txt");
+    EXPECT_GT(rig.nfs_server->ops_total(), 0u);
+    EXPECT_GT(rig.nfs_server->ops_for(Proc3::kLookup), 0u);
+  }(rig));
+}
+
+TEST(NfsV4, CompoundCountsTrack) {
+  Rig rig;
+  auto v4 = std::make_shared<Nfs4Server>(rig.nfs_server);
+  // Re-register to grab a handle on the same instance the rig registered.
+  rig.rpc_server->register_program(kNfsProgram, kNfsVersion4, v4);
+  rig.eng.run_task([](Rig& rig, Nfs4Server& v4) -> Task<void> {
+    auto mp = co_await rig.do_mount(true);
+    (void)co_await mp->stat("data/hello.txt");
+    EXPECT_GT(v4.compounds(), 0u);
+    EXPECT_GT(v4.ops(), v4.compounds());
+  }(rig, *v4));
+}
+
+}  // namespace
+}  // namespace sgfs::nfs

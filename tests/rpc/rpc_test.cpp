@@ -1,0 +1,373 @@
+#include <gtest/gtest.h>
+
+#include "rpc/rpc_client.hpp"
+#include "rpc/rpc_server.hpp"
+
+namespace sgfs::rpc {
+namespace {
+
+using namespace sgfs::sim::literals;
+using sim::Engine;
+using sim::Task;
+
+constexpr uint32_t kProg = 100099;
+constexpr uint32_t kVers = 3;
+
+// --- wire-format unit tests -------------------------------------------------
+
+TEST(RpcMsg, AuthSysRoundTrip) {
+  AuthSys a(501, 100, "compute1");
+  a.stamp = 7;
+  a.gids = {100, 200};
+  AuthSys b = AuthSys::deserialize(a.serialize());
+  EXPECT_EQ(a, b);
+}
+
+TEST(RpcMsg, AuthSysRejectsTooManyGroups) {
+  xdr::Encoder enc;
+  enc.put_u32(0);
+  enc.put_string("m");
+  enc.put_u32(0);
+  enc.put_u32(0);
+  enc.put_u32(17);  // > 16 groups
+  for (int i = 0; i < 17; ++i) enc.put_u32(i);
+  EXPECT_THROW(AuthSys::deserialize(enc.data()), std::runtime_error);
+}
+
+TEST(RpcMsg, CallRoundTrip) {
+  CallMsg c;
+  c.xid = 42;
+  c.prog = kProg;
+  c.vers = kVers;
+  c.proc = 6;
+  c.cred = OpaqueAuth::sys(AuthSys(1000, 1000));
+  c.args = to_bytes("argument bytes");
+  CallMsg d = CallMsg::deserialize(c.serialize());
+  EXPECT_EQ(d.xid, 42u);
+  EXPECT_EQ(d.prog, kProg);
+  EXPECT_EQ(d.vers, kVers);
+  EXPECT_EQ(d.proc, 6u);
+  EXPECT_EQ(d.cred, c.cred);
+  EXPECT_EQ(d.args, c.args);
+}
+
+TEST(RpcMsg, ReplySuccessRoundTrip) {
+  ReplyMsg r = ReplyMsg::success(7, to_bytes("result"));
+  ReplyMsg d = ReplyMsg::deserialize(r.serialize());
+  EXPECT_EQ(d.xid, 7u);
+  EXPECT_EQ(d.stat, ReplyStat::kAccepted);
+  EXPECT_EQ(d.accept_stat, AcceptStat::kSuccess);
+  EXPECT_EQ(sgfs::to_string(d.results), "result");
+}
+
+TEST(RpcMsg, ReplyErrorRoundTrip) {
+  for (auto stat : {AcceptStat::kProgUnavail, AcceptStat::kProcUnavail,
+                    AcceptStat::kGarbageArgs, AcceptStat::kSystemErr}) {
+    ReplyMsg d = ReplyMsg::deserialize(ReplyMsg::error(9, stat).serialize());
+    EXPECT_EQ(d.accept_stat, stat);
+  }
+}
+
+TEST(RpcMsg, ReplyAuthErrorRoundTrip) {
+  ReplyMsg d = ReplyMsg::deserialize(
+      ReplyMsg::auth_error(3, AuthStat::kTooWeak).serialize());
+  EXPECT_EQ(d.stat, ReplyStat::kDenied);
+  EXPECT_EQ(d.auth_stat, AuthStat::kTooWeak);
+}
+
+TEST(RpcMsg, PeekType) {
+  CallMsg c;
+  c.xid = 1;
+  EXPECT_EQ(peek_type(c.serialize()), MsgType::kCall);
+  EXPECT_EQ(peek_type(ReplyMsg::success(1, {}).serialize()), MsgType::kReply);
+}
+
+TEST(RpcMsg, DeserializeCallRejectsReply) {
+  EXPECT_THROW(CallMsg::deserialize(ReplyMsg::success(1, {}).serialize()),
+               std::runtime_error);
+}
+
+// --- end-to-end client/server tests ------------------------------------------
+
+// Echo program: proc 1 echoes args; proc 2 returns uid as u32; proc 3
+// requires auth; proc 4 sleeps; proc 5 throws.
+class EchoProgram : public RpcProgram {
+ public:
+  sim::Task<Buffer> handle(const CallContext& ctx, ByteView args) override {
+    switch (ctx.proc) {
+      case 1:
+        co_return Buffer(args.begin(), args.end());
+      case 2: {
+        xdr::Encoder enc;
+        enc.put_u32(ctx.auth_sys ? ctx.auth_sys->uid : 0xffffffffu);
+        co_return enc.take();
+      }
+      case 3:
+        if (!ctx.auth_sys) throw RpcAuthError(AuthStat::kTooWeak);
+        co_return Buffer{};
+      case 5:
+        throw std::runtime_error("handler exploded");
+      default:
+        throw RpcError(AcceptStat::kProcUnavail, "no such proc");
+    }
+  }
+};
+
+struct Fixture {
+  Engine eng;
+  net::Network net{eng};
+  net::Host* client_host;
+  net::Host* server_host;
+  std::unique_ptr<RpcServer> server;
+
+  Fixture() {
+    client_host = &net.add_host("client");
+    server_host = &net.add_host("server");
+    server = std::make_unique<RpcServer>(*server_host, 2049);
+    server->register_program(kProg, kVers, std::make_shared<EchoProgram>());
+    server->start();
+  }
+};
+
+TEST(Rpc, EchoCall) {
+  Fixture f;
+  std::string got;
+  f.eng.run_task([](Fixture& f, std::string* out) -> Task<void> {
+    net::Address addr("server", 2049);
+    auto client = co_await clnt_create(*f.client_host, addr, kProg, kVers);
+    Buffer r = co_await client->call(1, to_bytes("ping"));
+    *out = sgfs::to_string(r);
+  }(f, &got));
+  EXPECT_EQ(got, "ping");
+  EXPECT_EQ(f.server->calls_served(), 1u);
+}
+
+TEST(Rpc, AuthSysCredentialsDelivered) {
+  Fixture f;
+  uint32_t uid = 0;
+  f.eng.run_task([](Fixture& f, uint32_t* out) -> Task<void> {
+    net::Address addr("server", 2049);
+    auto client = co_await clnt_create(*f.client_host, addr, kProg, kVers);
+    client->set_auth(AuthSys(501, 100, "compute1"));
+    Buffer r = co_await client->call(2, {});
+    xdr::Decoder dec(r);
+    *out = dec.get_u32();
+  }(f, &uid));
+  EXPECT_EQ(uid, 501u);
+}
+
+TEST(Rpc, MissingAuthDenied) {
+  Fixture f;
+  bool denied = false;
+  f.eng.run_task([](Fixture& f, bool* out) -> Task<void> {
+    net::Address addr("server", 2049);
+    auto client = co_await clnt_create(*f.client_host, addr, kProg, kVers);
+    try {
+      co_await client->call(3, {});
+    } catch (const RpcAuthError& e) {
+      *out = e.stat() == AuthStat::kTooWeak;
+    }
+  }(f, &denied));
+  EXPECT_TRUE(denied);
+}
+
+TEST(Rpc, ProcUnavail) {
+  Fixture f;
+  bool thrown = false;
+  f.eng.run_task([](Fixture& f, bool* out) -> Task<void> {
+    net::Address addr("server", 2049);
+    auto client = co_await clnt_create(*f.client_host, addr, kProg, kVers);
+    try {
+      co_await client->call(99, {});
+    } catch (const RpcError& e) {
+      *out = e.stat() == AcceptStat::kProcUnavail;
+    }
+  }(f, &thrown));
+  EXPECT_TRUE(thrown);
+}
+
+TEST(Rpc, ProgUnavailAndMismatch) {
+  Fixture f;
+  int result = 0;
+  f.eng.run_task([](Fixture& f, int* out) -> Task<void> {
+    net::Address addr("server", 2049);
+    auto c1 = co_await clnt_create(*f.client_host, addr, 999999, 1);
+    try {
+      co_await c1->call(1, {});
+    } catch (const RpcError& e) {
+      if (e.stat() == AcceptStat::kProgUnavail) *out += 1;
+    }
+    auto c2 = co_await clnt_create(*f.client_host, addr, kProg, kVers + 1);
+    try {
+      co_await c2->call(1, {});
+    } catch (const RpcError& e) {
+      if (e.stat() == AcceptStat::kProgMismatch) *out += 2;
+    }
+  }(f, &result));
+  EXPECT_EQ(result, 3);
+}
+
+TEST(Rpc, HandlerExceptionBecomesSystemErr) {
+  Fixture f;
+  bool got = false;
+  f.eng.run_task([](Fixture& f, bool* out) -> Task<void> {
+    net::Address addr("server", 2049);
+    auto client = co_await clnt_create(*f.client_host, addr, kProg, kVers);
+    try {
+      co_await client->call(5, {});
+    } catch (const RpcError& e) {
+      *out = e.stat() == AcceptStat::kSystemErr;
+    }
+  }(f, &got));
+  EXPECT_TRUE(got);
+}
+
+TEST(Rpc, ConcurrentCallsMatchedByXid) {
+  Fixture f;
+  std::vector<std::string> replies(10);
+  f.eng.run_task([](Fixture& f, std::vector<std::string>* out) -> Task<void> {
+    net::Address addr("server", 2049);
+    auto client = co_await clnt_create(*f.client_host, addr, kProg, kVers);
+    // Issue 10 echo calls concurrently (async RPC, SFS-style).
+    sim::SimEvent all_done(f.eng);
+    int remaining = 10;
+    for (int i = 0; i < 10; ++i) {
+      f.eng.spawn([](RpcClient& c, std::vector<std::string>* out, int i,
+                     int* remaining, sim::SimEvent* done) -> Task<void> {
+        Buffer r = co_await c.call(1, to_bytes("msg" + std::to_string(i)));
+        (*out)[i] = sgfs::to_string(r);
+        if (--*remaining == 0) done->set();
+      }(*client, out, i, &remaining, &all_done));
+    }
+    co_await all_done.wait();
+  }(f, &replies));
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(replies[i], "msg" + std::to_string(i));
+  }
+}
+
+TEST(Rpc, LargeMessageFragmentation) {
+  Fixture f;
+  bool equal = false;
+  f.eng.run_task([](Fixture& f, bool* out) -> Task<void> {
+    net::Address addr("server", 2049);
+    auto client = co_await clnt_create(*f.client_host, addr, kProg, kVers);
+    Rng rng(55);
+    Buffer big = rng.bytes(3 * 1024 * 1024);  // > 1 MiB fragment size
+    Buffer r = co_await client->call(1, big);
+    *out = (r == big);
+  }(f, &equal));
+  EXPECT_TRUE(equal);
+}
+
+TEST(Rpc, ServerStopUnblocksClients) {
+  Fixture f;
+  bool failed = false;
+  f.eng.spawn([](Fixture& f) -> Task<void> {
+    co_await f.eng.sleep(50_ms);
+    f.server->stop();
+  }(f));
+  f.eng.run_task([](Fixture& f, bool* out) -> Task<void> {
+    co_await f.eng.sleep(60_ms);
+    try {
+      net::Address addr("server", 2049);
+      auto client = co_await clnt_create(*f.client_host, addr, kProg, kVers);
+      co_await client->call(1, to_bytes("x"));
+    } catch (const std::exception&) {
+      *out = true;
+    }
+  }(f, &failed));
+  EXPECT_TRUE(failed);
+}
+
+// --- secure RPC (clnt_ssl_create / svc_tli_ssl_create analogue) --------------
+
+struct SecurePki {
+  Rng rng{400};
+  crypto::CertificateAuthority ca{
+      rng, crypto::DistinguishedName("Grid", "RootCA"), 0, 1000000};
+  crypto::Credential user{
+      ca.issue(rng, crypto::DistinguishedName("UFL", "alice"),
+               crypto::CertType::kIdentity, 0, 500000)};
+  crypto::Credential host{
+      ca.issue(rng, crypto::DistinguishedName("UFL", "server1"),
+               crypto::CertType::kHost, 0, 500000)};
+};
+
+SecurePki& spki() {
+  static SecurePki p;
+  return p;
+}
+
+TEST(SecureRpc, EndToEndWithIdentity) {
+  Engine eng;
+  net::Network net(eng);
+  net::Host& ch = net.add_host("client");
+  net::Host& sh = net.add_host("server");
+
+  crypto::SecurityConfig server_cfg;
+  server_cfg.credential = spki().host;
+  server_cfg.trusted = {spki().ca.root()};
+
+  // Identity-checking program: returns the peer DN string.
+  class WhoAmI : public RpcProgram {
+   public:
+    sim::Task<Buffer> handle(const CallContext& ctx, ByteView) override {
+      xdr::Encoder enc;
+      enc.put_string(ctx.peer_identity ? ctx.peer_identity->to_string()
+                                       : "<none>");
+      co_return enc.take();
+    }
+  };
+
+  RpcServer server(sh, 2049, server_cfg, Rng(401), 0);
+  server.register_program(kProg, kVers, std::make_shared<WhoAmI>());
+  server.start();
+
+  crypto::SecurityConfig client_cfg;
+  client_cfg.credential = spki().user;
+  client_cfg.trusted = {spki().ca.root()};
+
+  std::string dn;
+  eng.run_task([](net::Host& host, crypto::SecurityConfig& cfg,
+                  std::string* out) -> Task<void> {
+    Rng rng(402);
+    net::Address addr("server", 2049);
+    auto client = co_await clnt_ssl_create(host, addr, kProg, kVers, cfg,
+                                           rng, 0);
+    Buffer r = co_await client->call(0, {});
+    xdr::Decoder dec(r);
+    *out = dec.get_string();
+  }(ch, client_cfg, &dn));
+  EXPECT_EQ(dn, "/O=UFL/CN=alice");
+}
+
+TEST(SecureRpc, PlainClientCannotTalkToSecureServer) {
+  Engine eng;
+  net::Network net(eng);
+  net::Host& ch = net.add_host("client");
+  net::Host& sh = net.add_host("server");
+
+  crypto::SecurityConfig server_cfg;
+  server_cfg.credential = spki().host;
+  server_cfg.trusted = {spki().ca.root()};
+  RpcServer server(sh, 2049, server_cfg, Rng(403), 0);
+  server.register_program(kProg, kVers, std::make_shared<EchoProgram>());
+  server.start();
+
+  bool failed = false;
+  eng.run_task([](net::Host& host, bool* out) -> Task<void> {
+    try {
+      net::Address addr("server", 2049);
+      auto client = co_await clnt_create(host, addr, kProg, kVers);
+      co_await client->call(1, to_bytes("plaintext"));
+    } catch (const std::exception&) {
+      *out = true;
+    }
+  }(ch, &failed));
+  eng.run();
+  EXPECT_TRUE(failed);
+}
+
+}  // namespace
+}  // namespace sgfs::rpc

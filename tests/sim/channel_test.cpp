@@ -1,0 +1,141 @@
+#include "sim/channel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace sgfs::sim {
+namespace {
+
+using namespace sgfs::sim::literals;
+
+TEST(Channel, SendThenRecv) {
+  Engine eng;
+  Channel<int> ch(eng);
+  std::vector<int> got;
+  ch.send(1);
+  ch.send(2);
+  eng.run_task([](Channel<int>& ch, std::vector<int>* out) -> Task<void> {
+    out->push_back(*co_await ch.recv());
+    out->push_back(*co_await ch.recv());
+  }(ch, &got));
+  EXPECT_EQ(got, (std::vector<int>{1, 2}));
+}
+
+TEST(Channel, RecvBlocksUntilSend) {
+  Engine eng;
+  Channel<std::string> ch(eng);
+  std::string got;
+  SimTime when = -1;
+  eng.spawn([](Engine& e, Channel<std::string>& ch, std::string* out,
+               SimTime* t) -> Task<void> {
+    auto v = co_await ch.recv();
+    *out = *v;
+    *t = e.now();
+  }(eng, ch, &got, &when));
+  eng.spawn([](Engine& e, Channel<std::string>& ch) -> Task<void> {
+    co_await e.sleep(7_ms);
+    ch.send("late");
+  }(eng, ch));
+  eng.run();
+  EXPECT_EQ(got, "late");
+  EXPECT_EQ(when, 7_ms);
+}
+
+TEST(Channel, CloseReleasesWaiters) {
+  Engine eng;
+  Channel<int> ch(eng);
+  bool got_nullopt = false;
+  eng.spawn([](Channel<int>& ch, bool* flag) -> Task<void> {
+    auto v = co_await ch.recv();
+    *flag = !v.has_value();
+  }(ch, &got_nullopt));
+  eng.spawn([](Engine& e, Channel<int>& ch) -> Task<void> {
+    co_await e.sleep(1_ms);
+    ch.close();
+  }(eng, ch));
+  eng.run();
+  EXPECT_TRUE(got_nullopt);
+}
+
+TEST(Channel, CloseDrainsRemainingItemsFirst) {
+  Engine eng;
+  Channel<int> ch(eng);
+  ch.send(10);
+  ch.close();
+  std::vector<int> got;
+  bool ended = false;
+  eng.run_task([](Channel<int>& ch, std::vector<int>* out,
+                  bool* end) -> Task<void> {
+    for (;;) {
+      auto v = co_await ch.recv();
+      if (!v) {
+        *end = true;
+        co_return;
+      }
+      out->push_back(*v);
+    }
+  }(ch, &got, &ended));
+  EXPECT_EQ(got, (std::vector<int>{10}));
+  EXPECT_TRUE(ended);
+}
+
+TEST(Channel, MultipleReceiversEachGetOneItem) {
+  Engine eng;
+  Channel<int> ch(eng);
+  std::vector<int> got;
+  for (int i = 0; i < 3; ++i) {
+    eng.spawn([](Channel<int>& ch, std::vector<int>* out) -> Task<void> {
+      auto v = co_await ch.recv();
+      if (v) out->push_back(*v);
+    }(ch, &got));
+  }
+  eng.spawn([](Engine& e, Channel<int>& ch) -> Task<void> {
+    co_await e.sleep(1_ms);
+    ch.send(100);
+    ch.send(200);
+    co_await e.sleep(1_ms);
+    ch.send(300);
+    ch.close();
+  }(eng, ch));
+  eng.run();
+  std::sort(got.begin(), got.end());
+  EXPECT_EQ(got, (std::vector<int>{100, 200, 300}));
+}
+
+TEST(Channel, TryRecvNonBlocking) {
+  Engine eng;
+  Channel<int> ch(eng);
+  EXPECT_EQ(ch.try_recv(), std::nullopt);
+  ch.send(5);
+  EXPECT_EQ(ch.try_recv(), 5);
+  EXPECT_EQ(ch.try_recv(), std::nullopt);
+}
+
+TEST(Channel, SizeTracksQueue) {
+  Engine eng;
+  Channel<int> ch(eng);
+  EXPECT_EQ(ch.size(), 0u);
+  ch.send(1);
+  ch.send(2);
+  EXPECT_EQ(ch.size(), 2u);
+  (void)ch.try_recv();
+  EXPECT_EQ(ch.size(), 1u);
+}
+
+TEST(Channel, MoveOnlyPayload) {
+  Engine eng;
+  Channel<std::unique_ptr<int>> ch(eng);
+  ch.send(std::make_unique<int>(9));
+  int got = 0;
+  eng.run_task(
+      [](Channel<std::unique_ptr<int>>& ch, int* out) -> Task<void> {
+        auto v = co_await ch.recv();
+        *out = **v;
+      }(ch, &got));
+  EXPECT_EQ(got, 9);
+}
+
+}  // namespace
+}  // namespace sgfs::sim

@@ -1,0 +1,123 @@
+#include "sim/resource.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sgfs::sim {
+namespace {
+
+using namespace sgfs::sim::literals;
+
+TEST(Resource, SingleUserTakesItsDuration) {
+  Engine eng;
+  Resource cpu(eng, "cpu");
+  eng.run_task([](Resource& r) -> Task<void> {
+    co_await r.use(10_ms, "work");
+  }(cpu));
+  EXPECT_EQ(eng.now(), 10_ms);
+  EXPECT_EQ(cpu.busy_total(), 10_ms);
+}
+
+TEST(Resource, FifoQueueingSerializesUsers) {
+  Engine eng;
+  Resource cpu(eng, "cpu");
+  std::vector<SimTime> done;
+  for (int i = 0; i < 3; ++i) {
+    eng.spawn([](Engine& e, Resource& r,
+                 std::vector<SimTime>* out) -> Task<void> {
+      co_await r.use(10_ms);
+      out->push_back(e.now());
+    }(eng, cpu, &done));
+  }
+  eng.run();
+  EXPECT_EQ(done, (std::vector<SimTime>{10_ms, 20_ms, 30_ms}));
+}
+
+TEST(Resource, BusyAccountedPerTag) {
+  Engine eng;
+  Resource cpu(eng, "cpu");
+  eng.run_task([](Resource& r) -> Task<void> {
+    co_await r.use(3_ms, "crypto");
+    co_await r.use(5_ms, "proxy");
+    co_await r.use(2_ms, "crypto");
+  }(cpu));
+  EXPECT_EQ(cpu.busy_for("crypto"), 5_ms);
+  EXPECT_EQ(cpu.busy_for("proxy"), 5_ms);
+  EXPECT_EQ(cpu.busy_for("unknown"), 0);
+  EXPECT_EQ(cpu.busy_total(), 10_ms);
+}
+
+TEST(Resource, ChargeAccountsWithoutBlocking) {
+  Engine eng;
+  Resource cpu(eng, "cpu");
+  cpu.charge(4_ms, "background");
+  EXPECT_EQ(cpu.busy_for("background"), 4_ms);
+  EXPECT_EQ(eng.now(), 0);
+}
+
+TEST(Resource, UtilizationSeriesBinsBusyTime) {
+  Engine eng;
+  Resource cpu(eng, "cpu");
+  cpu.enable_sampling(10_ms);
+  eng.run_task([](Engine& e, Resource& r) -> Task<void> {
+    co_await r.use(5_ms, "t");        // [0,5) in bin 0
+    co_await e.sleep(10_ms);          // idle until 15
+    co_await r.use(10_ms, "t");       // [15,25): 5 in bin 1, 5 in bin 2
+  }(eng, cpu));
+  auto series = cpu.utilization_series(30_ms);
+  ASSERT_EQ(series.size(), 3u);
+  EXPECT_DOUBLE_EQ(series[0], 0.5);
+  EXPECT_DOUBLE_EQ(series[1], 0.5);
+  EXPECT_DOUBLE_EQ(series[2], 0.5);
+}
+
+TEST(Resource, UtilizationSeriesPerTag) {
+  Engine eng;
+  Resource cpu(eng, "cpu");
+  cpu.enable_sampling(10_ms);
+  eng.run_task([](Resource& r) -> Task<void> {
+    co_await r.use(2_ms, "a");
+    co_await r.use(8_ms, "b");
+  }(cpu));
+  auto a = cpu.utilization_series("a", 10_ms);
+  auto b = cpu.utilization_series("b", 10_ms);
+  ASSERT_EQ(a.size(), 1u);
+  ASSERT_EQ(b.size(), 1u);
+  EXPECT_DOUBLE_EQ(a[0], 0.2);
+  EXPECT_DOUBLE_EQ(b[0], 0.8);
+}
+
+TEST(Resource, UnknownTagSeriesIsZero) {
+  Engine eng;
+  Resource cpu(eng, "cpu");
+  cpu.enable_sampling(10_ms);
+  auto s = cpu.utilization_series("none", 20_ms);
+  ASSERT_EQ(s.size(), 2u);
+  EXPECT_DOUBLE_EQ(s[0], 0.0);
+}
+
+TEST(Resource, ZeroDurationUseIsInstant) {
+  Engine eng;
+  Resource cpu(eng, "cpu");
+  eng.run_task([](Resource& r) -> Task<void> {
+    co_await r.use(0, "x");
+  }(cpu));
+  EXPECT_EQ(eng.now(), 0);
+}
+
+TEST(Disk_, QueueBehindEarlierUse) {
+  Engine eng;
+  Resource disk(eng, "disk");
+  std::vector<SimTime> done;
+  auto user = [](Resource& r, std::vector<SimTime>* out, SimDur d,
+                 Engine& e) -> Task<void> {
+    co_await r.use(d);
+    out->push_back(e.now());
+  };
+  eng.spawn(user(disk, &done, 4_ms, eng));
+  eng.spawn(user(disk, &done, 6_ms, eng));
+  eng.run();
+  EXPECT_EQ(done, (std::vector<SimTime>{4_ms, 10_ms}));
+}
+
+}  // namespace
+}  // namespace sgfs::sim

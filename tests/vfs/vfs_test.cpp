@@ -1,0 +1,340 @@
+#include "vfs/vfs.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sgfs::vfs {
+namespace {
+
+const Cred kRoot(0, 0);
+const Cred kAlice(1000, 1000);
+const Cred kBob(1001, 1001);
+
+class VfsTest : public ::testing::Test {
+ protected:
+  FileSystem fs;
+};
+
+TEST_F(VfsTest, RootExists) {
+  auto attrs = fs.getattr(fs.root());
+  ASSERT_TRUE(attrs.ok());
+  EXPECT_EQ(attrs.value.type, FileType::kDirectory);
+  EXPECT_EQ(attrs.value.nlink, 2u);
+}
+
+TEST_F(VfsTest, CreateAndLookup) {
+  auto f = fs.create(kAlice, fs.root(), "hello.txt", 0644);
+  ASSERT_TRUE(f.ok());
+  auto l = fs.lookup(kAlice, fs.root(), "hello.txt");
+  ASSERT_TRUE(l.ok());
+  EXPECT_EQ(l.value, f.value);
+  auto attrs = fs.getattr(f.value);
+  EXPECT_EQ(attrs.value.uid, 1000u);
+  EXPECT_EQ(attrs.value.size, 0u);
+}
+
+TEST_F(VfsTest, LookupMissingIsNoEnt) {
+  EXPECT_EQ(fs.lookup(kAlice, fs.root(), "nope").status, Status::kNoEnt);
+}
+
+TEST_F(VfsTest, LookupDotAndDotDot) {
+  auto d = fs.mkdir(kAlice, fs.root(), "sub", 0755);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(fs.lookup(kAlice, d.value, ".").value, d.value);
+  EXPECT_EQ(fs.lookup(kAlice, d.value, "..").value, fs.root());
+  EXPECT_EQ(fs.lookup(kAlice, fs.root(), "..").value, fs.root());
+}
+
+TEST_F(VfsTest, ExclusiveCreateConflicts) {
+  ASSERT_TRUE(fs.create(kAlice, fs.root(), "f", 0644, true).ok());
+  EXPECT_EQ(fs.create(kAlice, fs.root(), "f", 0644, true).status,
+            Status::kExist);
+  // Non-exclusive create of an existing file returns it.
+  EXPECT_TRUE(fs.create(kAlice, fs.root(), "f", 0644, false).ok());
+}
+
+TEST_F(VfsTest, InvalidNamesRejected) {
+  EXPECT_EQ(fs.create(kAlice, fs.root(), "", 0644).status, Status::kInval);
+  EXPECT_EQ(fs.create(kAlice, fs.root(), "a/b", 0644).status, Status::kInval);
+  EXPECT_EQ(fs.create(kAlice, fs.root(), ".", 0644).status, Status::kInval);
+  EXPECT_EQ(fs.create(kAlice, fs.root(), std::string(256, 'x'), 0644).status,
+            Status::kNameTooLong);
+}
+
+TEST_F(VfsTest, WriteReadRoundTrip) {
+  auto f = fs.create(kAlice, fs.root(), "data", 0644);
+  Buffer content = to_bytes("the quick brown fox");
+  auto w = fs.write(kAlice, f.value, 0, content);
+  ASSERT_TRUE(w.ok());
+  EXPECT_EQ(w.value, content.size());
+  auto r = fs.read(kAlice, f.value, 0, 1024);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value.data, content);
+  EXPECT_TRUE(r.value.eof);
+}
+
+TEST_F(VfsTest, PartialAndOffsetReads) {
+  auto f = fs.create(kAlice, fs.root(), "data", 0644);
+  fs.write(kAlice, f.value, 0, to_bytes("0123456789"));
+  auto r = fs.read(kAlice, f.value, 3, 4);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(sgfs::to_string(r.value.data), "3456");
+  EXPECT_FALSE(r.value.eof);
+  auto tail = fs.read(kAlice, f.value, 8, 10);
+  EXPECT_EQ(sgfs::to_string(tail.value.data), "89");
+  EXPECT_TRUE(tail.value.eof);
+  auto past = fs.read(kAlice, f.value, 100, 10);
+  EXPECT_TRUE(past.value.data.empty());
+  EXPECT_TRUE(past.value.eof);
+}
+
+TEST_F(VfsTest, SparseWriteZeroFills) {
+  auto f = fs.create(kAlice, fs.root(), "sparse", 0644);
+  fs.write(kAlice, f.value, 100, to_bytes("X"));
+  auto attrs = fs.getattr(f.value);
+  EXPECT_EQ(attrs.value.size, 101u);
+  auto r = fs.read(kAlice, f.value, 0, 200);
+  EXPECT_EQ(r.value.data[0], 0);
+  EXPECT_EQ(r.value.data[100], 'X');
+}
+
+TEST_F(VfsTest, TruncateViaSetattr) {
+  auto f = fs.create(kAlice, fs.root(), "t", 0644);
+  fs.write(kAlice, f.value, 0, to_bytes("0123456789"));
+  SetAttrs s;
+  s.size = 4;
+  EXPECT_EQ(fs.setattr(kAlice, f.value, s), Status::kOk);
+  auto r = fs.read(kAlice, f.value, 0, 100);
+  EXPECT_EQ(sgfs::to_string(r.value.data), "0123");
+  // Extending with setattr zero-fills.
+  s.size = 8;
+  fs.setattr(kAlice, f.value, s);
+  EXPECT_EQ(fs.getattr(f.value).value.size, 8u);
+}
+
+TEST_F(VfsTest, PermissionEnforcement) {
+  auto f = fs.create(kAlice, fs.root(), "private", 0600);
+  fs.write(kAlice, f.value, 0, to_bytes("secret"));
+  // Bob may not read or write.
+  EXPECT_EQ(fs.read(kBob, f.value, 0, 10).status, Status::kAcces);
+  EXPECT_EQ(fs.write(kBob, f.value, 0, to_bytes("x")).status, Status::kAcces);
+  // Root bypasses.
+  EXPECT_TRUE(fs.read(kRoot, f.value, 0, 10).ok());
+  // Alice can open her own file.
+  EXPECT_TRUE(fs.read(kAlice, f.value, 0, 10).ok());
+}
+
+TEST_F(VfsTest, GroupPermissions) {
+  Cred alice(1000, 100);
+  Cred carol(1002, 100);  // same group
+  auto f = fs.create(alice, fs.root(), "shared", 0640);
+  fs.write(alice, f.value, 0, to_bytes("group data"));
+  EXPECT_TRUE(fs.read(carol, f.value, 0, 10).ok());
+  EXPECT_EQ(fs.write(carol, f.value, 0, to_bytes("x")).status,
+            Status::kAcces);
+  // Supplementary groups count too.
+  Cred dave(1003, 200);
+  dave.gids.push_back(100);
+  EXPECT_TRUE(fs.read(dave, f.value, 0, 10).ok());
+}
+
+TEST_F(VfsTest, AccessBits) {
+  auto f = fs.create(kAlice, fs.root(), "f", 0644);
+  uint32_t alice_bits =
+      fs.access(kAlice, f.value, kAccessRead | kAccessModify);
+  EXPECT_EQ(alice_bits, kAccessRead | kAccessModify);
+  uint32_t bob_bits = fs.access(kBob, f.value, kAccessRead | kAccessModify);
+  EXPECT_EQ(bob_bits, kAccessRead);
+  auto d = fs.mkdir(kAlice, fs.root(), "d", 0755);
+  EXPECT_TRUE(fs.access(kBob, d.value, kAccessLookup) & kAccessLookup);
+  EXPECT_FALSE(fs.access(kBob, d.value, kAccessDelete) & kAccessDelete);
+}
+
+TEST_F(VfsTest, SetattrOwnershipRules) {
+  auto f = fs.create(kAlice, fs.root(), "f", 0644);
+  SetAttrs chmod;
+  chmod.mode = 0600;
+  EXPECT_EQ(fs.setattr(kBob, f.value, chmod), Status::kPerm);
+  EXPECT_EQ(fs.setattr(kAlice, f.value, chmod), Status::kOk);
+  // chown requires root.
+  SetAttrs chown;
+  chown.uid = 1001;
+  EXPECT_EQ(fs.setattr(kAlice, f.value, chown), Status::kPerm);
+  EXPECT_EQ(fs.setattr(kRoot, f.value, chown), Status::kOk);
+  EXPECT_EQ(fs.getattr(f.value).value.uid, 1001u);
+}
+
+TEST_F(VfsTest, RemoveFile) {
+  auto f = fs.create(kAlice, fs.root(), "gone", 0644);
+  size_t inodes = fs.inode_count();
+  EXPECT_EQ(fs.remove(kAlice, fs.root(), "gone"), Status::kOk);
+  EXPECT_EQ(fs.lookup(kAlice, fs.root(), "gone").status, Status::kNoEnt);
+  EXPECT_EQ(fs.inode_count(), inodes - 1);
+  EXPECT_EQ(fs.getattr(f.value).status, Status::kStale);
+  EXPECT_EQ(fs.remove(kAlice, fs.root(), "gone"), Status::kNoEnt);
+}
+
+TEST_F(VfsTest, RemoveRejectsDirectory) {
+  fs.mkdir(kAlice, fs.root(), "d", 0755);
+  EXPECT_EQ(fs.remove(kAlice, fs.root(), "d"), Status::kIsDir);
+}
+
+TEST_F(VfsTest, RmdirSemantics) {
+  auto d = fs.mkdir(kAlice, fs.root(), "d", 0755);
+  fs.create(kAlice, d.value, "child", 0644);
+  EXPECT_EQ(fs.rmdir(kAlice, fs.root(), "d"), Status::kNotEmpty);
+  fs.remove(kAlice, d.value, "child");
+  EXPECT_EQ(fs.rmdir(kAlice, fs.root(), "d"), Status::kOk);
+  EXPECT_EQ(fs.lookup(kAlice, fs.root(), "d").status, Status::kNoEnt);
+}
+
+TEST_F(VfsTest, HardLinks) {
+  auto f = fs.create(kAlice, fs.root(), "orig", 0644);
+  fs.write(kAlice, f.value, 0, to_bytes("shared content"));
+  EXPECT_EQ(fs.link(kAlice, f.value, fs.root(), "alias"), Status::kOk);
+  EXPECT_EQ(fs.getattr(f.value).value.nlink, 2u);
+  EXPECT_EQ(fs.lookup(kAlice, fs.root(), "alias").value, f.value);
+  // Removing one name keeps the data.
+  fs.remove(kAlice, fs.root(), "orig");
+  EXPECT_TRUE(fs.read(kAlice, f.value, 0, 10).ok());
+  EXPECT_EQ(fs.getattr(f.value).value.nlink, 1u);
+  fs.remove(kAlice, fs.root(), "alias");
+  EXPECT_EQ(fs.getattr(f.value).status, Status::kStale);
+}
+
+TEST_F(VfsTest, Symlinks) {
+  auto s = fs.symlink(kAlice, fs.root(), "ln", "/target/path");
+  ASSERT_TRUE(s.ok());
+  auto r = fs.readlink(s.value);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value, "/target/path");
+  EXPECT_EQ(fs.getattr(s.value).value.type, FileType::kSymlink);
+  auto f = fs.create(kAlice, fs.root(), "reg", 0644);
+  EXPECT_EQ(fs.readlink(f.value).status, Status::kInval);
+}
+
+TEST_F(VfsTest, RenameFile) {
+  auto f = fs.create(kAlice, fs.root(), "old", 0644);
+  fs.write(kAlice, f.value, 0, to_bytes("content"));
+  auto d = fs.mkdir(kAlice, fs.root(), "dir", 0755);
+  EXPECT_EQ(fs.rename(kAlice, fs.root(), "old", d.value, "new"), Status::kOk);
+  EXPECT_EQ(fs.lookup(kAlice, fs.root(), "old").status, Status::kNoEnt);
+  EXPECT_EQ(fs.lookup(kAlice, d.value, "new").value, f.value);
+}
+
+TEST_F(VfsTest, RenameReplacesExistingFile) {
+  auto a = fs.create(kAlice, fs.root(), "a", 0644);
+  fs.create(kAlice, fs.root(), "b", 0644);
+  size_t inodes = fs.inode_count();
+  EXPECT_EQ(fs.rename(kAlice, fs.root(), "a", fs.root(), "b"), Status::kOk);
+  EXPECT_EQ(fs.inode_count(), inodes - 1);  // old "b" freed
+  EXPECT_EQ(fs.lookup(kAlice, fs.root(), "b").value, a.value);
+}
+
+TEST_F(VfsTest, RenameDirectoryUpdatesParent) {
+  auto d1 = fs.mkdir(kAlice, fs.root(), "d1", 0755);
+  auto d2 = fs.mkdir(kAlice, fs.root(), "d2", 0755);
+  auto sub = fs.mkdir(kAlice, d1.value, "sub", 0755);
+  EXPECT_EQ(fs.rename(kAlice, d1.value, "sub", d2.value, "sub"), Status::kOk);
+  EXPECT_EQ(fs.lookup(kAlice, sub.value, "..").value, d2.value);
+}
+
+TEST_F(VfsTest, RenameIntoOwnSubtreeRejected) {
+  auto d = fs.mkdir(kAlice, fs.root(), "d", 0755);
+  auto sub = fs.mkdir(kAlice, d.value, "sub", 0755);
+  EXPECT_EQ(fs.rename(kAlice, fs.root(), "d", sub.value, "evil"),
+            Status::kInval);
+}
+
+TEST_F(VfsTest, ReaddirListsEverything) {
+  fs.create(kAlice, fs.root(), "b", 0644);
+  fs.create(kAlice, fs.root(), "a", 0644);
+  fs.mkdir(kAlice, fs.root(), "c", 0755);
+  auto r = fs.readdir(kAlice, fs.root(), 0, 100);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r.value.size(), 5u);  // . .. a b c
+  EXPECT_EQ(r.value[0].name, ".");
+  EXPECT_EQ(r.value[1].name, "..");
+  EXPECT_EQ(r.value[2].name, "a");
+  EXPECT_EQ(r.value[3].name, "b");
+  EXPECT_EQ(r.value[4].name, "c");
+}
+
+TEST_F(VfsTest, ReaddirPaginatesWithCookies) {
+  for (char c = 'a'; c <= 'j'; ++c) {
+    fs.create(kAlice, fs.root(), std::string(1, c), 0644);
+  }
+  std::vector<std::string> all;
+  uint64_t cookie = 0;
+  for (;;) {
+    auto r = fs.readdir(kAlice, fs.root(), cookie, 3);
+    ASSERT_TRUE(r.ok());
+    if (r.value.empty()) break;
+    for (const auto& e : r.value) all.push_back(e.name);
+    cookie = r.value.back().cookie;
+  }
+  ASSERT_EQ(all.size(), 12u);  // . .. + 10 files
+  EXPECT_EQ(all[0], ".");
+  EXPECT_EQ(all[11], "j");
+}
+
+TEST_F(VfsTest, CapacityEnforced) {
+  fs.set_capacity(100);
+  auto f = fs.create(kAlice, fs.root(), "big", 0644);
+  EXPECT_TRUE(fs.write(kAlice, f.value, 0, Buffer(100, 1)).ok());
+  EXPECT_EQ(fs.write(kAlice, f.value, 100, Buffer(1, 1)).status,
+            Status::kNoSpc);
+  // Freeing space allows new writes.
+  fs.remove(kAlice, fs.root(), "big");
+  auto g = fs.create(kAlice, fs.root(), "second", 0644);
+  EXPECT_TRUE(fs.write(kAlice, g.value, 0, Buffer(50, 1)).ok());
+}
+
+TEST_F(VfsTest, TimestampsAdvance) {
+  int64_t t = 100;
+  fs.set_clock([&t] { return t; });
+  auto f = fs.create(kAlice, fs.root(), "f", 0644);
+  EXPECT_EQ(fs.getattr(f.value).value.mtime, 100);
+  t = 200;
+  fs.write(kAlice, f.value, 0, to_bytes("x"));
+  EXPECT_EQ(fs.getattr(f.value).value.mtime, 200);
+  EXPECT_EQ(fs.getattr(f.value).value.ctime, 200);
+}
+
+TEST_F(VfsTest, PathHelpers) {
+  ASSERT_TRUE(fs.mkdir_p(kRoot, "/GFS/X/data", 0755).ok());
+  ASSERT_TRUE(
+      fs.write_file(kRoot, "/GFS/X/data/file.txt", to_bytes("payload")).ok());
+  auto content = fs.read_file(kRoot, "/GFS/X/data/file.txt");
+  ASSERT_TRUE(content.ok());
+  EXPECT_EQ(sgfs::to_string(content.value), "payload");
+  EXPECT_TRUE(fs.resolve(kRoot, "/GFS/X").ok());
+  EXPECT_EQ(fs.resolve(kRoot, "/GFS/missing").status, Status::kNoEnt);
+  // Overwrite truncates.
+  fs.write_file(kRoot, "/GFS/X/data/file.txt", to_bytes("hi"));
+  EXPECT_EQ(sgfs::to_string(fs.read_file(kRoot, "/GFS/X/data/file.txt").value),
+            "hi");
+}
+
+TEST_F(VfsTest, StaleIdsRejectedEverywhere) {
+  FileId bogus = 999999;
+  EXPECT_EQ(fs.getattr(bogus).status, Status::kStale);
+  EXPECT_EQ(fs.read(kAlice, bogus, 0, 1).status, Status::kStale);
+  EXPECT_EQ(fs.write(kAlice, bogus, 0, Buffer(1)).status, Status::kStale);
+  EXPECT_EQ(fs.lookup(kAlice, bogus, "x").status, Status::kStale);
+  EXPECT_EQ(fs.readdir(kAlice, bogus, 0, 10).status, Status::kStale);
+}
+
+TEST_F(VfsTest, ReadOnDirectoryIsIsDir) {
+  auto d = fs.mkdir(kAlice, fs.root(), "d", 0755);
+  EXPECT_EQ(fs.read(kAlice, d.value, 0, 10).status, Status::kIsDir);
+  EXPECT_EQ(fs.write(kAlice, d.value, 0, Buffer(1)).status, Status::kIsDir);
+}
+
+TEST_F(VfsTest, StatusStrings) {
+  EXPECT_STREQ(to_string(Status::kOk), "OK");
+  EXPECT_STREQ(to_string(Status::kNoEnt), "ENOENT");
+  EXPECT_STREQ(to_string(Status::kNotEmpty), "ENOTEMPTY");
+}
+
+}  // namespace
+}  // namespace sgfs::vfs

@@ -1,0 +1,196 @@
+#include "xdr/xdr.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace sgfs::xdr {
+namespace {
+
+TEST(Xdr, U32BigEndian) {
+  Encoder e;
+  e.put_u32(0x01020304u);
+  EXPECT_EQ(e.data(), (Buffer{0x01, 0x02, 0x03, 0x04}));
+}
+
+TEST(Xdr, U64BigEndian) {
+  Encoder e;
+  e.put_u64(0x0102030405060708ull);
+  EXPECT_EQ(e.data(),
+            (Buffer{0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08}));
+}
+
+TEST(Xdr, SignedRoundTrip) {
+  Encoder e;
+  e.put_i32(-5);
+  e.put_i64(-123456789012345ll);
+  Decoder d(e.data());
+  EXPECT_EQ(d.get_i32(), -5);
+  EXPECT_EQ(d.get_i64(), -123456789012345ll);
+  EXPECT_TRUE(d.done());
+}
+
+TEST(Xdr, BoolEncoding) {
+  Encoder e;
+  e.put_bool(true);
+  e.put_bool(false);
+  EXPECT_EQ(e.data(), (Buffer{0, 0, 0, 1, 0, 0, 0, 0}));
+  Decoder d(e.data());
+  EXPECT_TRUE(d.get_bool());
+  EXPECT_FALSE(d.get_bool());
+}
+
+TEST(Xdr, BoolRejectsOtherValues) {
+  Encoder e;
+  e.put_u32(2);
+  Decoder d(e.data());
+  EXPECT_THROW(d.get_bool(), XdrError);
+}
+
+TEST(Xdr, StringPaddedToFourBytes) {
+  Encoder e;
+  e.put_string("abcde");  // len 5 -> 4(len) + 5 + 3 pad
+  EXPECT_EQ(e.size(), 12u);
+  EXPECT_EQ(e.data()[3], 5);      // length
+  EXPECT_EQ(e.data()[9], 0);      // padding
+  Decoder d(e.data());
+  EXPECT_EQ(d.get_string(), "abcde");
+  EXPECT_TRUE(d.done());
+}
+
+TEST(Xdr, EmptyStringIsJustLength) {
+  Encoder e;
+  e.put_string("");
+  EXPECT_EQ(e.size(), 4u);
+  Decoder d(e.data());
+  EXPECT_EQ(d.get_string(), "");
+}
+
+TEST(Xdr, OpaqueVariableRoundTrip) {
+  Buffer payload = {1, 2, 3, 4, 5, 6};
+  Encoder e;
+  e.put_opaque(payload);
+  Decoder d(e.data());
+  EXPECT_EQ(d.get_opaque(), payload);
+  EXPECT_TRUE(d.done());
+}
+
+TEST(Xdr, OpaqueFixedRoundTrip) {
+  Buffer payload = {9, 8, 7};
+  Encoder e;
+  e.put_opaque_fixed(payload);
+  EXPECT_EQ(e.size(), 4u);  // 3 + 1 pad
+  Buffer out(3);
+  Decoder d(e.data());
+  d.get_opaque_fixed(out);
+  EXPECT_EQ(out, payload);
+  EXPECT_TRUE(d.done());
+}
+
+TEST(Xdr, NonzeroPaddingRejected) {
+  Buffer raw = {0, 0, 0, 1, 0xAA, 0xBB, 0xCC, 0xDD};  // len 1, bad padding
+  Decoder d(raw);
+  EXPECT_THROW(d.get_opaque(), XdrError);
+}
+
+TEST(Xdr, OpaqueLengthLimitEnforced) {
+  Encoder e;
+  e.put_opaque(Buffer(100, 0x55));
+  Decoder d(e.data());
+  EXPECT_THROW(d.get_opaque(99), XdrError);
+}
+
+TEST(Xdr, UnderrunThrows) {
+  Buffer raw = {0, 0};
+  Decoder d(raw);
+  EXPECT_THROW(d.get_u32(), XdrError);
+}
+
+TEST(Xdr, LyingLengthPrefixThrows) {
+  Encoder e;
+  e.put_u32(1000);  // claims 1000 bytes, provides none
+  Decoder d(e.data());
+  EXPECT_THROW(d.get_opaque(), XdrError);
+}
+
+TEST(Xdr, OptionalPresentAndAbsent) {
+  Encoder e;
+  std::optional<uint32_t> present = 7, absent;
+  e.put_optional(present, [&](uint32_t v) { e.put_u32(v); });
+  e.put_optional(absent, [&](uint32_t v) { e.put_u32(v); });
+  Decoder d(e.data());
+  auto a = d.get_optional<uint32_t>([&] { return d.get_u32(); });
+  auto b = d.get_optional<uint32_t>([&] { return d.get_u32(); });
+  EXPECT_EQ(a, 7u);
+  EXPECT_EQ(b, std::nullopt);
+}
+
+enum class Color : int32_t { kRed = 1, kBlue = -2 };
+
+TEST(Xdr, EnumRoundTrip) {
+  Encoder e;
+  e.put_enum(Color::kRed);
+  e.put_enum(Color::kBlue);
+  Decoder d(e.data());
+  EXPECT_EQ(d.get_enum<Color>(), Color::kRed);
+  EXPECT_EQ(d.get_enum<Color>(), Color::kBlue);
+}
+
+TEST(Xdr, ExpectDoneCatchesTrailingGarbage) {
+  Encoder e;
+  e.put_u32(1);
+  e.put_u32(2);
+  Decoder d(e.data());
+  d.get_u32();
+  EXPECT_THROW(d.expect_done(), XdrError);
+  d.get_u32();
+  EXPECT_NO_THROW(d.expect_done());
+}
+
+struct Point {
+  uint32_t x = 0, y = 0;
+  void encode(Encoder& e) const {
+    e.put_u32(x);
+    e.put_u32(y);
+  }
+  static Point decode(Decoder& d) {
+    Point p;
+    p.x = d.get_u32();
+    p.y = d.get_u32();
+    return p;
+  }
+};
+
+TEST(Xdr, MessageHelpers) {
+  Point p{3, 4};
+  Buffer wire = encode_message(p);
+  Point q = decode_message<Point>(wire);
+  EXPECT_EQ(q.x, 3u);
+  EXPECT_EQ(q.y, 4u);
+}
+
+// Property sweep: random payload sizes survive a round trip and respect
+// 4-byte alignment throughout.
+class XdrPropertyTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(XdrPropertyTest, RandomOpaqueRoundTrip) {
+  Rng rng(GetParam() * 977 + 13);
+  Buffer payload = rng.bytes(GetParam());
+  Encoder e;
+  e.put_u32(0xfeedfaceu);
+  e.put_opaque(payload);
+  e.put_string("trailer");
+  EXPECT_EQ(e.size() % 4, 0u);
+  Decoder d(e.data());
+  EXPECT_EQ(d.get_u32(), 0xfeedfaceu);
+  EXPECT_EQ(d.get_opaque(), payload);
+  EXPECT_EQ(d.get_string(), "trailer");
+  EXPECT_TRUE(d.done());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, XdrPropertyTest,
+                         ::testing::Values(0, 1, 2, 3, 4, 5, 31, 32, 33, 255,
+                                           1024, 4097, 65536));
+
+}  // namespace
+}  // namespace sgfs::xdr
