@@ -230,15 +230,16 @@ bench/CMakeFiles/ablation_security.dir/ablation_security.cpp.o: \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /root/repo/src/sim/channel.hpp /usr/include/c++/12/optional \
- /root/repo/src/nfs/nfs3_client.hpp /usr/include/c++/12/set \
- /usr/include/c++/12/bits/stl_set.h \
+ /root/repo/src/net/fault.hpp /root/repo/src/nfs/nfs3_client.hpp \
+ /usr/include/c++/12/set /usr/include/c++/12/bits/stl_set.h \
  /usr/include/c++/12/bits/stl_multiset.h /root/repo/src/nfs/nfs3.hpp \
  /root/repo/src/vfs/vfs.hpp /usr/include/c++/12/functional \
  /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/unordered_map \
  /usr/include/c++/12/bits/unordered_map.h /root/repo/src/xdr/xdr.hpp \
  /root/repo/src/nfs/wire_ops.hpp /root/repo/src/rpc/rpc_client.hpp \
- /root/repo/src/rpc/rpc_msg.hpp /root/repo/src/rpc/transport.hpp \
+ /root/repo/src/rpc/retry.hpp /root/repo/src/rpc/rpc_msg.hpp \
+ /root/repo/src/rpc/transport.hpp \
  /root/repo/src/crypto/secure_channel.hpp /root/repo/src/crypto/cert.hpp \
  /root/repo/src/crypto/rsa.hpp /root/repo/src/crypto/bignum.hpp \
  /root/repo/src/crypto/rc4.hpp /root/repo/src/nfs/nfs3_server.hpp \

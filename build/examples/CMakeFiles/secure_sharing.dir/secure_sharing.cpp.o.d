@@ -218,6 +218,7 @@ examples/CMakeFiles/secure_sharing.dir/secure_sharing.cpp.o: \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/uniform_int_dist.h /root/repo/src/xdr/xdr.hpp \
  /root/repo/src/nfs/wire_ops.hpp /root/repo/src/rpc/rpc_client.hpp \
+ /root/repo/src/rpc/retry.hpp /root/repo/src/sim/time.hpp \
  /root/repo/src/rpc/rpc_msg.hpp /root/repo/src/rpc/transport.hpp \
  /root/repo/src/crypto/secure_channel.hpp /root/repo/src/common/rng.hpp \
  /usr/include/c++/12/limits /root/repo/src/crypto/aes.hpp \
@@ -231,8 +232,8 @@ examples/CMakeFiles/secure_sharing.dir/secure_sharing.cpp.o: \
  /usr/include/c++/12/bits/stl_queue.h /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h /root/repo/src/sim/task.hpp \
  /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
- /root/repo/src/sim/time.hpp /root/repo/src/sim/resource.hpp \
- /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
+ /root/repo/src/sim/resource.hpp /usr/include/c++/12/algorithm \
+ /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /root/repo/src/sim/channel.hpp /root/repo/src/nfs/nfs3_server.hpp \

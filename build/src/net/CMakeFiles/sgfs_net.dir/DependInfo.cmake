@@ -8,6 +8,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/fault.cpp" "src/net/CMakeFiles/sgfs_net.dir/fault.cpp.o" "gcc" "src/net/CMakeFiles/sgfs_net.dir/fault.cpp.o.d"
   "/root/repo/src/net/host.cpp" "src/net/CMakeFiles/sgfs_net.dir/host.cpp.o" "gcc" "src/net/CMakeFiles/sgfs_net.dir/host.cpp.o.d"
   "/root/repo/src/net/network.cpp" "src/net/CMakeFiles/sgfs_net.dir/network.cpp.o" "gcc" "src/net/CMakeFiles/sgfs_net.dir/network.cpp.o.d"
   )

@@ -1,4 +1,6 @@
 file(REMOVE_RECURSE
+  "CMakeFiles/sgfs_net.dir/fault.cpp.o"
+  "CMakeFiles/sgfs_net.dir/fault.cpp.o.d"
   "CMakeFiles/sgfs_net.dir/host.cpp.o"
   "CMakeFiles/sgfs_net.dir/host.cpp.o.d"
   "CMakeFiles/sgfs_net.dir/network.cpp.o"

@@ -235,4 +235,5 @@ src/nfs/CMakeFiles/sgfs_nfs.dir/nfs4.cpp.o: /root/repo/src/nfs/nfs4.cpp \
  /root/repo/src/crypto/bignum.hpp /root/repo/src/crypto/hmac.hpp \
  /root/repo/src/crypto/sha.hpp /root/repo/src/crypto/rc4.hpp \
  /root/repo/src/net/network.hpp /root/repo/src/sim/channel.hpp \
- /root/repo/src/nfs/wire_ops.hpp /root/repo/src/rpc/rpc_client.hpp
+ /root/repo/src/nfs/wire_ops.hpp /root/repo/src/rpc/rpc_client.hpp \
+ /root/repo/src/rpc/retry.hpp

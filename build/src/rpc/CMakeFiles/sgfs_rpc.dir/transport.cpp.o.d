@@ -227,4 +227,5 @@ src/rpc/CMakeFiles/sgfs_rpc.dir/transport.cpp.o: \
  /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
- /root/repo/src/sim/channel.hpp /root/repo/src/xdr/xdr.hpp
+ /root/repo/src/sim/channel.hpp /root/repo/src/net/fault.hpp \
+ /root/repo/src/xdr/xdr.hpp

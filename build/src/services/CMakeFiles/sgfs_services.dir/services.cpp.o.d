@@ -235,7 +235,8 @@ src/services/CMakeFiles/sgfs_services.dir/services.cpp.o: \
  /root/repo/src/crypto/bignum.hpp /root/repo/src/crypto/hmac.hpp \
  /root/repo/src/crypto/sha.hpp /root/repo/src/crypto/rc4.hpp \
  /root/repo/src/net/network.hpp /root/repo/src/sim/channel.hpp \
- /root/repo/src/rpc/rpc_client.hpp /root/repo/src/services/envelope.hpp \
+ /root/repo/src/rpc/rpc_client.hpp /root/repo/src/rpc/retry.hpp \
+ /root/repo/src/services/envelope.hpp \
  /root/repo/src/sgfs/client_proxy.hpp /root/repo/src/sgfs/session.hpp \
  /root/repo/src/common/config.hpp /root/repo/src/sgfs/acl.hpp \
  /root/repo/src/sim/mutex.hpp /root/repo/src/sgfs/server_proxy.hpp \

@@ -219,7 +219,8 @@ src/sgfs/CMakeFiles/sgfs_core.dir/client_proxy.cpp.o: \
  /usr/include/c++/12/bits/ranges_algobase.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
- /usr/include/c++/12/pstl/execution_defs.h /root/repo/src/rpc/rpc_msg.hpp \
+ /usr/include/c++/12/pstl/execution_defs.h /root/repo/src/rpc/retry.hpp \
+ /root/repo/src/sim/time.hpp /root/repo/src/rpc/rpc_msg.hpp \
  /root/repo/src/rpc/transport.hpp \
  /root/repo/src/crypto/secure_channel.hpp /root/repo/src/common/rng.hpp \
  /usr/include/c++/12/limits /root/repo/src/crypto/aes.hpp \
@@ -233,8 +234,8 @@ src/sgfs/CMakeFiles/sgfs_core.dir/client_proxy.cpp.o: \
  /usr/include/c++/12/bits/stl_queue.h /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h /root/repo/src/sim/task.hpp \
  /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
- /root/repo/src/sim/time.hpp /root/repo/src/sim/resource.hpp \
- /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
+ /root/repo/src/sim/resource.hpp /usr/include/c++/12/algorithm \
+ /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /root/repo/src/sim/channel.hpp /root/repo/src/rpc/rpc_server.hpp \

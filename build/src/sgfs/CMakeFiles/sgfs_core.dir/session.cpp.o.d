@@ -229,9 +229,9 @@ src/sgfs/CMakeFiles/sgfs_core.dir/session.cpp.o: \
  /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
- /root/repo/src/sim/channel.hpp /root/repo/src/sgfs/acl.hpp \
- /root/repo/src/vfs/vfs.hpp /usr/include/c++/12/functional \
- /usr/include/c++/12/bits/std_function.h \
+ /root/repo/src/sim/channel.hpp /root/repo/src/rpc/retry.hpp \
+ /root/repo/src/sgfs/acl.hpp /root/repo/src/vfs/vfs.hpp \
+ /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/unordered_map \
  /usr/include/c++/12/bits/unordered_map.h /usr/include/c++/12/sstream \
  /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \

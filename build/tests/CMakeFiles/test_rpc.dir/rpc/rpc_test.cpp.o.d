@@ -293,22 +293,23 @@ tests/CMakeFiles/test_rpc.dir/rpc/rpc_test.cpp.o: \
  /root/miniconda/include/gtest/gtest_prod.h \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
- /root/repo/src/rpc/rpc_client.hpp /root/repo/src/rpc/rpc_msg.hpp \
+ /root/repo/src/net/fault.hpp /root/repo/src/common/rng.hpp \
  /root/repo/src/common/bytes.hpp /usr/include/c++/12/span \
+ /root/repo/src/sim/time.hpp /root/repo/src/rpc/rpc_client.hpp \
+ /root/repo/src/rpc/retry.hpp /root/repo/src/rpc/rpc_msg.hpp \
  /root/repo/src/xdr/xdr.hpp /root/repo/src/rpc/transport.hpp \
- /root/repo/src/crypto/secure_channel.hpp /root/repo/src/common/rng.hpp \
- /root/repo/src/crypto/aes.hpp /root/repo/src/crypto/cert.hpp \
- /root/repo/src/crypto/rsa.hpp /root/repo/src/crypto/bignum.hpp \
- /root/repo/src/crypto/hmac.hpp /root/repo/src/crypto/sha.hpp \
- /root/repo/src/crypto/rc4.hpp /root/repo/src/net/network.hpp \
- /usr/include/c++/12/coroutine /usr/include/c++/12/deque \
- /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /root/repo/src/net/host.hpp /root/repo/src/sim/engine.hpp \
- /usr/include/c++/12/queue /usr/include/c++/12/bits/stl_queue.h \
- /usr/include/c++/12/unordered_set \
+ /root/repo/src/crypto/secure_channel.hpp /root/repo/src/crypto/aes.hpp \
+ /root/repo/src/crypto/cert.hpp /root/repo/src/crypto/rsa.hpp \
+ /root/repo/src/crypto/bignum.hpp /root/repo/src/crypto/hmac.hpp \
+ /root/repo/src/crypto/sha.hpp /root/repo/src/crypto/rc4.hpp \
+ /root/repo/src/net/network.hpp /usr/include/c++/12/coroutine \
+ /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
+ /usr/include/c++/12/bits/deque.tcc /root/repo/src/net/host.hpp \
+ /root/repo/src/sim/engine.hpp /usr/include/c++/12/queue \
+ /usr/include/c++/12/bits/stl_queue.h /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h /root/repo/src/sim/task.hpp \
- /root/repo/src/sim/time.hpp /root/repo/src/sim/resource.hpp \
- /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
+ /root/repo/src/sim/resource.hpp /usr/include/c++/12/algorithm \
+ /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /root/repo/src/sim/channel.hpp /root/repo/src/rpc/rpc_server.hpp

@@ -297,6 +297,7 @@ tests/CMakeFiles/test_services.dir/services/services_test.cpp.o: \
  /root/repo/src/common/bytes.hpp /usr/include/c++/12/span \
  /root/repo/src/vfs/vfs.hpp /root/repo/src/xdr/xdr.hpp \
  /root/repo/src/nfs/wire_ops.hpp /root/repo/src/rpc/rpc_client.hpp \
+ /root/repo/src/rpc/retry.hpp /root/repo/src/sim/time.hpp \
  /root/repo/src/rpc/rpc_msg.hpp /root/repo/src/rpc/transport.hpp \
  /root/repo/src/crypto/secure_channel.hpp /root/repo/src/common/rng.hpp \
  /root/repo/src/crypto/aes.hpp /root/repo/src/crypto/cert.hpp \
@@ -309,8 +310,8 @@ tests/CMakeFiles/test_services.dir/services/services_test.cpp.o: \
  /usr/include/c++/12/queue /usr/include/c++/12/bits/stl_queue.h \
  /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h /root/repo/src/sim/task.hpp \
- /root/repo/src/sim/time.hpp /root/repo/src/sim/resource.hpp \
- /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
+ /root/repo/src/sim/resource.hpp /usr/include/c++/12/algorithm \
+ /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /root/repo/src/sim/channel.hpp /root/repo/src/nfs/nfs3_server.hpp \

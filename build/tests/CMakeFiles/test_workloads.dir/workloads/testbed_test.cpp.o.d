@@ -308,10 +308,11 @@ tests/CMakeFiles/test_workloads.dir/workloads/testbed_test.cpp.o: \
  /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
- /root/repo/src/sim/channel.hpp /root/repo/src/nfs/nfs3_client.hpp \
- /root/repo/src/nfs/nfs3.hpp /root/repo/src/vfs/vfs.hpp \
- /root/repo/src/xdr/xdr.hpp /root/repo/src/nfs/wire_ops.hpp \
- /root/repo/src/rpc/rpc_client.hpp /root/repo/src/rpc/rpc_msg.hpp \
+ /root/repo/src/sim/channel.hpp /root/repo/src/net/fault.hpp \
+ /root/repo/src/nfs/nfs3_client.hpp /root/repo/src/nfs/nfs3.hpp \
+ /root/repo/src/vfs/vfs.hpp /root/repo/src/xdr/xdr.hpp \
+ /root/repo/src/nfs/wire_ops.hpp /root/repo/src/rpc/rpc_client.hpp \
+ /root/repo/src/rpc/retry.hpp /root/repo/src/rpc/rpc_msg.hpp \
  /root/repo/src/rpc/transport.hpp \
  /root/repo/src/crypto/secure_channel.hpp /root/repo/src/crypto/cert.hpp \
  /root/repo/src/crypto/rsa.hpp /root/repo/src/crypto/bignum.hpp \

@@ -51,6 +51,20 @@ Testbed::Testbed(TestbedOptions options)
                            : 150 * sim::kMicrosecond,
       options_.wire_bytes_per_sec));
 
+  if (options_.loss_probability > 0 || options_.corrupt_probability > 0) {
+    // Lossy WAN: faults on the client<->server link only (loopback hops
+    // stay reliable), with retransmission enabled to recover.
+    auto plan = std::make_shared<net::FaultPlan>(options_.seed ^ 0xfa017u);
+    plan->set_link_faults(
+        "client", "server",
+        net::LinkFaults(options_.loss_probability,
+                        options_.corrupt_probability));
+    net_.set_fault_plan(std::move(plan));
+    if (!options_.retry.enabled()) {
+      options_.retry = rpc::RetryPolicy::standard();
+    }
+  }
+
   // Kernel NFS server, exported to localhost only when proxies front it.
   fs_ = std::make_shared<vfs::FileSystem>();
   vfs::Cred root(0, 0);
@@ -133,6 +147,7 @@ Testbed::Testbed(TestbedOptions options)
   // --- client-side proxy ---
   core::ClientProxyConfig ccfg;
   ccfg.server_proxy = client_upstream;
+  ccfg.retry = options_.retry;
   ccfg.cache.enabled = true;
   ccfg.cache.cache_data = options_.proxy_disk_cache;
   ccfg.cache.write_back =
@@ -165,6 +180,13 @@ Testbed::Testbed(TestbedOptions options)
   client_proxy_->start(2049);
 }
 
+uint64_t Testbed::server_drc_hits() const {
+  // Proxied setups: retransmissions land on the server proxy's RPC service;
+  // direct setups: on the kernel server's.
+  if (server_proxy_) return server_proxy_->drc_hits();
+  return kernel_rpc_ ? kernel_rpc_->drc_hits() : 0;
+}
+
 Testbed::~Testbed() {
   if (client_proxy_) client_proxy_->stop();
   if (server_proxy_) server_proxy_->stop();
@@ -180,10 +202,14 @@ sim::Task<std::shared_ptr<nfs::MountPoint>> Testbed::mount() {
 
   const bool direct =
       options_.kind == SetupKind::kNfsV3 || options_.kind == SetupKind::kNfsV4;
+  // Direct setups face the lossy WAN themselves; proxied setups recover in
+  // the client proxy and the loopback hop stays reliable.
+  if (direct) cfg.retry = options_.retry;
   net::Address target = direct ? net::Address("server", 2049)
                                : net::Address("client", 2049);
   if (options_.kind == SetupKind::kNfsV4) {
-    auto ops = co_await nfs::V4WireOps::connect(*client_, target, job);
+    auto ops = co_await nfs::V4WireOps::connect(*client_, target, job,
+                                                cfg.retry);
     co_return co_await nfs::MountPoint::mount_with(*client_, std::move(ops),
                                                    kDataPath, cfg);
   }

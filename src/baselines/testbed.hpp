@@ -21,6 +21,7 @@
 #include <memory>
 
 #include "baselines/tunnel.hpp"
+#include "net/fault.hpp"
 #include "nfs/nfs3_client.hpp"
 #include "nfs/nfs3_server.hpp"
 #include "nfs/nfs4.hpp"
@@ -52,6 +53,14 @@ struct TestbedOptions {
   double wire_bytes_per_sec = 400.0e6 / 8.0;
   size_t readahead_blocks = 8;  // kernel client read-ahead depth
   uint64_t seed = 42;
+  /// Fault injection on the client<->server WAN link (0 = perfect network,
+  /// the default).  When either probability is nonzero a deterministic
+  /// net::FaultPlan (seeded from `seed`) is installed and — unless `retry`
+  /// was set explicitly — the WAN-facing RPC clients get the standard
+  /// retransmission policy.
+  double loss_probability = 0;
+  double corrupt_probability = 0;
+  rpc::RetryPolicy retry;
 
   TestbedOptions() = default;
 };
@@ -70,6 +79,12 @@ class Testbed {
   core::ClientProxy* client_proxy() { return client_proxy_.get(); }
   core::ServerProxy* server_proxy() { return server_proxy_.get(); }
   const TestbedOptions& options() const { return options_; }
+
+  /// The installed fault plan; nullptr on a perfect network.
+  net::FaultPlan* fault_plan() { return net_.fault_plan(); }
+  /// DRC activity on the server proxy's WAN-facing RPC service (where
+  /// client-proxy retransmissions land).  0 for direct setups.
+  uint64_t server_drc_hits() const;
 
   /// Mounts the grid filesystem the way this setup's client would.
   sim::Task<std::shared_ptr<nfs::MountPoint>> mount();

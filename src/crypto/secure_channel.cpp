@@ -190,7 +190,7 @@ Buffer SecureChannel::unprotect(uint64_t seq, ByteView record) {
     h.update(body);
     auto expect = h.finish();
     if (!ct_equal(ByteView(expect.data(), expect.size()), mac)) {
-      throw SecurityError("record MAC verification failed");
+      throw MacError();
     }
   }
   switch (cipher_) {
@@ -217,6 +217,7 @@ Buffer SecureChannel::unprotect(uint64_t seq, ByteView record) {
 
 sim::Task<void> SecureChannel::send_record(RecordType type,
                                            ByteView payload) {
+  if (failed_) throw SecurityError("channel failed closed");
   if (payload.size() > kMaxRecord) throw SecurityError("record too large");
   co_await charge_crypto(payload.size());
   const uint64_t seq = send_seq_++;
@@ -226,6 +227,11 @@ sim::Task<void> SecureChannel::send_record(RecordType type,
   framed.push_back(static_cast<uint8_t>(type));
   append(framed, payload);
   Buffer wire = protect(seq, framed);
+  if (corrupt_next_ && type == RecordType::kData) {
+    // Fault injection: the record left us intact but the wire flips a bit.
+    corrupt_next_ = false;
+    wire[wire.size() / 2] ^= 0x20;
+  }
   xdr::Encoder enc;
   enc.put_u32(static_cast<uint32_t>(wire.size()));
   Buffer header = enc.take();
@@ -234,16 +240,31 @@ sim::Task<void> SecureChannel::send_record(RecordType type,
 }
 
 sim::Task<SecureChannel::Record> SecureChannel::recv_record() {
+  if (failed_) throw SecurityError("channel failed closed");
   Buffer len_buf = co_await stream_->read_exact(4);
   xdr::Decoder dec(len_buf);
   const uint32_t len = dec.get_u32();
   if (len == 0 || len > kMaxRecord + 64) {
+    failed_ = true;
+    stream_->close();
     throw SecurityError("bad record length");
   }
   Buffer wire = co_await stream_->read_exact(len);
   co_await charge_crypto(wire.size());
-  const uint64_t seq = recv_seq_++;
-  Buffer framed = unprotect(seq, wire);
+  Buffer framed;
+  try {
+    // The sequence number is consumed only once the record authenticates;
+    // advancing it on the failed attempt would silently desynchronise the
+    // record counters for the rest of the session.
+    framed = unprotect(recv_seq_, wire);
+  } catch (const SecurityError&) {
+    // Fail closed: nothing may be trusted under these keys any more; the
+    // peer sees EOF and both sides must re-handshake on a fresh channel.
+    failed_ = true;
+    stream_->close();
+    throw;
+  }
+  ++recv_seq_;
   if (framed.empty()) throw SecurityError("empty record");
   const auto type = static_cast<RecordType>(framed[0]);
   co_return Record(type, Buffer(framed.begin() + 1, framed.end()));

@@ -43,6 +43,15 @@ class SecurityError : public std::runtime_error {
       : std::runtime_error("security: " + what) {}
 };
 
+/// Record authentication (MAC) failure: the record was tampered with or
+/// corrupted in flight.  Distinct from generic SecurityError so the proxy
+/// layer can translate it into a session re-establishment instead of a
+/// fatal error.  The channel fails closed after raising this.
+class MacError : public SecurityError {
+ public:
+  MacError() : SecurityError("record MAC verification failed") {}
+};
+
 enum class Cipher : int32_t {
   kNull = 0,     // integrity only (sgfs-sha)
   kRc4_128 = 1,  // medium strength (sgfs-rc)
@@ -131,6 +140,15 @@ class SecureChannel {
   uint64_t records_sent() const { return send_seq_; }
   uint64_t records_received() const { return recv_seq_; }
 
+  /// True once the channel failed closed (MAC failure or framing garbage);
+  /// every subsequent send/recv throws.  Recovery = new channel.
+  bool failed() const { return failed_; }
+
+  /// Fault-injection seam: flips one bit of the next outgoing data record
+  /// AFTER protection, emulating in-flight corruption the receiver's MAC
+  /// check must catch.
+  void corrupt_next_record() { corrupt_next_ = true; }
+
   net::Stream& stream() { return *stream_; }
 
  private:
@@ -169,6 +187,8 @@ class SecureChannel {
   Cipher cipher_ = Cipher::kNull;
   MacAlgo mac_ = MacAlgo::kNull;
   bool established_ = false;
+  bool failed_ = false;
+  bool corrupt_next_ = false;
   uint32_t key_generation_ = 0;
   uint64_t send_seq_ = 0;
   uint64_t recv_seq_ = 0;

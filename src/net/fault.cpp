@@ -1,0 +1,69 @@
+#include "net/fault.hpp"
+
+#include <algorithm>
+
+namespace sgfs::net {
+
+void FaultPlan::set_link_faults(const std::string& a, const std::string& b,
+                                LinkFaults faults) {
+  overrides_[{std::min(a, b), std::max(a, b)}] = faults;
+}
+
+void FaultPlan::add_link_blackout(const std::string& a, const std::string& b,
+                                  sim::SimTime start, sim::SimTime end) {
+  windows_.emplace_back(std::min(a, b), std::max(a, b), start, end);
+}
+
+void FaultPlan::add_host_blackout(const std::string& host,
+                                  sim::SimTime start, sim::SimTime end) {
+  windows_.emplace_back(host, std::string(), start, end);
+}
+
+LinkFaults FaultPlan::faults_for(const std::string& from,
+                                 const std::string& to) const {
+  auto it = overrides_.find({std::min(from, to), std::max(from, to)});
+  if (it != overrides_.end()) return it->second;
+  // Loopback is exempt by default: the in-host hop has no wire to fail.
+  if (from == to) return LinkFaults();
+  return default_;
+}
+
+bool FaultPlan::blacked_out(const std::string& from, const std::string& to,
+                            sim::SimTime now) const {
+  const std::string lo = std::min(from, to), hi = std::max(from, to);
+  for (const Window& w : windows_) {
+    if (now < w.start || now >= w.end) continue;
+    if (w.b.empty() ? (w.a == from || w.a == to) : (w.a == lo && w.b == hi)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+FaultPlan::Action FaultPlan::on_message(const std::string& from,
+                                        const std::string& to,
+                                        sim::SimTime now) {
+  if (blacked_out(from, to, now)) {
+    ++blackout_drops_;
+    ++dropped_;
+    return Action::kDrop;
+  }
+  const LinkFaults f = faults_for(from, to);
+  if (!f.faulty()) {
+    ++delivered_;
+    return Action::kDeliver;
+  }
+  const double roll = rng_.next_double();
+  if (roll < f.drop_probability) {
+    ++dropped_;
+    return Action::kDrop;
+  }
+  if (roll < f.drop_probability + f.corrupt_probability) {
+    ++corrupted_;
+    return Action::kCorrupt;
+  }
+  ++delivered_;
+  return Action::kDeliver;
+}
+
+}  // namespace sgfs::net

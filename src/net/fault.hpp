@@ -1,0 +1,108 @@
+// Deterministic fault injection for the simulated network (WAN failure
+// model).
+//
+// A FaultPlan decides, per RPC-level message, whether the message is
+// delivered, dropped, or corrupted in flight.  Decisions are drawn from the
+// plan's own seeded Rng in message-send order, so a given (seed, workload)
+// pair replays bit-identically — the DES engine's determinism is preserved
+// under injected faults.
+//
+// Fault classes:
+//   - per-link drop/corrupt probabilities (default for distinct-host pairs,
+//     overridable per unordered pair; same-host loopback is exempt unless
+//     explicitly configured);
+//   - scheduled link blackouts: every message on the pair is lost during
+//     [start, end);
+//   - host blackouts ("server crash/restart"): all traffic to or from the
+//     host is lost during the window — the process is down, the reboot
+//     completes at `end`, and clients recover via RPC retransmission and
+//     secure-session re-establishment.
+//
+// Scope: faults apply to data-phase messages (RPC calls/replies, secure
+// records).  Connection setup and the SSL handshake ride the reliable
+// stream substrate — TCP SYN retransmission and handshake timers are below
+// our abstraction level (see DESIGN.md "Failure model & recovery").
+#pragma once
+
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "sim/time.hpp"
+
+namespace sgfs::net {
+
+/// Per-link fault probabilities; drop and corrupt are mutually exclusive
+/// per message (drop wins the roll first).
+struct LinkFaults {
+  double drop_probability = 0.0;
+  double corrupt_probability = 0.0;
+
+  LinkFaults() = default;
+  LinkFaults(double drop, double corrupt)
+      : drop_probability(drop), corrupt_probability(corrupt) {}
+
+  bool faulty() const {
+    return drop_probability > 0 || corrupt_probability > 0;
+  }
+};
+
+class FaultPlan {
+ public:
+  enum class Action { kDeliver, kDrop, kCorrupt };
+
+  explicit FaultPlan(uint64_t seed) : rng_(seed) {}
+
+  /// Default probabilities for links between distinct hosts.
+  void set_default_faults(LinkFaults faults) { default_ = faults; }
+  /// Probabilities for a specific unordered host pair (overrides default;
+  /// also the only way to make same-host loopback traffic faulty).
+  void set_link_faults(const std::string& a, const std::string& b,
+                       LinkFaults faults);
+
+  /// Every message on the (unordered) pair is lost during [start, end).
+  void add_link_blackout(const std::string& a, const std::string& b,
+                         sim::SimTime start, sim::SimTime end);
+  /// Server crash/restart: all traffic to or from `host` is lost during
+  /// [start, end); the restart completes at `end`.
+  void add_host_blackout(const std::string& host, sim::SimTime start,
+                         sim::SimTime end);
+
+  /// One decision per message, drawn in call order from the plan's Rng.
+  Action on_message(const std::string& from, const std::string& to,
+                    sim::SimTime now);
+
+  // Counters (blackout drops are included in dropped()).
+  uint64_t delivered() const { return delivered_; }
+  uint64_t dropped() const { return dropped_; }
+  uint64_t corrupted() const { return corrupted_; }
+  uint64_t blackout_drops() const { return blackout_drops_; }
+
+ private:
+  struct Window {
+    std::string a, b;  // b empty: host-wide blackout on a
+    sim::SimTime start = 0;
+    sim::SimTime end = 0;
+
+    Window(std::string a_, std::string b_, sim::SimTime s, sim::SimTime e)
+        : a(std::move(a_)), b(std::move(b_)), start(s), end(e) {}
+  };
+
+  LinkFaults faults_for(const std::string& from, const std::string& to) const;
+  bool blacked_out(const std::string& from, const std::string& to,
+                   sim::SimTime now) const;
+
+  Rng rng_;
+  LinkFaults default_;
+  std::map<std::pair<std::string, std::string>, LinkFaults> overrides_;
+  std::vector<Window> windows_;
+
+  uint64_t delivered_ = 0;
+  uint64_t dropped_ = 0;
+  uint64_t corrupted_ = 0;
+  uint64_t blackout_drops_ = 0;
+};
+
+}  // namespace sgfs::net

@@ -23,6 +23,8 @@
 
 namespace sgfs::net {
 
+class FaultPlan;
+
 /// "host:port" endpoint.
 ///
 /// NOTE: deliberately NOT an aggregate.  GCC 12 miscompiles aggregate
@@ -87,6 +89,15 @@ class Network {
 
   LinkParams link_params(const std::string& a, const std::string& b) const;
 
+  /// Installs a fault-injection plan (nullptr = perfect network, the
+  /// default).  Consulted by the message transports, not by Stream: faults
+  /// are injected at whole-message granularity so the reliable stream
+  /// framing stays coherent (see net/fault.hpp).
+  void set_fault_plan(std::shared_ptr<FaultPlan> plan) {
+    fault_plan_ = std::move(plan);
+  }
+  FaultPlan* fault_plan() const { return fault_plan_.get(); }
+
   class Listener {
    public:
     Listener(Network& net, Address addr)
@@ -136,6 +147,7 @@ class Network {
   std::map<std::pair<std::string, std::string>, LinkState> link_states_;
   std::shared_ptr<std::map<Address, Listener*>> registry_ =
       std::make_shared<std::map<Address, Listener*>>();
+  std::shared_ptr<FaultPlan> fault_plan_;
 };
 
 /// A reliable, ordered, bidirectional byte stream between two hosts.

@@ -2,6 +2,22 @@
 
 namespace sgfs::nfs {
 
+bool proc3_is_idempotent(Proc3 p) {
+  switch (p) {
+    case Proc3::kSetattr:
+    case Proc3::kCreate:
+    case Proc3::kMkdir:
+    case Proc3::kSymlink:
+    case Proc3::kRemove:
+    case Proc3::kRmdir:
+    case Proc3::kRename:
+    case Proc3::kLink:
+      return false;
+    default:
+      return true;
+  }
+}
+
 void encode_attrs(xdr::Encoder& e, const vfs::Attributes& a) {
   e.put_enum(a.type);
   e.put_u32(a.mode);

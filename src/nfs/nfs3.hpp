@@ -51,6 +51,12 @@ enum class MountProc : uint32_t {
   kUmnt = 3,
 };
 
+/// True when re-executing the procedure is harmless.  The non-idempotent
+/// ones (CREATE, REMOVE, RENAME, ...) are what the server's
+/// duplicate-request cache must protect against under RPC retransmission —
+/// the classic NFSv3 DRC classification.
+bool proc3_is_idempotent(Proc3 p);
+
 /// nfsstat3 — shares values with vfs::Status plus protocol-only codes.
 using Status = vfs::Status;
 inline constexpr Status kNfs3Ok = Status::kOk;

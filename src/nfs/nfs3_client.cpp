@@ -38,7 +38,7 @@ sim::Task<std::shared_ptr<MountPoint>> MountPoint::mount(
     net::Host& host, const net::Address& server,
     const std::string& remote_path, rpc::AuthSys auth,
     Nfs3ClientConfig config) {
-  auto ops = co_await V3WireOps::connect(host, server, auth);
+  auto ops = co_await V3WireOps::connect(host, server, auth, config.retry);
   co_return co_await mount_with(host, std::move(ops), remote_path, config);
 }
 

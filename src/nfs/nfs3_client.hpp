@@ -39,6 +39,9 @@ struct Nfs3ClientConfig {
   /// entry separately; modern behaviour uses READDIRPLUS.
   bool use_readdirplus = true;
   sim::SimDur per_call_cpu = 15 * sim::kMicrosecond;  // kernel RPC client
+  /// Retransmission policy for direct mounts (MountPoint::mount); backends
+  /// passed to mount_with carry their own. Default: wait forever.
+  rpc::RetryPolicy retry;
 
   Nfs3ClientConfig() = default;
 };

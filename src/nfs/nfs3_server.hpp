@@ -65,6 +65,12 @@ class Nfs3Server : public rpc::RpcProgram,
   sim::Task<Buffer> handle(const rpc::CallContext& ctx,
                            ByteView args) override;
 
+  /// Cache replies of non-idempotent procedures in the server's DRC so a
+  /// retransmitted CREATE/REMOVE/... replays instead of re-executing.
+  bool cache_reply(const rpc::CallContext& ctx) const override {
+    return !proc3_is_idempotent(static_cast<Proc3>(ctx.proc));
+  }
+
   vfs::FileSystem& filesystem() { return *fs_; }
   uint64_t fsid() const { return fsid_; }
   uint64_t ops_total() const { return ops_total_; }

@@ -291,11 +291,13 @@ sim::Task<Buffer> Nfs4Server::handle(const rpc::CallContext& ctx,
 // --- client backend ---------------------------------------------------------------
 
 sim::Task<std::unique_ptr<V4WireOps>> V4WireOps::connect(
-    net::Host& host, const net::Address& server, rpc::AuthSys auth) {
+    net::Host& host, const net::Address& server, rpc::AuthSys auth,
+    rpc::RetryPolicy retry) {
   auto ops = std::unique_ptr<V4WireOps>(new V4WireOps());
   ops->client_ =
       co_await rpc::clnt_create(host, server, kNfsProgram, kNfsVersion4);
   ops->client_->set_auth(auth);
+  ops->client_->set_retry(retry);
   co_return ops;
 }
 

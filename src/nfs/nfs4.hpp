@@ -64,7 +64,8 @@ class Nfs4Server : public rpc::RpcProgram {
 class V4WireOps final : public WireOps {
  public:
   static sim::Task<std::unique_ptr<V4WireOps>> connect(
-      net::Host& host, const net::Address& server, rpc::AuthSys auth);
+      net::Host& host, const net::Address& server, rpc::AuthSys auth,
+      rpc::RetryPolicy retry = rpc::RetryPolicy());
 
   sim::Task<Fh> mount(const std::string& path) override;
   sim::Task<LookupRes> lookup(Fh dir, const std::string& name) override;

@@ -3,11 +3,14 @@
 namespace sgfs::nfs {
 
 sim::Task<std::unique_ptr<V3WireOps>> V3WireOps::connect(
-    net::Host& host, const net::Address& server, rpc::AuthSys auth) {
+    net::Host& host, const net::Address& server, rpc::AuthSys auth,
+    rpc::RetryPolicy retry) {
   auto ops = std::unique_ptr<V3WireOps>(new V3WireOps(host, server, auth));
+  ops->retry_ = retry;
   ops->client_ =
       co_await rpc::clnt_create(host, server, kNfsProgram, kNfsVersion3);
   ops->client_->set_auth(auth);
+  ops->client_->set_retry(retry);
   co_return ops;
 }
 
@@ -19,6 +22,7 @@ sim::Task<Fh> V3WireOps::mount(const std::string& path) {
   auto mount_client = co_await rpc::clnt_create(host_, server_, kMountProgram,
                                                 kMountVersion3);
   mount_client->set_auth(auth_);
+  mount_client->set_retry(retry_);
   MntArgs margs(path);
   xdr::Encoder enc;
   margs.encode(enc);

@@ -49,9 +49,11 @@ class WireOps {
 /// NFSv3 backend: one RPC per operation (plus the MOUNT protocol).
 class V3WireOps final : public WireOps {
  public:
-  /// Connects the MOUNT and NFS RPC clients.
+  /// Connects the MOUNT and NFS RPC clients.  `retry` applies to every RPC
+  /// issued through this backend (default: wait forever).
   static sim::Task<std::unique_ptr<V3WireOps>> connect(
-      net::Host& host, const net::Address& server, rpc::AuthSys auth);
+      net::Host& host, const net::Address& server, rpc::AuthSys auth,
+      rpc::RetryPolicy retry = rpc::RetryPolicy());
 
   sim::Task<Fh> mount(const std::string& path) override;
   sim::Task<LookupRes> lookup(Fh dir, const std::string& name) override;
@@ -90,6 +92,7 @@ class V3WireOps final : public WireOps {
   net::Host& host_;
   net::Address server_;
   rpc::AuthSys auth_;
+  rpc::RetryPolicy retry_;
   std::unique_ptr<rpc::RpcClient> client_;
 };
 

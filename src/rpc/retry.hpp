@@ -1,0 +1,46 @@
+// RPC retransmission policy: per-call timeout with exponential backoff and
+// a give-up bound, i.e. classic Sun RPC-over-UDP semantics layered on the
+// message transports.  Retransmitted calls reuse their xid, which is what
+// makes the server-side duplicate-request cache (rpc_server.hpp) able to
+// recognise them.
+//
+// Disabled by default (initial_timeout == 0): a call waits for its reply
+// forever, matching reliable-transport behaviour and keeping fault-free
+// benchmark runs bit-identical to the pre-retransmission code.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+#include "sim/time.hpp"
+
+namespace sgfs::rpc {
+
+/// Thrown by RpcClient::call once the give-up policy is exhausted.
+class RpcTimeout : public std::runtime_error {
+ public:
+  explicit RpcTimeout(int retransmits)
+      : std::runtime_error("rpc: call timed out after " +
+                           std::to_string(retransmits) + " retransmissions") {}
+};
+
+struct RetryPolicy {
+  sim::SimDur initial_timeout = 0;  // 0 = never retransmit
+  double backoff = 2.0;             // timeout multiplier per retransmission
+  sim::SimDur max_timeout = 30 * sim::kSecond;  // backoff cap
+  int max_retransmits = 8;  // give up (RpcTimeout) after this many resends
+
+  RetryPolicy() = default;
+
+  bool enabled() const { return initial_timeout > 0; }
+
+  /// The NFS-over-UDP-style default used once fault injection is enabled:
+  /// 1 s initial timeout, doubling to a 30 s cap, give up after 8 resends.
+  static RetryPolicy standard() {
+    RetryPolicy p;
+    p.initial_timeout = sim::kSecond;
+    return p;
+  }
+};
+
+}  // namespace sgfs::rpc

@@ -1,8 +1,43 @@
 #include "rpc/rpc_client.hpp"
 
+#include <algorithm>
+
 #include "common/log.hpp"
 
 namespace sgfs::rpc {
+
+namespace {
+
+// Per-client xid base.  Each client gets its own slice of the 32-bit xid
+// space so the server's duplicate-request cache key (peer host, xid, ...)
+// cannot collide across two clients on the same host.  A plain counter
+// keeps it deterministic run-to-run.
+uint32_t client_xid_base() {
+  static uint32_t count = 0;
+  return ++count * 0x9e3779b9u | 1u;
+}
+
+// RAII scope guard: on any exception path out of call_with_xid the
+// pending-call map entry is erased, but only while it is still ours —
+// fail_all may have cleared it already, and after xid wraparound the slot
+// could belong to a newer call.
+template <typename F>
+class ScopeGuard {
+ public:
+  explicit ScopeGuard(F f) : f_(std::move(f)) {}
+  ~ScopeGuard() {
+    if (armed_) f_();
+  }
+  void release() { armed_ = false; }
+  ScopeGuard(const ScopeGuard&) = delete;
+  ScopeGuard& operator=(const ScopeGuard&) = delete;
+
+ private:
+  F f_;
+  bool armed_ = true;
+};
+
+}  // namespace
 
 RpcClient::RpcClient(sim::Engine& eng,
                      std::unique_ptr<MsgTransport> transport, uint32_t prog,
@@ -12,15 +47,15 @@ RpcClient::RpcClient(sim::Engine& eng,
       state_(std::make_shared<State>()),
       prog_(prog),
       vers_(vers) {
+  state_->next_xid = client_xid_base();
   eng_.spawn(reader_loop(transport_, state_));
 }
 
 void RpcClient::close() {
-  if (!state_->closed) {
-    state_->closed = true;
-    transport_->close();
-    state_->fail_all();
-  }
+  if (state_->closed) return;
+  state_->closed = true;
+  transport_->close();
+  state_->fail_all();
 }
 
 sim::Task<void> RpcClient::reader_loop(
@@ -30,7 +65,10 @@ sim::Task<void> RpcClient::reader_loop(
     try {
       msg = co_await transport->recv();
     } catch (const std::exception&) {
-      break;  // EOF or tamper: fail all outstanding calls
+      // EOF or tamper: remember why so callers get the real error (a MAC
+      // failure must look different from an orderly close upstream).
+      if (!state->broken) state->broken = std::current_exception();
+      break;
     }
     ReplyMsg reply;
     try {
@@ -49,24 +87,89 @@ sim::Task<void> RpcClient::reader_loop(
     p->reply = std::move(reply);
     p->done.set();
   }
+  state->closed = true;
   state->fail_all();
 }
 
+sim::Task<void> RpcClient::timeout_task(sim::Engine& eng,
+                                        std::shared_ptr<Pending> pending,
+                                        uint64_t gen, sim::SimDur delay) {
+  co_await eng.sleep(delay);
+  // Only fire if this attempt is still the live one: no reply yet, no
+  // newer retransmission, and the call was not already failed.
+  if (!pending->reply && pending->wait_gen == gen && !pending->done.is_set()) {
+    pending->done.set();
+  }
+}
+
 sim::Task<Buffer> RpcClient::call(uint32_t proc, ByteView args) {
-  if (state_->closed) throw net::StreamClosed();
+  co_return co_await call_with_xid(state_->next_xid++, proc, args);
+}
+
+sim::Task<Buffer> RpcClient::call_with_xid(uint32_t xid, uint32_t proc,
+                                           ByteView args) {
+  // Local copies: the client object may be destroyed while this coroutine
+  // is suspended (proxy teardown during recovery); everything used after
+  // the first co_await must be owned by the frame.
+  auto state = state_;
+  auto transport = transport_;
+  sim::Engine& eng = eng_;
+  const RetryPolicy retry = retry_;
+
+  if (state->closed) {
+    if (state->broken) std::rethrow_exception(state->broken);
+    throw net::StreamClosed();
+  }
+  if (state->pending.count(xid)) {
+    throw RpcError(AcceptStat::kSystemErr, "xid already in flight");
+  }
   CallMsg msg;
-  msg.xid = state_->next_xid++;
+  msg.xid = xid;
   msg.prog = prog_;
   msg.vers = vers_;
   msg.proc = proc;
   msg.cred = cred_;
   msg.args.assign(args.begin(), args.end());
-  auto pending = std::make_shared<Pending>(eng_);
-  state_->pending[msg.xid] = pending;
-  ++state_->calls_sent;
-  co_await transport_->send(msg.serialize());
-  co_await pending->done.wait();
-  if (!pending->reply) throw net::StreamClosed();
+  const Buffer wire = msg.serialize();
+
+  auto pending = std::make_shared<Pending>(eng);
+  state->pending[xid] = pending;
+  ++state->calls_sent;
+  ScopeGuard guard([state, xid, pending] {
+    auto it = state->pending.find(xid);
+    if (it != state->pending.end() && it->second == pending) {
+      state->pending.erase(it);
+    }
+  });
+
+  sim::SimDur timeout = retry.initial_timeout;
+  for (int attempt = 0;; ++attempt) {
+    if (retry.enabled()) {
+      eng.spawn(timeout_task(eng, pending, pending->wait_gen, timeout));
+    }
+    co_await transport->send(wire);
+    co_await pending->done.wait();
+    if (pending->reply) break;
+    auto it = state->pending.find(xid);
+    if (it == state->pending.end() || it->second != pending) {
+      // fail_all ran: close() or reader death.
+      if (state->broken) std::rethrow_exception(state->broken);
+      throw net::StreamClosed();
+    }
+    // Timed out: retransmit with the same xid, or give up.
+    if (attempt >= retry.max_retransmits) {
+      ++state->timeouts;
+      throw RpcTimeout(attempt);
+    }
+    ++state->retransmits;
+    ++pending->wait_gen;
+    pending->done.reset();
+    timeout = std::min(
+        static_cast<sim::SimDur>(static_cast<double>(timeout) * retry.backoff),
+        retry.max_timeout);
+  }
+  guard.release();  // the reader erased the entry when the reply landed
+
   ReplyMsg& reply = *pending->reply;
   if (reply.stat == ReplyStat::kDenied) {
     throw RpcAuthError(reply.auth_stat);

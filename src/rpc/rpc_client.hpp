@@ -5,11 +5,17 @@
 // asynchronous RPC); a single reader task demultiplexes replies by xid.
 // Blocking behaviour (the paper's SGFS prototype) is simply a caller that
 // awaits each call before issuing the next.
+//
+// With a RetryPolicy installed (see retry.hpp) a call retransmits on
+// timeout, reusing its xid so the server's duplicate-request cache can
+// suppress re-execution of non-idempotent procedures.
 #pragma once
 
+#include <exception>
 #include <map>
 #include <memory>
 
+#include "rpc/retry.hpp"
 #include "rpc/rpc_msg.hpp"
 #include "rpc/transport.hpp"
 #include "sim/channel.hpp"
@@ -29,28 +35,53 @@ class RpcClient {
   void set_auth(const AuthSys& cred) { cred_ = OpaqueAuth::sys(cred); }
   void clear_auth() { cred_ = OpaqueAuth::none(); }
 
+  /// Retransmission policy for subsequent calls (default: disabled).
+  void set_retry(const RetryPolicy& retry) { retry_ = retry; }
+  const RetryPolicy& retry() const { return retry_; }
+
   /// Issues one call and awaits its reply payload.
-  /// Throws RpcError / RpcAuthError / net::StreamClosed.
+  /// Throws RpcError / RpcAuthError / RpcTimeout / net::StreamClosed /
+  /// crypto::SecurityError (secure transports).
   sim::Task<Buffer> call(uint32_t proc, ByteView args);
 
+  /// Allocates an xid without sending anything.  Lets a caller keep one xid
+  /// across session re-establishment so the server's duplicate-request
+  /// cache still recognises the resend on a fresh connection.
+  uint32_t reserve_xid() { return state_->next_xid++; }
+
+  /// As call(), but with a caller-chosen xid (from reserve_xid()).
+  sim::Task<Buffer> call_with_xid(uint32_t xid, uint32_t proc, ByteView args);
+
+  /// Idempotent; fails all outstanding calls with net::StreamClosed.
   void close();
 
   MsgTransport& transport() { return *transport_; }
   uint64_t calls_sent() const { return state_->calls_sent; }
+  uint64_t retransmits() const { return state_->retransmits; }
+  uint64_t timeouts() const { return state_->timeouts; }
+  size_t pending_calls() const { return state_->pending.size(); }
 
  private:
   struct Pending {
     std::optional<ReplyMsg> reply;
     sim::SimEvent done;
+    uint64_t wait_gen = 0;  // bumped per retransmission; stales old timers
     explicit Pending(sim::Engine& eng) : done(eng) {}
   };
 
   // Shared between the client object and the detached reader task, so the
   // reader stays memory-safe if the client is destroyed while it sleeps.
+  // In-flight call coroutines hold their own shared_ptr to it as well, so
+  // destroying the client mid-call is safe.
   struct State {
     bool closed = false;
     uint32_t next_xid = 1;
     uint64_t calls_sent = 0;
+    uint64_t retransmits = 0;
+    uint64_t timeouts = 0;
+    // Why the reader died, surfaced to callers (e.g. crypto::MacError so
+    // the proxy layer can translate it into a re-handshake).
+    std::exception_ptr broken;
     std::map<uint32_t, std::shared_ptr<Pending>> pending;
 
     void fail_all() {
@@ -61,12 +92,16 @@ class RpcClient {
 
   static sim::Task<void> reader_loop(std::shared_ptr<MsgTransport> transport,
                                      std::shared_ptr<State> state);
+  static sim::Task<void> timeout_task(sim::Engine& eng,
+                                      std::shared_ptr<Pending> pending,
+                                      uint64_t gen, sim::SimDur delay);
 
   sim::Engine& eng_;
   std::shared_ptr<MsgTransport> transport_;
   std::shared_ptr<State> state_;
   uint32_t prog_, vers_;
   OpaqueAuth cred_ = OpaqueAuth::none();
+  RetryPolicy retry_;
 };
 
 /// Creates a plain RPC client (kernel-NFS-style TCP connection).

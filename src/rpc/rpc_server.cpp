@@ -79,7 +79,11 @@ sim::Task<void> RpcServer::serve_connection(
     try {
       msg = co_await transport->recv();
     } catch (const std::exception&) {
-      co_return;  // connection closed
+      // Connection closed (or the secure channel failed).  Close our side
+      // too so a peer blocked on this transport sees EOF promptly and can
+      // re-establish instead of retransmitting into a dead session.
+      transport->close();
+      co_return;
     }
     // Each call runs in its own task so slow handlers do not block the
     // connection (clients match replies by xid).
@@ -97,7 +101,36 @@ sim::Task<void> RpcServer::serve_one(std::shared_ptr<MsgTransport> transport,
     SGFS_WARN("rpc", "malformed call dropped: ", e.what());
     co_return;
   }
+
+  // Duplicate-request cache lookup: a retransmission (same peer, xid and
+  // procedure) must not re-execute a non-idempotent handler.
+  const DrcKey key(transport->peer_host(), call.xid, call.prog, call.vers,
+                   call.proc);
+  auto dup = state->drc.find(key);
+  if (dup != state->drc.end()) {
+    if (!dup->second.done) {
+      // Original call still executing: drop, the client will retry.
+      ++state->drc_inflight_drops;
+      co_return;
+    }
+    ++state->drc_hits;
+    try {
+      co_await transport->send(dup->second.reply);
+    } catch (const std::exception&) {
+      // Peer went away; nothing to do.
+    }
+    co_return;
+  }
+  state->drc.emplace(key, DrcEntry());  // in-progress marker
+
   ReplyMsg reply;
+  CallContext ctx;
+  ctx.xid = call.xid;
+  ctx.prog = call.prog;
+  ctx.vers = call.vers;
+  ctx.proc = call.proc;
+  ctx.peer_identity = transport->peer_identity();
+  ctx.peer_host = transport->peer_host();
   auto it = state->programs.find({call.prog, call.vers});
   if (it == state->programs.end()) {
     // Distinguish unknown program from wrong version.
@@ -109,13 +142,6 @@ sim::Task<void> RpcServer::serve_one(std::shared_ptr<MsgTransport> transport,
         call.xid,
         prog_known ? AcceptStat::kProgMismatch : AcceptStat::kProgUnavail);
   } else {
-    CallContext ctx;
-    ctx.xid = call.xid;
-    ctx.prog = call.prog;
-    ctx.vers = call.vers;
-    ctx.proc = call.proc;
-    ctx.peer_identity = transport->peer_identity();
-    ctx.peer_host = transport->peer_host();
     bool bad_cred = false;
     if (call.cred.flavor == AuthFlavor::kSys) {
       try {
@@ -146,8 +172,31 @@ sim::Task<void> RpcServer::serve_one(std::shared_ptr<MsgTransport> transport,
     }
   }
   ++state->served;
+  Buffer wire = reply.serialize();
+
+  // Resolve the in-progress DRC entry BEFORE sending: if the reply is lost
+  // in flight, the retransmission must find the cached copy.
+  auto self = state->drc.find(key);
+  const bool cache = it != state->programs.end() &&
+                     it->second->cache_reply(ctx);
+  if (self != state->drc.end()) {
+    if (cache) {
+      self->second.done = true;
+      self->second.reply = wire;
+      self->second.stamp = ++state->drc_clock;
+      state->drc_lru.emplace(self->second.stamp, key);
+      while (state->drc_lru.size() > state->drc_capacity) {
+        auto oldest = state->drc_lru.begin();
+        state->drc.erase(oldest->second);
+        state->drc_lru.erase(oldest);
+      }
+    } else {
+      state->drc.erase(self);
+    }
+  }
+
   try {
-    co_await transport->send(reply.serialize());
+    co_await transport->send(wire);
   } catch (const std::exception&) {
     // Peer went away; nothing to do.
   }

@@ -9,6 +9,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <tuple>
 
 #include "rpc/rpc_msg.hpp"
 #include "rpc/transport.hpp"
@@ -40,6 +41,16 @@ class RpcProgram {
   virtual ~RpcProgram() = default;
   virtual sim::Task<Buffer> handle(const CallContext& ctx,
                                    ByteView args) = 0;
+
+  /// Whether the server's duplicate-request cache should retain this call's
+  /// reply so a retransmission replays it instead of re-executing the
+  /// handler.  Return true for non-idempotent procedures (NFS CREATE,
+  /// REMOVE, RENAME, ...); the default keeps the cache off, which is safe
+  /// for read-style programs and avoids pinning large replies.
+  virtual bool cache_reply(const CallContext& ctx) const {
+    (void)ctx;
+    return false;
+  }
 };
 
 class RpcServer {
@@ -66,11 +77,38 @@ class RpcServer {
   uint64_t connections_accepted() const { return state_->accepted; }
   uint64_t calls_served() const { return state_->served; }
 
+  /// Duplicate-request cache stats: replayed cached replies, and
+  /// retransmissions dropped because the original call was still executing.
+  uint64_t drc_hits() const { return state_->drc_hits; }
+  uint64_t drc_inflight_drops() const { return state_->drc_inflight_drops; }
+  /// Completed-entry capacity of the duplicate-request cache (LRU).
+  void set_drc_capacity(size_t n) { state_->drc_capacity = n; }
+
  private:
+  // Duplicate-request cache: (peer host, xid, prog, vers, proc) -> reply.
+  // Entries are inserted when a call starts (in-progress marker) and either
+  // retained with the serialized reply (cache_reply() == true) or dropped
+  // once the reply is sent.  Completed entries age out LRU.
+  using DrcKey = std::tuple<std::string, uint32_t, uint32_t, uint32_t,
+                            uint32_t>;
+  struct DrcEntry {
+    bool done = false;
+    Buffer reply;
+    uint64_t stamp = 0;
+
+    DrcEntry() = default;
+  };
+
   struct State {
     bool stopped = false;
     uint64_t accepted = 0;
     uint64_t served = 0;
+    uint64_t drc_hits = 0;
+    uint64_t drc_inflight_drops = 0;
+    uint64_t drc_clock = 0;
+    size_t drc_capacity = 512;
+    std::map<DrcKey, DrcEntry> drc;
+    std::map<uint64_t, DrcKey> drc_lru;  // stamp -> key, oldest first
     std::map<std::pair<uint32_t, uint32_t>, std::shared_ptr<RpcProgram>>
         programs;
     std::optional<crypto::SecurityConfig> security;

@@ -1,10 +1,36 @@
 #include "rpc/transport.hpp"
 
+#include "net/fault.hpp"
 #include "xdr/xdr.hpp"
 
 namespace sgfs::rpc {
 
+namespace {
+
+// Faults are injected at whole-RPC-message granularity (never on stream
+// fragments — partial loss would desynchronise the record framing, which
+// models a TCP checksum/sequence failure, not a lost datagram).
+net::FaultPlan::Action fault_action(net::Stream& stream) {
+  net::FaultPlan* plan = stream.local_host().network().fault_plan();
+  if (!plan) return net::FaultPlan::Action::kDeliver;
+  return plan->on_message(stream.local_host().name(),
+                          stream.remote_host().name(),
+                          stream.local_host().engine().now());
+}
+
+}  // namespace
+
 sim::Task<void> StreamTransport::send(ByteView message) {
+  switch (fault_action(*stream_)) {
+    case net::FaultPlan::Action::kDeliver:
+      break;
+    case net::FaultPlan::Action::kDrop:
+    case net::FaultPlan::Action::kCorrupt:
+      // On the plain transport a corrupted frame is caught by the link CRC
+      // and discarded before it reaches the RPC layer — both cases behave
+      // as a loss; recovery is the caller's retransmission timer.
+      co_return;
+  }
   // RFC 5531 record marking: each fragment carries a 32-bit header whose MSB
   // flags the final fragment of the record.
   size_t off = 0;
@@ -33,6 +59,25 @@ sim::Task<Buffer> StreamTransport::recv() {
     append(message, frag);
     if (last) co_return message;
   }
+}
+
+sim::Task<void> SecureTransport::send(ByteView message) {
+  switch (fault_action(channel_->stream())) {
+    case net::FaultPlan::Action::kDeliver:
+      break;
+    case net::FaultPlan::Action::kDrop:
+      // Lost before reaching the wire: no record sequence number is
+      // consumed, so the channel stays coherent and the retransmission
+      // (a fresh record) is accepted normally.
+      co_return;
+    case net::FaultPlan::Action::kCorrupt:
+      // Bits flip in flight AFTER protection: the sequence number is
+      // consumed on both sides and the receiver's MAC check fails, which
+      // fail-closes the channel — recovery requires a re-handshake.
+      channel_->corrupt_next_record();
+      break;
+  }
+  co_await channel_->send(message);
 }
 
 }  // namespace sgfs::rpc

@@ -63,9 +63,7 @@ class SecureTransport final : public MsgTransport {
   explicit SecureTransport(std::unique_ptr<crypto::SecureChannel> channel)
       : channel_(std::move(channel)) {}
 
-  sim::Task<void> send(ByteView message) override {
-    co_await channel_->send(message);
-  }
+  sim::Task<void> send(ByteView message) override;
   sim::Task<Buffer> recv() override { co_return co_await channel_->recv(); }
   void close() override { channel_->close(); }
 

@@ -44,6 +44,26 @@ uint64_t ClientProxy::dirty_bytes() const {
 
 uint32_t ClientProxy::key_generation() const { return handshakes_; }
 
+uint64_t ClientProxy::upstream_retransmits() const {
+  uint64_t total = retransmits_accumulated_;
+  if (upstream_nfs_) total += upstream_nfs_->retransmits();
+  if (upstream_mount_) total += upstream_mount_->retransmits();
+  return total;
+}
+
+void ClientProxy::drop_upstream() {
+  if (upstream_nfs_) {
+    retransmits_accumulated_ += upstream_nfs_->retransmits();
+    upstream_nfs_->close();
+    upstream_nfs_.reset();
+  }
+  if (upstream_mount_) {
+    retransmits_accumulated_ += upstream_mount_->retransmits();
+    upstream_mount_->close();
+    upstream_mount_.reset();
+  }
+}
+
 sim::Task<void> ClientProxy::ensure_upstream() {
   const int64_t epoch =
       static_cast<int64_t>(host_.engine().now() / sim::kSecond);
@@ -56,6 +76,7 @@ sim::Task<void> ClientProxy::ensure_upstream() {
           host_, config_.server_proxy, nfs::kNfsProgram, nfs::kNfsVersion3,
           config_.security, rng_, epoch);
     }
+    upstream_nfs_->set_retry(config_.retry);
     ++handshakes_;
   }
   if (!upstream_mount_) {
@@ -68,6 +89,7 @@ sim::Task<void> ClientProxy::ensure_upstream() {
           host_, config_.server_proxy, nfs::kMountProgram,
           nfs::kMountVersion3, config_.security, rng_, epoch);
     }
+    upstream_mount_->set_retry(config_.retry);
   }
 }
 
@@ -77,21 +99,50 @@ sim::Task<Buffer> ClientProxy::forward(const rpc::CallContext& ctx,
   if (config_.serialize_forwarding) {
     guard.emplace(co_await forward_mutex_.scoped());
   }
-  co_await ensure_upstream();
   ++forwarded_;
-  rpc::RpcClient& client =
-      ctx.prog == nfs::kMountProgram ? *upstream_mount_ : *upstream_nfs_;
-  // Pass the job account's AUTH_SYS credentials through; the server-side
-  // proxy performs the identity mapping.
-  if (ctx.auth_sys) {
-    client.set_auth(*ctx.auth_sys);
-  } else {
-    client.clear_auth();
-  }
   if (config_.cost.per_msg_latency > 0) {
     co_await host_.engine().sleep(config_.cost.per_msg_latency);
   }
-  Buffer reply = co_await client.call(ctx.proc, args);
+  // Session re-establishment (paper §4.2: the FSS-managed session survives
+  // transient failures).  A broken stream, a failed-closed secure channel
+  // or a retransmission give-up tears the upstream session down; the proxy
+  // re-handshakes and resends the call under its ORIGINAL xid so the
+  // server's duplicate-request cache suppresses re-execution of
+  // non-idempotent ops across the new connection.
+  Buffer reply;
+  std::optional<uint32_t> xid;
+  for (int attempt = 0;; ++attempt) {
+    std::exception_ptr failure;
+    try {
+      co_await ensure_upstream();
+      rpc::RpcClient& client =
+          ctx.prog == nfs::kMountProgram ? *upstream_mount_ : *upstream_nfs_;
+      // Pass the job account's AUTH_SYS credentials through; the
+      // server-side proxy performs the identity mapping.
+      if (ctx.auth_sys) {
+        client.set_auth(*ctx.auth_sys);
+      } else {
+        client.clear_auth();
+      }
+      if (!xid) xid = client.reserve_xid();
+      reply = co_await client.call_with_xid(*xid, ctx.proc, args);
+      break;
+    } catch (const rpc::RpcTimeout&) {
+      failure = std::current_exception();
+    } catch (const crypto::SecurityError&) {
+      failure = std::current_exception();
+    } catch (const net::StreamClosed&) {
+      failure = std::current_exception();
+    }
+    if (stopped_ || attempt >= config_.max_reconnects) {
+      std::rethrow_exception(failure);
+    }
+    ++reconnects_;
+    SGFS_INFO("sgfs-proxy", "upstream session failed; re-establishing ",
+              "(attempt ", attempt + 1, ")");
+    drop_upstream();
+    co_await host_.engine().sleep(config_.reconnect_backoff * (attempt + 1));
+  }
   // Reply processing: inside the blocking proxy's single thread this
   // serializes with everything else; an async daemon overlaps it.
   co_await host_.cpu().use(config_.cost.msg_cost(reply.size()), "proxy");
@@ -128,10 +179,7 @@ sim::Task<void> ClientProxy::renegotiate() {
   // certificates (paper §4.2).
   auto guard = co_await forward_mutex_.scoped();
   if (!upstream_nfs_) co_return;
-  upstream_nfs_->close();
-  upstream_mount_->close();
-  upstream_nfs_.reset();
-  upstream_mount_.reset();
+  drop_upstream();
   co_await ensure_upstream();
 }
 
@@ -143,10 +191,7 @@ void ClientProxy::reload(const ClientProxyConfig& config) {
   if (security_changed) {
     // Tear down the secured connections; the next request re-handshakes
     // under the new configuration (certificates are re-read then too).
-    if (upstream_nfs_) upstream_nfs_->close();
-    if (upstream_mount_) upstream_mount_->close();
-    upstream_nfs_.reset();
-    upstream_mount_.reset();
+    drop_upstream();
   }
 }
 

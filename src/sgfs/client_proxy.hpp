@@ -41,6 +41,14 @@ class ClientProxy : public rpc::RpcProgram,
   sim::Task<Buffer> handle(const rpc::CallContext& ctx,
                            ByteView args) override;
 
+  /// The loopback RPC server keeps replies of non-idempotent ops in its
+  /// duplicate-request cache (only relevant if the kernel client ever
+  /// retransmits; the loopback is fault-free in the standard testbeds).
+  bool cache_reply(const rpc::CallContext& ctx) const override {
+    return ctx.prog == nfs::kNfsProgram &&
+           !nfs::proc3_is_idempotent(static_cast<nfs::Proc3>(ctx.proc));
+  }
+
   /// Writes all dirty cached data back to the server (session teardown —
   /// the separately-reported write-back time in Figures 9/10).
   sim::Task<void> flush();
@@ -66,6 +74,10 @@ class ClientProxy : public rpc::RpcProgram,
   uint64_t flushed_bytes() const { return flushed_bytes_; }
   uint64_t dirty_bytes() const;
   uint32_t key_generation() const;
+  /// Upstream RPC retransmissions (current + torn-down connections).
+  uint64_t upstream_retransmits() const;
+  /// Upstream sessions re-established after a failure.
+  uint64_t reconnects() const { return reconnects_; }
 
  private:
   struct Block {
@@ -81,6 +93,9 @@ class ClientProxy : public rpc::RpcProgram,
   using BlockKey = std::pair<uint64_t, uint64_t>;  // (fileid, block)
 
   sim::Task<void> ensure_upstream();
+  /// Tears down both upstream connections, folding their retransmission
+  /// counters into the proxy totals first.
+  void drop_upstream();
   sim::Task<Buffer> forward(const rpc::CallContext& ctx, ByteView args);
   sim::Task<void> cache_disk_io(uint64_t fileid, uint64_t block,
                                 size_t bytes, bool write);
@@ -130,6 +145,8 @@ class ClientProxy : public rpc::RpcProgram,
   uint64_t cancelled_writeback_bytes_ = 0;
   uint64_t flushed_bytes_ = 0;
   uint32_t handshakes_ = 0;
+  uint64_t retransmits_accumulated_ = 0;
+  uint64_t reconnects_ = 0;
 
   std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
 };

@@ -44,6 +44,14 @@ class ServerProxy : public rpc::RpcProgram,
   sim::Task<Buffer> handle(const rpc::CallContext& ctx,
                            ByteView args) override;
 
+  /// Keep replies of non-idempotent NFS ops in the RPC server's
+  /// duplicate-request cache: the WAN-facing session is where client-proxy
+  /// retransmissions (and resends across re-established sessions) land.
+  bool cache_reply(const rpc::CallContext& ctx) const override {
+    return ctx.prog == nfs::kNfsProgram &&
+           !nfs::proc3_is_idempotent(static_cast<nfs::Proc3>(ctx.proc));
+  }
+
   /// Reloads gridmap/ACL/security configuration (paper §4.2: signal the
   /// proxy to reload its configuration file).
   void reload(ServerProxyConfig config);
@@ -54,6 +62,13 @@ class ServerProxy : public rpc::RpcProgram,
   uint64_t forwarded() const { return forwarded_; }
   uint64_t denied() const { return denied_; }
   uint64_t acl_decisions() const { return acl_decisions_; }
+  /// Duplicate-request cache activity on the WAN-facing RPC service.
+  uint64_t drc_hits() const {
+    return rpc_server_ ? rpc_server_->drc_hits() : 0;
+  }
+  uint64_t drc_inflight_drops() const {
+    return rpc_server_ ? rpc_server_->drc_inflight_drops() : 0;
+  }
 
  private:
   sim::Task<void> ensure_upstream();

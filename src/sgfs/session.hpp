@@ -14,6 +14,7 @@
 #include "common/config.hpp"
 #include "crypto/secure_channel.hpp"
 #include "net/network.hpp"
+#include "rpc/retry.hpp"
 #include "sgfs/acl.hpp"
 
 namespace sgfs::core {
@@ -94,6 +95,15 @@ struct ClientProxyConfig {
   net::Address server_proxy;
   CacheConfig cache;
   ProxyCostModel cost;
+  /// Upstream call retransmission policy; enable alongside a lossy
+  /// net::FaultPlan (defaults to disabled = wait forever).
+  rpc::RetryPolicy retry;
+  /// Session re-establishment: on upstream session failure (broken stream,
+  /// failed-closed secure channel, retransmission give-up) the proxy
+  /// re-handshakes and resends the call, up to this many times per call
+  /// before surfacing the error.  0 disables recovery.
+  int max_reconnects = 4;
+  sim::SimDur reconnect_backoff = 100 * sim::kMillisecond;
 
   ClientProxyConfig() = default;
 };

@@ -299,6 +299,61 @@ TEST(SecureChannel, RenegotiationRefreshesKeys) {
       });
 }
 
+TEST(SecureChannel, TamperedRecordRaisesMacErrorAndFailsClosed) {
+  Fixture f;
+  run_pair(
+      f,
+      [](SecureChannel& ch) -> Task<void> {
+        // Flip a ciphertext bit in flight (what a corrupting WAN link does).
+        ch.corrupt_next_record();
+        co_await ch.send(to_bytes("tampered in flight"));
+      },
+      [](SecureChannel& ch) -> Task<void> {
+        bool mac_error = false;
+        try {
+          (void)co_await ch.recv();
+        } catch (const MacError&) {
+          mac_error = true;
+        }
+        EXPECT_TRUE(mac_error);
+        EXPECT_TRUE(ch.failed());
+        // Fail-closed: the channel refuses further traffic in both
+        // directions.
+        bool send_refused = false;
+        try {
+          co_await ch.send(to_bytes("x"));
+        } catch (const SecurityError&) {
+          send_refused = true;
+        }
+        EXPECT_TRUE(send_refused);
+        bool recv_refused = false;
+        try {
+          (void)co_await ch.recv();
+        } catch (const SecurityError&) {
+          recv_refused = true;
+        }
+        EXPECT_TRUE(recv_refused);
+      });
+}
+
+TEST(SecureChannel, NullMacCannotDetectTampering) {
+  // Without a MAC (gfs-like suite) the corruption goes unnoticed — the
+  // paper's argument for the integrity-protected suites.
+  Fixture f(Cipher::kNull, MacAlgo::kNull);
+  run_pair(
+      f,
+      [](SecureChannel& ch) -> Task<void> {
+        ch.corrupt_next_record();
+        co_await ch.send(to_bytes("tampered in flight"));
+        ch.close();
+      },
+      [](SecureChannel& ch) -> Task<void> {
+        Buffer msg = co_await ch.recv();
+        EXPECT_EQ(msg.size(), std::string("tampered in flight").size());
+        EXPECT_NE(sgfs::to_string(msg), "tampered in flight");
+      });
+}
+
 TEST(SecureChannel, WireBytesAreNotPlaintext) {
   // Sniff the link: with AES enabled, the plaintext must not appear on the
   // wire.  We check by inspecting total bytes and a plaintext marker.

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "net/fault.hpp"
+
 namespace sgfs::net {
 namespace {
 
@@ -263,6 +265,74 @@ TEST(Network, LoopbackConnectSameHost) {
     s->close();
   }(net, h, &got));
   EXPECT_EQ(got, "local");
+}
+
+// --- fault plan ---------------------------------------------------------------
+
+TEST(FaultPlan, DeterministicReplay) {
+  auto run = [] {
+    FaultPlan plan(7);
+    plan.set_link_faults("a", "b", LinkFaults(0.3, 0.2));
+    std::vector<uint64_t> trace;
+    for (int i = 0; i < 200; ++i) {
+      trace.push_back(
+          static_cast<uint64_t>(plan.on_message("a", "b", i)));
+    }
+    trace.push_back(plan.delivered());
+    trace.push_back(plan.dropped());
+    trace.push_back(plan.corrupted());
+    return trace;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(FaultPlan, LoopbackExemptUnlessConfigured) {
+  FaultPlan plan(1);
+  plan.set_default_faults(LinkFaults(1.0, 0.0));
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(plan.on_message("h", "h", i), FaultPlan::Action::kDeliver);
+  }
+  EXPECT_EQ(plan.on_message("h", "other", 0), FaultPlan::Action::kDrop);
+  plan.set_link_faults("h", "h", LinkFaults(1.0, 0.0));
+  EXPECT_EQ(plan.on_message("h", "h", 0), FaultPlan::Action::kDrop);
+}
+
+TEST(FaultPlan, LinkBlackoutWindow) {
+  FaultPlan plan(2);
+  plan.add_link_blackout("client", "server", 10, 20);
+  EXPECT_EQ(plan.on_message("client", "server", 9),
+            FaultPlan::Action::kDeliver);
+  EXPECT_EQ(plan.on_message("server", "client", 10),
+            FaultPlan::Action::kDrop);
+  EXPECT_EQ(plan.on_message("client", "server", 19),
+            FaultPlan::Action::kDrop);
+  EXPECT_EQ(plan.on_message("client", "server", 20),
+            FaultPlan::Action::kDeliver);
+  EXPECT_EQ(plan.on_message("client", "third", 15),
+            FaultPlan::Action::kDeliver);
+  EXPECT_EQ(plan.blackout_drops(), 2u);
+  EXPECT_EQ(plan.dropped(), 2u);
+}
+
+TEST(FaultPlan, HostBlackoutCoversAllTraffic) {
+  FaultPlan plan(3);
+  plan.add_host_blackout("server", 100, 200);
+  EXPECT_EQ(plan.on_message("client", "server", 150),
+            FaultPlan::Action::kDrop);
+  EXPECT_EQ(plan.on_message("server", "client", 150),
+            FaultPlan::Action::kDrop);
+  EXPECT_EQ(plan.on_message("client", "other", 150),
+            FaultPlan::Action::kDeliver);
+  EXPECT_EQ(plan.on_message("client", "server", 250),
+            FaultPlan::Action::kDeliver);
+}
+
+TEST(FaultPlan, CertainCorruption) {
+  FaultPlan plan(4);
+  plan.set_link_faults("a", "b", LinkFaults(0.0, 1.0));
+  EXPECT_EQ(plan.on_message("a", "b", 0), FaultPlan::Action::kCorrupt);
+  EXPECT_EQ(plan.corrupted(), 1u);
+  EXPECT_EQ(plan.delivered(), 0u);
 }
 
 }  // namespace

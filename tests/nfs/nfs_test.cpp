@@ -452,6 +452,74 @@ TEST(NfsServer, OpCountersTrack) {
   }(rig));
 }
 
+TEST(Nfs3Drc, RetransmittedCreateReturnsOriginalReply) {
+  Rig rig;
+  Buffer wire1, wire2;
+  rig.eng.run_task([](Rig& rig, Buffer* w1, Buffer* w2) -> Task<void> {
+    net::Address addr("server", 2049);
+    rpc::AuthSys auth(1000, 1000, "client");
+    auto ops = co_await V3WireOps::connect(*rig.client_host, addr, auth);
+    Fh root = co_await ops->mount("/GFS");
+    LookupRes dir = co_await ops->lookup(root, "data");
+    ops->close();
+
+    // A raw NFSv3 CREATE, retransmitted byte-for-byte with the same xid —
+    // the duplicate-request cache must return the original reply instead of
+    // re-running the (non-idempotent) procedure.
+    CreateArgs cargs;
+    cargs.dir = dir.fh;
+    cargs.name = "drc.txt";
+    cargs.mode = 0644;
+    cargs.exclusive = true;  // a re-execution would fail with kExist
+    xdr::Encoder enc;
+    cargs.encode(enc);
+    rpc::CallMsg call;
+    call.xid = 424242;
+    call.prog = kNfsProgram;
+    call.vers = kNfsVersion3;
+    call.proc = static_cast<uint32_t>(Proc3::kCreate);
+    call.cred = rpc::OpaqueAuth::sys(auth);
+    call.args.assign(enc.data().begin(), enc.data().end());
+    const Buffer wire = call.serialize();
+
+    net::StreamPtr s = co_await rig.net.connect(*rig.client_host, addr);
+    rpc::StreamTransport t(std::move(s));
+    co_await t.send(wire);
+    *w1 = co_await t.recv();
+    co_await t.send(wire);
+    *w2 = co_await t.recv();
+    t.close();
+  }(rig, &wire1, &wire2));
+
+  // Byte-identical replies, one execution, one cache hit.
+  EXPECT_EQ(wire1, wire2);
+  EXPECT_EQ(rig.nfs_server->ops_for(Proc3::kCreate), 1u);
+  EXPECT_EQ(rig.rpc_server->drc_hits(), 1u);
+  rpc::ReplyMsg reply = rpc::ReplyMsg::deserialize(wire1);
+  xdr::Decoder dec(reply.results);
+  CreateRes res = CreateRes::decode(dec);
+  EXPECT_EQ(res.status, Status::kOk);
+}
+
+TEST(Nfs3Drc, IdempotentOpsAreNotCached) {
+  Rig rig;
+  rig.eng.run_task([](Rig& rig) -> Task<void> {
+    net::Address addr("server", 2049);
+    rpc::AuthSys auth(1000, 1000, "client");
+    auto ops = co_await V3WireOps::connect(*rig.client_host, addr, auth);
+    Fh root = co_await ops->mount("/GFS");
+    (void)co_await ops->getattr(root);
+    ops->close();
+  }(rig));
+  EXPECT_EQ(rig.rpc_server->drc_hits(), 0u);
+  EXPECT_TRUE(proc3_is_idempotent(Proc3::kGetattr));
+  EXPECT_TRUE(proc3_is_idempotent(Proc3::kRead));
+  EXPECT_FALSE(proc3_is_idempotent(Proc3::kCreate));
+  EXPECT_FALSE(proc3_is_idempotent(Proc3::kRemove));
+  EXPECT_FALSE(proc3_is_idempotent(Proc3::kRename));
+  EXPECT_FALSE(proc3_is_idempotent(Proc3::kSetattr));
+}
+
 TEST(NfsV4, CompoundCountsTrack) {
   Rig rig;
   auto v4 = std::make_shared<Nfs4Server>(rig.nfs_server);

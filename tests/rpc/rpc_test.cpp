@@ -1,7 +1,9 @@
 #include <gtest/gtest.h>
 
+#include "net/fault.hpp"
 #include "rpc/rpc_client.hpp"
 #include "rpc/rpc_server.hpp"
+#include "sim/channel.hpp"
 
 namespace sgfs::rpc {
 namespace {
@@ -278,6 +280,248 @@ TEST(Rpc, ServerStopUnblocksClients) {
     }
   }(f, &failed));
   EXPECT_TRUE(failed);
+}
+
+// --- failure paths: send errors, malformed replies, close races ---------------
+
+// Scripted transport test double: outbound messages are recorded; inbound
+// messages are fed by the test through a channel.
+class ScriptedTransport final : public MsgTransport {
+ public:
+  explicit ScriptedTransport(sim::Engine& eng) : inbound(eng) {}
+
+  sim::Task<void> send(ByteView message) override {
+    if (fail_sends) throw std::runtime_error("injected send failure");
+    sent.emplace_back(message.begin(), message.end());
+    co_return;
+  }
+  sim::Task<Buffer> recv() override {
+    auto msg = co_await inbound.recv();
+    if (!msg) throw net::StreamClosed();
+    co_return std::move(*msg);
+  }
+  void close() override { inbound.close(); }
+  std::string peer_host() const override { return "peer"; }
+
+  sim::Channel<Buffer> inbound;
+  std::vector<Buffer> sent;
+  bool fail_sends = false;
+};
+
+TEST(Rpc, SendFailureLeavesPendingEmpty) {
+  Engine eng;
+  auto transport = std::make_unique<ScriptedTransport>(eng);
+  auto* t = transport.get();
+  RpcClient client(eng, std::move(transport), kProg, kVers);
+  t->fail_sends = true;
+  bool threw = false;
+  eng.run_task([](RpcClient& c, bool* out) -> Task<void> {
+    try {
+      co_await c.call(1, to_bytes("x"));
+    } catch (const std::runtime_error&) {
+      *out = true;
+    }
+  }(client, &threw));
+  EXPECT_TRUE(threw);
+  EXPECT_EQ(client.pending_calls(), 0u);
+
+  // The client survives the send failure: once the transport recovers, a
+  // new call goes through.
+  t->fail_sends = false;
+  std::string got;
+  eng.run_task([](Engine& eng, RpcClient& c, ScriptedTransport& t,
+                  std::string* out) -> Task<void> {
+    sim::SimEvent done(eng);
+    eng.spawn([](RpcClient& c, std::string* out,
+                 sim::SimEvent* done) -> Task<void> {
+      Buffer r = co_await c.call(1, to_bytes("ping"));
+      *out = sgfs::to_string(r);
+      done->set();
+    }(c, out, &done));
+    co_await eng.sleep(1_ms);
+    CallMsg call = CallMsg::deserialize(t.sent.back());
+    t.inbound.send(ReplyMsg::success(call.xid, to_bytes("pong")).serialize());
+    co_await done.wait();
+  }(eng, client, *t, &got));
+  EXPECT_EQ(got, "pong");
+}
+
+TEST(Rpc, MalformedReplyDroppedWithoutKillingOtherCalls) {
+  Engine eng;
+  auto transport = std::make_unique<ScriptedTransport>(eng);
+  auto* t = transport.get();
+  RpcClient client(eng, std::move(transport), kProg, kVers);
+  std::string got;
+  eng.run_task([](Engine& eng, RpcClient& c, ScriptedTransport& t,
+                  std::string* out) -> Task<void> {
+    sim::SimEvent done(eng);
+    eng.spawn([](RpcClient& c, std::string* out,
+                 sim::SimEvent* done) -> Task<void> {
+      Buffer r = co_await c.call(1, to_bytes("ping"));
+      *out = sgfs::to_string(r);
+      done->set();
+    }(c, out, &done));
+    co_await eng.sleep(1_ms);
+    t.inbound.send(Buffer{0x01, 0x02, 0x03});  // not a ReplyMsg
+    co_await eng.sleep(1_ms);
+    CallMsg call = CallMsg::deserialize(t.sent.back());
+    t.inbound.send(ReplyMsg::success(call.xid, to_bytes("pong")).serialize());
+    co_await done.wait();
+  }(eng, client, *t, &got));
+  EXPECT_EQ(got, "pong");
+  EXPECT_EQ(client.pending_calls(), 0u);
+}
+
+TEST(Rpc, ReplyForUnknownXidIgnored) {
+  Engine eng;
+  auto transport = std::make_unique<ScriptedTransport>(eng);
+  auto* t = transport.get();
+  RpcClient client(eng, std::move(transport), kProg, kVers);
+  std::string got;
+  eng.run_task([](Engine& eng, RpcClient& c, ScriptedTransport& t,
+                  std::string* out) -> Task<void> {
+    sim::SimEvent done(eng);
+    eng.spawn([](RpcClient& c, std::string* out,
+                 sim::SimEvent* done) -> Task<void> {
+      Buffer r = co_await c.call(1, to_bytes("ping"));
+      *out = sgfs::to_string(r);
+      done->set();
+    }(c, out, &done));
+    co_await eng.sleep(1_ms);
+    CallMsg call = CallMsg::deserialize(t.sent.back());
+    // A well-formed reply for an xid that was never issued.
+    t.inbound.send(
+        ReplyMsg::success(call.xid ^ 0x55555555u, to_bytes("stray"))
+            .serialize());
+    co_await eng.sleep(1_ms);
+    t.inbound.send(ReplyMsg::success(call.xid, to_bytes("pong")).serialize());
+    co_await done.wait();
+  }(eng, client, *t, &got));
+  EXPECT_EQ(got, "pong");
+  EXPECT_EQ(client.pending_calls(), 0u);
+}
+
+TEST(Rpc, CloseIdempotentWithOutstandingCall) {
+  Engine eng;
+  auto transport = std::make_unique<ScriptedTransport>(eng);
+  RpcClient client(eng, std::move(transport), kProg, kVers);
+  bool failed = false;
+  eng.run_task([](Engine& eng, RpcClient& c, bool* out) -> Task<void> {
+    sim::SimEvent done(eng);
+    eng.spawn([](RpcClient& c, bool* out, sim::SimEvent* done) -> Task<void> {
+      try {
+        co_await c.call(1, to_bytes("never answered"));
+      } catch (const net::StreamClosed&) {
+        *out = true;
+      }
+      done->set();
+    }(c, out, &done));
+    co_await eng.sleep(1_ms);
+    c.close();
+    c.close();  // second close must be a no-op
+    co_await done.wait();
+    c.close();  // and after the failure propagated, still a no-op
+  }(eng, client, &failed));
+  EXPECT_TRUE(failed);
+  EXPECT_EQ(client.pending_calls(), 0u);
+}
+
+// --- retransmission + duplicate-request cache ---------------------------------
+
+TEST(Rpc, RetransmissionRecoversFromLoss) {
+  Fixture f;
+  auto plan = std::make_shared<net::FaultPlan>(99);
+  // Both the first send and the 1s retransmission fall into the blackout;
+  // the second retransmission (t=3s) gets through.
+  plan->add_link_blackout("client", "server", 0, 1500 * sim::kMillisecond);
+  f.net.set_fault_plan(plan);
+  std::string got;
+  uint64_t retransmits = 0;
+  f.eng.run_task([](Fixture& f, std::string* out,
+                    uint64_t* rexmit) -> Task<void> {
+    net::Address addr("server", 2049);
+    auto client = co_await clnt_create(*f.client_host, addr, kProg, kVers);
+    client->set_retry(RetryPolicy::standard());
+    Buffer r = co_await client->call(1, to_bytes("are you there"));
+    *out = sgfs::to_string(r);
+    *rexmit = client->retransmits();
+    client->close();
+  }(f, &got, &retransmits));
+  EXPECT_EQ(got, "are you there");
+  EXPECT_GE(retransmits, 1u);
+  EXPECT_GT(plan->blackout_drops(), 0u);
+}
+
+TEST(Rpc, GiveUpPolicyRaisesRpcTimeout) {
+  Fixture f;
+  auto plan = std::make_shared<net::FaultPlan>(100);
+  plan->set_link_faults("client", "server", net::LinkFaults(1.0, 0.0));
+  f.net.set_fault_plan(plan);
+  bool timed_out = false;
+  f.eng.run_task([](Fixture& f, bool* out) -> Task<void> {
+    net::Address addr("server", 2049);
+    auto client = co_await clnt_create(*f.client_host, addr, kProg, kVers);
+    RetryPolicy retry = RetryPolicy::standard();
+    retry.max_retransmits = 2;
+    client->set_retry(retry);
+    try {
+      co_await client->call(1, to_bytes("void"));
+    } catch (const RpcTimeout&) {
+      *out = true;
+    }
+    client->close();
+  }(f, &timed_out));
+  EXPECT_TRUE(timed_out);
+}
+
+// Counts executions; replies carry the execution ordinal, so a replayed
+// reply is distinguishable from a re-execution.
+class CountingProgram : public RpcProgram {
+ public:
+  sim::Task<Buffer> handle(const CallContext&, ByteView) override {
+    xdr::Encoder enc;
+    enc.put_u32(++count_);
+    co_return enc.take();
+  }
+  bool cache_reply(const CallContext&) const override { return true; }
+  uint32_t count() const { return count_; }
+
+ private:
+  uint32_t count_ = 0;
+};
+
+TEST(Rpc, DuplicateRequestCacheReplaysReply) {
+  Engine eng;
+  net::Network net(eng);
+  net::Host& ch = net.add_host("client");
+  net::Host& sh = net.add_host("server");
+  auto program = std::make_shared<CountingProgram>();
+  RpcServer server(sh, 2049);
+  server.register_program(kProg, kVers, program);
+  server.start();
+  Buffer first, second;
+  eng.run_task([](net::Network& net, net::Host& chost, Buffer* r1,
+                  Buffer* r2) -> Task<void> {
+    net::StreamPtr s = co_await net.connect(chost, net::Address("server",
+                                                                2049));
+    StreamTransport t(std::move(s));
+    CallMsg call;
+    call.xid = 7777;
+    call.prog = kProg;
+    call.vers = kVers;
+    call.proc = 1;
+    const Buffer wire = call.serialize();
+    co_await t.send(wire);
+    *r1 = co_await t.recv();
+    // Byte-identical retransmission: the server must replay the cached
+    // reply, not run the handler a second time.
+    co_await t.send(wire);
+    *r2 = co_await t.recv();
+    t.close();
+  }(net, ch, &first, &second));
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(program->count(), 1u);
+  EXPECT_EQ(server.drc_hits(), 1u);
 }
 
 // --- secure RPC (clnt_ssl_create / svc_tli_ssl_create analogue) --------------

@@ -192,5 +192,39 @@ TEST(StatsTest, MeanAndStddev) {
   EXPECT_DOUBLE_EQ(stats_of({3.0}).stddev, 0.0);
 }
 
+// Small PostMark over a lossy+corrupting WAN: the run must complete, losses
+// must be recovered by retransmission, and retransmitted non-idempotent ops
+// must hit the server-side duplicate-request cache.  A corrupted secure
+// record fails the MAC check and forces a session re-establishment.
+TEST(TestbedFaults, PostmarkRecoversUnderLossAndCorruption) {
+  TestbedOptions opts;
+  opts.kind = SetupKind::kSgfs;
+  opts.loss_probability = 0.02;
+  opts.corrupt_probability = 0.002;
+  opts.seed = 4242;
+  Testbed tb(opts);
+  PostmarkParams params;
+  params.directories = 5;
+  params.files = 40;
+  params.transactions = 100;
+  params.seed = opts.seed;
+  double total = 0;
+  tb.engine().run_task([](Testbed& tb, PostmarkParams params,
+                          double* out) -> sim::Task<void> {
+    auto mp = co_await tb.mount();
+    auto times = co_await run_postmark(tb, mp, params);
+    *out = times.total();
+  }(tb, params, &total));
+  EXPECT_TRUE(tb.engine().errors().empty())
+      << (tb.engine().errors().empty() ? "" : tb.engine().errors()[0]);
+  EXPECT_GT(total, 0.0);
+  ASSERT_NE(tb.fault_plan(), nullptr);
+  EXPECT_GT(tb.fault_plan()->dropped(), 0u);
+  EXPECT_GT(tb.client_proxy()->upstream_retransmits(), 0u);
+  if (tb.fault_plan()->corrupted() > 0) {
+    EXPECT_GT(tb.client_proxy()->reconnects(), 0u);
+  }
+}
+
 }  // namespace
 }  // namespace sgfs::workloads
