@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_security.dir/ablation_security.cpp.o"
+  "CMakeFiles/ablation_security.dir/ablation_security.cpp.o.d"
+  "ablation_security"
+  "ablation_security.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_security.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

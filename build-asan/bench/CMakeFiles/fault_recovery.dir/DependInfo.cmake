@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fault_recovery.cpp" "bench/CMakeFiles/fault_recovery.dir/fault_recovery.cpp.o" "gcc" "bench/CMakeFiles/fault_recovery.dir/fault_recovery.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/workloads/CMakeFiles/sgfs_workloads.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/baselines/CMakeFiles/sgfs_baselines.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/sgfs/CMakeFiles/sgfs_core.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/nfs/CMakeFiles/sgfs_nfs.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/rpc/CMakeFiles/sgfs_rpc.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/vfs/CMakeFiles/sgfs_vfs.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/crypto/CMakeFiles/sgfs_crypto.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/xdr/CMakeFiles/sgfs_xdr.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/net/CMakeFiles/sgfs_net.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/sim/CMakeFiles/sgfs_sim.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/common/CMakeFiles/sgfs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

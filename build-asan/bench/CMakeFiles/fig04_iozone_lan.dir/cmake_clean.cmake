@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_iozone_lan.dir/fig04_iozone_lan.cpp.o"
+  "CMakeFiles/fig04_iozone_lan.dir/fig04_iozone_lan.cpp.o.d"
+  "fig04_iozone_lan"
+  "fig04_iozone_lan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_iozone_lan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

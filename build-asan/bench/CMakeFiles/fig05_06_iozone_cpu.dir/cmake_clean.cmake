@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_06_iozone_cpu.dir/fig05_06_iozone_cpu.cpp.o"
+  "CMakeFiles/fig05_06_iozone_cpu.dir/fig05_06_iozone_cpu.cpp.o.d"
+  "fig05_06_iozone_cpu"
+  "fig05_06_iozone_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_06_iozone_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

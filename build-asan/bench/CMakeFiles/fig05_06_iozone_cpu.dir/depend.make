@@ -1,0 +1,2 @@
+# Empty dependencies file for fig05_06_iozone_cpu.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_postmark_lan.dir/fig07_postmark_lan.cpp.o"
+  "CMakeFiles/fig07_postmark_lan.dir/fig07_postmark_lan.cpp.o.d"
+  "fig07_postmark_lan"
+  "fig07_postmark_lan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_postmark_lan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

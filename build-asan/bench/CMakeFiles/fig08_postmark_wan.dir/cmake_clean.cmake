@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_postmark_wan.dir/fig08_postmark_wan.cpp.o"
+  "CMakeFiles/fig08_postmark_wan.dir/fig08_postmark_wan.cpp.o.d"
+  "fig08_postmark_wan"
+  "fig08_postmark_wan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_postmark_wan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_mab.dir/fig09_mab.cpp.o"
+  "CMakeFiles/fig09_mab.dir/fig09_mab.cpp.o.d"
+  "fig09_mab"
+  "fig09_mab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_mab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_seismic.dir/fig10_seismic.cpp.o"
+  "CMakeFiles/fig10_seismic.dir/fig10_seismic.cpp.o.d"
+  "fig10_seismic"
+  "fig10_seismic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_seismic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

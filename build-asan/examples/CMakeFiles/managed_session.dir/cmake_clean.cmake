@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/managed_session.dir/managed_session.cpp.o"
+  "CMakeFiles/managed_session.dir/managed_session.cpp.o.d"
+  "managed_session"
+  "managed_session.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/managed_session.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

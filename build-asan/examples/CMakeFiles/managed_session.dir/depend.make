@@ -1,0 +1,2 @@
+# Empty dependencies file for managed_session.
+# This may be replaced when dependencies are built.

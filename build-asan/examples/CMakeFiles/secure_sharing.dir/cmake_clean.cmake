@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/secure_sharing.dir/secure_sharing.cpp.o"
+  "CMakeFiles/secure_sharing.dir/secure_sharing.cpp.o.d"
+  "secure_sharing"
+  "secure_sharing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/secure_sharing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

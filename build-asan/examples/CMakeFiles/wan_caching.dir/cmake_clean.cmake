@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wan_caching.dir/wan_caching.cpp.o"
+  "CMakeFiles/wan_caching.dir/wan_caching.cpp.o.d"
+  "wan_caching"
+  "wan_caching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wan_caching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

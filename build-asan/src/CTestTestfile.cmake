@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build-asan/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("sim")
+subdirs("net")
+subdirs("xdr")
+subdirs("crypto")
+subdirs("rpc")
+subdirs("vfs")
+subdirs("nfs")
+subdirs("sgfs")
+subdirs("services")
+subdirs("baselines")
+subdirs("workloads")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sgfs_baselines.dir/testbed.cpp.o"
+  "CMakeFiles/sgfs_baselines.dir/testbed.cpp.o.d"
+  "CMakeFiles/sgfs_baselines.dir/tunnel.cpp.o"
+  "CMakeFiles/sgfs_baselines.dir/tunnel.cpp.o.d"
+  "libsgfs_baselines.a"
+  "libsgfs_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sgfs_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

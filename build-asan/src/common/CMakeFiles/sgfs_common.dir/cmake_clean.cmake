@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sgfs_common.dir/bytes.cpp.o"
+  "CMakeFiles/sgfs_common.dir/bytes.cpp.o.d"
+  "CMakeFiles/sgfs_common.dir/config.cpp.o"
+  "CMakeFiles/sgfs_common.dir/config.cpp.o.d"
+  "CMakeFiles/sgfs_common.dir/log.cpp.o"
+  "CMakeFiles/sgfs_common.dir/log.cpp.o.d"
+  "CMakeFiles/sgfs_common.dir/rng.cpp.o"
+  "CMakeFiles/sgfs_common.dir/rng.cpp.o.d"
+  "libsgfs_common.a"
+  "libsgfs_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sgfs_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

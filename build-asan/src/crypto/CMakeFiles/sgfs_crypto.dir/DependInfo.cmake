@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crypto/aes.cpp" "src/crypto/CMakeFiles/sgfs_crypto.dir/aes.cpp.o" "gcc" "src/crypto/CMakeFiles/sgfs_crypto.dir/aes.cpp.o.d"
+  "/root/repo/src/crypto/bignum.cpp" "src/crypto/CMakeFiles/sgfs_crypto.dir/bignum.cpp.o" "gcc" "src/crypto/CMakeFiles/sgfs_crypto.dir/bignum.cpp.o.d"
+  "/root/repo/src/crypto/cert.cpp" "src/crypto/CMakeFiles/sgfs_crypto.dir/cert.cpp.o" "gcc" "src/crypto/CMakeFiles/sgfs_crypto.dir/cert.cpp.o.d"
+  "/root/repo/src/crypto/rc4.cpp" "src/crypto/CMakeFiles/sgfs_crypto.dir/rc4.cpp.o" "gcc" "src/crypto/CMakeFiles/sgfs_crypto.dir/rc4.cpp.o.d"
+  "/root/repo/src/crypto/rsa.cpp" "src/crypto/CMakeFiles/sgfs_crypto.dir/rsa.cpp.o" "gcc" "src/crypto/CMakeFiles/sgfs_crypto.dir/rsa.cpp.o.d"
+  "/root/repo/src/crypto/secure_channel.cpp" "src/crypto/CMakeFiles/sgfs_crypto.dir/secure_channel.cpp.o" "gcc" "src/crypto/CMakeFiles/sgfs_crypto.dir/secure_channel.cpp.o.d"
+  "/root/repo/src/crypto/sha.cpp" "src/crypto/CMakeFiles/sgfs_crypto.dir/sha.cpp.o" "gcc" "src/crypto/CMakeFiles/sgfs_crypto.dir/sha.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/common/CMakeFiles/sgfs_common.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/xdr/CMakeFiles/sgfs_xdr.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/net/CMakeFiles/sgfs_net.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/sim/CMakeFiles/sgfs_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sgfs_crypto.dir/aes.cpp.o"
+  "CMakeFiles/sgfs_crypto.dir/aes.cpp.o.d"
+  "CMakeFiles/sgfs_crypto.dir/bignum.cpp.o"
+  "CMakeFiles/sgfs_crypto.dir/bignum.cpp.o.d"
+  "CMakeFiles/sgfs_crypto.dir/cert.cpp.o"
+  "CMakeFiles/sgfs_crypto.dir/cert.cpp.o.d"
+  "CMakeFiles/sgfs_crypto.dir/rc4.cpp.o"
+  "CMakeFiles/sgfs_crypto.dir/rc4.cpp.o.d"
+  "CMakeFiles/sgfs_crypto.dir/rsa.cpp.o"
+  "CMakeFiles/sgfs_crypto.dir/rsa.cpp.o.d"
+  "CMakeFiles/sgfs_crypto.dir/secure_channel.cpp.o"
+  "CMakeFiles/sgfs_crypto.dir/secure_channel.cpp.o.d"
+  "CMakeFiles/sgfs_crypto.dir/sha.cpp.o"
+  "CMakeFiles/sgfs_crypto.dir/sha.cpp.o.d"
+  "libsgfs_crypto.a"
+  "libsgfs_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sgfs_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

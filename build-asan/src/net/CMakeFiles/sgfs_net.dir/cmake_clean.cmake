@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sgfs_net.dir/fault.cpp.o"
+  "CMakeFiles/sgfs_net.dir/fault.cpp.o.d"
+  "CMakeFiles/sgfs_net.dir/host.cpp.o"
+  "CMakeFiles/sgfs_net.dir/host.cpp.o.d"
+  "CMakeFiles/sgfs_net.dir/network.cpp.o"
+  "CMakeFiles/sgfs_net.dir/network.cpp.o.d"
+  "libsgfs_net.a"
+  "libsgfs_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sgfs_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nfs/nfs3.cpp" "src/nfs/CMakeFiles/sgfs_nfs.dir/nfs3.cpp.o" "gcc" "src/nfs/CMakeFiles/sgfs_nfs.dir/nfs3.cpp.o.d"
+  "/root/repo/src/nfs/nfs3_client.cpp" "src/nfs/CMakeFiles/sgfs_nfs.dir/nfs3_client.cpp.o" "gcc" "src/nfs/CMakeFiles/sgfs_nfs.dir/nfs3_client.cpp.o.d"
+  "/root/repo/src/nfs/nfs3_server.cpp" "src/nfs/CMakeFiles/sgfs_nfs.dir/nfs3_server.cpp.o" "gcc" "src/nfs/CMakeFiles/sgfs_nfs.dir/nfs3_server.cpp.o.d"
+  "/root/repo/src/nfs/nfs4.cpp" "src/nfs/CMakeFiles/sgfs_nfs.dir/nfs4.cpp.o" "gcc" "src/nfs/CMakeFiles/sgfs_nfs.dir/nfs4.cpp.o.d"
+  "/root/repo/src/nfs/wire_ops.cpp" "src/nfs/CMakeFiles/sgfs_nfs.dir/wire_ops.cpp.o" "gcc" "src/nfs/CMakeFiles/sgfs_nfs.dir/wire_ops.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/rpc/CMakeFiles/sgfs_rpc.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/vfs/CMakeFiles/sgfs_vfs.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/net/CMakeFiles/sgfs_net.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/common/CMakeFiles/sgfs_common.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/crypto/CMakeFiles/sgfs_crypto.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/sim/CMakeFiles/sgfs_sim.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/xdr/CMakeFiles/sgfs_xdr.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

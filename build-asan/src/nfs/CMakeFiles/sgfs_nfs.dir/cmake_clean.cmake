@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sgfs_nfs.dir/nfs3.cpp.o"
+  "CMakeFiles/sgfs_nfs.dir/nfs3.cpp.o.d"
+  "CMakeFiles/sgfs_nfs.dir/nfs3_client.cpp.o"
+  "CMakeFiles/sgfs_nfs.dir/nfs3_client.cpp.o.d"
+  "CMakeFiles/sgfs_nfs.dir/nfs3_server.cpp.o"
+  "CMakeFiles/sgfs_nfs.dir/nfs3_server.cpp.o.d"
+  "CMakeFiles/sgfs_nfs.dir/nfs4.cpp.o"
+  "CMakeFiles/sgfs_nfs.dir/nfs4.cpp.o.d"
+  "CMakeFiles/sgfs_nfs.dir/wire_ops.cpp.o"
+  "CMakeFiles/sgfs_nfs.dir/wire_ops.cpp.o.d"
+  "libsgfs_nfs.a"
+  "libsgfs_nfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sgfs_nfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

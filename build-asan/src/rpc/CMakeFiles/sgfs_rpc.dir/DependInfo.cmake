@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rpc/rpc_client.cpp" "src/rpc/CMakeFiles/sgfs_rpc.dir/rpc_client.cpp.o" "gcc" "src/rpc/CMakeFiles/sgfs_rpc.dir/rpc_client.cpp.o.d"
+  "/root/repo/src/rpc/rpc_msg.cpp" "src/rpc/CMakeFiles/sgfs_rpc.dir/rpc_msg.cpp.o" "gcc" "src/rpc/CMakeFiles/sgfs_rpc.dir/rpc_msg.cpp.o.d"
+  "/root/repo/src/rpc/rpc_server.cpp" "src/rpc/CMakeFiles/sgfs_rpc.dir/rpc_server.cpp.o" "gcc" "src/rpc/CMakeFiles/sgfs_rpc.dir/rpc_server.cpp.o.d"
+  "/root/repo/src/rpc/transport.cpp" "src/rpc/CMakeFiles/sgfs_rpc.dir/transport.cpp.o" "gcc" "src/rpc/CMakeFiles/sgfs_rpc.dir/transport.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/crypto/CMakeFiles/sgfs_crypto.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/net/CMakeFiles/sgfs_net.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/xdr/CMakeFiles/sgfs_xdr.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/common/CMakeFiles/sgfs_common.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/sim/CMakeFiles/sgfs_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

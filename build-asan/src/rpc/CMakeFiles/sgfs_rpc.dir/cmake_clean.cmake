@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sgfs_rpc.dir/rpc_client.cpp.o"
+  "CMakeFiles/sgfs_rpc.dir/rpc_client.cpp.o.d"
+  "CMakeFiles/sgfs_rpc.dir/rpc_msg.cpp.o"
+  "CMakeFiles/sgfs_rpc.dir/rpc_msg.cpp.o.d"
+  "CMakeFiles/sgfs_rpc.dir/rpc_server.cpp.o"
+  "CMakeFiles/sgfs_rpc.dir/rpc_server.cpp.o.d"
+  "CMakeFiles/sgfs_rpc.dir/transport.cpp.o"
+  "CMakeFiles/sgfs_rpc.dir/transport.cpp.o.d"
+  "libsgfs_rpc.a"
+  "libsgfs_rpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sgfs_rpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sgfs_services.dir/envelope.cpp.o"
+  "CMakeFiles/sgfs_services.dir/envelope.cpp.o.d"
+  "CMakeFiles/sgfs_services.dir/services.cpp.o"
+  "CMakeFiles/sgfs_services.dir/services.cpp.o.d"
+  "libsgfs_services.a"
+  "libsgfs_services.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sgfs_services.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sgfs_core.dir/acl.cpp.o"
+  "CMakeFiles/sgfs_core.dir/acl.cpp.o.d"
+  "CMakeFiles/sgfs_core.dir/client_proxy.cpp.o"
+  "CMakeFiles/sgfs_core.dir/client_proxy.cpp.o.d"
+  "CMakeFiles/sgfs_core.dir/server_proxy.cpp.o"
+  "CMakeFiles/sgfs_core.dir/server_proxy.cpp.o.d"
+  "CMakeFiles/sgfs_core.dir/session.cpp.o"
+  "CMakeFiles/sgfs_core.dir/session.cpp.o.d"
+  "libsgfs_core.a"
+  "libsgfs_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sgfs_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

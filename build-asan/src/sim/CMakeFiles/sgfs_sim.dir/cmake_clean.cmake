@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sgfs_sim.dir/engine.cpp.o"
+  "CMakeFiles/sgfs_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/sgfs_sim.dir/resource.cpp.o"
+  "CMakeFiles/sgfs_sim.dir/resource.cpp.o.d"
+  "libsgfs_sim.a"
+  "libsgfs_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sgfs_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sgfs_vfs.dir/vfs.cpp.o"
+  "CMakeFiles/sgfs_vfs.dir/vfs.cpp.o.d"
+  "libsgfs_vfs.a"
+  "libsgfs_vfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sgfs_vfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

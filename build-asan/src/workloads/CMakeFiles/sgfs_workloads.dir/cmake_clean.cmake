@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sgfs_workloads.dir/workloads.cpp.o"
+  "CMakeFiles/sgfs_workloads.dir/workloads.cpp.o.d"
+  "libsgfs_workloads.a"
+  "libsgfs_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sgfs_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

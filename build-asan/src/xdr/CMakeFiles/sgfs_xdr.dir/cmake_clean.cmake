@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sgfs_xdr.dir/xdr.cpp.o"
+  "CMakeFiles/sgfs_xdr.dir/xdr.cpp.o.d"
+  "libsgfs_xdr.a"
+  "libsgfs_xdr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sgfs_xdr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_crypto.dir/crypto/bignum_test.cpp.o"
+  "CMakeFiles/test_crypto.dir/crypto/bignum_test.cpp.o.d"
+  "CMakeFiles/test_crypto.dir/crypto/cipher_test.cpp.o"
+  "CMakeFiles/test_crypto.dir/crypto/cipher_test.cpp.o.d"
+  "CMakeFiles/test_crypto.dir/crypto/rsa_cert_test.cpp.o"
+  "CMakeFiles/test_crypto.dir/crypto/rsa_cert_test.cpp.o.d"
+  "CMakeFiles/test_crypto.dir/crypto/secure_channel_test.cpp.o"
+  "CMakeFiles/test_crypto.dir/crypto/secure_channel_test.cpp.o.d"
+  "CMakeFiles/test_crypto.dir/crypto/sha_test.cpp.o"
+  "CMakeFiles/test_crypto.dir/crypto/sha_test.cpp.o.d"
+  "test_crypto"
+  "test_crypto.pdb"
+  "test_crypto[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nfs.dir/nfs/nfs_test.cpp.o"
+  "CMakeFiles/test_nfs.dir/nfs/nfs_test.cpp.o.d"
+  "test_nfs"
+  "test_nfs.pdb"
+  "test_nfs[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

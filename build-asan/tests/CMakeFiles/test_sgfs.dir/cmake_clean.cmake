@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sgfs.dir/sgfs/proxy_test.cpp.o"
+  "CMakeFiles/test_sgfs.dir/sgfs/proxy_test.cpp.o.d"
+  "test_sgfs"
+  "test_sgfs.pdb"
+  "test_sgfs[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sgfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

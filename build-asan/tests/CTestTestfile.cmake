@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build-asan/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-asan/tests/test_common[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_sim[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_net[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_xdr[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_crypto[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_rpc[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_vfs[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_nfs[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_sgfs[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_workloads[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_services[1]_include.cmake")
