@@ -13,7 +13,8 @@ using baselines::TestbedOptions;
 namespace {
 
 double run_mab_total(TestbedOptions opts, const MabParams& params,
-                     bool write_back, core::Consistency consistency) {
+                     bool write_back, core::Consistency consistency,
+                     std::string* metrics_out = nullptr) {
   opts.proxy_write_back = write_back;
   opts.consistency = consistency;
   Testbed tb(opts);
@@ -27,6 +28,9 @@ double run_mab_total(TestbedOptions opts, const MabParams& params,
     (void)co_await tb.flush_session();
     *out = times.total();
   }(tb, params, &total));
+  if (metrics_out) {
+    *metrics_out = obs::format_summary(tb.engine().metrics(), "    ");
+  }
   return total;
 }
 
@@ -52,21 +56,28 @@ int main(int argc, char** argv) {
   TestbedOptions full = base;
   full.proxy_disk_cache = true;
 
+  std::string m_none, m_full, m_wt, m_reval;
   const double t_none =
       run_mab_total(no_cache, params, true,
-                    core::Consistency::kSessionExclusive);
+                    core::Consistency::kSessionExclusive, &m_none);
   const double t_full = run_mab_total(
-      full, params, true, core::Consistency::kSessionExclusive);
+      full, params, true, core::Consistency::kSessionExclusive, &m_full);
   const double t_wt = run_mab_total(full, params, /*write_back=*/false,
-                                    core::Consistency::kSessionExclusive);
+                                    core::Consistency::kSessionExclusive,
+                                    &m_wt);
   const double t_reval = run_mab_total(full, params, true,
-                                       core::Consistency::kRevalidate);
+                                       core::Consistency::kRevalidate,
+                                       &m_reval);
 
   print_row("no disk cache", t_none, 0, "(baseline: secure proxies only)");
+  std::fputs(m_none.c_str(), stdout);
   print_row("full cache", t_full, 0, "(write-back, session-exclusive)");
+  std::fputs(m_full.c_str(), stdout);
   print_row("write-through", t_wt, 0, "(cache data, but no write-back)");
+  std::fputs(m_wt.c_str(), stdout);
   print_row("revalidate", t_reval, 0, "(TTL consistency instead of "
                                       "session-exclusive)");
+  std::fputs(m_reval.c_str(), stdout);
   std::printf("\n");
   print_check("no-cache / full cache (caching benefit)", t_none / t_full,
               "> 2 expected at 40ms");

@@ -12,7 +12,8 @@ using baselines::TestbedOptions;
 
 namespace {
 
-double run_pm(TestbedOptions opts, const PostmarkParams& params) {
+double run_pm(TestbedOptions opts, const PostmarkParams& params,
+              std::string* metrics_out = nullptr) {
   Testbed tb(opts);
   double total = 0;
   tb.engine().run_task([](Testbed& tb, PostmarkParams p,
@@ -21,6 +22,9 @@ double run_pm(TestbedOptions opts, const PostmarkParams& params) {
     auto times = co_await run_postmark(tb, mp, p);
     *out = times.total();
   }(tb, params, &total));
+  if (metrics_out) {
+    *metrics_out = obs::format_summary(tb.engine().metrics(), "    ");
+  }
   return total;
 }
 
@@ -61,10 +65,12 @@ int main(int argc, char** argv) {
     opts.kind = SetupKind::kSgfs;
     opts.cipher = v.cipher;
     opts.mac = v.mac;
-    const double t = run_pm(opts, params);
+    std::string metrics;
+    const double t = run_pm(opts, params, &metrics);
     if (weakest == 0) weakest = t;
     std::printf("  %-28s %8.1f s   (+%4.1f%% vs weakest)\n", v.name, t,
                 100.0 * (t - weakest) / weakest);
+    std::fputs(metrics.c_str(), stdout);
   }
   return 0;
 }

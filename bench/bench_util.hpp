@@ -12,6 +12,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "workloads/workloads.hpp"
 
 namespace sgfs::bench {
@@ -70,6 +72,48 @@ inline void print_check(const std::string& what, double measured,
                         const std::string& paper) {
   std::printf("  check: %-44s measured %6.2f   paper %s\n", what.c_str(),
               measured, paper.c_str());
+}
+
+/// Prints the per-layer metrics summary for one simulation (RPC counts,
+/// cache hit ratios, retransmits, crypto bytes, queue waits), indented
+/// under an optional label.  Call right after the timing line so each
+/// config's decomposition sits next to its number.
+inline void print_metrics(const obs::MetricsRegistry& reg,
+                          const std::string& label = "") {
+  if (!label.empty()) std::printf("    -- metrics: %s --\n", label.c_str());
+  std::string summary = obs::format_summary(reg, "    ");
+  if (summary.empty()) summary = "    (no metrics recorded)\n";
+  std::fputs(summary.c_str(), stdout);
+}
+
+/// True when the user asked for an RPC span trace (--trace=PATH).
+inline bool trace_requested(const Flags& flags) {
+  return flags.raw.count("trace") > 0;
+}
+
+/// Dumps the engine's recorded spans to "<--trace value>.<tag>.jsonl".
+/// The tag (often a human-readable row label) is sanitized to a filename-safe
+/// token.
+inline void dump_trace(const Flags& flags, const sim::Engine& eng,
+                       const std::string& tag) {
+  auto it = flags.raw.find("trace");
+  if (it == flags.raw.end()) return;
+  std::string safe_tag;
+  for (char ch : tag) {
+    const bool ok = (ch >= 'a' && ch <= 'z') || (ch >= 'A' && ch <= 'Z') ||
+                    (ch >= '0' && ch <= '9') || ch == '-' || ch == '_' ||
+                    ch == '.';
+    safe_tag += ok ? ch : '_';
+  }
+  const std::string path = it->second + "." + safe_tag + ".jsonl";
+  if (eng.tracer().dump_jsonl_file(path)) {
+    std::printf("    trace: %llu spans -> %s\n",
+                static_cast<unsigned long long>(eng.tracer().spans().size()),
+                path.c_str());
+  } else {
+    std::fprintf(stderr, "WARNING: could not write trace to %s\n",
+                 path.c_str());
+  }
 }
 
 /// Runs `body(testbed)` once per seed; returns per-phase vectors of totals.

@@ -42,7 +42,9 @@ struct RunResult {
 };
 
 RunResult run_once(double loss, double corrupt, PostmarkParams params,
-                   uint64_t seed) {
+                   uint64_t seed, const Flags& flags,
+                   const std::string& trace_tag = "",
+                   std::string* metrics_out = nullptr) {
   TestbedOptions opts;
   opts.kind = SetupKind::kSgfs;
   opts.cipher = crypto::Cipher::kAes256Cbc;
@@ -52,6 +54,9 @@ RunResult run_once(double loss, double corrupt, PostmarkParams params,
   opts.corrupt_probability = corrupt;
   opts.seed = seed;
   Testbed tb(opts);
+  if (metrics_out != nullptr && trace_requested(flags)) {
+    tb.engine().tracer().set_enabled(true);
+  }
   params.seed = seed;
   RunResult out;
   tb.engine().run_task([](Testbed& tb, PostmarkParams p,
@@ -70,6 +75,10 @@ RunResult run_once(double loss, double corrupt, PostmarkParams params,
     out.delivered = plan->delivered();
     out.dropped = plan->dropped();
     out.corrupted = plan->corrupted();
+  }
+  if (metrics_out != nullptr) {
+    *metrics_out = obs::format_summary(tb.engine().metrics(), "    ");
+    dump_trace(flags, tb.engine(), trace_tag);
   }
   return out;
 }
@@ -111,7 +120,9 @@ int main(int argc, char** argv) {
               "drop", "corr", "rexmit", "drc");
   RunResult one_pct;
   for (const auto& pt : points) {
-    RunResult r = run_once(pt.loss, pt.corrupt, params, seed);
+    std::string metrics;
+    RunResult r = run_once(pt.loss, pt.corrupt, params, seed, flags, pt.name,
+                           &metrics);
     if (pt.loss == 0.01 && pt.corrupt == 0) one_pct = r;
     std::printf(
         "  %-24s %8.1fs %11.1fs %8.1fs %8.1fs %7llu %7llu %7llu %6llu "
@@ -127,11 +138,12 @@ int main(int argc, char** argv) {
       std::printf("  %-24s session re-establishments: %llu\n", "",
                   static_cast<unsigned long long>(r.reconnects));
     }
+    std::fputs(metrics.c_str(), stdout);
   }
   std::printf("\n");
 
   // Determinism: the 1%-loss point must replay bit-identically.
-  RunResult replay = run_once(0.01, 0.0, params, seed);
+  RunResult replay = run_once(0.01, 0.0, params, seed, flags);
   const bool identical = replay == one_pct;
   std::printf("  determinism (1%% loss, same seed twice): %s\n",
               identical ? "bit-identical" : "MISMATCH");

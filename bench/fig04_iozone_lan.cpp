@@ -18,11 +18,15 @@ using baselines::TestbedOptions;
 
 namespace {
 
-double run_one(TestbedOptions opts, uint64_t file_bytes,
-               uint64_t client_mem) {
+double run_one(TestbedOptions opts, uint64_t file_bytes, uint64_t client_mem,
+               const Flags& flags, const std::string& trace_tag,
+               std::string* metrics_out) {
   opts.client_mem_bytes = client_mem;
   opts.proxy_disk_cache = false;  // paper: LAN IOzone has no disk caching
   Testbed tb(opts);
+  if (metrics_out != nullptr && trace_requested(flags)) {
+    tb.engine().tracer().set_enabled(true);
+  }
   IozoneParams params;
   params.file_bytes = file_bytes;
   tb.preload_file("iozone.tmp", file_bytes, /*warm=*/true);
@@ -33,6 +37,10 @@ double run_one(TestbedOptions opts, uint64_t file_bytes,
     auto times = co_await run_iozone(tb, mp, params);
     *out = times.total();
   }(tb, params, &total));
+  if (metrics_out != nullptr) {
+    *metrics_out = obs::format_summary(tb.engine().metrics(), "    ");
+    dump_trace(flags, tb.engine(), trace_tag);
+  }
   return total;
 }
 
@@ -79,14 +87,17 @@ int main(int argc, char** argv) {
   std::map<std::string, double> result;
   for (const auto& config : configs) {
     std::vector<double> totals;
+    std::string metrics;  // per-layer decomposition from the first seed
     for (int r = 0; r < flags.runs; ++r) {
       TestbedOptions opts = config.opts;
       opts.seed = 42 + 1000ull * r;
-      totals.push_back(run_one(opts, file_bytes, client_mem));
+      totals.push_back(run_one(opts, file_bytes, client_mem, flags,
+                               config.name, r == 0 ? &metrics : nullptr));
     }
     auto s = stats_of(totals);
     result[config.name] = s.mean;
     print_row(config.name, s.mean, s.stddev);
+    std::fputs(metrics.c_str(), stdout);
   }
 
   std::printf("\n");

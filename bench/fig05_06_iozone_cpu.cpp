@@ -19,6 +19,7 @@ namespace {
 struct CpuResult {
   std::vector<double> client;
   std::vector<double> server;
+  std::string metrics;
 };
 
 CpuResult run_one(TestbedOptions opts, uint64_t file_bytes) {
@@ -35,6 +36,7 @@ CpuResult run_one(TestbedOptions opts, uint64_t file_bytes) {
   CpuResult out;
   out.client = tb.client_daemon_cpu_series();
   out.server = tb.server_daemon_cpu_series();
+  out.metrics = obs::format_summary(tb.engine().metrics(), "    ");
   return out;
 }
 
@@ -105,6 +107,7 @@ int main(int argc, char** argv) {
       for (double s : r.server) std::printf(" %.1f", 100 * s);
       std::printf("\n");
     }
+    std::fputs(r.metrics.c_str(), stdout);
   }
   std::printf("\n(pass --series=1 for the full 5s-window time series)\n");
   return 0;

@@ -54,6 +54,7 @@ int main(int argc, char** argv) {
   std::map<std::string, double> txn;
   for (const auto& config : configs) {
     std::vector<double> c, t, d;
+    std::string metrics;  // per-layer decomposition from the first seed
     for (int r = 0; r < flags.runs; ++r) {
       TestbedOptions opts = config.opts;
       opts.seed = 42 + 1000ull * r;
@@ -69,12 +70,14 @@ int main(int argc, char** argv) {
       c.push_back(times["creation"]);
       t.push_back(times["transaction"]);
       d.push_back(times["deletion"]);
+      if (r == 0) metrics = obs::format_summary(tb.engine().metrics(), "    ");
     }
     auto sc = stats_of(c), st = stats_of(t), sd = stats_of(d);
     txn[config.name] = st.mean;
     std::printf("  %-10s %9.1fs %11.1fs %9.1fs %9.1fs\n",
                 config.name.c_str(), sc.mean, st.mean, sd.mean,
                 sc.mean + st.mean + sd.mean);
+    std::fputs(metrics.c_str(), stdout);
   }
   std::printf("\n");
   print_check("sfs / sgfs transaction (paper: sgfs ~17% better)",

@@ -29,6 +29,7 @@ int main(int argc, char** argv) {
   double speedup_at_80 = 0;
   for (int rtt : rtts_ms) {
     double results[2] = {0, 0};
+    std::string metrics[2];  // per-layer decomposition at the largest RTT
     for (int which = 0; which < 2; ++which) {
       TestbedOptions opts;
       opts.kind = which == 0 ? SetupKind::kNfsV3 : SetupKind::kSgfs;
@@ -50,6 +51,10 @@ int main(int argc, char** argv) {
           *out = times.total();
         }(tb, p, &total));
         totals.push_back(total);
+        if (r == 0 && rtt == 80) {
+          metrics[which] =
+              obs::format_summary(tb.engine().metrics(), "      ");
+        }
       }
       results[which] = stats_of(totals).mean;
     }
@@ -57,6 +62,12 @@ int main(int argc, char** argv) {
     if (rtt == 80) speedup_at_80 = speedup;
     std::printf("  %3d ms   %11.1fs %11.1fs %9.2fx\n", rtt, results[0],
                 results[1], speedup);
+    if (!metrics[0].empty()) {
+      std::printf("    nfs-v3 metrics:\n");
+      std::fputs(metrics[0].c_str(), stdout);
+      std::printf("    sgfs metrics:\n");
+      std::fputs(metrics[1].c_str(), stdout);
+    }
   }
   std::printf("\n");
   print_check("nfs-v3 / sgfs at 80 ms (paper: ~2x)", speedup_at_80, "2.0");

@@ -22,6 +22,7 @@ namespace {
 struct MabRun {
   PhaseTimes times;
   double writeback = 0;
+  std::string metrics;
 };
 
 MabRun run_one(TestbedOptions opts, const MabParams& params) {
@@ -38,6 +39,7 @@ MabRun run_one(TestbedOptions opts, const MabParams& params) {
   if (!tb.engine().errors().empty()) {
     std::fprintf(stderr, "WARNING: %s\n", tb.engine().errors()[0].c_str());
   }
+  out.metrics = obs::format_summary(tb.engine().metrics(), "    ");
   return out;
 }
 
@@ -95,6 +97,7 @@ int main(int argc, char** argv) {
                 config.paper[3],
                 config.paper[0] + config.paper[1] + config.paper[2] +
                     config.paper[3]);
+    std::fputs(r.metrics.c_str(), stdout);
   }
   std::printf("\n");
   print_check("sgfs/nfs compile overhead in LAN (paper: +14%)",

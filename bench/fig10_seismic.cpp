@@ -23,6 +23,7 @@ namespace {
 struct SeismicRun {
   PhaseTimes times;
   double writeback = 0;
+  std::string metrics;
 };
 
 SeismicRun run_one(TestbedOptions opts, const SeismicParams& params) {
@@ -38,6 +39,7 @@ SeismicRun run_one(TestbedOptions opts, const SeismicParams& params) {
   if (!tb.engine().errors().empty()) {
     std::fprintf(stderr, "WARNING: %s\n", tb.engine().errors()[0].c_str());
   }
+  out.metrics = obs::format_summary(tb.engine().metrics(), "    ");
   return out;
 }
 
@@ -98,6 +100,7 @@ int main(int argc, char** argv) {
                 config.paper[3],
                 config.paper[0] + config.paper[1] + config.paper[2] +
                     config.paper[3]);
+    std::fputs(r.metrics.c_str(), stdout);
   }
   std::printf("\n");
   print_check("WAN total: nfs-v3 / sgfs (paper: >5x)",

@@ -147,6 +147,9 @@ sim::Task<std::unique_ptr<SecureChannel>> SecureChannel::accept(
 
 sim::Task<void> SecureChannel::charge_crypto(size_t bytes) {
   const sim::SimDur cost = config_.cost.record_cost(cipher_, mac_, bytes);
+  auto& metrics = stream_->local_host().engine().metrics();
+  metrics.histogram("crypto.record_cost_ns").observe(cost);
+  metrics.counter("crypto.bytes_processed").inc(bytes);
   co_await stream_->local_host().cpu().use(cost, "crypto");
 }
 
@@ -232,6 +235,11 @@ sim::Task<void> SecureChannel::send_record(RecordType type,
     corrupt_next_ = false;
     wire[wire.size() / 2] ^= 0x20;
   }
+  {
+    auto& metrics = stream_->local_host().engine().metrics();
+    metrics.counter("crypto.records_sent").inc();
+    metrics.counter("crypto.bytes_sent").inc(wire.size());
+  }
   xdr::Encoder enc;
   enc.put_u32(static_cast<uint32_t>(wire.size()));
   Buffer header = enc.take();
@@ -251,6 +259,11 @@ sim::Task<SecureChannel::Record> SecureChannel::recv_record() {
   }
   Buffer wire = co_await stream_->read_exact(len);
   co_await charge_crypto(wire.size());
+  {
+    auto& metrics = stream_->local_host().engine().metrics();
+    metrics.counter("crypto.records_recv").inc();
+    metrics.counter("crypto.bytes_recv").inc(wire.size());
+  }
   Buffer framed;
   try {
     // The sequence number is consumed only once the record authenticates;
@@ -258,6 +271,8 @@ sim::Task<SecureChannel::Record> SecureChannel::recv_record() {
     // record counters for the rest of the session.
     framed = unprotect(recv_seq_, wire);
   } catch (const SecurityError&) {
+    stream_->local_host().engine().metrics().counter("crypto.mac_failures")
+        .inc();
     // Fail closed: nothing may be trusted under these keys any more; the
     // peer sees EOF and both sides must re-handshake on a fresh channel.
     failed_ = true;
@@ -351,6 +366,7 @@ sim::Task<void> SecureChannel::handshake() {
       now_epoch_ +
       sim::to_seconds(stream_->local_host().engine().now());
 
+  stream_->local_host().engine().metrics().counter("crypto.handshakes").inc();
   co_await stream_->local_host().cpu().use(config_.cost.handshake_cpu,
                                            "crypto");
 

@@ -18,6 +18,32 @@ bool proc3_is_idempotent(Proc3 p) {
   }
 }
 
+const char* proc3_name(Proc3 p) {
+  switch (p) {
+    case Proc3::kNull: return "NULL";
+    case Proc3::kGetattr: return "GETATTR";
+    case Proc3::kSetattr: return "SETATTR";
+    case Proc3::kLookup: return "LOOKUP";
+    case Proc3::kAccess: return "ACCESS";
+    case Proc3::kReadlink: return "READLINK";
+    case Proc3::kRead: return "READ";
+    case Proc3::kWrite: return "WRITE";
+    case Proc3::kCreate: return "CREATE";
+    case Proc3::kMkdir: return "MKDIR";
+    case Proc3::kSymlink: return "SYMLINK";
+    case Proc3::kRemove: return "REMOVE";
+    case Proc3::kRmdir: return "RMDIR";
+    case Proc3::kRename: return "RENAME";
+    case Proc3::kLink: return "LINK";
+    case Proc3::kReaddir: return "READDIR";
+    case Proc3::kReaddirplus: return "READDIRPLUS";
+    case Proc3::kFsstat: return "FSSTAT";
+    case Proc3::kFsinfo: return "FSINFO";
+    case Proc3::kCommit: return "COMMIT";
+    default: return "PROC?";
+  }
+}
+
 void encode_attrs(xdr::Encoder& e, const vfs::Attributes& a) {
   e.put_enum(a.type);
   e.put_u32(a.mode);

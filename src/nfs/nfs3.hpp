@@ -57,6 +57,10 @@ enum class MountProc : uint32_t {
 /// the classic NFSv3 DRC classification.
 bool proc3_is_idempotent(Proc3 p);
 
+/// Uppercase protocol name ("GETATTR", "READ", ...; "PROC<n>" for unknown
+/// values) — used for per-procedure metric names.
+const char* proc3_name(Proc3 p);
+
 /// nfsstat3 — shares values with vfs::Status plus protocol-only codes.
 using Status = vfs::Status;
 inline constexpr Status kNfs3Ok = Status::kOk;

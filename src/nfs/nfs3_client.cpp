@@ -54,6 +54,9 @@ sim::Task<std::shared_ptr<MountPoint>> MountPoint::mount_with(
 sim::Task<void> MountPoint::charge(Proc3 proc) {
   ++rpc_calls_;
   ++rpc_by_proc_[proc];
+  auto& metrics = host_.engine().metrics();
+  metrics.counter("nfs.client.rpc.calls").inc();
+  metrics.counter(std::string("nfs.client.rpc.") + proc3_name(proc)).inc();
   co_await host_.cpu().use(config_.per_call_cpu, "knfsc");
 }
 
@@ -89,7 +92,11 @@ std::optional<vfs::Attributes> MountPoint::cached_attrs(const Fh& fh) {
 
 sim::Task<vfs::Attributes> MountPoint::getattr(const Fh& fh, bool force) {
   if (!force) {
-    if (auto a = cached_attrs(fh)) co_return *a;
+    if (auto a = cached_attrs(fh)) {
+      host_.engine().metrics().counter("nfs.client.attr_cache.hits").inc();
+      co_return *a;
+    }
+    host_.engine().metrics().counter("nfs.client.attr_cache.misses").inc();
   }
   // Remember the previous view for change detection.
   std::optional<vfs::Attributes> before;
@@ -117,7 +124,14 @@ void MountPoint::invalidate_file(uint64_t fileid) {
     lru_.erase(it->second.lru);
     it = blocks_.erase(it);
   }
-  dirty_.erase(fileid);
+  auto ds = dirty_.find(fileid);
+  if (ds != dirty_.end()) {
+    host_.engine()
+        .metrics()
+        .gauge("nfs.client.writeback.dirty_blocks")
+        .add(-static_cast<int64_t>(ds->second.size()));
+    dirty_.erase(ds);
+  }
 }
 
 // --- path walking ----------------------------------------------------------------
@@ -208,7 +222,12 @@ sim::Task<void> MountPoint::writeback_block(uint64_t fileid, uint64_t block) {
   if (again != blocks_.end()) again->second.dirty = false;
   auto ds = dirty_.find(fileid);
   if (ds != dirty_.end()) {
-    ds->second.erase(block);
+    if (ds->second.erase(block)) {
+      host_.engine()
+          .metrics()
+          .gauge("nfs.client.writeback.dirty_blocks")
+          .add(-1);
+    }
     if (ds->second.empty()) dirty_.erase(ds);
   }
   if (config_.write_behind) needs_commit_.insert(fileid);
@@ -289,6 +308,10 @@ void MountPoint::start_readahead(const Fh& fh, uint64_t from_block) {
     inflight_[key] = ev;
     ++rpc_calls_;
     ++rpc_by_proc_[Proc3::kRead];
+    auto& metrics = host_.engine().metrics();
+    metrics.counter("nfs.client.rpc.calls").inc();
+    metrics.counter("nfs.client.rpc.READ").inc();
+    metrics.counter("nfs.client.readahead").inc();
     // Detached prefetch: after each suspension it re-checks `alive`, so a
     // destroyed MountPoint only costs a dropped prefetch.
     auto task = [](MountPoint* mp, std::shared_ptr<bool> alive,
@@ -330,6 +353,7 @@ sim::Task<MountPoint::CachedBlock*> MountPoint::get_block_for_read(
     auto it = blocks_.find(key);
     if (it != blocks_.end()) {
       ++cache_hits_;
+      host_.engine().metrics().counter("nfs.client.page_cache.hits").inc();
       lru_.erase(it->second.lru);
       it->second.lru = ++lru_clock_;
       lru_[it->second.lru] = key;
@@ -345,6 +369,7 @@ sim::Task<MountPoint::CachedBlock*> MountPoint::get_block_for_read(
     break;
   }
   ++cache_misses_;
+  host_.engine().metrics().counter("nfs.client.page_cache.misses").inc();
   co_await fetch_block(fh, block);
   if (readahead) start_readahead(fh, block);
   auto it = blocks_.find(key);
@@ -399,6 +424,7 @@ sim::Task<int> MountPoint::open(const std::string& path, uint32_t flags,
     attrs = attr_cache_[fh.fileid].attrs;
     was_fresh = true;
   } else {
+    host_.engine().metrics().counter("nfs.client.cto.revalidations").inc();
     attrs = co_await getattr(fh, /*force=*/true);
   }
   if (attrs.type == vfs::FileType::kDirectory) throw FsError(Status::kIsDir);
@@ -439,6 +465,9 @@ sim::Task<void> MountPoint::close(int fd) {
   if (it == open_files_.end()) throw FsError(Status::kInval);
   Fh fh = it->second.fh;
   open_files_.erase(it);
+  if (dirty_.count(fh.fileid)) {
+    host_.engine().metrics().counter("nfs.client.cto.flushes").inc();
+  }
   co_await flush_file(fh, /*commit=*/true);
 }
 
@@ -541,7 +570,12 @@ sim::Task<size_t> MountPoint::pwrite(int fd, uint64_t offset, ByteView data) {
     cb.valid =
         std::max<uint32_t>(cb.valid, static_cast<uint32_t>(in_block + take));
     cb.dirty = true;
-    dirty_[fh.fileid].insert(block);
+    if (dirty_[fh.fileid].insert(block).second) {
+      host_.engine()
+          .metrics()
+          .gauge("nfs.client.writeback.dirty_blocks")
+          .add(1);
+    }
     done += take;
 
     if (!config_.write_behind) {
@@ -754,6 +788,14 @@ void MountPoint::drop_caches() {
   cache_bytes_used_ = 0;
   attr_cache_.clear();
   dnlc_.clear();
+  int64_t dirty_total = 0;
+  for (const auto& [fileid, set] : dirty_) {
+    dirty_total += static_cast<int64_t>(set.size());
+  }
+  host_.engine()
+      .metrics()
+      .gauge("nfs.client.writeback.dirty_blocks")
+      .add(-dirty_total);
   dirty_.clear();
   needs_commit_.clear();
 }

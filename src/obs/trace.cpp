@@ -1,0 +1,84 @@
+#include "obs/trace.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+
+namespace sgfs::obs {
+
+namespace {
+
+// Minimal JSON string escaping: quotes, backslashes, control characters.
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+void Tracer::record(RpcSpan span) {
+  if (!enabled_) return;
+  if (spans_.size() >= capacity_) {
+    ++dropped_;
+    return;
+  }
+  ++recorded_;
+  spans_.push_back(std::move(span));
+}
+
+void Tracer::clear() {
+  spans_.clear();
+  recorded_ = 0;
+  dropped_ = 0;
+}
+
+void Tracer::dump_jsonl(std::ostream& os) const {
+  for (const auto& s : spans_) {
+    os << "{\"side\":\"" << json_escape(s.side) << "\",\"peer\":\""
+       << json_escape(s.peer) << "\",\"prog\":" << s.prog
+       << ",\"vers\":" << s.vers << ",\"proc\":" << s.proc
+       << ",\"xid\":" << s.xid << ",\"start_ns\":" << s.start
+       << ",\"end_ns\":" << s.end << ",\"bytes_out\":" << s.bytes_out
+       << ",\"bytes_in\":" << s.bytes_in
+       << ",\"retransmits\":" << s.retransmits << ",\"cache_hit\":"
+       << (s.cache_hit ? "true" : "false") << ",\"status\":\""
+       << json_escape(s.status) << "\"}\n";
+  }
+}
+
+bool Tracer::dump_jsonl_file(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) return false;
+  dump_jsonl(f);
+  return static_cast<bool>(f);
+}
+
+}  // namespace sgfs::obs

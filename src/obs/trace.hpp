@@ -1,0 +1,68 @@
+// RPC span tracing on virtual time.
+//
+// A Tracer collects RpcSpan records — one per RPC attempt chain as seen by
+// a client or server — and can dump them as JSONL for offline analysis.
+// Recording is off by default (benches enable it with --trace=PATH); when
+// off, record() is a no-op so instrumented hot paths cost one branch.  The
+// span buffer is capped; spans past the cap are counted in dropped() rather
+// than grown without bound.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace sgfs::obs {
+
+/// One RPC as observed from one side.  Times are virtual nanoseconds.
+struct RpcSpan {
+  std::string side;  // "client" | "server"
+  std::string peer;  // remote host name (may be empty if unknown)
+  uint32_t prog = 0;
+  uint32_t vers = 0;
+  uint32_t proc = 0;
+  uint32_t xid = 0;
+  sim::SimTime start = 0;
+  sim::SimTime end = 0;
+  uint64_t bytes_out = 0;  // bytes this side sent (one request attempt / reply)
+  uint64_t bytes_in = 0;   // bytes this side received
+  uint32_t retransmits = 0;
+  bool cache_hit = false;  // server side: answered from the DRC
+  std::string status = "ok";
+};
+
+class Tracer {
+ public:
+  bool enabled() const { return enabled_; }
+  void set_enabled(bool on) { enabled_ = on; }
+
+  /// Caps the span buffer (default 1M spans).
+  void set_capacity(size_t cap) { capacity_ = cap; }
+
+  /// Stores the span if enabled and under capacity; otherwise counts it
+  /// as dropped (still cheap — one branch when disabled).
+  void record(RpcSpan span);
+
+  const std::vector<RpcSpan>& spans() const { return spans_; }
+  uint64_t recorded() const { return recorded_; }
+  uint64_t dropped() const { return dropped_; }
+
+  void clear();
+
+  /// One JSON object per line per span.
+  void dump_jsonl(std::ostream& os) const;
+  /// Returns false if the file cannot be opened.
+  bool dump_jsonl_file(const std::string& path) const;
+
+ private:
+  bool enabled_ = false;
+  size_t capacity_ = 1u << 20;
+  std::vector<RpcSpan> spans_;
+  uint64_t recorded_ = 0;
+  uint64_t dropped_ = 0;
+};
+
+}  // namespace sgfs::obs

@@ -37,6 +37,25 @@ class ScopeGuard {
   bool armed_ = true;
 };
 
+// Frame-local span recorder: fills in the end time and hands the span to
+// the engine's tracer on every exit path (reply, timeout, stream death) —
+// coroutine locals are destroyed whichever way the frame unwinds.
+struct SpanRecorder {
+  sim::Engine& eng;
+  bool active;
+  obs::RpcSpan span;
+
+  explicit SpanRecorder(sim::Engine& e)
+      : eng(e), active(e.tracer().enabled()) {}
+  ~SpanRecorder() {
+    if (!active) return;
+    span.end = eng.now();
+    eng.tracer().record(std::move(span));
+  }
+  SpanRecorder(const SpanRecorder&) = delete;
+  SpanRecorder& operator=(const SpanRecorder&) = delete;
+};
+
 }  // namespace
 
 RpcClient::RpcClient(sim::Engine& eng,
@@ -135,6 +154,21 @@ sim::Task<Buffer> RpcClient::call_with_xid(uint32_t xid, uint32_t proc,
   auto pending = std::make_shared<Pending>(eng);
   state->pending[xid] = pending;
   ++state->calls_sent;
+
+  auto& metrics = eng.metrics();
+  metrics.counter("rpc.client.calls").inc();
+  const sim::SimTime t0 = eng.now();
+  SpanRecorder span_rec(eng);
+  span_rec.span.side = "client";
+  span_rec.span.prog = prog_;
+  span_rec.span.vers = vers_;
+  span_rec.span.proc = proc;
+  span_rec.span.xid = xid;
+  span_rec.span.start = t0;
+  span_rec.span.bytes_out = wire.size();
+  span_rec.span.status = "error";
+  if (span_rec.active) span_rec.span.peer = transport->peer_host();
+
   ScopeGuard guard([state, xid, pending] {
     auto it = state->pending.find(xid);
     if (it != state->pending.end() && it->second == pending) {
@@ -148,20 +182,26 @@ sim::Task<Buffer> RpcClient::call_with_xid(uint32_t xid, uint32_t proc,
       eng.spawn(timeout_task(eng, pending, pending->wait_gen, timeout));
     }
     co_await transport->send(wire);
+    metrics.counter("rpc.client.bytes_sent").inc(wire.size());
     co_await pending->done.wait();
     if (pending->reply) break;
     auto it = state->pending.find(xid);
     if (it == state->pending.end() || it->second != pending) {
       // fail_all ran: close() or reader death.
+      span_rec.span.status = "closed";
       if (state->broken) std::rethrow_exception(state->broken);
       throw net::StreamClosed();
     }
     // Timed out: retransmit with the same xid, or give up.
     if (attempt >= retry.max_retransmits) {
       ++state->timeouts;
+      metrics.counter("rpc.client.timeouts").inc();
+      span_rec.span.status = "timeout";
       throw RpcTimeout(attempt);
     }
     ++state->retransmits;
+    metrics.counter("rpc.client.retransmits").inc();
+    ++span_rec.span.retransmits;
     ++pending->wait_gen;
     pending->done.reset();
     timeout = std::min(
@@ -171,8 +211,15 @@ sim::Task<Buffer> RpcClient::call_with_xid(uint32_t xid, uint32_t proc,
   guard.release();  // the reader erased the entry when the reply landed
 
   ReplyMsg& reply = *pending->reply;
+  span_rec.span.bytes_in = reply.results.size();
+  span_rec.span.status = "ok";
+  metrics.histogram("rpc.client.call_ns").observe(eng.now() - t0);
   if (reply.stat == ReplyStat::kDenied) {
+    span_rec.span.status = "denied";
     throw RpcAuthError(reply.auth_stat);
+  }
+  if (reply.accept_stat != AcceptStat::kSuccess) {
+    span_rec.span.status = "rpc_error";
   }
   switch (reply.accept_stat) {
     case AcceptStat::kSuccess:

@@ -47,6 +47,7 @@ sim::Task<void> RpcServer::accept_loop(
     if (!stream || state->stopped) co_return;
     ++state->accepted;
     sim::Engine& eng = stream->local_host().engine();
+    eng.metrics().counter("rpc.server.connections").inc();
     if (state->security) {
       // Complete the SSL handshake before serving; reject on failure.
       eng.spawn([](net::StreamPtr s, std::shared_ptr<State> st)
@@ -87,19 +88,37 @@ sim::Task<void> RpcServer::serve_connection(
     }
     // Each call runs in its own task so slow handlers do not block the
     // connection (clients match replies by xid).
-    eng.spawn(serve_one(transport, state, std::move(msg)));
+    eng.spawn(serve_one(eng, transport, state, std::move(msg)));
   }
 }
 
-sim::Task<void> RpcServer::serve_one(std::shared_ptr<MsgTransport> transport,
+sim::Task<void> RpcServer::serve_one(sim::Engine& eng,
+                                     std::shared_ptr<MsgTransport> transport,
                                      std::shared_ptr<State> state,
                                      Buffer msg) {
+  auto& metrics = eng.metrics();
+  const sim::SimTime t0 = eng.now();
   CallMsg call;
   try {
     call = CallMsg::deserialize(msg);
   } catch (const std::exception& e) {
     SGFS_WARN("rpc", "malformed call dropped: ", e.what());
+    metrics.counter("rpc.server.malformed").inc();
     co_return;
+  }
+  metrics.counter("rpc.server.calls").inc();
+
+  obs::RpcSpan span;
+  const bool tracing = eng.tracer().enabled();
+  if (tracing) {
+    span.side = "server";
+    span.peer = transport->peer_host();
+    span.prog = call.prog;
+    span.vers = call.vers;
+    span.proc = call.proc;
+    span.xid = call.xid;
+    span.start = t0;
+    span.bytes_in = msg.size();
   }
 
   // Duplicate-request cache lookup: a retransmission (same peer, xid and
@@ -111,9 +130,22 @@ sim::Task<void> RpcServer::serve_one(std::shared_ptr<MsgTransport> transport,
     if (!dup->second.done) {
       // Original call still executing: drop, the client will retry.
       ++state->drc_inflight_drops;
+      metrics.counter("rpc.server.drc.inflight_drops").inc();
+      if (tracing) {
+        span.end = eng.now();
+        span.status = "drc_inflight_drop";
+        eng.tracer().record(std::move(span));
+      }
       co_return;
     }
     ++state->drc_hits;
+    metrics.counter("rpc.server.drc.hits").inc();
+    if (tracing) {
+      span.end = eng.now();
+      span.cache_hit = true;
+      span.bytes_out = dup->second.reply.size();
+      eng.tracer().record(std::move(span));
+    }
     try {
       co_await transport->send(dup->second.reply);
     } catch (const std::exception&) {
@@ -173,6 +205,12 @@ sim::Task<void> RpcServer::serve_one(std::shared_ptr<MsgTransport> transport,
   }
   ++state->served;
   Buffer wire = reply.serialize();
+  metrics.histogram("rpc.server.handle_ns").observe(eng.now() - t0);
+  if (tracing) {
+    span.end = eng.now();
+    span.bytes_out = wire.size();
+    eng.tracer().record(std::move(span));
+  }
 
   // Resolve the in-progress DRC entry BEFORE sending: if the reply is lost
   // in flight, the retransmission must find the cached copy.

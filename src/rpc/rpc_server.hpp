@@ -122,7 +122,8 @@ class RpcServer {
   static sim::Task<void> serve_connection(
       sim::Engine& eng, std::shared_ptr<MsgTransport> transport,
       std::shared_ptr<State> state);
-  static sim::Task<void> serve_one(std::shared_ptr<MsgTransport> transport,
+  static sim::Task<void> serve_one(sim::Engine& eng,
+                                   std::shared_ptr<MsgTransport> transport,
                                    std::shared_ptr<State> state, Buffer msg);
 
   net::Host* host_;

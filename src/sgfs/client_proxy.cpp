@@ -78,6 +78,7 @@ sim::Task<void> ClientProxy::ensure_upstream() {
     }
     upstream_nfs_->set_retry(config_.retry);
     ++handshakes_;
+    host_.engine().metrics().counter("sgfs.client_proxy.sessions").inc();
   }
   if (!upstream_mount_) {
     if (config_.plain_transport) {
@@ -100,6 +101,7 @@ sim::Task<Buffer> ClientProxy::forward(const rpc::CallContext& ctx,
     guard.emplace(co_await forward_mutex_.scoped());
   }
   ++forwarded_;
+  host_.engine().metrics().counter("sgfs.client_proxy.forwarded").inc();
   if (config_.cost.per_msg_latency > 0) {
     co_await host_.engine().sleep(config_.cost.per_msg_latency);
   }
@@ -138,6 +140,7 @@ sim::Task<Buffer> ClientProxy::forward(const rpc::CallContext& ctx,
       std::rethrow_exception(failure);
     }
     ++reconnects_;
+    host_.engine().metrics().counter("sgfs.client_proxy.reconnects").inc();
     SGFS_INFO("sgfs-proxy", "upstream session failed; re-establishing ",
               "(attempt ", attempt + 1, ")");
     drop_upstream();
@@ -306,6 +309,7 @@ sim::Task<void> ClientProxy::writeback_block(uint64_t fileid, uint64_t block,
               vfs::to_string(res.status));
   }
   flushed_bytes_ += it->second.valid;
+  host_.engine().metrics().counter("sgfs.client_proxy.flushed_bytes").inc(it->second.valid);
   auto again = blocks_.find(key);
   if (again != blocks_.end()) again->second.dirty = false;
   auto ds = dirty_.find(fileid);
@@ -385,6 +389,7 @@ sim::Task<Buffer> ClientProxy::handle(const rpc::CallContext& ctx,
       if (config_.cache.cache_attrs && hit != attrs_.end() &&
           attrs_fresh(hit->second)) {
         ++absorbed_getattrs_;
+        host_.engine().metrics().counter("sgfs.client_proxy.absorbed.getattrs").inc();
         nfs::GetattrRes res;
         res.attrs = hit->second.attrs;
         xdr::Encoder enc;
@@ -407,6 +412,7 @@ sim::Task<Buffer> ClientProxy::handle(const rpc::CallContext& ctx,
       auto hit = names_.find(key);
       if (config_.cache.cache_names && hit != names_.end()) {
         ++absorbed_lookups_;
+        host_.engine().metrics().counter("sgfs.client_proxy.absorbed.lookups").inc();
         nfs::LookupRes res = hit->second;
         // Refresh attrs from the attribute cache (local writes move them).
         auto at = attrs_.find(res.fh.fileid);
@@ -462,6 +468,7 @@ sim::Task<Buffer> ClientProxy::handle(const rpc::CallContext& ctx,
         if (bit != blocks_.end() && at != attrs_.end() &&
             attrs_fresh(at->second)) {
           ++absorbed_reads_;
+          host_.engine().metrics().counter("sgfs.client_proxy.absorbed.reads").inc();
           const uint64_t size = at->second.attrs.size;
           const Block& b = bit->second;
           const size_t have =
@@ -504,6 +511,7 @@ sim::Task<Buffer> ClientProxy::handle(const rpc::CallContext& ctx,
           a.data.size() <= bs;
       if (config_.cache.write_back && aligned) {
         ++absorbed_writes_;
+        host_.engine().metrics().counter("sgfs.client_proxy.absorbed.writes").inc();
         Block& b = put_block(a.fh.fileid, a.offset / bs);
         std::copy(a.data.begin(), a.data.end(), b.data.begin());
         b.valid = std::max<uint32_t>(b.valid,

@@ -97,6 +97,7 @@ sim::Task<Buffer> ServerProxy::forward(uint32_t prog, uint32_t vers,
   }
   co_await ensure_upstream();
   ++forwarded_;
+  host_.engine().metrics().counter("sgfs.server_proxy.forwarded").inc();
   rpc::RpcClient& client =
       prog == nfs::kMountProgram ? *upstream_mount_ : *upstream_nfs_;
   client.set_auth(cred);
@@ -134,6 +135,7 @@ std::optional<uint32_t> ServerProxy::acl_mask(const Fh& fh,
   }
   if (!acl) return std::nullopt;
   ++acl_decisions_;
+  host_.engine().metrics().counter("sgfs.server_proxy.acl_checks").inc();
   auto mask = acl->mask_for(dn);
   return mask ? *mask : 0;  // governed but unlisted: no permissions
 }
@@ -146,6 +148,7 @@ sim::Task<Buffer> ServerProxy::handle(const rpc::CallContext& ctx,
   auto account = authorize(ctx);
   if (!account) {
     ++denied_;
+    host_.engine().metrics().counter("sgfs.server_proxy.denied").inc();
     SGFS_INFO("sgfs-proxy", "denying ",
               ctx.peer_identity ? ctx.peer_identity->to_string()
                                 : "<no identity>");
@@ -252,6 +255,7 @@ sim::Task<Buffer> ServerProxy::handle(const rpc::CallContext& ctx,
       if (auto mask = acl_mask(a.fh, dn);
           mask && !(*mask & vfs::kAccessRead)) {
         ++denied_;
+        host_.engine().metrics().counter("sgfs.server_proxy.denied").inc();
         nfs::ReadRes res;
         res.status = Status::kAcces;
         xdr::Encoder enc;
@@ -267,6 +271,7 @@ sim::Task<Buffer> ServerProxy::handle(const rpc::CallContext& ctx,
       if (auto mask = acl_mask(a.fh, dn);
           mask && !(*mask & (vfs::kAccessModify | vfs::kAccessExtend))) {
         ++denied_;
+        host_.engine().metrics().counter("sgfs.server_proxy.denied").inc();
         nfs::WriteRes res;
         res.status = Status::kAcces;
         xdr::Encoder enc;

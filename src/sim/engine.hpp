@@ -17,6 +17,8 @@
 #include <unordered_set>
 #include <vector>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/task.hpp"
 #include "sim/time.hpp"
 
@@ -30,6 +32,15 @@ class Engine {
   Engine& operator=(const Engine&) = delete;
 
   SimTime now() const { return now_; }
+
+  /// Per-simulation metrics namespace: one registry per engine, shared by
+  /// every instrumented layer running on this engine.
+  obs::MetricsRegistry& metrics() { return metrics_; }
+  const obs::MetricsRegistry& metrics() const { return metrics_; }
+
+  /// Per-simulation RPC span tracer (recording off by default).
+  obs::Tracer& tracer() { return tracer_; }
+  const obs::Tracer& tracer() const { return tracer_; }
 
   /// Enqueues a coroutine resumption at absolute time t (>= now).
   void schedule_at(SimTime t, std::coroutine_handle<> h);
@@ -102,6 +113,8 @@ class Engine {
   };
 
   SimTime now_ = 0;
+  obs::MetricsRegistry metrics_;
+  obs::Tracer tracer_;
   uint64_t next_seq_ = 0;
   std::priority_queue<Event, std::vector<Event>, std::greater<Event>> queue_;
   std::unordered_set<void*> live_;

@@ -6,6 +6,14 @@ Task<void> Resource::use(SimDur dur, std::string tag) {
   if (dur < 0) dur = 0;
   const SimTime start = std::max(eng_.now(), next_free_);
   next_free_ = start + dur;
+  // Queue wait = how long this user sat behind earlier users.  Instrument
+  // references are stable, so look them up once and cache.
+  if (wait_hist_ == nullptr) {
+    wait_hist_ = &eng_.metrics().histogram("resource." + name_ + ".wait_ns");
+    uses_ = &eng_.metrics().counter("resource." + name_ + ".uses");
+  }
+  wait_hist_->observe(start - eng_.now());
+  uses_->inc();
   account(start, dur, tag);
   co_await eng_.sleep_until(start + dur);
 }

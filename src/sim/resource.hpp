@@ -52,6 +52,8 @@ class Resource {
 
   Engine& eng_;
   std::string name_;
+  obs::Histogram* wait_hist_ = nullptr;  // cached; registry refs are stable
+  obs::Counter* uses_ = nullptr;
   SimTime next_free_ = 0;
   SimDur busy_total_ = 0;
   std::map<std::string, SimDur> busy_by_tag_;

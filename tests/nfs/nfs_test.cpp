@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "net/fault.hpp"
 #include "nfs/nfs3_client.hpp"
 #include "nfs/nfs3_server.hpp"
 #include "nfs/nfs4.hpp"
@@ -518,6 +519,106 @@ TEST(Nfs3Drc, IdempotentOpsAreNotCached) {
   EXPECT_FALSE(proc3_is_idempotent(Proc3::kRemove));
   EXPECT_FALSE(proc3_is_idempotent(Proc3::kRename));
   EXPECT_FALSE(proc3_is_idempotent(Proc3::kSetattr));
+}
+
+// --- metrics-asserted protocol behaviour ---------------------------------------
+//
+// These re-state the cache/consistency invariants in terms of the
+// engine-wide metrics registry (eng.metrics()) rather than per-object
+// counters, pinning both the protocol behaviour and the metric names the
+// benches report.
+
+TEST(NfsMetrics, WarmRereadIssuesZeroReadRpcs) {
+  Rig rig;
+  rig.eng.run_task([](Rig& rig) -> Task<void> {
+    auto mp = co_await rig.do_mount(false);
+    int fd = co_await mp->open("data/hello.txt", kRdOnly);
+    Buffer buf(16);
+    co_await mp->read(fd, buf);
+    co_await mp->close(fd);
+
+    auto& reg = rig.eng.metrics();
+    const uint64_t reads = reg.counter_value("nfs.client.rpc.READ");
+    const uint64_t hits = reg.counter_value("nfs.client.page_cache.hits");
+    EXPECT_GT(reads, 0u);
+
+    // Warm re-read within the attribute TTL: zero new READ RPCs, served
+    // entirely from the page cache.
+    fd = co_await mp->open("data/hello.txt", kRdOnly);
+    co_await mp->pread(fd, 0, buf);
+    co_await mp->close(fd);
+    EXPECT_EQ(reg.counter_value("nfs.client.rpc.READ"), reads);
+    EXPECT_GT(reg.counter_value("nfs.client.page_cache.hits"), hits);
+  }(rig));
+}
+
+TEST(NfsMetrics, CloseToOpenRevalidatesExactlyOnce) {
+  Rig rig;
+  rig.eng.run_task([](Rig& rig) -> Task<void> {
+    auto mp = co_await rig.do_mount(false);
+    int fd = co_await mp->open("data/hello.txt", kRdOnly);
+    co_await mp->close(fd);
+
+    auto& reg = rig.eng.metrics();
+    const uint64_t revals = reg.counter_value("nfs.client.cto.revalidations");
+    const uint64_t getattrs = reg.counter_value("nfs.client.rpc.GETATTR");
+
+    // Re-open: close-to-open consistency forces exactly one GETATTR
+    // revalidation, even though the attribute cache is still fresh.
+    fd = co_await mp->open("data/hello.txt", kRdOnly);
+    co_await mp->close(fd);
+    EXPECT_EQ(reg.counter_value("nfs.client.cto.revalidations"), revals + 1);
+    EXPECT_EQ(reg.counter_value("nfs.client.rpc.GETATTR"), getattrs + 1);
+  }(rig));
+}
+
+TEST(NfsMetrics, WriteBehindGaugeRisesThenDrainsOnClose) {
+  Rig rig;
+  rig.eng.run_task([](Rig& rig) -> Task<void> {
+    auto mp = co_await rig.do_mount(false);
+    auto& reg = rig.eng.metrics();
+    int fd = co_await mp->open("data/gauge.bin", kWrOnly | kCreate);
+    co_await mp->write(fd, Buffer(3 * 32768, 0xCD));  // three dirty blocks
+    EXPECT_GT(reg.gauge_value("nfs.client.writeback.dirty_blocks"), 0);
+    co_await mp->close(fd);  // close-to-open flush drains the queue
+    EXPECT_EQ(reg.gauge_value("nfs.client.writeback.dirty_blocks"), 0);
+    EXPECT_GE(reg.gauge("nfs.client.writeback.dirty_blocks").max(), 3);
+    EXPECT_EQ(reg.counter_value("nfs.client.cto.flushes"), 1u);
+  }(rig));
+}
+
+TEST(NfsMetrics, InjectedDropRetransmitsAndDrcSuppressesReexecution) {
+  Rig rig;
+  constexpr int kCreates = 60;
+  rig.eng.run_task([](Rig& rig) -> Task<void> {
+    Nfs3ClientConfig cfg;
+    cfg.retry = rpc::RetryPolicy::standard();  // 1s/x2/30s-cap retransmission
+    auto mp = co_await rig.do_mount(false, cfg);
+    co_await mp->mkdir("data/drc");
+
+    // Lossy link from here on (mount stays clean so setup cannot flake).
+    auto plan = std::make_shared<net::FaultPlan>(/*seed=*/99);
+    plan->set_link_faults("client", "server", net::LinkFaults(0.15, 0.0));
+    rig.net.set_fault_plan(plan);
+
+    // Exclusive creates are non-idempotent: if a retransmitted CREATE were
+    // re-executed instead of replayed from the DRC, it would fail kExist.
+    for (int i = 0; i < kCreates; ++i) {
+      int fd = co_await mp->open("data/drc/f" + std::to_string(i),
+                                 kWrOnly | kCreate | kExcl);
+      co_await mp->close(fd);
+    }
+    rig.net.set_fault_plan(nullptr);
+  }(rig));
+
+  auto& reg = rig.eng.metrics();
+  // Drops happened, the client retransmitted, and at least one dropped
+  // *reply* was replayed from the duplicate-request cache...
+  EXPECT_GT(reg.counter_value("rpc.client.retransmits"), 0u);
+  EXPECT_GT(reg.counter_value("rpc.server.drc.hits"), 0u);
+  // ...yet every non-idempotent CREATE executed exactly once.
+  EXPECT_EQ(rig.nfs_server->ops_for(Proc3::kCreate), kCreates + 0u);
+  EXPECT_TRUE(rig.eng.errors().empty());
 }
 
 TEST(NfsV4, CompoundCountsTrack) {

@@ -1,0 +1,306 @@
+// Unit tests for the observability layer: counters, gauges, log-scale
+// histograms, registry snapshot/reset semantics, summary formatting, and the
+// RPC span tracer.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+using namespace sgfs::obs;
+
+TEST(Counter, IncrementsAndResets) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.inc();
+  c.inc(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Gauge, TracksLevelAndHighWaterMark) {
+  Gauge g;
+  g.add(3);
+  g.add(4);
+  EXPECT_EQ(g.value(), 7);
+  EXPECT_EQ(g.max(), 7);
+  g.add(-5);
+  EXPECT_EQ(g.value(), 2);
+  EXPECT_EQ(g.max(), 7);
+  g.reset();
+  EXPECT_EQ(g.value(), 0);
+  EXPECT_EQ(g.max(), 0);
+}
+
+TEST(Gauge, ClampsBelowZero) {
+  Gauge g;
+  g.add(2);
+  g.add(-10);
+  EXPECT_EQ(g.value(), 0);
+  EXPECT_EQ(g.max(), 2);
+  g.set(-5);
+  EXPECT_EQ(g.value(), 0);
+}
+
+TEST(Histogram, BucketBoundaries) {
+  // Bucket 0 holds v <= 0; bucket i >= 1 holds [2^(i-1), 2^i).
+  EXPECT_EQ(Histogram::bucket_index(0), 0u);
+  EXPECT_EQ(Histogram::bucket_index(-7), 0u);
+  EXPECT_EQ(Histogram::bucket_index(1), 1u);
+  EXPECT_EQ(Histogram::bucket_index(2), 2u);
+  EXPECT_EQ(Histogram::bucket_index(3), 2u);
+  EXPECT_EQ(Histogram::bucket_index(4), 3u);
+  EXPECT_EQ(Histogram::bucket_index(7), 3u);
+  EXPECT_EQ(Histogram::bucket_index(8), 4u);
+  EXPECT_EQ(Histogram::bucket_index(1023), 10u);
+  EXPECT_EQ(Histogram::bucket_index(1024), 11u);
+  // Huge values clamp into the last bucket instead of overflowing.
+  EXPECT_EQ(Histogram::bucket_index(INT64_MAX), Histogram::kBuckets - 1);
+
+  EXPECT_EQ(Histogram::bucket_lower_bound(0), 0);
+  EXPECT_EQ(Histogram::bucket_lower_bound(1), 1);
+  EXPECT_EQ(Histogram::bucket_lower_bound(2), 2);
+  EXPECT_EQ(Histogram::bucket_lower_bound(3), 4);
+  EXPECT_EQ(Histogram::bucket_lower_bound(11), 1024);
+
+  // Round-trip: every lower bound lands in its own bucket.
+  for (size_t i = 0; i < Histogram::kBuckets; ++i) {
+    EXPECT_EQ(Histogram::bucket_index(Histogram::bucket_lower_bound(i)), i)
+        << "bucket " << i;
+  }
+}
+
+TEST(Histogram, ObserveAccumulatesStats) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 0);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+
+  h.observe(10);
+  h.observe(20);
+  h.observe(30);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.sum(), 60);
+  EXPECT_EQ(h.min(), 10);
+  EXPECT_EQ(h.max(), 30);
+  EXPECT_DOUBLE_EQ(h.mean(), 20.0);
+  EXPECT_EQ(h.bucket_count(Histogram::bucket_index(10)), 1u);
+  // 20 and 30 share bucket [16, 32).
+  EXPECT_EQ(h.bucket_count(Histogram::bucket_index(20)), 2u);
+}
+
+TEST(Histogram, QuantileEstimates) {
+  Histogram h;
+  // 100 observations of 5 -> every quantile is exactly 5 (clamped to max).
+  for (int i = 0; i < 100; ++i) h.observe(5);
+  EXPECT_EQ(h.quantile(0.5), 5);
+  EXPECT_EQ(h.quantile(0.99), 5);
+  EXPECT_EQ(h.quantile(0.0), 5);  // clamped up to min
+
+  Histogram h2;
+  for (int i = 0; i < 99; ++i) h2.observe(1);
+  h2.observe(1 << 20);
+  // p50 sits in the first bucket; p995+ must reach the outlier's bucket.
+  EXPECT_EQ(h2.quantile(0.5), 1);
+  EXPECT_EQ(h2.quantile(1.0), 1 << 20);
+  EXPECT_GE(h2.quantile(0.999), 1 << 19);
+}
+
+TEST(Histogram, ResetClearsEverything) {
+  Histogram h;
+  h.observe(7);
+  h.observe(9);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 0);
+  for (size_t i = 0; i < Histogram::kBuckets; ++i) {
+    EXPECT_EQ(h.bucket_count(i), 0u);
+  }
+}
+
+TEST(MetricsRegistry, LookupCreatesAndReturnsStableRefs) {
+  MetricsRegistry reg;
+  Counter& a = reg.counter("x.y.a");
+  a.inc(3);
+  // Creating more instruments must not invalidate earlier references.
+  for (int i = 0; i < 100; ++i) {
+    reg.counter("filler." + std::to_string(i));
+  }
+  Counter& a2 = reg.counter("x.y.a");
+  EXPECT_EQ(&a, &a2);
+  EXPECT_EQ(a2.value(), 3u);
+}
+
+TEST(MetricsRegistry, ReadOnlyLookupsHaveNoSideEffects) {
+  MetricsRegistry reg;
+  EXPECT_EQ(reg.counter_value("never.registered"), 0u);
+  EXPECT_EQ(reg.gauge_value("never.registered"), 0);
+  EXPECT_EQ(reg.find_histogram("never.registered"), nullptr);
+  EXPECT_TRUE(reg.counters().empty());
+  EXPECT_TRUE(reg.gauges().empty());
+  EXPECT_TRUE(reg.histograms().empty());
+
+  reg.counter("real").inc(5);
+  EXPECT_EQ(reg.counter_value("real"), 5u);
+  reg.histogram("h").observe(1);
+  const Histogram* h = reg.find_histogram("h");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->count(), 1u);
+}
+
+TEST(MetricsRegistry, SnapshotIsIndependentOfLaterUpdates) {
+  MetricsRegistry reg;
+  reg.counter("c").inc(10);
+  reg.gauge("g").add(4);
+  reg.histogram("h").observe(100);
+
+  MetricsRegistry::Snapshot snap = reg.snapshot();
+  reg.counter("c").inc(90);
+  reg.gauge("g").add(1);
+  reg.histogram("h").observe(200);
+
+  EXPECT_EQ(snap.counter_value("c"), 10u);
+  EXPECT_EQ(snap.counter_value("missing"), 0u);
+  EXPECT_EQ(snap.gauges.at("g"), 4);
+  EXPECT_EQ(snap.histograms.at("h").count(), 1u);
+  // Live registry moved on.
+  EXPECT_EQ(reg.counter_value("c"), 100u);
+  EXPECT_EQ(reg.find_histogram("h")->count(), 2u);
+}
+
+TEST(MetricsRegistry, ResetZeroesButKeepsRegistrations) {
+  MetricsRegistry reg;
+  Counter& c = reg.counter("c");
+  c.inc(7);
+  reg.gauge("g").add(3);
+  reg.histogram("h").observe(42);
+
+  reg.reset();
+  EXPECT_EQ(reg.counter_value("c"), 0u);
+  EXPECT_EQ(reg.gauge_value("g"), 0);
+  EXPECT_EQ(reg.find_histogram("h")->count(), 0u);
+  // Cached references stay valid and usable after reset.
+  c.inc();
+  EXPECT_EQ(reg.counter_value("c"), 1u);
+}
+
+TEST(FormatSummary, GroupsAndDerivesHitRatio) {
+  MetricsRegistry reg;
+  reg.counter("nfs.client.page_cache.hits").inc(3);
+  reg.counter("nfs.client.page_cache.misses").inc(1);
+  reg.counter("rpc.client.calls").inc(9);
+  reg.counter("zero.valued.counter");  // must be omitted
+  std::string s = format_summary(reg, "");
+
+  EXPECT_NE(s.find("[nfs.client]"), std::string::npos);
+  EXPECT_NE(s.find("page_cache.hits=3"), std::string::npos);
+  EXPECT_NE(s.find("page_cache.hit_ratio=75.0%"), std::string::npos);
+  EXPECT_NE(s.find("[rpc.client] calls=9"), std::string::npos);
+  EXPECT_EQ(s.find("zero"), std::string::npos);
+}
+
+TEST(FormatSummary, NoRatioWithoutMissesSibling) {
+  MetricsRegistry reg;
+  reg.counter("rpc.server.drc.hits").inc(6);
+  std::string s = format_summary(reg, "");
+  EXPECT_NE(s.find("drc.hits=6"), std::string::npos);
+  EXPECT_EQ(s.find("hit_ratio"), std::string::npos);
+}
+
+TEST(FormatSummary, HistogramLineAndDurationUnits) {
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("rpc.client.call_ns");
+  h.observe(2'000'000);  // 2 ms
+  std::string s = format_summary(reg, "  ");
+  EXPECT_NE(s.find("call_ns: n=1"), std::string::npos);
+  EXPECT_NE(s.find("ms"), std::string::npos);
+  // Every line carries the caller's indent.
+  std::istringstream in(s);
+  std::string line;
+  while (std::getline(in, line)) {
+    EXPECT_EQ(line.substr(0, 2), "  ") << line;
+  }
+}
+
+TEST(Tracer, DisabledRecordIsNoOp) {
+  Tracer t;
+  EXPECT_FALSE(t.enabled());
+  t.record(RpcSpan{});
+  EXPECT_TRUE(t.spans().empty());
+  EXPECT_EQ(t.recorded(), 0u);
+  EXPECT_EQ(t.dropped(), 0u);
+}
+
+TEST(Tracer, RecordsUpToCapacityThenCountsDropped) {
+  Tracer t;
+  t.set_enabled(true);
+  t.set_capacity(2);
+  for (int i = 0; i < 5; ++i) {
+    RpcSpan s;
+    s.xid = static_cast<uint32_t>(i);
+    t.record(s);
+  }
+  EXPECT_EQ(t.spans().size(), 2u);
+  EXPECT_EQ(t.recorded(), 2u);
+  EXPECT_EQ(t.dropped(), 3u);
+  EXPECT_EQ(t.spans()[0].xid, 0u);
+  EXPECT_EQ(t.spans()[1].xid, 1u);
+  t.clear();
+  EXPECT_TRUE(t.spans().empty());
+  EXPECT_EQ(t.dropped(), 0u);
+}
+
+TEST(Tracer, DumpJsonlFormat) {
+  Tracer t;
+  t.set_enabled(true);
+  RpcSpan s;
+  s.side = "client";
+  s.peer = "server";
+  s.prog = 100003;
+  s.vers = 3;
+  s.proc = 6;
+  s.xid = 7;
+  s.start = 1000;
+  s.end = 2500;
+  s.bytes_out = 88;
+  s.bytes_in = 120;
+  s.retransmits = 1;
+  s.cache_hit = false;
+  s.status = "ok";
+  t.record(s);
+
+  std::ostringstream os;
+  t.dump_jsonl(os);
+  const std::string line = os.str();
+  EXPECT_NE(line.find("\"side\":\"client\""), std::string::npos);
+  EXPECT_NE(line.find("\"prog\":100003"), std::string::npos);
+  EXPECT_NE(line.find("\"proc\":6"), std::string::npos);
+  EXPECT_NE(line.find("\"xid\":7"), std::string::npos);
+  EXPECT_NE(line.find("\"start_ns\":1000"), std::string::npos);
+  EXPECT_NE(line.find("\"end_ns\":2500"), std::string::npos);
+  EXPECT_NE(line.find("\"retransmits\":1"), std::string::npos);
+  EXPECT_NE(line.find("\"cache_hit\":false"), std::string::npos);
+  EXPECT_NE(line.find("\"status\":\"ok\""), std::string::npos);
+  EXPECT_EQ(line.back(), '\n');
+  // Exactly one line per span.
+  EXPECT_EQ(std::count(line.begin(), line.end(), '\n'), 1);
+}
+
+TEST(Tracer, JsonStringEscaping) {
+  Tracer t;
+  t.set_enabled(true);
+  RpcSpan s;
+  s.side = "client";
+  s.peer = "we\"ird\\host\n";
+  t.record(s);
+  std::ostringstream os;
+  t.dump_jsonl(os);
+  const std::string line = os.str();
+  EXPECT_NE(line.find("we\\\"ird\\\\host\\n"), std::string::npos);
+}

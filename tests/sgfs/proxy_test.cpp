@@ -5,6 +5,7 @@
 
 #include "nfs/nfs3_client.hpp"
 #include "nfs/nfs3_server.hpp"
+#include "obs/metrics.hpp"
 #include "sgfs/client_proxy.hpp"
 #include "sgfs/server_proxy.hpp"
 
@@ -437,6 +438,84 @@ TEST(Sgfs, ReloadSwitchesCipherSuite) {
         grid.fs->read_file(vfs::Cred(0, 0), "/GFS/alice/rc4.txt");
     EXPECT_EQ(sgfs::to_string(content.value), "reconfigured");
   }(grid));
+}
+
+// --- metrics-asserted behaviour -------------------------------------------------
+//
+// The same invariants the counters above pin down, restated against the
+// engine-wide metrics registry the benches report from.
+
+TEST(SgfsMetrics, SessionAbsorptionAndAclCountersRecorded) {
+  Grid grid(pki().alice);
+  vfs::Cred root(0, 0);
+  grid.fs->write_file(root, "/GFS/alice/data.bin", Buffer(128 * 1024, 0x11),
+                      0644);
+  // Govern the file with a fine-grained ACL so reads exercise the server
+  // proxy's ACL check path (ungoverned files skip it).
+  Acl acl;
+  acl.entries["/O=UFL/CN=alice"] = vfs::kAccessRead | vfs::kAccessLookup;
+  auto dir = grid.fs->resolve(root, "/GFS/alice");
+  grid.server_proxy->acl_store()->put_acl(dir.value, "data.bin", acl);
+  grid.eng.run_task([](Grid& grid) -> Task<void> {
+    auto mp = co_await grid.mount_session();
+    Buffer buf(128 * 1024);
+    int fd = co_await mp->open("data.bin", nfs::kRdOnly);
+    co_await mp->read(fd, buf);
+    co_await mp->close(fd);
+
+    auto& reg = grid.eng.metrics();
+    // One secure session was established for this mount.
+    EXPECT_EQ(reg.counter_value("sgfs.client_proxy.sessions"), 1u);
+    const uint64_t forwarded =
+        reg.counter_value("sgfs.client_proxy.forwarded");
+    EXPECT_GT(forwarded, 0u);
+    // Every forwarded request crossed the server proxy's ACL check.
+    EXPECT_GT(reg.counter_value("sgfs.server_proxy.acl_checks"), 0u);
+    EXPECT_GT(reg.counter_value("sgfs.server_proxy.forwarded"), 0u);
+    EXPECT_EQ(reg.counter_value("sgfs.server_proxy.denied"), 0u);
+
+    // Re-read after a kernel cache drop: served from the proxy disk cache —
+    // absorbed counters grow, forwarded does not.
+    mp->drop_caches();
+    fd = co_await mp->open("data.bin", nfs::kRdOnly);
+    co_await mp->read(fd, buf);
+    co_await mp->close(fd);
+    EXPECT_GT(reg.counter_value("sgfs.client_proxy.absorbed.reads"), 0u);
+    EXPECT_EQ(reg.counter_value("sgfs.client_proxy.forwarded"), forwarded);
+  }(grid));
+  EXPECT_TRUE(grid.eng.errors().empty());
+}
+
+TEST(SgfsMetrics, SecureChannelTrafficRecorded) {
+  Grid grid(pki().alice);
+  grid.eng.run_task([](Grid& grid) -> Task<void> {
+    auto mp = co_await grid.mount_session();
+    int fd = co_await mp->open("crypto.bin", nfs::kWrOnly | nfs::kCreate);
+    co_await mp->write(fd, Buffer(64 * 1024, 0x3C));
+    co_await mp->close(fd);
+    co_await grid.client_proxy->flush();
+  }(grid));
+
+  auto& reg = grid.eng.metrics();
+  // Both endpoints of every SSL session count their handshake, so the
+  // engine-wide total is even and at least one full session's worth.
+  EXPECT_GE(reg.counter_value("crypto.handshakes"), 2u);
+  EXPECT_EQ(reg.counter_value("crypto.handshakes") % 2, 0u);
+  EXPECT_GT(reg.counter_value("crypto.records_sent"), 0u);
+  EXPECT_EQ(reg.counter_value("crypto.records_sent"),
+            reg.counter_value("crypto.records_recv"));
+  // The ciphertext stream carries at least the 64 KiB of flushed payload.
+  EXPECT_GT(reg.counter_value("crypto.bytes_sent"), 64u * 1024);
+  EXPECT_EQ(reg.counter_value("crypto.mac_failures"), 0u);
+  // Per-record cost histogram saw every record, on both sides.
+  const obs::Histogram* h = reg.find_histogram("crypto.record_cost_ns");
+  ASSERT_NE(h, nullptr);
+  EXPECT_GE(h->count(), reg.counter_value("crypto.records_sent"));
+  EXPECT_GT(h->max(), 0);
+  // The client proxy's flush accounted the session payload it pushed.
+  EXPECT_GE(reg.counter_value("sgfs.client_proxy.flushed_bytes"),
+            64u * 1024);
+  EXPECT_TRUE(grid.eng.errors().empty());
 }
 
 // --- unit-level ACL/gridmap tests -----------------------------------------------
