@@ -38,6 +38,8 @@ double run_mab_total(TestbedOptions opts, const MabParams& params,
 
 int main(int argc, char** argv) {
   Flags flags = Flags::parse(argc, argv);
+  JsonReport json(flags, "ablation_cache");
+  (void)json;
   MabParams params;
   params.compile_cpu_seconds =
       static_cast<double>(flags.get_int("compile-cpu", 95));

@@ -32,6 +32,7 @@ double run_pm(TestbedOptions opts, const PostmarkParams& params,
 
 int main(int argc, char** argv) {
   Flags flags = Flags::parse(argc, argv);
+  JsonReport json(flags, "ablation_security");
   PostmarkParams params;
   params.directories = static_cast<int>(flags.get_int("dirs", 50));
   params.files = static_cast<int>(flags.get_int("files", 250));
@@ -70,6 +71,7 @@ int main(int argc, char** argv) {
     if (weakest == 0) weakest = t;
     std::printf("  %-28s %8.1f s   (+%4.1f%% vs weakest)\n", v.name, t,
                 100.0 * (t - weakest) / weakest);
+    json.add_row(v.name, t);
     std::fputs(metrics.c_str(), stdout);
   }
   return 0;

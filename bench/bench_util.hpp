@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "common/bufchain.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "workloads/workloads.hpp"
@@ -48,6 +49,11 @@ struct Flags {
     auto it = raw.find(key);
     return it == raw.end() ? def : std::atoll(it->second.c_str());
   }
+
+  double get_double(const std::string& key, double def) const {
+    auto it = raw.find(key);
+    return it == raw.end() ? def : std::atof(it->second.c_str());
+  }
 };
 
 inline void print_header(const std::string& title,
@@ -58,6 +64,153 @@ inline void print_header(const std::string& title,
               "shapes/ratios, not absolutes)\n\n");
 }
 
+/// Machine-readable results (--json=PATH): one JSON document per bench run
+/// with a row per configuration (simulated seconds, stddev, metric
+/// snapshot) plus the ratio checks.  Written on destruction so it is
+/// emitted even when a later check aborts the process.
+class JsonReport {
+ public:
+  JsonReport(const Flags& flags, std::string bench) : bench_(std::move(bench)) {
+    auto it = flags.raw.find("json");
+    if (it != flags.raw.end()) path_ = it->second;
+    if (enabled()) current() = this;
+  }
+  JsonReport(const JsonReport&) = delete;
+  JsonReport& operator=(const JsonReport&) = delete;
+
+  bool enabled() const { return !path_.empty(); }
+
+  /// The report print_row()/print_check() mirror into (one per bench main).
+  static JsonReport*& current() {
+    static JsonReport* cur = nullptr;
+    return cur;
+  }
+
+  /// Counter/gauge snapshot of a registry, for attaching to a row before
+  /// the simulation that owns the registry is torn down.
+  static std::map<std::string, double> snapshot(
+      const obs::MetricsRegistry& reg) {
+    std::map<std::string, double> out;
+    for (const auto& [name, c] : reg.counters()) {
+      out[name] = static_cast<double>(c.value());
+    }
+    for (const auto& [name, g] : reg.gauges()) {
+      out[name] = static_cast<double>(g.value());
+      out[name + ".max"] = static_cast<double>(g.max());
+    }
+    return out;
+  }
+
+  void add_row(const std::string& name, double seconds, double stddev = 0,
+               std::map<std::string, double> metrics = {},
+               std::string note = "") {
+    if (!enabled()) return;
+    rows_.push_back(
+        Row{name, seconds, stddev, std::move(metrics), std::move(note)});
+  }
+
+  /// Attaches a metric snapshot to the most recent row named `name` (rows
+  /// usually come in via the print_row() mirror, which has no registry).
+  void attach_metrics(const std::string& name,
+                      std::map<std::string, double> metrics) {
+    if (!enabled()) return;
+    for (auto it = rows_.rbegin(); it != rows_.rend(); ++it) {
+      if (it->name == name) {
+        it->metrics = std::move(metrics);
+        return;
+      }
+    }
+  }
+
+  void add_check(const std::string& what, double measured,
+                 const std::string& paper) {
+    if (!enabled()) return;
+    checks_.push_back(Check{what, measured, paper});
+  }
+
+  ~JsonReport() {
+    if (current() == this) current() = nullptr;
+    if (!enabled()) return;
+    std::FILE* f = std::fopen(path_.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "WARNING: could not write JSON to %s\n",
+                   path_.c_str());
+      return;
+    }
+    std::fprintf(f, "{\n  \"bench\": %s,\n  \"rows\": [",
+                 quoted(bench_).c_str());
+    for (size_t i = 0; i < rows_.size(); ++i) {
+      const Row& r = rows_[i];
+      std::fprintf(f, "%s\n    {\"name\": %s, \"simulated_seconds\": %.6f",
+                   i ? "," : "", quoted(r.name).c_str(), r.seconds);
+      if (r.stddev > 0) std::fprintf(f, ", \"stddev\": %.6f", r.stddev);
+      if (!r.note.empty()) {
+        std::fprintf(f, ", \"note\": %s", quoted(r.note).c_str());
+      }
+      if (!r.metrics.empty()) {
+        std::fprintf(f, ", \"metrics\": {");
+        size_t j = 0;
+        for (const auto& [k, v] : r.metrics) {
+          std::fprintf(f, "%s%s: %.17g", j++ ? ", " : "", quoted(k).c_str(),
+                       v);
+        }
+        std::fprintf(f, "}");
+      }
+      std::fprintf(f, "}");
+    }
+    std::fprintf(f, "\n  ],\n  \"checks\": [");
+    for (size_t i = 0; i < checks_.size(); ++i) {
+      std::fprintf(f, "%s\n    {\"what\": %s, \"measured\": %.6f, "
+                      "\"paper\": %s}",
+                   i ? "," : "", quoted(checks_[i].what).c_str(),
+                   checks_[i].measured, quoted(checks_[i].paper).c_str());
+    }
+    std::fprintf(f, "\n  ]\n}\n");
+    std::fclose(f);
+    std::printf("json: results -> %s\n", path_.c_str());
+  }
+
+ private:
+  struct Row {
+    std::string name;
+    double seconds = 0;
+    double stddev = 0;
+    std::map<std::string, double> metrics;
+    std::string note;
+  };
+  struct Check {
+    std::string what;
+    double measured = 0;
+    std::string paper;
+  };
+
+  static std::string quoted(const std::string& s) {
+    std::string out = "\"";
+    for (char ch : s) {
+      switch (ch) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        default:
+          if (static_cast<unsigned char>(ch) < 0x20) {
+            char esc[8];
+            std::snprintf(esc, sizeof esc, "\\u%04x", ch);
+            out += esc;
+          } else {
+            out.push_back(ch);
+          }
+      }
+    }
+    out += '"';
+    return out;
+  }
+
+  std::string bench_;
+  std::string path_;
+  std::vector<Row> rows_;
+  std::vector<Check> checks_;
+};
+
 inline void print_row(const std::string& name, double measured,
                       double stddev, const char* note = "") {
   if (stddev > 0) {
@@ -66,13 +219,41 @@ inline void print_row(const std::string& name, double measured,
   } else {
     std::printf("  %-12s %9.1f s  %s\n", name.c_str(), measured, note);
   }
+  if (JsonReport* json = JsonReport::current()) {
+    json->add_row(name, measured, stddev, {}, note);
+  }
 }
 
 inline void print_check(const std::string& what, double measured,
                         const std::string& paper) {
   std::printf("  check: %-44s measured %6.2f   paper %s\n", what.c_str(),
               measured, paper.c_str());
+  if (JsonReport* json = JsonReport::current()) {
+    json->add_check(what, measured, paper);
+  }
 }
+
+/// Publishes the buffer-pipeline copy-accounting deltas accumulated since
+/// construction into an engine's registry as buf.* counters.  BufStats is
+/// process-global (payloads cross host boundaries), so each bench run wraps
+/// itself in a scope to get per-run numbers.
+class BufStatsScope {
+ public:
+  BufStatsScope() : start_(buf_stats()) {}
+
+  void publish(obs::MetricsRegistry& reg) const {
+    const BufStats& now = buf_stats();
+    reg.counter("buf.bytes_copied").inc(now.bytes_copied -
+                                        start_.bytes_copied);
+    reg.counter("buf.bytes_zerocopy").inc(now.bytes_zerocopy -
+                                          start_.bytes_zerocopy);
+    reg.counter("buf.segments_allocated").inc(now.segments_allocated -
+                                              start_.segments_allocated);
+  }
+
+ private:
+  BufStats start_;
+};
 
 /// Prints the per-layer metrics summary for one simulation (RPC counts,
 /// cache hit ratios, retransmits, crypto bytes, queue waits), indented

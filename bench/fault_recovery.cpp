@@ -87,6 +87,7 @@ RunResult run_once(double loss, double corrupt, PostmarkParams params,
 
 int main(int argc, char** argv) {
   Flags flags = Flags::parse(argc, argv);
+  JsonReport json(flags, "fault_recovery");
   PostmarkParams params;
   params.directories =
       static_cast<int>(flags.get_int("dirs", flags.full ? 100 : 10));
@@ -134,6 +135,13 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(r.corrupted),
         static_cast<unsigned long long>(r.retransmits),
         static_cast<unsigned long long>(r.drc_hits));
+    json.add_row(pt.name, r.times.total(), 0,
+                 {{"delivered", static_cast<double>(r.delivered)},
+                  {"dropped", static_cast<double>(r.dropped)},
+                  {"corrupted", static_cast<double>(r.corrupted)},
+                  {"retransmits", static_cast<double>(r.retransmits)},
+                  {"drc_hits", static_cast<double>(r.drc_hits)},
+                  {"reconnects", static_cast<double>(r.reconnects)}});
     if (pt.corrupt > 0) {
       std::printf("  %-24s session re-establishments: %llu\n", "",
                   static_cast<unsigned long long>(r.reconnects));

@@ -20,9 +20,11 @@ namespace {
 
 double run_one(TestbedOptions opts, uint64_t file_bytes, uint64_t client_mem,
                const Flags& flags, const std::string& trace_tag,
-               std::string* metrics_out) {
+               std::string* metrics_out,
+               std::map<std::string, double>* json_metrics) {
   opts.client_mem_bytes = client_mem;
   opts.proxy_disk_cache = false;  // paper: LAN IOzone has no disk caching
+  BufStatsScope buf_scope;
   Testbed tb(opts);
   if (metrics_out != nullptr && trace_requested(flags)) {
     tb.engine().tracer().set_enabled(true);
@@ -37,9 +39,13 @@ double run_one(TestbedOptions opts, uint64_t file_bytes, uint64_t client_mem,
     auto times = co_await run_iozone(tb, mp, params);
     *out = times.total();
   }(tb, params, &total));
+  buf_scope.publish(tb.engine().metrics());
   if (metrics_out != nullptr) {
     *metrics_out = obs::format_summary(tb.engine().metrics(), "    ");
     dump_trace(flags, tb.engine(), trace_tag);
+  }
+  if (json_metrics != nullptr) {
+    *json_metrics = JsonReport::snapshot(tb.engine().metrics());
   }
   return total;
 }
@@ -51,6 +57,9 @@ int main(int argc, char** argv) {
   const uint64_t file_bytes =
       flags.get_int("file-mb", flags.full ? 512 : 128) << 20;
   const uint64_t client_mem = file_bytes / 2;  // paper ratio: 512MB vs 256MB
+  // Opt-in memcpy cost model (GB/s); 0 keeps timing identical to earlier
+  // revisions while buf.* counters still report the copy volume.
+  const double memcpy_gbps = flags.get_double("memcpy-gbps", 0);
 
   print_header("Figure 4 — IOzone runtime, LAN",
                "read/reread of " + std::to_string(file_bytes >> 20) +
@@ -84,20 +93,26 @@ int main(int argc, char** argv) {
       crypto::MacAlgo::kHmacSha1);
   add("gfs-ssh", SetupKind::kGfsSsh);
 
+  JsonReport json(flags, "fig04_iozone_lan");
   std::map<std::string, double> result;
   for (const auto& config : configs) {
     std::vector<double> totals;
     std::string metrics;  // per-layer decomposition from the first seed
+    std::map<std::string, double> json_metrics;
     for (int r = 0; r < flags.runs; ++r) {
       TestbedOptions opts = config.opts;
       opts.seed = 42 + 1000ull * r;
+      opts.memcpy_bytes_per_sec = memcpy_gbps * 1e9;
       totals.push_back(run_one(opts, file_bytes, client_mem, flags,
-                               config.name, r == 0 ? &metrics : nullptr));
+                               config.name, r == 0 ? &metrics : nullptr,
+                               r == 0 && json.enabled() ? &json_metrics
+                                                        : nullptr));
     }
     auto s = stats_of(totals);
     result[config.name] = s.mean;
     print_row(config.name, s.mean, s.stddev);
     std::fputs(metrics.c_str(), stdout);
+    json.attach_metrics(config.name, std::move(json_metrics));
   }
 
   std::printf("\n");

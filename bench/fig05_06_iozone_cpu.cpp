@@ -56,6 +56,7 @@ double mean_nonzero(const std::vector<double>& xs) {
 
 int main(int argc, char** argv) {
   Flags flags = Flags::parse(argc, argv);
+  JsonReport json(flags, "fig05_06_iozone_cpu");
   const uint64_t file_bytes =
       flags.get_int("file-mb", flags.full ? 512 : 128) << 20;
 
@@ -100,6 +101,9 @@ int main(int argc, char** argv) {
     std::printf("  %-10s %13.1f%% %14s %13.1f%% %14s\n", config.name.c_str(),
                 100 * mean_nonzero(r.client), config.paper_client,
                 100 * mean_nonzero(r.server), config.paper_server);
+    json.add_row(config.name, 0, 0,
+                 {{"client_cpu_pct", 100 * mean_nonzero(r.client)},
+                  {"server_cpu_pct", 100 * mean_nonzero(r.server)}});
     if (flags.raw.count("series")) {
       std::printf("    client series:");
       for (double s : r.client) std::printf(" %.1f", 100 * s);

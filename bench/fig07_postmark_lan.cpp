@@ -15,6 +15,8 @@ using baselines::TestbedOptions;
 
 int main(int argc, char** argv) {
   Flags flags = Flags::parse(argc, argv);
+  JsonReport json(flags, "fig07_postmark_lan");
+  (void)json;
   PostmarkParams params;
   params.directories = static_cast<int>(flags.get_int("dirs", 100));
   params.files = static_cast<int>(flags.get_int("files", 500));

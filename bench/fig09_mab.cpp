@@ -47,6 +47,8 @@ MabRun run_one(TestbedOptions opts, const MabParams& params) {
 
 int main(int argc, char** argv) {
   Flags flags = Flags::parse(argc, argv);
+  JsonReport json(flags, "fig09_mab");
+  (void)json;
   MabParams params;
   params.compile_cpu_seconds =
       static_cast<double>(flags.get_int("compile-cpu", 95));

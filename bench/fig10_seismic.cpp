@@ -47,6 +47,8 @@ SeismicRun run_one(TestbedOptions opts, const SeismicParams& params) {
 
 int main(int argc, char** argv) {
   Flags flags = Flags::parse(argc, argv);
+  JsonReport json(flags, "fig10_seismic");
+  (void)json;
   SeismicParams params;
   params.trace_bytes =
       static_cast<uint64_t>(flags.get_int("trace-mb", flags.full ? 320 : 96))

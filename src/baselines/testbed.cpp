@@ -46,6 +46,8 @@ Testbed::Testbed(TestbedOptions options)
     : options_(options), net_(eng_), rng_(options.seed) {
   client_ = &net_.add_host("client");
   server_ = &net_.add_host("server");
+  client_->set_memcpy_bytes_per_sec(options_.memcpy_bytes_per_sec);
+  server_->set_memcpy_bytes_per_sec(options_.memcpy_bytes_per_sec);
   net_.set_default_link(net::LinkParams(
       options_.wan_rtt > 0 ? options_.wan_rtt / 2
                            : 150 * sim::kMicrosecond,

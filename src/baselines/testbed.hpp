@@ -61,6 +61,10 @@ struct TestbedOptions {
   double loss_probability = 0;
   double corrupt_probability = 0;
   rpc::RetryPolicy retry;
+  /// Opt-in memcpy cost model (net::Host::set_memcpy_bytes_per_sec) applied
+  /// to both hosts.  0 (the default) keeps copy accounting free of charge,
+  /// so results are bit-identical to runs that predate the zero-copy work.
+  double memcpy_bytes_per_sec = 0;
 
   TestbedOptions() = default;
 };

@@ -30,7 +30,7 @@ sim::Task<void> splice_encrypt(net::StreamPtr src, net::StreamPtr dst,
     auto mac = crypto::HmacSha1::mac(mac_key, ct);
     xdr::Encoder enc;
     enc.put_u32(static_cast<uint32_t>(ct.size()));
-    Buffer frame = enc.take();
+    Buffer frame = enc.take_flat();
     append(frame, ct);
     append(frame, ByteView(mac.data(), mac.size()));
     if (frames) ++*frames;

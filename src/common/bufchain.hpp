@@ -1,0 +1,127 @@
+// BufChain — refcounted segmented byte buffer for the zero-copy pipeline.
+//
+// A BufChain is a small vector of shared, immutable segments.  Appending,
+// slicing and concatenating chains moves/refcounts segment descriptors
+// instead of copying payload bytes, so an NFS READ reply can travel
+// XDR encoder -> rpc_msg -> secure channel -> stream -> proxy -> client
+// without ever being duplicated.  Segments are immutable once adopted:
+// whoever hands a Buffer to a chain gives up the right to mutate it
+// (see DESIGN.md §9 for the ownership rules).
+//
+// Copy accounting: every deliberate byte copy made through this API bumps
+// `buf_stats().bytes_copied`, and every payload handoff that *avoided* a
+// copy (adoption, slicing) bumps `bytes_zerocopy`.  The counters are
+// process-global (not per-engine) because buffers flow between hosts; the
+// benches snapshot deltas around each run.
+#pragma once
+
+#include <concepts>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "common/bytes.hpp"
+
+namespace sgfs {
+
+/// Process-global copy-accounting tallies for the buffer pipeline.
+struct BufStats {
+  uint64_t bytes_copied = 0;       // bytes physically memcpy'd via BufChain
+  uint64_t bytes_zerocopy = 0;     // bytes handed off by refcount/slice
+  uint64_t segments_allocated = 0; // shared segment stores created
+
+  void reset() { *this = BufStats{}; }
+};
+
+/// The global tally (single simulation thread; no locking needed).
+BufStats& buf_stats();
+
+class BufChain {
+ public:
+  /// One shared, immutable view into a refcounted backing store.
+  struct Segment {
+    std::shared_ptr<const Buffer> store;
+    size_t offset = 0;
+    size_t len = 0;
+
+    // User-declared constructors: objects crossing coroutine boundaries
+    // must not be aggregates (GCC 12 coroutine-frame bug).
+    Segment() {}
+    Segment(std::shared_ptr<const Buffer> s, size_t off, size_t n)
+        : store(std::move(s)), offset(off), len(n) {}
+
+    ByteView view() const { return ByteView(store->data() + offset, len); }
+  };
+
+  BufChain() {}
+
+  /// Adopts an owned Buffer as a single shared segment — no byte copy.
+  /// Implicit on purpose: `co_return enc.take_flat();` and friends read
+  /// naturally.  Pass by value; move in.
+  BufChain(Buffer data);
+
+  /// Wraps an existing shared segment (refcount bump, counted zero-copy).
+  explicit BufChain(Segment seg);
+
+  /// Copies `data` into a fresh single-segment chain (counted).
+  static BufChain copy_of(ByteView data);
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Appends another chain's segments (refcount bump / move, no byte copy).
+  void append(BufChain other);
+
+  /// Adopts and appends an owned Buffer as one segment.
+  void append(Buffer data);
+
+  /// Sub-range [offset, offset+len) sharing the same stores (counted as
+  /// zero-copy).  Throws std::out_of_range when the range exceeds size().
+  BufChain slice(size_t offset, size_t len) const;
+
+  /// iovec-style access for scatter-gather consumers.
+  const std::vector<Segment>& segments() const { return segs_; }
+
+  /// Contiguous view when the chain has at most one segment.
+  std::optional<ByteView> try_view() const;
+
+  /// Copies all bytes into one fresh Buffer (counted).
+  Buffer flatten() const;
+
+  /// Copies min(size(), out.size()) bytes into `out` (counted); returns the
+  /// number of bytes written.
+  size_t copy_to(MutByteView out) const;
+
+  /// Byte at absolute position i (for tests/debugging; O(#segments)).
+  uint8_t at(size_t i) const;
+
+ private:
+  std::vector<Segment> segs_;
+  size_t size_ = 0;
+};
+
+/// Byte-wise equality (ignores segmentation).
+bool operator==(const BufChain& a, const BufChain& b);
+bool operator==(const BufChain& a, const Buffer& b);
+inline bool operator==(const Buffer& a, const BufChain& b) { return b == a; }
+
+/// Interprets the chain's bytes as an ASCII string (copies; tests/logs).
+/// Constrained template so a plain Buffer still resolves to
+/// to_string(ByteView) instead of being ambiguous with the implicit
+/// Buffer -> BufChain adoption constructor.
+std::string chain_to_string(const BufChain& c);
+template <typename T>
+  requires std::same_as<std::remove_cvref_t<T>, BufChain>
+std::string to_string(const T& c) {
+  return chain_to_string(c);
+}
+
+/// Returns a contiguous view of `c`.  Zero-copy when the chain has at most
+/// one segment; otherwise flattens into `scratch` (counted) and views that.
+/// The view is valid while both `c` and `scratch` are alive and unmodified.
+ByteView linearize(const BufChain& c, Buffer& scratch);
+
+}  // namespace sgfs

@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/bufchain.hpp"
 #include "common/bytes.hpp"
 
 namespace sgfs::crypto {
@@ -34,6 +35,12 @@ class Aes {
 
 /// CBC-mode encryption with PKCS#7 padding; iv must be 16 bytes.
 Buffer aes_cbc_encrypt(const Aes& aes, ByteView iv, ByteView plaintext);
+
+/// Identical output to aes_cbc_encrypt over the flattened chain, but streams
+/// the segments through a 16-byte staging block — no contiguous plaintext
+/// copy is ever materialised.
+Buffer aes_cbc_encrypt_chain(const Aes& aes, ByteView iv,
+                             const BufChain& plaintext);
 
 /// CBC-mode decryption; throws std::runtime_error on corrupt padding.
 Buffer aes_cbc_decrypt(const Aes& aes, ByteView iv, ByteView ciphertext);

@@ -34,14 +34,14 @@ Buffer Certificate::tbs_bytes() const {
   enc.put_i64(not_before);
   enc.put_i64(not_after);
   enc.put_opaque(key.serialize());
-  return enc.take();
+  return enc.take_flat();
 }
 
 Buffer Certificate::serialize() const {
   xdr::Encoder enc;
   enc.put_opaque(tbs_bytes());
   enc.put_opaque(signature);
-  return enc.take();
+  return enc.take_flat();
 }
 
 Certificate Certificate::deserialize(ByteView data) {

@@ -11,7 +11,7 @@ Buffer RsaPublicKey::serialize() const {
   xdr::Encoder enc;
   enc.put_opaque(n.to_bytes());
   enc.put_opaque(e.to_bytes());
-  return enc.take();
+  return enc.take_flat();
 }
 
 RsaPublicKey RsaPublicKey::deserialize(ByteView data) {

@@ -54,7 +54,9 @@ std::vector<Certificate> decode_chain(xdr::Decoder& dec) {
   std::vector<Certificate> chain;
   chain.reserve(n);
   for (uint32_t i = 0; i < n; ++i) {
-    chain.push_back(Certificate::deserialize(dec.get_opaque()));
+    // Per-field cap: a real certificate serializes to well under 16 KiB;
+    // without this a forged length word could demand a 64 MiB allocation.
+    chain.push_back(Certificate::deserialize(dec.get_opaque(16 * 1024)));
   }
   return chain;
 }
@@ -153,41 +155,62 @@ sim::Task<void> SecureChannel::charge_crypto(size_t bytes) {
   co_await stream_->local_host().cpu().use(cost, "crypto");
 }
 
-Buffer SecureChannel::protect(uint64_t seq, ByteView plaintext) {
-  Buffer data;
+BufChain SecureChannel::protect_chain(uint64_t seq, const BufChain& plaintext) {
+  // Produce the ciphertext.  The cipher's working buffers are charged to the
+  // crypto cost model, not buf_stats(): only the null cipher's graft (no
+  // transformation) participates in copy accounting, as a zero-copy handoff.
+  BufChain out;
+  Buffer ct;
   switch (cipher_) {
     case Cipher::kNull:
-      data.assign(plaintext.begin(), plaintext.end());
+      out = plaintext;
       break;
-    case Cipher::kRc4_128:
-      data = send_rc4_->process_copy(plaintext);
+    case Cipher::kRc4_128: {
+      // Gather + encrypt fused: one pass writes the keystream over the
+      // gathered bytes in place (same keystream as the flat path).
+      ct.reserve(plaintext.size());
+      for (const auto& seg : plaintext.segments()) {
+        ct.insert(ct.end(), seg.view().begin(), seg.view().end());
+      }
+      send_rc4_->process(ct);
       break;
+    }
     case Cipher::kAes128Cbc:
     case Cipher::kAes256Cbc: {
       auto iv_mac = HmacSha1::mac(send_iv_key_, be64(seq));
       ByteView iv(iv_mac.data(), Aes::kBlockSize);
-      data = aes_cbc_encrypt(*send_aes_, iv, plaintext);
+      ct = aes_cbc_encrypt_chain(*send_aes_, iv, plaintext);
       break;
     }
   }
   if (mac_ == MacAlgo::kHmacSha1) {
     HmacSha1 h(send_mac_key_);
     h.update(be64(seq));
-    h.update(data);
+    if (cipher_ == Cipher::kNull) {
+      for (const auto& seg : plaintext.segments()) h.update(seg.view());
+    } else {
+      h.update(ct);
+    }
     auto m = h.finish();
-    append(data, ByteView(m.data(), m.size()));
+    if (cipher_ == Cipher::kNull) {
+      out.append(Buffer(m.begin(), m.end()));
+    } else {
+      append(ct, ByteView(m.data(), m.size()));
+    }
   }
-  return data;
+  if (cipher_ != Cipher::kNull) out.append(std::move(ct));
+  return out;
 }
 
-Buffer SecureChannel::unprotect(uint64_t seq, ByteView record) {
-  ByteView body = record;
+BufChain SecureChannel::unprotect_adopt(uint64_t seq, Buffer&& wire) {
+  size_t body_len = wire.size();
   if (mac_ == MacAlgo::kHmacSha1) {
-    if (record.size() < Sha1::kDigestSize) {
+    if (wire.size() < Sha1::kDigestSize) {
       throw SecurityError("record too short for MAC");
     }
-    body = record.first(record.size() - Sha1::kDigestSize);
-    ByteView mac = record.last(Sha1::kDigestSize);
+    body_len = wire.size() - Sha1::kDigestSize;
+    ByteView body(wire.data(), body_len);
+    ByteView mac(wire.data() + body_len, Sha1::kDigestSize);
     HmacSha1 h(recv_mac_key_);
     h.update(be64(seq));
     h.update(body);
@@ -198,18 +221,22 @@ Buffer SecureChannel::unprotect(uint64_t seq, ByteView record) {
   }
   switch (cipher_) {
     case Cipher::kNull:
-      return Buffer(body.begin(), body.end());
+      // Adopt the receive buffer itself; the MAC tail is sliced off by
+      // length, never re-copied.
+      wire.resize(body_len);
+      return BufChain(std::move(wire));
     case Cipher::kRc4_128: {
-      Buffer out(body.begin(), body.end());
-      recv_rc4_->process(out);
-      return out;
+      wire.resize(body_len);
+      recv_rc4_->process(wire);
+      return BufChain(std::move(wire));
     }
     case Cipher::kAes128Cbc:
     case Cipher::kAes256Cbc: {
       auto iv_mac = HmacSha1::mac(recv_iv_key_, be64(seq));
       ByteView iv(iv_mac.data(), Aes::kBlockSize);
       try {
-        return aes_cbc_decrypt(*recv_aes_, iv, body);
+        return BufChain(
+            aes_cbc_decrypt(*recv_aes_, iv, ByteView(wire.data(), body_len)));
       } catch (const std::runtime_error& e) {
         throw SecurityError(e.what());
       }
@@ -219,21 +246,23 @@ Buffer SecureChannel::unprotect(uint64_t seq, ByteView record) {
 }
 
 sim::Task<void> SecureChannel::send_record(RecordType type,
-                                           ByteView payload) {
+                                           BufChain payload) {
   if (failed_) throw SecurityError("channel failed closed");
   if (payload.size() > kMaxRecord) throw SecurityError("record too large");
   co_await charge_crypto(payload.size());
   const uint64_t seq = send_seq_++;
-  // The record type is authenticated: it is prepended to the plaintext.
-  Buffer framed;
-  framed.reserve(payload.size() + 1);
-  framed.push_back(static_cast<uint8_t>(type));
-  append(framed, payload);
-  Buffer wire = protect(seq, framed);
+  // The record type is authenticated: it is prepended to the plaintext as
+  // its own one-byte segment; the payload segments are grafted untouched.
+  BufChain framed{Buffer{static_cast<uint8_t>(type)}};
+  framed.append(std::move(payload));
+  BufChain wire = protect_chain(seq, framed);
   if (corrupt_next_ && type == RecordType::kData) {
     // Fault injection: the record left us intact but the wire flips a bit.
+    // Rare path: flattening here keeps the common path copy-free.
     corrupt_next_ = false;
-    wire[wire.size() / 2] ^= 0x20;
+    Buffer flat = wire.flatten();
+    flat[flat.size() / 2] ^= 0x20;
+    wire = BufChain(std::move(flat));
   }
   {
     auto& metrics = stream_->local_host().engine().metrics();
@@ -242,9 +271,9 @@ sim::Task<void> SecureChannel::send_record(RecordType type,
   }
   xdr::Encoder enc;
   enc.put_u32(static_cast<uint32_t>(wire.size()));
-  Buffer header = enc.take();
-  append(header, wire);
-  co_await stream_->write(header);
+  BufChain out = enc.take();
+  out.append(std::move(wire));
+  co_await stream_->write(out);
 }
 
 sim::Task<SecureChannel::Record> SecureChannel::recv_record() {
@@ -264,12 +293,12 @@ sim::Task<SecureChannel::Record> SecureChannel::recv_record() {
     metrics.counter("crypto.records_recv").inc();
     metrics.counter("crypto.bytes_recv").inc(wire.size());
   }
-  Buffer framed;
+  BufChain framed;
   try {
     // The sequence number is consumed only once the record authenticates;
     // advancing it on the failed attempt would silently desynchronise the
     // record counters for the rest of the session.
-    framed = unprotect(recv_seq_, wire);
+    framed = unprotect_adopt(recv_seq_, std::move(wire));
   } catch (const SecurityError&) {
     stream_->local_host().engine().metrics().counter("crypto.mac_failures")
         .inc();
@@ -281,21 +310,23 @@ sim::Task<SecureChannel::Record> SecureChannel::recv_record() {
   }
   ++recv_seq_;
   if (framed.empty()) throw SecurityError("empty record");
-  const auto type = static_cast<RecordType>(framed[0]);
-  co_return Record(type, Buffer(framed.begin() + 1, framed.end()));
+  const auto type = static_cast<RecordType>(framed.at(0));
+  co_return Record(type, framed.slice(1, framed.size() - 1));
 }
 
-sim::Task<void> SecureChannel::send_handshake_msg(ByteView payload) {
-  append(transcript_, payload);
-  co_await send_record(RecordType::kHandshake, payload);
+sim::Task<void> SecureChannel::send_handshake_msg(BufChain payload) {
+  for (const auto& seg : payload.segments()) append(transcript_, seg.view());
+  co_await send_record(RecordType::kHandshake, std::move(payload));
 }
 
-sim::Task<Buffer> SecureChannel::recv_handshake_msg() {
+sim::Task<BufChain> SecureChannel::recv_handshake_msg() {
   Record rec = co_await recv_record();
   if (rec.type != RecordType::kHandshake) {
     throw SecurityError("expected handshake message");
   }
-  append(transcript_, rec.payload);
+  for (const auto& seg : rec.payload.segments()) {
+    append(transcript_, seg.view());
+  }
   co_return std::move(rec.payload);
 }
 
@@ -384,7 +415,7 @@ sim::Task<void> SecureChannel::handshake() {
     // ServerHello
     Buffer server_random;
     {
-      Buffer msg = co_await recv_handshake_msg();
+      BufChain msg = co_await recv_handshake_msg();
       xdr::Decoder dec(msg);
       if (dec.get_u32() != kHelloMagic) throw SecurityError("bad magic");
       server_random = dec.get_opaque(kRandomSize);
@@ -420,7 +451,7 @@ sim::Task<void> SecureChannel::handshake() {
       h.update(to_bytes("client finished"));
       auto m = h.finish();
       co_await send_record(RecordType::kHandshake,
-                           ByteView(m.data(), m.size()));
+                           BufChain(Buffer(m.begin(), m.end())));
     }
     {
       Record rec = co_await recv_record();
@@ -431,7 +462,9 @@ sim::Task<void> SecureChannel::handshake() {
       h.update(base);
       h.update(to_bytes("server finished"));
       auto expect = h.finish();
-      if (!ct_equal(ByteView(expect.data(), expect.size()), rec.payload)) {
+      Buffer scratch;
+      if (!ct_equal(ByteView(expect.data(), expect.size()),
+                    linearize(rec.payload, scratch))) {
         throw SecurityError("server finished MAC mismatch");
       }
     }
@@ -439,7 +472,7 @@ sim::Task<void> SecureChannel::handshake() {
     // ClientHello
     Buffer client_random;
     {
-      Buffer msg = co_await recv_handshake_msg();
+      BufChain msg = co_await recv_handshake_msg();
       xdr::Decoder dec(msg);
       if (dec.get_u32() != kHelloMagic) throw SecurityError("bad magic");
       client_random = dec.get_opaque(kRandomSize);
@@ -463,11 +496,11 @@ sim::Task<void> SecureChannel::handshake() {
     // ClientKey
     Buffer premaster;
     {
-      Buffer msg = co_await recv_handshake_msg();
+      BufChain msg = co_await recv_handshake_msg();
       xdr::Decoder dec(msg);
       auto chain = decode_chain(dec);
-      Buffer enc_premaster = dec.get_opaque();
-      Buffer verify_sig = dec.get_opaque();
+      Buffer enc_premaster = dec.get_opaque(4096);
+      Buffer verify_sig = dec.get_opaque(4096);
 
       auto result = validate_chain(chain, config_.trusted, epoch);
       if (!result.ok) {
@@ -505,7 +538,9 @@ sim::Task<void> SecureChannel::handshake() {
       h.update(base);
       h.update(to_bytes("client finished"));
       auto expect = h.finish();
-      if (!ct_equal(ByteView(expect.data(), expect.size()), rec.payload)) {
+      Buffer scratch;
+      if (!ct_equal(ByteView(expect.data(), expect.size()),
+                    linearize(rec.payload, scratch))) {
         throw SecurityError("client finished MAC mismatch");
       }
     }
@@ -515,7 +550,7 @@ sim::Task<void> SecureChannel::handshake() {
       h.update(to_bytes("server finished"));
       auto m = h.finish();
       co_await send_record(RecordType::kHandshake,
-                           ByteView(m.data(), m.size()));
+                           BufChain(Buffer(m.begin(), m.end())));
     }
   }
   established_ = true;
@@ -523,12 +558,16 @@ sim::Task<void> SecureChannel::handshake() {
 
 // --- application API --------------------------------------------------------
 
-sim::Task<void> SecureChannel::send(ByteView message) {
+sim::Task<void> SecureChannel::send_chain(BufChain message) {
   if (!established_) throw SecurityError("channel not established");
-  co_await send_record(RecordType::kData, message);
+  co_await send_record(RecordType::kData, std::move(message));
 }
 
-sim::Task<Buffer> SecureChannel::recv() {
+sim::Task<void> SecureChannel::send(ByteView message) {
+  co_await send_chain(BufChain::copy_of(message));
+}
+
+sim::Task<BufChain> SecureChannel::recv_chain() {
   for (;;) {
     Record rec = co_await recv_record();
     switch (rec.type) {
@@ -545,9 +584,14 @@ sim::Task<Buffer> SecureChannel::recv() {
   }
 }
 
+sim::Task<Buffer> SecureChannel::recv() {
+  BufChain chain = co_await recv_chain();
+  co_return chain.flatten();
+}
+
 sim::Task<void> SecureChannel::renegotiate() {
   if (!is_client_) throw SecurityError("server cannot initiate renegotiate");
-  co_await send_record(RecordType::kRenegotiate, ByteView{});
+  co_await send_record(RecordType::kRenegotiate, BufChain());
   co_await handshake();
 }
 

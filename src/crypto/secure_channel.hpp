@@ -26,6 +26,7 @@
 #include <memory>
 #include <string>
 
+#include "common/bufchain.hpp"
 #include "common/bytes.hpp"
 #include "common/rng.hpp"
 #include "crypto/aes.hpp"
@@ -115,11 +116,20 @@ class SecureChannel {
       net::StreamPtr stream, const SecurityConfig& config, Rng& rng,
       int64_t now_epoch);
 
-  /// Sends one application message as an encrypted+MAC'd record.
+  /// Sends one application message as an encrypted+MAC'd record.  The
+  /// chain's payload segments are grafted/encrypted without an intermediate
+  /// plaintext copy; segment stores must stay immutable after the call.
+  sim::Task<void> send_chain(BufChain message);
+
+  /// Convenience wrapper that copies `message` into a chain (counted).
   sim::Task<void> send(ByteView message);
 
-  /// Receives one application message; handles in-band renegotiation
-  /// transparently.  Throws StreamClosed at EOF, SecurityError on tamper.
+  /// Receives one application message as a shared slice of the decrypted
+  /// record; handles in-band renegotiation transparently.  Throws
+  /// StreamClosed at EOF, SecurityError on tamper.
+  sim::Task<BufChain> recv_chain();
+
+  /// Convenience wrapper that flattens the received chain (counted).
   sim::Task<Buffer> recv();
 
   /// Client-initiated key renegotiation (paper §4.2): re-runs the handshake
@@ -162,20 +172,25 @@ class SecureChannel {
                 Rng& rng, bool is_client, int64_t now_epoch);
 
   sim::Task<void> handshake();
-  sim::Task<void> send_record(RecordType type, ByteView payload);
+  sim::Task<void> send_record(RecordType type, BufChain payload);
   struct Record {
     RecordType type;
-    Buffer payload;
-    Record(RecordType t, Buffer p) : type(t), payload(std::move(p)) {}
+    BufChain payload;
+    Record(RecordType t, BufChain p) : type(t), payload(std::move(p)) {}
   };
   sim::Task<Record> recv_record();
-  sim::Task<void> send_handshake_msg(ByteView payload);
-  sim::Task<Buffer> recv_handshake_msg();
+  sim::Task<void> send_handshake_msg(BufChain payload);
+  sim::Task<BufChain> recv_handshake_msg();
 
   void install_keys(ByteView premaster, ByteView client_random,
                     ByteView server_random);
-  Buffer protect(uint64_t seq, ByteView plaintext);
-  Buffer unprotect(uint64_t seq, ByteView record);
+  /// Seals [plaintext] into wire form: ciphertext (or grafted plaintext for
+  /// the null cipher) followed by the record MAC.  Scatter-gather: never
+  /// materialises a contiguous plaintext copy.
+  BufChain protect_chain(uint64_t seq, const BufChain& plaintext);
+  /// Verifies and strips the MAC, decrypts, and adopts the result without
+  /// re-copying; consumes the wire buffer.
+  BufChain unprotect_adopt(uint64_t seq, Buffer&& wire);
   sim::Task<void> charge_crypto(size_t bytes);
 
   net::StreamPtr stream_;

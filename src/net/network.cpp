@@ -129,6 +129,28 @@ sim::Task<void> Stream::write(ByteView data) {
   co_await eng.sleep_until(depart + serialization);
 }
 
+sim::Task<void> Stream::write(const BufChain& data) {
+  if (local_closed_) throw StreamClosed();
+  auto& eng = net_->engine();
+  auto& st = net_->link_state(local_->name(), remote_->name());
+  const sim::SimTime depart = std::max(eng.now(), st.next_free);
+  const sim::SimDur serialization = static_cast<sim::SimDur>(
+      static_cast<double>(data.size()) / st.params.bytes_per_sec *
+      static_cast<double>(sim::kSecond));
+  st.next_free = depart + serialization;
+  const sim::SimTime arrive = depart + serialization +
+                              st.params.latency_one_way;
+  bytes_sent_ += data.size();
+  // Gather the chain into the one in-flight Buffer the link delivers.
+  Buffer wire;
+  wire.reserve(data.size());
+  for (const auto& seg : data.segments()) {
+    wire.insert(wire.end(), seg.view().begin(), seg.view().end());
+  }
+  eng.spawn(deliver_task(eng, arrive, peer_, std::move(wire), /*eof=*/false));
+  co_await eng.sleep_until(depart + serialization);
+}
+
 void Stream::close() {
   if (local_closed_) return;
   local_closed_ = true;

@@ -16,6 +16,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "common/bufchain.hpp"
 #include "common/bytes.hpp"
 #include "net/host.hpp"
 #include "sim/channel.hpp"
@@ -155,6 +156,16 @@ class Stream : public std::enable_shared_from_this<Stream> {
  public:
   /// Sends bytes; completes once the data is serialized onto the link.
   sim::Task<void> write(ByteView data);
+
+  /// Exact-match overload: a Buffer would otherwise be ambiguous between
+  /// the ByteView conversion and the implicit Buffer -> BufChain adoption.
+  sim::Task<void> write(const Buffer& data) { return write(ByteView(data)); }
+
+  /// Scatter-gather send: serializes a segment chain onto the link without
+  /// requiring the caller to flatten it first.  The single gather into the
+  /// in-flight delivery buffer models the NIC walking an iovec, so it is
+  /// deliberately absent from buf_stats().
+  sim::Task<void> write(const BufChain& data);
 
   /// Reads at least 1 byte (up to out.size()); returns 0 at EOF.
   sim::Task<size_t> read_some(MutByteView out);

@@ -217,7 +217,7 @@ void ReadlinkRes::encode(xdr::Encoder& e) const {
 ReadlinkRes ReadlinkRes::decode(xdr::Decoder& d) {
   ReadlinkRes r;
   r.status = d.get_enum<Status>();
-  if (r.status == Status::kOk) r.target = d.get_string();
+  if (r.status == Status::kOk) r.target = d.get_string(kMaxPathBytes);
   return r;
 }
 
@@ -239,7 +239,7 @@ void ReadRes::encode(xdr::Encoder& e) const {
   if (status == Status::kOk) {
     e.put_u32(count);
     e.put_bool(eof);
-    e.put_opaque(data);
+    e.put_opaque_ref(data);
   }
   encode_opt_attrs(e, post_attrs);
 }
@@ -249,7 +249,7 @@ ReadRes ReadRes::decode(xdr::Decoder& d) {
   if (r.status == Status::kOk) {
     r.count = d.get_u32();
     r.eof = d.get_bool();
-    r.data = d.get_opaque();
+    r.data = d.get_opaque_ref(kMaxDataBytes);
   }
   r.post_attrs = decode_opt_attrs(d);
   return r;
@@ -259,14 +259,14 @@ void WriteArgs::encode(xdr::Encoder& e) const {
   fh.encode(e);
   e.put_u64(offset);
   e.put_enum(stable);
-  e.put_opaque(data);
+  e.put_opaque_ref(data);
 }
 WriteArgs WriteArgs::decode(xdr::Decoder& d) {
   WriteArgs a;
   a.fh = Fh::decode(d);
   a.offset = d.get_u64();
   a.stable = d.get_enum<StableHow>();
-  a.data = d.get_opaque();
+  a.data = d.get_opaque_ref(kMaxDataBytes);
   return a;
 }
 
@@ -347,7 +347,7 @@ SymlinkArgs SymlinkArgs::decode(xdr::Decoder& d) {
   SymlinkArgs a;
   a.dir = Fh::decode(d);
   a.name = d.get_string(255);
-  a.target = d.get_string();
+  a.target = d.get_string(kMaxPathBytes);
   return a;
 }
 

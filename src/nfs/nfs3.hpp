@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "common/bufchain.hpp"
 #include "common/bytes.hpp"
 #include "vfs/vfs.hpp"
 #include "xdr/xdr.hpp"
@@ -21,6 +22,13 @@ inline constexpr uint32_t kNfsProgram = 100003;
 inline constexpr uint32_t kNfsVersion3 = 3;
 inline constexpr uint32_t kMountProgram = 100005;
 inline constexpr uint32_t kMountVersion3 = 3;
+
+/// Per-field decode bounds.  Every variable-length field on the wire is
+/// capped by what the protocol can legitimately carry, so a corrupted or
+/// hostile length word is rejected before any allocation — not merely by
+/// the blanket 64 MiB Decoder ceiling.
+inline constexpr size_t kMaxDataBytes = 8u << 20;  // READ/WRITE payload
+inline constexpr size_t kMaxPathBytes = 1024;      // symlink targets, paths
 
 enum class Proc3 : uint32_t {
   kNull = 0,
@@ -209,7 +217,9 @@ struct ReadRes {
   Status status = Status::kOk;
   uint32_t count = 0;
   bool eof = false;
-  Buffer data;
+  /// Shared slice of the decoded message (or of the server's block) — the
+  /// payload travels by refcount, never duplicated per hop.
+  BufChain data;
   std::optional<vfs::Attributes> post_attrs;
   ReadRes() = default;
   void encode(xdr::Encoder& e) const;
@@ -220,7 +230,7 @@ struct WriteArgs {
   Fh fh;
   uint64_t offset = 0;
   StableHow stable = StableHow::kFileSync;
-  Buffer data;
+  BufChain data;
   WriteArgs() = default;
   void encode(xdr::Encoder& e) const;
   static WriteArgs decode(xdr::Decoder& d);

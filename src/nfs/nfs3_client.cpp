@@ -1,5 +1,7 @@
 #include "nfs/nfs3_client.hpp"
 
+#include "common/bufchain.hpp"
+
 #include <algorithm>
 
 #include "common/log.hpp"
@@ -208,13 +210,19 @@ sim::Task<void> MountPoint::writeback_block(uint64_t fileid, uint64_t block) {
   auto it = blocks_.find(key);
   if (it == blocks_.end() || !it->second.dirty) co_return;
   const Fh fh(root_.fsid, fileid);
-  Buffer data(it->second.data.begin(),
-              it->second.data.begin() + it->second.valid);
+  // Snapshot the dirty bytes: the application may keep writing into this
+  // block while the WRITE RPC is outstanding.  This is one of the two
+  // copies the client page cache fundamentally needs (the other is the
+  // fill in fetch_block).
+  const size_t snap_len = it->second.valid;
+  BufChain data =
+      BufChain::copy_of(ByteView(it->second.data.data(), snap_len));
+  if (host_.memcpy_charged()) co_await host_.memcpy_cost(snap_len);
   co_await charge(Proc3::kWrite);
   WriteRes res = co_await ops_->write(
       fh, block * config_.block_size,
       config_.write_behind ? StableHow::kUnstable : StableHow::kFileSync,
-      data);
+      std::move(data));
   throw_if_error(res.status);
   maybe_remember(fh, res.post_attrs);
   // The block may have been evicted while the RPC was outstanding.
@@ -288,8 +296,9 @@ sim::Task<void> MountPoint::fetch_block(const Fh& fh, uint64_t block) {
   maybe_remember(fh, res.post_attrs);
   co_await ensure_space(config_.block_size);
   CachedBlock& cb = insert_block(fh.fileid, block);
-  std::copy(res.data.begin(), res.data.end(), cb.data.begin());
+  res.data.copy_to(MutByteView(cb.data.data(), cb.data.size()));
   cb.valid = std::max(cb.valid, res.count);
+  if (host_.memcpy_charged()) co_await host_.memcpy_cost(res.data.size());
 }
 
 void MountPoint::start_readahead(const Fh& fh, uint64_t from_block) {
@@ -337,8 +346,9 @@ void MountPoint::start_readahead(const Fh& fh, uint64_t from_block) {
       // prefetch path); only drop the data if everything is dirty.
       if (!mp->make_room_clean(mp->config_.block_size)) co_return;
       CachedBlock& cb = mp->insert_block(fh.fileid, block);
-      std::copy(res.data.begin(), res.data.end(), cb.data.begin());
+      res.data.copy_to(MutByteView(cb.data.data(), cb.data.size()));
       cb.valid = std::max(cb.valid, res.count);
+      if (host->memcpy_charged()) co_await host->memcpy_cost(res.data.size());
     };
     host_.engine().spawn(task(this, alive_, ops_.get(), &host_,
                               config_.per_call_cpu, fh, b,

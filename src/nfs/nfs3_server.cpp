@@ -109,8 +109,8 @@ sim::Task<void> Nfs3Server::charge_write(uint64_t fileid, uint64_t offset,
 
 // --- dispatch -------------------------------------------------------------------
 
-sim::Task<Buffer> Nfs3Server::handle(const rpc::CallContext& ctx,
-                                     ByteView args) {
+sim::Task<BufChain> Nfs3Server::handle(const rpc::CallContext& ctx,
+                                       BufChain args) {
   ++ops_total_;
   const auto proc = static_cast<Proc3>(ctx.proc);
   ++ops_by_proc_[proc];
@@ -124,7 +124,7 @@ sim::Task<Buffer> Nfs3Server::handle(const rpc::CallContext& ctx,
 
   switch (proc) {
     case Proc3::kNull:
-      co_return Buffer{};
+      co_return BufChain{};
 
     case Proc3::kGetattr: {
       auto a = GetattrArgs::decode(dec);
@@ -230,7 +230,11 @@ sim::Task<Buffer> Nfs3Server::handle(const rpc::CallContext& ctx,
       if (!fh_ok(a.fh)) {
         res.status = Status::kStale;
       } else {
-        auto r = fs_->write(cred, a.fh.fileid, a.offset, a.data);
+        // The VFS stores contiguous bytes; a multi-segment WRITE payload is
+        // linearized here, at the disk boundary, and nowhere earlier.
+        Buffer scratch;
+        auto r =
+            fs_->write(cred, a.fh.fileid, a.offset, linearize(a.data, scratch));
         res.status = r.status;
         if (r.ok()) {
           co_await host_.cpu().use(
@@ -428,13 +432,13 @@ std::shared_ptr<rpc::RpcProgram> Nfs3Server::mount_program() {
   return std::make_shared<MountProgram>(shared_from_this());
 }
 
-sim::Task<Buffer> MountProgram::handle(const rpc::CallContext& ctx,
-                                       ByteView args) {
+sim::Task<BufChain> MountProgram::handle(const rpc::CallContext& ctx,
+                                         BufChain args) {
   xdr::Decoder dec(args);
   xdr::Encoder enc;
   switch (static_cast<MountProc>(ctx.proc)) {
     case MountProc::kNull:
-      co_return Buffer{};
+      co_return BufChain{};
     case MountProc::kMnt: {
       auto a = MntArgs::decode(dec);
       MntRes res;
@@ -465,7 +469,7 @@ sim::Task<Buffer> MountProgram::handle(const rpc::CallContext& ctx,
       co_return enc.take();
     }
     case MountProc::kUmnt:
-      co_return Buffer{};
+      co_return BufChain{};
   }
   throw rpc::RpcError(rpc::AcceptStat::kProcUnavail, "unknown MOUNT proc");
 }

@@ -62,8 +62,8 @@ class Nfs3Server : public rpc::RpcProgram,
   /// MOUNT-protocol handler sharing this server's exports and fsid.
   std::shared_ptr<rpc::RpcProgram> mount_program();
 
-  sim::Task<Buffer> handle(const rpc::CallContext& ctx,
-                           ByteView args) override;
+  sim::Task<BufChain> handle(const rpc::CallContext& ctx,
+                             BufChain args) override;
 
   /// Cache replies of non-idempotent procedures in the server's DRC so a
   /// retransmitted CREATE/REMOVE/... replays instead of re-executing.
@@ -123,8 +123,8 @@ class MountProgram : public rpc::RpcProgram {
   explicit MountProgram(std::shared_ptr<Nfs3Server> server)
       : server_(std::move(server)) {}
 
-  sim::Task<Buffer> handle(const rpc::CallContext& ctx,
-                           ByteView args) override;
+  sim::Task<BufChain> handle(const rpc::CallContext& ctx,
+                             BufChain args) override;
 
  private:
   std::shared_ptr<Nfs3Server> server_;

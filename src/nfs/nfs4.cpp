@@ -4,8 +4,8 @@ namespace sgfs::nfs {
 
 // --- server --------------------------------------------------------------------
 
-sim::Task<Buffer> Nfs4Server::handle(const rpc::CallContext& ctx,
-                                     ByteView args) {
+sim::Task<BufChain> Nfs4Server::handle(const rpc::CallContext& ctx,
+                                       BufChain args) {
   if (ctx.proc != kCompoundProc) {
     throw rpc::RpcError(rpc::AcceptStat::kProcUnavail, "v4 expects COMPOUND");
   }
@@ -26,8 +26,8 @@ sim::Task<Buffer> Nfs4Server::handle(const rpc::CallContext& ctx,
   struct OpResult {
     Op4 op;
     Status status;
-    Buffer payload;
-    OpResult(Op4 o, Status s, Buffer p)
+    BufChain payload;
+    OpResult(Op4 o, Status s, BufChain p)
         : op(o), status(s), payload(std::move(p)) {}
   };
   std::vector<OpResult> results;
@@ -94,7 +94,7 @@ sim::Task<Buffer> Nfs4Server::handle(const rpc::CallContext& ctx,
                                            r.value.data.size());
             payload.put_u32(static_cast<uint32_t>(r.value.data.size()));
             payload.put_bool(r.value.eof);
-            payload.put_opaque(r.value.data);
+            payload.put_opaque_ref(std::move(r.value.data));
           }
         }
         break;
@@ -102,10 +102,12 @@ sim::Task<Buffer> Nfs4Server::handle(const rpc::CallContext& ctx,
       case Op4::kWrite: {
         const uint64_t offset = dec.get_u64();
         const auto stable = dec.get_enum<StableHow>();
-        Buffer data = dec.get_opaque();
+        BufChain data = dec.get_opaque_ref(kMaxDataBytes);
         st = need_fh(current);
         if (st == Status::kOk) {
-          auto r = fs.write(cred, current->fileid, offset, data);
+          Buffer scratch;
+          auto r = fs.write(cred, current->fileid, offset,
+                            linearize(data, scratch));
           st = r.status;
           if (r.ok()) {
             co_await backend_->charge_write(current->fileid, offset,
@@ -283,7 +285,7 @@ sim::Task<Buffer> Nfs4Server::handle(const rpc::CallContext& ctx,
   for (const auto& r : results) {
     enc.put_enum(r.op);
     enc.put_enum(r.status);
-    enc.put_opaque(r.payload);
+    enc.put_opaque_ref(r.payload);
   }
   co_return enc.take();
 }
@@ -305,15 +307,16 @@ void V4WireOps::close() {
   if (client_) client_->close();
 }
 
-const Buffer* V4WireOps::CompoundReply::find(Op4 op) const {
+const BufChain* V4WireOps::CompoundReply::find(Op4 op) const {
   for (const auto& [o, payload] : results) {
     if (o == op) return &payload;
   }
   return nullptr;
 }
 
-sim::Task<V4WireOps::CompoundReply> V4WireOps::call(ByteView compound_args) {
-  Buffer reply = co_await client_->call(kCompoundProc, compound_args);
+sim::Task<V4WireOps::CompoundReply> V4WireOps::call(BufChain compound_args) {
+  BufChain reply =
+      co_await client_->call(kCompoundProc, std::move(compound_args));
   xdr::Decoder dec(reply);
   CompoundReply out;
   out.status = dec.get_enum<Status>();
@@ -322,7 +325,9 @@ sim::Task<V4WireOps::CompoundReply> V4WireOps::call(ByteView compound_args) {
   for (uint32_t i = 0; i < n; ++i) {
     const auto op = dec.get_enum<Op4>();
     const auto st = dec.get_enum<Status>();
-    Buffer payload = dec.get_opaque();
+    // A per-op payload can carry at most one READ's worth of data plus a
+    // handful of scalar fields.
+    BufChain payload = dec.get_opaque_ref(kMaxDataBytes + 4096);
     if (st == Status::kOk) {
       out.results.emplace_back(op, std::move(payload));
     }
@@ -353,9 +358,9 @@ sim::Task<Fh> V4WireOps::mount(const std::string& path) {
     enc.put_string(c);
   }
   put_op(enc, Op4::kGetFh);
-  CompoundReply reply = co_await call(enc.data());
+  CompoundReply reply = co_await call(enc.take());
   if (reply.status != Status::kOk) throw FsError(reply.status);
-  const Buffer* fh_payload = reply.find(Op4::kGetFh);
+  const BufChain* fh_payload = reply.find(Op4::kGetFh);
   if (!fh_payload) throw FsError(Status::kStale);
   xdr::Decoder d(*fh_payload);
   co_return Fh::decode(d);
@@ -370,15 +375,15 @@ sim::Task<LookupRes> V4WireOps::lookup(Fh dir, const std::string& name) {
   enc.put_string(name);
   put_op(enc, Op4::kGetFh);
   put_op(enc, Op4::kGetattr);
-  CompoundReply reply = co_await call(enc.data());
+  CompoundReply reply = co_await call(enc.take());
   LookupRes res;
   res.status = reply.status;
   if (reply.status == Status::kOk) {
-    if (const Buffer* p = reply.find(Op4::kGetFh)) {
+    if (const BufChain* p = reply.find(Op4::kGetFh)) {
       xdr::Decoder d(*p);
       res.fh = Fh::decode(d);
     }
-    if (const Buffer* p = reply.find(Op4::kGetattr)) {
+    if (const BufChain* p = reply.find(Op4::kGetattr)) {
       xdr::Decoder d(*p);
       res.attrs = decode_attrs(d);
     }
@@ -392,10 +397,10 @@ sim::Task<GetattrRes> V4WireOps::getattr(Fh fh) {
   put_op(enc, Op4::kPutFh);
   fh.encode(enc);
   put_op(enc, Op4::kGetattr);
-  CompoundReply reply = co_await call(enc.data());
+  CompoundReply reply = co_await call(enc.take());
   GetattrRes res;
   res.status = reply.status;
-  if (const Buffer* p = reply.find(Op4::kGetattr)) {
+  if (const BufChain* p = reply.find(Op4::kGetattr)) {
     xdr::Decoder d(*p);
     res.attrs = decode_attrs(d);
   }
@@ -410,10 +415,10 @@ sim::Task<WccRes> V4WireOps::setattr(Fh fh, const vfs::SetAttrs& sattr) {
   put_op(enc, Op4::kSetattr);
   encode_sattr(enc, sattr);
   put_op(enc, Op4::kGetattr);
-  CompoundReply reply = co_await call(enc.data());
+  CompoundReply reply = co_await call(enc.take());
   WccRes res;
   res.status = reply.status;
-  if (const Buffer* p = reply.find(Op4::kGetattr)) {
+  if (const BufChain* p = reply.find(Op4::kGetattr)) {
     xdr::Decoder d(*p);
     res.post_attrs = decode_attrs(d);
   }
@@ -428,14 +433,14 @@ sim::Task<AccessRes> V4WireOps::access(Fh fh, uint32_t want) {
   put_op(enc, Op4::kAccess);
   enc.put_u32(want);
   put_op(enc, Op4::kGetattr);
-  CompoundReply reply = co_await call(enc.data());
+  CompoundReply reply = co_await call(enc.take());
   AccessRes res;
   res.status = reply.status;
-  if (const Buffer* p = reply.find(Op4::kAccess)) {
+  if (const BufChain* p = reply.find(Op4::kAccess)) {
     xdr::Decoder d(*p);
     res.access = d.get_u32();
   }
-  if (const Buffer* p = reply.find(Op4::kGetattr)) {
+  if (const BufChain* p = reply.find(Op4::kGetattr)) {
     xdr::Decoder d(*p);
     res.post_attrs = decode_attrs(d);
   }
@@ -451,16 +456,16 @@ sim::Task<ReadRes> V4WireOps::read(Fh fh, uint64_t offset, uint32_t count) {
   enc.put_u64(offset);
   enc.put_u32(count);
   put_op(enc, Op4::kGetattr);
-  CompoundReply reply = co_await call(enc.data());
+  CompoundReply reply = co_await call(enc.take());
   ReadRes res;
   res.status = reply.status;
-  if (const Buffer* p = reply.find(Op4::kRead)) {
+  if (const BufChain* p = reply.find(Op4::kRead)) {
     xdr::Decoder d(*p);
     res.count = d.get_u32();
     res.eof = d.get_bool();
-    res.data = d.get_opaque();
+    res.data = d.get_opaque_ref(kMaxDataBytes);
   }
-  if (const Buffer* p = reply.find(Op4::kGetattr)) {
+  if (const BufChain* p = reply.find(Op4::kGetattr)) {
     xdr::Decoder d(*p);
     res.post_attrs = decode_attrs(d);
   }
@@ -468,7 +473,7 @@ sim::Task<ReadRes> V4WireOps::read(Fh fh, uint64_t offset, uint32_t count) {
 }
 
 sim::Task<WriteRes> V4WireOps::write(Fh fh, uint64_t offset, StableHow stable,
-                                     ByteView data) {
+                                     BufChain data) {
   xdr::Encoder enc;
   enc.put_u32(3);
   put_op(enc, Op4::kPutFh);
@@ -476,18 +481,18 @@ sim::Task<WriteRes> V4WireOps::write(Fh fh, uint64_t offset, StableHow stable,
   put_op(enc, Op4::kWrite);
   enc.put_u64(offset);
   enc.put_enum(stable);
-  enc.put_opaque(data);
+  enc.put_opaque_ref(std::move(data));
   put_op(enc, Op4::kGetattr);
-  CompoundReply reply = co_await call(enc.data());
+  CompoundReply reply = co_await call(enc.take());
   WriteRes res;
   res.status = reply.status;
-  if (const Buffer* p = reply.find(Op4::kWrite)) {
+  if (const BufChain* p = reply.find(Op4::kWrite)) {
     xdr::Decoder d(*p);
     res.count = d.get_u32();
     res.committed = d.get_enum<StableHow>();
     res.verf = d.get_u64();
   }
-  if (const Buffer* p = reply.find(Op4::kGetattr)) {
+  if (const BufChain* p = reply.find(Op4::kGetattr)) {
     xdr::Decoder d(*p);
     res.post_attrs = decode_attrs(d);
   }
@@ -507,14 +512,14 @@ sim::Task<CreateRes> V4WireOps::create(Fh dir, const std::string& name,
   enc.put_bool(exclusive);
   put_op(enc, Op4::kGetFh);
   put_op(enc, Op4::kGetattr);
-  CompoundReply reply = co_await call(enc.data());
+  CompoundReply reply = co_await call(enc.take());
   CreateRes res;
   res.status = reply.status;
-  if (const Buffer* p = reply.find(Op4::kGetFh)) {
+  if (const BufChain* p = reply.find(Op4::kGetFh)) {
     xdr::Decoder d(*p);
     res.fh = Fh::decode(d);
   }
-  if (const Buffer* p = reply.find(Op4::kGetattr)) {
+  if (const BufChain* p = reply.find(Op4::kGetattr)) {
     xdr::Decoder d(*p);
     res.attrs = decode_attrs(d);
   }
@@ -532,14 +537,14 @@ sim::Task<CreateRes> V4WireOps::mkdir(Fh dir, const std::string& name,
   enc.put_u32(mode);
   put_op(enc, Op4::kGetFh);
   put_op(enc, Op4::kGetattr);
-  CompoundReply reply = co_await call(enc.data());
+  CompoundReply reply = co_await call(enc.take());
   CreateRes res;
   res.status = reply.status;
-  if (const Buffer* p = reply.find(Op4::kGetFh)) {
+  if (const BufChain* p = reply.find(Op4::kGetFh)) {
     xdr::Decoder d(*p);
     res.fh = Fh::decode(d);
   }
-  if (const Buffer* p = reply.find(Op4::kGetattr)) {
+  if (const BufChain* p = reply.find(Op4::kGetattr)) {
     xdr::Decoder d(*p);
     res.attrs = decode_attrs(d);
   }
@@ -557,14 +562,14 @@ sim::Task<CreateRes> V4WireOps::symlink(Fh dir, const std::string& name,
   enc.put_string(target);
   put_op(enc, Op4::kGetFh);
   put_op(enc, Op4::kGetattr);
-  CompoundReply reply = co_await call(enc.data());
+  CompoundReply reply = co_await call(enc.take());
   CreateRes res;
   res.status = reply.status;
-  if (const Buffer* p = reply.find(Op4::kGetFh)) {
+  if (const BufChain* p = reply.find(Op4::kGetFh)) {
     xdr::Decoder d(*p);
     res.fh = Fh::decode(d);
   }
-  if (const Buffer* p = reply.find(Op4::kGetattr)) {
+  if (const BufChain* p = reply.find(Op4::kGetattr)) {
     xdr::Decoder d(*p);
     res.attrs = decode_attrs(d);
   }
@@ -579,10 +584,10 @@ sim::Task<WccRes> V4WireOps::remove(Fh dir, const std::string& name) {
   put_op(enc, Op4::kRemove);
   enc.put_string(name);
   put_op(enc, Op4::kGetattr);
-  CompoundReply reply = co_await call(enc.data());
+  CompoundReply reply = co_await call(enc.take());
   WccRes res;
   res.status = reply.status;
-  if (const Buffer* p = reply.find(Op4::kGetattr)) {
+  if (const BufChain* p = reply.find(Op4::kGetattr)) {
     xdr::Decoder d(*p);
     res.post_attrs = decode_attrs(d);
   }
@@ -606,10 +611,10 @@ sim::Task<WccRes> V4WireOps::rename(Fh from_dir, const std::string& from_name,
   enc.put_string(from_name);
   enc.put_string(to_name);
   put_op(enc, Op4::kGetattr);
-  CompoundReply reply = co_await call(enc.data());
+  CompoundReply reply = co_await call(enc.take());
   WccRes res;
   res.status = reply.status;
-  if (const Buffer* p = reply.find(Op4::kGetattr)) {
+  if (const BufChain* p = reply.find(Op4::kGetattr)) {
     xdr::Decoder d(*p);
     res.post_attrs = decode_attrs(d);
   }
@@ -626,7 +631,7 @@ sim::Task<WccRes> V4WireOps::link(Fh file, Fh dir, const std::string& name) {
   dir.encode(enc);
   put_op(enc, Op4::kLink);
   enc.put_string(name);
-  CompoundReply reply = co_await call(enc.data());
+  CompoundReply reply = co_await call(enc.take());
   WccRes res;
   res.status = reply.status;
   co_return res;
@@ -642,10 +647,10 @@ sim::Task<ReaddirRes> V4WireOps::readdir(Fh dir, uint64_t cookie,
   enc.put_u64(cookie);
   enc.put_u32(count);
   enc.put_bool(plus);
-  CompoundReply reply = co_await call(enc.data());
+  CompoundReply reply = co_await call(enc.take());
   ReaddirRes res;
   res.status = reply.status;
-  if (const Buffer* p = reply.find(Op4::kReaddir)) {
+  if (const BufChain* p = reply.find(Op4::kReaddir)) {
     xdr::Decoder d(*p);
     res = ReaddirRes::decode(d);
   }
@@ -658,10 +663,10 @@ sim::Task<ReadlinkRes> V4WireOps::readlink(Fh fh) {
   put_op(enc, Op4::kPutFh);
   fh.encode(enc);
   put_op(enc, Op4::kReadlink);
-  CompoundReply reply = co_await call(enc.data());
+  CompoundReply reply = co_await call(enc.take());
   ReadlinkRes res;
   res.status = reply.status;
-  if (const Buffer* p = reply.find(Op4::kReadlink)) {
+  if (const BufChain* p = reply.find(Op4::kReadlink)) {
     xdr::Decoder d(*p);
     res.target = d.get_string();
   }
@@ -676,10 +681,10 @@ sim::Task<CommitRes> V4WireOps::commit(Fh fh) {
   put_op(enc, Op4::kCommit);
   enc.put_u64(0);
   enc.put_u32(0);
-  CompoundReply reply = co_await call(enc.data());
+  CompoundReply reply = co_await call(enc.take());
   CommitRes res;
   res.status = reply.status;
-  if (const Buffer* p = reply.find(Op4::kCommit)) {
+  if (const BufChain* p = reply.find(Op4::kCommit)) {
     xdr::Decoder d(*p);
     res.verf = d.get_u64();
   }

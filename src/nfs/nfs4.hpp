@@ -47,8 +47,8 @@ class Nfs4Server : public rpc::RpcProgram {
   explicit Nfs4Server(std::shared_ptr<Nfs3Server> backend)
       : backend_(std::move(backend)) {}
 
-  sim::Task<Buffer> handle(const rpc::CallContext& ctx,
-                           ByteView args) override;
+  sim::Task<BufChain> handle(const rpc::CallContext& ctx,
+                             BufChain args) override;
 
   uint64_t compounds() const { return compounds_; }
   uint64_t ops() const { return ops_; }
@@ -74,7 +74,7 @@ class V4WireOps final : public WireOps {
   sim::Task<AccessRes> access(Fh fh, uint32_t want) override;
   sim::Task<ReadRes> read(Fh fh, uint64_t offset, uint32_t count) override;
   sim::Task<WriteRes> write(Fh fh, uint64_t offset, StableHow stable,
-                            ByteView data) override;
+                            BufChain data) override;
   sim::Task<CreateRes> create(Fh dir, const std::string& name, uint32_t mode,
                               bool exclusive) override;
   sim::Task<CreateRes> mkdir(Fh dir, const std::string& name,
@@ -98,13 +98,13 @@ class V4WireOps final : public WireOps {
   // A decoded compound reply: status + per-op payload decoders.
   struct CompoundReply {
     Status status = Status::kOk;
-    std::vector<std::pair<Op4, Buffer>> results;
+    std::vector<std::pair<Op4, BufChain>> results;
     CompoundReply() = default;
 
     /// Payload of the first result for `op`, if present.
-    const Buffer* find(Op4 op) const;
+    const BufChain* find(Op4 op) const;
   };
-  sim::Task<CompoundReply> call(ByteView compound_args);
+  sim::Task<CompoundReply> call(BufChain compound_args);
 
   std::unique_ptr<rpc::RpcClient> client_;
 };

@@ -1,5 +1,7 @@
 #include "nfs/wire_ops.hpp"
 
+#include "common/bufchain.hpp"
+
 namespace sgfs::nfs {
 
 sim::Task<std::unique_ptr<V3WireOps>> V3WireOps::connect(
@@ -26,8 +28,8 @@ sim::Task<Fh> V3WireOps::mount(const std::string& path) {
   MntArgs margs(path);
   xdr::Encoder enc;
   margs.encode(enc);
-  Buffer reply = co_await mount_client->call(
-      static_cast<uint32_t>(MountProc::kMnt), enc.data());
+  BufChain reply = co_await mount_client->call(
+      static_cast<uint32_t>(MountProc::kMnt), enc.take());
   xdr::Decoder dec(reply);
   MntRes res = MntRes::decode(dec);
   mount_client->close();
@@ -39,7 +41,7 @@ sim::Task<LookupRes> V3WireOps::lookup(Fh dir, const std::string& name) {
   DiropArgs args(dir, name);
   xdr::Encoder enc;
   args.encode(enc);
-  Buffer reply = co_await call(Proc3::kLookup, enc.data());
+  BufChain reply = co_await call(Proc3::kLookup, enc.take());
   xdr::Decoder dec(reply);
   co_return LookupRes::decode(dec);
 }
@@ -49,7 +51,7 @@ sim::Task<GetattrRes> V3WireOps::getattr(Fh fh) {
   args.fh = fh;
   xdr::Encoder enc;
   args.encode(enc);
-  Buffer reply = co_await call(Proc3::kGetattr, enc.data());
+  BufChain reply = co_await call(Proc3::kGetattr, enc.take());
   xdr::Decoder dec(reply);
   co_return GetattrRes::decode(dec);
 }
@@ -60,7 +62,7 @@ sim::Task<WccRes> V3WireOps::setattr(Fh fh, const vfs::SetAttrs& sattr) {
   args.sattr = sattr;
   xdr::Encoder enc;
   args.encode(enc);
-  Buffer reply = co_await call(Proc3::kSetattr, enc.data());
+  BufChain reply = co_await call(Proc3::kSetattr, enc.take());
   xdr::Decoder dec(reply);
   co_return WccRes::decode(dec);
 }
@@ -69,7 +71,7 @@ sim::Task<AccessRes> V3WireOps::access(Fh fh, uint32_t want) {
   AccessArgs args(fh, want);
   xdr::Encoder enc;
   args.encode(enc);
-  Buffer reply = co_await call(Proc3::kAccess, enc.data());
+  BufChain reply = co_await call(Proc3::kAccess, enc.take());
   xdr::Decoder dec(reply);
   co_return AccessRes::decode(dec);
 }
@@ -78,21 +80,21 @@ sim::Task<ReadRes> V3WireOps::read(Fh fh, uint64_t offset, uint32_t count) {
   ReadArgs args(fh, offset, count);
   xdr::Encoder enc;
   args.encode(enc);
-  Buffer reply = co_await call(Proc3::kRead, enc.data());
+  BufChain reply = co_await call(Proc3::kRead, enc.take());
   xdr::Decoder dec(reply);
   co_return ReadRes::decode(dec);
 }
 
 sim::Task<WriteRes> V3WireOps::write(Fh fh, uint64_t offset, StableHow stable,
-                                     ByteView data) {
+                                     BufChain data) {
   WriteArgs args;
   args.fh = fh;
   args.offset = offset;
   args.stable = stable;
-  args.data.assign(data.begin(), data.end());
+  args.data = std::move(data);
   xdr::Encoder enc;
   args.encode(enc);
-  Buffer reply = co_await call(Proc3::kWrite, enc.data());
+  BufChain reply = co_await call(Proc3::kWrite, enc.take());
   xdr::Decoder dec(reply);
   co_return WriteRes::decode(dec);
 }
@@ -106,7 +108,7 @@ sim::Task<CreateRes> V3WireOps::create(Fh dir, const std::string& name,
   args.exclusive = exclusive;
   xdr::Encoder enc;
   args.encode(enc);
-  Buffer reply = co_await call(Proc3::kCreate, enc.data());
+  BufChain reply = co_await call(Proc3::kCreate, enc.take());
   xdr::Decoder dec(reply);
   co_return CreateRes::decode(dec);
 }
@@ -119,7 +121,7 @@ sim::Task<CreateRes> V3WireOps::mkdir(Fh dir, const std::string& name,
   args.mode = mode;
   xdr::Encoder enc;
   args.encode(enc);
-  Buffer reply = co_await call(Proc3::kMkdir, enc.data());
+  BufChain reply = co_await call(Proc3::kMkdir, enc.take());
   xdr::Decoder dec(reply);
   co_return CreateRes::decode(dec);
 }
@@ -132,7 +134,7 @@ sim::Task<CreateRes> V3WireOps::symlink(Fh dir, const std::string& name,
   args.target = target;
   xdr::Encoder enc;
   args.encode(enc);
-  Buffer reply = co_await call(Proc3::kSymlink, enc.data());
+  BufChain reply = co_await call(Proc3::kSymlink, enc.take());
   xdr::Decoder dec(reply);
   co_return CreateRes::decode(dec);
 }
@@ -141,7 +143,7 @@ sim::Task<WccRes> V3WireOps::remove(Fh dir, const std::string& name) {
   DiropArgs args(dir, name);
   xdr::Encoder enc;
   args.encode(enc);
-  Buffer reply = co_await call(Proc3::kRemove, enc.data());
+  BufChain reply = co_await call(Proc3::kRemove, enc.take());
   xdr::Decoder dec(reply);
   co_return WccRes::decode(dec);
 }
@@ -150,7 +152,7 @@ sim::Task<WccRes> V3WireOps::rmdir(Fh dir, const std::string& name) {
   DiropArgs args(dir, name);
   xdr::Encoder enc;
   args.encode(enc);
-  Buffer reply = co_await call(Proc3::kRmdir, enc.data());
+  BufChain reply = co_await call(Proc3::kRmdir, enc.take());
   xdr::Decoder dec(reply);
   co_return WccRes::decode(dec);
 }
@@ -164,7 +166,7 @@ sim::Task<WccRes> V3WireOps::rename(Fh from_dir, const std::string& from_name,
   args.to_name = to_name;
   xdr::Encoder enc;
   args.encode(enc);
-  Buffer reply = co_await call(Proc3::kRename, enc.data());
+  BufChain reply = co_await call(Proc3::kRename, enc.take());
   xdr::Decoder dec(reply);
   co_return WccRes::decode(dec);
 }
@@ -176,7 +178,7 @@ sim::Task<WccRes> V3WireOps::link(Fh file, Fh dir, const std::string& name) {
   args.name = name;
   xdr::Encoder enc;
   args.encode(enc);
-  Buffer reply = co_await call(Proc3::kLink, enc.data());
+  BufChain reply = co_await call(Proc3::kLink, enc.take());
   xdr::Decoder dec(reply);
   co_return WccRes::decode(dec);
 }
@@ -190,8 +192,8 @@ sim::Task<ReaddirRes> V3WireOps::readdir(Fh dir, uint64_t cookie,
   args.plus = plus;
   xdr::Encoder enc;
   args.encode(enc);
-  Buffer reply = co_await call(
-      plus ? Proc3::kReaddirplus : Proc3::kReaddir, enc.data());
+  BufChain reply = co_await call(
+      plus ? Proc3::kReaddirplus : Proc3::kReaddir, enc.take());
   xdr::Decoder dec(reply);
   co_return ReaddirRes::decode(dec);
 }
@@ -201,7 +203,7 @@ sim::Task<ReadlinkRes> V3WireOps::readlink(Fh fh) {
   args.fh = fh;
   xdr::Encoder enc;
   args.encode(enc);
-  Buffer reply = co_await call(Proc3::kReadlink, enc.data());
+  BufChain reply = co_await call(Proc3::kReadlink, enc.take());
   xdr::Decoder dec(reply);
   co_return ReadlinkRes::decode(dec);
 }
@@ -210,7 +212,7 @@ sim::Task<CommitRes> V3WireOps::commit(Fh fh) {
   CommitArgs args(fh, 0, 0);
   xdr::Encoder enc;
   args.encode(enc);
-  Buffer reply = co_await call(Proc3::kCommit, enc.data());
+  BufChain reply = co_await call(Proc3::kCommit, enc.take());
   xdr::Decoder dec(reply);
   co_return CommitRes::decode(dec);
 }

@@ -25,7 +25,7 @@ class WireOps {
   virtual sim::Task<AccessRes> access(Fh fh, uint32_t want) = 0;
   virtual sim::Task<ReadRes> read(Fh fh, uint64_t offset, uint32_t count) = 0;
   virtual sim::Task<WriteRes> write(Fh fh, uint64_t offset, StableHow stable,
-                                    ByteView data) = 0;
+                                    BufChain data) = 0;
   virtual sim::Task<CreateRes> create(Fh dir, const std::string& name,
                                       uint32_t mode, bool exclusive) = 0;
   virtual sim::Task<CreateRes> mkdir(Fh dir, const std::string& name,
@@ -62,7 +62,7 @@ class V3WireOps final : public WireOps {
   sim::Task<AccessRes> access(Fh fh, uint32_t want) override;
   sim::Task<ReadRes> read(Fh fh, uint64_t offset, uint32_t count) override;
   sim::Task<WriteRes> write(Fh fh, uint64_t offset, StableHow stable,
-                            ByteView data) override;
+                            BufChain data) override;
   sim::Task<CreateRes> create(Fh dir, const std::string& name, uint32_t mode,
                               bool exclusive) override;
   sim::Task<CreateRes> mkdir(Fh dir, const std::string& name,
@@ -84,9 +84,9 @@ class V3WireOps final : public WireOps {
   V3WireOps(net::Host& host, const net::Address& server, rpc::AuthSys auth)
       : host_(host), server_(server), auth_(auth) {}
 
-  sim::Task<Buffer> call(Proc3 proc, ByteView args) {
+  sim::Task<BufChain> call(Proc3 proc, BufChain args) {
     co_return co_await client_->call(static_cast<uint32_t>(proc),
-                                     args);
+                                     std::move(args));
   }
 
   net::Host& host_;

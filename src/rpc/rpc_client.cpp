@@ -80,7 +80,7 @@ void RpcClient::close() {
 sim::Task<void> RpcClient::reader_loop(
     std::shared_ptr<MsgTransport> transport, std::shared_ptr<State> state) {
   while (!state->closed) {
-    Buffer msg;
+    BufChain msg;
     try {
       msg = co_await transport->recv();
     } catch (const std::exception&) {
@@ -121,12 +121,13 @@ sim::Task<void> RpcClient::timeout_task(sim::Engine& eng,
   }
 }
 
-sim::Task<Buffer> RpcClient::call(uint32_t proc, ByteView args) {
-  co_return co_await call_with_xid(state_->next_xid++, proc, args);
+sim::Task<BufChain> RpcClient::call(uint32_t proc, BufChain args) {
+  co_return co_await call_with_xid(state_->next_xid++, proc,
+                                   std::move(args));
 }
 
-sim::Task<Buffer> RpcClient::call_with_xid(uint32_t xid, uint32_t proc,
-                                           ByteView args) {
+sim::Task<BufChain> RpcClient::call_with_xid(uint32_t xid, uint32_t proc,
+                                             BufChain args) {
   // Local copies: the client object may be destroyed while this coroutine
   // is suspended (proxy teardown during recovery); everything used after
   // the first co_await must be owned by the frame.
@@ -148,8 +149,10 @@ sim::Task<Buffer> RpcClient::call_with_xid(uint32_t xid, uint32_t proc,
   msg.vers = vers_;
   msg.proc = proc;
   msg.cred = cred_;
-  msg.args.assign(args.begin(), args.end());
-  const Buffer wire = msg.serialize();
+  msg.args = std::move(args);
+  // The serialized chain outlives the first send: retransmissions resend
+  // the identical bytes, so only the descriptor vector is duplicated.
+  const BufChain wire = msg.serialize();
 
   auto pending = std::make_shared<Pending>(eng);
   state->pending[xid] = pending;

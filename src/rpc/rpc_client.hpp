@@ -39,10 +39,12 @@ class RpcClient {
   void set_retry(const RetryPolicy& retry) { retry_ = retry; }
   const RetryPolicy& retry() const { return retry_; }
 
-  /// Issues one call and awaits its reply payload.
+  /// Issues one call and awaits its reply payload.  Both directions are
+  /// segment chains: args are grafted into the wire message without a copy
+  /// and the reply payload is a shared slice of the received record.
   /// Throws RpcError / RpcAuthError / RpcTimeout / net::StreamClosed /
   /// crypto::SecurityError (secure transports).
-  sim::Task<Buffer> call(uint32_t proc, ByteView args);
+  sim::Task<BufChain> call(uint32_t proc, BufChain args);
 
   /// Allocates an xid without sending anything.  Lets a caller keep one xid
   /// across session re-establishment so the server's duplicate-request
@@ -50,7 +52,8 @@ class RpcClient {
   uint32_t reserve_xid() { return state_->next_xid++; }
 
   /// As call(), but with a caller-chosen xid (from reserve_xid()).
-  sim::Task<Buffer> call_with_xid(uint32_t xid, uint32_t proc, ByteView args);
+  sim::Task<BufChain> call_with_xid(uint32_t xid, uint32_t proc,
+                                    BufChain args);
 
   /// Idempotent; fails all outstanding calls with net::StreamClosed.
   void close();

@@ -17,7 +17,7 @@ Buffer AuthSys::serialize() const {
   enc.put_u32(gid);
   enc.put_u32(static_cast<uint32_t>(gids.size()));
   for (uint32_t g : gids) enc.put_u32(g);
-  return enc.take();
+  return enc.take_flat();
 }
 
 AuthSys AuthSys::deserialize(ByteView data) {
@@ -47,7 +47,7 @@ OpaqueAuth OpaqueAuth::decode(xdr::Decoder& dec) {
   return a;
 }
 
-Buffer CallMsg::serialize() const {
+BufChain CallMsg::serialize() const {
   xdr::Encoder enc;
   enc.put_u32(xid);
   enc.put_enum(MsgType::kCall);
@@ -57,12 +57,12 @@ Buffer CallMsg::serialize() const {
   enc.put_u32(proc);
   cred.encode(enc);
   verf.encode(enc);
-  Buffer out = enc.take();
-  append(out, args);
+  BufChain out = enc.take();
+  out.append(args);
   return out;
 }
 
-CallMsg CallMsg::deserialize(ByteView data) {
+CallMsg CallMsg::deserialize(const BufChain& data) {
   xdr::Decoder dec(data);
   CallMsg c;
   c.xid = dec.get_u32();
@@ -77,12 +77,11 @@ CallMsg CallMsg::deserialize(ByteView data) {
   c.proc = dec.get_u32();
   c.cred = OpaqueAuth::decode(dec);
   c.verf = OpaqueAuth::decode(dec);
-  const size_t consumed = data.size() - dec.remaining();
-  c.args.assign(data.begin() + consumed, data.end());
+  c.args = dec.remainder_ref();
   return c;
 }
 
-ReplyMsg ReplyMsg::success(uint32_t xid, Buffer results) {
+ReplyMsg ReplyMsg::success(uint32_t xid, BufChain results) {
   ReplyMsg r;
   r.xid = xid;
   r.stat = ReplyStat::kAccepted;
@@ -108,7 +107,7 @@ ReplyMsg ReplyMsg::auth_error(uint32_t xid, AuthStat stat) {
   return r;
 }
 
-Buffer ReplyMsg::serialize() const {
+BufChain ReplyMsg::serialize() const {
   xdr::Encoder enc;
   enc.put_u32(xid);
   enc.put_enum(MsgType::kReply);
@@ -118,8 +117,8 @@ Buffer ReplyMsg::serialize() const {
     enc.put_enum(accept_stat);
     switch (accept_stat) {
       case AcceptStat::kSuccess: {
-        Buffer out = enc.take();
-        append(out, results);
+        BufChain out = enc.take();
+        out.append(results);
         return out;
       }
       case AcceptStat::kProgMismatch:
@@ -141,7 +140,7 @@ Buffer ReplyMsg::serialize() const {
   return enc.take();
 }
 
-ReplyMsg ReplyMsg::deserialize(ByteView data) {
+ReplyMsg ReplyMsg::deserialize(const BufChain& data) {
   xdr::Decoder dec(data);
   ReplyMsg r;
   r.xid = dec.get_u32();
@@ -154,8 +153,7 @@ ReplyMsg ReplyMsg::deserialize(ByteView data) {
     r.accept_stat = dec.get_enum<AcceptStat>();
     switch (r.accept_stat) {
       case AcceptStat::kSuccess: {
-        const size_t consumed = data.size() - dec.remaining();
-        r.results.assign(data.begin() + consumed, data.end());
+        r.results = dec.remainder_ref();
         break;
       }
       case AcceptStat::kProgMismatch:
@@ -177,10 +175,15 @@ ReplyMsg ReplyMsg::deserialize(ByteView data) {
   return r;
 }
 
-MsgType peek_type(ByteView message) {
-  xdr::Decoder dec(message);
-  dec.get_u32();  // xid
-  return dec.get_enum<MsgType>();
+MsgType peek_type(const BufChain& message) {
+  // Reads only the second word: cheap even on a segmented chain, without
+  // the flatten a full Decoder construction could trigger.
+  if (message.size() < 8) throw xdr::XdrError("decode underrun");
+  int32_t v = 0;
+  for (size_t i = 4; i < 8; ++i) {
+    v = (v << 8) | static_cast<int32_t>(message.at(i));
+  }
+  return static_cast<MsgType>(v);
 }
 
 }  // namespace sgfs::rpc

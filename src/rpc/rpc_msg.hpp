@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "common/bufchain.hpp"
 #include "common/bytes.hpp"
 #include "xdr/xdr.hpp"
 
@@ -104,6 +105,9 @@ struct OpaqueAuth {
 };
 
 /// A CALL message (header + opaque procedure arguments).
+/// `args` is a segment chain: serialize() encodes only the header and
+/// grafts the args without copying; deserialize() hands back the message
+/// tail as a shared slice of the incoming buffer.
 struct CallMsg {
   uint32_t xid = 0;
   uint32_t prog = 0;
@@ -111,13 +115,13 @@ struct CallMsg {
   uint32_t proc = 0;
   OpaqueAuth cred;
   OpaqueAuth verf;
-  Buffer args;
+  BufChain args;
 
   CallMsg() = default;
 
-  Buffer serialize() const;
+  BufChain serialize() const;
   /// Throws xdr::XdrError / std::runtime_error on malformed input.
-  static CallMsg deserialize(ByteView data);
+  static CallMsg deserialize(const BufChain& data);
 };
 
 /// A REPLY message.
@@ -127,7 +131,7 @@ struct ReplyMsg {
   // Accepted:
   AcceptStat accept_stat = AcceptStat::kSuccess;
   OpaqueAuth verf;
-  Buffer results;                 // when accept_stat == kSuccess
+  BufChain results;               // when accept_stat == kSuccess
   uint32_t mismatch_low = 0;      // when kProgMismatch
   uint32_t mismatch_high = 0;
   // Denied:
@@ -136,15 +140,15 @@ struct ReplyMsg {
 
   ReplyMsg() = default;
 
-  static ReplyMsg success(uint32_t xid, Buffer results);
+  static ReplyMsg success(uint32_t xid, BufChain results);
   static ReplyMsg error(uint32_t xid, AcceptStat stat);
   static ReplyMsg auth_error(uint32_t xid, AuthStat stat);
 
-  Buffer serialize() const;
-  static ReplyMsg deserialize(ByteView data);
+  BufChain serialize() const;
+  static ReplyMsg deserialize(const BufChain& data);
 };
 
 /// Peeks the message type without a full decode.
-MsgType peek_type(ByteView message);
+MsgType peek_type(const BufChain& message);
 
 }  // namespace sgfs::rpc

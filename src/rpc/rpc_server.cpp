@@ -76,7 +76,7 @@ sim::Task<void> RpcServer::serve_connection(
     sim::Engine& eng, std::shared_ptr<MsgTransport> transport,
     std::shared_ptr<State> state) {
   while (!state->stopped) {
-    Buffer msg;
+    BufChain msg;
     try {
       msg = co_await transport->recv();
     } catch (const std::exception&) {
@@ -95,7 +95,7 @@ sim::Task<void> RpcServer::serve_connection(
 sim::Task<void> RpcServer::serve_one(sim::Engine& eng,
                                      std::shared_ptr<MsgTransport> transport,
                                      std::shared_ptr<State> state,
-                                     Buffer msg) {
+                                     BufChain msg) {
   auto& metrics = eng.metrics();
   const sim::SimTime t0 = eng.now();
   CallMsg call;
@@ -186,7 +186,7 @@ sim::Task<void> RpcServer::serve_one(sim::Engine& eng,
       reply = ReplyMsg::auth_error(call.xid, AuthStat::kBadCred);
     } else {
       try {
-        Buffer results = co_await it->second->handle(ctx, call.args);
+        BufChain results = co_await it->second->handle(ctx, call.args);
         reply = ReplyMsg::success(call.xid, std::move(results));
       } catch (const RpcAuthError& e) {
         reply = ReplyMsg::auth_error(call.xid, e.stat());
@@ -204,7 +204,7 @@ sim::Task<void> RpcServer::serve_one(sim::Engine& eng,
     }
   }
   ++state->served;
-  Buffer wire = reply.serialize();
+  BufChain wire = reply.serialize();
   metrics.histogram("rpc.server.handle_ns").observe(eng.now() - t0);
   if (tracing) {
     span.end = eng.now();

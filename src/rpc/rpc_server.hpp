@@ -33,14 +33,16 @@ struct CallContext {
   CallContext() = default;
 };
 
-/// A program implementation: maps (proc, args) to reply bytes.
+/// A program implementation: maps (proc, args) to reply bytes.  Arguments
+/// arrive and results leave as segment chains; a handler that forwards a
+/// payload (proxies) can pass the slices through without copying them.
 /// Throw RpcError(kProcUnavail/kGarbageArgs/...) to signal protocol errors;
 /// throw RpcAuthError to deny authentication.
 class RpcProgram {
  public:
   virtual ~RpcProgram() = default;
-  virtual sim::Task<Buffer> handle(const CallContext& ctx,
-                                   ByteView args) = 0;
+  virtual sim::Task<BufChain> handle(const CallContext& ctx,
+                                     BufChain args) = 0;
 
   /// Whether the server's duplicate-request cache should retain this call's
   /// reply so a retransmission replays it instead of re-executing the
@@ -93,7 +95,7 @@ class RpcServer {
                             uint32_t>;
   struct DrcEntry {
     bool done = false;
-    Buffer reply;
+    BufChain reply;  // shared with the original send; replay is copy-free
     uint64_t stamp = 0;
 
     DrcEntry() = default;
@@ -124,7 +126,8 @@ class RpcServer {
       std::shared_ptr<State> state);
   static sim::Task<void> serve_one(sim::Engine& eng,
                                    std::shared_ptr<MsgTransport> transport,
-                                   std::shared_ptr<State> state, Buffer msg);
+                                   std::shared_ptr<State> state,
+                                   BufChain msg);
 
   net::Host* host_;
   uint16_t port_;

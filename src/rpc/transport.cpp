@@ -20,7 +20,7 @@ net::FaultPlan::Action fault_action(net::Stream& stream) {
 
 }  // namespace
 
-sim::Task<void> StreamTransport::send(ByteView message) {
+sim::Task<void> StreamTransport::send(BufChain message) {
   switch (fault_action(*stream_)) {
     case net::FaultPlan::Action::kDeliver:
       break;
@@ -32,22 +32,26 @@ sim::Task<void> StreamTransport::send(ByteView message) {
       co_return;
   }
   // RFC 5531 record marking: each fragment carries a 32-bit header whose MSB
-  // flags the final fragment of the record.
+  // flags the final fragment of the record.  The payload is never copied:
+  // each fragment is [4-byte header segment | shared slice of the message]
+  // handed to the stream's scatter-gather write.
   size_t off = 0;
   do {
     const size_t len = std::min(message.size() - off, kMaxFragment);
     const bool last = off + len == message.size();
     xdr::Encoder enc;
     enc.put_u32(static_cast<uint32_t>(len) | (last ? 0x80000000u : 0));
-    Buffer frame = enc.take();
-    append(frame, message.subspan(off, len));
+    BufChain frame = enc.take();
+    frame.append(message.slice(off, len));
     co_await stream_->write(frame);
     off += len;
   } while (off < message.size());
 }
 
-sim::Task<Buffer> StreamTransport::recv() {
-  Buffer message;
+sim::Task<BufChain> StreamTransport::recv() {
+  // Each fragment's receive buffer is adopted as one shared segment; a
+  // multi-fragment record reassembles by chaining, not by re-copying.
+  BufChain message;
   for (;;) {
     Buffer hdr = co_await stream_->read_exact(4);
     xdr::Decoder dec(hdr);
@@ -55,13 +59,12 @@ sim::Task<Buffer> StreamTransport::recv() {
     const bool last = word & 0x80000000u;
     const uint32_t len = word & 0x7fffffffu;
     if (len > (64u << 20)) throw std::runtime_error("RPC fragment too large");
-    Buffer frag = co_await stream_->read_exact(len);
-    append(message, frag);
+    message.append(co_await stream_->read_exact(len));
     if (last) co_return message;
   }
 }
 
-sim::Task<void> SecureTransport::send(ByteView message) {
+sim::Task<void> SecureTransport::send(BufChain message) {
   switch (fault_action(channel_->stream())) {
     case net::FaultPlan::Action::kDeliver:
       break;
@@ -77,7 +80,7 @@ sim::Task<void> SecureTransport::send(ByteView message) {
       channel_->corrupt_next_record();
       break;
   }
-  co_await channel_->send(message);
+  co_await channel_->send_chain(std::move(message));
 }
 
 }  // namespace sgfs::rpc

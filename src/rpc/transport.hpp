@@ -10,6 +10,7 @@
 #include <memory>
 #include <optional>
 
+#include "common/bufchain.hpp"
 #include "common/bytes.hpp"
 #include "crypto/secure_channel.hpp"
 #include "net/network.hpp"
@@ -22,9 +23,11 @@ class MsgTransport {
  public:
   virtual ~MsgTransport() = default;
 
-  virtual sim::Task<void> send(ByteView message) = 0;
+  /// Sends one message.  The chain is shared, not copied: callers must not
+  /// mutate any segment's backing store after handing it over.
+  virtual sim::Task<void> send(BufChain message) = 0;
   /// Throws net::StreamClosed at orderly EOF.
-  virtual sim::Task<Buffer> recv() = 0;
+  virtual sim::Task<BufChain> recv() = 0;
   virtual void close() = 0;
 
   /// Authenticated peer identity; nullopt on plain transports.
@@ -43,8 +46,8 @@ class StreamTransport final : public MsgTransport {
   explicit StreamTransport(net::StreamPtr stream)
       : stream_(std::move(stream)) {}
 
-  sim::Task<void> send(ByteView message) override;
-  sim::Task<Buffer> recv() override;
+  sim::Task<void> send(BufChain message) override;
+  sim::Task<BufChain> recv() override;
   void close() override { stream_->close(); }
 
   net::Stream& stream() { return *stream_; }
@@ -63,8 +66,10 @@ class SecureTransport final : public MsgTransport {
   explicit SecureTransport(std::unique_ptr<crypto::SecureChannel> channel)
       : channel_(std::move(channel)) {}
 
-  sim::Task<void> send(ByteView message) override;
-  sim::Task<Buffer> recv() override { co_return co_await channel_->recv(); }
+  sim::Task<void> send(BufChain message) override;
+  sim::Task<BufChain> recv() override {
+    co_return co_await channel_->recv_chain();
+  }
   void close() override { channel_->close(); }
 
   std::optional<crypto::DistinguishedName> peer_identity() const override {

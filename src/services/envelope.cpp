@@ -15,7 +15,7 @@ Buffer Envelope::canonical_bytes() const {
     enc.put_string(k);
     enc.put_string(v);
   }
-  return enc.take();
+  return enc.take_flat();
 }
 
 Buffer Envelope::serialize() const {
@@ -24,7 +24,7 @@ Buffer Envelope::serialize() const {
   enc.put_u32(static_cast<uint32_t>(signer_chain.size()));
   for (const auto& cert : signer_chain) enc.put_opaque(cert.serialize());
   enc.put_opaque(signature);
-  return enc.take();
+  return enc.take_flat();
 }
 
 Envelope Envelope::deserialize(ByteView data) {

@@ -5,7 +5,12 @@
 namespace sgfs::services {
 
 namespace {
-Envelope decode_env(ByteView args) { return Envelope::deserialize(args); }
+// Control-plane envelopes are small; linearize borrows the single segment
+// and only copies when a message arrived fragmented.
+Envelope decode_env(const BufChain& args) {
+  Buffer scratch;
+  return Envelope::deserialize(linearize(args, scratch));
+}
 
 Buffer encode_env(const Envelope& env) { return env.serialize(); }
 
@@ -92,8 +97,8 @@ Envelope FileSystemService::reply_env(
   return sign_envelope(action, std::move(fields), cred_, now_epoch());
 }
 
-sim::Task<Buffer> FileSystemService::handle(const rpc::CallContext& ctx,
-                                            ByteView args) {
+sim::Task<BufChain> FileSystemService::handle(const rpc::CallContext& ctx,
+                                              BufChain args) {
   Envelope request;
   try {
     request = decode_env(args);
@@ -274,14 +279,15 @@ sim::Task<Envelope> DataSchedulerService::call_fss(const net::Address& fss,
                                                    const Envelope& env) {
   auto client = co_await rpc::clnt_create(host_, fss, kFssProgram,
                                           kFssVersion);
-  Buffer wire = env.serialize();
-  Buffer reply = co_await client->call(static_cast<uint32_t>(proc), wire);
+  BufChain reply =
+      co_await client->call(static_cast<uint32_t>(proc), env.serialize());
   client->close();
-  co_return Envelope::deserialize(reply);
+  Buffer scratch;
+  co_return Envelope::deserialize(linearize(reply, scratch));
 }
 
-sim::Task<Buffer> DataSchedulerService::handle(const rpc::CallContext& ctx,
-                                               ByteView args) {
+sim::Task<BufChain> DataSchedulerService::handle(const rpc::CallContext& ctx,
+                                                 BufChain args) {
   Envelope request;
   try {
     request = decode_env(args);
@@ -435,11 +441,12 @@ sim::Task<DssClient::Session> DssClient::create_session(
 
   auto client = co_await rpc::clnt_create(host_, dss_, kDssProgram,
                                           kDssVersion);
-  Buffer reply = co_await client->call(
+  BufChain reply = co_await client->call(
       static_cast<uint32_t>(ServiceProc::kCreateSession),
       request.serialize());
   client->close();
-  Envelope env = Envelope::deserialize(reply);
+  Buffer scratch;
+  Envelope env = Envelope::deserialize(linearize(reply, scratch));
   if (env.action == "Fault") {
     throw std::runtime_error("DSS fault: " + env.fields.at("reason"));
   }
@@ -472,10 +479,11 @@ sim::Task<bool> DssClient::put_file_acl(const std::string& path,
                                    user_, now);
   auto client = co_await rpc::clnt_create(host_, dss_, kDssProgram,
                                           kDssVersion);
-  Buffer reply = co_await client->call(
+  BufChain reply = co_await client->call(
       static_cast<uint32_t>(ServiceProc::kPutFileAcl), request.serialize());
   client->close();
-  Envelope env = Envelope::deserialize(reply);
+  Buffer scratch;
+  Envelope env = Envelope::deserialize(linearize(reply, scratch));
   co_return env.action != "Fault";
 }
 

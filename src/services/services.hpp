@@ -60,8 +60,8 @@ class FileSystemService
   void start(uint16_t port);
   void stop();
 
-  sim::Task<Buffer> handle(const rpc::CallContext& ctx,
-                           ByteView args) override;
+  sim::Task<BufChain> handle(const rpc::CallContext& ctx,
+                             BufChain args) override;
 
   core::ServerProxy* server_proxy(uint16_t port);
   core::ClientProxy* client_proxy(uint16_t port);
@@ -113,8 +113,8 @@ class DataSchedulerService
   void grant(const std::string& path, const std::string& user_dn);
   void revoke(const std::string& path, const std::string& user_dn);
 
-  sim::Task<Buffer> handle(const rpc::CallContext& ctx,
-                           ByteView args) override;
+  sim::Task<BufChain> handle(const rpc::CallContext& ctx,
+                             BufChain args) override;
 
  private:
   struct ExportInfo {

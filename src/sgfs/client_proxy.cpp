@@ -1,5 +1,7 @@
 #include "sgfs/client_proxy.hpp"
 
+#include "common/bufchain.hpp"
+
 #include "common/log.hpp"
 
 namespace sgfs::core {
@@ -94,8 +96,8 @@ sim::Task<void> ClientProxy::ensure_upstream() {
   }
 }
 
-sim::Task<Buffer> ClientProxy::forward(const rpc::CallContext& ctx,
-                                       ByteView args) {
+sim::Task<BufChain> ClientProxy::forward(const rpc::CallContext& ctx,
+                                         BufChain args) {
   std::optional<sim::SimMutex::Guard> guard;
   if (config_.serialize_forwarding) {
     guard.emplace(co_await forward_mutex_.scoped());
@@ -111,7 +113,7 @@ sim::Task<Buffer> ClientProxy::forward(const rpc::CallContext& ctx,
   // re-handshakes and resends the call under its ORIGINAL xid so the
   // server's duplicate-request cache suppresses re-execution of
   // non-idempotent ops across the new connection.
-  Buffer reply;
+  BufChain reply;
   std::optional<uint32_t> xid;
   for (int attempt = 0;; ++attempt) {
     std::exception_ptr failure;
@@ -292,8 +294,13 @@ sim::Task<void> ClientProxy::writeback_block(uint64_t fileid, uint64_t block,
   wargs.offset = block * config_.cache.block_size;
   wargs.stable = file_sync ? nfs::StableHow::kFileSync
                            : nfs::StableHow::kUnstable;
-  wargs.data.assign(it->second.data.begin(),
-                    it->second.data.begin() + it->second.valid);
+  // Snapshot the block: the kernel client may keep writing into the cached
+  // block while this WRITE is in flight, so the upstream payload cannot
+  // alias it.  This is the one copy a write-back cache fundamentally needs.
+  const size_t snap_len = it->second.valid;
+  wargs.data =
+      BufChain::copy_of(ByteView(it->second.data.data(), snap_len));
+  if (host_.memcpy_charged()) co_await host_.memcpy_cost(snap_len);
   xdr::Encoder enc;
   wargs.encode(enc);
   rpc::CallContext fake;
@@ -301,7 +308,7 @@ sim::Task<void> ClientProxy::writeback_block(uint64_t fileid, uint64_t block,
   fake.vers = nfs::kNfsVersion3;
   fake.proc = static_cast<uint32_t>(Proc3::kWrite);
   fake.auth_sys = last_client_auth_;
-  Buffer reply = co_await forward(fake, enc.data());
+  BufChain reply = co_await forward(fake, enc.take());
   xdr::Decoder dec(reply);
   auto res = nfs::WriteRes::decode(dec);
   if (res.status != Status::kOk) {
@@ -358,14 +365,14 @@ sim::Task<void> ClientProxy::flush() {
     fake.vers = nfs::kNfsVersion3;
     fake.proc = static_cast<uint32_t>(Proc3::kCommit);
     fake.auth_sys = last_client_auth_;
-    (void)co_await forward(fake, enc.data());
+    (void)co_await forward(fake, enc.take());
   }
 }
 
 // --- request handling -----------------------------------------------------------
 
-sim::Task<Buffer> ClientProxy::handle(const rpc::CallContext& ctx,
-                                      ByteView args) {
+sim::Task<BufChain> ClientProxy::handle(const rpc::CallContext& ctx,
+                                        BufChain args) {
   co_await host_.cpu().use(config_.cost.msg_cost(args.size()), "proxy");
   if (config_.cost.overlapped_bytes_per_sec > 0) {
     host_.cpu().charge(sim::from_seconds(args.size() /
@@ -396,7 +403,7 @@ sim::Task<Buffer> ClientProxy::handle(const rpc::CallContext& ctx,
         res.encode(enc);
         co_return enc.take();
       }
-      Buffer reply = co_await forward(ctx, args);
+      BufChain reply = co_await forward(ctx, args);
       xdr::Decoder rdec(reply);
       auto res = nfs::GetattrRes::decode(rdec);
       if (res.status == Status::kOk) {
@@ -421,7 +428,7 @@ sim::Task<Buffer> ClientProxy::handle(const rpc::CallContext& ctx,
         res.encode(enc);
         co_return enc.take();
       }
-      Buffer reply = co_await forward(ctx, args);
+      BufChain reply = co_await forward(ctx, args);
       xdr::Decoder rdec(reply);
       auto res = nfs::LookupRes::decode(rdec);
       if (res.status == Status::kOk && config_.cache.cache_names) {
@@ -446,7 +453,7 @@ sim::Task<Buffer> ClientProxy::handle(const rpc::CallContext& ctx,
         res.encode(enc);
         co_return enc.take();
       }
-      Buffer reply = co_await forward(ctx, args);
+      BufChain reply = co_await forward(ctx, args);
       xdr::Decoder rdec(reply);
       auto res = nfs::AccessRes::decode(rdec);
       if (res.status == Status::kOk) {
@@ -481,21 +488,25 @@ sim::Task<Buffer> ClientProxy::handle(const rpc::CallContext& ctx,
           nfs::ReadRes res;
           res.count = static_cast<uint32_t>(have);
           res.eof = a.offset + have >= size;
-          res.data.assign(b.data.begin(), b.data.begin() + have);
+          res.data = BufChain::copy_of(ByteView(b.data.data(), have));
+          if (host_.memcpy_charged()) co_await host_.memcpy_cost(have);
           res.post_attrs = at->second.attrs;
           xdr::Encoder enc;
           res.encode(enc);
           co_return enc.take();
         }
       }
-      Buffer reply = co_await forward(ctx, args);
+      BufChain reply = co_await forward(ctx, args);
       xdr::Decoder rdec(reply);
       auto res = nfs::ReadRes::decode(rdec);
       if (res.status == Status::kOk && aligned) {
         remember(a.fh, res.post_attrs);
         Block& b = put_block(a.fh.fileid, a.offset / bs);
-        std::copy(res.data.begin(), res.data.end(), b.data.begin());
+        res.data.copy_to(MutByteView(b.data.data(), res.data.size()));
         b.valid = std::max(b.valid, res.count);
+        if (host_.memcpy_charged()) {
+          co_await host_.memcpy_cost(res.data.size());
+        }
         spawn_cache_store(a.fh.fileid, a.offset / bs, res.count);
         co_await evict_if_needed();
       }
@@ -513,7 +524,10 @@ sim::Task<Buffer> ClientProxy::handle(const rpc::CallContext& ctx,
         ++absorbed_writes_;
         host_.engine().metrics().counter("sgfs.client_proxy.absorbed.writes").inc();
         Block& b = put_block(a.fh.fileid, a.offset / bs);
-        std::copy(a.data.begin(), a.data.end(), b.data.begin());
+        a.data.copy_to(MutByteView(b.data.data(), a.data.size()));
+        if (host_.memcpy_charged()) {
+          co_await host_.memcpy_cost(a.data.size());
+        }
         b.valid = std::max<uint32_t>(b.valid,
                                      static_cast<uint32_t>(a.data.size()));
         b.dirty = true;
@@ -538,7 +552,7 @@ sim::Task<Buffer> ClientProxy::handle(const rpc::CallContext& ctx,
         co_await evict_if_needed();
         co_return enc.take();
       }
-      Buffer reply = co_await forward(ctx, args);
+      BufChain reply = co_await forward(ctx, args);
       xdr::Decoder rdec(reply);
       auto res = nfs::WriteRes::decode(rdec);
       if (res.status == Status::kOk) remember(a.fh, res.post_attrs);
@@ -577,7 +591,7 @@ sim::Task<Buffer> ClientProxy::handle(const rpc::CallContext& ctx,
         dir = a.dir;
         name = a.name;
       }
-      Buffer reply = co_await forward(ctx, args);
+      BufChain reply = co_await forward(ctx, args);
       xdr::Decoder rdec(reply);
       auto res = nfs::CreateRes::decode(rdec);
       // A create invalidates the cached listing but not sibling names.
@@ -604,7 +618,7 @@ sim::Task<Buffer> ClientProxy::handle(const rpc::CallContext& ctx,
       std::optional<uint64_t> victim;
       auto hit = names_.find({a.dir.fileid, a.name});
       if (hit != names_.end()) victim = hit->second.fh.fileid;
-      Buffer reply = co_await forward(ctx, args);
+      BufChain reply = co_await forward(ctx, args);
       xdr::Decoder rdec(reply);
       auto res = nfs::WccRes::decode(rdec);
       if (res.status == Status::kOk) {
@@ -619,7 +633,7 @@ sim::Task<Buffer> ClientProxy::handle(const rpc::CallContext& ctx,
     case Proc3::kRename: {
       xdr::Decoder dec(args);
       auto a = nfs::RenameArgs::decode(dec);
-      Buffer reply = co_await forward(ctx, args);
+      BufChain reply = co_await forward(ctx, args);
       xdr::Decoder rdec(reply);
       auto res = nfs::WccRes::decode(rdec);
       if (res.status == Status::kOk) {
@@ -640,7 +654,7 @@ sim::Task<Buffer> ClientProxy::handle(const rpc::CallContext& ctx,
     case Proc3::kSetattr: {
       xdr::Decoder dec(args);
       auto a = nfs::SetattrArgs::decode(dec);
-      Buffer reply = co_await forward(ctx, args);
+      BufChain reply = co_await forward(ctx, args);
       xdr::Decoder rdec(reply);
       auto res = nfs::WccRes::decode(rdec);
       if (res.status == Status::kOk) {
@@ -680,7 +694,7 @@ sim::Task<Buffer> ClientProxy::handle(const rpc::CallContext& ctx,
           co_return enc.take();
         }
       }
-      Buffer reply = co_await forward(ctx, args);
+      BufChain reply = co_await forward(ctx, args);
       if (config_.cache.cache_dirs && a.cookie == 0) {
         xdr::Decoder rdec(reply);
         auto res = nfs::ReaddirRes::decode(rdec);

@@ -38,8 +38,10 @@ class ClientProxy : public rpc::RpcProgram,
   void start(uint16_t port);
   void stop();
 
-  sim::Task<Buffer> handle(const rpc::CallContext& ctx,
-                           ByteView args) override;
+  /// Forwarded calls and replies travel as shared segment chains; cache
+  /// hits and fills are the only places the proxy touches payload bytes.
+  sim::Task<BufChain> handle(const rpc::CallContext& ctx,
+                             BufChain args) override;
 
   /// The loopback RPC server keeps replies of non-idempotent ops in its
   /// duplicate-request cache (only relevant if the kernel client ever
@@ -96,7 +98,7 @@ class ClientProxy : public rpc::RpcProgram,
   /// Tears down both upstream connections, folding their retransmission
   /// counters into the proxy totals first.
   void drop_upstream();
-  sim::Task<Buffer> forward(const rpc::CallContext& ctx, ByteView args);
+  sim::Task<BufChain> forward(const rpc::CallContext& ctx, BufChain args);
   sim::Task<void> cache_disk_io(uint64_t fileid, uint64_t block,
                                 size_t bytes, bool write);
   void spawn_cache_store(uint64_t fileid, uint64_t block, size_t bytes);

@@ -86,9 +86,9 @@ std::optional<Account> ServerProxy::authorize(const rpc::CallContext& ctx) {
   return std::nullopt;
 }
 
-sim::Task<Buffer> ServerProxy::forward(uint32_t prog, uint32_t vers,
-                                       uint32_t proc, ByteView args,
-                                       const rpc::AuthSys& cred) {
+sim::Task<BufChain> ServerProxy::forward(uint32_t prog, uint32_t vers,
+                                         uint32_t proc, BufChain args,
+                                         const rpc::AuthSys& cred) {
   // Blocking RPC library: one outstanding upstream call at a time.
   // (SFS-style daemons skip the serialization and pipeline.)
   std::optional<sim::SimMutex::Guard> guard;
@@ -105,7 +105,7 @@ sim::Task<Buffer> ServerProxy::forward(uint32_t prog, uint32_t vers,
   if (config_.cost.per_msg_latency > 0) {
     co_await host_.engine().sleep(config_.cost.per_msg_latency);
   }
-  Buffer reply = co_await client.call(proc, args);
+  BufChain reply = co_await client.call(proc, std::move(args));
   co_await host_.cpu().use(config_.cost.msg_cost(reply.size()), "proxy");
   if (config_.cost.overlapped_bytes_per_sec > 0) {
     host_.cpu().charge(
@@ -140,8 +140,8 @@ std::optional<uint32_t> ServerProxy::acl_mask(const Fh& fh,
   return mask ? *mask : 0;  // governed but unlisted: no permissions
 }
 
-sim::Task<Buffer> ServerProxy::handle(const rpc::CallContext& ctx,
-                                      ByteView args) {
+sim::Task<BufChain> ServerProxy::handle(const rpc::CallContext& ctx,
+                                        BufChain args) {
   // User-level processing cost for this message.
   co_await host_.cpu().use(config_.cost.msg_cost(args.size()), "proxy");
 
@@ -158,7 +158,7 @@ sim::Task<Buffer> ServerProxy::handle(const rpc::CallContext& ctx,
   rpc::AuthSys mapped(account->uid, account->gid, "sgfs-proxy");
 
   if (ctx.prog == nfs::kMountProgram) {
-    Buffer reply =
+    BufChain reply =
         co_await forward(ctx.prog, ctx.vers, ctx.proc, args, mapped);
     co_return reply;
   }
@@ -179,7 +179,7 @@ sim::Task<Buffer> ServerProxy::handle(const rpc::CallContext& ctx,
         res.encode(enc);
         co_return enc.take();
       }
-      Buffer reply =
+      BufChain reply =
           co_await forward(ctx.prog, ctx.vers, ctx.proc, args, mapped);
       xdr::Decoder rdec(reply);
       auto res = nfs::LookupRes::decode(rdec);
@@ -208,7 +208,7 @@ sim::Task<Buffer> ServerProxy::handle(const rpc::CallContext& ctx,
         res.encode(enc);
         co_return enc.take();
       }
-      Buffer reply =
+      BufChain reply =
           co_await forward(ctx.prog, ctx.vers, ctx.proc, args, mapped);
       xdr::Decoder rdec(reply);
       auto res = nfs::CreateRes::decode(rdec);
@@ -232,7 +232,7 @@ sim::Task<Buffer> ServerProxy::handle(const rpc::CallContext& ctx,
     case Proc3::kAccess: {
       xdr::Decoder dec(args);
       auto a = nfs::AccessArgs::decode(dec);
-      Buffer reply =
+      BufChain reply =
           co_await forward(ctx.prog, ctx.vers, ctx.proc, args, mapped);
       if (auto mask = acl_mask(a.fh, dn)) {
         // Grid ACL governs this file: the proxy's decision replaces the
@@ -285,7 +285,7 @@ sim::Task<Buffer> ServerProxy::handle(const rpc::CallContext& ctx,
     case Proc3::kReaddirplus: {
       xdr::Decoder dec(args);
       auto a = nfs::ReaddirArgs::decode(dec);
-      Buffer reply =
+      BufChain reply =
           co_await forward(ctx.prog, ctx.vers, ctx.proc, args, mapped);
       xdr::Decoder rdec(reply);
       auto res = nfs::ReaddirRes::decode(rdec);

@@ -41,8 +41,10 @@ class ServerProxy : public rpc::RpcProgram,
   void start(uint16_t port);
   void stop();
 
-  sim::Task<Buffer> handle(const rpc::CallContext& ctx,
-                           ByteView args) override;
+  /// Forwarded payloads pass through as shared segment chains: a READ
+  /// reply's data is never duplicated inside the proxy, only re-framed.
+  sim::Task<BufChain> handle(const rpc::CallContext& ctx,
+                             BufChain args) override;
 
   /// Keep replies of non-idempotent NFS ops in the RPC server's
   /// duplicate-request cache: the WAN-facing session is where client-proxy
@@ -72,8 +74,8 @@ class ServerProxy : public rpc::RpcProgram,
 
  private:
   sim::Task<void> ensure_upstream();
-  sim::Task<Buffer> forward(uint32_t prog, uint32_t vers, uint32_t proc,
-                            ByteView args, const rpc::AuthSys& cred);
+  sim::Task<BufChain> forward(uint32_t prog, uint32_t vers, uint32_t proc,
+                              BufChain args, const rpc::AuthSys& cred);
   std::optional<Account> authorize(const rpc::CallContext& ctx);
   void learn_fh(const nfs::Fh& fh, const nfs::Fh& parent,
                 const std::string& name);

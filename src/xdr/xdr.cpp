@@ -15,6 +15,7 @@ void Encoder::put_u64(uint64_t v) {
 }
 
 void Encoder::put_opaque_fixed(ByteView data) {
+  buf_stats().bytes_copied += data.size();
   append(buf_, data);
   static constexpr uint8_t kPad[3] = {0, 0, 0};
   const size_t pad = (4 - data.size() % 4) % 4;
@@ -27,8 +28,60 @@ void Encoder::put_opaque(ByteView data) {
   put_opaque_fixed(data);
 }
 
+void Encoder::put_opaque_ref(BufChain data) {
+  if (data.size() > UINT32_MAX) throw XdrError("opaque too large");
+  const size_t n = data.size();
+  put_u32(static_cast<uint32_t>(n));
+  flush_tail();
+  chain_.append(std::move(data));
+  static constexpr uint8_t kPad[3] = {0, 0, 0};
+  append(buf_, ByteView(kPad, (4 - n % 4) % 4));
+}
+
 void Encoder::put_string(std::string_view s) {
   put_opaque(ByteView(reinterpret_cast<const uint8_t*>(s.data()), s.size()));
+}
+
+const Buffer& Encoder::data() const {
+  if (!chain_.empty()) {
+    throw XdrError("Encoder::data() on segmented output; use take()");
+  }
+  return buf_;
+}
+
+BufChain Encoder::take() {
+  flush_tail();
+  return std::move(chain_);
+}
+
+Buffer Encoder::take_flat() {
+  if (chain_.empty()) return std::move(buf_);
+  flush_tail();
+  BufChain chain = std::move(chain_);
+  return chain.flatten();
+}
+
+void Encoder::flush_tail() {
+  if (buf_.empty()) return;
+  Buffer tail;
+  tail.swap(buf_);
+  chain_.append(std::move(tail));
+}
+
+Decoder::Decoder(const BufChain& chain) {
+  const auto& segs = chain.segments();
+  if (segs.size() <= 1) {
+    if (!segs.empty()) {
+      store_ = segs[0].store;
+      base_ = segs[0].offset;
+      data_ = segs[0].view();
+    }
+    return;
+  }
+  buf_stats().segments_allocated += 1;
+  store_ = std::make_shared<const Buffer>(chain.flatten());
+  base_ = 0;
+  data_ = ByteView(*store_);
 }
 
 ByteView Decoder::need(size_t n) {
@@ -67,6 +120,7 @@ bool Decoder::get_bool() {
 
 void Decoder::get_opaque_fixed(MutByteView out) {
   ByteView b = need(out.size());
+  buf_stats().bytes_copied += out.size();
   std::copy(b.begin(), b.end(), out.begin());
   skip_padding(out.size());
 }
@@ -75,14 +129,39 @@ Buffer Decoder::get_opaque(size_t max_len) {
   uint32_t len = get_u32();
   if (len > max_len) throw XdrError("opaque exceeds limit");
   ByteView b = need(len);
+  buf_stats().bytes_copied += len;
   Buffer out(b.begin(), b.end());
   skip_padding(len);
   return out;
 }
 
+BufChain Decoder::take_ref(size_t n) {
+  if (store_) {
+    BufChain out{BufChain::Segment(store_, base_ + pos_, n)};
+    pos_ += n;
+    return out;
+  }
+  return BufChain::copy_of(need(n));
+}
+
+BufChain Decoder::get_opaque_ref(size_t max_len) {
+  uint32_t len = get_u32();
+  if (len > max_len) throw XdrError("opaque exceeds limit");
+  if (data_.size() - pos_ < len) throw XdrError("decode underrun");
+  BufChain out = take_ref(len);
+  skip_padding(len);
+  return out;
+}
+
+BufChain Decoder::remainder_ref() { return take_ref(remaining()); }
+
 std::string Decoder::get_string(size_t max_len) {
-  Buffer b = get_opaque(max_len);
-  return to_string(b);
+  uint32_t len = get_u32();
+  if (len > max_len) throw XdrError("string exceeds limit");
+  ByteView b = need(len);
+  std::string out(reinterpret_cast<const char*>(b.data()), b.size());
+  skip_padding(len);
+  return out;
 }
 
 void Decoder::expect_done() const {

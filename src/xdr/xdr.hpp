@@ -3,6 +3,13 @@
 // ONC RPC and NFS encode every message in XDR: big-endian 32/64-bit words,
 // everything padded to 4-byte alignment, variable-length data prefixed by a
 // 32-bit length.  This is the wire-format foundation for src/rpc and src/nfs.
+//
+// Zero-copy pipeline: the Encoder writes scalar fields into a contiguous
+// tail buffer but can graft an existing payload chain between fields
+// (put_opaque_ref) without copying it; take() returns the resulting
+// BufChain.  The Decoder can be constructed over a BufChain and hands out
+// shared sub-slices for bulk opaque data (get_opaque_ref) that keep the
+// backing store alive by refcount instead of copying.
 #pragma once
 
 #include <cstdint>
@@ -12,6 +19,7 @@
 #include <string_view>
 #include <vector>
 
+#include "common/bufchain.hpp"
 #include "common/bytes.hpp"
 
 namespace sgfs::xdr {
@@ -38,8 +46,12 @@ class Encoder {
   /// Fixed-length opaque: bytes + zero padding to a 4-byte boundary.
   void put_opaque_fixed(ByteView data);
 
-  /// Variable-length opaque: u32 length, bytes, padding.
+  /// Variable-length opaque: u32 length, bytes, padding.  Copies.
   void put_opaque(ByteView data);
+
+  /// Variable-length opaque that grafts the payload chain into the output
+  /// without copying its bytes (u32 length and padding are still written).
+  void put_opaque_ref(BufChain data);
 
   /// String: identical encoding to variable-length opaque.
   void put_string(std::string_view s);
@@ -51,17 +63,40 @@ class Encoder {
     if (v) encode_value(*v);
   }
 
-  size_t size() const { return buf_.size(); }
-  const Buffer& data() const { return buf_; }
-  Buffer take() { return std::move(buf_); }
+  size_t size() const { return chain_.size() + buf_.size(); }
+
+  /// Contiguous view of the encoded bytes.  Only valid while no payload has
+  /// been grafted (put_opaque_ref); throws XdrError otherwise.
+  const Buffer& data() const;
+
+  /// Returns the encoded message as a segment chain (no copy).
+  BufChain take();
+
+  /// Returns the encoded message as one contiguous Buffer.  Free when
+  /// nothing was grafted; otherwise flattens (counted copy).
+  Buffer take_flat();
 
  private:
-  Buffer buf_;
+  void flush_tail();
+
+  BufChain chain_;
+  Buffer buf_;  // contiguous tail not yet adopted into chain_
 };
 
 class Decoder {
  public:
+  /// Borrowed view: out-slices (get_opaque_ref) must copy because there is
+  /// no shared store to refcount.
   explicit Decoder(ByteView data) : data_(data) {}
+
+  /// Exact-match overload: a Buffer would otherwise be ambiguous between
+  /// the ByteView conversion and the implicit Buffer -> BufChain adoption.
+  explicit Decoder(const Buffer& data) : data_(ByteView(data)) {}
+
+  /// Chain-backed view: out-slices share the chain's store.  A chain with
+  /// more than one segment is flattened once up front (counted copy) —
+  /// in-practice RPC messages arrive as a single segment.
+  explicit Decoder(const BufChain& chain);
 
   uint32_t get_u32();
   int32_t get_i32() { return static_cast<int32_t>(get_u32()); }
@@ -77,8 +112,15 @@ class Decoder {
   /// Reads exactly out.size() opaque bytes (+ skips padding).
   void get_opaque_fixed(MutByteView out);
 
-  /// Reads a variable-length opaque; rejects lengths above max_len.
+  /// Reads a variable-length opaque; rejects lengths above max_len. Copies.
   Buffer get_opaque(size_t max_len = kDefaultMax);
+
+  /// Reads a variable-length opaque as a shared sub-slice of the backing
+  /// store (zero-copy when chain-backed, copy when view-backed).
+  BufChain get_opaque_ref(size_t max_len = kDefaultMax);
+
+  /// Returns every remaining byte as a shared sub-slice and consumes it.
+  BufChain remainder_ref();
 
   /// Reads a string; rejects lengths above max_len.
   std::string get_string(size_t max_len = kDefaultMax);
@@ -100,9 +142,15 @@ class Decoder {
  private:
   ByteView need(size_t n);
   void skip_padding(size_t n);
+  /// Hands out [pos_, pos_+n) as a chain and advances (no padding skip).
+  BufChain take_ref(size_t n);
 
   ByteView data_;
   size_t pos_ = 0;
+  // When chain-backed: the shared store data_ points into, and the offset
+  // of data_[0] within it.  Keeps out-slices alive by refcount.
+  std::shared_ptr<const Buffer> store_;
+  size_t base_ = 0;
 };
 
 /// Round-trip helper for types exposing encode(Encoder&)/decode(Decoder&).
@@ -110,7 +158,7 @@ template <typename T>
 Buffer encode_message(const T& msg) {
   Encoder enc;
   msg.encode(enc);
-  return enc.take();
+  return enc.take_flat();
 }
 
 template <typename T>

@@ -1,0 +1,179 @@
+// BufChain unit tests: adoption/slice/concat semantics, iovec-style segment
+// iteration, copy accounting, and refcount lifetime across coroutine
+// suspension (the property the whole zero-copy pipeline leans on).
+#include <gtest/gtest.h>
+
+#include "common/bufchain.hpp"
+#include "common/rng.hpp"
+#include "sim/engine.hpp"
+
+namespace sgfs {
+namespace {
+
+TEST(BufChain, AdoptionIsZeroCopy) {
+  const BufStats before = buf_stats();
+  BufChain c{Buffer(4096, 0x41)};
+  EXPECT_EQ(c.size(), 4096u);
+  EXPECT_EQ(buf_stats().bytes_copied, before.bytes_copied);
+  EXPECT_EQ(buf_stats().bytes_zerocopy, before.bytes_zerocopy + 4096);
+  EXPECT_EQ(buf_stats().segments_allocated, before.segments_allocated + 1);
+}
+
+TEST(BufChain, CopyOfCopiesAndCounts) {
+  Buffer src(1000, 0x7);
+  const BufStats before = buf_stats();
+  BufChain c = BufChain::copy_of(ByteView(src));
+  EXPECT_EQ(c, src);
+  EXPECT_EQ(buf_stats().bytes_copied, before.bytes_copied + 1000);
+  // The copy owns its store: mutating the source must not show through.
+  src[0] = 0x9;
+  EXPECT_EQ(c.at(0), 0x7);
+}
+
+TEST(BufChain, SliceSharesTheBackingStore) {
+  BufChain whole{to_bytes("0123456789abcdef")};
+  const BufStats before = buf_stats();
+  BufChain mid = whole.slice(4, 8);
+  EXPECT_EQ(to_string(mid), "456789ab");
+  // Same store, just a narrower window — and the handoff is counted as
+  // zero-copy, not as a copy.
+  EXPECT_EQ(mid.segments()[0].store.get(), whole.segments()[0].store.get());
+  EXPECT_EQ(buf_stats().bytes_copied, before.bytes_copied);
+  EXPECT_EQ(buf_stats().bytes_zerocopy, before.bytes_zerocopy + 8);
+
+  EXPECT_THROW(whole.slice(10, 7), std::out_of_range);
+  EXPECT_THROW(whole.slice(17, 0), std::out_of_range);
+  EXPECT_EQ(whole.slice(16, 0).size(), 0u);
+}
+
+TEST(BufChain, SliceAcrossSegmentBoundaries) {
+  BufChain c;
+  c.append(to_bytes("aaaa"));
+  c.append(to_bytes("bbbb"));
+  c.append(to_bytes("cccc"));
+  ASSERT_EQ(c.segments().size(), 3u);
+  BufChain s = c.slice(2, 8);  // aabbbbcc
+  EXPECT_EQ(to_string(s), "aabbbbcc");
+  EXPECT_EQ(s.segments().size(), 3u);
+  // Every segment of the slice aliases a store of the source chain.
+  for (const auto& seg : s.segments()) {
+    bool shared = false;
+    for (const auto& src : c.segments()) shared |= seg.store == src.store;
+    EXPECT_TRUE(shared);
+  }
+}
+
+TEST(BufChain, AppendConcatenatesWithoutCopying) {
+  BufChain head{to_bytes("header|")};
+  BufChain payload{Buffer(64 * 1024, 0x5a)};
+  const BufStats before = buf_stats();
+  head.append(payload);
+  EXPECT_EQ(head.size(), 7u + 64 * 1024);
+  EXPECT_EQ(buf_stats().bytes_copied, before.bytes_copied);
+  EXPECT_EQ(head.at(6), uint8_t('|'));
+  EXPECT_EQ(head.at(7), 0x5a);
+  EXPECT_EQ(head.at(head.size() - 1), 0x5a);
+}
+
+TEST(BufChain, SegmentIterationCoversAllBytesInOrder) {
+  Rng rng(0xB0F);
+  Buffer a = rng.bytes(100);
+  Buffer b = rng.bytes(1);
+  Buffer c = rng.bytes(4000);
+  Buffer expect;
+  for (const Buffer* p : {&a, &b, &c})
+    expect.insert(expect.end(), p->begin(), p->end());
+
+  BufChain chain;
+  chain.append(Buffer(a));
+  chain.append(Buffer(b));
+  chain.append(Buffer(c));
+
+  // iovec-style gather: walk segments() exactly like Stream::write does.
+  Buffer gathered;
+  size_t total = 0;
+  for (const auto& seg : chain.segments()) {
+    ByteView v = seg.view();
+    gathered.insert(gathered.end(), v.begin(), v.end());
+    total += seg.len;
+  }
+  EXPECT_EQ(total, chain.size());
+  EXPECT_EQ(gathered, expect);
+  EXPECT_EQ(chain.flatten(), expect);
+}
+
+TEST(BufChain, FlattenAndCopyToCount) {
+  BufChain c;
+  c.append(Buffer(300, 1));
+  c.append(Buffer(700, 2));
+  const BufStats before = buf_stats();
+  Buffer flat = c.flatten();
+  EXPECT_EQ(flat.size(), 1000u);
+  EXPECT_EQ(buf_stats().bytes_copied, before.bytes_copied + 1000);
+  Buffer out(400);
+  EXPECT_EQ(c.copy_to(MutByteView(out.data(), out.size())), 400u);
+  EXPECT_EQ(buf_stats().bytes_copied, before.bytes_copied + 1400);
+  EXPECT_EQ(out[299], 1);
+  EXPECT_EQ(out[300], 2);
+}
+
+TEST(BufChain, LinearizeBorrowsSingleSegmentAndCopiesFragmented) {
+  BufChain single{to_bytes("contiguous")};
+  Buffer scratch;
+  const BufStats before = buf_stats();
+  ByteView v = linearize(single, scratch);
+  EXPECT_EQ(to_string(v), "contiguous");
+  EXPECT_TRUE(scratch.empty());
+  EXPECT_EQ(buf_stats().bytes_copied, before.bytes_copied);
+
+  BufChain split;
+  split.append(to_bytes("two "));
+  split.append(to_bytes("parts"));
+  ByteView w = linearize(split, scratch);
+  EXPECT_EQ(to_string(w), "two parts");
+  EXPECT_EQ(buf_stats().bytes_copied, before.bytes_copied + 9);
+}
+
+TEST(BufChainLifetime, RefcountReleasesStoreWithLastHolder) {
+  std::weak_ptr<const Buffer> watch;
+  {
+    BufChain slice;
+    {
+      BufChain whole{Buffer(128, 0xEE)};
+      watch = whole.segments()[0].store;
+      slice = whole.slice(32, 64);
+      EXPECT_EQ(watch.use_count(), 2);
+    }
+    // The slice alone keeps the store alive.
+    EXPECT_FALSE(watch.expired());
+    EXPECT_EQ(slice.at(0), 0xEE);
+  }
+  EXPECT_TRUE(watch.expired());
+}
+
+TEST(BufChainLifetime, SurvivesCoroutineSuspension) {
+  // A coroutine holding only a slice suspends; the chain that produced the
+  // slice (and the Buffer it adopted) are destroyed before the coroutine
+  // resumes.  The shared store must keep the bytes alive.
+  sim::Engine eng;
+  std::string out;
+  std::weak_ptr<const Buffer> watch;
+  {
+    BufChain chain{to_bytes("payload that outlives its creator")};
+    watch = chain.segments()[0].store;
+    eng.spawn([](sim::Engine& eng, BufChain held,
+                 std::string* out) -> sim::Task<void> {
+      co_await eng.sleep(1000);
+      *out = to_string(held.slice(8, 4));
+    }(eng, chain.slice(0, chain.size()), &out));
+  }
+  EXPECT_FALSE(watch.expired());  // pinned by the suspended coroutine frame
+  eng.run_task([](sim::Engine& eng) -> sim::Task<void> {
+    co_await eng.sleep(2000);
+  }(eng));
+  EXPECT_EQ(out, "that");
+  EXPECT_TRUE(watch.expired());  // released once the coroutine finished
+}
+
+}  // namespace
+}  // namespace sgfs

@@ -455,8 +455,8 @@ TEST(NfsServer, OpCountersTrack) {
 
 TEST(Nfs3Drc, RetransmittedCreateReturnsOriginalReply) {
   Rig rig;
-  Buffer wire1, wire2;
-  rig.eng.run_task([](Rig& rig, Buffer* w1, Buffer* w2) -> Task<void> {
+  BufChain wire1, wire2;
+  rig.eng.run_task([](Rig& rig, BufChain* w1, BufChain* w2) -> Task<void> {
     net::Address addr("server", 2049);
     rpc::AuthSys auth(1000, 1000, "client");
     auto ops = co_await V3WireOps::connect(*rig.client_host, addr, auth);
@@ -480,8 +480,8 @@ TEST(Nfs3Drc, RetransmittedCreateReturnsOriginalReply) {
     call.vers = kNfsVersion3;
     call.proc = static_cast<uint32_t>(Proc3::kCreate);
     call.cred = rpc::OpaqueAuth::sys(auth);
-    call.args.assign(enc.data().begin(), enc.data().end());
-    const Buffer wire = call.serialize();
+    call.args = enc.take();
+    const BufChain wire = call.serialize();
 
     net::StreamPtr s = co_await rig.net.connect(*rig.client_host, addr);
     rpc::StreamTransport t(std::move(s));

@@ -95,10 +95,11 @@ TEST(RpcMsg, DeserializeCallRejectsReply) {
 // requires auth; proc 4 sleeps; proc 5 throws.
 class EchoProgram : public RpcProgram {
  public:
-  sim::Task<Buffer> handle(const CallContext& ctx, ByteView args) override {
+  sim::Task<BufChain> handle(const CallContext& ctx,
+                             BufChain args) override {
     switch (ctx.proc) {
       case 1:
-        co_return Buffer(args.begin(), args.end());
+        co_return std::move(args);  // echo: the reply shares the args' store
       case 2: {
         xdr::Encoder enc;
         enc.put_u32(ctx.auth_sys ? ctx.auth_sys->uid : 0xffffffffu);
@@ -106,7 +107,7 @@ class EchoProgram : public RpcProgram {
       }
       case 3:
         if (!ctx.auth_sys) throw RpcAuthError(AuthStat::kTooWeak);
-        co_return Buffer{};
+        co_return BufChain{};
       case 5:
         throw std::runtime_error("handler exploded");
       default:
@@ -137,7 +138,7 @@ TEST(Rpc, EchoCall) {
   f.eng.run_task([](Fixture& f, std::string* out) -> Task<void> {
     net::Address addr("server", 2049);
     auto client = co_await clnt_create(*f.client_host, addr, kProg, kVers);
-    Buffer r = co_await client->call(1, to_bytes("ping"));
+    BufChain r = co_await client->call(1, to_bytes("ping"));
     *out = sgfs::to_string(r);
   }(f, &got));
   EXPECT_EQ(got, "ping");
@@ -151,7 +152,7 @@ TEST(Rpc, AuthSysCredentialsDelivered) {
     net::Address addr("server", 2049);
     auto client = co_await clnt_create(*f.client_host, addr, kProg, kVers);
     client->set_auth(AuthSys(501, 100, "compute1"));
-    Buffer r = co_await client->call(2, {});
+    BufChain r = co_await client->call(2, {});
     xdr::Decoder dec(r);
     *out = dec.get_u32();
   }(f, &uid));
@@ -236,7 +237,8 @@ TEST(Rpc, ConcurrentCallsMatchedByXid) {
     for (int i = 0; i < 10; ++i) {
       f.eng.spawn([](RpcClient& c, std::vector<std::string>* out, int i,
                      int* remaining, sim::SimEvent* done) -> Task<void> {
-        Buffer r = co_await c.call(1, to_bytes("msg" + std::to_string(i)));
+        BufChain r =
+            co_await c.call(1, to_bytes("msg" + std::to_string(i)));
         (*out)[i] = sgfs::to_string(r);
         if (--*remaining == 0) done->set();
       }(*client, out, i, &remaining, &all_done));
@@ -256,7 +258,7 @@ TEST(Rpc, LargeMessageFragmentation) {
     auto client = co_await clnt_create(*f.client_host, addr, kProg, kVers);
     Rng rng(55);
     Buffer big = rng.bytes(3 * 1024 * 1024);  // > 1 MiB fragment size
-    Buffer r = co_await client->call(1, big);
+    BufChain r = co_await client->call(1, big);
     *out = (r == big);
   }(f, &equal));
   EXPECT_TRUE(equal);
@@ -290,12 +292,12 @@ class ScriptedTransport final : public MsgTransport {
  public:
   explicit ScriptedTransport(sim::Engine& eng) : inbound(eng) {}
 
-  sim::Task<void> send(ByteView message) override {
+  sim::Task<void> send(BufChain message) override {
     if (fail_sends) throw std::runtime_error("injected send failure");
-    sent.emplace_back(message.begin(), message.end());
+    sent.push_back(std::move(message));
     co_return;
   }
-  sim::Task<Buffer> recv() override {
+  sim::Task<BufChain> recv() override {
     auto msg = co_await inbound.recv();
     if (!msg) throw net::StreamClosed();
     co_return std::move(*msg);
@@ -303,8 +305,8 @@ class ScriptedTransport final : public MsgTransport {
   void close() override { inbound.close(); }
   std::string peer_host() const override { return "peer"; }
 
-  sim::Channel<Buffer> inbound;
-  std::vector<Buffer> sent;
+  sim::Channel<BufChain> inbound;
+  std::vector<BufChain> sent;
   bool fail_sends = false;
 };
 
@@ -334,7 +336,7 @@ TEST(Rpc, SendFailureLeavesPendingEmpty) {
     sim::SimEvent done(eng);
     eng.spawn([](RpcClient& c, std::string* out,
                  sim::SimEvent* done) -> Task<void> {
-      Buffer r = co_await c.call(1, to_bytes("ping"));
+      BufChain r = co_await c.call(1, to_bytes("ping"));
       *out = sgfs::to_string(r);
       done->set();
     }(c, out, &done));
@@ -357,7 +359,7 @@ TEST(Rpc, MalformedReplyDroppedWithoutKillingOtherCalls) {
     sim::SimEvent done(eng);
     eng.spawn([](RpcClient& c, std::string* out,
                  sim::SimEvent* done) -> Task<void> {
-      Buffer r = co_await c.call(1, to_bytes("ping"));
+      BufChain r = co_await c.call(1, to_bytes("ping"));
       *out = sgfs::to_string(r);
       done->set();
     }(c, out, &done));
@@ -383,7 +385,7 @@ TEST(Rpc, ReplyForUnknownXidIgnored) {
     sim::SimEvent done(eng);
     eng.spawn([](RpcClient& c, std::string* out,
                  sim::SimEvent* done) -> Task<void> {
-      Buffer r = co_await c.call(1, to_bytes("ping"));
+      BufChain r = co_await c.call(1, to_bytes("ping"));
       *out = sgfs::to_string(r);
       done->set();
     }(c, out, &done));
@@ -442,7 +444,7 @@ TEST(Rpc, RetransmissionRecoversFromLoss) {
     net::Address addr("server", 2049);
     auto client = co_await clnt_create(*f.client_host, addr, kProg, kVers);
     client->set_retry(RetryPolicy::standard());
-    Buffer r = co_await client->call(1, to_bytes("are you there"));
+    BufChain r = co_await client->call(1, to_bytes("are you there"));
     *out = sgfs::to_string(r);
     *rexmit = client->retransmits();
     client->close();
@@ -478,7 +480,7 @@ TEST(Rpc, GiveUpPolicyRaisesRpcTimeout) {
 // reply is distinguishable from a re-execution.
 class CountingProgram : public RpcProgram {
  public:
-  sim::Task<Buffer> handle(const CallContext&, ByteView) override {
+  sim::Task<BufChain> handle(const CallContext&, BufChain) override {
     xdr::Encoder enc;
     enc.put_u32(++count_);
     co_return enc.take();
@@ -499,9 +501,9 @@ TEST(Rpc, DuplicateRequestCacheReplaysReply) {
   RpcServer server(sh, 2049);
   server.register_program(kProg, kVers, program);
   server.start();
-  Buffer first, second;
-  eng.run_task([](net::Network& net, net::Host& chost, Buffer* r1,
-                  Buffer* r2) -> Task<void> {
+  BufChain first, second;
+  eng.run_task([](net::Network& net, net::Host& chost, BufChain* r1,
+                  BufChain* r2) -> Task<void> {
     net::StreamPtr s = co_await net.connect(chost, net::Address("server",
                                                                 2049));
     StreamTransport t(std::move(s));
@@ -510,7 +512,7 @@ TEST(Rpc, DuplicateRequestCacheReplaysReply) {
     call.prog = kProg;
     call.vers = kVers;
     call.proc = 1;
-    const Buffer wire = call.serialize();
+    const BufChain wire = call.serialize();
     co_await t.send(wire);
     *r1 = co_await t.recv();
     // Byte-identical retransmission: the server must replay the cached
@@ -522,6 +524,55 @@ TEST(Rpc, DuplicateRequestCacheReplaysReply) {
   EXPECT_EQ(first, second);
   EXPECT_EQ(program->count(), 1u);
   EXPECT_EQ(server.drc_hits(), 1u);
+}
+
+// --- record-marking fragment boundaries (RFC 5531 §11) -----------------------
+
+// Round-trips one message of `bytes` through a StreamTransport echo pair and
+// checks it reassembles byte-identically after fragmentation on both hops.
+void roundtrip_fragmented(size_t bytes) {
+  Engine eng;
+  net::Network net(eng);
+  net::Host& ch = net.add_host("client");
+  net::Host& sh = net.add_host("server");
+  auto listener = net.listen(sh, 2049);
+  Rng rng(0xF7A6 + bytes);
+  const BufChain msg{rng.bytes(bytes)};
+  eng.spawn([](net::Network::Listener& l) -> Task<void> {
+    net::StreamPtr s = co_await l.accept();
+    StreamTransport t(std::move(s));
+    BufChain m = co_await t.recv();
+    co_await t.send(std::move(m));  // echo re-frames the received chain
+    t.close();
+  }(*listener));
+  BufChain back;
+  eng.run_task([](net::Network& net, net::Host& chost, BufChain msg,
+                  BufChain* out) -> Task<void> {
+    net::StreamPtr s =
+        co_await net.connect(chost, net::Address("server", 2049));
+    StreamTransport t(std::move(s));
+    co_await t.send(msg);
+    *out = co_await t.recv();
+    t.close();
+  }(net, ch, msg, &back));
+  ASSERT_EQ(back.size(), bytes);
+  EXPECT_EQ(back, msg);
+  EXPECT_TRUE(eng.errors().empty());
+}
+
+TEST(StreamFraming, MessageOfExactlyOneFragment) {
+  // Exactly kMaxFragment: one full fragment with the last-fragment bit set.
+  roundtrip_fragmented(StreamTransport::kMaxFragment);
+}
+
+TEST(StreamFraming, MessageOneByteOverFragmentLimit) {
+  // kMaxFragment + 1: a full non-final fragment followed by a 1-byte final
+  // fragment — the classic off-by-one in record-marking reassembly.
+  roundtrip_fragmented(StreamTransport::kMaxFragment + 1);
+}
+
+TEST(StreamFraming, MessageSpanningThreeFragments) {
+  roundtrip_fragmented(2 * StreamTransport::kMaxFragment + 12345);
 }
 
 // --- secure RPC (clnt_ssl_create / svc_tli_ssl_create analogue) --------------
@@ -556,7 +607,7 @@ TEST(SecureRpc, EndToEndWithIdentity) {
   // Identity-checking program: returns the peer DN string.
   class WhoAmI : public RpcProgram {
    public:
-    sim::Task<Buffer> handle(const CallContext& ctx, ByteView) override {
+    sim::Task<BufChain> handle(const CallContext& ctx, BufChain) override {
       xdr::Encoder enc;
       enc.put_string(ctx.peer_identity ? ctx.peer_identity->to_string()
                                        : "<none>");
@@ -579,7 +630,7 @@ TEST(SecureRpc, EndToEndWithIdentity) {
     net::Address addr("server", 2049);
     auto client = co_await clnt_ssl_create(host, addr, kProg, kVers, cfg,
                                            rng, 0);
-    Buffer r = co_await client->call(0, {});
+    BufChain r = co_await client->call(0, {});
     xdr::Decoder dec(r);
     *out = dec.get_string();
   }(ch, client_cfg, &dn));

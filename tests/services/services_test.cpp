@@ -223,10 +223,11 @@ TEST(Services, FssRejectsNonControllerEnvelopes) {
     auto client = co_await rpc::clnt_create(
         *rig.compute, net::Address("fileserver", 6000), kFssProgram,
         kFssVersion);
-    Buffer reply = co_await client->call(
+    BufChain reply = co_await client->call(
         static_cast<uint32_t>(ServiceProc::kCreateServerProxy),
         env.serialize());
-    Envelope out = Envelope::deserialize(reply);
+    Buffer scratch;
+    Envelope out = Envelope::deserialize(linearize(reply, scratch));
     EXPECT_EQ(out.action, "Fault");
     client->close();
   }(rig));

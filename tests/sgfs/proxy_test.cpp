@@ -518,6 +518,54 @@ TEST(SgfsMetrics, SecureChannelTrafficRecorded) {
   EXPECT_TRUE(grid.eng.errors().empty());
 }
 
+// The zero-copy acceptance test: with the client proxy's cache disabled,
+// READ and WRITE payloads cross BOTH proxies as shared segment chains.  The
+// only counted copies on the whole path are the kernel client's own page
+// cache fill / write-back snapshot (one payload each, fundamental), so the
+// deliberate-copy delta must stay within one payload plus header noise —
+// if either proxy duplicated the payload even once, the budget blows.
+TEST(SgfsMetrics, ProxyForwardingAddsNoPayloadCopies) {
+  CacheConfig cache;
+  cache.enabled = false;
+  Grid grid(pki().alice, cache);
+  constexpr size_t kPayload = 256 * 1024;
+  constexpr uint64_t kHeaderSlack = 32 * 1024;
+  grid.fs->write_file(vfs::Cred(0, 0), "/GFS/alice/big.bin",
+                      Buffer(kPayload, 0x5a), 0644);
+  grid.eng.run_task([](Grid& grid) -> Task<void> {
+    auto mp = co_await grid.mount_session();
+
+    int fd = co_await mp->open("big.bin", nfs::kRdOnly);
+    const BufStats before_read = buf_stats();
+    Buffer buf(kPayload);
+    co_await mp->read(fd, buf);
+    const uint64_t read_copied =
+        buf_stats().bytes_copied - before_read.bytes_copied;
+    const uint64_t read_zerocopy =
+        buf_stats().bytes_zerocopy - before_read.bytes_zerocopy;
+    co_await mp->close(fd);
+    EXPECT_EQ(buf, Buffer(kPayload, 0x5a));
+    EXPECT_LE(read_copied, kPayload + kHeaderSlack);
+    // The payload is handed off copy-free at several hops (encoder graft,
+    // reply chain, proxy pass-through, decode slice), so the zero-copy
+    // tally must dwarf the payload itself.
+    EXPECT_GE(read_zerocopy, 2 * uint64_t{kPayload});
+
+    int wfd = co_await mp->open("out.bin", nfs::kWrOnly | nfs::kCreate);
+    const BufStats before_write = buf_stats();
+    co_await mp->write(wfd, Buffer(kPayload, 0x33));
+    co_await mp->close(wfd);
+    co_await grid.client_proxy->flush();
+    const uint64_t write_copied =
+        buf_stats().bytes_copied - before_write.bytes_copied;
+    const uint64_t write_zerocopy =
+        buf_stats().bytes_zerocopy - before_write.bytes_zerocopy;
+    EXPECT_LE(write_copied, kPayload + kHeaderSlack);
+    EXPECT_GE(write_zerocopy, 2 * uint64_t{kPayload});
+  }(grid));
+  EXPECT_TRUE(grid.eng.errors().empty());
+}
+
 // --- unit-level ACL/gridmap tests -----------------------------------------------
 
 TEST(GridMapTest, ParseAndLookup) {

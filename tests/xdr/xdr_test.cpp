@@ -192,5 +192,118 @@ INSTANTIATE_TEST_SUITE_P(Sizes, XdrPropertyTest,
                          ::testing::Values(0, 1, 2, 3, 4, 5, 31, 32, 33, 255,
                                            1024, 4097, 65536));
 
+// Property sweep over random *sequences* of fields: whatever mix of
+// primitives gets encoded — including zero-copy grafts (put_opaque_ref) that
+// segment the output — must decode identically through both decoder
+// flavours: a borrowed contiguous view and a chain-backed decoder fed the
+// encoder's segmented output directly.
+TEST(XdrProperty, RandomFieldSequencesRoundTripBothDecoders) {
+  enum Tok { kU32, kU64, kBool, kStr, kOpaque, kOpaqueRef, kOptU32, kTokCount };
+  Rng rng(0x5EED2026'08050001ull);
+  for (int round = 0; round < 64; ++round) {
+    std::vector<int> toks;
+    std::vector<uint64_t> ints;
+    std::vector<std::string> strs;
+    std::vector<Buffer> blobs;
+    Encoder enc;
+    const int fields = static_cast<int>(1 + rng.next_below(12));
+    for (int i = 0; i < fields; ++i) {
+      const int tok = static_cast<int>(rng.next_below(kTokCount));
+      toks.push_back(tok);
+      switch (tok) {
+        case kU32: {
+          uint32_t v = static_cast<uint32_t>(rng.next_u64());
+          ints.push_back(v);
+          enc.put_u32(v);
+          break;
+        }
+        case kU64: {
+          uint64_t v = rng.next_u64();
+          ints.push_back(v);
+          enc.put_u64(v);
+          break;
+        }
+        case kBool: {
+          bool v = rng.next_below(2) == 1;
+          ints.push_back(v ? 1 : 0);
+          enc.put_bool(v);
+          break;
+        }
+        case kStr: {
+          Buffer raw = rng.bytes(rng.next_below(40));
+          for (auto& c : raw) c = 'a' + (c % 26);
+          std::string s(raw.begin(), raw.end());
+          strs.push_back(s);
+          enc.put_string(s);
+          break;
+        }
+        case kOpaque:
+        case kOpaqueRef: {
+          Buffer b = rng.bytes(rng.next_below(3000));
+          blobs.push_back(b);
+          if (tok == kOpaque) {
+            enc.put_opaque(b);
+          } else {
+            enc.put_opaque_ref(BufChain{Buffer(b)});
+          }
+          break;
+        }
+        case kOptU32: {
+          std::optional<uint32_t> v;
+          if (rng.next_below(2) == 1)
+            v = static_cast<uint32_t>(rng.next_u64());
+          ints.push_back(v ? uint64_t{*v} + 1 : 0);  // 0 encodes nullopt
+          enc.put_optional(v, [&](uint32_t x) { enc.put_u32(x); });
+          break;
+        }
+      }
+    }
+    const BufChain wire = enc.take();
+    const Buffer flat = wire.flatten();
+    ASSERT_EQ(flat.size() % 4, 0u);
+
+    // Replays the recorded field script against one decoder.
+    auto check = [&](Decoder dec) {
+      size_t ii = 0, si = 0, bi = 0;
+      for (int tok : toks) {
+        switch (tok) {
+          case kU32:
+            EXPECT_EQ(dec.get_u32(), static_cast<uint32_t>(ints[ii++]));
+            break;
+          case kU64:
+            EXPECT_EQ(dec.get_u64(), ints[ii++]);
+            break;
+          case kBool:
+            EXPECT_EQ(dec.get_bool(), ints[ii++] == 1);
+            break;
+          case kStr:
+            EXPECT_EQ(dec.get_string(), strs[si++]);
+            break;
+          case kOpaque:
+            EXPECT_EQ(dec.get_opaque(), blobs[bi++]);
+            break;
+          case kOpaqueRef:
+            EXPECT_EQ(dec.get_opaque_ref(), blobs[bi++]);
+            break;
+          case kOptU32: {
+            auto v = dec.get_optional<uint32_t>([&] { return dec.get_u32(); });
+            const uint64_t expect = ints[ii++];
+            if (expect == 0) {
+              EXPECT_FALSE(v.has_value());
+            } else {
+              ASSERT_TRUE(v.has_value());
+              EXPECT_EQ(uint64_t{*v} + 1, expect);
+            }
+            break;
+          }
+        }
+      }
+      EXPECT_TRUE(dec.done()) << "round " << round;
+    };
+    check(Decoder(ByteView(flat)));  // borrowed contiguous view
+    check(Decoder(wire));            // chain-backed, possibly segmented
+  }
+}
+
 }  // namespace
 }  // namespace sgfs::xdr
