@@ -61,6 +61,7 @@ Testbed::Testbed(TestbedOptions options)
         "client", "server",
         net::LinkFaults(options_.loss_probability,
                         options_.corrupt_probability));
+    plan->set_metrics(&eng_.metrics());
     net_.set_fault_plan(std::move(plan));
     if (!options_.retry.enabled()) {
       options_.retry = rpc::RetryPolicy::standard();
@@ -150,6 +151,8 @@ Testbed::Testbed(TestbedOptions options)
   core::ClientProxyConfig ccfg;
   ccfg.server_proxy = client_upstream;
   ccfg.retry = options_.retry;
+  ccfg.max_reconnects = options_.max_reconnects;
+  ccfg.verifier_replay = options_.verifier_replay;
   ccfg.cache.enabled = true;
   ccfg.cache.cache_data = options_.proxy_disk_cache;
   ccfg.cache.write_back =
@@ -200,6 +203,7 @@ sim::Task<std::shared_ptr<nfs::MountPoint>> Testbed::mount() {
   cfg.cache_bytes = options_.client_mem_bytes;
   cfg.readahead_blocks = options_.readahead_blocks;
   cfg.use_readdirplus = false;  // 2007-era listing behaviour
+  cfg.verifier_replay = options_.verifier_replay;
   rpc::AuthSys job(kGridUid, kGridUid, "client");
 
   const bool direct =

@@ -61,6 +61,13 @@ struct TestbedOptions {
   double loss_probability = 0;
   double corrupt_probability = 0;
   rpc::RetryPolicy retry;
+  /// Upstream session re-establishment attempts per call in the client
+  /// proxy (crash/restart recovery).
+  int max_reconnects = 4;
+  /// RFC 1813 §3.3.21 write-verifier replay in the kernel client and the
+  /// client proxy.  Disable ONLY to demonstrate the resulting data loss
+  /// (the chaos suite's deliberately-broken negative test).
+  bool verifier_replay = true;
   /// Opt-in memcpy cost model (net::Host::set_memcpy_bytes_per_sec) applied
   /// to both hosts.  0 (the default) keeps copy accounting free of charge,
   /// so results are bit-identical to runs that predate the zero-copy work.

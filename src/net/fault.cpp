@@ -46,23 +46,31 @@ FaultPlan::Action FaultPlan::on_message(const std::string& from,
   if (blacked_out(from, to, now)) {
     ++blackout_drops_;
     ++dropped_;
+    if (metrics_ != nullptr) {
+      metrics_->counter("fault.blackout_drops").inc();
+      metrics_->counter("fault.dropped").inc();
+    }
     return Action::kDrop;
   }
   const LinkFaults f = faults_for(from, to);
   if (!f.faulty()) {
     ++delivered_;
+    if (metrics_ != nullptr) metrics_->counter("fault.delivered").inc();
     return Action::kDeliver;
   }
   const double roll = rng_.next_double();
   if (roll < f.drop_probability) {
     ++dropped_;
+    if (metrics_ != nullptr) metrics_->counter("fault.dropped").inc();
     return Action::kDrop;
   }
   if (roll < f.drop_probability + f.corrupt_probability) {
     ++corrupted_;
+    if (metrics_ != nullptr) metrics_->counter("fault.corrupted").inc();
     return Action::kCorrupt;
   }
   ++delivered_;
+  if (metrics_ != nullptr) metrics_->counter("fault.delivered").inc();
   return Action::kDeliver;
 }
 

@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "obs/metrics.hpp"
 #include "sim/time.hpp"
 
 namespace sgfs::net {
@@ -80,6 +81,12 @@ class FaultPlan {
   uint64_t corrupted() const { return corrupted_; }
   uint64_t blackout_drops() const { return blackout_drops_; }
 
+  /// Mirrors the counters into an obs registry as fault.delivered /
+  /// fault.dropped / fault.corrupted / fault.blackout_drops, so fault runs
+  /// are explainable from the metrics summary alone.  Recording never
+  /// touches the event queue, so this cannot perturb timing.
+  void set_metrics(obs::MetricsRegistry* metrics) { metrics_ = metrics; }
+
  private:
   struct Window {
     std::string a, b;  // b empty: host-wide blackout on a
@@ -95,6 +102,7 @@ class FaultPlan {
                    sim::SimTime now) const;
 
   Rng rng_;
+  obs::MetricsRegistry* metrics_ = nullptr;
   LinkFaults default_;
   std::map<std::pair<std::string, std::string>, LinkFaults> overrides_;
   std::vector<Window> windows_;

@@ -76,9 +76,36 @@ sim::Task<StreamPtr> Network::connect(Host& from, const Address& to) {
     throw std::runtime_error("connection refused: " + to.to_string());
   }
   Host& remote = host(to.host);
+  if (remote.is_down()) throw ConnectionRefused(to.to_string());
   auto [client_end, server_end] = Stream::make_pair(*this, from, remote);
   it->second->pending_.send(server_end);
   co_return client_end;
+}
+
+void Network::register_stream(const std::string& host,
+                              std::weak_ptr<Stream> s) {
+  auto& vec = streams_[host];
+  // Amortized prune so long runs with churning connections stay bounded.
+  if (vec.size() >= 64 && vec.size() % 64 == 0) {
+    std::erase_if(vec, [](const std::weak_ptr<Stream>& w) {
+      return w.expired();
+    });
+  }
+  vec.push_back(std::move(s));
+}
+
+void Network::reset_host_streams(const std::string& host) {
+  auto it = streams_.find(host);
+  if (it == streams_.end()) return;
+  for (auto& w : it->second) {
+    if (auto s = w.lock()) {
+      s->reset();
+      if (auto p = s->peer_.lock()) p->reset();
+    }
+  }
+  std::erase_if(it->second, [](const std::weak_ptr<Stream>& w) {
+    return w.expired();
+  });
 }
 
 // --- Stream -----------------------------------------------------------------
@@ -95,6 +122,8 @@ std::pair<StreamPtr, StreamPtr> Stream::make_pair(Network& net, Host& a,
   sb->local_ = &b;
   sb->remote_ = &a;
   sb->peer_ = sa;
+  net.register_stream(a.name(), sa);
+  net.register_stream(b.name(), sb);
   return {sa, sb};
 }
 
@@ -163,6 +192,7 @@ void Stream::close() {
 }
 
 void Stream::deliver(Buffer data) {
+  if (reset_) return;  // data in flight to a reset stream is lost
   if (data.empty()) return;
   bytes_received_ += data.size();
   rx_.buffered += data.size();
@@ -171,7 +201,19 @@ void Stream::deliver(Buffer data) {
 }
 
 void Stream::deliver_eof() {
+  if (reset_) return;
   rx_.eof = true;
+  wake_readers();
+}
+
+void Stream::reset() {
+  if (reset_) return;
+  reset_ = true;
+  local_closed_ = true;  // writes now throw StreamClosed
+  rx_.segments.clear();
+  rx_.head_offset = 0;
+  rx_.buffered = 0;
+  rx_.eof = true;  // readers drain to EOF -> read_exact throws StreamClosed
   wake_readers();
 }
 

@@ -15,6 +15,7 @@
 #include <memory>
 #include <stdexcept>
 #include <string>
+#include <vector>
 
 #include "common/bufchain.hpp"
 #include "common/bytes.hpp"
@@ -63,6 +64,19 @@ struct LinkParams {
 class StreamClosed : public std::runtime_error {
  public:
   StreamClosed() : std::runtime_error("stream closed by peer") {}
+
+ protected:
+  explicit StreamClosed(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// connect() target host is down (crashed, not yet restarted).  Derives from
+/// StreamClosed so every reconnect loop that already handles a dropped
+/// connection also handles "the server is still rebooting" — it retries
+/// after its backoff instead of treating the refusal as fatal.
+class ConnectionRefused : public StreamClosed {
+ public:
+  explicit ConnectionRefused(const std::string& target)
+      : StreamClosed("connection refused (host down): " + target) {}
 };
 
 class Stream;
@@ -127,11 +141,19 @@ class Network {
   std::unique_ptr<Listener> listen(Host& host, uint16_t port);
 
   /// Opens a connection from `from` to `to`; costs one RTT.
-  /// Throws std::runtime_error if nothing listens there.
+  /// Throws std::runtime_error if nothing listens there, and
+  /// ConnectionRefused if the target host is down (crash_restart window).
   sim::Task<StreamPtr> connect(Host& from, const Address& to);
+
+  /// Resets every stream with an endpoint on `host` (both ends observe
+  /// StreamClosed; buffered and in-flight data is discarded).  Called by
+  /// Host::crash_restart at the crash instant.
+  void reset_host_streams(const std::string& host);
 
  private:
   friend class Stream;
+
+  void register_stream(const std::string& host, std::weak_ptr<Stream> s);
 
   // Shared per-ordered-pair serialization state (bandwidth queue).
   struct LinkState {
@@ -149,6 +171,10 @@ class Network {
   std::shared_ptr<std::map<Address, Listener*>> registry_ =
       std::make_shared<std::map<Address, Listener*>>();
   std::shared_ptr<FaultPlan> fault_plan_;
+  // Per-host weak stream index so crash_restart can reset live connections.
+  // Weak pointers: the index must not extend stream lifetimes; expired
+  // entries are pruned on reset and periodically on registration.
+  std::map<std::string, std::vector<std::weak_ptr<Stream>>> streams_;
 };
 
 /// A reliable, ordered, bidirectional byte stream between two hosts.
@@ -206,6 +232,9 @@ class Stream : public std::enable_shared_from_this<Stream> {
   void deliver(Buffer data);
   void deliver_eof();
   void wake_readers();
+  // Connection-reset: discards buffered data, turns future delivers into
+  // no-ops, and fails both read and write directions with StreamClosed.
+  void reset();
 
   struct ReadWaiter {
     Pipe& pipe;
@@ -222,6 +251,7 @@ class Stream : public std::enable_shared_from_this<Stream> {
   std::weak_ptr<Stream> peer_;
   Pipe rx_;
   bool local_closed_ = false;
+  bool reset_ = false;
   uint64_t bytes_sent_ = 0;
   uint64_t bytes_received_ = 0;
 };

@@ -3,6 +3,7 @@
 #include "common/bufchain.hpp"
 
 #include <algorithm>
+#include <cstring>
 
 #include "common/log.hpp"
 
@@ -217,6 +218,9 @@ sim::Task<void> MountPoint::writeback_block(uint64_t fileid, uint64_t block) {
   const size_t snap_len = it->second.valid;
   BufChain data =
       BufChain::copy_of(ByteView(it->second.data.data(), snap_len));
+  // Refcounted alias of the snapshot, shadowed until COMMIT so a server
+  // restart can be answered by resending exactly these bytes.
+  BufChain shadow = data;
   if (host_.memcpy_charged()) co_await host_.memcpy_cost(snap_len);
   co_await charge(Proc3::kWrite);
   WriteRes res = co_await ops_->write(
@@ -238,7 +242,89 @@ sim::Task<void> MountPoint::writeback_block(uint64_t fileid, uint64_t block) {
     }
     if (ds->second.empty()) dirty_.erase(ds);
   }
-  if (config_.write_behind) needs_commit_.insert(fileid);
+  if (config_.write_behind) {
+    remember_uncommitted(key, shadow);
+    needs_commit_.insert(fileid);
+  }
+  co_await note_verf(res.verf);
+}
+
+// --- write-verifier recovery (RFC 1813 §3.3.21) --------------------------------
+
+void MountPoint::remember_uncommitted(const BlockKey& key,
+                                      const BufChain& data) {
+  auto& gauge =
+      host_.engine().metrics().gauge("nfs.client.recovery.uncommitted_bytes");
+  auto it = uncommitted_.find(key);
+  if (it != uncommitted_.end()) {
+    gauge.add(-static_cast<int64_t>(it->second.size()));
+  }
+  gauge.add(static_cast<int64_t>(data.size()));
+  uncommitted_[key] = data;
+}
+
+void MountPoint::drop_uncommitted(uint64_t fileid) {
+  auto& gauge =
+      host_.engine().metrics().gauge("nfs.client.recovery.uncommitted_bytes");
+  auto it = uncommitted_.lower_bound(BlockKey{fileid, 0});
+  while (it != uncommitted_.end() && it->first.fileid == fileid) {
+    gauge.add(-static_cast<int64_t>(it->second.size()));
+    it = uncommitted_.erase(it);
+  }
+}
+
+sim::Task<bool> MountPoint::note_verf(uint64_t verf) {
+  if (server_verf_ && *server_verf_ == verf) co_return false;
+  if (!server_verf_) {
+    server_verf_ = verf;
+    co_return false;
+  }
+  // The server rebooted: every byte acknowledged UNSTABLE since the last
+  // COMMIT may be gone.  Record the new instance cookie FIRST (a later
+  // COMMIT on any file would match it and silently lose data), then replay
+  // the shadows mount-wide.
+  server_verf_ = verf;
+  host_.engine().metrics().counter("nfs.client.recovery.verf_mismatches").inc();
+  if (config_.verifier_replay && !uncommitted_.empty()) {
+    co_await replay_uncommitted();
+  }
+  co_return true;
+}
+
+sim::Task<void> MountPoint::replay_uncommitted() {
+  auto& metrics = host_.engine().metrics();
+  metrics.counter("nfs.client.recovery.replays").inc();
+  // The verifier may roll again mid-replay (another crash): restart until a
+  // full pass completes under one instance cookie.
+  for (bool complete = false; !complete;) {
+    complete = true;
+    const uint64_t cookie = *server_verf_;
+    std::vector<BlockKey> keys;
+    keys.reserve(uncommitted_.size());
+    for (const auto& [key, chain] : uncommitted_) keys.push_back(key);
+    for (const BlockKey& key : keys) {
+      auto it = uncommitted_.find(key);
+      if (it == uncommitted_.end()) continue;  // dropped while we slept
+      const Fh fh(root_.fsid, key.fileid);
+      const size_t nbytes = it->second.size();
+      BufChain data = it->second;
+      co_await charge(Proc3::kWrite);
+      WriteRes res = co_await ops_->write(fh, key.block * config_.block_size,
+                                          StableHow::kUnstable,
+                                          std::move(data));
+      throw_if_error(res.status);
+      maybe_remember(fh, res.post_attrs);
+      metrics.counter("nfs.client.recovery.replayed_bytes").inc(nbytes);
+      needs_commit_.insert(key.fileid);
+      if (res.verf != cookie) {
+        // Crashed again mid-replay; adopt the newest cookie and start over.
+        server_verf_ = res.verf;
+        metrics.counter("nfs.client.recovery.verf_mismatches").inc();
+        complete = false;
+        break;
+      }
+    }
+  }
 }
 
 bool MountPoint::make_room_clean(size_t incoming) {
@@ -298,7 +384,41 @@ sim::Task<void> MountPoint::fetch_block(const Fh& fh, uint64_t block) {
   CachedBlock& cb = insert_block(fh.fileid, block);
   res.data.copy_to(MutByteView(cb.data.data(), cb.data.size()));
   cb.valid = std::max(cb.valid, res.count);
+  overlay_uncommitted(fh.fileid, block, cb);
   if (host_.memcpy_charged()) co_await host_.memcpy_cost(res.data.size());
+}
+
+// Fetched bytes may predate data the server acknowledged UNSTABLE and then
+// lost in a crash: the verifier roll that reveals the loss only shows up on
+// the next WRITE/COMMIT reply, but a read-miss for the same range (e.g. a
+// read-modify-write of a partial block) can land first and would silently
+// merge new data into the reverted content.  A real kernel client pins
+// unstable pages until COMMIT and never rereads the range; here the retained
+// shadow chain plays that role — it is authoritative for the uncommitted
+// prefix of the block, so it is laid back over the fetch.  Fault-free
+// fetches return bytes identical to the shadow, so the compare below keeps
+// copy accounting (and therefore timing) unchanged unless a crash actually
+// reverted the data.
+void MountPoint::overlay_uncommitted(uint64_t fileid, uint64_t block,
+                                     CachedBlock& cb) {
+  auto it = uncommitted_.find(BlockKey{fileid, block});
+  if (it == uncommitted_.end()) return;
+  const BufChain& shadow = it->second;
+  const size_t n = std::min(shadow.size(), cb.data.size());
+  size_t pos = 0;
+  bool same = true;
+  for (const auto& seg : shadow.segments()) {
+    if (pos >= n) break;
+    const size_t len = std::min(seg.len, n - pos);
+    if (std::memcmp(cb.data.data() + pos, seg.store->data() + seg.offset,
+                    len) != 0) {
+      same = false;
+      break;
+    }
+    pos += len;
+  }
+  if (!same) shadow.slice(0, n).copy_to(MutByteView(cb.data.data(), n));
+  cb.valid = std::max(cb.valid, static_cast<uint32_t>(n));
 }
 
 void MountPoint::start_readahead(const Fh& fh, uint64_t from_block) {
@@ -348,6 +468,7 @@ void MountPoint::start_readahead(const Fh& fh, uint64_t from_block) {
       CachedBlock& cb = mp->insert_block(fh.fileid, block);
       res.data.copy_to(MutByteView(cb.data.data(), cb.data.size()));
       cb.valid = std::max(cb.valid, res.count);
+      mp->overlay_uncommitted(fh.fileid, block, cb);
       if (host->memcpy_charged()) co_await host->memcpy_cost(res.data.size());
     };
     host_.engine().spawn(task(this, alive_, ops_.get(), &host_,
@@ -388,19 +509,39 @@ sim::Task<MountPoint::CachedBlock*> MountPoint::get_block_for_read(
 }
 
 sim::Task<void> MountPoint::flush_file(const Fh& fh, bool commit) {
-  auto ds = dirty_.find(fh.fileid);
-  if (ds != dirty_.end()) {
-    // Copy: writeback mutates the set.
-    std::vector<uint64_t> pending(ds->second.begin(), ds->second.end());
-    for (uint64_t block : pending) {
-      co_await writeback_block(fh.fileid, block);
+  // Drain the LIVE dirty set (not a snapshot): if writeback_block throws
+  // mid-flush, a retry of flush_file sends exactly the blocks that are
+  // still dirty — no block is skipped and none is sent twice.
+  for (;;) {
+    auto ds = dirty_.find(fh.fileid);
+    if (ds == dirty_.end() || ds->second.empty()) break;
+    const uint64_t block = *ds->second.begin();
+    co_await writeback_block(fh.fileid, block);
+    // If the cached block vanished while the RPC was outstanding the
+    // writeback was a no-op and did not clear the dirty entry; erase it
+    // here or this loop would spin forever.
+    ds = dirty_.find(fh.fileid);
+    if (ds != dirty_.end() && ds->second.erase(block)) {
+      host_.engine()
+          .metrics()
+          .gauge("nfs.client.writeback.dirty_blocks")
+          .add(-1);
+      if (ds->second.empty()) dirty_.erase(ds);
     }
   }
   if (commit && needs_commit_.count(fh.fileid)) {
-    co_await charge(Proc3::kCommit);
-    CommitRes res = co_await ops_->commit(fh);
-    throw_if_error(res.status);
+    // A COMMIT whose verifier does not match means the server restarted and
+    // the UNSTABLE data may be gone: replay the shadows, then COMMIT again
+    // until the reply matches the instance that holds the data.
+    for (;;) {
+      co_await charge(Proc3::kCommit);
+      CommitRes res = co_await ops_->commit(fh);
+      throw_if_error(res.status);
+      const bool rolled = co_await note_verf(res.verf);
+      if (!rolled) break;
+    }
     needs_commit_.erase(fh.fileid);
+    drop_uncommitted(fh.fileid);
   }
 }
 
@@ -457,6 +598,7 @@ sim::Task<int> MountPoint::open(const std::string& path, uint32_t flags,
     WccRes res = co_await ops_->setattr(fh, trunc);
     throw_if_error(res.status);
     invalidate_file(fh.fileid);
+    drop_uncommitted(fh.fileid);
     maybe_remember(fh, res.post_attrs);
     attrs.size = 0;
   }
@@ -645,6 +787,7 @@ sim::Task<void> MountPoint::truncate(const std::string& path,
   WccRes res = co_await ops_->setattr(fh, sattr);
   throw_if_error(res.status);
   invalidate_file(fh.fileid);
+  drop_uncommitted(fh.fileid);
   maybe_remember(fh, res.post_attrs);
 }
 
@@ -702,6 +845,7 @@ sim::Task<void> MountPoint::unlink(const std::string& path) {
     invalidate_file(victim->fileid);
     attr_cache_.erase(victim->fileid);
     needs_commit_.erase(victim->fileid);
+    drop_uncommitted(victim->fileid);
   }
 }
 
@@ -808,6 +952,16 @@ void MountPoint::drop_caches() {
       .add(-dirty_total);
   dirty_.clear();
   needs_commit_.clear();
+  int64_t shadow_total = 0;
+  for (const auto& [key, chain] : uncommitted_) {
+    shadow_total += static_cast<int64_t>(chain.size());
+  }
+  host_.engine()
+      .metrics()
+      .gauge("nfs.client.recovery.uncommitted_bytes")
+      .add(-shadow_total);
+  uncommitted_.clear();
+  // server_verf_ survives: it identifies the server instance, not a cache.
 }
 
 }  // namespace sgfs::nfs

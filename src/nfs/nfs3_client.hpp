@@ -42,6 +42,11 @@ struct Nfs3ClientConfig {
   /// Retransmission policy for direct mounts (MountPoint::mount); backends
   /// passed to mount_with carry their own. Default: wait forever.
   rpc::RetryPolicy retry;
+  /// RFC 1813 §3.3.21: on a write-verifier change, resend every
+  /// acknowledged-UNSTABLE-but-uncommitted block before retrying COMMIT.
+  /// Disable ONLY to prove a harness can catch the resulting data loss
+  /// (the chaos suite's deliberately-broken negative test).
+  bool verifier_replay = true;
 
   Nfs3ClientConfig() = default;
 };
@@ -114,6 +119,12 @@ class MountPoint {
   uint64_t cache_misses() const { return cache_misses_; }
   uint64_t bytes_cached() const { return cache_bytes_used_; }
   const Nfs3ClientConfig& config() const { return config_; }
+  /// Shadow copies held for verifier replay (blocks written UNSTABLE and
+  /// not yet COMMIT-acknowledged).
+  size_t uncommitted_blocks() const { return uncommitted_.size(); }
+  /// Last write verifier observed from the server (unset before the first
+  /// WRITE/COMMIT reply).
+  std::optional<uint64_t> server_verf() const { return server_verf_; }
 
  private:
   MountPoint(net::Host& host, Nfs3ClientConfig config);
@@ -167,6 +178,15 @@ class MountPoint {
   sim::Task<void> flush_file(const Fh& fh, bool commit);
   sim::Task<void> fetch_block(const Fh& fh, uint64_t block);
   void start_readahead(const Fh& fh, uint64_t from_block);
+  void overlay_uncommitted(uint64_t fileid, uint64_t block, CachedBlock& cb);
+
+  // Write-verifier recovery (RFC 1813 §3.3.21).  Returns true if the
+  // verifier rolled (server restart) — after replaying the shadows, the
+  // caller must retry its COMMIT.
+  sim::Task<bool> note_verf(uint64_t verf);
+  sim::Task<void> replay_uncommitted();
+  void remember_uncommitted(const BlockKey& key, const BufChain& data);
+  void drop_uncommitted(uint64_t fileid);
 
   net::Host& host_;
   Nfs3ClientConfig config_;
@@ -182,6 +202,14 @@ class MountPoint {
   std::map<uint64_t, std::set<uint64_t>> dirty_;  // fileid -> dirty blocks
   std::set<uint64_t> needs_commit_;
   std::map<BlockKey, std::shared_ptr<sim::SimEvent>> inflight_;
+
+  // Shadow copies of UNSTABLE-acknowledged blocks, kept until the COMMIT
+  // that makes them durable.  These are the writeback snapshot chains
+  // (refcounted — retaining them costs no copies and, crucially, does not
+  // change page-cache eviction behaviour, so fault-free timing stays
+  // bit-identical).  On a verifier mismatch they are resent verbatim.
+  std::map<BlockKey, BufChain> uncommitted_;
+  std::optional<uint64_t> server_verf_;
 
   std::map<int, OpenFile> open_files_;
   int next_fd_ = 3;

@@ -1,5 +1,7 @@
 #include "nfs/nfs3_server.hpp"
 
+#include <algorithm>
+
 #include "common/log.hpp"
 
 namespace sgfs::nfs {
@@ -16,6 +18,56 @@ Nfs3Server::Nfs3Server(net::Host& host, std::shared_ptr<vfs::FileSystem> fs,
   fs_->set_clock([&eng = host.engine()] {
     return static_cast<int64_t>(eng.now() / sim::kSecond);
   });
+  host_.add_crash_handler(crash_token_, [this] { on_crash(); });
+}
+
+void Nfs3Server::record_unstable_undo(uint64_t fileid, uint64_t offset,
+                                      size_t len) {
+  auto attrs = attrs_of(fileid);
+  const uint64_t old_size = attrs ? attrs->size : 0;
+  Buffer before;
+  if (offset < old_size && len > 0) {
+    const uint64_t overlap =
+        std::min<uint64_t>(len, old_size - offset);
+    vfs::Cred root(0, 0);
+    auto r = fs_->read(root, fileid, offset,
+                       static_cast<uint32_t>(overlap));
+    if (r.ok()) before = std::move(r.value.data);
+  }
+  unstable_undo_[fileid].emplace_back(offset, std::move(before), old_size);
+}
+
+void Nfs3Server::forget_unstable(uint64_t fileid) {
+  unstable_bytes_.erase(fileid);
+  unstable_undo_.erase(fileid);
+}
+
+void Nfs3Server::on_crash() {
+  // Revert every acknowledged-but-uncommitted write, newest-first per file:
+  // restore the overwritten bytes, then truncate back to the pre-write
+  // size.  The final state per file is the oldest record's pre-image —
+  // i.e. the last committed state.
+  vfs::Cred root(0, 0);
+  for (auto& [fileid, records] : unstable_undo_) {
+    for (auto it = records.rbegin(); it != records.rend(); ++it) {
+      if (!it->before.empty()) {
+        fs_->write(root, fileid, it->offset, ByteView(it->before));
+      }
+      vfs::SetAttrs sa;
+      sa.size = it->old_size;
+      fs_->setattr(root, fileid, sa);
+    }
+  }
+  unstable_undo_.clear();
+  unstable_bytes_.clear();
+  // The page cache is cold after a reboot.
+  cached_.clear();
+  lru_.clear();
+  lru_clock_ = 0;
+  // New instance cookie (deterministic): any COMMIT/WRITE reply after the
+  // restart exposes the roll to clients, which must replay uncommitted data.
+  write_verf_ = write_verf_ * 0x9e3779b97f4a7c15ull + 0x2545f4914f6cdd1dull;
+  host_.engine().metrics().counter("nfs.server.crashes").inc();
 }
 
 uint64_t Nfs3Server::ops_for(Proc3 p) const {
@@ -100,6 +152,18 @@ sim::Task<void> Nfs3Server::charge_write(uint64_t fileid, uint64_t offset,
   const uint64_t last = (offset + (len ? len : 1) - 1) / kCacheBlock;
   for (uint64_t b = first; b <= last; ++b) cache_insert(fileid, b);
   if (sync) {
+    // A sync write flushes the file: unstable data ordered before it goes
+    // out too (the server may commit more than asked, RFC 1813 §3.3.21) —
+    // otherwise a crash-revert of the older unstable ranges could clobber
+    // the just-acknowledged FILE_SYNC bytes.
+    auto it = unstable_bytes_.find(fileid);
+    if (it != unstable_bytes_.end() && it->second > 0) {
+      ++disk_writes_;
+      const uint64_t pending = it->second;
+      forget_unstable(fileid);
+      co_await host_.disk().write(pending, /*sequential=*/false,
+                                  "nfsd.commit");
+    }
     ++disk_writes_;
     co_await host_.disk().write(len, /*sequential=*/false, "nfsd.write");
   } else {
@@ -230,11 +294,20 @@ sim::Task<BufChain> Nfs3Server::handle(const rpc::CallContext& ctx,
       if (!fh_ok(a.fh)) {
         res.status = Status::kStale;
       } else {
+        // Unstable data must be revertible at a crash: snapshot the
+        // pre-image before the VFS mutates (pure state ops, no time cost).
+        const bool unstable = a.stable == StableHow::kUnstable;
+        if (unstable) {
+          record_unstable_undo(a.fh.fileid, a.offset, a.data.size());
+        }
         // The VFS stores contiguous bytes; a multi-segment WRITE payload is
         // linearized here, at the disk boundary, and nowhere earlier.
         Buffer scratch;
         auto r =
             fs_->write(cred, a.fh.fileid, a.offset, linearize(a.data, scratch));
+        if (unstable && !r.ok() && !unstable_undo_[a.fh.fileid].empty()) {
+          unstable_undo_[a.fh.fileid].pop_back();
+        }
         res.status = r.status;
         if (r.ok()) {
           co_await host_.cpu().use(
@@ -319,10 +392,22 @@ sim::Task<BufChain> Nfs3Server::handle(const rpc::CallContext& ctx,
       if (!fh_ok(a.dir)) {
         res.status = Status::kStale;
       } else {
+        // Resolve the victim before it goes away: if the unlink destroys
+        // the inode, its unstable-write bookkeeping must die with it, or a
+        // later COMMIT of a recycled fileid would be mis-charged.
+        std::optional<vfs::FileId> victim;
+        if (proc == Proc3::kRemove) {
+          vfs::Cred root(0, 0);
+          auto v = fs_->lookup(root, a.dir.fileid, a.name);
+          if (v.ok()) victim = v.value;
+        }
         res.status = proc == Proc3::kRemove
                          ? fs_->remove(cred, a.dir.fileid, a.name)
                          : fs_->rmdir(cred, a.dir.fileid, a.name);
-        if (res.status == Status::kOk) co_await charge_meta();
+        if (res.status == Status::kOk) {
+          if (victim && !attrs_of(*victim)) forget_unstable(*victim);
+          co_await charge_meta();
+        }
         res.post_attrs = attrs_of(a.dir.fileid);
       }
       res.encode(enc);
@@ -335,9 +420,20 @@ sim::Task<BufChain> Nfs3Server::handle(const rpc::CallContext& ctx,
       if (!fh_ok(a.from_dir) || !fh_ok(a.to_dir)) {
         res.status = Status::kStale;
       } else {
+        // A rename-over destroys the target inode (if no other links):
+        // drop its unstable-write bookkeeping like a REMOVE would.
+        std::optional<vfs::FileId> target;
+        {
+          vfs::Cred root(0, 0);
+          auto t = fs_->lookup(root, a.to_dir.fileid, a.to_name);
+          if (t.ok()) target = t.value;
+        }
         res.status = fs_->rename(cred, a.from_dir.fileid, a.from_name,
                                  a.to_dir.fileid, a.to_name);
-        if (res.status == Status::kOk) co_await charge_meta();
+        if (res.status == Status::kOk) {
+          if (target && !attrs_of(*target)) forget_unstable(*target);
+          co_await charge_meta();
+        }
         res.post_attrs = attrs_of(a.to_dir.fileid);
       }
       res.encode(enc);
@@ -413,9 +509,13 @@ sim::Task<BufChain> Nfs3Server::handle(const rpc::CallContext& ctx,
         if (it != unstable_bytes_.end() && it->second > 0) {
           ++disk_writes_;
           const uint64_t bytes = it->second;
-          unstable_bytes_.erase(it);
+          forget_unstable(a.fh.fileid);
           co_await host_.disk().write(bytes, /*sequential=*/false,
                                       "nfsd.commit");
+        } else {
+          // Nothing pending (e.g. already flushed): still durable; drop any
+          // stale undo bookkeeping.
+          unstable_undo_.erase(a.fh.fileid);
         }
         res.verf = write_verf_;
       }

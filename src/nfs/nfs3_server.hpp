@@ -78,6 +78,15 @@ class Nfs3Server : public rpc::RpcProgram,
   uint64_t disk_reads() const { return disk_reads_; }
   uint64_t disk_writes() const { return disk_writes_; }
 
+  /// Current write verifier (server instance cookie, RFC 1813 §3.3.7).
+  uint64_t write_verf() const { return write_verf_; }
+  /// Files with unstable (written-UNSTABLE, not yet committed) data.
+  size_t unstable_files() const { return unstable_bytes_.size(); }
+  uint64_t unstable_bytes_for(uint64_t fileid) const {
+    auto it = unstable_bytes_.find(fileid);
+    return it == unstable_bytes_.end() ? 0 : it->second;
+  }
+
  private:
   friend class MountProgram;
   friend class Nfs4Server;  // v4-lite shares the VFS + page-cache model
@@ -95,6 +104,11 @@ class Nfs3Server : public rpc::RpcProgram,
   void cache_insert(uint64_t fileid, uint64_t block);
   bool cache_has(uint64_t fileid, uint64_t block) const;
 
+  // Crash model: unstable data is genuinely volatile.
+  void record_unstable_undo(uint64_t fileid, uint64_t offset, size_t len);
+  void forget_unstable(uint64_t fileid);
+  void on_crash();
+
   net::Host& host_;
   std::shared_ptr<vfs::FileSystem> fs_;
   uint64_t fsid_;
@@ -110,6 +124,25 @@ class Nfs3Server : public rpc::RpcProgram,
 
   // Unstable write bytes awaiting COMMIT, per file.
   std::map<uint64_t, uint64_t> unstable_bytes_;
+
+  // Per-file undo log for UNSTABLE writes: the pre-image of the overwritten
+  // range plus the pre-write file size.  On a crash the records are
+  // reverted newest-first, so acknowledged-unstable data really disappears
+  // from the VFS — exactly the loss RFC 1813's write verifier lets clients
+  // detect.  Appends record an empty pre-image, so the log stays small for
+  // the common sequential-write case.  Discarded on COMMIT / sync write.
+  struct UndoRecord {
+    uint64_t offset = 0;
+    Buffer before;
+    uint64_t old_size = 0;
+
+    UndoRecord(uint64_t off, Buffer b, uint64_t sz)
+        : offset(off), before(std::move(b)), old_size(sz) {}
+  };
+  std::map<uint64_t, std::vector<UndoRecord>> unstable_undo_;
+  // Gates the crash handler: expires with this server, so no deregistration
+  // is needed even when the Host is destroyed first.
+  std::shared_ptr<bool> crash_token_ = std::make_shared<bool>(true);
 
   uint64_t ops_total_ = 0;
   std::map<Proc3, uint64_t> ops_by_proc_;

@@ -20,6 +20,45 @@ void V3WireOps::close() {
   if (client_) client_->close();
 }
 
+sim::Task<BufChain> V3WireOps::call(Proc3 proc, BufChain args) {
+  // The xid is reserved once and reused across reconnects so the server's
+  // duplicate-request cache still recognises a resend of a call it already
+  // executed before the connection died (unless the server itself crashed,
+  // in which case the DRC is gone and the verifier roll exposes it).
+  const uint32_t xid = client_->reserve_xid();
+  for (int attempt = 0;; ++attempt) {
+    try {
+      // `args` is a refcounted chain; passing a copy keeps it resendable.
+      co_return co_await client_->call_with_xid(
+          xid, static_cast<uint32_t>(proc), args);
+    } catch (const net::StreamClosed&) {
+      if (attempt >= kMaxReconnects) throw;
+    }
+    // The crashed server refuses connections until its restart completes;
+    // back off linearly, then reconnect (first caller wins — later callers
+    // see the bumped generation and just retry on the fresh client).
+    const uint64_t gen = conn_gen_;
+    co_await host_.engine().sleep(kReconnectBackoff * (attempt + 1));
+    if (conn_gen_ != gen) continue;
+    try {
+      auto fresh = co_await rpc::clnt_create(host_, server_, kNfsProgram,
+                                             kNfsVersion3);
+      if (conn_gen_ != gen) {
+        fresh->close();  // raced with another reconnect; use theirs
+        continue;
+      }
+      fresh->set_auth(auth_);
+      fresh->set_retry(retry_);
+      client_->close();
+      client_ = std::move(fresh);
+      ++conn_gen_;
+      host_.engine().metrics().counter("nfs.client.reconnects").inc();
+    } catch (const std::exception&) {
+      // Still down; the next iteration backs off longer and tries again.
+    }
+  }
+}
+
 sim::Task<Fh> V3WireOps::mount(const std::string& path) {
   auto mount_client = co_await rpc::clnt_create(host_, server_, kMountProgram,
                                                 kMountVersion3);

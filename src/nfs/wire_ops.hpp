@@ -81,19 +81,25 @@ class V3WireOps final : public WireOps {
   void close() override;
 
  private:
+  // Hard-mount semantics: a dropped connection (server crash/restart) is
+  // survived by reconnecting and retransmitting in-flight calls under
+  // their original xids, bounded by kMaxReconnects.
+  static constexpr int kMaxReconnects = 8;
+  static constexpr sim::SimDur kReconnectBackoff = 100 * sim::kMillisecond;
+
   V3WireOps(net::Host& host, const net::Address& server, rpc::AuthSys auth)
       : host_(host), server_(server), auth_(auth) {}
 
-  sim::Task<BufChain> call(Proc3 proc, BufChain args) {
-    co_return co_await client_->call(static_cast<uint32_t>(proc),
-                                     std::move(args));
-  }
+  sim::Task<BufChain> call(Proc3 proc, BufChain args);
 
   net::Host& host_;
   net::Address server_;
   rpc::AuthSys auth_;
   rpc::RetryPolicy retry_;
   std::unique_ptr<rpc::RpcClient> client_;
+  // Bumped on every successful reconnect so concurrent calls (readahead,
+  // write-behind) that all saw the same dead connection reconnect once.
+  uint64_t conn_gen_ = 0;
 };
 
 }  // namespace sgfs::nfs

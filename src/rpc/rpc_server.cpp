@@ -8,7 +8,16 @@ RpcServer::RpcServer(net::Host& host, uint16_t port)
     : host_(&host),
       port_(port),
       listener_(host.network().listen(host, port)),
-      state_(std::make_shared<State>()) {}
+      state_(std::make_shared<State>()) {
+  // The DRC is volatile: a real server reboot loses it, so retransmissions
+  // of pre-crash calls re-execute (this is why NFSv3 needs write verifiers).
+  // Gated on state_: the handler dies with the server, no deregistration.
+  host.add_crash_handler(state_, [state = state_.get()]() {
+    state->drc.clear();
+    state->drc_lru.clear();
+    ++state->epoch;
+  });
+}
 
 RpcServer::RpcServer(net::Host& host, uint16_t port,
                      crypto::SecurityConfig security, Rng rng,
@@ -107,6 +116,7 @@ sim::Task<void> RpcServer::serve_one(sim::Engine& eng,
     co_return;
   }
   metrics.counter("rpc.server.calls").inc();
+  const uint64_t epoch0 = state->epoch;
 
   obs::RpcSpan span;
   const bool tracing = eng.tracer().enabled();
@@ -203,6 +213,10 @@ sim::Task<void> RpcServer::serve_one(sim::Engine& eng,
       }
     }
   }
+  // A crash hit mid-call: the process that accepted this call is gone.  Its
+  // reply must neither be sent nor pollute the restarted instance's DRC
+  // (the crash handler already wiped our in-progress marker).
+  if (state->epoch != epoch0) co_return;
   ++state->served;
   BufChain wire = reply.serialize();
   metrics.histogram("rpc.server.handle_ns").observe(eng.now() - t0);

@@ -108,6 +108,11 @@ class RpcServer {
     uint64_t drc_hits = 0;
     uint64_t drc_inflight_drops = 0;
     uint64_t drc_clock = 0;
+    // Crash generation: bumped by the host crash handler.  A call that was
+    // dispatched before a crash must not publish its reply (or a DRC entry)
+    // into the restarted instance — serve_one compares epochs around the
+    // handler await and discards the reply on mismatch.
+    uint64_t epoch = 0;
     size_t drc_capacity = 512;
     std::map<DrcKey, DrcEntry> drc;
     std::map<uint64_t, DrcKey> drc_lru;  // stamp -> key, oldest first

@@ -254,6 +254,9 @@ void ClientProxy::drop_file(uint64_t fileid) {
   attrs_.erase(fileid);
   access_cache_.erase(fileid);
   dir_cache_.erase(fileid);
+  // Removed files need no verifier replay ("only the final results are
+  // written back", §6.3.2 — and the server unlinked the data anyway).
+  drop_shadows(fileid);
 }
 
 void ClientProxy::invalidate_dir(uint64_t dir_fileid) {
@@ -308,6 +311,9 @@ sim::Task<void> ClientProxy::writeback_block(uint64_t fileid, uint64_t block,
   fake.vers = nfs::kNfsVersion3;
   fake.proc = static_cast<uint32_t>(Proc3::kWrite);
   fake.auth_sys = last_client_auth_;
+  // Refcounted alias of the snapshot: if this goes out UNSTABLE and the
+  // file server restarts before COMMIT, exactly these bytes are resent.
+  BufChain shadow = wargs.data;
   BufChain reply = co_await forward(fake, enc.take());
   xdr::Decoder dec(reply);
   auto res = nfs::WriteRes::decode(dec);
@@ -315,14 +321,88 @@ sim::Task<void> ClientProxy::writeback_block(uint64_t fileid, uint64_t block,
     SGFS_WARN("sgfs-proxy", "write-back failed: ",
               vfs::to_string(res.status));
   }
-  flushed_bytes_ += it->second.valid;
-  host_.engine().metrics().counter("sgfs.client_proxy.flushed_bytes").inc(it->second.valid);
+  flushed_bytes_ += snap_len;
+  host_.engine().metrics().counter("sgfs.client_proxy.flushed_bytes").inc(snap_len);
   auto again = blocks_.find(key);
   if (again != blocks_.end()) again->second.dirty = false;
   auto ds = dirty_.find(fileid);
   if (ds != dirty_.end()) {
     ds->second.erase(block);
     if (ds->second.empty()) dirty_.erase(ds);
+  }
+  if (res.status == Status::kOk) {
+    if (!file_sync) uncommitted_[key] = std::move(shadow);
+    co_await note_upstream_verf(res.verf);
+  }
+}
+
+void ClientProxy::drop_shadows(uint64_t fileid) {
+  auto it = uncommitted_.lower_bound({fileid, 0});
+  while (it != uncommitted_.end() && it->first.first == fileid) {
+    it = uncommitted_.erase(it);
+  }
+}
+
+sim::Task<bool> ClientProxy::note_upstream_verf(uint64_t verf) {
+  if (upstream_verf_ && *upstream_verf_ == verf) co_return false;
+  if (!upstream_verf_) {
+    upstream_verf_ = verf;
+    co_return false;
+  }
+  // The file server rebooted: UNSTABLE data pushed since the last COMMIT
+  // may be gone.  Adopt the new instance cookie first, then resend the
+  // shadows (RFC 1813 §3.3.21 — the proxy is "the client" on this hop).
+  upstream_verf_ = verf;
+  host_.engine().metrics().counter("sgfs.recovery.verf_mismatches").inc();
+  if (config_.verifier_replay && !uncommitted_.empty()) {
+    co_await replay_uncommitted();
+  }
+  co_return true;
+}
+
+sim::Task<void> ClientProxy::replay_uncommitted() {
+  auto& metrics = host_.engine().metrics();
+  metrics.counter("sgfs.recovery.replays").inc();
+  // Another crash may roll the verifier mid-replay: restart until one full
+  // pass completes under a single instance cookie.
+  for (bool complete = false; !complete;) {
+    complete = true;
+    const uint64_t cookie = *upstream_verf_;
+    std::vector<BlockKey> keys;
+    keys.reserve(uncommitted_.size());
+    for (const auto& [key, chain] : uncommitted_) keys.push_back(key);
+    for (const BlockKey& key : keys) {
+      auto it = uncommitted_.find(key);
+      if (it == uncommitted_.end()) continue;  // dropped while we slept
+      nfs::WriteArgs wargs;
+      wargs.fh = Fh(seen_fsid_, key.first);
+      wargs.offset = key.second * config_.cache.block_size;
+      wargs.stable = nfs::StableHow::kUnstable;
+      wargs.data = it->second;
+      const size_t nbytes = wargs.data.size();
+      xdr::Encoder enc;
+      wargs.encode(enc);
+      rpc::CallContext fake;
+      fake.prog = nfs::kNfsProgram;
+      fake.vers = nfs::kNfsVersion3;
+      fake.proc = static_cast<uint32_t>(Proc3::kWrite);
+      fake.auth_sys = last_client_auth_;
+      BufChain reply = co_await forward(fake, enc.take());
+      xdr::Decoder dec(reply);
+      auto res = nfs::WriteRes::decode(dec);
+      if (res.status != Status::kOk) {
+        SGFS_WARN("sgfs-proxy", "replay failed: ",
+                  vfs::to_string(res.status));
+        continue;
+      }
+      metrics.counter("sgfs.recovery.replayed_bytes").inc(nbytes);
+      if (res.verf != cookie) {
+        upstream_verf_ = res.verf;
+        metrics.counter("sgfs.recovery.verf_mismatches").inc();
+        complete = false;
+        break;
+      }
+    }
   }
 }
 
@@ -346,26 +426,45 @@ sim::Task<void> ClientProxy::evict_if_needed() {
 }
 
 sim::Task<void> ClientProxy::flush() {
-  // Push dirty blocks per file, then COMMIT each file once.
-  std::vector<uint64_t> files;
-  for (const auto& [fileid, set] : dirty_) files.push_back(fileid);
+  // Push dirty blocks per file, then COMMIT each file.  Files whose blocks
+  // already went upstream UNSTABLE (eviction pressure) but were never
+  // committed need the COMMIT too, even with nothing left dirty.
+  std::set<uint64_t> files;
+  for (const auto& [fileid, set] : dirty_) files.insert(fileid);
+  for (const auto& [key, chain] : uncommitted_) files.insert(key.first);
   for (uint64_t fileid : files) {
     std::vector<uint64_t> pending;
     auto ds = dirty_.find(fileid);
-    if (ds == dirty_.end()) continue;
-    pending.assign(ds->second.begin(), ds->second.end());
+    if (ds != dirty_.end()) {
+      pending.assign(ds->second.begin(), ds->second.end());
+    }
     for (uint64_t block : pending) {
       co_await writeback_block(fileid, block, /*file_sync=*/false);
     }
-    nfs::CommitArgs cargs(Fh(seen_fsid_, fileid), 0, 0);
-    xdr::Encoder enc;
-    cargs.encode(enc);
-    rpc::CallContext fake;
-    fake.prog = nfs::kNfsProgram;
-    fake.vers = nfs::kNfsVersion3;
-    fake.proc = static_cast<uint32_t>(Proc3::kCommit);
-    fake.auth_sys = last_client_auth_;
-    (void)co_await forward(fake, enc.take());
+    // COMMIT until the reply's verifier matches the server instance that
+    // holds the data; a mismatch means a mid-flush restart, which
+    // note_upstream_verf answers by replaying the uncommitted shadows.
+    for (;;) {
+      nfs::CommitArgs cargs(Fh(seen_fsid_, fileid), 0, 0);
+      xdr::Encoder enc;
+      cargs.encode(enc);
+      rpc::CallContext fake;
+      fake.prog = nfs::kNfsProgram;
+      fake.vers = nfs::kNfsVersion3;
+      fake.proc = static_cast<uint32_t>(Proc3::kCommit);
+      fake.auth_sys = last_client_auth_;
+      BufChain reply = co_await forward(fake, enc.take());
+      xdr::Decoder dec(reply);
+      auto res = nfs::CommitRes::decode(dec);
+      if (res.status != Status::kOk) {
+        SGFS_WARN("sgfs-proxy", "flush COMMIT failed: ",
+                  vfs::to_string(res.status));
+        break;
+      }
+      const bool rolled = co_await note_upstream_verf(res.verf);
+      if (!rolled) break;
+    }
+    drop_shadows(fileid);
   }
 }
 
@@ -671,6 +770,11 @@ sim::Task<BufChain> ClientProxy::handle(const rpc::CallContext& ctx,
             cache_bytes_used_ -= bs;
             lru_.erase(it->second.lru);
             it = blocks_.erase(it);
+          }
+          auto sh = uncommitted_.lower_bound({a.fh.fileid, keep_blocks});
+          while (sh != uncommitted_.end() &&
+                 sh->first.first == a.fh.fileid) {
+            sh = uncommitted_.erase(sh);
           }
           auto ds = dirty_.find(a.fh.fileid);
           if (ds != dirty_.end() && ds->second.empty()) {

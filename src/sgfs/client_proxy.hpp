@@ -80,6 +80,12 @@ class ClientProxy : public rpc::RpcProgram,
   uint64_t upstream_retransmits() const;
   /// Upstream sessions re-established after a failure.
   uint64_t reconnects() const { return reconnects_; }
+  /// Shadow copies held for write-verifier replay (blocks pushed UNSTABLE
+  /// to the file server and not yet COMMIT-acknowledged).
+  size_t uncommitted_blocks() const { return uncommitted_.size(); }
+  /// Last write verifier observed from the file server (unset before the
+  /// first forwarded WRITE/COMMIT reply).
+  std::optional<uint64_t> upstream_verf() const { return upstream_verf_; }
 
  private:
   struct Block {
@@ -113,6 +119,13 @@ class ClientProxy : public rpc::RpcProgram,
                                   bool file_sync);
   sim::Task<void> renegotiate_loop(std::shared_ptr<bool> alive);
 
+  // Write-verifier recovery (RFC 1813 §3.3.21, applied to the proxy's own
+  // UNSTABLE write-backs).  Returns true if the verifier rolled (the file
+  // server restarted mid-flush) — the caller must retry its COMMIT.
+  sim::Task<bool> note_upstream_verf(uint64_t verf);
+  sim::Task<void> replay_uncommitted();
+  void drop_shadows(uint64_t fileid);
+
   net::Host& host_;
   ClientProxyConfig config_;
   Rng rng_;
@@ -132,6 +145,11 @@ class ClientProxy : public rpc::RpcProgram,
   std::map<uint64_t, std::pair<uint32_t, uint32_t>> access_cache_;
   std::map<uint64_t, nfs::ReaddirRes> dir_cache_;
   std::map<uint64_t, std::set<uint64_t>> dirty_;
+  // Shadow copies of blocks pushed upstream UNSTABLE, kept until the COMMIT
+  // that makes them durable on the file server (refcounted aliases of the
+  // write-back snapshots — no extra copies, no cache-behaviour change).
+  std::map<BlockKey, BufChain> uncommitted_;
+  std::optional<uint64_t> upstream_verf_;
   // Sequential-pattern tracking for disk cost (seek vs streaming).
   BlockKey last_disk_block_{UINT64_MAX, UINT64_MAX};
   // Session bookkeeping: the job account's credentials (re-used for flush)

@@ -18,6 +18,21 @@ ServerProxy::ServerProxy(net::Host& host, ServerProxyConfig config,
   if (fs_for_acls && config_.fine_grained_acls) {
     acl_store_ = std::make_unique<AclStore>(std::move(fs_for_acls));
   }
+  // A crash of the file-server host kills the proxy process too: the fh
+  // lineage map and the loopback connections to the kernel NFS server are
+  // volatile.  The RpcServer registers its own handler for the DRC, and the
+  // in-flight secure sessions die with their streams.
+  host.add_crash_handler(crash_token_, [this] {
+    fh_names_.clear();
+    if (upstream_nfs_) {
+      upstream_nfs_->close();
+      upstream_nfs_.reset();
+    }
+    if (upstream_mount_) {
+      upstream_mount_->close();
+      upstream_mount_.reset();
+    }
+  });
 }
 
 void ServerProxy::start(uint16_t port) {

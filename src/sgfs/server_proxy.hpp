@@ -92,7 +92,12 @@ class ServerProxy : public rpc::RpcProgram,
   sim::SimMutex forward_mutex_;
 
   // fh -> (parent fh, name), learned from forwarded lookups/creates.
+  // Volatile: a host crash empties it (entries are re-learned from the
+  // client proxy's post-restart lookups).
   std::map<nfs::Fh, std::pair<nfs::Fh, std::string>> fh_names_;
+  // Gates the crash handler: expires with this proxy, so no deregistration
+  // is needed even when the Host is destroyed first.
+  std::shared_ptr<bool> crash_token_ = std::make_shared<bool>(true);
 
   uint64_t forwarded_ = 0;
   uint64_t denied_ = 0;

@@ -104,6 +104,11 @@ struct ClientProxyConfig {
   /// before surfacing the error.  0 disables recovery.
   int max_reconnects = 4;
   sim::SimDur reconnect_backoff = 100 * sim::kMillisecond;
+  /// RFC 1813 §3.3.21 applied one hop up: when the file server's write
+  /// verifier changes, resend every UNSTABLE-written-but-uncommitted block
+  /// before retrying COMMIT.  Disable ONLY to demonstrate the resulting
+  /// data loss (the chaos suite's deliberately-broken negative test).
+  bool verifier_replay = true;
 
   ClientProxyConfig() = default;
 };
