@@ -53,14 +53,28 @@ Testbed::Testbed(TestbedOptions options)
                            : 150 * sim::kMicrosecond,
       options_.wire_bytes_per_sec));
 
-  if (options_.loss_probability > 0 || options_.corrupt_probability > 0) {
-    // Lossy WAN: faults on the client<->server link only (loopback hops
-    // stay reliable), with retransmission enabled to recover.
+  if (options_.loss_probability > 0 || options_.corrupt_probability > 0 ||
+      options_.any_gray()) {
+    // Faulty WAN: loss/corruption and gray-failure windows on the
+    // client<->server link and the server host only (loopback hops stay
+    // reliable), with retransmission enabled to recover.
     auto plan = std::make_shared<net::FaultPlan>(options_.seed ^ 0xfa017u);
-    plan->set_link_faults(
-        "client", "server",
-        net::LinkFaults(options_.loss_probability,
-                        options_.corrupt_probability));
+    if (options_.loss_probability > 0 || options_.corrupt_probability > 0) {
+      plan->set_link_faults(
+          "client", "server",
+          net::LinkFaults(options_.loss_probability,
+                          options_.corrupt_probability));
+    }
+    for (const auto& w : options_.link_slowdowns) {
+      plan->add_link_slowdown("client", "server", w.start, w.end, w.delay,
+                              w.jitter);
+    }
+    for (const auto& w : options_.server_slow_disk) {
+      plan->add_host_slow_disk("server", w.start, w.end, w.factor);
+    }
+    for (const auto& w : options_.server_slow_cpu) {
+      plan->add_host_slow_cpu("server", w.start, w.end, w.factor);
+    }
     plan->set_metrics(&eng_.metrics());
     net_.set_fault_plan(std::move(plan));
     if (!options_.retry.enabled()) {

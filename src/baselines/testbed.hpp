@@ -73,6 +73,32 @@ struct TestbedOptions {
   /// so results are bit-identical to runs that predate the zero-copy work.
   double memcpy_bytes_per_sec = 0;
 
+  /// One gray-failure window (net/fault.hpp): the component keeps working,
+  /// slower.  `delay`/`jitter` apply to link-slowdown windows, `factor`
+  /// (>= 1.0) to host-degradation windows; unused fields are ignored.
+  struct GrayWindow {
+    sim::SimTime start = 0;
+    sim::SimTime end = 0;
+    sim::SimDur delay = 0;
+    sim::SimDur jitter = 0;
+    double factor = 1.0;
+
+    GrayWindow() = default;
+  };
+  /// Added-delay windows on the client<->server link.  Any nonempty gray
+  /// schedule installs a FaultPlan (even with zero loss) and — unless
+  /// `retry` was set explicitly — enables the standard retransmission
+  /// policy, since a slow-enough link is indistinguishable from loss.
+  std::vector<GrayWindow> link_slowdowns;
+  /// Degradation windows on the server host ("slow disk" / "slow CPU").
+  std::vector<GrayWindow> server_slow_disk;
+  std::vector<GrayWindow> server_slow_cpu;
+
+  bool any_gray() const {
+    return !link_slowdowns.empty() || !server_slow_disk.empty() ||
+           !server_slow_cpu.empty();
+  }
+
   TestbedOptions() = default;
 };
 

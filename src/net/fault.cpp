@@ -19,6 +19,75 @@ void FaultPlan::add_host_blackout(const std::string& host,
   windows_.emplace_back(host, std::string(), start, end);
 }
 
+void FaultPlan::add_link_slowdown(const std::string& a, const std::string& b,
+                                  sim::SimTime start, sim::SimTime end,
+                                  sim::SimDur delay, sim::SimDur jitter) {
+  slow_links_.emplace_back(std::min(a, b), std::max(a, b), start, end, delay,
+                           jitter);
+}
+
+void FaultPlan::add_host_slow_disk(const std::string& host,
+                                   sim::SimTime start, sim::SimTime end,
+                                   double factor) {
+  slow_disks_.emplace_back(host, start, end, std::max(factor, 1.0));
+}
+
+void FaultPlan::add_host_slow_cpu(const std::string& host,
+                                  sim::SimTime start, sim::SimTime end,
+                                  double factor) {
+  slow_cpus_.emplace_back(host, start, end, std::max(factor, 1.0));
+}
+
+sim::SimDur FaultPlan::added_delay(const std::string& from,
+                                   const std::string& to, sim::SimTime now) {
+  if (slow_links_.empty()) return 0;
+  const std::string lo = std::min(from, to), hi = std::max(from, to);
+  sim::SimDur total = 0;
+  for (const SlowLink& w : slow_links_) {
+    if (now < w.start || now >= w.end) continue;
+    if (w.a != lo || w.b != hi) continue;
+    total += w.delay;
+    if (w.jitter > 0) {
+      total += static_cast<sim::SimDur>(rng_.next_double() *
+                                        static_cast<double>(w.jitter));
+    }
+  }
+  if (total > 0) {
+    ++delayed_;
+    if (metrics_ != nullptr) {
+      metrics_->counter("fault.delayed").inc();
+      metrics_->histogram("fault.added_delay_ns").observe(total);
+    }
+  }
+  return total;
+}
+
+double FaultPlan::host_factor(const std::vector<SlowHost>& windows,
+                              const std::string& host, sim::SimTime now,
+                              uint64_t& ops, const char* metric) {
+  if (windows.empty()) return 1.0;
+  double factor = 1.0;
+  for (const SlowHost& w : windows) {
+    if (now < w.start || now >= w.end || w.host != host) continue;
+    factor *= w.factor;
+  }
+  if (factor > 1.0) {
+    ++ops;
+    if (metrics_ != nullptr) metrics_->counter(metric).inc();
+  }
+  return factor;
+}
+
+double FaultPlan::disk_factor(const std::string& host, sim::SimTime now) {
+  return host_factor(slow_disks_, host, now, slow_disk_ops_,
+                     "fault.slow_disk_ops");
+}
+
+double FaultPlan::cpu_factor(const std::string& host, sim::SimTime now) {
+  return host_factor(slow_cpus_, host, now, slow_cpu_ops_,
+                     "fault.slow_cpu_ops");
+}
+
 LinkFaults FaultPlan::faults_for(const std::string& from,
                                  const std::string& to) const {
   auto it = overrides_.find({std::min(from, to), std::max(from, to)});

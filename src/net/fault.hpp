@@ -16,7 +16,12 @@
 //   - host blackouts ("server crash/restart"): all traffic to or from the
 //     host is lost during the window — the process is down, the reboot
 //     completes at `end`, and clients recover via RPC retransmission and
-//     secure-session re-establishment.
+//     secure-session re-establishment;
+//   - gray failures (the overload model): link slowdowns add delay (+
+//     seeded jitter) to every delivered message during a window, and host
+//     degradation windows stretch a host's disk or CPU service times by a
+//     factor — the component still answers, just slowly, which is what
+//     drives queueing and retransmission storms in real WANs.
 //
 // Scope: faults apply to data-phase messages (RPC calls/replies, secure
 // records).  Connection setup and the SSL handshake ride the reliable
@@ -71,20 +76,50 @@ class FaultPlan {
   void add_host_blackout(const std::string& host, sim::SimTime start,
                          sim::SimTime end);
 
+  /// Gray failure: every message delivered on the (unordered) pair gains
+  /// `delay` plus a uniform seeded draw in [0, jitter) during [start, end).
+  void add_link_slowdown(const std::string& a, const std::string& b,
+                         sim::SimTime start, sim::SimTime end,
+                         sim::SimDur delay, sim::SimDur jitter = 0);
+  /// Gray failure: the host's disk service times stretch by `factor`
+  /// (>= 1.0) during [start, end) — a degraded spindle, not a dead one.
+  void add_host_slow_disk(const std::string& host, sim::SimTime start,
+                          sim::SimTime end, double factor);
+  /// Gray failure: the host's CPU service times stretch by `factor`.
+  void add_host_slow_cpu(const std::string& host, sim::SimTime start,
+                         sim::SimTime end, double factor);
+
   /// One decision per message, drawn in call order from the plan's Rng.
   Action on_message(const std::string& from, const std::string& to,
                     sim::SimTime now);
+
+  /// Extra in-flight delay for a message being sent now (0 outside slowdown
+  /// windows).  Jitter draws come from the plan's Rng in call order, one per
+  /// active jittered window, so delayed runs replay bit-identically.
+  sim::SimDur added_delay(const std::string& from, const std::string& to,
+                          sim::SimTime now);
+
+  /// Degradation multiplier (>= 1.0; product of active windows) for the
+  /// host's disk / CPU at `now`.  No Rng draws: factors are deterministic
+  /// functions of time, so querying them never perturbs other fault draws.
+  double disk_factor(const std::string& host, sim::SimTime now);
+  double cpu_factor(const std::string& host, sim::SimTime now);
 
   // Counters (blackout drops are included in dropped()).
   uint64_t delivered() const { return delivered_; }
   uint64_t dropped() const { return dropped_; }
   uint64_t corrupted() const { return corrupted_; }
   uint64_t blackout_drops() const { return blackout_drops_; }
+  uint64_t delayed() const { return delayed_; }
+  uint64_t slow_disk_ops() const { return slow_disk_ops_; }
+  uint64_t slow_cpu_ops() const { return slow_cpu_ops_; }
 
   /// Mirrors the counters into an obs registry as fault.delivered /
-  /// fault.dropped / fault.corrupted / fault.blackout_drops, so fault runs
-  /// are explainable from the metrics summary alone.  Recording never
-  /// touches the event queue, so this cannot perturb timing.
+  /// fault.dropped / fault.corrupted / fault.blackout_drops (and the gray
+  /// classes as fault.delayed + fault.added_delay_ns / fault.slow_disk_ops /
+  /// fault.slow_cpu_ops), so fault runs are explainable from the metrics
+  /// summary alone.  Recording never touches the event queue, so this
+  /// cannot perturb timing.
   void set_metrics(obs::MetricsRegistry* metrics) { metrics_ = metrics; }
 
  private:
@@ -97,20 +132,52 @@ class FaultPlan {
         : a(std::move(a_)), b(std::move(b_)), start(s), end(e) {}
   };
 
+  struct SlowLink {
+    std::string a, b;
+    sim::SimTime start = 0;
+    sim::SimTime end = 0;
+    sim::SimDur delay = 0;
+    sim::SimDur jitter = 0;
+
+    SlowLink(std::string a_, std::string b_, sim::SimTime s, sim::SimTime e,
+             sim::SimDur d, sim::SimDur j)
+        : a(std::move(a_)), b(std::move(b_)), start(s), end(e), delay(d),
+          jitter(j) {}
+  };
+
+  struct SlowHost {
+    std::string host;
+    sim::SimTime start = 0;
+    sim::SimTime end = 0;
+    double factor = 1.0;
+
+    SlowHost(std::string h, sim::SimTime s, sim::SimTime e, double f)
+        : host(std::move(h)), start(s), end(e), factor(f) {}
+  };
+
   LinkFaults faults_for(const std::string& from, const std::string& to) const;
   bool blacked_out(const std::string& from, const std::string& to,
                    sim::SimTime now) const;
+  double host_factor(const std::vector<SlowHost>& windows,
+                     const std::string& host, sim::SimTime now,
+                     uint64_t& ops, const char* metric);
 
   Rng rng_;
   obs::MetricsRegistry* metrics_ = nullptr;
   LinkFaults default_;
   std::map<std::pair<std::string, std::string>, LinkFaults> overrides_;
   std::vector<Window> windows_;
+  std::vector<SlowLink> slow_links_;
+  std::vector<SlowHost> slow_disks_;
+  std::vector<SlowHost> slow_cpus_;
 
   uint64_t delivered_ = 0;
   uint64_t dropped_ = 0;
   uint64_t corrupted_ = 0;
   uint64_t blackout_drops_ = 0;
+  uint64_t delayed_ = 0;
+  uint64_t slow_disk_ops_ = 0;
+  uint64_t slow_cpu_ops_ = 0;
 };
 
 }  // namespace sgfs::net

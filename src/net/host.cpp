@@ -2,6 +2,7 @@
 
 #include <vector>
 
+#include "net/fault.hpp"
 #include "net/network.hpp"
 
 namespace sgfs::net {
@@ -26,7 +27,20 @@ Host::Host(sim::Engine& eng, Network& net, std::string name, DiskParams disk)
       net_(net),
       name_(std::move(name)),
       cpu_(eng, name_ + ".cpu"),
-      disk_(eng, name_ + ".disk", disk) {}
+      disk_(eng, name_ + ".disk", disk) {
+  // Gray-failure hook-up: slow-CPU / slow-disk degradation windows live in
+  // the network's FaultPlan (scheduled, seeded, metrics-mirrored); each
+  // resource asks for its factor at use time.  With no plan installed — or
+  // no active window — the factor is 1.0 and service times are untouched.
+  cpu_.set_slow_factor([this](sim::SimTime t) {
+    FaultPlan* plan = net_.fault_plan();
+    return plan ? plan->cpu_factor(name_, t) : 1.0;
+  });
+  disk_.resource().set_slow_factor([this](sim::SimTime t) {
+    FaultPlan* plan = net_.fault_plan();
+    return plan ? plan->disk_factor(name_, t) : 1.0;
+  });
+}
 
 uint64_t Host::add_crash_handler(std::weak_ptr<const void> owner,
                                  std::function<void()> fn) {

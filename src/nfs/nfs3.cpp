@@ -44,6 +44,48 @@ const char* proc3_name(Proc3 p) {
   }
 }
 
+BufChain busy_status_reply(Proc3 proc) {
+  // Encode the procedure's own result shape (status NFS3ERR_JUKEBOX, no
+  // payload) so every decoder along the path — interposing proxies
+  // included — parses it like any other failed result.
+  xdr::Encoder enc;
+  auto put = [&enc](auto res) {
+    res.status = Status::kJukebox;
+    res.encode(enc);
+  };
+  switch (proc) {
+    case Proc3::kGetattr: put(GetattrRes()); break;
+    case Proc3::kSetattr: put(WccRes()); break;
+    case Proc3::kLookup: put(LookupRes()); break;
+    case Proc3::kAccess: put(AccessRes()); break;
+    case Proc3::kReadlink: put(ReadlinkRes()); break;
+    case Proc3::kRead: put(ReadRes()); break;
+    case Proc3::kWrite: put(WriteRes()); break;
+    case Proc3::kCreate:
+    case Proc3::kMkdir:
+    case Proc3::kSymlink: put(CreateRes()); break;
+    case Proc3::kRemove:
+    case Proc3::kRmdir:
+    case Proc3::kRename:
+    case Proc3::kLink: put(WccRes()); break;
+    case Proc3::kReaddir:
+    case Proc3::kReaddirplus: put(ReaddirRes()); break;
+    case Proc3::kFsstat: put(FsstatRes()); break;
+    case Proc3::kFsinfo: put(FsinfoRes()); break;
+    case Proc3::kCommit: put(CommitRes()); break;
+    case Proc3::kNull:
+    default:
+      return BufChain();  // no status word to carry: shed by dropping
+  }
+  return enc.take();
+}
+
+bool reply_is_jukebox(const BufChain& reply) {
+  if (reply.size() < 4) return false;
+  xdr::Decoder dec(reply);
+  return static_cast<Status>(dec.get_u32()) == Status::kJukebox;
+}
+
 void encode_attrs(xdr::Encoder& e, const vfs::Attributes& a) {
   e.put_enum(a.type);
   e.put_u32(a.mode);

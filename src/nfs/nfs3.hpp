@@ -69,6 +69,17 @@ bool proc3_is_idempotent(Proc3 p);
 /// values) — used for per-procedure metric names.
 const char* proc3_name(Proc3 p);
 
+/// Serialized result body meaning "server overloaded, try again later":
+/// the procedure's result shape with status NFS3ERR_JUKEBOX and no payload
+/// (RFC 1813 §2.6 — the jukebox error was designed for exactly this "come
+/// back later" signal).  Empty for procedures that carry no status (NULL),
+/// in which case the shedding server should drop instead of replying.
+BufChain busy_status_reply(Proc3 proc);
+
+/// Peeks an encoded result's leading status word (every NFSv3 result begins
+/// with one) for NFS3ERR_JUKEBOX, without decoding the procedure's shape.
+bool reply_is_jukebox(const BufChain& reply);
+
 /// nfsstat3 — shares values with vfs::Status plus protocol-only codes.
 using Status = vfs::Status;
 inline constexpr Status kNfs3Ok = Status::kOk;

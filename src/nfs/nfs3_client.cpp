@@ -41,7 +41,8 @@ sim::Task<std::shared_ptr<MountPoint>> MountPoint::mount(
     net::Host& host, const net::Address& server,
     const std::string& remote_path, rpc::AuthSys auth,
     Nfs3ClientConfig config) {
-  auto ops = co_await V3WireOps::connect(host, server, auth, config.retry);
+  auto ops = co_await V3WireOps::connect(host, server, auth, config.retry,
+                                         config.jukebox);
   co_return co_await mount_with(host, std::move(ops), remote_path, config);
 }
 

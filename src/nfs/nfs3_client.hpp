@@ -42,6 +42,9 @@ struct Nfs3ClientConfig {
   /// Retransmission policy for direct mounts (MountPoint::mount); backends
   /// passed to mount_with carry their own. Default: wait forever.
   rpc::RetryPolicy retry;
+  /// Reaction to NFS3ERR_JUKEBOX from an overloaded server: delayed retry
+  /// under a fresh xid. Default: disabled (status surfaces as FsError).
+  rpc::JukeboxPolicy jukebox;
   /// RFC 1813 §3.3.21: on a write-verifier change, resend every
   /// acknowledged-UNSTABLE-but-uncommitted block before retrying COMMIT.
   /// Disable ONLY to prove a harness can catch the resulting data loss

@@ -71,6 +71,15 @@ class Nfs3Server : public rpc::RpcProgram,
     return !proc3_is_idempotent(static_cast<Proc3>(ctx.proc));
   }
 
+  /// Shed calls answer with the procedure's NFS3ERR_JUKEBOX result when the
+  /// hosting RpcServer runs admission control with busy replies.
+  std::optional<BufChain> busy_reply(
+      const rpc::CallContext& ctx) const override {
+    BufChain body = busy_status_reply(static_cast<Proc3>(ctx.proc));
+    if (body.empty()) return std::nullopt;
+    return body;
+  }
+
   vfs::FileSystem& filesystem() { return *fs_; }
   uint64_t fsid() const { return fsid_; }
   uint64_t ops_total() const { return ops_total_; }

@@ -6,9 +6,10 @@ namespace sgfs::nfs {
 
 sim::Task<std::unique_ptr<V3WireOps>> V3WireOps::connect(
     net::Host& host, const net::Address& server, rpc::AuthSys auth,
-    rpc::RetryPolicy retry) {
+    rpc::RetryPolicy retry, rpc::JukeboxPolicy jukebox) {
   auto ops = std::unique_ptr<V3WireOps>(new V3WireOps(host, server, auth));
   ops->retry_ = retry;
+  ops->jukebox_ = jukebox;
   ops->client_ =
       co_await rpc::clnt_create(host, server, kNfsProgram, kNfsVersion3);
   ops->client_->set_auth(auth);
@@ -21,6 +22,22 @@ void V3WireOps::close() {
 }
 
 sim::Task<BufChain> V3WireOps::call(Proc3 proc, BufChain args) {
+  const rpc::JukeboxPolicy jukebox = jukebox_;
+  for (int busy = 0;; ++busy) {
+    BufChain reply = co_await call_once(proc, args);
+    if (!jukebox.enabled() || busy >= jukebox.max_retries ||
+        !reply_is_jukebox(reply)) {
+      co_return reply;
+    }
+    // The server shed this call without executing it; wait out the overload
+    // and re-issue under a FRESH xid (call_once reserves one per attempt) —
+    // resending the old xid could replay a DRC-cached jukebox result.
+    host_.engine().metrics().counter("nfs.client.jukebox_retries").inc();
+    co_await host_.engine().sleep(jukebox.delay(busy));
+  }
+}
+
+sim::Task<BufChain> V3WireOps::call_once(Proc3 proc, BufChain args) {
   // The xid is reserved once and reused across reconnects so the server's
   // duplicate-request cache still recognises a resend of a call it already
   // executed before the connection died (unless the server itself crashed,
@@ -49,6 +66,7 @@ sim::Task<BufChain> V3WireOps::call(Proc3 proc, BufChain args) {
       }
       fresh->set_auth(auth_);
       fresh->set_retry(retry_);
+      if (budget_) fresh->set_retry_budget(budget_);
       client_->close();
       client_ = std::move(fresh);
       ++conn_gen_;

@@ -50,10 +50,20 @@ class WireOps {
 class V3WireOps final : public WireOps {
  public:
   /// Connects the MOUNT and NFS RPC clients.  `retry` applies to every RPC
-  /// issued through this backend (default: wait forever).
+  /// issued through this backend (default: wait forever).  `jukebox`
+  /// controls reaction to NFS3ERR_JUKEBOX results from an overloaded
+  /// server (default: surface them to the caller).
   static sim::Task<std::unique_ptr<V3WireOps>> connect(
       net::Host& host, const net::Address& server, rpc::AuthSys auth,
-      rpc::RetryPolicy retry = rpc::RetryPolicy());
+      rpc::RetryPolicy retry = rpc::RetryPolicy(),
+      rpc::JukeboxPolicy jukebox = rpc::JukeboxPolicy());
+
+  /// Installs a retry budget on the NFS client (shared across reconnects:
+  /// re-establishing the connection does not refill the bucket).
+  void set_retry_budget(std::shared_ptr<rpc::RetryBudget> budget) {
+    budget_ = std::move(budget);
+    if (client_) client_->set_retry_budget(budget_);
+  }
 
   sim::Task<Fh> mount(const std::string& path) override;
   sim::Task<LookupRes> lookup(Fh dir, const std::string& name) override;
@@ -91,11 +101,16 @@ class V3WireOps final : public WireOps {
       : host_(host), server_(server), auth_(auth) {}
 
   sim::Task<BufChain> call(Proc3 proc, BufChain args);
+  /// One xid's worth of call: retransmissions and reconnect-resends reuse
+  /// the xid; jukebox-delayed retries (in call()) get a fresh one.
+  sim::Task<BufChain> call_once(Proc3 proc, BufChain args);
 
   net::Host& host_;
   net::Address server_;
   rpc::AuthSys auth_;
   rpc::RetryPolicy retry_;
+  rpc::JukeboxPolicy jukebox_;
+  std::shared_ptr<rpc::RetryBudget> budget_;
   std::unique_ptr<rpc::RpcClient> client_;
   // Bumped on every successful reconnect so concurrent calls (readahead,
   // write-behind) that all saw the same dead connection reconnect once.

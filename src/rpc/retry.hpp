@@ -9,6 +9,8 @@
 // benchmark runs bit-identical to the pre-retransmission code.
 #pragma once
 
+#include <algorithm>
+#include <cstdint>
 #include <stdexcept>
 #include <string>
 
@@ -40,6 +42,84 @@ struct RetryPolicy {
     RetryPolicy p;
     p.initial_timeout = sim::kSecond;
     return p;
+  }
+
+  /// Copy with nonsensical fields clamped.  A backoff multiplier <= 1.0
+  /// would silently mean fixed-interval retransmission forever — it becomes
+  /// the default 2.0.  max_timeout below initial_timeout would make the cap
+  /// shrink the *first* interval — it is raised to initial_timeout.  A
+  /// negative give-up bound becomes 0 (one attempt, no resends).
+  RetryPolicy sanitized() const {
+    RetryPolicy p = *this;
+    if (p.backoff <= 1.0) p.backoff = 2.0;
+    if (p.max_timeout < p.initial_timeout) p.max_timeout = p.initial_timeout;
+    if (p.max_retransmits < 0) p.max_retransmits = 0;
+    return p;
+  }
+};
+
+/// Retry budget (Finagle-style token bucket): bounds retransmissions to a
+/// fixed fraction of offered load so retries cannot amplify an overload
+/// into a retry storm.  Every original send deposits `ratio` tokens (capped
+/// at `burst`); every retransmission withdraws one.  A suppressed
+/// retransmission still consumes the attempt — its timer re-arms with the
+/// backed-off timeout and the give-up bound keeps the call terminating —
+/// it just never hits the wire.  Disabled when ratio == 0 (the default).
+class RetryBudget {
+ public:
+  RetryBudget() = default;
+  explicit RetryBudget(double ratio, double burst = 10.0)
+      : ratio_(ratio), burst_(burst), tokens_(burst) {}
+
+  bool enabled() const { return ratio_ > 0.0; }
+
+  /// Called once per original (non-retransmitted) send.
+  void deposit() {
+    if (enabled()) tokens_ = std::min(tokens_ + ratio_, burst_);
+  }
+  /// True if a retransmission may be sent (and a token was consumed).
+  bool try_withdraw() {
+    if (!enabled()) return true;
+    if (tokens_ >= 1.0) {
+      tokens_ -= 1.0;
+      return true;
+    }
+    ++suppressed_;
+    return false;
+  }
+
+  double tokens() const { return tokens_; }
+  uint64_t suppressed() const { return suppressed_; }
+
+ private:
+  double ratio_ = 0.0;   // tokens per original send; 0 = budget disabled
+  double burst_ = 10.0;  // bucket cap: bounds retry bursts after idle
+  double tokens_ = 0.0;
+  uint64_t suppressed_ = 0;
+};
+
+/// Client reaction to an NFS3ERR_JUKEBOX ("overloaded, try later") result:
+/// sleep `initial_delay` (growing by `backoff` up to `max_delay`) and
+/// re-issue the call with a FRESH xid — the server never executed the shed
+/// call, and reusing the xid could replay a DRC-cached jukebox result
+/// forever.  Disabled by default (max_retries == 0): jukebox statuses
+/// surface to the caller like any other NFS error.
+struct JukeboxPolicy {
+  int max_retries = 0;
+  sim::SimDur initial_delay = 100 * sim::kMillisecond;
+  double backoff = 2.0;
+  sim::SimDur max_delay = 5 * sim::kSecond;
+
+  JukeboxPolicy() = default;
+
+  bool enabled() const { return max_retries > 0; }
+
+  /// Delay before jukebox retry number `attempt` (0-based).
+  sim::SimDur delay(int attempt) const {
+    double d = static_cast<double>(initial_delay);
+    for (int i = 0; i < attempt; ++i) d *= backoff;
+    const auto capped = static_cast<sim::SimDur>(d);
+    return capped > max_delay || capped <= 0 ? max_delay : capped;
   }
 };
 

@@ -157,6 +157,7 @@ sim::Task<BufChain> RpcClient::call_with_xid(uint32_t xid, uint32_t proc,
   auto pending = std::make_shared<Pending>(eng);
   state->pending[xid] = pending;
   ++state->calls_sent;
+  if (state->budget) state->budget->deposit();
 
   auto& metrics = eng.metrics();
   metrics.counter("rpc.client.calls").inc();
@@ -180,12 +181,15 @@ sim::Task<BufChain> RpcClient::call_with_xid(uint32_t xid, uint32_t proc,
   });
 
   sim::SimDur timeout = retry.initial_timeout;
+  bool send_this_attempt = true;
   for (int attempt = 0;; ++attempt) {
     if (retry.enabled()) {
       eng.spawn(timeout_task(eng, pending, pending->wait_gen, timeout));
     }
-    co_await transport->send(wire);
-    metrics.counter("rpc.client.bytes_sent").inc(wire.size());
+    if (send_this_attempt) {
+      co_await transport->send(wire);
+      metrics.counter("rpc.client.bytes_sent").inc(wire.size());
+    }
     co_await pending->done.wait();
     if (pending->reply) break;
     auto it = state->pending.find(xid);
@@ -199,12 +203,22 @@ sim::Task<BufChain> RpcClient::call_with_xid(uint32_t xid, uint32_t proc,
     if (attempt >= retry.max_retransmits) {
       ++state->timeouts;
       metrics.counter("rpc.client.timeouts").inc();
+      metrics.counter("rpc.client.giveups").inc();
       span_rec.span.status = "timeout";
       throw RpcTimeout(attempt);
     }
-    ++state->retransmits;
-    metrics.counter("rpc.client.retransmits").inc();
-    ++span_rec.span.retransmits;
+    // A denied retry-budget withdrawal suppresses the wire send but still
+    // consumes the attempt: the timer re-arms with the backed-off timeout,
+    // so a black-holed call terminates at the same virtual time whether or
+    // not the budget let its retransmissions out.
+    send_this_attempt = !state->budget || state->budget->try_withdraw();
+    if (send_this_attempt) {
+      ++state->retransmits;
+      metrics.counter("rpc.client.retransmits").inc();
+      ++span_rec.span.retransmits;
+    } else {
+      metrics.counter("rpc.client.suppressed_retransmits").inc();
+    }
     ++pending->wait_gen;
     pending->done.reset();
     timeout = std::min(

@@ -36,8 +36,19 @@ class RpcClient {
   void clear_auth() { cred_ = OpaqueAuth::none(); }
 
   /// Retransmission policy for subsequent calls (default: disabled).
-  void set_retry(const RetryPolicy& retry) { retry_ = retry; }
+  /// Nonsensical fields are clamped (RetryPolicy::sanitized): backoff <= 1.0
+  /// becomes 2.0 instead of silently retransmitting at a fixed interval.
+  void set_retry(const RetryPolicy& retry) { retry_ = retry.sanitized(); }
   const RetryPolicy& retry() const { return retry_; }
+
+  /// Shares a retry budget with this client (see RetryBudget): originals
+  /// deposit, retransmissions withdraw, and a denied withdrawal suppresses
+  /// the wire send while the attempt still counts toward give-up.  The
+  /// budget is shared so it survives this client's teardown (session
+  /// re-establishment replaces clients but must not refill the bucket).
+  void set_retry_budget(std::shared_ptr<RetryBudget> budget) {
+    state_->budget = std::move(budget);
+  }
 
   /// Issues one call and awaits its reply payload.  Both directions are
   /// segment chains: args are grafted into the wire message without a copy
@@ -85,6 +96,7 @@ class RpcClient {
     // Why the reader died, surfaced to callers (e.g. crypto::MacError so
     // the proxy layer can translate it into a re-handshake).
     std::exception_ptr broken;
+    std::shared_ptr<RetryBudget> budget;
     std::map<uint32_t, std::shared_ptr<Pending>> pending;
 
     void fail_all() {

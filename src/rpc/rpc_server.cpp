@@ -131,6 +131,93 @@ sim::Task<void> RpcServer::serve_one(sim::Engine& eng,
     span.bytes_in = msg.size();
   }
 
+  // Admission gate (before the DRC so shed calls leave no in-progress
+  // marker): bounded concurrency with a bounded FIFO queue in front.  At
+  // capacity the call is shed — dropped, or answered with the program's
+  // "try later" reply when busy_replies is on — instead of queueing
+  // unboundedly until every queued call's client has already given up.
+  struct SlotRelease {
+    sim::Engine* eng = nullptr;
+    State* st = nullptr;
+    bool held = false;
+
+    SlotRelease() = default;
+    SlotRelease(const SlotRelease&) = delete;
+    SlotRelease& operator=(const SlotRelease&) = delete;
+    ~SlotRelease() {
+      if (!held) return;
+      --st->active_calls;
+      if (!st->admit_waiters.empty()) {
+        eng->schedule_now(st->admit_waiters.front());
+        st->admit_waiters.pop_front();
+      }
+    }
+  };
+  SlotRelease slot;
+  if (state->admission.enabled()) {
+    if (state->active_calls >= state->admission.max_concurrency &&
+        state->admit_waiters.size() >= state->admission.max_queue) {
+      ++state->shed;
+      metrics.counter("rpc.server.shed").inc();
+      BufChain busy;
+      if (state->admission.busy_replies) {
+        auto prog = state->programs.find({call.prog, call.vers});
+        if (prog != state->programs.end()) {
+          CallContext bctx;
+          bctx.xid = call.xid;
+          bctx.prog = call.prog;
+          bctx.vers = call.vers;
+          bctx.proc = call.proc;
+          bctx.peer_host = transport->peer_host();
+          if (auto body = prog->second->busy_reply(bctx);
+              body && !body->empty()) {
+            busy = ReplyMsg::success(call.xid, std::move(*body)).serialize();
+          }
+        }
+      }
+      if (tracing) {
+        span.end = eng.now();
+        span.status = busy.empty() ? "shed" : "shed_busy";
+        span.bytes_out = busy.size();
+        eng.tracer().record(std::move(span));
+      }
+      if (!busy.empty()) {
+        ++state->busy_replies;
+        metrics.counter("rpc.server.jukebox_replies").inc();
+        try {
+          co_await transport->send(busy);
+        } catch (const std::exception&) {
+          // Peer went away; nothing to do.
+        }
+      }
+      co_return;
+    }
+    if (state->active_calls >= state->admission.max_concurrency) {
+      // Park FIFO for a slot; a released slot may be stolen by a new
+      // arrival that ran first, so re-check on wake (SimMutex semantics).
+      struct AdmitWaiter {
+        State& st;
+        bool await_ready() const noexcept { return false; }
+        void await_suspend(std::coroutine_handle<> h) {
+          st.admit_waiters.push_back(h);
+        }
+        void await_resume() const noexcept {}
+      };
+      const sim::SimTime q0 = eng.now();
+      while (state->active_calls >= state->admission.max_concurrency) {
+        metrics.gauge("rpc.server.queue_depth")
+            .set(static_cast<int64_t>(state->admit_waiters.size() + 1));
+        co_await AdmitWaiter{*state};
+      }
+      metrics.histogram("rpc.server.queue_wait_ns").observe(eng.now() - q0);
+    }
+    ++state->active_calls;
+    metrics.counter("rpc.server.admitted").inc();
+    slot.eng = &eng;
+    slot.st = state.get();
+    slot.held = true;
+  }
+
   // Duplicate-request cache lookup: a retransmission (same peer, xid and
   // procedure) must not re-execute a non-idempotent handler.
   const DrcKey key(transport->peer_host(), call.xid, call.prog, call.vers,

@@ -6,6 +6,8 @@
 // handed to the program handlers for authorization decisions.
 #pragma once
 
+#include <coroutine>
+#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
@@ -53,6 +55,36 @@ class RpcProgram {
     (void)ctx;
     return false;
   }
+
+  /// Serialized "overloaded, try later" result for this call, used when the
+  /// server sheds it under admission control with `busy_replies` on.  NFS
+  /// programs return the procedure's result shape with NFS3ERR_JUKEBOX
+  /// (nfs::busy_status_reply); the default — or an empty chain — makes the
+  /// server shed by dropping, so the client's retransmission timer recovers.
+  virtual std::optional<BufChain> busy_reply(const CallContext& ctx) const {
+    (void)ctx;
+    return std::nullopt;
+  }
+};
+
+/// Server-side admission control: a bounded request queue in front of the
+/// dispatcher.  Up to `max_concurrency` calls execute at once; up to
+/// `max_queue` more wait FIFO; beyond that the server sheds — silently
+/// (drop; the client's retransmission recovers) or, with `busy_replies`,
+/// with the program's "try later" reply (NFS3ERR_JUKEBOX-style), which
+/// costs one cheap send but saves the client a full retransmission timeout.
+/// Disabled by default (max_concurrency == 0): dispatch is unbounded and
+/// timing is bit-identical to servers that predate admission control.
+struct AdmissionControl {
+  size_t max_concurrency = 0;  // 0 = unlimited (admission control off)
+  size_t max_queue = 0;
+  bool busy_replies = false;
+
+  AdmissionControl() = default;
+  AdmissionControl(size_t concurrency, size_t queue, bool busy)
+      : max_concurrency(concurrency), max_queue(queue), busy_replies(busy) {}
+
+  bool enabled() const { return max_concurrency > 0; }
 };
 
 class RpcServer {
@@ -86,6 +118,16 @@ class RpcServer {
   /// Completed-entry capacity of the duplicate-request cache (LRU).
   void set_drc_capacity(size_t n) { state_->drc_capacity = n; }
 
+  /// Installs (or reconfigures) admission control.  Safe to call before
+  /// start(); reconfiguring while calls are queued only affects new arrivals.
+  void set_admission(const AdmissionControl& admission) {
+    state_->admission = admission;
+  }
+  /// Calls shed by admission control (dropped or answered with a busy reply).
+  uint64_t calls_shed() const { return state_->shed; }
+  /// Shed calls that got a program-provided "try later" reply.
+  uint64_t busy_replies_sent() const { return state_->busy_replies; }
+
  private:
   // Duplicate-request cache: (peer host, xid, prog, vers, proc) -> reply.
   // Entries are inserted when a call starts (in-progress marker) and either
@@ -114,6 +156,13 @@ class RpcServer {
     // handler await and discards the reply on mismatch.
     uint64_t epoch = 0;
     size_t drc_capacity = 512;
+    // Admission control (inert while admission.enabled() is false): calls
+    // holding an execution slot, and FIFO waiters parked for one.
+    AdmissionControl admission;
+    size_t active_calls = 0;
+    std::deque<std::coroutine_handle<>> admit_waiters;
+    uint64_t shed = 0;
+    uint64_t busy_replies = 0;
     std::map<DrcKey, DrcEntry> drc;
     std::map<uint64_t, DrcKey> drc_lru;  // stamp -> key, oldest first
     std::map<std::pair<uint32_t, uint32_t>, std::shared_ptr<RpcProgram>>

@@ -18,6 +18,21 @@ net::FaultPlan::Action fault_action(net::Stream& stream) {
                           stream.local_host().engine().now());
 }
 
+// Gray-failure delay: a slow-link window holds the message before it
+// reaches the wire (congestion ahead of the NIC).  Delivered-but-late is
+// exactly what distinguishes gray failures from the drop faults above —
+// the retransmission timer may fire even though nothing was lost, so the
+// duplicate-request cache sees live traffic.  With no active window this
+// awaits nothing and leaves fault-free timing bit-identical.
+sim::Task<void> gray_delay(net::Stream& stream) {
+  net::FaultPlan* plan = stream.local_host().network().fault_plan();
+  if (!plan) co_return;
+  const sim::SimDur d = plan->added_delay(stream.local_host().name(),
+                                          stream.remote_host().name(),
+                                          stream.local_host().engine().now());
+  if (d > 0) co_await stream.local_host().engine().sleep(d);
+}
+
 }  // namespace
 
 sim::Task<void> StreamTransport::send(BufChain message) {
@@ -31,6 +46,7 @@ sim::Task<void> StreamTransport::send(BufChain message) {
       // as a loss; recovery is the caller's retransmission timer.
       co_return;
   }
+  co_await gray_delay(*stream_);
   // RFC 5531 record marking: each fragment carries a 32-bit header whose MSB
   // flags the final fragment of the record.  The payload is never copied:
   // each fragment is [4-byte header segment | shared slice of the message]
@@ -80,6 +96,7 @@ sim::Task<void> SecureTransport::send(BufChain message) {
       channel_->corrupt_next_record();
       break;
   }
+  co_await gray_delay(channel_->stream());
   co_await channel_->send_chain(std::move(message));
 }
 

@@ -14,7 +14,14 @@ ClientProxy::ClientProxy(net::Host& host, ClientProxyConfig config, Rng rng)
     : host_(host),
       config_(std::move(config)),
       rng_(rng),
-      forward_mutex_(host.engine()) {}
+      forward_mutex_(host.engine()) {
+  if (config_.retry_budget_ratio > 0) {
+    // Shared across (and surviving) the session's upstream clients, so a
+    // reconnect does not refill the bucket.
+    retry_budget_ = std::make_shared<rpc::RetryBudget>(
+        config_.retry_budget_ratio, config_.retry_budget_burst);
+  }
+}
 
 void ClientProxy::start(uint16_t port) {
   rpc_server_ = std::make_unique<rpc::RpcServer>(host_, port);
@@ -79,6 +86,7 @@ sim::Task<void> ClientProxy::ensure_upstream() {
           config_.security, rng_, epoch);
     }
     upstream_nfs_->set_retry(config_.retry);
+    if (retry_budget_) upstream_nfs_->set_retry_budget(retry_budget_);
     ++handshakes_;
     host_.engine().metrics().counter("sgfs.client_proxy.sessions").inc();
   }
@@ -93,6 +101,7 @@ sim::Task<void> ClientProxy::ensure_upstream() {
           nfs::kMountVersion3, config_.security, rng_, epoch);
     }
     upstream_mount_->set_retry(config_.retry);
+    if (retry_budget_) upstream_mount_->set_retry_budget(retry_budget_);
   }
 }
 
@@ -115,6 +124,7 @@ sim::Task<BufChain> ClientProxy::forward(const rpc::CallContext& ctx,
   // non-idempotent ops across the new connection.
   BufChain reply;
   std::optional<uint32_t> xid;
+  int busy_retries = 0;
   for (int attempt = 0;; ++attempt) {
     std::exception_ptr failure;
     try {
@@ -130,6 +140,23 @@ sim::Task<BufChain> ClientProxy::forward(const rpc::CallContext& ctx,
       }
       if (!xid) xid = client.reserve_xid();
       reply = co_await client.call_with_xid(*xid, ctx.proc, args);
+      if (config_.jukebox.enabled() && ctx.prog == nfs::kNfsProgram &&
+          busy_retries < config_.jukebox.max_retries &&
+          nfs::reply_is_jukebox(reply)) {
+        // The overloaded server proxy shed this call without executing it:
+        // wait out the overload and re-issue under a FRESH xid (the old one
+        // could replay a DRC-cached jukebox result).  The successful round
+        // trip proved the session healthy, so the reconnect counter resets.
+        host_.engine()
+            .metrics()
+            .counter("sgfs.client_proxy.jukebox_retries")
+            .inc();
+        co_await host_.engine().sleep(config_.jukebox.delay(busy_retries));
+        ++busy_retries;
+        xid.reset();
+        attempt = -1;
+        continue;
+      }
       break;
     } catch (const rpc::RpcTimeout&) {
       failure = std::current_exception();

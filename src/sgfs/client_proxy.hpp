@@ -51,6 +51,16 @@ class ClientProxy : public rpc::RpcProgram,
            !nfs::proc3_is_idempotent(static_cast<nfs::Proc3>(ctx.proc));
   }
 
+  /// Loopback admission control (if configured) sheds NFS calls with a
+  /// genuine NFS3ERR_JUKEBOX reply the kernel client understands.
+  std::optional<BufChain> busy_reply(
+      const rpc::CallContext& ctx) const override {
+    if (ctx.prog != nfs::kNfsProgram) return std::nullopt;
+    BufChain body = nfs::busy_status_reply(static_cast<nfs::Proc3>(ctx.proc));
+    if (body.empty()) return std::nullopt;
+    return body;
+  }
+
   /// Writes all dirty cached data back to the server (session teardown —
   /// the separately-reported write-back time in Figures 9/10).
   sim::Task<void> flush();
@@ -132,6 +142,7 @@ class ClientProxy : public rpc::RpcProgram,
   std::unique_ptr<rpc::RpcServer> rpc_server_;
   std::unique_ptr<rpc::RpcClient> upstream_nfs_;
   std::unique_ptr<rpc::RpcClient> upstream_mount_;
+  std::shared_ptr<rpc::RetryBudget> retry_budget_;
   sim::SimMutex forward_mutex_;
   bool stopped_ = false;
 

@@ -14,7 +14,8 @@ ServerProxy::ServerProxy(net::Host& host, ServerProxyConfig config,
     : host_(host),
       config_(std::move(config)),
       rng_(rng),
-      forward_mutex_(host.engine()) {
+      forward_mutex_(host.engine()),
+      fair_mutex_(host.engine()) {
   if (fs_for_acls && config_.fine_grained_acls) {
     acl_store_ = std::make_unique<AclStore>(std::move(fs_for_acls));
   }
@@ -43,6 +44,7 @@ void ServerProxy::start(uint16_t port) {
         host_, port, config_.security, rng_.fork(),
         /*now_epoch=*/0);
   }
+  rpc_server_->set_admission(config_.admission);
   auto self = shared_from_this();
   rpc_server_->register_program(nfs::kNfsProgram, nfs::kNfsVersion3, self);
   rpc_server_->register_program(nfs::kMountProgram, nfs::kMountVersion3,
@@ -70,11 +72,17 @@ sim::Task<void> ServerProxy::ensure_upstream() {
   if (!upstream_nfs_) {
     upstream_nfs_ = co_await rpc::clnt_create(
         host_, config_.kernel_nfs, nfs::kNfsProgram, nfs::kNfsVersion3);
+    upstream_nfs_->set_retry(config_.upstream_retry);
   }
   if (!upstream_mount_) {
     upstream_mount_ = co_await rpc::clnt_create(
         host_, config_.kernel_nfs, nfs::kMountProgram, nfs::kMountVersion3);
+    upstream_mount_->set_retry(config_.upstream_retry);
   }
+}
+
+std::string ServerProxy::session_key(const rpc::CallContext& ctx) {
+  return ctx.peer_identity ? ctx.peer_identity->to_string() : ctx.peer_host;
 }
 
 std::optional<Account> ServerProxy::authorize(const rpc::CallContext& ctx) {
@@ -101,26 +109,65 @@ std::optional<Account> ServerProxy::authorize(const rpc::CallContext& ctx) {
   return std::nullopt;
 }
 
-sim::Task<BufChain> ServerProxy::forward(uint32_t prog, uint32_t vers,
-                                         uint32_t proc, BufChain args,
+sim::Task<BufChain> ServerProxy::forward(const rpc::CallContext& ctx,
+                                         BufChain args,
                                          const rpc::AuthSys& cred) {
+  auto& eng = host_.engine();
+  const bool breaker = config_.breaker_failure_threshold > 0;
+  // Circuit breaker, checked BEFORE queueing for the upstream: while the
+  // kernel NFS server is black-holed or degraded, waiting behind the
+  // forwarding mutex only builds a queue of calls doomed to the same fate.
+  // Fail fast with the "try later" result instead; after the open window a
+  // single probe call goes through and either resets or re-trips it.
+  if (breaker && eng.now() < breaker_open_until_) {
+    ++breaker_fast_fails_;
+    eng.metrics().counter("sgfs.server_proxy.breaker_fast_fails").inc();
+    if (ctx.prog == nfs::kNfsProgram) {
+      BufChain busy = nfs::busy_status_reply(static_cast<Proc3>(ctx.proc));
+      if (!busy.empty()) co_return busy;
+    }
+    throw rpc::RpcError(rpc::AcceptStat::kSystemErr, "upstream circuit open");
+  }
   // Blocking RPC library: one outstanding upstream call at a time.
-  // (SFS-style daemons skip the serialization and pipeline.)
+  // (SFS-style daemons skip the serialization and pipeline.)  With
+  // fair_queueing the wait is round-robin across sessions instead of global
+  // FIFO, so one hot session cannot starve the rest.
   std::optional<sim::SimMutex::Guard> guard;
+  std::optional<sim::FairMutex::Guard> fair_guard;
   if (config_.serialize_forwarding) {
-    guard.emplace(co_await forward_mutex_.scoped());
+    if (config_.fair_queueing) {
+      const sim::SimTime q0 = eng.now();
+      fair_guard.emplace(co_await fair_mutex_.scoped(session_key(ctx)));
+      eng.metrics().histogram("sgfs.server_proxy.fq_wait_ns")
+          .observe(eng.now() - q0);
+    } else {
+      guard.emplace(co_await forward_mutex_.scoped());
+    }
   }
   co_await ensure_upstream();
   ++forwarded_;
-  host_.engine().metrics().counter("sgfs.server_proxy.forwarded").inc();
+  eng.metrics().counter("sgfs.server_proxy.forwarded").inc();
   rpc::RpcClient& client =
-      prog == nfs::kMountProgram ? *upstream_mount_ : *upstream_nfs_;
+      ctx.prog == nfs::kMountProgram ? *upstream_mount_ : *upstream_nfs_;
   client.set_auth(cred);
-  (void)vers;
   if (config_.cost.per_msg_latency > 0) {
-    co_await host_.engine().sleep(config_.cost.per_msg_latency);
+    co_await eng.sleep(config_.cost.per_msg_latency);
   }
-  BufChain reply = co_await client.call(proc, std::move(args));
+  BufChain reply;
+  if (breaker) {
+    try {
+      reply = co_await client.call(ctx.proc, std::move(args));
+    } catch (const rpc::RpcTimeout&) {
+      trip_breaker();
+      throw;
+    } catch (const net::StreamClosed&) {
+      trip_breaker();
+      throw;
+    }
+    breaker_failures_ = 0;  // success closes the half-open breaker
+  } else {
+    reply = co_await client.call(ctx.proc, std::move(args));
+  }
   co_await host_.cpu().use(config_.cost.msg_cost(reply.size()), "proxy");
   if (config_.cost.overlapped_bytes_per_sec > 0) {
     host_.cpu().charge(
@@ -129,6 +176,29 @@ sim::Task<BufChain> ServerProxy::forward(uint32_t prog, uint32_t vers,
         "proxy");
   }
   co_return reply;
+}
+
+void ServerProxy::trip_breaker() {
+  ++breaker_failures_;
+  // The dead connection must not poison post-recovery probes: drop the
+  // upstream clients so the next call reconnects.
+  if (upstream_nfs_) {
+    upstream_nfs_->close();
+    upstream_nfs_.reset();
+  }
+  if (upstream_mount_) {
+    upstream_mount_->close();
+    upstream_mount_.reset();
+  }
+  if (breaker_failures_ >= config_.breaker_failure_threshold) {
+    breaker_failures_ = 0;
+    ++breaker_opens_;
+    breaker_open_until_ =
+        host_.engine().now() + config_.breaker_open_duration;
+    host_.engine().metrics().counter("sgfs.server_proxy.breaker_opens").inc();
+    SGFS_INFO("sgfs-proxy", "upstream circuit opened for ",
+              config_.breaker_open_duration / sim::kMillisecond, " ms");
+  }
 }
 
 void ServerProxy::learn_fh(const Fh& fh, const Fh& parent,
@@ -174,7 +244,7 @@ sim::Task<BufChain> ServerProxy::handle(const rpc::CallContext& ctx,
 
   if (ctx.prog == nfs::kMountProgram) {
     BufChain reply =
-        co_await forward(ctx.prog, ctx.vers, ctx.proc, args, mapped);
+        co_await forward(ctx, args, mapped);
     co_return reply;
   }
 
@@ -195,7 +265,7 @@ sim::Task<BufChain> ServerProxy::handle(const rpc::CallContext& ctx,
         co_return enc.take();
       }
       BufChain reply =
-          co_await forward(ctx.prog, ctx.vers, ctx.proc, args, mapped);
+          co_await forward(ctx, args, mapped);
       xdr::Decoder rdec(reply);
       auto res = nfs::LookupRes::decode(rdec);
       if (res.status == Status::kOk) learn_fh(res.fh, a.dir, a.name);
@@ -224,7 +294,7 @@ sim::Task<BufChain> ServerProxy::handle(const rpc::CallContext& ctx,
         co_return enc.take();
       }
       BufChain reply =
-          co_await forward(ctx.prog, ctx.vers, ctx.proc, args, mapped);
+          co_await forward(ctx, args, mapped);
       xdr::Decoder rdec(reply);
       auto res = nfs::CreateRes::decode(rdec);
       if (res.status == Status::kOk) learn_fh(res.fh, dir, name);
@@ -241,14 +311,14 @@ sim::Task<BufChain> ServerProxy::handle(const rpc::CallContext& ctx,
         res.encode(enc);
         co_return enc.take();
       }
-      co_return co_await forward(ctx.prog, ctx.vers, ctx.proc, args, mapped);
+      co_return co_await forward(ctx, args, mapped);
     }
 
     case Proc3::kAccess: {
       xdr::Decoder dec(args);
       auto a = nfs::AccessArgs::decode(dec);
       BufChain reply =
-          co_await forward(ctx.prog, ctx.vers, ctx.proc, args, mapped);
+          co_await forward(ctx, args, mapped);
       if (auto mask = acl_mask(a.fh, dn)) {
         // Grid ACL governs this file: the proxy's decision replaces the
         // kernel's (the paper disables kernel ACLs entirely).
@@ -277,7 +347,7 @@ sim::Task<BufChain> ServerProxy::handle(const rpc::CallContext& ctx,
         res.encode(enc);
         co_return enc.take();
       }
-      co_return co_await forward(ctx.prog, ctx.vers, ctx.proc, args, mapped);
+      co_return co_await forward(ctx, args, mapped);
     }
 
     case Proc3::kWrite: {
@@ -293,7 +363,7 @@ sim::Task<BufChain> ServerProxy::handle(const rpc::CallContext& ctx,
         res.encode(enc);
         co_return enc.take();
       }
-      co_return co_await forward(ctx.prog, ctx.vers, ctx.proc, args, mapped);
+      co_return co_await forward(ctx, args, mapped);
     }
 
     case Proc3::kReaddir:
@@ -301,7 +371,7 @@ sim::Task<BufChain> ServerProxy::handle(const rpc::CallContext& ctx,
       xdr::Decoder dec(args);
       auto a = nfs::ReaddirArgs::decode(dec);
       BufChain reply =
-          co_await forward(ctx.prog, ctx.vers, ctx.proc, args, mapped);
+          co_await forward(ctx, args, mapped);
       xdr::Decoder rdec(reply);
       auto res = nfs::ReaddirRes::decode(rdec);
       if (res.status != Status::kOk) co_return reply;
@@ -319,7 +389,7 @@ sim::Task<BufChain> ServerProxy::handle(const rpc::CallContext& ctx,
     }
 
     default:
-      co_return co_await forward(ctx.prog, ctx.vers, ctx.proc, args, mapped);
+      co_return co_await forward(ctx, args, mapped);
   }
 }
 

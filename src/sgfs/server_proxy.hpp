@@ -25,6 +25,7 @@
 #include "rpc/rpc_client.hpp"
 #include "rpc/rpc_server.hpp"
 #include "sgfs/session.hpp"
+#include "sim/fair_mutex.hpp"
 #include "sim/mutex.hpp"
 
 namespace sgfs::core {
@@ -54,6 +55,17 @@ class ServerProxy : public rpc::RpcProgram,
            !nfs::proc3_is_idempotent(static_cast<nfs::Proc3>(ctx.proc));
   }
 
+  /// Under admission-control shedding, NFS calls get a genuine RFC 1813
+  /// NFS3ERR_JUKEBOX result (forwarded unchanged to the kernel client by
+  /// the client proxy); MOUNT calls are shed by dropping.
+  std::optional<BufChain> busy_reply(
+      const rpc::CallContext& ctx) const override {
+    if (ctx.prog != nfs::kNfsProgram) return std::nullopt;
+    BufChain body = nfs::busy_status_reply(static_cast<nfs::Proc3>(ctx.proc));
+    if (body.empty()) return std::nullopt;
+    return body;
+  }
+
   /// Reloads gridmap/ACL/security configuration (paper §4.2: signal the
   /// proxy to reload its configuration file).
   void reload(ServerProxyConfig config);
@@ -64,6 +76,13 @@ class ServerProxy : public rpc::RpcProgram,
   uint64_t forwarded() const { return forwarded_; }
   uint64_t denied() const { return denied_; }
   uint64_t acl_decisions() const { return acl_decisions_; }
+  /// Circuit-breaker activity toward the upstream kernel NFS server.
+  uint64_t breaker_opens() const { return breaker_opens_; }
+  uint64_t breaker_fast_fails() const { return breaker_fast_fails_; }
+  /// Calls shed by the WAN-facing RPC service's admission control.
+  uint64_t calls_shed() const {
+    return rpc_server_ ? rpc_server_->calls_shed() : 0;
+  }
   /// Duplicate-request cache activity on the WAN-facing RPC service.
   uint64_t drc_hits() const {
     return rpc_server_ ? rpc_server_->drc_hits() : 0;
@@ -74,8 +93,13 @@ class ServerProxy : public rpc::RpcProgram,
 
  private:
   sim::Task<void> ensure_upstream();
-  sim::Task<BufChain> forward(uint32_t prog, uint32_t vers, uint32_t proc,
-                              BufChain args, const rpc::AuthSys& cred);
+  sim::Task<BufChain> forward(const rpc::CallContext& ctx, BufChain args,
+                              const rpc::AuthSys& cred);
+  /// Fair-queueing key: the session's grid identity (peer DN), falling back
+  /// to the peer host for plain-transport sessions.
+  static std::string session_key(const rpc::CallContext& ctx);
+  /// Records one upstream failure; opens the breaker at the threshold.
+  void trip_breaker();
   std::optional<Account> authorize(const rpc::CallContext& ctx);
   void learn_fh(const nfs::Fh& fh, const nfs::Fh& parent,
                 const std::string& name);
@@ -90,6 +114,15 @@ class ServerProxy : public rpc::RpcProgram,
   std::unique_ptr<rpc::RpcClient> upstream_nfs_;
   std::unique_ptr<rpc::RpcClient> upstream_mount_;
   sim::SimMutex forward_mutex_;
+  sim::FairMutex fair_mutex_;
+
+  // Circuit breaker toward the upstream kernel NFS server (inert unless
+  // breaker_failure_threshold > 0): consecutive upstream failures trip it;
+  // while open, calls fail fast without touching the upstream.
+  int breaker_failures_ = 0;
+  sim::SimTime breaker_open_until_ = 0;
+  uint64_t breaker_opens_ = 0;
+  uint64_t breaker_fast_fails_ = 0;
 
   // fh -> (parent fh, name), learned from forwarded lookups/creates.
   // Volatile: a host crash empties it (entries are re-learned from the

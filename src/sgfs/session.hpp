@@ -15,6 +15,7 @@
 #include "crypto/secure_channel.hpp"
 #include "net/network.hpp"
 #include "rpc/retry.hpp"
+#include "rpc/rpc_server.hpp"  // AdmissionControl
 #include "sgfs/acl.hpp"
 
 namespace sgfs::core {
@@ -84,6 +85,25 @@ struct ServerProxyConfig {
   bool fine_grained_acls = true;
   net::Address kernel_nfs;  // loopback address of the kernel NFS server
   ProxyCostModel cost;
+  /// Admission control on the WAN-facing RPC service: bounded concurrency +
+  /// queue; at capacity, shed (drop or NFS3ERR_JUKEBOX busy reply).
+  /// Disabled by default.
+  rpc::AdmissionControl admission;
+  /// Per-session fair queueing toward the upstream kernel NFS server:
+  /// round-robin across sessions (peer identities) instead of global FIFO,
+  /// so one hot session cannot starve the others.  Only meaningful with
+  /// serialize_forwarding; disabled by default (plain FIFO).
+  bool fair_queueing = false;
+  /// Circuit breaker toward the upstream kernel NFS server: after this many
+  /// consecutive upstream failures (timeouts/disconnects) the proxy fails
+  /// fast — busy replies without touching the upstream — for
+  /// breaker_open_duration, then probes again.  0 disables the breaker.
+  int breaker_failure_threshold = 0;
+  sim::SimDur breaker_open_duration = 5 * sim::kSecond;
+  /// Retransmission policy for the proxy's upstream (loopback) calls;
+  /// needed for the breaker to observe timeouts rather than hang.  Default:
+  /// wait forever (loopback is reliable unless a FaultPlan says otherwise).
+  rpc::RetryPolicy upstream_retry;
 
   ServerProxyConfig() = default;
 };
@@ -98,6 +118,15 @@ struct ClientProxyConfig {
   /// Upstream call retransmission policy; enable alongside a lossy
   /// net::FaultPlan (defaults to disabled = wait forever).
   rpc::RetryPolicy retry;
+  /// Retry budget shared across the session's upstream clients (survives
+  /// reconnects): bounds retransmissions to a fraction of offered load.
+  /// ratio 0 = disabled.
+  double retry_budget_ratio = 0.0;
+  double retry_budget_burst = 10.0;
+  /// Reaction to NFS3ERR_JUKEBOX from an overloaded server proxy: delayed
+  /// retry under a fresh xid.  Disabled by default — the jukebox status is
+  /// forwarded to the kernel client unchanged.
+  rpc::JukeboxPolicy jukebox;
   /// Session re-establishment: on upstream session failure (broken stream,
   /// failed-closed secure channel, retransmission give-up) the proxy
   /// re-handshakes and resends the call, up to this many times per call

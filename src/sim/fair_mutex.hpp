@@ -1,0 +1,108 @@
+// Cooperative keyed-round-robin mutex for simulation actors.
+//
+// Like SimMutex, but waiters are grouped by a caller-supplied key (e.g. the
+// session identity behind a request) and ownership rotates across keys: one
+// turn per key per cycle, FIFO within a key.  A hot session queueing a
+// hundred calls cannot starve a quiet one queueing its first — the quiet
+// session waits at most one full rotation.
+//
+// Ownership is handed off directly to the woken waiter (no barging): a new
+// lock() arriving between unlock() and the waiter's resumption parks behind
+// it, which is what makes the rotation order authoritative.
+#pragma once
+
+#include <coroutine>
+#include <deque>
+#include <map>
+#include <string>
+#include <utility>
+
+#include "sim/engine.hpp"
+
+namespace sgfs::sim {
+
+class FairMutex {
+ public:
+  explicit FairMutex(Engine& eng) : eng_(eng) {}
+  FairMutex(const FairMutex&) = delete;
+  FairMutex& operator=(const FairMutex&) = delete;
+
+  bool locked() const { return locked_; }
+  size_t waiters() const {
+    size_t n = 0;
+    for (const auto& [key, q] : queues_) n += q.size();
+    return n;
+  }
+
+  /// Acquires the mutex; contended callers park under `key` and are woken
+  /// round-robin across keys, FIFO within one.
+  Task<void> lock(const std::string& key) {
+    if (!locked_) {
+      locked_ = true;
+      co_return;
+    }
+    co_await Waiter{*this, key};
+    // Handoff semantics: being resumed means unlock() transferred
+    // ownership to this waiter; locked_ never dropped in between.
+  }
+
+  void unlock() {
+    if (rr_.empty()) {
+      locked_ = false;
+      return;
+    }
+    // Next key in rotation gets one waiter; if it still has more, it goes
+    // to the back of the rotation.
+    const std::string key = std::move(rr_.front());
+    rr_.pop_front();
+    auto it = queues_.find(key);
+    std::coroutine_handle<> h = it->second.front();
+    it->second.pop_front();
+    if (it->second.empty()) {
+      queues_.erase(it);
+    } else {
+      rr_.push_back(key);
+    }
+    eng_.schedule_now(h);
+  }
+
+  /// RAII-style scope guard usable across co_await points.
+  class Guard {
+   public:
+    explicit Guard(FairMutex& m) : mutex_(&m) {}
+    Guard(Guard&& o) noexcept : mutex_(std::exchange(o.mutex_, nullptr)) {}
+    Guard(const Guard&) = delete;
+    ~Guard() {
+      if (mutex_) mutex_->unlock();
+    }
+
+   private:
+    FairMutex* mutex_;
+  };
+
+  /// co_await m.scoped(key) -> Guard (unlocks when the guard dies).
+  Task<Guard> scoped(const std::string& key) {
+    co_await lock(key);
+    co_return Guard(*this);
+  }
+
+ private:
+  struct Waiter {
+    FairMutex& m;
+    const std::string& key;
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<> h) {
+      auto& q = m.queues_[key];
+      if (q.empty()) m.rr_.push_back(key);
+      q.push_back(h);
+    }
+    void await_resume() const noexcept {}
+  };
+
+  Engine& eng_;
+  bool locked_ = false;
+  std::map<std::string, std::deque<std::coroutine_handle<>>> queues_;
+  std::deque<std::string> rr_;  // keys with waiters, rotation order
+};
+
+}  // namespace sgfs::sim

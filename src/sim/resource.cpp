@@ -4,6 +4,10 @@ namespace sgfs::sim {
 
 Task<void> Resource::use(SimDur dur, std::string tag) {
   if (dur < 0) dur = 0;
+  if (slow_factor_) {
+    const double f = slow_factor_(eng_.now());
+    if (f > 1.0) dur = static_cast<SimDur>(static_cast<double>(dur) * f);
+  }
   const SimTime start = std::max(eng_.now(), next_free_);
   next_free_ = start + dur;
   // Queue wait = how long this user sat behind earlier users.  Instrument

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <algorithm>
+#include <functional>
 #include <map>
 #include <string>
 #include <vector>
@@ -38,6 +39,15 @@ class Resource {
   /// Enables fixed-window utilization recording (window > 0).
   void enable_sampling(SimDur window) { window_ = window; }
 
+  /// Gray-failure hook: a degradation multiplier queried at the start of
+  /// each use().  A returned factor > 1.0 stretches the charged duration
+  /// ("slow disk" / "slow CPU" windows); 1.0 — the inert default — leaves
+  /// service times bit-identical to runs without the hook.  The callback
+  /// must be a pure function of time (no Rng, no events).
+  void set_slow_factor(std::function<double(SimTime)> fn) {
+    slow_factor_ = std::move(fn);
+  }
+
   /// Busy fraction per window for one tag, from t=0 through `until`.
   std::vector<double> utilization_series(const std::string& tag,
                                          SimTime until) const;
@@ -52,6 +62,7 @@ class Resource {
 
   Engine& eng_;
   std::string name_;
+  std::function<double(SimTime)> slow_factor_;
   obs::Histogram* wait_hist_ = nullptr;  // cached; registry refs are stable
   obs::Counter* uses_ = nullptr;
   SimTime next_free_ = 0;

@@ -20,6 +20,7 @@ const char* to_string(Status s) {
     case Status::kNameTooLong: return "ENAMETOOLONG";
     case Status::kNotEmpty: return "ENOTEMPTY";
     case Status::kStale: return "ESTALE";
+    case Status::kJukebox: return "EJUKEBOX";
   }
   return "E?";
 }

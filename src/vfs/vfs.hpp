@@ -39,6 +39,11 @@ enum class Status : uint32_t {
   kNameTooLong = 63,
   kNotEmpty = 66,
   kStale = 70,
+  // Protocol-only code (never produced by the VFS itself): RFC 1813
+  // NFS3ERR_JUKEBOX — "try again later".  Overloaded servers and proxies
+  // shedding load reply with it instead of queueing unboundedly; clients
+  // retry after a delay without counting it as a failure.
+  kJukebox = 10008,
 };
 
 const char* to_string(Status s);

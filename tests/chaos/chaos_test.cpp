@@ -379,18 +379,20 @@ struct ChaosSpec {
   bool blackouts = false;  // WAN loss + scheduled link blackouts
   bool flush_crash = false;  // crash triggered during the session flush
   bool proxy_cache = false;  // proxy disk cache + write-back
+  bool gray = false;  // gray failures: slow-link/slow-disk/slow-CPU windows
   bool verifier_replay = true;
 
   ChaosSpec() = default;
   ChaosSpec(std::string n, SetupKind k, uint64_t s, int c, bool b, bool fc,
-            bool pc)
+            bool pc, bool g = false)
       : name(std::move(n)),
         kind(k),
         seed(s),
         crashes(c),
         blackouts(b),
         flush_crash(fc),
-        proxy_cache(pc) {}
+        proxy_cache(pc),
+        gray(g) {}
 };
 
 std::ostream& operator<<(std::ostream& os, const ChaosSpec& s) {
@@ -498,7 +500,8 @@ sim::Task<void> crash_on_flush(Testbed& tb, uint64_t seed) {
 }
 
 TreeSnapshot run_chaos(const ChaosSpec& spec, bool faulted,
-                       uint64_t* crashes_fired = nullptr) {
+                       uint64_t* crashes_fired = nullptr,
+                       uint64_t* gray_hits = nullptr) {
   TestbedOptions opt;
   opt.kind = spec.kind;
   opt.seed = spec.seed;
@@ -508,6 +511,33 @@ TreeSnapshot run_chaos(const ChaosSpec& spec, bool faulted,
   opt.proxy_write_back = spec.proxy_cache;
   opt.verifier_replay = spec.verifier_replay;
   if (faulted && spec.blackouts) opt.loss_probability = 0.005;
+  if (faulted && spec.gray) {
+    // Gray failures are performance-only: the faulted run slows down (and
+    // may retransmit into the degraded windows) but must still converge to
+    // the oracle's tree.  Windows are deterministic in the seed.
+    Rng gray_rng(spec.seed ^ 0x62a4ull);
+    TestbedOptions::GrayWindow slow_link;
+    slow_link.start = (400 + gray_rng.next_below(1500)) * sim::kMillisecond;
+    slow_link.end = slow_link.start +
+                    (300 + gray_rng.next_below(500)) * sim::kMillisecond;
+    slow_link.delay = static_cast<sim::SimDur>(
+        (25 + gray_rng.next_below(50)) * sim::kMillisecond);
+    slow_link.jitter = static_cast<sim::SimDur>(
+        gray_rng.next_below(10) * sim::kMillisecond);
+    opt.link_slowdowns.push_back(slow_link);
+    TestbedOptions::GrayWindow slow_disk;
+    slow_disk.start = (300 + gray_rng.next_below(2000)) * sim::kMillisecond;
+    slow_disk.end = slow_disk.start +
+                    (500 + gray_rng.next_below(1000)) * sim::kMillisecond;
+    slow_disk.factor = 8.0 + static_cast<double>(gray_rng.next_below(12));
+    opt.server_slow_disk.push_back(slow_disk);
+    TestbedOptions::GrayWindow slow_cpu;
+    slow_cpu.start = (1000 + gray_rng.next_below(2000)) * sim::kMillisecond;
+    slow_cpu.end = slow_cpu.start +
+                   (400 + gray_rng.next_below(600)) * sim::kMillisecond;
+    slow_cpu.factor = 4.0 + static_cast<double>(gray_rng.next_below(6));
+    opt.server_slow_cpu.push_back(slow_cpu);
+  }
   Testbed tb(opt);
   if (faulted && spec.blackouts) {
     Rng rng(spec.seed ^ 0xb1ac0ull);
@@ -533,6 +563,11 @@ TreeSnapshot run_chaos(const ChaosSpec& spec, bool faulted,
   if (crashes_fired) {
     *crashes_fired = tb.engine().metrics().counter_value("net.host.crashes");
   }
+  if (gray_hits && tb.fault_plan()) {
+    *gray_hits = tb.fault_plan()->delayed() +
+                 tb.fault_plan()->slow_disk_ops() +
+                 tb.fault_plan()->slow_cpu_ops();
+  }
   return snapshot_tree(tb);
 }
 
@@ -541,9 +576,14 @@ class ChaosMatrix : public ::testing::TestWithParam<ChaosSpec> {};
 TEST_P(ChaosMatrix, FaultedRunMatchesFaultFreeOracle) {
   const ChaosSpec& spec = GetParam();
   uint64_t crashes_fired = 0;
-  TreeSnapshot faulted = run_chaos(spec, /*faulted=*/true, &crashes_fired);
+  uint64_t gray_hits = 0;
+  TreeSnapshot faulted =
+      run_chaos(spec, /*faulted=*/true, &crashes_fired, &gray_hits);
   if (spec.crashes > 0 || spec.flush_crash) {
     EXPECT_GE(crashes_fired, 1u) << "crash schedule missed the run";
+  }
+  if (spec.gray) {
+    EXPECT_GE(gray_hits, 1u) << "gray-failure windows missed the run";
   }
   TreeSnapshot oracle = run_chaos(spec, /*faulted=*/false);
   EXPECT_FALSE(oracle.empty());
@@ -554,10 +594,12 @@ std::vector<ChaosSpec> matrix_specs() {
   std::vector<ChaosSpec> specs;
   // Direct NFSv3: kernel-client recovery (reconnect + verifier replay).
   for (uint64_t seed = 1; seed <= 8; ++seed) {
+    // Every fourth seed mixes gray failures (slow link/disk/CPU windows)
+    // into the crash schedule.
     specs.emplace_back("v3_crash_seed" + std::to_string(seed),
                        SetupKind::kNfsV3, seed, /*crashes=*/2 + (seed % 2),
                        /*blackouts=*/seed % 3 == 0, /*flush_crash=*/false,
-                       /*proxy_cache=*/false);
+                       /*proxy_cache=*/false, /*gray=*/seed % 4 == 1);
   }
   // GFS proxies, write-through: the proxy chain re-establishes sessions and
   // the kernel client's verifier replay works end-to-end through it.
@@ -586,6 +628,30 @@ std::vector<ChaosSpec> matrix_specs() {
                        SetupKind::kSgfs, seed, /*crashes=*/0,
                        /*blackouts=*/false, /*flush_crash=*/true,
                        /*proxy_cache=*/true);
+  }
+  // Gray-failure-only schedules (no crashes): degraded-but-alive windows
+  // push RPCs past their timeouts, so recovery runs entirely on spurious
+  // retransmissions against a live server — the DRC, not the verifier, is
+  // what keeps these runs convergent.
+  for (uint64_t seed = 31; seed <= 33; ++seed) {
+    specs.emplace_back("v3_gray_seed" + std::to_string(seed),
+                       SetupKind::kNfsV3, seed, /*crashes=*/0,
+                       /*blackouts=*/false, /*flush_crash=*/false,
+                       /*proxy_cache=*/false, /*gray=*/true);
+  }
+  for (uint64_t seed = 34; seed <= 35; ++seed) {
+    specs.emplace_back("gfs_gray_seed" + std::to_string(seed),
+                       SetupKind::kGfs, seed, /*crashes=*/0,
+                       /*blackouts=*/false, /*flush_crash=*/false,
+                       /*proxy_cache=*/seed == 35, /*gray=*/true);
+  }
+  // Gray windows layered over crashes + the SSL channel: the slow periods
+  // overlap reconnect storms.
+  for (uint64_t seed = 36; seed <= 37; ++seed) {
+    specs.emplace_back("sgfs_gray_crash_seed" + std::to_string(seed),
+                       SetupKind::kSgfs, seed, /*crashes=*/1,
+                       /*blackouts=*/false, /*flush_crash=*/false,
+                       /*proxy_cache=*/false, /*gray=*/true);
   }
   return specs;
 }

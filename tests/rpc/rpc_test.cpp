@@ -474,6 +474,84 @@ TEST(Rpc, GiveUpPolicyRaisesRpcTimeout) {
     client->close();
   }(f, &timed_out));
   EXPECT_TRUE(timed_out);
+  // The give-up is visible as a counter, not only as the thrown error.
+  EXPECT_EQ(f.eng.metrics().counter("rpc.client.giveups").value(), 1u);
+  EXPECT_EQ(f.eng.metrics().counter("rpc.client.retransmits").value(), 2u);
+}
+
+TEST(Rpc, RetryPolicySanitizedClampsNonsense) {
+  RetryPolicy p;
+  p.initial_timeout = 10 * sim::kSecond;
+  p.backoff = 0.5;                     // would shrink forever
+  p.max_timeout = 2 * sim::kSecond;    // below the initial interval
+  p.max_retransmits = -3;
+  RetryPolicy s = p.sanitized();
+  EXPECT_EQ(s.backoff, 2.0);
+  EXPECT_EQ(s.max_timeout, s.initial_timeout);
+  EXPECT_EQ(s.max_retransmits, 0);
+  // A sane policy round-trips untouched.
+  RetryPolicy std_policy = RetryPolicy::standard().sanitized();
+  EXPECT_EQ(std_policy.initial_timeout, sim::kSecond);
+  EXPECT_EQ(std_policy.backoff, 2.0);
+  EXPECT_EQ(std_policy.max_retransmits, 8);
+}
+
+// Exact virtual-time schedule under the backoff cap: initial 10 s with a 4x
+// multiplier would go 10, 40, 160, ... — the 20 s cap pins every interval
+// from the second on, so 3 resends give up at exactly 10+20+20+20 = 70 s.
+TEST(Rpc, RetryBackoffCapRespectedExactly) {
+  Fixture f;
+  auto plan = std::make_shared<net::FaultPlan>(101);
+  plan->set_link_faults("client", "server", net::LinkFaults(1.0, 0.0));
+  f.net.set_fault_plan(plan);
+  sim::SimDur elapsed = 0;
+  f.eng.run_task([](Fixture& f, sim::SimDur* out) -> Task<void> {
+    net::Address addr("server", 2049);
+    auto client = co_await clnt_create(*f.client_host, addr, kProg, kVers);
+    RetryPolicy retry;
+    retry.initial_timeout = 10 * sim::kSecond;
+    retry.backoff = 4.0;
+    retry.max_timeout = 20 * sim::kSecond;
+    retry.max_retransmits = 3;
+    client->set_retry(retry);
+    const sim::SimTime t0 = f.eng.now();
+    try {
+      co_await client->call(1, to_bytes("void"));
+    } catch (const RpcTimeout&) {
+      *out = f.eng.now() - t0;
+    }
+    client->close();
+  }(f, &elapsed));
+  EXPECT_EQ(elapsed, 70 * sim::kSecond);
+}
+
+// set_retry sanitizes: a backoff multiplier below 1.0 becomes the default
+// 2.0 instead of silently retransmitting on a shrinking interval forever.
+// 1 s initial, 2 resends: give-up at exactly 1+2+4 = 7 s (a fixed-interval
+// bug would give up at 3 s, an unclamped 0.5x one at 1.75 s).
+TEST(Rpc, RetryBackoffBelowOneClampedByInstall) {
+  Fixture f;
+  auto plan = std::make_shared<net::FaultPlan>(102);
+  plan->set_link_faults("client", "server", net::LinkFaults(1.0, 0.0));
+  f.net.set_fault_plan(plan);
+  sim::SimDur elapsed = 0;
+  f.eng.run_task([](Fixture& f, sim::SimDur* out) -> Task<void> {
+    net::Address addr("server", 2049);
+    auto client = co_await clnt_create(*f.client_host, addr, kProg, kVers);
+    RetryPolicy retry;
+    retry.initial_timeout = sim::kSecond;
+    retry.backoff = 0.5;
+    retry.max_retransmits = 2;
+    client->set_retry(retry);
+    const sim::SimTime t0 = f.eng.now();
+    try {
+      co_await client->call(1, to_bytes("void"));
+    } catch (const RpcTimeout&) {
+      *out = f.eng.now() - t0;
+    }
+    client->close();
+  }(f, &elapsed));
+  EXPECT_EQ(elapsed, 7 * sim::kSecond);
 }
 
 // Counts executions; replies carry the execution ordinal, so a replayed
@@ -524,6 +602,251 @@ TEST(Rpc, DuplicateRequestCacheReplaysReply) {
   EXPECT_EQ(first, second);
   EXPECT_EQ(program->count(), 1u);
   EXPECT_EQ(server.drc_hits(), 1u);
+}
+
+// The DRC evicts in publish order (FIFO by completion, untouched by hits):
+// under eviction pressure the oldest replies fall out first, and a
+// retransmission arriving after its entry was evicted re-executes — the
+// documented at-most-once window.
+TEST(Rpc, DrcEvictionOrderAndAtMostOnceWindow) {
+  Engine eng;
+  net::Network net(eng);
+  net::Host& ch = net.add_host("client");
+  net::Host& sh = net.add_host("server");
+  auto program = std::make_shared<CountingProgram>();
+  RpcServer server(sh, 2049);
+  server.register_program(kProg, kVers, program);
+  server.set_drc_capacity(2);
+  server.start();
+  eng.run_task([](net::Network& net, net::Host& chost) -> Task<void> {
+    net::StreamPtr s =
+        co_await net.connect(chost, net::Address("server", 2049));
+    StreamTransport t(std::move(s));
+    auto wire = [](uint32_t xid) {
+      CallMsg c;
+      c.xid = xid;
+      c.prog = kProg;
+      c.vers = kVers;
+      c.proc = 1;
+      return c.serialize();
+    };
+    for (uint32_t xid : {1u, 2u, 3u}) {  // publish order: 1, 2, 3
+      co_await t.send(wire(xid));
+      co_await t.recv();
+    }
+    // Capacity 2: publishing 3 evicted 1.  The survivors replay...
+    co_await t.send(wire(3));
+    co_await t.recv();
+    co_await t.send(wire(2));
+    co_await t.recv();
+    // ...the evicted one re-executes (publishing it evicts 2, the oldest
+    // survivor — hits do not refresh eviction order).
+    co_await t.send(wire(1));
+    co_await t.recv();
+    co_await t.send(wire(2));
+    co_await t.recv();
+    t.close();
+  }(net, ch));
+  EXPECT_EQ(program->count(), 5u);   // 1,2,3 + re-executed 1 + re-executed 2
+  EXPECT_EQ(server.drc_hits(), 2u);  // resent 3 and first resend of 2
+}
+
+// Handler that parks for a fixed simulated time (a slow disk behind the
+// server), so admission-control slots stay occupied long enough to observe
+// queueing and shedding deterministically.
+class SlowCountingProgram : public RpcProgram {
+ public:
+  explicit SlowCountingProgram(sim::SimDur delay) : delay_(delay) {}
+  sim::Task<BufChain> handle(const CallContext&, BufChain) override {
+    co_await eng_->sleep(delay_);
+    xdr::Encoder enc;
+    enc.put_u32(++count_);
+    co_return enc.take();
+  }
+  bool cache_reply(const CallContext&) const override { return true; }
+  uint32_t count() const { return count_; }
+  void bind(sim::Engine& eng) { eng_ = &eng; }
+
+ private:
+  sim::SimDur delay_;
+  sim::Engine* eng_ = nullptr;
+  uint32_t count_ = 0;
+};
+
+// Admission control: one slot, one queue entry.  Three simultaneous calls =
+// one active, one queued, one shed (dropped).  The queued call runs after
+// the active one releases its slot; a later retransmission of the shed call
+// executes normally and is then deduplicated by the DRC — and once eviction
+// pressure pushes its reply out, a further retransmission re-executes.
+TEST(Rpc, AdmissionShedsQueuedCallsRunAndShedRetransmitDedupes) {
+  Engine eng;
+  net::Network net(eng);
+  net::Host& ch = net.add_host("client");
+  net::Host& sh = net.add_host("server");
+  auto program = std::make_shared<SlowCountingProgram>(sim::kSecond);
+  program->bind(eng);
+  RpcServer server(sh, 2049);
+  server.register_program(kProg, kVers, program);
+  server.set_admission(AdmissionControl(1, 1, /*busy=*/false));
+  server.set_drc_capacity(2);
+  server.start();
+  int replies_in_burst = 0;
+  eng.run_task([](net::Network& net, net::Host& chost,
+                  int* burst_replies) -> Task<void> {
+    net::StreamPtr s =
+        co_await net.connect(chost, net::Address("server", 2049));
+    StreamTransport t(std::move(s));
+    auto wire = [](uint32_t xid) {
+      CallMsg c;
+      c.xid = xid;
+      c.prog = kProg;
+      c.vers = kVers;
+      c.proc = 1;
+      return c.serialize();
+    };
+    // Burst of three: xid 1 takes the slot, 2 queues, 3 is shed silently.
+    co_await t.send(wire(1));
+    co_await t.send(wire(2));
+    co_await t.send(wire(3));
+    co_await t.recv();  // xid 1 after ~1 s
+    co_await t.recv();  // xid 2 after ~2 s (ran only once 1 released)
+    ++*burst_replies;
+    ++*burst_replies;
+    // Retransmission of the shed call finds a free server: it executes
+    // (there was never an in-progress marker to confuse it with).
+    co_await t.send(wire(3));
+    co_await t.recv();
+    // ...and a duplicate of that retransmission replays from the DRC.
+    co_await t.send(wire(3));
+    co_await t.recv();
+    // Eviction pressure (capacity 2): two fresh publishes push xid 3 out;
+    // the next retransmission of 3 re-executes (at-most-once window).
+    co_await t.send(wire(4));
+    co_await t.recv();
+    co_await t.send(wire(5));
+    co_await t.recv();
+    co_await t.send(wire(3));
+    co_await t.recv();
+    t.close();
+  }(net, ch, &replies_in_burst));
+  EXPECT_EQ(replies_in_burst, 2);
+  EXPECT_EQ(server.calls_shed(), 1u);
+  EXPECT_EQ(program->count(), 6u);  // 1, 2, 3, 4, 5, re-executed 3
+  EXPECT_EQ(server.drc_hits(), 1u);
+  EXPECT_EQ(eng.metrics().counter("rpc.server.shed").value(), 1u);
+  // Every non-shed call is admitted, including the DRC-hit duplicate.
+  EXPECT_EQ(eng.metrics().counter("rpc.server.admitted").value(), 7u);
+}
+
+// With busy replies enabled, a shed call is answered immediately with the
+// program's busy body instead of being dropped.
+class BusyTagProgram : public CountingProgram {
+ public:
+  std::optional<BufChain> busy_reply(const CallContext&) const override {
+    return BufChain(to_bytes("busy"));
+  }
+};
+
+TEST(Rpc, AdmissionBusyReplyAnswersShedCalls) {
+  Engine eng;
+  net::Network net(eng);
+  net::Host& ch = net.add_host("client");
+  net::Host& sh = net.add_host("server");
+  auto slow = std::make_shared<SlowCountingProgram>(sim::kSecond);
+  slow->bind(eng);
+  RpcServer server(sh, 2049);
+  server.register_program(kProg, kVers, slow);
+  server.set_admission(AdmissionControl(1, 0, /*busy=*/true));
+  server.start();
+  // A second program whose busy_reply is defined lives at vers+1.
+  auto busy_prog = std::make_shared<BusyTagProgram>();
+  server.register_program(kProg, kVers + 1, busy_prog);
+  BufChain shed_reply;
+  eng.run_task([](net::Network& net, net::Host& chost,
+                  BufChain* out) -> Task<void> {
+    net::StreamPtr s =
+        co_await net.connect(chost, net::Address("server", 2049));
+    StreamTransport t(std::move(s));
+    CallMsg slow_call;
+    slow_call.xid = 10;
+    slow_call.prog = kProg;
+    slow_call.vers = kVers;
+    slow_call.proc = 1;
+    co_await t.send(slow_call.serialize());  // occupies the only slot
+    CallMsg busy_call;
+    busy_call.xid = 11;
+    busy_call.prog = kProg;
+    busy_call.vers = kVers + 1;
+    busy_call.proc = 1;
+    co_await t.send(busy_call.serialize());  // shed -> busy reply
+    *out = co_await t.recv();                // busy reply beats the slow one
+    co_await t.recv();                       // slow call's real reply
+    t.close();
+  }(net, ch, &shed_reply));
+  EXPECT_EQ(shed_reply,
+            ReplyMsg::success(11, BufChain(to_bytes("busy"))).serialize());
+  EXPECT_EQ(server.calls_shed(), 1u);
+  EXPECT_EQ(server.busy_replies_sent(), 1u);
+  EXPECT_EQ(busy_prog->count(), 0u);  // shed: the handler never ran
+}
+
+// The retry budget bounds retransmissions: with ratio 0 and an empty burst
+// allowance... (budget unit semantics live in RetryBudgetAccounting below);
+// end-to-end, a black-holed call under a zero-token budget sends its
+// original message, suppresses every retransmission, and still gives up at
+// the same virtual time as an unsuppressed client would.
+TEST(Rpc, RetryBudgetSuppressesRetransmitsButGiveUpTimeUnchanged) {
+  Fixture f;
+  auto plan = std::make_shared<net::FaultPlan>(103);
+  plan->set_link_faults("client", "server", net::LinkFaults(1.0, 0.0));
+  f.net.set_fault_plan(plan);
+  sim::SimDur elapsed = 0;
+  f.eng.run_task([](Fixture& f, sim::SimDur* out) -> Task<void> {
+    net::Address addr("server", 2049);
+    auto client = co_await clnt_create(*f.client_host, addr, kProg, kVers);
+    RetryPolicy retry;
+    retry.initial_timeout = sim::kSecond;
+    retry.max_retransmits = 2;
+    client->set_retry(retry);
+    auto budget = std::make_shared<RetryBudget>(0.05, /*burst=*/1.0);
+    (void)budget->try_withdraw();  // drain the single burst token
+    client->set_retry_budget(budget);
+    const sim::SimTime t0 = f.eng.now();
+    try {
+      co_await client->call(1, to_bytes("void"));
+    } catch (const RpcTimeout&) {
+      *out = f.eng.now() - t0;
+    }
+    client->close();
+  }(f, &elapsed));
+  EXPECT_EQ(elapsed, 7 * sim::kSecond);  // 1+2+4, same as without a budget
+  EXPECT_EQ(f.eng.metrics().counter("rpc.client.retransmits").value(), 0u);
+  EXPECT_EQ(
+      f.eng.metrics().counter("rpc.client.suppressed_retransmits").value(),
+      2u);
+  EXPECT_EQ(f.eng.metrics().counter("rpc.client.giveups").value(), 1u);
+}
+
+TEST(Rpc, RetryBudgetAccounting) {
+  RetryBudget budget(0.5, /*burst=*/2.0);
+  EXPECT_TRUE(budget.enabled());
+  // Starts full: two retransmissions spend the burst.
+  EXPECT_TRUE(budget.try_withdraw());
+  EXPECT_TRUE(budget.try_withdraw());
+  EXPECT_FALSE(budget.try_withdraw());
+  EXPECT_EQ(budget.suppressed(), 1u);
+  // Each original call deposits `ratio`; two deposits buy one retransmit.
+  budget.deposit();
+  EXPECT_FALSE(budget.try_withdraw());
+  budget.deposit();
+  EXPECT_TRUE(budget.try_withdraw());
+  // Deposits cap at the burst.
+  for (int i = 0; i < 100; ++i) budget.deposit();
+  EXPECT_EQ(budget.tokens(), 2.0);
+  // Disabled budget never withholds.
+  RetryBudget off(0.0);
+  EXPECT_FALSE(off.enabled());
+  EXPECT_TRUE(off.try_withdraw());
 }
 
 // --- record-marking fragment boundaries (RFC 5531 §11) -----------------------
