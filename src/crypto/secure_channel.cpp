@@ -115,7 +115,15 @@ SecureChannel::SecureChannel(net::StreamPtr stream,
       config_(config),
       rng_(rng),
       is_client_(is_client),
-      now_epoch_(now_epoch) {}
+      now_epoch_(now_epoch) {
+  auto& m = stream_->local_host().engine().metrics();
+  m_record_cost_ns_ = {m, "crypto.record_cost_ns"};
+  m_bytes_processed_ = {m, "crypto.bytes_processed"};
+  m_records_sent_ = {m, "crypto.records_sent"};
+  m_bytes_sent_ = {m, "crypto.bytes_sent"};
+  m_records_recv_ = {m, "crypto.records_recv"};
+  m_bytes_recv_ = {m, "crypto.bytes_recv"};
+}
 
 sim::Task<std::unique_ptr<SecureChannel>> SecureChannel::connect(
     net::StreamPtr stream, const SecurityConfig& config, Rng& rng,
@@ -149,9 +157,8 @@ sim::Task<std::unique_ptr<SecureChannel>> SecureChannel::accept(
 
 sim::Task<void> SecureChannel::charge_crypto(size_t bytes) {
   const sim::SimDur cost = config_.cost.record_cost(cipher_, mac_, bytes);
-  auto& metrics = stream_->local_host().engine().metrics();
-  metrics.histogram("crypto.record_cost_ns").observe(cost);
-  metrics.counter("crypto.bytes_processed").inc(bytes);
+  m_record_cost_ns_.observe(cost);
+  m_bytes_processed_.inc(bytes);
   co_await stream_->local_host().cpu().use(cost, "crypto");
 }
 
@@ -264,11 +271,8 @@ sim::Task<void> SecureChannel::send_record(RecordType type,
     flat[flat.size() / 2] ^= 0x20;
     wire = BufChain(std::move(flat));
   }
-  {
-    auto& metrics = stream_->local_host().engine().metrics();
-    metrics.counter("crypto.records_sent").inc();
-    metrics.counter("crypto.bytes_sent").inc(wire.size());
-  }
+  m_records_sent_.inc();
+  m_bytes_sent_.inc(wire.size());
   xdr::Encoder enc;
   enc.put_u32(static_cast<uint32_t>(wire.size()));
   BufChain out = enc.take();
@@ -288,11 +292,8 @@ sim::Task<SecureChannel::Record> SecureChannel::recv_record() {
   }
   Buffer wire = co_await stream_->read_exact(len);
   co_await charge_crypto(wire.size());
-  {
-    auto& metrics = stream_->local_host().engine().metrics();
-    metrics.counter("crypto.records_recv").inc();
-    metrics.counter("crypto.bytes_recv").inc(wire.size());
-  }
+  m_records_recv_.inc();
+  m_bytes_recv_.inc(wire.size());
   BufChain framed;
   try {
     // The sequence number is consumed only once the record authenticates;

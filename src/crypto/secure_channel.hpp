@@ -34,6 +34,7 @@
 #include "crypto/hmac.hpp"
 #include "crypto/rc4.hpp"
 #include "net/network.hpp"
+#include "obs/metrics.hpp"
 #include "sim/task.hpp"
 
 namespace sgfs::crypto {
@@ -216,6 +217,12 @@ class SecureChannel {
   Certificate peer_cert_;
   DistinguishedName peer_identity_;
   Buffer transcript_;  // running handshake transcript
+
+  // Per-record metric handles (lazy; see obs::CounterHandle).  The channel
+  // owns stream_, so the registry reference outlives every record.
+  obs::HistogramHandle m_record_cost_ns_;
+  obs::CounterHandle m_bytes_processed_, m_records_sent_, m_bytes_sent_;
+  obs::CounterHandle m_records_recv_, m_bytes_recv_;
 };
 
 }  // namespace sgfs::crypto

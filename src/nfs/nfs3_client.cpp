@@ -30,7 +30,26 @@ void throw_if_error(Status status) {
 }  // namespace
 
 MountPoint::MountPoint(net::Host& host, Nfs3ClientConfig config)
-    : host_(host), config_(config) {}
+    : host_(host), config_(config) {
+  auto& m = host_.engine().metrics();
+  m_rpc_calls_ = {m, "nfs.client.rpc.calls"};
+  m_ac_hits_ = {m, "nfs.client.attr_cache.hits"};
+  m_ac_misses_ = {m, "nfs.client.attr_cache.misses"};
+  m_pc_hits_ = {m, "nfs.client.page_cache.hits"};
+  m_pc_misses_ = {m, "nfs.client.page_cache.misses"};
+  m_readahead_ = {m, "nfs.client.readahead"};
+  m_cto_revalidations_ = {m, "nfs.client.cto.revalidations"};
+  m_cto_flushes_ = {m, "nfs.client.cto.flushes"};
+}
+
+obs::Counter& MountPoint::proc_counter(Proc3 proc) {
+  obs::Counter*& slot = m_rpc_proc_[static_cast<size_t>(proc)];
+  if (!slot) {
+    slot = &host_.engine().metrics().counter(
+        std::string("nfs.client.rpc.") + proc3_name(proc));
+  }
+  return *slot;
+}
 
 MountPoint::~MountPoint() {
   *alive_ = false;
@@ -58,9 +77,8 @@ sim::Task<std::shared_ptr<MountPoint>> MountPoint::mount_with(
 sim::Task<void> MountPoint::charge(Proc3 proc) {
   ++rpc_calls_;
   ++rpc_by_proc_[proc];
-  auto& metrics = host_.engine().metrics();
-  metrics.counter("nfs.client.rpc.calls").inc();
-  metrics.counter(std::string("nfs.client.rpc.") + proc3_name(proc)).inc();
+  m_rpc_calls_.inc();
+  proc_counter(proc).inc();
   co_await host_.cpu().use(config_.per_call_cpu, "knfsc");
 }
 
@@ -97,10 +115,10 @@ std::optional<vfs::Attributes> MountPoint::cached_attrs(const Fh& fh) {
 sim::Task<vfs::Attributes> MountPoint::getattr(const Fh& fh, bool force) {
   if (!force) {
     if (auto a = cached_attrs(fh)) {
-      host_.engine().metrics().counter("nfs.client.attr_cache.hits").inc();
+      m_ac_hits_.inc();
       co_return *a;
     }
-    host_.engine().metrics().counter("nfs.client.attr_cache.misses").inc();
+    m_ac_misses_.inc();
   }
   // Remember the previous view for change detection.
   std::optional<vfs::Attributes> before;
@@ -438,10 +456,9 @@ void MountPoint::start_readahead(const Fh& fh, uint64_t from_block) {
     inflight_[key] = ev;
     ++rpc_calls_;
     ++rpc_by_proc_[Proc3::kRead];
-    auto& metrics = host_.engine().metrics();
-    metrics.counter("nfs.client.rpc.calls").inc();
-    metrics.counter("nfs.client.rpc.READ").inc();
-    metrics.counter("nfs.client.readahead").inc();
+    m_rpc_calls_.inc();
+    proc_counter(Proc3::kRead).inc();
+    m_readahead_.inc();
     // Detached prefetch: after each suspension it re-checks `alive`, so a
     // destroyed MountPoint only costs a dropped prefetch.
     auto task = [](MountPoint* mp, std::shared_ptr<bool> alive,
@@ -485,7 +502,7 @@ sim::Task<MountPoint::CachedBlock*> MountPoint::get_block_for_read(
     auto it = blocks_.find(key);
     if (it != blocks_.end()) {
       ++cache_hits_;
-      host_.engine().metrics().counter("nfs.client.page_cache.hits").inc();
+      m_pc_hits_.inc();
       lru_.erase(it->second.lru);
       it->second.lru = ++lru_clock_;
       lru_[it->second.lru] = key;
@@ -501,7 +518,7 @@ sim::Task<MountPoint::CachedBlock*> MountPoint::get_block_for_read(
     break;
   }
   ++cache_misses_;
-  host_.engine().metrics().counter("nfs.client.page_cache.misses").inc();
+  m_pc_misses_.inc();
   co_await fetch_block(fh, block);
   if (readahead) start_readahead(fh, block);
   auto it = blocks_.find(key);
@@ -576,7 +593,7 @@ sim::Task<int> MountPoint::open(const std::string& path, uint32_t flags,
     attrs = attr_cache_[fh.fileid].attrs;
     was_fresh = true;
   } else {
-    host_.engine().metrics().counter("nfs.client.cto.revalidations").inc();
+    m_cto_revalidations_.inc();
     attrs = co_await getattr(fh, /*force=*/true);
   }
   if (attrs.type == vfs::FileType::kDirectory) throw FsError(Status::kIsDir);
@@ -619,7 +636,7 @@ sim::Task<void> MountPoint::close(int fd) {
   Fh fh = it->second.fh;
   open_files_.erase(it);
   if (dirty_.count(fh.fileid)) {
-    host_.engine().metrics().counter("nfs.client.cto.flushes").inc();
+    m_cto_flushes_.inc();
   }
   co_await flush_file(fh, /*commit=*/true);
 }

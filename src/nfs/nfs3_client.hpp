@@ -18,12 +18,14 @@
 // MountPoint (open/read/write/stat/...), never to RPC.
 #pragma once
 
+#include <array>
 #include <map>
 #include <memory>
 #include <set>
 
 #include "nfs/nfs3.hpp"
 #include "nfs/wire_ops.hpp"
+#include "obs/metrics.hpp"
 #include "sim/engine.hpp"
 
 namespace sgfs::nfs {
@@ -219,6 +221,17 @@ class MountPoint {
 
   uint64_t rpc_calls_ = 0;
   std::map<Proc3, uint64_t> rpc_by_proc_;
+
+  // Hot-path metric handles (lazy first-use resolution; see
+  // obs::CounterHandle).  The per-procedure counters used to be a string
+  // concatenation + map lookup per RPC; the array caches the stable
+  // Counter* per Proc3 once resolve happens.
+  obs::Counter& proc_counter(Proc3 proc);
+  obs::CounterHandle m_rpc_calls_;
+  std::array<obs::Counter*, 22> m_rpc_proc_{};
+  obs::CounterHandle m_ac_hits_, m_ac_misses_;
+  obs::CounterHandle m_pc_hits_, m_pc_misses_, m_readahead_;
+  obs::CounterHandle m_cto_revalidations_, m_cto_flushes_;
   uint64_t cache_hits_ = 0;
   uint64_t cache_misses_ = 0;
 

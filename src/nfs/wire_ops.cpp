@@ -32,7 +32,7 @@ sim::Task<BufChain> V3WireOps::call(Proc3 proc, BufChain args) {
     // The server shed this call without executing it; wait out the overload
     // and re-issue under a FRESH xid (call_once reserves one per attempt) —
     // resending the old xid could replay a DRC-cached jukebox result.
-    host_.engine().metrics().counter("nfs.client.jukebox_retries").inc();
+    m_jukebox_retries_.inc();
     co_await host_.engine().sleep(jukebox.delay(busy));
   }
 }
@@ -70,7 +70,7 @@ sim::Task<BufChain> V3WireOps::call_once(Proc3 proc, BufChain args) {
       client_->close();
       client_ = std::move(fresh);
       ++conn_gen_;
-      host_.engine().metrics().counter("nfs.client.reconnects").inc();
+      m_reconnects_.inc();
     } catch (const std::exception&) {
       // Still down; the next iteration backs off longer and tries again.
     }

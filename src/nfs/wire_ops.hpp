@@ -10,6 +10,7 @@
 #include <memory>
 
 #include "nfs/nfs3.hpp"
+#include "obs/metrics.hpp"
 #include "rpc/rpc_client.hpp"
 
 namespace sgfs::nfs {
@@ -98,7 +99,12 @@ class V3WireOps final : public WireOps {
   static constexpr sim::SimDur kReconnectBackoff = 100 * sim::kMillisecond;
 
   V3WireOps(net::Host& host, const net::Address& server, rpc::AuthSys auth)
-      : host_(host), server_(server), auth_(auth) {}
+      : host_(host),
+        server_(server),
+        auth_(auth),
+        m_jukebox_retries_(host.engine().metrics(),
+                           "nfs.client.jukebox_retries"),
+        m_reconnects_(host.engine().metrics(), "nfs.client.reconnects") {}
 
   sim::Task<BufChain> call(Proc3 proc, BufChain args);
   /// One xid's worth of call: retransmissions and reconnect-resends reuse
@@ -108,6 +114,7 @@ class V3WireOps final : public WireOps {
   net::Host& host_;
   net::Address server_;
   rpc::AuthSys auth_;
+  obs::CounterHandle m_jukebox_retries_, m_reconnects_;
   rpc::RetryPolicy retry_;
   rpc::JukeboxPolicy jukebox_;
   std::shared_ptr<rpc::RetryBudget> budget_;

@@ -137,6 +137,69 @@ class MetricsRegistry {
   std::map<std::string, Histogram> histograms_;
 };
 
+/// Lazily-bound handle to a named Counter.  Construction is cheap and does
+/// NOT register the name; the first inc() resolves against the registry — at
+/// the same moment a direct `reg.counter(name).inc()` would have created the
+/// instrument — and caches the stable pointer, so steady-state cost is one
+/// branch plus a pointer deref instead of a string construction + map lookup
+/// per event.  Deferring registration keeps snapshots and format_summary()
+/// byte-identical with the uncached code: names still appear only once the
+/// first event lands.  The registry must outlive any use of the handle.
+class CounterHandle {
+ public:
+  CounterHandle() = default;
+  CounterHandle(MetricsRegistry& reg, std::string name)
+      : reg_(&reg), name_(std::move(name)) {}
+
+  void inc(uint64_t n = 1) {
+    if (!c_) c_ = &reg_->counter(name_);
+    c_->inc(n);
+  }
+
+ private:
+  MetricsRegistry* reg_ = nullptr;
+  std::string name_;
+  Counter* c_ = nullptr;
+};
+
+/// Lazily-bound handle to a named Gauge (see CounterHandle).
+class GaugeHandle {
+ public:
+  GaugeHandle() = default;
+  GaugeHandle(MetricsRegistry& reg, std::string name)
+      : reg_(&reg), name_(std::move(name)) {}
+
+  void set(int64_t v) { resolve().set(v); }
+  void add(int64_t delta) { resolve().add(delta); }
+
+ private:
+  Gauge& resolve() {
+    if (!g_) g_ = &reg_->gauge(name_);
+    return *g_;
+  }
+  MetricsRegistry* reg_ = nullptr;
+  std::string name_;
+  Gauge* g_ = nullptr;
+};
+
+/// Lazily-bound handle to a named Histogram (see CounterHandle).
+class HistogramHandle {
+ public:
+  HistogramHandle() = default;
+  HistogramHandle(MetricsRegistry& reg, std::string name)
+      : reg_(&reg), name_(std::move(name)) {}
+
+  void observe(int64_t v) {
+    if (!h_) h_ = &reg_->histogram(name_);
+    h_->observe(v);
+  }
+
+ private:
+  MetricsRegistry* reg_ = nullptr;
+  std::string name_;
+  Histogram* h_ = nullptr;
+};
+
 /// Multi-line human-readable dump: non-zero metrics grouped by the first two
 /// dotted name components, histograms as count/mean/p50/p99/max, and derived
 /// hit ratios for `<base>.hits` / `<base>.misses` counter pairs.  Each line

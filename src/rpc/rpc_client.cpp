@@ -67,6 +67,14 @@ RpcClient::RpcClient(sim::Engine& eng,
       prog_(prog),
       vers_(vers) {
   state_->next_xid = client_xid_base();
+  auto& m = eng_.metrics();
+  state_->m_calls = {m, "rpc.client.calls"};
+  state_->m_bytes_sent = {m, "rpc.client.bytes_sent"};
+  state_->m_timeouts = {m, "rpc.client.timeouts"};
+  state_->m_giveups = {m, "rpc.client.giveups"};
+  state_->m_retransmits = {m, "rpc.client.retransmits"};
+  state_->m_suppressed_retransmits = {m, "rpc.client.suppressed_retransmits"};
+  state_->m_call_ns = {m, "rpc.client.call_ns"};
   eng_.spawn(reader_loop(transport_, state_));
 }
 
@@ -159,8 +167,7 @@ sim::Task<BufChain> RpcClient::call_with_xid(uint32_t xid, uint32_t proc,
   ++state->calls_sent;
   if (state->budget) state->budget->deposit();
 
-  auto& metrics = eng.metrics();
-  metrics.counter("rpc.client.calls").inc();
+  state->m_calls.inc();
   const sim::SimTime t0 = eng.now();
   SpanRecorder span_rec(eng);
   span_rec.span.side = "client";
@@ -188,7 +195,7 @@ sim::Task<BufChain> RpcClient::call_with_xid(uint32_t xid, uint32_t proc,
     }
     if (send_this_attempt) {
       co_await transport->send(wire);
-      metrics.counter("rpc.client.bytes_sent").inc(wire.size());
+      state->m_bytes_sent.inc(wire.size());
     }
     co_await pending->done.wait();
     if (pending->reply) break;
@@ -202,8 +209,8 @@ sim::Task<BufChain> RpcClient::call_with_xid(uint32_t xid, uint32_t proc,
     // Timed out: retransmit with the same xid, or give up.
     if (attempt >= retry.max_retransmits) {
       ++state->timeouts;
-      metrics.counter("rpc.client.timeouts").inc();
-      metrics.counter("rpc.client.giveups").inc();
+      state->m_timeouts.inc();
+      state->m_giveups.inc();
       span_rec.span.status = "timeout";
       throw RpcTimeout(attempt);
     }
@@ -214,10 +221,10 @@ sim::Task<BufChain> RpcClient::call_with_xid(uint32_t xid, uint32_t proc,
     send_this_attempt = !state->budget || state->budget->try_withdraw();
     if (send_this_attempt) {
       ++state->retransmits;
-      metrics.counter("rpc.client.retransmits").inc();
+      state->m_retransmits.inc();
       ++span_rec.span.retransmits;
     } else {
-      metrics.counter("rpc.client.suppressed_retransmits").inc();
+      state->m_suppressed_retransmits.inc();
     }
     ++pending->wait_gen;
     pending->done.reset();
@@ -230,7 +237,7 @@ sim::Task<BufChain> RpcClient::call_with_xid(uint32_t xid, uint32_t proc,
   ReplyMsg& reply = *pending->reply;
   span_rec.span.bytes_in = reply.results.size();
   span_rec.span.status = "ok";
-  metrics.histogram("rpc.client.call_ns").observe(eng.now() - t0);
+  state->m_call_ns.observe(eng.now() - t0);
   if (reply.stat == ReplyStat::kDenied) {
     span_rec.span.status = "denied";
     throw RpcAuthError(reply.auth_stat);

@@ -99,6 +99,14 @@ class RpcClient {
     std::shared_ptr<RetryBudget> budget;
     std::map<uint32_t, std::shared_ptr<Pending>> pending;
 
+    // Hot-path metric handles: resolved lazily on first event so snapshots
+    // stay identical to the per-call registry-lookup code they replace.
+    // Living in State (not the client object) keeps them valid for call
+    // coroutines that outlive the client.
+    obs::CounterHandle m_calls, m_bytes_sent, m_timeouts, m_giveups;
+    obs::CounterHandle m_retransmits, m_suppressed_retransmits;
+    obs::HistogramHandle m_call_ns;
+
     void fail_all() {
       for (auto& [xid, p] : pending) p->done.set();
       pending.clear();

@@ -17,6 +17,18 @@ RpcServer::RpcServer(net::Host& host, uint16_t port)
     state->drc_lru.clear();
     ++state->epoch;
   });
+  auto& m = host.engine().metrics();
+  state_->m_connections = {m, "rpc.server.connections"};
+  state_->m_malformed = {m, "rpc.server.malformed"};
+  state_->m_calls = {m, "rpc.server.calls"};
+  state_->m_shed = {m, "rpc.server.shed"};
+  state_->m_jukebox_replies = {m, "rpc.server.jukebox_replies"};
+  state_->m_admitted = {m, "rpc.server.admitted"};
+  state_->m_drc_inflight_drops = {m, "rpc.server.drc.inflight_drops"};
+  state_->m_drc_hits = {m, "rpc.server.drc.hits"};
+  state_->m_queue_depth = {m, "rpc.server.queue_depth"};
+  state_->m_queue_wait_ns = {m, "rpc.server.queue_wait_ns"};
+  state_->m_handle_ns = {m, "rpc.server.handle_ns"};
 }
 
 RpcServer::RpcServer(net::Host& host, uint16_t port,
@@ -56,7 +68,7 @@ sim::Task<void> RpcServer::accept_loop(
     if (!stream || state->stopped) co_return;
     ++state->accepted;
     sim::Engine& eng = stream->local_host().engine();
-    eng.metrics().counter("rpc.server.connections").inc();
+    state->m_connections.inc();
     if (state->security) {
       // Complete the SSL handshake before serving; reject on failure.
       eng.spawn([](net::StreamPtr s, std::shared_ptr<State> st)
@@ -105,17 +117,16 @@ sim::Task<void> RpcServer::serve_one(sim::Engine& eng,
                                      std::shared_ptr<MsgTransport> transport,
                                      std::shared_ptr<State> state,
                                      BufChain msg) {
-  auto& metrics = eng.metrics();
   const sim::SimTime t0 = eng.now();
   CallMsg call;
   try {
     call = CallMsg::deserialize(msg);
   } catch (const std::exception& e) {
     SGFS_WARN("rpc", "malformed call dropped: ", e.what());
-    metrics.counter("rpc.server.malformed").inc();
+    state->m_malformed.inc();
     co_return;
   }
-  metrics.counter("rpc.server.calls").inc();
+  state->m_calls.inc();
   const uint64_t epoch0 = state->epoch;
 
   obs::RpcSpan span;
@@ -158,7 +169,7 @@ sim::Task<void> RpcServer::serve_one(sim::Engine& eng,
     if (state->active_calls >= state->admission.max_concurrency &&
         state->admit_waiters.size() >= state->admission.max_queue) {
       ++state->shed;
-      metrics.counter("rpc.server.shed").inc();
+      state->m_shed.inc();
       BufChain busy;
       if (state->admission.busy_replies) {
         auto prog = state->programs.find({call.prog, call.vers});
@@ -183,7 +194,7 @@ sim::Task<void> RpcServer::serve_one(sim::Engine& eng,
       }
       if (!busy.empty()) {
         ++state->busy_replies;
-        metrics.counter("rpc.server.jukebox_replies").inc();
+        state->m_jukebox_replies.inc();
         try {
           co_await transport->send(busy);
         } catch (const std::exception&) {
@@ -205,14 +216,14 @@ sim::Task<void> RpcServer::serve_one(sim::Engine& eng,
       };
       const sim::SimTime q0 = eng.now();
       while (state->active_calls >= state->admission.max_concurrency) {
-        metrics.gauge("rpc.server.queue_depth")
-            .set(static_cast<int64_t>(state->admit_waiters.size() + 1));
+        state->m_queue_depth.set(
+            static_cast<int64_t>(state->admit_waiters.size() + 1));
         co_await AdmitWaiter{*state};
       }
-      metrics.histogram("rpc.server.queue_wait_ns").observe(eng.now() - q0);
+      state->m_queue_wait_ns.observe(eng.now() - q0);
     }
     ++state->active_calls;
-    metrics.counter("rpc.server.admitted").inc();
+    state->m_admitted.inc();
     slot.eng = &eng;
     slot.st = state.get();
     slot.held = true;
@@ -227,7 +238,7 @@ sim::Task<void> RpcServer::serve_one(sim::Engine& eng,
     if (!dup->second.done) {
       // Original call still executing: drop, the client will retry.
       ++state->drc_inflight_drops;
-      metrics.counter("rpc.server.drc.inflight_drops").inc();
+      state->m_drc_inflight_drops.inc();
       if (tracing) {
         span.end = eng.now();
         span.status = "drc_inflight_drop";
@@ -236,7 +247,7 @@ sim::Task<void> RpcServer::serve_one(sim::Engine& eng,
       co_return;
     }
     ++state->drc_hits;
-    metrics.counter("rpc.server.drc.hits").inc();
+    state->m_drc_hits.inc();
     if (tracing) {
       span.end = eng.now();
       span.cache_hit = true;
@@ -306,7 +317,7 @@ sim::Task<void> RpcServer::serve_one(sim::Engine& eng,
   if (state->epoch != epoch0) co_return;
   ++state->served;
   BufChain wire = reply.serialize();
-  metrics.histogram("rpc.server.handle_ns").observe(eng.now() - t0);
+  state->m_handle_ns.observe(eng.now() - t0);
   if (tracing) {
     span.end = eng.now();
     span.bytes_out = wire.size();

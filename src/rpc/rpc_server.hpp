@@ -170,6 +170,15 @@ class RpcServer {
     std::optional<crypto::SecurityConfig> security;
     Rng rng{0};
     int64_t now_epoch = 0;
+
+    // Hot-path metric handles (lazy first-use resolution keeps snapshots
+    // identical to per-call registry lookups); in State so detached serve
+    // tasks outliving the server object stay safe.
+    obs::CounterHandle m_connections, m_malformed, m_calls, m_shed;
+    obs::CounterHandle m_jukebox_replies, m_admitted;
+    obs::CounterHandle m_drc_inflight_drops, m_drc_hits;
+    obs::GaugeHandle m_queue_depth;
+    obs::HistogramHandle m_queue_wait_ns, m_handle_ns;
   };
 
   static sim::Task<void> accept_loop(

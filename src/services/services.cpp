@@ -97,8 +97,34 @@ Envelope FileSystemService::reply_env(
   return sign_envelope(action, std::move(fields), cred_, now_epoch());
 }
 
+bool FileSystemService::set_shard_map(core::ShardMap map) {
+  if (shard_map_ && map.epoch() <= shard_map_->epoch()) return false;
+  shard_map_ = std::move(map);
+  return true;
+}
+
 sim::Task<BufChain> FileSystemService::handle(const rpc::CallContext& ctx,
                                               BufChain args) {
+  // Shard discovery is a public read: the map's integrity comes from the
+  // SIGNED reply, so the request needs no envelope (and costs no RSA
+  // verification on a path every session establishment hits).  The signed
+  // response is cached per epoch and refreshed when its timestamp nears
+  // the verifiers' 300 s freshness window.
+  if (static_cast<ServiceProc>(ctx.proc) == ServiceProc::kGetShardMap) {
+    if (!shard_map_) {
+      co_return encode_env(error_env("no shard map published"));
+    }
+    const int64_t now = now_epoch();
+    if (!shard_reply_cache_ || shard_reply_epoch_ != shard_map_->epoch() ||
+        now - shard_reply_signed_at_ > 240) {
+      shard_reply_cache_ = reply_env(
+          "GetShardMapResponse", {{"map", shard_map_->to_string()}});
+      shard_reply_signed_at_ = now;
+      shard_reply_epoch_ = shard_map_->epoch();
+    }
+    co_return encode_env(*shard_reply_cache_);
+  }
+
   Envelope request;
   try {
     request = decode_env(args);
@@ -210,6 +236,25 @@ sim::Task<BufChain> FileSystemService::handle(const rpc::CallContext& ctx,
       }
       co_return encode_env(reply_env(
           "PutAclResponse", {{"status", vfs::to_string(status)}}));
+    }
+
+    case ServiceProc::kPutShardMap: {
+      // Controller-only (the envelope passed the authorized-DN check
+      // above).  Epochs are monotonic: a delayed or replayed publication
+      // must not roll the fleet back to a pre-rebalance map.
+      core::ShardMap map;
+      try {
+        map = core::ShardMap::parse(request.fields.at("map"));
+      } catch (const std::exception& e) {
+        co_return encode_env(
+            error_env(std::string("bad shard map: ") + e.what()));
+      }
+      if (!set_shard_map(std::move(map))) {
+        co_return encode_env(error_env("stale shard map epoch"));
+      }
+      co_return encode_env(reply_env(
+          "PutShardMapResponse",
+          {{"epoch", std::to_string(shard_map_->epoch())}}));
     }
 
     case ServiceProc::kReconfigure: {

@@ -19,6 +19,7 @@
 #include "services/envelope.hpp"
 #include "sgfs/client_proxy.hpp"
 #include "sgfs/server_proxy.hpp"
+#include "sgfs/shard_map.hpp"
 
 namespace sgfs::services {
 
@@ -35,6 +36,8 @@ enum class ServiceProc : uint32_t {
   kDestroyProxy = 3,       // FSS
   kPutAcl = 4,             // FSS (server host)
   kReconfigure = 5,        // FSS (client host)
+  kPutShardMap = 6,        // FSS: controller publishes the fleet shard map
+  kGetShardMap = 7,        // FSS: shard discovery (unauthenticated read)
   kCreateSession = 10,     // DSS
   kGrantAccess = 11,       // DSS ACL DB management
   kPutFileAcl = 12,        // DSS -> server FSS fine-grained ACL
@@ -69,6 +72,15 @@ class FileSystemService
     return server_proxies_.size() + client_proxies_.size();
   }
 
+  /// The fleet shard map this FSS serves for discovery, if one has been
+  /// published (kPutShardMap, or set_shard_map for locally-wired fleets).
+  const std::optional<core::ShardMap>& shard_map() const {
+    return shard_map_;
+  }
+  /// Direct (in-process) publication; epoch monotonicity is enforced the
+  /// same way as over the wire.  Returns false on a stale epoch.
+  bool set_shard_map(core::ShardMap map);
+
  private:
   int64_t now_epoch() const {
     return static_cast<int64_t>(host_.engine().now() / sim::kSecond);
@@ -87,6 +99,15 @@ class FileSystemService
   std::map<uint16_t, std::shared_ptr<core::ServerProxy>> server_proxies_;
   std::map<uint16_t, std::shared_ptr<core::ClientProxy>> client_proxies_;
   uint16_t next_port_ = 5000;
+
+  // Fleet shard map served for discovery.  The signed GetShardMapResponse
+  // is cached per epoch and re-signed only when its timestamp approaches
+  // the verifier freshness window (300 s): discovery from thousands of
+  // sessions costs one RSA signature per ~4 minutes, not one per request.
+  std::optional<core::ShardMap> shard_map_;
+  std::optional<Envelope> shard_reply_cache_;
+  int64_t shard_reply_signed_at_ = 0;
+  uint64_t shard_reply_epoch_ = 0;
 };
 
 /// DSS: session scheduling + the per-filesystem ACL database that generates

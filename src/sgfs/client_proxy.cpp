@@ -15,6 +15,16 @@ ClientProxy::ClientProxy(net::Host& host, ClientProxyConfig config, Rng rng)
       config_(std::move(config)),
       rng_(rng),
       forward_mutex_(host.engine()) {
+  auto& m = host.engine().metrics();
+  m_sessions_ = {m, "sgfs.client_proxy.sessions"};
+  m_forwarded_ = {m, "sgfs.client_proxy.forwarded"};
+  m_jukebox_retries_ = {m, "sgfs.client_proxy.jukebox_retries"};
+  m_reconnects_ = {m, "sgfs.client_proxy.reconnects"};
+  m_flushed_bytes_ = {m, "sgfs.client_proxy.flushed_bytes"};
+  m_absorbed_getattrs_ = {m, "sgfs.client_proxy.absorbed.getattrs"};
+  m_absorbed_lookups_ = {m, "sgfs.client_proxy.absorbed.lookups"};
+  m_absorbed_reads_ = {m, "sgfs.client_proxy.absorbed.reads"};
+  m_absorbed_writes_ = {m, "sgfs.client_proxy.absorbed.writes"};
   if (config_.retry_budget_ratio > 0) {
     // Shared across (and surviving) the session's upstream clients, so a
     // reconnect does not refill the bucket.
@@ -88,7 +98,7 @@ sim::Task<void> ClientProxy::ensure_upstream() {
     upstream_nfs_->set_retry(config_.retry);
     if (retry_budget_) upstream_nfs_->set_retry_budget(retry_budget_);
     ++handshakes_;
-    host_.engine().metrics().counter("sgfs.client_proxy.sessions").inc();
+    m_sessions_.inc();
   }
   if (!upstream_mount_) {
     if (config_.plain_transport) {
@@ -112,7 +122,7 @@ sim::Task<BufChain> ClientProxy::forward(const rpc::CallContext& ctx,
     guard.emplace(co_await forward_mutex_.scoped());
   }
   ++forwarded_;
-  host_.engine().metrics().counter("sgfs.client_proxy.forwarded").inc();
+  m_forwarded_.inc();
   if (config_.cost.per_msg_latency > 0) {
     co_await host_.engine().sleep(config_.cost.per_msg_latency);
   }
@@ -147,10 +157,7 @@ sim::Task<BufChain> ClientProxy::forward(const rpc::CallContext& ctx,
         // wait out the overload and re-issue under a FRESH xid (the old one
         // could replay a DRC-cached jukebox result).  The successful round
         // trip proved the session healthy, so the reconnect counter resets.
-        host_.engine()
-            .metrics()
-            .counter("sgfs.client_proxy.jukebox_retries")
-            .inc();
+        m_jukebox_retries_.inc();
         co_await host_.engine().sleep(config_.jukebox.delay(busy_retries));
         ++busy_retries;
         xid.reset();
@@ -169,7 +176,7 @@ sim::Task<BufChain> ClientProxy::forward(const rpc::CallContext& ctx,
       std::rethrow_exception(failure);
     }
     ++reconnects_;
-    host_.engine().metrics().counter("sgfs.client_proxy.reconnects").inc();
+    m_reconnects_.inc();
     SGFS_INFO("sgfs-proxy", "upstream session failed; re-establishing ",
               "(attempt ", attempt + 1, ")");
     drop_upstream();
@@ -349,7 +356,7 @@ sim::Task<void> ClientProxy::writeback_block(uint64_t fileid, uint64_t block,
               vfs::to_string(res.status));
   }
   flushed_bytes_ += snap_len;
-  host_.engine().metrics().counter("sgfs.client_proxy.flushed_bytes").inc(snap_len);
+  m_flushed_bytes_.inc(snap_len);
   auto again = blocks_.find(key);
   if (again != blocks_.end()) again->second.dirty = false;
   auto ds = dirty_.find(fileid);
@@ -522,7 +529,7 @@ sim::Task<BufChain> ClientProxy::handle(const rpc::CallContext& ctx,
       if (config_.cache.cache_attrs && hit != attrs_.end() &&
           attrs_fresh(hit->second)) {
         ++absorbed_getattrs_;
-        host_.engine().metrics().counter("sgfs.client_proxy.absorbed.getattrs").inc();
+        m_absorbed_getattrs_.inc();
         nfs::GetattrRes res;
         res.attrs = hit->second.attrs;
         xdr::Encoder enc;
@@ -545,7 +552,7 @@ sim::Task<BufChain> ClientProxy::handle(const rpc::CallContext& ctx,
       auto hit = names_.find(key);
       if (config_.cache.cache_names && hit != names_.end()) {
         ++absorbed_lookups_;
-        host_.engine().metrics().counter("sgfs.client_proxy.absorbed.lookups").inc();
+        m_absorbed_lookups_.inc();
         nfs::LookupRes res = hit->second;
         // Refresh attrs from the attribute cache (local writes move them).
         auto at = attrs_.find(res.fh.fileid);
@@ -601,7 +608,7 @@ sim::Task<BufChain> ClientProxy::handle(const rpc::CallContext& ctx,
         if (bit != blocks_.end() && at != attrs_.end() &&
             attrs_fresh(at->second)) {
           ++absorbed_reads_;
-          host_.engine().metrics().counter("sgfs.client_proxy.absorbed.reads").inc();
+          m_absorbed_reads_.inc();
           const uint64_t size = at->second.attrs.size;
           const Block& b = bit->second;
           const size_t have =
@@ -648,7 +655,7 @@ sim::Task<BufChain> ClientProxy::handle(const rpc::CallContext& ctx,
           a.data.size() <= bs;
       if (config_.cache.write_back && aligned) {
         ++absorbed_writes_;
-        host_.engine().metrics().counter("sgfs.client_proxy.absorbed.writes").inc();
+        m_absorbed_writes_.inc();
         Block& b = put_block(a.fh.fileid, a.offset / bs);
         a.data.copy_to(MutByteView(b.data.data(), a.data.size()));
         if (host_.memcpy_charged()) {

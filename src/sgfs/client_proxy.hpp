@@ -144,6 +144,13 @@ class ClientProxy : public rpc::RpcProgram,
   std::unique_ptr<rpc::RpcClient> upstream_mount_;
   std::shared_ptr<rpc::RetryBudget> retry_budget_;
   sim::SimMutex forward_mutex_;
+
+  // Hot-path metric handles (lazy first-use resolution; see
+  // obs::CounterHandle).
+  obs::CounterHandle m_sessions_, m_forwarded_, m_jukebox_retries_;
+  obs::CounterHandle m_reconnects_, m_flushed_bytes_;
+  obs::CounterHandle m_absorbed_getattrs_, m_absorbed_lookups_;
+  obs::CounterHandle m_absorbed_reads_, m_absorbed_writes_;
   bool stopped_ = false;
 
   // Disk cache state.

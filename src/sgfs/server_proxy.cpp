@@ -16,6 +16,13 @@ ServerProxy::ServerProxy(net::Host& host, ServerProxyConfig config,
       rng_(rng),
       forward_mutex_(host.engine()),
       fair_mutex_(host.engine()) {
+  auto& m = host.engine().metrics();
+  m_breaker_fast_fails_ = {m, "sgfs.server_proxy.breaker_fast_fails"};
+  m_forwarded_ = {m, "sgfs.server_proxy.forwarded"};
+  m_breaker_opens_ = {m, "sgfs.server_proxy.breaker_opens"};
+  m_acl_checks_ = {m, "sgfs.server_proxy.acl_checks"};
+  m_denied_ = {m, "sgfs.server_proxy.denied"};
+  m_fq_wait_ns_ = {m, "sgfs.server_proxy.fq_wait_ns"};
   if (fs_for_acls && config_.fine_grained_acls) {
     acl_store_ = std::make_unique<AclStore>(std::move(fs_for_acls));
   }
@@ -121,7 +128,7 @@ sim::Task<BufChain> ServerProxy::forward(const rpc::CallContext& ctx,
   // single probe call goes through and either resets or re-trips it.
   if (breaker && eng.now() < breaker_open_until_) {
     ++breaker_fast_fails_;
-    eng.metrics().counter("sgfs.server_proxy.breaker_fast_fails").inc();
+    m_breaker_fast_fails_.inc();
     if (ctx.prog == nfs::kNfsProgram) {
       BufChain busy = nfs::busy_status_reply(static_cast<Proc3>(ctx.proc));
       if (!busy.empty()) co_return busy;
@@ -138,15 +145,14 @@ sim::Task<BufChain> ServerProxy::forward(const rpc::CallContext& ctx,
     if (config_.fair_queueing) {
       const sim::SimTime q0 = eng.now();
       fair_guard.emplace(co_await fair_mutex_.scoped(session_key(ctx)));
-      eng.metrics().histogram("sgfs.server_proxy.fq_wait_ns")
-          .observe(eng.now() - q0);
+      m_fq_wait_ns_.observe(eng.now() - q0);
     } else {
       guard.emplace(co_await forward_mutex_.scoped());
     }
   }
   co_await ensure_upstream();
   ++forwarded_;
-  eng.metrics().counter("sgfs.server_proxy.forwarded").inc();
+  m_forwarded_.inc();
   rpc::RpcClient& client =
       ctx.prog == nfs::kMountProgram ? *upstream_mount_ : *upstream_nfs_;
   client.set_auth(cred);
@@ -195,7 +201,7 @@ void ServerProxy::trip_breaker() {
     ++breaker_opens_;
     breaker_open_until_ =
         host_.engine().now() + config_.breaker_open_duration;
-    host_.engine().metrics().counter("sgfs.server_proxy.breaker_opens").inc();
+    m_breaker_opens_.inc();
     SGFS_INFO("sgfs-proxy", "upstream circuit opened for ",
               config_.breaker_open_duration / sim::kMillisecond, " ms");
   }
@@ -220,7 +226,7 @@ std::optional<uint32_t> ServerProxy::acl_mask(const Fh& fh,
   }
   if (!acl) return std::nullopt;
   ++acl_decisions_;
-  host_.engine().metrics().counter("sgfs.server_proxy.acl_checks").inc();
+  m_acl_checks_.inc();
   auto mask = acl->mask_for(dn);
   return mask ? *mask : 0;  // governed but unlisted: no permissions
 }
@@ -233,7 +239,7 @@ sim::Task<BufChain> ServerProxy::handle(const rpc::CallContext& ctx,
   auto account = authorize(ctx);
   if (!account) {
     ++denied_;
-    host_.engine().metrics().counter("sgfs.server_proxy.denied").inc();
+    m_denied_.inc();
     SGFS_INFO("sgfs-proxy", "denying ",
               ctx.peer_identity ? ctx.peer_identity->to_string()
                                 : "<no identity>");
@@ -340,7 +346,7 @@ sim::Task<BufChain> ServerProxy::handle(const rpc::CallContext& ctx,
       if (auto mask = acl_mask(a.fh, dn);
           mask && !(*mask & vfs::kAccessRead)) {
         ++denied_;
-        host_.engine().metrics().counter("sgfs.server_proxy.denied").inc();
+        m_denied_.inc();
         nfs::ReadRes res;
         res.status = Status::kAcces;
         xdr::Encoder enc;
@@ -356,7 +362,7 @@ sim::Task<BufChain> ServerProxy::handle(const rpc::CallContext& ctx,
       if (auto mask = acl_mask(a.fh, dn);
           mask && !(*mask & (vfs::kAccessModify | vfs::kAccessExtend))) {
         ++denied_;
-        host_.engine().metrics().counter("sgfs.server_proxy.denied").inc();
+        m_denied_.inc();
         nfs::WriteRes res;
         res.status = Status::kAcces;
         xdr::Encoder enc;

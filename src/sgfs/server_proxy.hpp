@@ -116,6 +116,12 @@ class ServerProxy : public rpc::RpcProgram,
   sim::SimMutex forward_mutex_;
   sim::FairMutex fair_mutex_;
 
+  // Hot-path metric handles (lazy first-use resolution; see
+  // obs::CounterHandle).
+  obs::CounterHandle m_breaker_fast_fails_, m_forwarded_, m_breaker_opens_;
+  obs::CounterHandle m_acl_checks_, m_denied_;
+  obs::HistogramHandle m_fq_wait_ns_;
+
   // Circuit breaker toward the upstream kernel NFS server (inert unless
   // breaker_failure_threshold > 0): consecutive upstream failures trip it;
   // while open, calls fail fast without touching the upstream.

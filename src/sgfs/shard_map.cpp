@@ -1,0 +1,124 @@
+#include "sgfs/shard_map.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace sgfs::core {
+
+uint64_t shard_hash(const std::string& s) {
+  uint64_t h = 14695981039346656037ull;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  // FNV-1a alone is a poor ring hash: vnode labels ("shardN#v") share long
+  // prefixes and diverge only in their last bytes, which leaves each
+  // shard's 64 points clustered into a few giant arcs (observed: one shard
+  // of four owning 0% of keys, another 60%).  A 64-bit avalanche finalizer
+  // (MurmurHash3 fmix64) spreads the points uniformly.
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdull;
+  h ^= h >> 33;
+  h *= 0xc4ceb9fe1a85ec53ull;
+  h ^= h >> 33;
+  return h;
+}
+
+ShardMap::ShardMap(uint64_t epoch, std::vector<ShardInfo> shards)
+    : epoch_(epoch), shards_(std::move(shards)) {
+  build_ring();
+}
+
+void ShardMap::build_ring() {
+  ring_.clear();
+  ring_.reserve(shards_.size() * kVnodesPerShard);
+  for (uint32_t i = 0; i < shards_.size(); ++i) {
+    for (size_t v = 0; v < kVnodesPerShard; ++v) {
+      // Vnode points are derived from the shard NAME, not its ring index:
+      // adding or removing another shard must not move this shard's points.
+      ring_.emplace_back(
+          shard_hash(shards_[i].name + "#" + std::to_string(v)), i);
+    }
+  }
+  std::sort(ring_.begin(), ring_.end());
+}
+
+const ShardInfo& ShardMap::owner(const std::string& key) const {
+  if (ring_.empty()) throw std::runtime_error("ShardMap::owner: empty map");
+  const uint64_t h = shard_hash(key);
+  auto it = std::lower_bound(
+      ring_.begin(), ring_.end(), h,
+      [](const RingPoint& p, uint64_t v) { return p.hash < v; });
+  if (it == ring_.end()) it = ring_.begin();  // wrap around
+  return shards_[it->shard];
+}
+
+ShardMap ShardMap::without(const std::string& name,
+                           uint64_t new_epoch) const {
+  std::vector<ShardInfo> rest;
+  rest.reserve(shards_.size());
+  for (const auto& s : shards_) {
+    if (s.name != name) rest.push_back(s);
+  }
+  return ShardMap(new_epoch, std::move(rest));
+}
+
+ShardMap ShardMap::with(const ShardInfo& shard, uint64_t new_epoch) const {
+  std::vector<ShardInfo> all = shards_;
+  all.push_back(shard);
+  return ShardMap(new_epoch, std::move(all));
+}
+
+const ShardInfo* ShardMap::find(const std::string& name) const {
+  for (const auto& s : shards_) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+std::string ShardMap::to_string() const {
+  std::string out = std::to_string(epoch_);
+  for (const auto& s : shards_) {
+    out += ";";
+    out += s.name;
+    out += "=";
+    out += s.proxy.host;
+    out += ":";
+    out += std::to_string(s.proxy.port);
+  }
+  return out;
+}
+
+ShardMap ShardMap::parse(const std::string& text) {
+  std::vector<std::string> parts;
+  size_t start = 0;
+  while (start <= text.size()) {
+    size_t sep = text.find(';', start);
+    if (sep == std::string::npos) sep = text.size();
+    parts.push_back(text.substr(start, sep - start));
+    start = sep + 1;
+  }
+  if (parts.empty() || parts[0].empty()) {
+    throw std::invalid_argument("ShardMap::parse: missing epoch");
+  }
+  const uint64_t epoch = std::stoull(parts[0]);
+  std::vector<ShardInfo> shards;
+  for (size_t i = 1; i < parts.size(); ++i) {
+    const std::string& p = parts[i];
+    if (p.empty()) continue;
+    const size_t eq = p.find('=');
+    const size_t colon = p.rfind(':');
+    if (eq == std::string::npos || colon == std::string::npos ||
+        colon < eq) {
+      throw std::invalid_argument("ShardMap::parse: bad shard entry: " + p);
+    }
+    shards.emplace_back(
+        p.substr(0, eq),
+        net::Address(p.substr(eq + 1, colon - eq - 1),
+                     static_cast<uint16_t>(
+                         std::stoul(p.substr(colon + 1)))));
+  }
+  return ShardMap(epoch, std::move(shards));
+}
+
+}  // namespace sgfs::core

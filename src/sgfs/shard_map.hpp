@@ -1,0 +1,98 @@
+// Consistent-hash shard map for a fleet of server proxies.
+//
+// The grid file system scales the way XUFS and AliEnFS do: by partitioning
+// the namespace across a fleet of user-level server daemons.  A ShardMap is
+// the authoritative description of one such fleet at one point in time — a
+// monotonically increasing epoch plus the set of live shards, each with the
+// address of its server-proxy endpoint.
+//
+// Placement uses a consistent-hash ring with virtual nodes: every shard
+// contributes kVnodesPerShard points on a 64-bit ring, and a routing key
+// (we use the file's parent-directory path, so a directory's entries stay
+// on one shard) maps to the first ring point at or clockwise after its
+// hash.  The property that matters for rebalancing: removing one shard
+// remaps ONLY the keys that shard owned (they fall through to the next
+// point on the ring); the assignment of every other key is untouched, so
+// surviving shards' caches and sessions remain valid across a crash.
+//
+// The map is published by the fleet controller through the FSS (see
+// services::ServiceProc::kPutShardMap / kGetShardMap) and cached by
+// clients, which re-fetch on a routing failure or when their lease ages
+// out.  Serialization is a deterministic single-line text form so signed
+// envelopes carry it as an ordinary field.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/network.hpp"
+
+namespace sgfs::core {
+
+/// One server-proxy shard endpoint.
+struct ShardInfo {
+  std::string name;    // stable shard id, e.g. "shard0"
+  net::Address proxy;  // server-proxy endpoint clients connect to
+
+  ShardInfo() = default;
+  ShardInfo(std::string n, net::Address a)
+      : name(std::move(n)), proxy(std::move(a)) {}
+};
+
+/// FNV-1a 64-bit: tiny, deterministic across platforms, and good enough
+/// spread for ring placement (we do not need cryptographic strength here;
+/// integrity of the map itself comes from the FSS envelope signature).
+uint64_t shard_hash(const std::string& s);
+
+class ShardMap {
+ public:
+  static constexpr size_t kVnodesPerShard = 64;
+
+  ShardMap() = default;
+  ShardMap(uint64_t epoch, std::vector<ShardInfo> shards);
+
+  uint64_t epoch() const { return epoch_; }
+  const std::vector<ShardInfo>& shards() const { return shards_; }
+  bool empty() const { return shards_.empty(); }
+  size_t size() const { return shards_.size(); }
+
+  /// The shard owning `key` (first ring point clockwise from hash(key)).
+  /// Precondition: !empty().
+  const ShardInfo& owner(const std::string& key) const;
+
+  /// Copy of this map without `name`, at `new_epoch` — what the controller
+  /// publishes when a shard crashes.  Unknown names return an identical
+  /// map (epoch still bumps: the publication is the event).
+  ShardMap without(const std::string& name, uint64_t new_epoch) const;
+  /// Copy of this map with one more shard at `new_epoch` (re-add/scale-up).
+  ShardMap with(const ShardInfo& shard, uint64_t new_epoch) const;
+
+  const ShardInfo* find(const std::string& name) const;
+
+  /// Deterministic text form: "epoch;name=host:port;name=host:port;...".
+  /// Round-trips through parse(); shard order is preserved.
+  std::string to_string() const;
+  static ShardMap parse(const std::string& text);
+
+ private:
+  void build_ring();
+
+  struct RingPoint {
+    uint64_t hash;
+    uint32_t shard;  // index into shards_
+
+    RingPoint(uint64_t h, uint32_t s) : hash(h), shard(s) {}
+    bool operator<(const RingPoint& o) const {
+      // Tie-break on shard index so the ring order is deterministic even
+      // in the (astronomically unlikely) event of a vnode hash collision.
+      return hash != o.hash ? hash < o.hash : shard < o.shard;
+    }
+  };
+
+  uint64_t epoch_ = 0;
+  std::vector<ShardInfo> shards_;
+  std::vector<RingPoint> ring_;
+};
+
+}  // namespace sgfs::core

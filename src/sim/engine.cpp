@@ -70,6 +70,7 @@ void Engine::spawn(Task<void> task) {
   Root root = make_root(this, std::move(task));
   root.handle.promise().eng = this;
   live_.insert(root.handle.address());
+  ++actors_spawned_;
   schedule_now(root.handle);
 }
 
@@ -83,6 +84,7 @@ bool Engine::step() {
   Event ev = queue_.top();
   queue_.pop();
   now_ = ev.t;
+  ++events_processed_;
   ev.h.resume();
   return true;
 }

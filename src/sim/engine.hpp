@@ -71,6 +71,13 @@ class Engine {
   size_t pending_events() const { return queue_.size(); }
   size_t live_actors() const { return live_.size(); }
 
+  /// Total events executed by step() since construction.  Dividing by
+  /// wall-clock elapsed time gives the simulator's events/sec figure, which
+  /// the fleet bench tracks as a benchmark of the engine itself.
+  uint64_t events_processed() const { return events_processed_; }
+  /// Total detached actors ever started with spawn().
+  uint64_t actors_spawned() const { return actors_spawned_; }
+
   /// Messages from actors that terminated with an exception.
   const std::vector<std::string>& errors() const { return errors_; }
 
@@ -116,6 +123,8 @@ class Engine {
   obs::MetricsRegistry metrics_;
   obs::Tracer tracer_;
   uint64_t next_seq_ = 0;
+  uint64_t events_processed_ = 0;
+  uint64_t actors_spawned_ = 0;
   std::priority_queue<Event, std::vector<Event>, std::greater<Event>> queue_;
   std::unordered_set<void*> live_;
   std::vector<std::string> errors_;
@@ -130,8 +139,16 @@ class SimEvent {
 
   void set() {
     set_ = true;
-    for (auto h : waiters_) eng_.schedule_now(h);
-    waiters_.clear();
+    // Swap the list out before scheduling: a woken coroutine runs only
+    // after set() returns, but re-entrancy can still happen through
+    // non-coroutine paths (a schedule hook, or set() called again from a
+    // destructor on the way out).  Iterating a moved-out local pins the
+    // semantics: exactly the waiters parked before this set() are woken,
+    // and a wait() issued after it (even mid-wake) sees set_ == true and
+    // never parks in a vector being iterated.
+    std::vector<std::coroutine_handle<>> woken;
+    woken.swap(waiters_);
+    for (auto h : woken) eng_.schedule_now(h);
   }
 
   void reset() { set_ = false; }

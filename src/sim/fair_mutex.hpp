@@ -28,20 +28,21 @@ class FairMutex {
   FairMutex& operator=(const FairMutex&) = delete;
 
   bool locked() const { return locked_; }
-  size_t waiters() const {
-    size_t n = 0;
-    for (const auto& [key, q] : queues_) n += q.size();
-    return n;
-  }
+  /// O(1): maintained as waiters park and are handed the lock, so
+  /// queue-depth gauges may poll it per event.
+  size_t waiters() const { return waiter_count_; }
 
   /// Acquires the mutex; contended callers park under `key` and are woken
-  /// round-robin across keys, FIFO within one.
-  Task<void> lock(const std::string& key) {
+  /// round-robin across keys, FIFO within one.  The key is taken BY VALUE:
+  /// the returned Task may be stored and awaited after the caller's
+  /// argument expression (often a temporary) has been destroyed, so the
+  /// frame must own its copy.
+  Task<void> lock(std::string key) {
     if (!locked_) {
       locked_ = true;
       co_return;
     }
-    co_await Waiter{*this, key};
+    co_await Waiter{*this, std::move(key)};
     // Handoff semantics: being resumed means unlock() transferred
     // ownership to this waiter; locked_ never dropped in between.
   }
@@ -58,6 +59,7 @@ class FairMutex {
     auto it = queues_.find(key);
     std::coroutine_handle<> h = it->second.front();
     it->second.pop_front();
+    --waiter_count_;
     if (it->second.empty()) {
       queues_.erase(it);
     } else {
@@ -80,27 +82,33 @@ class FairMutex {
     FairMutex* mutex_;
   };
 
-  /// co_await m.scoped(key) -> Guard (unlocks when the guard dies).
-  Task<Guard> scoped(const std::string& key) {
-    co_await lock(key);
+  /// co_await m.scoped(key) -> Guard (unlocks when the guard dies).  Key by
+  /// value for the same deferred-await reason as lock().
+  Task<Guard> scoped(std::string key) {
+    co_await lock(std::move(key));
     co_return Guard(*this);
   }
 
  private:
   struct Waiter {
     FairMutex& m;
-    const std::string& key;
+    std::string key;  // owned: the awaiting frame may outlive the caller's
+    // Not an aggregate: GCC 12 miscompiles braced-init temporaries inside
+    // co_await expressions (see net::Address).
+    Waiter(FairMutex& mutex, std::string k) : m(mutex), key(std::move(k)) {}
     bool await_ready() const noexcept { return false; }
     void await_suspend(std::coroutine_handle<> h) {
       auto& q = m.queues_[key];
       if (q.empty()) m.rr_.push_back(key);
       q.push_back(h);
+      ++m.waiter_count_;
     }
     void await_resume() const noexcept {}
   };
 
   Engine& eng_;
   bool locked_ = false;
+  size_t waiter_count_ = 0;
   std::map<std::string, std::deque<std::coroutine_handle<>>> queues_;
   std::deque<std::string> rr_;  // keys with waiters, rotation order
 };

@@ -252,5 +252,143 @@ TEST(Services, PutFileAclThroughDss) {
   }(rig));
 }
 
+// --- fleet shard-map procs (kPutShardMap / kGetShardMap) -----------------------
+
+Task<Envelope> call_fss_raw(net::Host& from, const net::Address& fss,
+                            ServiceProc proc, BufChain args) {
+  auto client = co_await rpc::clnt_create(from, fss, kFssProgram,
+                                          kFssVersion);
+  BufChain reply =
+      co_await client->call(static_cast<uint32_t>(proc), std::move(args));
+  client->close();
+  Buffer scratch;
+  co_return Envelope::deserialize(linearize(reply, scratch));
+}
+
+core::ShardMap test_map(uint64_t epoch) {
+  std::vector<core::ShardInfo> shards;
+  shards.emplace_back("shard0", net::Address("shard0", 3049));
+  shards.emplace_back("shard1", net::Address("shard1", 3049));
+  return core::ShardMap(epoch, std::move(shards));
+}
+
+Envelope put_env(uint64_t epoch, const crypto::Credential& signer) {
+  return sign_envelope("PutShardMap", {{"map", test_map(epoch).to_string()}},
+                       signer, 0);
+}
+
+TEST(ShardMapService, PublishAndDiscover) {
+  ServiceRig rig;
+  rig.eng.run_task([](ServiceRig& rig) -> Task<void> {
+    const net::Address fss("compute", 6000);
+    // Controller (the DSS identity) publishes epoch 5.
+    Envelope put = put_env(5, pki().dss);
+    Envelope ack = co_await call_fss_raw(*rig.middleware, fss,
+                                         ServiceProc::kPutShardMap,
+                                         put.serialize());
+    EXPECT_EQ(ack.action, "PutShardMapResponse") << ack.to_xml();
+    EXPECT_EQ(ack.fields.at("epoch"), "5");
+
+    // Discovery is an UNSIGNED read: the reply comes back signed by the
+    // FSS and verifies against the CA.
+    Envelope got = co_await call_fss_raw(*rig.compute, fss,
+                                         ServiceProc::kGetShardMap,
+                                         BufChain());
+    EXPECT_EQ(got.action, "GetShardMapResponse") << got.to_xml();
+    auto verdict = verify_envelope(got, {pki().ca.root()}, 0);
+    EXPECT_TRUE(verdict.ok) << verdict.error;
+    EXPECT_EQ(verdict.signer.to_string(), "/O=Grid/CN=fss2");
+    core::ShardMap map = core::ShardMap::parse(got.fields.at("map"));
+    EXPECT_EQ(map.epoch(), 5u);
+    EXPECT_EQ(map.size(), 2u);
+    EXPECT_NE(map.find("shard1"), nullptr);
+  }(rig));
+}
+
+TEST(ShardMapService, StaleEpochRejected) {
+  ServiceRig rig;
+  rig.eng.run_task([](ServiceRig& rig) -> Task<void> {
+    const net::Address fss("compute", 6000);
+    Envelope first = co_await call_fss_raw(
+        *rig.middleware, fss, ServiceProc::kPutShardMap,
+        put_env(5, pki().dss).serialize());
+    EXPECT_EQ(first.action, "PutShardMapResponse");
+    // Same epoch again and an older epoch: both refused, map unchanged.
+    Envelope same = co_await call_fss_raw(
+        *rig.middleware, fss, ServiceProc::kPutShardMap,
+        put_env(5, pki().dss).serialize());
+    EXPECT_EQ(same.action, "Fault");
+    EXPECT_NE(same.fields.at("reason").find("stale"), std::string::npos);
+    Envelope older = co_await call_fss_raw(
+        *rig.middleware, fss, ServiceProc::kPutShardMap,
+        put_env(4, pki().dss).serialize());
+    EXPECT_EQ(older.action, "Fault");
+    // A NEWER epoch is accepted.
+    Envelope newer = co_await call_fss_raw(
+        *rig.middleware, fss, ServiceProc::kPutShardMap,
+        put_env(6, pki().dss).serialize());
+    EXPECT_EQ(newer.action, "PutShardMapResponse");
+    EXPECT_EQ(newer.fields.at("epoch"), "6");
+  }(rig));
+  ASSERT_TRUE(rig.fss_client->shard_map().has_value());
+  EXPECT_EQ(rig.fss_client->shard_map()->epoch(), 6u);
+}
+
+TEST(ShardMapService, PublicationRequiresControllerIdentity) {
+  ServiceRig rig;
+  rig.eng.run_task([](ServiceRig& rig) -> Task<void> {
+    const net::Address fss("compute", 6000);
+    // alice's signature verifies but she is not an authorized controller.
+    Envelope deny = co_await call_fss_raw(
+        *rig.compute, fss, ServiceProc::kPutShardMap,
+        put_env(5, pki().alice).serialize());
+    EXPECT_EQ(deny.action, "Fault");
+    EXPECT_NE(deny.fields.at("reason").find("not authorized"),
+              std::string::npos);
+  }(rig));
+  EXPECT_FALSE(rig.fss_client->shard_map().has_value());
+}
+
+TEST(ShardMapService, DiscoveryBeforePublicationFaults) {
+  ServiceRig rig;
+  rig.eng.run_task([](ServiceRig& rig) -> Task<void> {
+    Envelope got = co_await call_fss_raw(*rig.compute,
+                                         net::Address("compute", 6000),
+                                         ServiceProc::kGetShardMap,
+                                         BufChain());
+    EXPECT_EQ(got.action, "Fault");
+    EXPECT_NE(got.fields.at("reason").find("no shard map"),
+              std::string::npos);
+  }(rig));
+}
+
+TEST(ShardMapService, DiscoveryServesCachedSignedReply) {
+  ServiceRig rig;
+  rig.eng.run_task([](ServiceRig& rig) -> Task<void> {
+    const net::Address fss("compute", 6000);
+    (void)co_await call_fss_raw(*rig.middleware, fss,
+                                ServiceProc::kPutShardMap,
+                                put_env(5, pki().dss).serialize());
+    // Back-to-back discoveries reuse the pre-signed reply byte for byte:
+    // a thousand-session establishment wave costs the FSS one signature.
+    Envelope a = co_await call_fss_raw(*rig.compute, fss,
+                                       ServiceProc::kGetShardMap,
+                                       BufChain());
+    Envelope b = co_await call_fss_raw(*rig.compute, fss,
+                                       ServiceProc::kGetShardMap,
+                                       BufChain());
+    EXPECT_EQ(a.serialize(), b.serialize());
+    // A new epoch invalidates the cache: fresh signature, fresh body.
+    (void)co_await call_fss_raw(*rig.middleware, fss,
+                                ServiceProc::kPutShardMap,
+                                put_env(9, pki().dss).serialize());
+    Envelope c = co_await call_fss_raw(*rig.compute, fss,
+                                       ServiceProc::kGetShardMap,
+                                       BufChain());
+    EXPECT_NE(a.serialize(), c.serialize());
+    EXPECT_EQ(core::ShardMap::parse(c.fields.at("map")).epoch(), 9u);
+  }(rig));
+}
+
 }  // namespace
 }  // namespace sgfs::services

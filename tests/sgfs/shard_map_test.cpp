@@ -1,0 +1,119 @@
+// ShardMap: consistent-hash placement invariants the fleet rebalancing
+// story rests on.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "sgfs/shard_map.hpp"
+
+namespace sgfs::core {
+namespace {
+
+std::vector<ShardInfo> four_shards() {
+  std::vector<ShardInfo> s;
+  for (int i = 0; i < 4; ++i) {
+    const std::string name = "shard" + std::to_string(i);
+    s.emplace_back(name, net::Address(name, 3049));
+  }
+  return s;
+}
+
+std::string key_for(int i) {
+  return "/GFS/fleet/u" + std::to_string(i);
+}
+
+TEST(ShardMap, OwnerIsDeterministic) {
+  ShardMap a(1, four_shards());
+  ShardMap b(1, four_shards());
+  for (int i = 0; i < 500; ++i) {
+    EXPECT_EQ(a.owner(key_for(i)).name, b.owner(key_for(i)).name) << i;
+  }
+}
+
+TEST(ShardMap, PlacementIsReasonablyBalanced) {
+  ShardMap m(1, four_shards());
+  std::map<std::string, int> per_shard;
+  const int kKeys = 2000;
+  for (int i = 0; i < kKeys; ++i) {
+    ++per_shard[m.owner(key_for(i)).name];
+  }
+  ASSERT_EQ(per_shard.size(), 4u);  // every shard owns something
+  for (const auto& [name, n] : per_shard) {
+    // 64 vnodes/shard gives coarse but real balance; no shard may hold a
+    // majority or starve.
+    EXPECT_GT(n, kKeys / 20) << name;   // > 5%
+    EXPECT_LT(n, kKeys * 6 / 10) << name;  // < 60%
+  }
+}
+
+TEST(ShardMap, RemovalRemapsOnlyTheRemovedShardsKeys) {
+  ShardMap base(1, four_shards());
+  ShardMap smaller = base.without("shard1", 2);
+  EXPECT_EQ(smaller.epoch(), 2u);
+  EXPECT_EQ(smaller.size(), 3u);
+  EXPECT_EQ(smaller.find("shard1"), nullptr);
+
+  int moved = 0;
+  for (int i = 0; i < 2000; ++i) {
+    const std::string before = base.owner(key_for(i)).name;
+    const std::string after = smaller.owner(key_for(i)).name;
+    if (before == "shard1") {
+      EXPECT_NE(after, "shard1");
+      ++moved;
+    } else {
+      // Minimal remap: survivors keep every key they already owned.
+      EXPECT_EQ(after, before) << key_for(i);
+    }
+  }
+  EXPECT_GT(moved, 0);
+}
+
+TEST(ShardMap, ReAddRestoresTheOriginalPlacement) {
+  ShardMap base(1, four_shards());
+  ShardMap smaller = base.without("shard1", 2);
+  ShardMap restored = smaller.with(*base.find("shard1"), 3);
+  EXPECT_EQ(restored.epoch(), 3u);
+  ASSERT_EQ(restored.size(), 4u);
+  // Vnode points derive from shard NAMES, so the re-added shard reclaims
+  // exactly its old keys regardless of its position in the shard list.
+  for (int i = 0; i < 2000; ++i) {
+    EXPECT_EQ(restored.owner(key_for(i)).name, base.owner(key_for(i)).name);
+  }
+}
+
+TEST(ShardMap, TextFormRoundTrips) {
+  ShardMap m(7, four_shards());
+  const std::string text = m.to_string();
+  EXPECT_EQ(text.rfind("7;shard0=shard0:3049;", 0), 0u) << text;
+  ShardMap back = ShardMap::parse(text);
+  EXPECT_EQ(back.epoch(), 7u);
+  ASSERT_EQ(back.size(), 4u);
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(back.shards()[i].name, m.shards()[i].name);
+    EXPECT_EQ(back.shards()[i].proxy.host, m.shards()[i].proxy.host);
+    EXPECT_EQ(back.shards()[i].proxy.port, m.shards()[i].proxy.port);
+  }
+  // And the round-tripped map places identically.
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(back.owner(key_for(i)).name, m.owner(key_for(i)).name);
+  }
+}
+
+TEST(ShardMap, ParseRejectsGarbage) {
+  EXPECT_THROW(ShardMap::parse(""), std::invalid_argument);
+  EXPECT_THROW(ShardMap::parse("notanumber;a=b:1"), std::exception);
+  EXPECT_THROW(ShardMap::parse("1;missingequals"), std::invalid_argument);
+  EXPECT_THROW(ShardMap::parse("1;a=noport"), std::invalid_argument);
+}
+
+TEST(ShardMap, EmptyMapOwnerThrows) {
+  ShardMap empty(5, {});
+  EXPECT_TRUE(empty.empty());
+  EXPECT_THROW(empty.owner("/GFS/x"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace sgfs::core

@@ -1,0 +1,149 @@
+// Regression tests for sim::FairMutex and sim::SimEvent edge cases found
+// during the fleet-scale work:
+//   - FairMutex::lock()/scoped() take their key BY VALUE: the returned Task
+//     may be stored and awaited after the caller's key expression (a
+//     temporary) has been destroyed.  The old by-reference signature made
+//     the suspended frame read freed memory.
+//   - FairMutex::waiters() is a running count (O(1)), polled per event by
+//     queue-depth gauges.
+//   - SimEvent::set() wakes exactly the waiters parked before the set();
+//     a wait() issued after it (even from a freshly woken coroutine that
+//     reset() the event) parks for the NEXT set instead of joining a wake
+//     list that is being iterated.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/fair_mutex.hpp"
+
+namespace sgfs::sim {
+namespace {
+
+Task<void> hold_then_release(Engine& eng, FairMutex& m, SimDur hold) {
+  co_await m.lock("holder");
+  co_await eng.sleep(hold);
+  m.unlock();
+}
+
+// The key is built as a temporary INSIDE the argument expression, and the
+// lock Task is stored before being awaited: by the time the frame suspends
+// and later resumes, the temporary is long gone.  (Under ASAN the old
+// by-reference code faults here; under plain builds it reads garbage keys,
+// corrupting the rotation order.)
+Task<void> deferred_await_locker(Engine& eng, FairMutex& m, int i,
+                                 std::vector<int>& order) {
+  Task<void> pending = m.lock("session-" + std::to_string(i * 1000));
+  co_await eng.sleep(1 * kMillisecond);  // key temporary is dead by now
+  co_await pending;
+  order.push_back(i);
+  co_await eng.sleep(1 * kMillisecond);
+  m.unlock();
+}
+
+TEST(FairMutex, DeferredAwaitOutlivesKeyTemporary) {
+  Engine eng;
+  FairMutex m(eng);
+  std::vector<int> order;
+  eng.spawn(hold_then_release(eng, m, 10 * kMillisecond));
+  for (int i = 0; i < 4; ++i) {
+    eng.spawn(deferred_await_locker(eng, m, i, order));
+  }
+  eng.run();
+  ASSERT_EQ(order.size(), 4u);
+  // Distinct keys => pure rotation => FIFO arrival order here.
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_FALSE(m.locked());
+  EXPECT_EQ(m.waiters(), 0u);
+}
+
+Task<void> park(Engine& eng, FairMutex& m, std::string key, int id,
+                std::vector<int>& order) {
+  co_await m.lock(std::move(key));
+  order.push_back(id);
+  co_await eng.sleep(1 * kMillisecond);
+  m.unlock();
+}
+
+TEST(FairMutex, WaitersIsARunningCount) {
+  Engine eng;
+  FairMutex m(eng);
+  std::vector<int> order;
+  std::vector<size_t> observed;
+
+  eng.run_task([](Engine& eng, FairMutex& m, std::vector<int>& order,
+                  std::vector<size_t>& observed) -> Task<void> {
+    co_await m.lock("main");
+    // Three waiters across two keys park while we hold the lock.
+    eng.spawn(park(eng, m, "a", 1, order));
+    eng.spawn(park(eng, m, "a", 2, order));
+    eng.spawn(park(eng, m, "b", 3, order));
+    co_await eng.sleep(1 * kMillisecond);
+    observed.push_back(m.waiters());  // 3
+    m.unlock();                       // hands off to "a"/1
+    co_await eng.sleep(0);
+    observed.push_back(m.waiters());  // 2
+    co_await eng.sleep(10 * kMillisecond);
+    observed.push_back(m.waiters());  // 0: all drained
+  }(eng, m, order, observed));
+
+  EXPECT_EQ(observed, (std::vector<size_t>{3, 2, 0}));
+  // Round-robin across keys: a, b, then back to a.
+  EXPECT_EQ(order, (std::vector<int>{1, 3, 2}));
+  EXPECT_EQ(m.waiters(), 0u);
+  EXPECT_FALSE(m.locked());
+}
+
+Task<void> wait_once(SimEvent& ev, int id, std::vector<int>& woken) {
+  co_await ev.wait();
+  woken.push_back(id);
+}
+
+// A waiter that re-arms: on wake it resets the event and waits again.  The
+// re-wait must park for the NEXT set(), not be swept into the current wake.
+Task<void> wait_rearm(SimEvent& ev, int id, std::vector<int>& woken) {
+  co_await ev.wait();
+  woken.push_back(id);
+  ev.reset();
+  co_await ev.wait();
+  woken.push_back(id + 100);
+}
+
+TEST(SimEvent, SetWakesExactlyTheParkedWaiters) {
+  Engine eng;
+  SimEvent ev(eng);
+  std::vector<int> woken;
+
+  eng.run_task([](Engine& eng, SimEvent& ev,
+                  std::vector<int>& woken) -> Task<void> {
+    eng.spawn(wait_rearm(ev, 1, woken));
+    eng.spawn(wait_once(ev, 2, woken));
+    co_await eng.sleep(1 * kMillisecond);
+    ev.set();
+    co_await eng.sleep(1 * kMillisecond);
+    // Waiter 1 re-armed (and reset the event); waiter 2 must still have
+    // been woken by the first set even though the reset ran before its
+    // resumption.  The re-armed wait is still parked.
+    ev.set();
+    co_await eng.sleep(1 * kMillisecond);
+  }(eng, ev, woken));
+
+  EXPECT_EQ(woken, (std::vector<int>{1, 2, 101}));
+}
+
+TEST(SimEvent, WaitAfterSetDoesNotPark) {
+  Engine eng;
+  SimEvent ev(eng);
+  bool resumed = false;
+  eng.run_task([](SimEvent& ev, bool& resumed) -> Task<void> {
+    ev.set();
+    co_await ev.wait();  // already set: must complete synchronously
+    resumed = true;
+  }(ev, resumed));
+  EXPECT_TRUE(resumed);
+}
+
+}  // namespace
+}  // namespace sgfs::sim
