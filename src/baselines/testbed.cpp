@@ -143,6 +143,7 @@ Testbed::Testbed(TestbedOptions options)
       scfg.security.trusted = {pki_->ca.root()};
       scfg.security.cipher = options_.cipher;
       scfg.security.mac = options_.mac;
+      if (options_.pool.streams > 1) scfg.stream_port = 3050;
       break;
     default:
       break;
@@ -174,6 +175,9 @@ Testbed::Testbed(TestbedOptions options)
   ccfg.cache.consistency = options_.consistency;
   switch (options_.kind) {
     case SetupKind::kGfs:
+      ccfg.plain_transport = true;
+      ccfg.pool = options_.pool;
+      break;
     case SetupKind::kGfsSsh:
       ccfg.plain_transport = true;
       break;
@@ -190,6 +194,7 @@ Testbed::Testbed(TestbedOptions options)
       ccfg.security.trusted = {pki_->ca.root()};
       ccfg.security.cipher = options_.cipher;
       ccfg.security.mac = options_.mac;
+      ccfg.pool = options_.pool;
       break;
     default:
       break;

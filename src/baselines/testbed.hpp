@@ -72,6 +72,11 @@ struct TestbedOptions {
   /// to both hosts.  0 (the default) keeps copy accounting free of charge,
   /// so results are bit-identical to runs that predate the zero-copy work.
   double memcpy_bytes_per_sec = 0;
+  /// WAN stream pool (gfs and sgfs setups).  pool.streams == 1 (the
+  /// default) keeps the pool entirely inert: no extra listener, no extra
+  /// RNG forks, bit-identical to the pre-pool testbed.  With K > 1 the
+  /// sgfs server proxy gains a resume-only stream listener on port 3050.
+  core::StreamPoolConfig pool;
 
   /// One gray-failure window (net/fault.hpp): the component keeps working,
   /// slower.  `delay`/`jitter` apply to link-slowdown windows, `factor`

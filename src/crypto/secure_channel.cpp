@@ -7,9 +7,11 @@ namespace sgfs::crypto {
 
 namespace {
 
-constexpr uint32_t kHelloMagic = 0x53474653;  // "SGFS"
+constexpr uint32_t kHelloMagic = 0x53474653;   // "SGFS"
+constexpr uint32_t kResumeMagic = 0x53475253;  // "SGRS": resumed stream
 constexpr size_t kRandomSize = 32;
 constexpr size_t kPremasterSize = 48;
+constexpr size_t kSessionIdSize = 16;
 constexpr size_t kMaxRecord = 4u << 20;  // 4 MiB
 
 Buffer be64(uint64_t v) {
@@ -41,6 +43,25 @@ Buffer derive(ByteView secret, const std::string& label, ByteView seed,
   }
   out.resize(out_len);
   return out;
+}
+
+uint64_t fnv1a64(ByteView data) {
+  uint64_t h = 1469598103934665603ull;
+  for (uint8_t b : data) {
+    h ^= b;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+// Per-stream premaster: both ends of stream i of a resumed session derive
+// the same value from the (never-transmitted) resumption secret, yet
+// distinct streams get unrelated key blocks.
+Buffer stream_premaster(ByteView secret, const Buffer& session_id,
+                        uint32_t stream_index) {
+  Buffer seed = session_id;
+  append(seed, be64(stream_index));
+  return derive(secret, "sgfs stream", seed, kPremasterSize);
 }
 
 void encode_chain(xdr::Encoder& enc, const std::vector<Certificate>& chain) {
@@ -95,6 +116,26 @@ MacAlgo mac_from_string(const std::string& s) {
   throw std::invalid_argument("unknown MAC: " + s);
 }
 
+void ResumptionCache::put(const ResumptionTicket& ticket) {
+  if (ticket.session_id.empty()) return;
+  auto [it, inserted] = by_id_.insert_or_assign(ticket.session_id, ticket);
+  (void)it;
+  if (inserted) {
+    order_.push_back(ticket.session_id);
+    while (order_.size() > kCapacity) {
+      by_id_.erase(order_.front());
+      order_.pop_front();
+    }
+  }
+}
+
+std::optional<ResumptionTicket> ResumptionCache::find(
+    const Buffer& session_id) const {
+  auto it = by_id_.find(session_id);
+  if (it == by_id_.end()) return std::nullopt;
+  return it->second;
+}
+
 sim::SimDur CryptoCostModel::record_cost(Cipher c, MacAlgo m,
                                          size_t bytes) const {
   double secs = 0;
@@ -145,7 +186,26 @@ sim::Task<std::unique_ptr<SecureChannel>> SecureChannel::accept(
   auto ch = std::unique_ptr<SecureChannel>(new SecureChannel(
       std::move(stream), config, rng, /*is_client=*/false, now_epoch));
   try {
-    co_await ch->handshake();
+    if (config.resume_only) {
+      co_await ch->handshake_stream();
+    } else {
+      co_await ch->handshake();
+    }
+  } catch (...) {
+    ch->stream_->close();  // unblock the peer
+    throw;
+  }
+  co_return ch;
+}
+
+sim::Task<std::unique_ptr<SecureChannel>> SecureChannel::connect_resumed(
+    net::StreamPtr stream, const SecurityConfig& config, Rng& rng,
+    int64_t now_epoch, const ResumptionTicket& ticket,
+    uint32_t stream_index) {
+  auto ch = std::unique_ptr<SecureChannel>(new SecureChannel(
+      std::move(stream), config, rng, /*is_client=*/true, now_epoch));
+  try {
+    co_await ch->handshake_resume(ticket, stream_index);
   } catch (...) {
     ch->stream_->close();  // unblock the peer
     throw;
@@ -385,7 +445,26 @@ void SecureChannel::install_keys(ByteView premaster, ByteView client_random,
       recv_aes_ = std::make_unique<Aes>(rkey);
       break;
   }
+  // Session-resumption material rides the same schedule: a stable id the
+  // server can look tickets up by, and a secret sibling streams derive
+  // their premasters from.  Pure derivation — no RNG draws, no CPU charge
+  // — so sessions that never resume are unaffected.
+  session_id_ = derive(master, "sgfs session id", seed, kSessionIdSize);
+  resumption_secret_ = derive(master, "sgfs resumption", seed, 48);
+  key_fingerprint_ = fnv1a64(block);
   ++key_generation_;
+}
+
+ResumptionTicket SecureChannel::ticket() const {
+  if (!established_) throw SecurityError("no established session to resume");
+  ResumptionTicket t;
+  t.session_id = session_id_;
+  t.secret = resumption_secret_;
+  t.cipher = cipher_;
+  t.mac = mac_;
+  t.peer_cert = peer_cert_;
+  t.peer_identity = peer_identity_;
+  return t;
 }
 
 // --- handshake --------------------------------------------------------------
@@ -446,115 +525,229 @@ sim::Task<void> SecureChannel::handshake() {
     install_keys(premaster, client_random, server_random);
     // Finished exchange under the new keys.
     Buffer base = transcript_;
-    {
-      HmacSha1 h(send_mac_key_);
-      h.update(base);
-      h.update(to_bytes("client finished"));
-      auto m = h.finish();
-      co_await send_record(RecordType::kHandshake,
-                           BufChain(Buffer(m.begin(), m.end())));
-    }
-    {
-      Record rec = co_await recv_record();
-      if (rec.type != RecordType::kHandshake) {
-        throw SecurityError("expected server finished");
-      }
-      HmacSha1 h(recv_mac_key_);
-      h.update(base);
-      h.update(to_bytes("server finished"));
-      auto expect = h.finish();
-      Buffer scratch;
-      if (!ct_equal(ByteView(expect.data(), expect.size()),
-                    linearize(rec.payload, scratch))) {
-        throw SecurityError("server finished MAC mismatch");
-      }
-    }
+    co_await send_finished("client finished", base);
+    co_await expect_finished("server finished", base);
   } else {
-    // ClientHello
-    Buffer client_random;
-    {
-      BufChain msg = co_await recv_handshake_msg();
-      xdr::Decoder dec(msg);
-      if (dec.get_u32() != kHelloMagic) throw SecurityError("bad magic");
-      client_random = dec.get_opaque(kRandomSize);
-      const auto cli_cipher = dec.get_enum<Cipher>();
-      const auto cli_mac = dec.get_enum<MacAlgo>();
-      if (cli_cipher != config_.cipher || cli_mac != config_.mac) {
-        throw SecurityError("cipher suite mismatch");
-      }
-    }
-    // ServerHello
-    Buffer server_random = rng_.bytes(kRandomSize);
-    {
-      xdr::Encoder enc;
-      enc.put_u32(kHelloMagic);
-      enc.put_opaque(server_random);
-      enc.put_enum(config_.cipher);
-      enc.put_enum(config_.mac);
-      encode_chain(enc, config_.credential.presented_chain());
-      co_await send_handshake_msg(enc.take());
-    }
-    // ClientKey
-    Buffer premaster;
-    {
-      BufChain msg = co_await recv_handshake_msg();
-      xdr::Decoder dec(msg);
-      auto chain = decode_chain(dec);
-      Buffer enc_premaster = dec.get_opaque(4096);
-      Buffer verify_sig = dec.get_opaque(4096);
-
-      auto result = validate_chain(chain, config_.trusted, epoch);
-      if (!result.ok) {
-        throw SecurityError("client certificate rejected: " + result.error);
-      }
-      // CertificateVerify covers the transcript up to (excluding) the
-      // ClientKey message itself.
-      Buffer signed_transcript(
-          transcript_.begin(),
-          transcript_.end() - static_cast<ptrdiff_t>(msg.size()));
-      if (!rsa_verify_sha1(chain.front().key, signed_transcript,
-                           verify_sig)) {
-        throw SecurityError("client CertificateVerify failed");
-      }
-      peer_cert_ = chain.front();
-      peer_identity_ = result.effective_identity;
-      try {
-        premaster = rsa_decrypt(config_.credential.private_key,
-                                enc_premaster);
-      } catch (const std::runtime_error& e) {
-        throw SecurityError(std::string("premaster decrypt: ") + e.what());
-      }
-      if (premaster.size() != kPremasterSize) {
-        throw SecurityError("bad premaster size");
-      }
-    }
-    install_keys(premaster, client_random, server_random);
-    Buffer base = transcript_;
-    {
-      Record rec = co_await recv_record();
-      if (rec.type != RecordType::kHandshake) {
-        throw SecurityError("expected client finished");
-      }
-      HmacSha1 h(recv_mac_key_);
-      h.update(base);
-      h.update(to_bytes("client finished"));
-      auto expect = h.finish();
-      Buffer scratch;
-      if (!ct_equal(ByteView(expect.data(), expect.size()),
-                    linearize(rec.payload, scratch))) {
-        throw SecurityError("client finished MAC mismatch");
-      }
-    }
-    {
-      HmacSha1 h(send_mac_key_);
-      h.update(base);
-      h.update(to_bytes("server finished"));
-      auto m = h.finish();
-      co_await send_record(RecordType::kHandshake,
-                           BufChain(Buffer(m.begin(), m.end())));
-    }
+    BufChain hello = co_await recv_handshake_msg();
+    co_await server_handshake_rest(std::move(hello), epoch);
   }
   established_ = true;
+}
+
+sim::Task<void> SecureChannel::server_handshake_rest(BufChain hello,
+                                                     int64_t epoch) {
+  // ClientHello
+  Buffer client_random;
+  {
+    xdr::Decoder dec(hello);
+    if (dec.get_u32() != kHelloMagic) throw SecurityError("bad magic");
+    client_random = dec.get_opaque(kRandomSize);
+    const auto cli_cipher = dec.get_enum<Cipher>();
+    const auto cli_mac = dec.get_enum<MacAlgo>();
+    if (cli_cipher != config_.cipher || cli_mac != config_.mac) {
+      throw SecurityError("cipher suite mismatch");
+    }
+  }
+  // ServerHello
+  Buffer server_random = rng_.bytes(kRandomSize);
+  {
+    xdr::Encoder enc;
+    enc.put_u32(kHelloMagic);
+    enc.put_opaque(server_random);
+    enc.put_enum(config_.cipher);
+    enc.put_enum(config_.mac);
+    encode_chain(enc, config_.credential.presented_chain());
+    co_await send_handshake_msg(enc.take());
+  }
+  // ClientKey
+  Buffer premaster;
+  {
+    BufChain msg = co_await recv_handshake_msg();
+    xdr::Decoder dec(msg);
+    auto chain = decode_chain(dec);
+    Buffer enc_premaster = dec.get_opaque(4096);
+    Buffer verify_sig = dec.get_opaque(4096);
+
+    auto result = validate_chain(chain, config_.trusted, epoch);
+    if (!result.ok) {
+      throw SecurityError("client certificate rejected: " + result.error);
+    }
+    // CertificateVerify covers the transcript up to (excluding) the
+    // ClientKey message itself.
+    Buffer signed_transcript(
+        transcript_.begin(),
+        transcript_.end() - static_cast<ptrdiff_t>(msg.size()));
+    if (!rsa_verify_sha1(chain.front().key, signed_transcript,
+                         verify_sig)) {
+      throw SecurityError("client CertificateVerify failed");
+    }
+    peer_cert_ = chain.front();
+    peer_identity_ = result.effective_identity;
+    try {
+      premaster = rsa_decrypt(config_.credential.private_key,
+                              enc_premaster);
+    } catch (const std::runtime_error& e) {
+      throw SecurityError(std::string("premaster decrypt: ") + e.what());
+    }
+    if (premaster.size() != kPremasterSize) {
+      throw SecurityError("bad premaster size");
+    }
+  }
+  install_keys(premaster, client_random, server_random);
+  Buffer base = transcript_;
+  co_await expect_finished("client finished", base);
+  co_await send_finished("server finished", base);
+  // Publish a ticket so the client's sibling streams can skip the RSA
+  // exchange.  Pure map insert — nothing observable unless a resumed
+  // hello later redeems it.
+  if (config_.resumption) {
+    ResumptionTicket t;
+    t.session_id = session_id_;
+    t.secret = resumption_secret_;
+    t.cipher = cipher_;
+    t.mac = mac_;
+    t.peer_cert = peer_cert_;
+    t.peer_identity = peer_identity_;
+    config_.resumption->put(t);
+  }
+}
+
+sim::Task<void> SecureChannel::handshake_stream() {
+  transcript_.clear();
+  const int64_t epoch =
+      now_epoch_ +
+      sim::to_seconds(stream_->local_host().engine().now());
+  auto& metrics = stream_->local_host().engine().metrics();
+
+  BufChain first = co_await recv_handshake_msg();
+  uint32_t magic = 0;
+  {
+    xdr::Decoder dec(first);
+    magic = dec.get_u32();
+  }
+  if (magic == kHelloMagic) {
+    // Full-handshake fallback: the client's ticket is gone (server restart
+    // cleared the cache), so this stream pays the RSA exchange instead of
+    // failing the pool open.
+    metrics.counter("crypto.handshakes").inc();
+    co_await stream_->local_host().cpu().use(config_.cost.handshake_cpu,
+                                             "crypto");
+    co_await server_handshake_rest(std::move(first), epoch);
+  } else if (magic == kResumeMagic) {
+    metrics.counter("crypto.stream_resumptions").inc();
+    co_await stream_->local_host().cpu().use(config_.cost.resume_cpu,
+                                             "crypto");
+    co_await server_resume_rest(std::move(first));
+  } else {
+    throw SecurityError("bad magic");
+  }
+  established_ = true;
+}
+
+sim::Task<void> SecureChannel::server_resume_rest(BufChain first) {
+  Buffer session_id, client_random;
+  uint32_t stream_index = 0;
+  {
+    xdr::Decoder dec(first);
+    dec.get_u32();  // magic, checked by the dispatcher
+    session_id = dec.get_opaque(64);
+    stream_index = dec.get_u32();
+    client_random = dec.get_opaque(kRandomSize);
+  }
+  if (!config_.resumption) throw SecurityError("resumption disabled");
+  auto ticket = config_.resumption->find(session_id);
+  if (!ticket) throw SecurityError("unknown session ticket");
+  if (ticket->cipher != config_.cipher || ticket->mac != config_.mac) {
+    throw SecurityError("resumed cipher suite mismatch");
+  }
+  Buffer server_random = rng_.bytes(kRandomSize);
+  {
+    xdr::Encoder enc;
+    enc.put_u32(kResumeMagic);
+    enc.put_opaque(server_random);
+    co_await send_handshake_msg(enc.take());
+  }
+  // The peer was authenticated by the full handshake that minted the
+  // ticket; possession of the per-stream premaster (proved by Finished
+  // under the derived keys) is what authenticates this stream.
+  peer_cert_ = ticket->peer_cert;
+  peer_identity_ = ticket->peer_identity;
+  install_keys(stream_premaster(ticket->secret, session_id, stream_index),
+               client_random, server_random);
+  resumed_ = true;
+  Buffer base = transcript_;
+  co_await expect_finished("client finished", base);
+  co_await send_finished("server finished", base);
+}
+
+sim::Task<void> SecureChannel::handshake_resume(const ResumptionTicket& ticket,
+                                                uint32_t stream_index) {
+  transcript_.clear();
+  if (ticket.cipher != config_.cipher || ticket.mac != config_.mac) {
+    throw SecurityError("resumed cipher suite mismatch");
+  }
+  if (ticket.session_id.empty()) {
+    throw SecurityError("empty resumption ticket");
+  }
+  auto& host = stream_->local_host();
+  host.engine().metrics().counter("crypto.stream_resumptions").inc();
+  co_await host.cpu().use(config_.cost.resume_cpu, "crypto");
+
+  Buffer client_random = rng_.bytes(kRandomSize);
+  {
+    xdr::Encoder enc;
+    enc.put_u32(kResumeMagic);
+    enc.put_opaque(ticket.session_id);
+    enc.put_u32(stream_index);
+    enc.put_opaque(client_random);
+    co_await send_handshake_msg(enc.take());
+  }
+  Buffer server_random;
+  {
+    BufChain msg = co_await recv_handshake_msg();
+    xdr::Decoder dec(msg);
+    if (dec.get_u32() != kResumeMagic) {
+      throw SecurityError("bad resume reply magic");
+    }
+    server_random = dec.get_opaque(kRandomSize);
+  }
+  peer_cert_ = ticket.peer_cert;
+  peer_identity_ = ticket.peer_identity;
+  install_keys(
+      stream_premaster(ticket.secret, ticket.session_id, stream_index),
+      client_random, server_random);
+  resumed_ = true;
+  Buffer base = transcript_;
+  co_await send_finished("client finished", base);
+  co_await expect_finished("server finished", base);
+  established_ = true;
+}
+
+sim::Task<void> SecureChannel::send_finished(const std::string& label,
+                                             const Buffer& base) {
+  HmacSha1 h(send_mac_key_);
+  h.update(base);
+  h.update(to_bytes(label));
+  auto m = h.finish();
+  co_await send_record(RecordType::kHandshake,
+                       BufChain(Buffer(m.begin(), m.end())));
+}
+
+sim::Task<void> SecureChannel::expect_finished(const std::string& label,
+                                               const Buffer& base) {
+  Record rec = co_await recv_record();
+  if (rec.type != RecordType::kHandshake) {
+    throw SecurityError("expected " + label);
+  }
+  HmacSha1 h(recv_mac_key_);
+  h.update(base);
+  h.update(to_bytes(label));
+  auto expect = h.finish();
+  Buffer scratch;
+  if (!ct_equal(ByteView(expect.data(), expect.size()),
+                linearize(rec.payload, scratch))) {
+    throw SecurityError(label + " MAC mismatch");
+  }
 }
 
 // --- application API --------------------------------------------------------

@@ -23,7 +23,10 @@
 // tradeoff.
 #pragma once
 
+#include <deque>
+#include <map>
 #include <memory>
+#include <optional>
 #include <string>
 
 #include "common/bufchain.hpp"
@@ -84,10 +87,47 @@ struct CryptoCostModel {
   double sha1_bytes_per_sec = 390.0e6;
   sim::SimDur per_record_cpu = 3 * sim::kMicrosecond;
   sim::SimDur handshake_cpu = 15 * sim::kMillisecond;  // RSA ops, 2007 HW
+  /// Abbreviated (resumed) handshake: symmetric key schedule only, no RSA.
+  sim::SimDur resume_cpu = 500 * sim::kMicrosecond;
 
   CryptoCostModel() = default;
 
   sim::SimDur record_cost(Cipher c, MacAlgo m, size_t bytes) const;
+};
+
+/// Everything a full handshake established, packaged so sibling streams of
+/// the same session can skip the RSA exchange (DotDFS-style stream pools):
+/// per-stream keys are derived from `secret` + the stream index, so K
+/// streams share one RSA handshake yet never share record keys.
+struct ResumptionTicket {
+  Buffer session_id;  // 16 bytes, derived from the master secret
+  Buffer secret;      // 48-byte resumption secret (never sent on the wire)
+  Cipher cipher = Cipher::kNull;
+  MacAlgo mac = MacAlgo::kNull;
+  Certificate peer_cert;  // peer identity carried over from the full shake
+  DistinguishedName peer_identity;
+
+  ResumptionTicket() = default;
+};
+
+/// Server-side ticket store, shared (via SecurityConfig) between the full-
+/// handshake listener that issues tickets and the stream listener that
+/// redeems them.  FIFO-capped; volatile by design — a server restart wipes
+/// it and clients fall back to a full handshake.
+class ResumptionCache {
+ public:
+  void put(const ResumptionTicket& ticket);
+  std::optional<ResumptionTicket> find(const Buffer& session_id) const;
+  void clear() {
+    by_id_.clear();
+    order_.clear();
+  }
+  size_t size() const { return by_id_.size(); }
+
+ private:
+  static constexpr size_t kCapacity = 1024;
+  std::map<Buffer, ResumptionTicket> by_id_;
+  std::deque<Buffer> order_;  // insertion order, for eviction
 };
 
 /// Everything a proxy needs to open or accept secure connections.
@@ -100,6 +140,13 @@ struct SecurityConfig {
   CryptoCostModel cost;
   /// Automatic session-key renegotiation period; 0 disables (paper §4.2).
   sim::SimDur renegotiate_interval = 0;
+  /// Server side: ticket store enabling abbreviated per-stream handshakes.
+  /// Null (the default) keeps the feature off end to end.
+  std::shared_ptr<ResumptionCache> resumption;
+  /// Server side: this listener serves pool streams — the first handshake
+  /// message picks resumed vs full flow by magic.  The primary listener
+  /// keeps the strict full-handshake path (and its exact timing).
+  bool resume_only = false;
 
   SecurityConfig() = default;
 };
@@ -112,10 +159,22 @@ class SecureChannel {
       net::StreamPtr stream, const SecurityConfig& config, Rng& rng,
       int64_t now_epoch);
 
-  /// Server side: answers a handshake.
+  /// Server side: answers a handshake.  When `config.resume_only` is set
+  /// the listener dispatches on the first message's magic: abbreviated
+  /// resumed handshake, or a full one as fallback (e.g. after the server
+  /// restarted and forgot the ticket).
   static sim::Task<std::unique_ptr<SecureChannel>> accept(
       net::StreamPtr stream, const SecurityConfig& config, Rng& rng,
       int64_t now_epoch);
+
+  /// Client side: abbreviated handshake for stream `stream_index` of an
+  /// established session — derives fresh per-stream keys from the ticket
+  /// with no RSA work.  Throws SecurityError if the server no longer
+  /// remembers the session.
+  static sim::Task<std::unique_ptr<SecureChannel>> connect_resumed(
+      net::StreamPtr stream, const SecurityConfig& config, Rng& rng,
+      int64_t now_epoch, const ResumptionTicket& ticket,
+      uint32_t stream_index);
 
   /// Sends one application message as an encrypted+MAC'd record.  The
   /// chain's payload segments are grafted/encrypted without an intermediate
@@ -151,6 +210,16 @@ class SecureChannel {
   uint64_t records_sent() const { return send_seq_; }
   uint64_t records_received() const { return recv_seq_; }
 
+  /// Ticket for opening sibling streams of this session (client side after
+  /// a full handshake; the server publishes its copy into
+  /// config.resumption instead).
+  ResumptionTicket ticket() const;
+  /// True when this channel's keys came from an abbreviated handshake.
+  bool resumed() const { return resumed_; }
+  /// FNV-1a over the derived key block: equal across the two ends of one
+  /// stream, distinct across sibling streams (per-stream key separation).
+  uint64_t key_fingerprint() const { return key_fingerprint_; }
+
   /// True once the channel failed closed (MAC failure or framing garbage);
   /// every subsequent send/recv throws.  Recovery = new channel.
   bool failed() const { return failed_; }
@@ -173,6 +242,18 @@ class SecureChannel {
                 Rng& rng, bool is_client, int64_t now_epoch);
 
   sim::Task<void> handshake();
+  /// Server flow after the ClientHello was read (shared by the primary
+  /// listener and the stream listener's full-handshake fallback).
+  sim::Task<void> server_handshake_rest(BufChain hello, int64_t epoch);
+  /// Stream-listener server dispatch: resumed or full by hello magic.
+  sim::Task<void> handshake_stream();
+  /// Client-side abbreviated handshake for one pool stream.
+  sim::Task<void> handshake_resume(const ResumptionTicket& ticket,
+                                   uint32_t stream_index);
+  sim::Task<void> server_resume_rest(BufChain first);
+  sim::Task<void> send_finished(const std::string& label, const Buffer& base);
+  sim::Task<void> expect_finished(const std::string& label,
+                                  const Buffer& base);
   sim::Task<void> send_record(RecordType type, BufChain payload);
   struct Record {
     RecordType type;
@@ -205,9 +286,13 @@ class SecureChannel {
   bool established_ = false;
   bool failed_ = false;
   bool corrupt_next_ = false;
+  bool resumed_ = false;
   uint32_t key_generation_ = 0;
   uint64_t send_seq_ = 0;
   uint64_t recv_seq_ = 0;
+  uint64_t key_fingerprint_ = 0;
+  Buffer session_id_;          // derived alongside the key block
+  Buffer resumption_secret_;   // never leaves this process
 
   Buffer send_mac_key_, recv_mac_key_;
   Buffer send_iv_key_, recv_iv_key_;

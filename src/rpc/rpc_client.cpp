@@ -283,4 +283,16 @@ sim::Task<std::unique_ptr<RpcClient>> clnt_ssl_create(
       prog, vers);
 }
 
+sim::Task<std::unique_ptr<RpcClient>> clnt_ssl_resume(
+    net::Host& from, const net::Address& to, uint32_t prog, uint32_t vers,
+    const crypto::SecurityConfig& security, Rng& rng, int64_t now_epoch,
+    const crypto::ResumptionTicket& ticket, uint32_t stream_index) {
+  net::StreamPtr stream = co_await from.network().connect(from, to);
+  auto channel = co_await crypto::SecureChannel::connect_resumed(
+      std::move(stream), security, rng, now_epoch, ticket, stream_index);
+  co_return std::make_unique<RpcClient>(
+      from.engine(), std::make_unique<SecureTransport>(std::move(channel)),
+      prog, vers);
+}
+
 }  // namespace sgfs::rpc

@@ -139,4 +139,14 @@ sim::Task<std::unique_ptr<RpcClient>> clnt_ssl_create(
     net::Host& from, const net::Address& to, uint32_t prog, uint32_t vers,
     const crypto::SecurityConfig& security, Rng& rng, int64_t now_epoch);
 
+/// Opens stream `stream_index` of an established secure session: an
+/// abbreviated handshake derives per-stream keys from `ticket` with no RSA
+/// exchange.  Used by the proxy stream pool; throws SecurityError when the
+/// server no longer honours the ticket (caller falls back to
+/// clnt_ssl_create).
+sim::Task<std::unique_ptr<RpcClient>> clnt_ssl_resume(
+    net::Host& from, const net::Address& to, uint32_t prog, uint32_t vers,
+    const crypto::SecurityConfig& security, Rng& rng, int64_t now_epoch,
+    const crypto::ResumptionTicket& ticket, uint32_t stream_index);
+
 }  // namespace sgfs::rpc

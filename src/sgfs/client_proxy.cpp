@@ -31,6 +31,9 @@ ClientProxy::ClientProxy(net::Host& host, ClientProxyConfig config, Rng rng)
     retry_budget_ = std::make_shared<rpc::RetryBudget>(
         config_.retry_budget_ratio, config_.retry_budget_burst);
   }
+  if (config_.pool.streams > 1) {
+    pool_ = std::make_unique<StreamPool>(host_, config_, rng_);
+  }
 }
 
 void ClientProxy::start(uint16_t port) {
@@ -49,6 +52,7 @@ void ClientProxy::stop() {
   stopped_ = true;
   *alive_ = false;
   if (rpc_server_) rpc_server_->stop();
+  if (pool_) pool_->reset();
   if (upstream_nfs_) upstream_nfs_->close();
   if (upstream_mount_) upstream_mount_->close();
 }
@@ -71,6 +75,9 @@ uint64_t ClientProxy::upstream_retransmits() const {
 }
 
 void ClientProxy::drop_upstream() {
+  // Pool streams are channels of the primary's session: they die with it
+  // (the next striped transfer re-resumes off the fresh handshake).
+  if (pool_) pool_->reset();
   if (upstream_nfs_) {
     retransmits_accumulated_ += upstream_nfs_->retransmits();
     upstream_nfs_->close();
@@ -440,6 +447,161 @@ sim::Task<void> ClientProxy::replay_uncommitted() {
   }
 }
 
+sim::Task<void> ClientProxy::striped_fill(const nfs::ReadArgs& a) {
+  const size_t bs = config_.cache.block_size;
+  // Hold the forwarding mutex for the whole striped transfer: the primary
+  // stream serves stripe chunks too and must not interleave with other
+  // forwarded calls.
+  std::optional<sim::SimMutex::Guard> guard;
+  if (config_.serialize_forwarding) {
+    guard.emplace(co_await forward_mutex_.scoped());
+  }
+  // Re-check under the mutex: a concurrent miss may have filled the block
+  // while this coroutine waited.
+  if (blocks_.count({a.fh.fileid, a.offset / bs})) co_return;
+  try {
+    co_await ensure_upstream();
+    co_await pool_->ensure_streams(*upstream_nfs_, retry_budget_);
+    const size_t want = config_.pool.effective_prefetch();
+    StreamPool::StripedRead res = co_await pool_->read_striped(
+        *upstream_nfs_, a.fh, a.offset, want, last_client_auth_);
+    remember(a.fh, res.post_attrs);
+    const size_t got = res.data.size();
+    for (size_t off = 0; off < got; off += bs) {
+      const uint64_t block = (a.offset + off) / bs;
+      const BlockKey key{a.fh.fileid, block};
+      const size_t len = std::min(bs, got - off);
+      // Local state wins over server bytes: never overwrite a cached block
+      // (it may be dirty) or one with an uncommitted replay shadow.
+      if (blocks_.count(key) || uncommitted_.count(key)) continue;
+      Block& b = put_block(a.fh.fileid, block);
+      res.data.slice(off, len).copy_to(MutByteView(b.data.data(), len));
+      b.valid = static_cast<uint32_t>(len);
+      if (host_.memcpy_charged()) co_await host_.memcpy_cost(len);
+      spawn_cache_store(a.fh.fileid, block, len);
+    }
+    co_await evict_if_needed();
+  } catch (const std::exception& e) {
+    // Non-fatal: the caller falls back to the single-stream forward path.
+    SGFS_WARN("sgfs-proxy", "striped readahead failed: ", e.what());
+  }
+}
+
+sim::Task<void> ClientProxy::flush_file_striped(uint64_t fileid) {
+  const size_t bs = config_.cache.block_size;
+  auto ds = dirty_.find(fileid);
+  if (ds == dirty_.end() || ds->second.empty()) co_return;
+  const std::vector<uint64_t> pending(ds->second.begin(), ds->second.end());
+
+  // Per-block snapshot kept for verifier replay (same shadow discipline as
+  // writeback_block, just batched).
+  struct Shadow {
+    uint64_t block = 0;
+    size_t len = 0;
+    BufChain data;
+    Shadow() = default;
+  };
+  struct Batch {
+    StreamPool::WriteBatch wire;
+    std::vector<Shadow> shadows;
+    Batch() = default;
+  };
+  std::vector<Batch> batches;
+  uint64_t prev_block = 0;
+  bool prev_full = false;
+  for (uint64_t block : pending) {
+    auto it = blocks_.find({fileid, block});
+    if (it == blocks_.end() || !it->second.dirty) continue;
+    const size_t len = it->second.valid;
+    // Read back from the cache disk and snapshot, exactly like the
+    // single-stream write-back (the kernel client may keep writing into
+    // the cached block while the WRITE is in flight).
+    co_await cache_disk_io(fileid, block, len, /*write=*/false);
+    BufChain snap =
+        BufChain::copy_of(ByteView(it->second.data.data(), len));
+    if (host_.memcpy_charged()) co_await host_.memcpy_cost(len);
+    // Coalesce adjacent full blocks into one compound UNSTABLE WRITE; a
+    // short (partially-valid) block may only end a run.
+    const bool extend =
+        !batches.empty() && prev_full && block == prev_block + 1 &&
+        batches.back().wire.data.size() + len <= config_.pool.coalesce_bytes;
+    if (!extend) {
+      Batch b;
+      b.wire.fh = Fh(seen_fsid_, fileid);
+      b.wire.offset = block * bs;
+      batches.push_back(std::move(b));
+    }
+    batches.back().wire.data.append(snap);
+    Shadow sh;
+    sh.block = block;
+    sh.len = len;
+    sh.data = std::move(snap);
+    batches.back().shadows.push_back(std::move(sh));
+    prev_block = block;
+    prev_full = len == bs;
+  }
+  if (batches.empty()) co_return;
+
+  std::vector<StreamPool::BatchResult> results;
+  try {
+    co_await ensure_upstream();
+    co_await pool_->ensure_streams(*upstream_nfs_, retry_budget_);
+    std::vector<StreamPool::WriteBatch> wire;
+    wire.reserve(batches.size());
+    for (const Batch& b : batches) wire.push_back(b.wire);
+    std::optional<sim::SimMutex::Guard> guard;
+    if (config_.serialize_forwarding) {
+      guard.emplace(co_await forward_mutex_.scoped());
+    }
+    results = co_await pool_->write_batches(*upstream_nfs_, wire,
+                                            last_client_auth_);
+  } catch (const std::exception& e) {
+    // Everything is still dirty; the serial fallback below delivers it.
+    SGFS_WARN("sgfs-proxy", "pipelined write-back failed: ", e.what());
+    results.clear();
+  }
+
+  // Bookkeeping strictly in batch (= offset) order.  Verifier reactions
+  // are deferred until every batch is accounted for: a replay triggered by
+  // a mid-stripe server restart must see the complete shadow set.
+  std::vector<uint64_t> verfs;
+  for (size_t i = 0; i < results.size(); ++i) {
+    if (!results[i].ok) continue;  // stays dirty; re-sent serially below
+    const nfs::WriteRes& res = *results[i].res;
+    if (res.status != Status::kOk) {
+      SGFS_WARN("sgfs-proxy", "striped write-back failed: ",
+                vfs::to_string(res.status));
+    }
+    for (const Shadow& sh : batches[i].shadows) {
+      const BlockKey key{fileid, sh.block};
+      auto again = blocks_.find(key);
+      if (again != blocks_.end()) again->second.dirty = false;
+      auto d = dirty_.find(fileid);
+      if (d != dirty_.end()) {
+        d->second.erase(sh.block);
+        if (d->second.empty()) dirty_.erase(d);
+      }
+      flushed_bytes_ += sh.len;
+      m_flushed_bytes_.inc(sh.len);
+      if (res.status == Status::kOk) uncommitted_[key] = sh.data;
+    }
+    if (res.status == Status::kOk) verfs.push_back(res.verf);
+  }
+  for (uint64_t verf : verfs) co_await note_upstream_verf(verf);
+
+  // Undelivered batches (pool exhausted mid-flush) are still dirty: push
+  // them through the reconnecting single-stream path so the flush epoch
+  // always completes.
+  auto rest = dirty_.find(fileid);
+  if (rest != dirty_.end()) {
+    const std::vector<uint64_t> leftover(rest->second.begin(),
+                                         rest->second.end());
+    for (uint64_t block : leftover) {
+      co_await writeback_block(fileid, block, /*file_sync=*/false);
+    }
+  }
+}
+
 sim::Task<void> ClientProxy::evict_if_needed() {
   while (cache_bytes_used_ > config_.cache.capacity_bytes && !lru_.empty()) {
     const BlockKey victim = lru_.begin()->second;
@@ -472,8 +634,14 @@ sim::Task<void> ClientProxy::flush() {
     if (ds != dirty_.end()) {
       pending.assign(ds->second.begin(), ds->second.end());
     }
-    for (uint64_t block : pending) {
-      co_await writeback_block(fileid, block, /*file_sync=*/false);
+    if (pool_ && !pending.empty()) {
+      // Pipelined write-back over the stream pool; the COMMIT barrier
+      // below is unchanged — one barrier per flush epoch.
+      co_await flush_file_striped(fileid);
+    } else {
+      for (uint64_t block : pending) {
+        co_await writeback_block(fileid, block, /*file_sync=*/false);
+      }
     }
     // COMMIT until the reply's verifier matches the server instance that
     // holds the data; a mismatch means a mid-flush restart, which
@@ -602,32 +770,43 @@ sim::Task<BufChain> ClientProxy::handle(const rpc::CallContext& ctx,
       seen_fsid_ = a.fh.fsid;
       const bool aligned =
           config_.cache.cache_data && a.offset % bs == 0 && a.count <= bs;
-      if (aligned) {
-        auto bit = blocks_.find({a.fh.fileid, a.offset / bs});
-        auto at = attrs_.find(a.fh.fileid);
-        if (bit != blocks_.end() && at != attrs_.end() &&
-            attrs_fresh(at->second)) {
-          ++absorbed_reads_;
-          m_absorbed_reads_.inc();
-          const uint64_t size = at->second.attrs.size;
-          const Block& b = bit->second;
-          const size_t have =
-              a.offset >= size
-                  ? 0
-                  : std::min<uint64_t>(std::min<uint64_t>(a.count, b.valid),
-                                       size - a.offset);
-          co_await cache_disk_io(a.fh.fileid, a.offset / bs, have ? have : 1,
-                                 /*write=*/false);
-          nfs::ReadRes res;
-          res.count = static_cast<uint32_t>(have);
-          res.eof = a.offset + have >= size;
-          res.data = BufChain::copy_of(ByteView(b.data.data(), have));
-          if (host_.memcpy_charged()) co_await host_.memcpy_cost(have);
-          res.post_attrs = at->second.attrs;
-          xdr::Encoder enc;
-          res.encode(enc);
-          co_return enc.take();
+      // Two passes at most: a miss with a stream pool runs a striped
+      // readahead, then re-checks the cache (the pool populated whole
+      // blocks).  Without a pool the loop body executes exactly once —
+      // the K=1 path is unchanged.
+      for (int pass = 0;; ++pass) {
+        if (aligned) {
+          auto bit = blocks_.find({a.fh.fileid, a.offset / bs});
+          auto at = attrs_.find(a.fh.fileid);
+          if (bit != blocks_.end() && at != attrs_.end() &&
+              attrs_fresh(at->second)) {
+            ++absorbed_reads_;
+            m_absorbed_reads_.inc();
+            const uint64_t size = at->second.attrs.size;
+            const Block& b = bit->second;
+            const size_t have =
+                a.offset >= size
+                    ? 0
+                    : std::min<uint64_t>(std::min<uint64_t>(a.count, b.valid),
+                                         size - a.offset);
+            co_await cache_disk_io(a.fh.fileid, a.offset / bs, have ? have : 1,
+                                   /*write=*/false);
+            nfs::ReadRes res;
+            res.count = static_cast<uint32_t>(have);
+            res.eof = a.offset + have >= size;
+            res.data = BufChain::copy_of(ByteView(b.data.data(), have));
+            if (host_.memcpy_charged()) co_await host_.memcpy_cost(have);
+            res.post_attrs = at->second.attrs;
+            xdr::Encoder enc;
+            res.encode(enc);
+            co_return enc.take();
+          }
         }
+        if (pass == 0 && pool_ && aligned) {
+          co_await striped_fill(a);
+          continue;  // re-check: the readahead usually made this a hit
+        }
+        break;
       }
       BufChain reply = co_await forward(ctx, args);
       xdr::Decoder rdec(reply);

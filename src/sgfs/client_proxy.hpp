@@ -25,6 +25,7 @@
 #include "rpc/rpc_client.hpp"
 #include "rpc/rpc_server.hpp"
 #include "sgfs/session.hpp"
+#include "sgfs/stream_pool.hpp"
 #include "sim/mutex.hpp"
 
 namespace sgfs::core {
@@ -96,6 +97,10 @@ class ClientProxy : public rpc::RpcProgram,
   /// Last write verifier observed from the file server (unset before the
   /// first forwarded WRITE/COMMIT reply).
   std::optional<uint64_t> upstream_verf() const { return upstream_verf_; }
+  /// The WAN stream pool, or nullptr when config.pool.streams <= 1 (the
+  /// pool is then never constructed — K=1 stays bit-identical).  Exposed
+  /// for the chaos tests' fault-injection seams.
+  StreamPool* stream_pool() { return pool_.get(); }
 
  private:
   struct Block {
@@ -127,6 +132,18 @@ class ClientProxy : public rpc::RpcProgram,
   sim::Task<void> evict_if_needed();
   sim::Task<void> writeback_block(uint64_t fileid, uint64_t block,
                                   bool file_sync);
+  /// Striped readahead on an aligned READ miss: fetches
+  /// config.pool.effective_prefetch() bytes over the pool and populates
+  /// whole cache blocks (never overwriting dirty blocks or blocks with
+  /// uncommitted shadows).  Failure is non-fatal — the caller falls back
+  /// to the single-stream forward path.
+  sim::Task<void> striped_fill(const nfs::ReadArgs& a);
+  /// Pipelined write-back for one file: coalesces adjacent dirty blocks
+  /// into compound UNSTABLE batches and fans them over the pool; blocks
+  /// that could not be delivered remain dirty and are pushed through the
+  /// single-stream path afterwards.  The caller still issues the single
+  /// COMMIT barrier per flush epoch.
+  sim::Task<void> flush_file_striped(uint64_t fileid);
   sim::Task<void> renegotiate_loop(std::shared_ptr<bool> alive);
 
   // Write-verifier recovery (RFC 1813 §3.3.21, applied to the proxy's own
@@ -142,6 +159,7 @@ class ClientProxy : public rpc::RpcProgram,
   std::unique_ptr<rpc::RpcServer> rpc_server_;
   std::unique_ptr<rpc::RpcClient> upstream_nfs_;
   std::unique_ptr<rpc::RpcClient> upstream_mount_;
+  std::unique_ptr<StreamPool> pool_;  // null unless config.pool.streams > 1
   std::shared_ptr<rpc::RetryBudget> retry_budget_;
   sim::SimMutex forward_mutex_;
 

@@ -32,6 +32,10 @@ ServerProxy::ServerProxy(net::Host& host, ServerProxyConfig config,
   // in-flight secure sessions die with their streams.
   host.add_crash_handler(crash_token_, [this] {
     fh_names_.clear();
+    // Session tickets are process state: after a restart the pool's
+    // abbreviated resumes are refused and clients pay a full handshake on
+    // the stream port.
+    if (config_.security.resumption) config_.security.resumption->clear();
     if (upstream_nfs_) {
       upstream_nfs_->close();
       upstream_nfs_.reset();
@@ -47,6 +51,12 @@ void ServerProxy::start(uint16_t port) {
   if (config_.plain_transport) {
     rpc_server_ = std::make_unique<rpc::RpcServer>(host_, port);
   } else {
+    if (config_.stream_port != 0 && !config_.security.resumption) {
+      // Full handshakes on the primary port publish session tickets here;
+      // the stream listener consumes them for abbreviated resumes.
+      config_.security.resumption =
+          std::make_shared<crypto::ResumptionCache>();
+    }
     rpc_server_ = std::make_unique<rpc::RpcServer>(
         host_, port, config_.security, rng_.fork(),
         /*now_epoch=*/0);
@@ -57,10 +67,24 @@ void ServerProxy::start(uint16_t port) {
   rpc_server_->register_program(nfs::kMountProgram, nfs::kMountVersion3,
                                 self);
   rpc_server_->start();
+  if (!config_.plain_transport && config_.stream_port != 0) {
+    crypto::SecurityConfig stream_security = config_.security;
+    stream_security.resume_only = true;
+    stream_server_ = std::make_unique<rpc::RpcServer>(
+        host_, config_.stream_port, stream_security, rng_.fork(),
+        /*now_epoch=*/0);
+    stream_server_->set_admission(config_.admission);
+    stream_server_->register_program(nfs::kNfsProgram, nfs::kNfsVersion3,
+                                     self);
+    stream_server_->register_program(nfs::kMountProgram, nfs::kMountVersion3,
+                                     self);
+    stream_server_->start();
+  }
 }
 
 void ServerProxy::stop() {
   if (rpc_server_) rpc_server_->stop();
+  if (stream_server_) stream_server_->stop();
   if (upstream_nfs_) upstream_nfs_->close();
   if (upstream_mount_) upstream_mount_->close();
 }

@@ -111,6 +111,8 @@ class ServerProxy : public rpc::RpcProgram,
   std::unique_ptr<AclStore> acl_store_;
   Rng rng_;
   std::unique_ptr<rpc::RpcServer> rpc_server_;
+  /// Resume-only listener for pool streams (config.stream_port != 0).
+  std::unique_ptr<rpc::RpcServer> stream_server_;
   std::unique_ptr<rpc::RpcClient> upstream_nfs_;
   std::unique_ptr<rpc::RpcClient> upstream_mount_;
   sim::SimMutex forward_mutex_;

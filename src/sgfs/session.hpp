@@ -68,6 +68,36 @@ struct CacheConfig {
   CacheConfig() = default;
 };
 
+/// WAN stream pool (DotDFS-style parallel secure streams): the client
+/// proxy stripes bulk transfers across K concurrent channels of ONE
+/// session (per-stream keys derived from a single RSA handshake) and
+/// pipelines write-back flush batches across them.  streams == 1 keeps the
+/// pool entirely inert — no extra connections, no RNG draws, no code-path
+/// changes — bit-identical to the pre-pool proxy.
+struct StreamPoolConfig {
+  /// K: total concurrent streams, including the primary channel.
+  int streams = 1;
+  /// Bytes per striped chunk request (one READ per chunk).
+  size_t chunk_bytes = 256 * 1024;
+  /// Bytes prefetched per striped READ miss; 0 = streams * chunk_bytes.
+  size_t prefetch_bytes = 0;
+  /// Reassign chunks from a dead stream to the survivors.  Disable only
+  /// for the chaos negative control: a stream fault then aborts the
+  /// striped transfer and the proxy degrades to the single-stream path.
+  bool failover = true;
+  /// Max bytes of adjacent dirty blocks coalesced into one compound
+  /// UNSTABLE WRITE batch during flush.
+  size_t coalesce_bytes = 256 * 1024;
+
+  StreamPoolConfig() = default;
+
+  size_t effective_prefetch() const {
+    return prefetch_bytes != 0
+               ? prefetch_bytes
+               : static_cast<size_t>(streams) * chunk_bytes;
+  }
+};
+
 struct ServerProxyConfig {
   /// Plain (unsecured) transport — the paper's basic GFS baseline.
   bool plain_transport = false;
@@ -104,6 +134,10 @@ struct ServerProxyConfig {
   /// needed for the breaker to observe timeouts rather than hang.  Default:
   /// wait forever (loopback is reliable unless a FaultPlan says otherwise).
   rpc::RetryPolicy upstream_retry;
+  /// Extra listener for pool streams (abbreviated resumed handshakes with
+  /// full-handshake fallback).  0 = disabled; the primary listener and its
+  /// exact handshake timing are untouched either way.
+  uint16_t stream_port = 0;
 
   ServerProxyConfig() = default;
 };
@@ -138,6 +172,8 @@ struct ClientProxyConfig {
   /// before retrying COMMIT.  Disable ONLY to demonstrate the resulting
   /// data loss (the chaos suite's deliberately-broken negative test).
   bool verifier_replay = true;
+  /// WAN stream pool; pool.streams == 1 (default) keeps it inert.
+  StreamPoolConfig pool;
 
   ClientProxyConfig() = default;
 };

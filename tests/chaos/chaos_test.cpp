@@ -381,6 +381,7 @@ struct ChaosSpec {
   bool proxy_cache = false;  // proxy disk cache + write-back
   bool gray = false;  // gray failures: slow-link/slow-disk/slow-CPU windows
   bool verifier_replay = true;
+  int streams = 1;  // WAN stream pool width (1 = pool disabled)
 
   ChaosSpec() = default;
   ChaosSpec(std::string n, SetupKind k, uint64_t s, int c, bool b, bool fc,
@@ -501,7 +502,8 @@ sim::Task<void> crash_on_flush(Testbed& tb, uint64_t seed) {
 
 TreeSnapshot run_chaos(const ChaosSpec& spec, bool faulted,
                        uint64_t* crashes_fired = nullptr,
-                       uint64_t* gray_hits = nullptr) {
+                       uint64_t* gray_hits = nullptr,
+                       uint64_t* pool_activity = nullptr) {
   TestbedOptions opt;
   opt.kind = spec.kind;
   opt.seed = spec.seed;
@@ -510,6 +512,7 @@ TreeSnapshot run_chaos(const ChaosSpec& spec, bool faulted,
   opt.proxy_disk_cache = spec.proxy_cache;
   opt.proxy_write_back = spec.proxy_cache;
   opt.verifier_replay = spec.verifier_replay;
+  opt.pool.streams = spec.streams;
   if (faulted && spec.blackouts) opt.loss_probability = 0.005;
   if (faulted && spec.gray) {
     // Gray failures are performance-only: the faulted run slows down (and
@@ -568,6 +571,11 @@ TreeSnapshot run_chaos(const ChaosSpec& spec, bool faulted,
                  tb.fault_plan()->slow_disk_ops() +
                  tb.fault_plan()->slow_cpu_ops();
   }
+  if (pool_activity) {
+    *pool_activity =
+        tb.engine().metrics().counter_value("sgfs.pool.batches") +
+        tb.engine().metrics().counter_value("sgfs.pool.striped_reads");
+  }
   return snapshot_tree(tb);
 }
 
@@ -577,13 +585,18 @@ TEST_P(ChaosMatrix, FaultedRunMatchesFaultFreeOracle) {
   const ChaosSpec& spec = GetParam();
   uint64_t crashes_fired = 0;
   uint64_t gray_hits = 0;
-  TreeSnapshot faulted =
-      run_chaos(spec, /*faulted=*/true, &crashes_fired, &gray_hits);
+  uint64_t pool_activity = 0;
+  TreeSnapshot faulted = run_chaos(spec, /*faulted=*/true, &crashes_fired,
+                                   &gray_hits, &pool_activity);
   if (spec.crashes > 0 || spec.flush_crash) {
     EXPECT_GE(crashes_fired, 1u) << "crash schedule missed the run";
   }
   if (spec.gray) {
     EXPECT_GE(gray_hits, 1u) << "gray-failure windows missed the run";
+  }
+  if (spec.streams > 1) {
+    EXPECT_GE(pool_activity, 1u)
+        << "stream pool never engaged — the striped entry is vacuous";
   }
   TreeSnapshot oracle = run_chaos(spec, /*faulted=*/false);
   EXPECT_FALSE(oracle.empty());
@@ -628,6 +641,27 @@ std::vector<ChaosSpec> matrix_specs() {
                        SetupKind::kSgfs, seed, /*crashes=*/0,
                        /*blackouts=*/false, /*flush_crash=*/true,
                        /*proxy_cache=*/true);
+  }
+  // SGFS with the K=4 stream pool: the crash lands while the session flush
+  // is pipelining UNSTABLE batches across four streams, so the verifier
+  // replay must cover a partially-committed stripe (some batches landed
+  // pre-crash, their verifiers died with the server).
+  for (uint64_t seed = 41; seed <= 43; ++seed) {
+    specs.emplace_back("sgfs_striped_flush_seed" + std::to_string(seed),
+                       SetupKind::kSgfs, seed, /*crashes=*/0,
+                       /*blackouts=*/false, /*flush_crash=*/true,
+                       /*proxy_cache=*/true);
+    specs.back().streams = 4;
+  }
+  // Mid-run crashes with the pool up: striped reads + eviction write-backs
+  // race the restart, and the pool's sibling streams must re-resume against
+  // a server whose ticket cache died with it.
+  for (uint64_t seed = 44; seed <= 45; ++seed) {
+    specs.emplace_back("sgfs_striped_crash_seed" + std::to_string(seed),
+                       SetupKind::kSgfs, seed, /*crashes=*/1,
+                       /*blackouts=*/false, /*flush_crash=*/false,
+                       /*proxy_cache=*/true);
+    specs.back().streams = 4;
   }
   // Gray-failure-only schedules (no crashes): degraded-but-alive windows
   // push RPCs past their timeouts, so recovery runs entirely on spurious
@@ -677,6 +711,10 @@ TEST(ChaosMatrixNegative, BrokenReplayFailsInvariant) {
   specs.emplace_back("neg_sgfs_flush", SetupKind::kSgfs, 25, /*crashes=*/0,
                      /*blackouts=*/false, /*flush_crash=*/true,
                      /*proxy_cache=*/true);
+  specs.emplace_back("neg_sgfs_striped_flush", SetupKind::kSgfs, 42,
+                     /*crashes=*/0, /*blackouts=*/false, /*flush_crash=*/true,
+                     /*proxy_cache=*/true);
+  specs.back().streams = 4;
   int mismatches = 0;
   for (auto& spec : specs) {
     spec.verifier_replay = false;
@@ -688,6 +726,151 @@ TEST(ChaosMatrixNegative, BrokenReplayFailsInvariant) {
   EXPECT_GE(mismatches, 1)
       << "disabling verifier replay lost no data on any negative seed — "
          "the chaos invariant has no teeth";
+}
+
+// --- one-stream faults mid-striped-transfer ----------------------------------
+//
+// ISSUE "WAN parallel secure streams": kill / MAC-poison / slow exactly ONE
+// stream of K while a bulk striped READ is in flight.  The transfer must
+// complete over the survivors with no duplicated, reordered or truncated
+// bytes (checked bit-for-bit against the content generator), and the
+// negative control — failover disabled — must abort the pool instead of
+// silently degrading.  A killed stream is the single-stream analogue of a
+// link blackout: the TCP carrier dies, its in-flight chunk throws, and the
+// chunk is re-queued for the surviving streams.
+
+enum class StreamFault { kKill, kCorrupt, kSlow };
+
+struct StreamFaultResult {
+  Buffer bytes;
+  uint64_t failovers = 0;
+  uint64_t aborted = 0;
+  uint64_t striped_bytes = 0;
+
+  StreamFaultResult() = default;
+};
+
+// The exact bytes Testbed::preload_file generated.
+Buffer stream_oracle(uint64_t size, uint64_t content_seed) {
+  Buffer out(size);
+  Rng content(content_seed);
+  constexpr size_t kFill = 1 << 20;
+  Buffer chunk(kFill);
+  for (uint64_t off = 0; off < size;) {
+    const size_t n =
+        static_cast<size_t>(std::min<uint64_t>(kFill, size - off));
+    content.fill(MutByteView(chunk.data(), n));
+    std::copy(chunk.begin(), chunk.begin() + n, out.begin() + off);
+    off += n;
+  }
+  return out;
+}
+
+StreamFaultResult run_stream_fault(StreamFault fault, bool failover) {
+  TestbedOptions opt;
+  opt.kind = SetupKind::kSgfs;
+  opt.cipher = crypto::Cipher::kNull;
+  opt.mac = crypto::MacAlgo::kHmacSha1;
+  opt.proxy_disk_cache = true;
+  opt.wan_rtt = 10 * sim::kMillisecond;
+  opt.pool.streams = 4;
+  opt.pool.chunk_bytes = 128 * 1024;
+  opt.pool.failover = failover;
+  Testbed tb(opt);
+  const uint64_t size = 6ull << 20;
+  tb.preload_file("bulk.bin", size, /*warm=*/true, /*content_seed=*/7);
+
+  // Fault injector: wait until the pool has striped >256 KiB (the transfer
+  // is demonstrably mid-flight), then fault stream 1 of 4.
+  tb.engine().spawn([](Testbed& tb, StreamFault fault) -> Task<void> {
+    while (tb.engine().metrics().counter_value("sgfs.pool.striped_bytes") <
+           256 * 1024) {
+      if (tb.engine().now() > 60 * sim::kSecond) co_return;  // gave up
+      co_await tb.engine().sleep(1_ms);
+    }
+    auto* pool = tb.client_proxy()->stream_pool();
+    if (!pool) co_return;
+    switch (fault) {
+      case StreamFault::kKill:
+        pool->kill_stream(1);
+        break;
+      case StreamFault::kCorrupt:
+        // Poison the next record: the server MAC-rejects it and that
+        // channel — only that channel — fails closed.
+        pool->corrupt_stream(1);
+        break;
+      case StreamFault::kSlow:
+        pool->set_stream_delay(1, 500_ms);
+        break;
+    }
+  }(tb, fault));
+
+  StreamFaultResult out;
+  out.bytes.resize(size);
+  tb.engine().run_task([](Testbed& tb, Buffer* bytes) -> Task<void> {
+    auto mp = co_await tb.mount();
+    int fd = co_await mp->open("bulk.bin", nfs::kRdOnly);
+    uint64_t off = 0;
+    while (off < bytes->size()) {
+      const size_t want = static_cast<size_t>(
+          std::min<uint64_t>(256 * 1024, bytes->size() - off));
+      const size_t got = co_await mp->pread(
+          fd, off, MutByteView(bytes->data() + off, want));
+      if (got == 0) break;
+      off += got;
+    }
+    EXPECT_EQ(off, bytes->size()) << "short read at offset " << off;
+    co_await mp->close(fd);
+  }(tb, &out.bytes));
+  EXPECT_TRUE(tb.engine().errors().empty())
+      << (tb.engine().errors().empty() ? "" : tb.engine().errors()[0]);
+  out.failovers = tb.engine().metrics().counter_value("sgfs.pool.failovers");
+  out.aborted = tb.engine().metrics().counter_value("sgfs.pool.aborted");
+  out.striped_bytes =
+      tb.engine().metrics().counter_value("sgfs.pool.striped_bytes");
+  return out;
+}
+
+TEST(ChaosStreamFault, KilledStreamFailsOverAndBytesStayExact) {
+  const StreamFaultResult r =
+      run_stream_fault(StreamFault::kKill, /*failover=*/true);
+  EXPECT_GE(r.striped_bytes, 256u * 1024) << "fault fired before striping";
+  EXPECT_GE(r.failovers, 1u) << "killed stream never failed over";
+  EXPECT_EQ(r.aborted, 0u);
+  EXPECT_TRUE(r.bytes == stream_oracle(6ull << 20, 7))
+      << "bytes diverged after one-stream kill";
+}
+
+TEST(ChaosStreamFault, MacPoisonedStreamFailsOverSiblingsFinish) {
+  const StreamFaultResult r =
+      run_stream_fault(StreamFault::kCorrupt, /*failover=*/true);
+  EXPECT_GE(r.failovers, 1u) << "poisoned stream never failed over";
+  EXPECT_EQ(r.aborted, 0u);
+  EXPECT_TRUE(r.bytes == stream_oracle(6ull << 20, 7))
+      << "bytes diverged after one-stream MAC failure";
+}
+
+TEST(ChaosStreamFault, SlowStreamDelaysButNeverCorrupts) {
+  const StreamFaultResult r =
+      run_stream_fault(StreamFault::kSlow, /*failover=*/true);
+  // A slow stream is not a dead stream: no failover, no abort, and the
+  // reassembly frontier still emits every byte exactly once, in order.
+  EXPECT_EQ(r.aborted, 0u);
+  EXPECT_TRUE(r.bytes == stream_oracle(6ull << 20, 7))
+      << "bytes diverged under one slow stream";
+}
+
+// Negative control: with failover disabled the pool must ABORT on a dead
+// stream (and the proxy falls back to the plain forward path) rather than
+// pretend the stripe completed.  If this stops aborting, the failover tests
+// above prove nothing.
+TEST(ChaosStreamFault, NoFailoverAbortsInsteadOfDegradingSilently) {
+  const StreamFaultResult r =
+      run_stream_fault(StreamFault::kKill, /*failover=*/false);
+  EXPECT_GE(r.aborted, 1u) << "failover=false never aborted";
+  EXPECT_EQ(r.failovers, 0u);
+  // Correctness is still preserved — by the serial fallback, not the pool.
+  EXPECT_TRUE(r.bytes == stream_oracle(6ull << 20, 7));
 }
 
 }  // namespace
