@@ -143,7 +143,15 @@ Testbed::Testbed(TestbedOptions options)
       scfg.security.trusted = {pki_->ca.root()};
       scfg.security.cipher = options_.cipher;
       scfg.security.mac = options_.mac;
-      if (options_.pool.streams > 1) scfg.stream_port = 3050;
+      // Unified handshake negotiation on the main port: needed by the
+      // pool's sibling streams (K > 1) and by cross-session resumption.
+      if (options_.pool.streams > 1 || options_.resume_sessions) {
+        scfg.session_resumption = true;
+      }
+      scfg.durable_ticket_cache = options_.durable_ticket_cache;
+      scfg.key_regression = options_.key_regression;
+      scfg.resumption_capacity = options_.resumption_capacity;
+      scfg.resumption_ttl_s = options_.resumption_ttl_s;
       break;
     default:
       break;
@@ -195,6 +203,7 @@ Testbed::Testbed(TestbedOptions options)
       ccfg.security.cipher = options_.cipher;
       ccfg.security.mac = options_.mac;
       ccfg.pool = options_.pool;
+      ccfg.resume_sessions = options_.resume_sessions;
       break;
     default:
       break;

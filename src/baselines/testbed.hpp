@@ -73,10 +73,25 @@ struct TestbedOptions {
   /// so results are bit-identical to runs that predate the zero-copy work.
   double memcpy_bytes_per_sec = 0;
   /// WAN stream pool (gfs and sgfs setups).  pool.streams == 1 (the
-  /// default) keeps the pool entirely inert: no extra listener, no extra
-  /// RNG forks, bit-identical to the pre-pool testbed.  With K > 1 the
-  /// sgfs server proxy gains a resume-only stream listener on port 3050.
+  /// default) keeps the pool entirely inert: no extra RNG forks and no
+  /// resumed-handshake negotiation, bit-identical to the pre-pool testbed.
+  /// With K > 1 the sgfs server proxy's main listener also accepts
+  /// abbreviated resumed handshakes (unified negotiation).
   core::StreamPoolConfig pool;
+  /// Cross-session resumption tickets (sgfs only): the client proxy retains
+  /// its ticket across disconnects and reconnects with an abbreviated
+  /// handshake.  Off by default — the pre-change handshake sequence (and
+  /// every golden pin) is preserved exactly.
+  bool resume_sessions = false;
+  /// Server-side ticket cache survives crash_restart (models an on-disk
+  /// session cache).  Off = a restart wipes it and resumption falls back to
+  /// full handshakes.
+  bool durable_ticket_cache = false;
+  /// Key regression for lazy revocation (sgfs server proxy).
+  bool key_regression = false;
+  /// Server resumption-ticket cache tuning (0 TTL = no expiry).
+  size_t resumption_capacity = crypto::ResumptionCache::kDefaultCapacity;
+  int64_t resumption_ttl_s = 0;
 
   /// One gray-failure window (net/fault.hpp): the component keeps working,
   /// slower.  `delay`/`jitter` apply to link-slowdown windows, `factor`

@@ -1,0 +1,70 @@
+#include "crypto/key_regression.hpp"
+
+#include <stdexcept>
+
+#include "crypto/hmac.hpp"
+#include "crypto/sha.hpp"
+
+namespace sgfs::crypto {
+
+namespace {
+
+Buffer sha256_of(const Buffer& in) {
+  auto d = Sha256::hash(in);
+  return Buffer(d.begin(), d.end());
+}
+
+}  // namespace
+
+KeyRegression::KeyRegression(Rng& rng, uint32_t max_epochs)
+    : seed_(rng.bytes(kSecretSize)), max_epochs_(max_epochs) {
+  if (max_epochs_ == 0) throw std::invalid_argument("max_epochs == 0");
+}
+
+KeyRegression::KeyRegression(Buffer seed, uint32_t max_epochs)
+    : seed_(std::move(seed)), max_epochs_(max_epochs) {
+  if (max_epochs_ == 0) throw std::invalid_argument("max_epochs == 0");
+  if (seed_.size() != kSecretSize) {
+    throw std::invalid_argument("key-regression seed must be 32 bytes");
+  }
+}
+
+void KeyRegression::wind() {
+  if (epoch_ + 1 >= max_epochs_) {
+    throw std::runtime_error("key-regression chain exhausted");
+  }
+  ++epoch_;
+}
+
+Buffer KeyRegression::secret_for(uint32_t e) const {
+  if (e >= max_epochs_) throw std::invalid_argument("epoch beyond chain");
+  Buffer w = seed_;
+  for (uint32_t i = max_epochs_ - 1; i > e; --i) w = sha256_of(w);
+  return w;
+}
+
+Buffer KeyRegression::regress(const Buffer& later_secret,
+                              uint32_t later_epoch, uint32_t earlier_epoch) {
+  if (earlier_epoch > later_epoch) {
+    throw std::invalid_argument("cannot derive a later epoch from an "
+                                "earlier secret");
+  }
+  Buffer w = later_secret;
+  for (uint32_t e = later_epoch; e > earlier_epoch; --e) w = sha256_of(w);
+  return w;
+}
+
+Buffer KeyRegression::content_key(const Buffer& epoch_secret,
+                                  uint32_t epoch) {
+  HmacSha256 h(epoch_secret);
+  h.update(to_bytes(std::string("sgfs epoch key")));
+  Buffer e = {static_cast<uint8_t>(epoch >> 24),
+              static_cast<uint8_t>(epoch >> 16),
+              static_cast<uint8_t>(epoch >> 8),
+              static_cast<uint8_t>(epoch)};
+  h.update(e);
+  auto d = h.finish();
+  return Buffer(d.begin(), d.end());
+}
+
+}  // namespace sgfs::crypto

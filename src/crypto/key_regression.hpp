@@ -1,0 +1,66 @@
+// Key regression for lazy revocation (paper §4.3 story, made enforceable).
+//
+// Each session-gridmap *generation* (epoch) has a 32-byte epoch secret.  The
+// secrets form a backwards hash chain seeded at w_max:
+//
+//   w_i = SHA-256(w_{i+1})        secret(e) = w_e = SHA-256^(max-e)(w_max)
+//
+// so the publisher keeps O(1) state (the seed + current epoch counter) and a
+// reader holding the epoch-e secret can *regress* to every earlier epoch by
+// hashing forward along the chain — but can never derive a later epoch.
+// Revoking a DN therefore costs one counter bump: the revoked reader's newest
+// secret stops at the old epoch, while surviving readers fetch the new secret
+// once and still decrypt all prior-generation content (lazy re-encryption).
+//
+// This mirrors the hash-chain KR schemes used by Plutus/SNAD-style systems;
+// contents keys are bound to one epoch via HMAC so chain links themselves are
+// never used directly as cipher keys.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.hpp"
+#include "common/rng.hpp"
+
+namespace sgfs::crypto {
+
+class KeyRegression {
+ public:
+  static constexpr size_t kSecretSize = 32;  // SHA-256 digest
+  static constexpr uint32_t kDefaultMaxEpochs = 1024;
+
+  /// Fresh chain: the seed (w_max) is drawn from `rng`.
+  explicit KeyRegression(Rng& rng, uint32_t max_epochs = kDefaultMaxEpochs);
+  /// Deterministic chain from an explicit seed (tests, replicated state).
+  KeyRegression(Buffer seed, uint32_t max_epochs);
+
+  uint32_t epoch() const { return epoch_; }
+  uint32_t max_epochs() const { return max_epochs_; }
+
+  /// Advance one epoch (a revocation event).  O(1) state change.
+  /// Throws std::runtime_error once the chain is exhausted.
+  void wind();
+
+  /// Secret for the current epoch.
+  Buffer current_secret() const { return secret_for(epoch_); }
+  /// Secret for any epoch <= max_epochs (the chain is position-addressed,
+  /// so the publisher can reproduce every link from the seed).
+  Buffer secret_for(uint32_t e) const;
+
+  /// Reader side: derive an *earlier* epoch's secret from a later one by
+  /// walking the hash chain forward.  No publisher contact, O(later-earlier)
+  /// hashes.  Throws std::invalid_argument when earlier > later.
+  static Buffer regress(const Buffer& later_secret, uint32_t later_epoch,
+                        uint32_t earlier_epoch);
+
+  /// Content-protection key bound to one epoch: HMAC keeps raw chain links
+  /// out of cipher key schedules.
+  static Buffer content_key(const Buffer& epoch_secret, uint32_t epoch);
+
+ private:
+  Buffer seed_;  // w_max — the newest link; all epochs derive from it
+  uint32_t max_epochs_;
+  uint32_t epoch_ = 0;
+};
+
+}  // namespace sgfs::crypto

@@ -116,24 +116,54 @@ MacAlgo mac_from_string(const std::string& s) {
   throw std::invalid_argument("unknown MAC: " + s);
 }
 
-void ResumptionCache::put(const ResumptionTicket& ticket) {
+void ResumptionCache::put(const ResumptionTicket& ticket, int64_t now_s) {
   if (ticket.session_id.empty()) return;
-  auto [it, inserted] = by_id_.insert_or_assign(ticket.session_id, ticket);
-  (void)it;
-  if (inserted) {
-    order_.push_back(ticket.session_id);
-    while (order_.size() > kCapacity) {
-      by_id_.erase(order_.front());
-      order_.pop_front();
-    }
+  auto it = by_id_.find(ticket.session_id);
+  if (it != by_id_.end()) lru_.erase(it->second.stamp);
+  Entry e;
+  e.ticket = ticket;
+  e.stored_at = now_s;
+  e.stamp = ++clock_;
+  lru_[e.stamp] = ticket.session_id;
+  by_id_[ticket.session_id] = std::move(e);
+  while (by_id_.size() > capacity_) {
+    auto oldest = lru_.begin();
+    by_id_.erase(oldest->second);
+    lru_.erase(oldest);
+    ++evictions_;
   }
 }
 
 std::optional<ResumptionTicket> ResumptionCache::find(
-    const Buffer& session_id) const {
+    const Buffer& session_id, int64_t now_s) {
   auto it = by_id_.find(session_id);
   if (it == by_id_.end()) return std::nullopt;
-  return it->second;
+  if (ttl_s_ > 0 && now_s - it->second.stored_at >= ttl_s_) {
+    // Expired: fail closed exactly like an unknown ticket.
+    lru_.erase(it->second.stamp);
+    by_id_.erase(it);
+    ++expirations_;
+    return std::nullopt;
+  }
+  // Touch: a redeemed ticket is hot; evict the longest-idle one instead.
+  lru_.erase(it->second.stamp);
+  it->second.stamp = ++clock_;
+  lru_[it->second.stamp] = session_id;
+  return it->second.ticket;
+}
+
+size_t ResumptionCache::erase_identity(const DistinguishedName& dn) {
+  size_t dropped = 0;
+  for (auto it = by_id_.begin(); it != by_id_.end();) {
+    if (it->second.ticket.peer_identity == dn) {
+      lru_.erase(it->second.stamp);
+      it = by_id_.erase(it);
+      ++dropped;
+    } else {
+      ++it;
+    }
+  }
+  return dropped;
 }
 
 sim::SimDur CryptoCostModel::record_cost(Cipher c, MacAlgo m,
@@ -186,7 +216,7 @@ sim::Task<std::unique_ptr<SecureChannel>> SecureChannel::accept(
   auto ch = std::unique_ptr<SecureChannel>(new SecureChannel(
       std::move(stream), config, rng, /*is_client=*/false, now_epoch));
   try {
-    if (config.resume_only) {
+    if (config.resume_only || config.negotiate) {
       co_await ch->handshake_stream();
     } else {
       co_await ch->handshake();
@@ -608,7 +638,7 @@ sim::Task<void> SecureChannel::server_handshake_rest(BufChain hello,
     t.mac = mac_;
     t.peer_cert = peer_cert_;
     t.peer_identity = peer_identity_;
-    config_.resumption->put(t);
+    config_.resumption->put(t, epoch);
   }
 }
 
@@ -637,14 +667,15 @@ sim::Task<void> SecureChannel::handshake_stream() {
     metrics.counter("crypto.stream_resumptions").inc();
     co_await stream_->local_host().cpu().use(config_.cost.resume_cpu,
                                              "crypto");
-    co_await server_resume_rest(std::move(first));
+    co_await server_resume_rest(std::move(first), epoch);
   } else {
     throw SecurityError("bad magic");
   }
   established_ = true;
 }
 
-sim::Task<void> SecureChannel::server_resume_rest(BufChain first) {
+sim::Task<void> SecureChannel::server_resume_rest(BufChain first,
+                                                  int64_t epoch) {
   Buffer session_id, client_random;
   uint32_t stream_index = 0;
   {
@@ -655,7 +686,7 @@ sim::Task<void> SecureChannel::server_resume_rest(BufChain first) {
     client_random = dec.get_opaque(kRandomSize);
   }
   if (!config_.resumption) throw SecurityError("resumption disabled");
-  auto ticket = config_.resumption->find(session_id);
+  auto ticket = config_.resumption->find(session_id, epoch);
   if (!ticket) throw SecurityError("unknown session ticket");
   if (ticket->cipher != config_.cipher || ticket->mac != config_.mac) {
     throw SecurityError("resumed cipher suite mismatch");

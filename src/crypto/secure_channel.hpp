@@ -110,24 +110,58 @@ struct ResumptionTicket {
   ResumptionTicket() = default;
 };
 
-/// Server-side ticket store, shared (via SecurityConfig) between the full-
-/// handshake listener that issues tickets and the stream listener that
-/// redeems them.  FIFO-capped; volatile by design — a server restart wipes
-/// it and clients fall back to a full handshake.
+/// Server-side ticket store, shared (via SecurityConfig) between the
+/// handshakes that issue tickets and the abbreviated handshakes that redeem
+/// them — both pool sibling streams and cross-session reconnects.  Bounded:
+/// `capacity` live tickets with LRU eviction (a find() refreshes recency),
+/// and an optional TTL after which a ticket fails closed exactly like an
+/// unknown one.  Volatile by design — a server restart wipes it and clients
+/// fall back to a full handshake.
 class ResumptionCache {
  public:
-  void put(const ResumptionTicket& ticket);
-  std::optional<ResumptionTicket> find(const Buffer& session_id) const;
+  static constexpr size_t kDefaultCapacity = 1024;
+
+  ResumptionCache() = default;
+  explicit ResumptionCache(size_t capacity, int64_t ttl_seconds = 0)
+      : capacity_(capacity ? capacity : 1), ttl_s_(ttl_seconds) {}
+
+  /// Stores (or refreshes) a ticket.  `now_s` is the wall-clock epoch used
+  /// for TTL accounting; callers without a clock may pass 0 (tickets then
+  /// only age relative to other 0-stamped puts).
+  void put(const ResumptionTicket& ticket, int64_t now_s = 0);
+  /// Looks a ticket up, touching its LRU recency.  Expired tickets are
+  /// erased and reported as absent (fail closed).
+  std::optional<ResumptionTicket> find(const Buffer& session_id,
+                                       int64_t now_s = 0);
+  /// Revocation purge: drops every ticket minted for `dn` so a revoked
+  /// reader cannot resume its way back in.  Returns tickets dropped.
+  size_t erase_identity(const DistinguishedName& dn);
   void clear() {
     by_id_.clear();
-    order_.clear();
+    lru_.clear();
   }
   size_t size() const { return by_id_.size(); }
+  int64_t ttl_seconds() const { return ttl_s_; }
+  size_t capacity() const { return capacity_; }
+  uint64_t evictions() const { return evictions_; }
+  uint64_t expirations() const { return expirations_; }
 
  private:
-  static constexpr size_t kCapacity = 1024;
-  std::map<Buffer, ResumptionTicket> by_id_;
-  std::deque<Buffer> order_;  // insertion order, for eviction
+  struct Entry {
+    ResumptionTicket ticket;
+    int64_t stored_at = 0;
+    uint64_t stamp = 0;
+
+    Entry() = default;
+  };
+
+  size_t capacity_ = kDefaultCapacity;
+  int64_t ttl_s_ = 0;  // 0 = tickets never expire
+  uint64_t clock_ = 0;
+  uint64_t evictions_ = 0;
+  uint64_t expirations_ = 0;
+  std::map<Buffer, Entry> by_id_;
+  std::map<uint64_t, Buffer> lru_;  // stamp -> id, oldest first
 };
 
 /// Everything a proxy needs to open or accept secure connections.
@@ -140,12 +174,18 @@ struct SecurityConfig {
   CryptoCostModel cost;
   /// Automatic session-key renegotiation period; 0 disables (paper §4.2).
   sim::SimDur renegotiate_interval = 0;
-  /// Server side: ticket store enabling abbreviated per-stream handshakes.
-  /// Null (the default) keeps the feature off end to end.
+  /// Server side: ticket store enabling abbreviated handshakes (pool
+  /// sibling streams and cross-session reconnects).  Null (the default)
+  /// keeps the feature off end to end.
   std::shared_ptr<ResumptionCache> resumption;
-  /// Server side: this listener serves pool streams — the first handshake
-  /// message picks resumed vs full flow by magic.  The primary listener
-  /// keeps the strict full-handshake path (and its exact timing).
+  /// Server side: this listener negotiates the handshake flavour — the
+  /// first message's magic picks resumed vs full flow.  Off (the default),
+  /// the listener keeps the strict full-handshake path and its exact
+  /// timing, so sessions that never resume are bit-identical to the
+  /// pre-resumption code.
+  bool negotiate = false;
+  /// Back-compat alias for `negotiate` (PR 7's resume-only stream
+  /// listener); either flag routes accept() through the negotiating path.
   bool resume_only = false;
 
   SecurityConfig() = default;
@@ -159,10 +199,10 @@ class SecureChannel {
       net::StreamPtr stream, const SecurityConfig& config, Rng& rng,
       int64_t now_epoch);
 
-  /// Server side: answers a handshake.  When `config.resume_only` is set
-  /// the listener dispatches on the first message's magic: abbreviated
-  /// resumed handshake, or a full one as fallback (e.g. after the server
-  /// restarted and forgot the ticket).
+  /// Server side: answers a handshake.  When `config.negotiate` (or the
+  /// legacy `config.resume_only`) is set the listener dispatches on the
+  /// first message's magic: abbreviated resumed handshake, or a full one
+  /// as fallback (e.g. after the server restarted and forgot the ticket).
   static sim::Task<std::unique_ptr<SecureChannel>> accept(
       net::StreamPtr stream, const SecurityConfig& config, Rng& rng,
       int64_t now_epoch);
@@ -245,12 +285,14 @@ class SecureChannel {
   /// Server flow after the ClientHello was read (shared by the primary
   /// listener and the stream listener's full-handshake fallback).
   sim::Task<void> server_handshake_rest(BufChain hello, int64_t epoch);
-  /// Stream-listener server dispatch: resumed or full by hello magic.
+  /// Negotiating server dispatch: resumed or full by hello magic.
   sim::Task<void> handshake_stream();
-  /// Client-side abbreviated handshake for one pool stream.
+  /// Client-side abbreviated handshake: pool streams use their slot index;
+  /// cross-session reconnects use a fresh high index per reconnect so key
+  /// blocks never repeat across a ticket's redemptions.
   sim::Task<void> handshake_resume(const ResumptionTicket& ticket,
                                    uint32_t stream_index);
-  sim::Task<void> server_resume_rest(BufChain first);
+  sim::Task<void> server_resume_rest(BufChain first, int64_t epoch);
   sim::Task<void> send_finished(const std::string& label, const Buffer& base);
   sim::Task<void> expect_finished(const std::string& label,
                                   const Buffer& base);

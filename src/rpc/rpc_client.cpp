@@ -95,6 +95,14 @@ sim::Task<void> RpcClient::reader_loop(
       // EOF or tamper: remember why so callers get the real error (a MAC
       // failure must look different from an orderly close upstream).
       if (!state->broken) state->broken = std::current_exception();
+      // Fire the disconnect hook exactly once, and only for a genuine
+      // broken connection (an orderly local close() sets `closed` first
+      // and must not look like a peer failure).
+      if (!state->closed && state->on_broken) {
+        auto cb = std::move(state->on_broken);
+        state->on_broken = nullptr;
+        cb();
+      }
       break;
     }
     ReplyMsg reply;

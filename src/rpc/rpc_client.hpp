@@ -12,6 +12,7 @@
 #pragma once
 
 #include <exception>
+#include <functional>
 #include <map>
 #include <memory>
 
@@ -66,6 +67,15 @@ class RpcClient {
   sim::Task<BufChain> call_with_xid(uint32_t xid, uint32_t proc,
                                     BufChain args);
 
+  /// Disconnect hook: invoked once when the connection breaks underneath
+  /// the client (reader death — peer EOF, reset, record tamper), NOT on an
+  /// orderly local close().  The session layer uses it to observe the
+  /// disconnect and decide how the next establishment runs (e.g. attempt
+  /// an abbreviated ticket resumption instead of a full handshake).
+  void set_on_broken(std::function<void()> cb) {
+    state_->on_broken = std::move(cb);
+  }
+
   /// Idempotent; fails all outstanding calls with net::StreamClosed.
   void close();
 
@@ -97,6 +107,8 @@ class RpcClient {
     // the proxy layer can translate it into a re-handshake).
     std::exception_ptr broken;
     std::shared_ptr<RetryBudget> budget;
+    // One-shot disconnect hook (see set_on_broken).
+    std::function<void()> on_broken;
     std::map<uint32_t, std::shared_ptr<Pending>> pending;
 
     // Hot-path metric handles: resolved lazily on first event so snapshots

@@ -135,8 +135,60 @@ sim::Task<BufChain> FileSystemService::handle(const rpc::CallContext& ctx,
   if (!verdict.ok) {
     co_return encode_env(error_env(verdict.error));
   }
-  // Only the configured controllers (normally the DSS) may drive this FSS.
   const std::string signer = verdict.signer.to_string();
+
+  // --- SSO pass desk -------------------------------------------------------
+  // User operations, exempt from the controller-DN gate below: any signer
+  // with a trusted certificate chain is a grid user and may log in.
+  switch (static_cast<ServiceProc>(ctx.proc)) {
+    case ServiceProc::kSsoLogin: {
+      const int64_t now = now_epoch();
+      auto it = sso_cache_.find(signer);
+      if (sso_cache_enabled_ && it != sso_cache_.end() &&
+          now - it->second.minted_at < sso_ttl_s_) {
+        ++sso_cache_hits_;
+        host_.engine().metrics().counter("services.fss.sso_cache_hits").inc();
+        co_return encode_env(it->second.pass);
+      }
+      // Mint: one RSA signature buys every mount/shard connection the user
+      // makes for the next TTL window.
+      Envelope pass =
+          reply_env("SsoPass", {{"user", signer},
+                                {"expires", std::to_string(now + sso_ttl_s_)}});
+      ++sso_signatures_;
+      host_.engine().metrics().counter("services.fss.sso_signatures").inc();
+      SsoEntry entry;
+      entry.pass = pass;
+      entry.minted_at = now;
+      sso_cache_[signer] = std::move(entry);
+      co_return encode_env(pass);
+    }
+    case ServiceProc::kSsoAuthorize: {
+      const int64_t now = now_epoch();
+      auto it = sso_cache_.find(signer);
+      // Fail closed without a live pass: expired or never-minted means the
+      // caller must go through kSsoLogin (and its signature) first.
+      if (it == sso_cache_.end() || now - it->second.minted_at >= sso_ttl_s_) {
+        co_return encode_env(error_env("no valid SSO pass; login first"));
+      }
+      if (sso_cache_enabled_ && !it->second.authorize_reply.action.empty() &&
+          now - it->second.reply_signed_at <= 240) {
+        ++sso_cache_hits_;
+        host_.engine().metrics().counter("services.fss.sso_cache_hits").inc();
+        co_return encode_env(it->second.authorize_reply);
+      }
+      Envelope ok_env = reply_env("SsoAuthorizeResponse", {{"user", signer}});
+      ++sso_signatures_;
+      host_.engine().metrics().counter("services.fss.sso_signatures").inc();
+      it->second.authorize_reply = ok_env;
+      it->second.reply_signed_at = now;
+      co_return encode_env(ok_env);
+    }
+    default:
+      break;
+  }
+
+  // Only the configured controllers (normally the DSS) may drive this FSS.
   bool allowed = false;
   for (const auto& dn : authorized_) {
     if (dn == signer) allowed = true;

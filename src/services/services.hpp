@@ -38,6 +38,8 @@ enum class ServiceProc : uint32_t {
   kReconfigure = 5,        // FSS (client host)
   kPutShardMap = 6,        // FSS: controller publishes the fleet shard map
   kGetShardMap = 7,        // FSS: shard discovery (unauthenticated read)
+  kSsoLogin = 8,           // FSS: mint/redeem the per-user SSO pass
+  kSsoAuthorize = 9,       // FSS: authorize one session/shard connection
   kCreateSession = 10,     // DSS
   kGrantAccess = 11,       // DSS ACL DB management
   kPutFileAcl = 12,        // DSS -> server FSS fine-grained ACL
@@ -81,6 +83,16 @@ class FileSystemService
   /// same way as over the wire.  Returns false on a stale epoch.
   bool set_shard_map(core::ShardMap map);
 
+  // --- SSO pass desk (session single sign-on) ----------------------------
+  /// Disabling the cache is the naive baseline: every kSsoLogin mints and
+  /// every kSsoAuthorize signs afresh — O(sessions) FSS signatures instead
+  /// of O(users).  The connection-storm bench sweeps both.
+  void set_sso_cache(bool on) { sso_cache_enabled_ = on; }
+  /// Lifetime of a minted SSO pass (default one hour).
+  void set_sso_ttl(int64_t ttl_s) { sso_ttl_s_ = ttl_s; }
+  uint64_t sso_signatures() const { return sso_signatures_; }
+  uint64_t sso_cache_hits() const { return sso_cache_hits_; }
+
  private:
   int64_t now_epoch() const {
     return static_cast<int64_t>(host_.engine().now() / sim::kSecond);
@@ -108,6 +120,23 @@ class FileSystemService
   std::optional<Envelope> shard_reply_cache_;
   int64_t shard_reply_signed_at_ = 0;
   uint64_t shard_reply_epoch_ = 0;
+
+  // SSO pass desk: one short-TTL signed credential per user amortizes the
+  // FSS's RSA signatures over every mount/shard connection that user makes
+  // within the window (the signed authorize reply is cached per user too,
+  // same discipline as the shard-map discovery reply).
+  struct SsoEntry {
+    Envelope pass;             // the signed per-user credential
+    Envelope authorize_reply;  // cached signed authorization
+    int64_t minted_at = 0;
+    int64_t reply_signed_at = 0;
+    SsoEntry() = default;
+  };
+  bool sso_cache_enabled_ = true;
+  int64_t sso_ttl_s_ = 3600;
+  uint64_t sso_signatures_ = 0;
+  uint64_t sso_cache_hits_ = 0;
+  std::map<std::string, SsoEntry> sso_cache_;
 };
 
 /// DSS: session scheduling + the per-filesystem ACL database that generates

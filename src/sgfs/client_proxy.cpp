@@ -3,6 +3,7 @@
 #include "common/bufchain.hpp"
 
 #include "common/log.hpp"
+#include "crypto/key_regression.hpp"
 
 namespace sgfs::core {
 
@@ -14,6 +15,7 @@ ClientProxy::ClientProxy(net::Host& host, ClientProxyConfig config, Rng rng)
     : host_(host),
       config_(std::move(config)),
       rng_(rng),
+      session_mgr_(host, config_, rng_),
       forward_mutex_(host.engine()) {
   auto& m = host.engine().metrics();
   m_sessions_ = {m, "sgfs.client_proxy.sessions"};
@@ -32,7 +34,7 @@ ClientProxy::ClientProxy(net::Host& host, ClientProxyConfig config, Rng rng)
         config_.retry_budget_ratio, config_.retry_budget_burst);
   }
   if (config_.pool.streams > 1) {
-    pool_ = std::make_unique<StreamPool>(host_, config_, rng_);
+    pool_ = std::make_unique<StreamPool>(host_, config_, session_mgr_, rng_);
   }
 }
 
@@ -91,35 +93,31 @@ void ClientProxy::drop_upstream() {
 }
 
 sim::Task<void> ClientProxy::ensure_upstream() {
-  const int64_t epoch =
-      static_cast<int64_t>(host_.engine().now() / sim::kSecond);
+  // Establishment flavour (plain, ticket resumption, full handshake) is the
+  // SessionManager's call; with resumption enabled the MOUNT connection
+  // rides the ticket the NFS full handshake just armed, so a reconnect pays
+  // one RSA exchange, not two.
   if (!upstream_nfs_) {
-    if (config_.plain_transport) {
-      upstream_nfs_ = co_await rpc::clnt_create(
-          host_, config_.server_proxy, nfs::kNfsProgram, nfs::kNfsVersion3);
-    } else {
-      upstream_nfs_ = co_await rpc::clnt_ssl_create(
-          host_, config_.server_proxy, nfs::kNfsProgram, nfs::kNfsVersion3,
-          config_.security, rng_, epoch);
-    }
+    upstream_nfs_ =
+        co_await session_mgr_.establish(nfs::kNfsProgram, nfs::kNfsVersion3);
     upstream_nfs_->set_retry(config_.retry);
     if (retry_budget_) upstream_nfs_->set_retry_budget(retry_budget_);
     ++handshakes_;
     m_sessions_.inc();
   }
   if (!upstream_mount_) {
-    if (config_.plain_transport) {
-      upstream_mount_ = co_await rpc::clnt_create(
-          host_, config_.server_proxy, nfs::kMountProgram,
-          nfs::kMountVersion3);
-    } else {
-      upstream_mount_ = co_await rpc::clnt_ssl_create(
-          host_, config_.server_proxy, nfs::kMountProgram,
-          nfs::kMountVersion3, config_.security, rng_, epoch);
-    }
+    upstream_mount_ = co_await session_mgr_.establish(nfs::kMountProgram,
+                                                      nfs::kMountVersion3);
     upstream_mount_->set_retry(config_.retry);
     if (retry_budget_) upstream_mount_->set_retry_budget(retry_budget_);
   }
+}
+
+std::optional<Buffer> ClientProxy::epoch_key(uint32_t epoch) const {
+  if (!epoch_secret_ || epoch > epoch_secret_epoch_) return std::nullopt;
+  Buffer secret = crypto::KeyRegression::regress(*epoch_secret_,
+                                                 epoch_secret_epoch_, epoch);
+  return crypto::KeyRegression::content_key(secret, epoch);
 }
 
 sim::Task<BufChain> ClientProxy::forward(const rpc::CallContext& ctx,
@@ -226,6 +224,9 @@ sim::Task<void> ClientProxy::renegotiate() {
   auto guard = co_await forward_mutex_.scoped();
   if (!upstream_nfs_) co_return;
   drop_upstream();
+  // Renegotiation wants genuinely fresh keys and re-validated certificates:
+  // redeeming the old ticket would defeat both.
+  session_mgr_.invalidate_ticket();
   co_await ensure_upstream();
 }
 
@@ -236,8 +237,10 @@ void ClientProxy::reload(const ClientProxyConfig& config) {
   config_ = config;
   if (security_changed) {
     // Tear down the secured connections; the next request re-handshakes
-    // under the new configuration (certificates are re-read then too).
+    // under the new configuration (certificates are re-read then too).  The
+    // retained ticket resumes the OLD cipher suite, so it dies here as well.
     drop_upstream();
+    session_mgr_.invalidate_ticket();
   }
 }
 

@@ -25,6 +25,7 @@
 #include "rpc/rpc_client.hpp"
 #include "rpc/rpc_server.hpp"
 #include "sgfs/session.hpp"
+#include "sgfs/session_manager.hpp"
 #include "sgfs/stream_pool.hpp"
 #include "sim/mutex.hpp"
 
@@ -101,6 +102,25 @@ class ClientProxy : public rpc::RpcProgram,
   /// pool is then never constructed — K=1 stays bit-identical).  Exposed
   /// for the chaos tests' fault-injection seams.
   StreamPool* stream_pool() { return pool_.get(); }
+  /// The session lifecycle layer (full handshakes, ticket resumption,
+  /// pool sibling streams).  Exposed for the reconnect/revocation tests.
+  SessionManager& session_manager() { return session_mgr_; }
+
+  // --- key-regression reader side (lazy revocation, paper §5) ------------
+  /// Records the session-generation secret the server provisioned at
+  /// establishment (generation `epoch`).  With key regression, content
+  /// keys for any generation <= `epoch` are derivable locally; generation
+  /// > `epoch` requires a fresh server grant — which a revoked DN never
+  /// gets.
+  void note_epoch_secret(Buffer secret, uint32_t epoch) {
+    epoch_secret_ = std::move(secret);
+    epoch_secret_epoch_ = epoch;
+  }
+  /// Content key for generation `epoch`, derived by regressing the
+  /// provisioned secret backwards.  nullopt when no secret was provisioned
+  /// or the requested generation is newer than the grant (fail closed).
+  std::optional<Buffer> epoch_key(uint32_t epoch) const;
+  uint32_t provisioned_epoch() const { return epoch_secret_epoch_; }
 
  private:
   struct Block {
@@ -156,6 +176,9 @@ class ClientProxy : public rpc::RpcProgram,
   net::Host& host_;
   ClientProxyConfig config_;
   Rng rng_;
+  // Declared after config_/rng_ (it borrows both) and before pool_ (the
+  // pool borrows it in turn).
+  SessionManager session_mgr_;
   std::unique_ptr<rpc::RpcServer> rpc_server_;
   std::unique_ptr<rpc::RpcClient> upstream_nfs_;
   std::unique_ptr<rpc::RpcClient> upstream_mount_;
@@ -192,6 +215,10 @@ class ClientProxy : public rpc::RpcProgram,
   // and the exported filesystem id (single export per session).
   std::optional<rpc::AuthSys> last_client_auth_;
   uint64_t seen_fsid_ = 1;
+  // Key-regression grant (lazy revocation): the newest generation secret
+  // the server handed this session, from which all earlier ones derive.
+  std::optional<Buffer> epoch_secret_;
+  uint32_t epoch_secret_epoch_ = 0;
 
   uint64_t forwarded_ = 0;
   uint64_t absorbed_reads_ = 0;

@@ -26,16 +26,24 @@ ServerProxy::ServerProxy(net::Host& host, ServerProxyConfig config,
   if (fs_for_acls && config_.fine_grained_acls) {
     acl_store_ = std::make_unique<AclStore>(std::move(fs_for_acls));
   }
+  if (config_.key_regression) {
+    // Session-generation key chain; the seed draw only happens for opted-in
+    // configs, so default proxies make no extra RNG draws.
+    key_regression_.emplace(rng_);
+  }
   // A crash of the file-server host kills the proxy process too: the fh
   // lineage map and the loopback connections to the kernel NFS server are
   // volatile.  The RpcServer registers its own handler for the DRC, and the
   // in-flight secure sessions die with their streams.
   host.add_crash_handler(crash_token_, [this] {
     fh_names_.clear();
-    // Session tickets are process state: after a restart the pool's
-    // abbreviated resumes are refused and clients pay a full handshake on
-    // the stream port.
-    if (config_.security.resumption) config_.security.resumption->clear();
+    authorized_sessions_.clear();
+    // Session tickets are process state: after a restart abbreviated
+    // resumes are refused and clients pay a full handshake — unless the
+    // config models a ticket store that survives orderly restarts.
+    if (config_.security.resumption && !config_.durable_ticket_cache) {
+      config_.security.resumption->clear();
+    }
     if (upstream_nfs_) {
       upstream_nfs_->close();
       upstream_nfs_.reset();
@@ -51,11 +59,18 @@ void ServerProxy::start(uint16_t port) {
   if (config_.plain_transport) {
     rpc_server_ = std::make_unique<rpc::RpcServer>(host_, port);
   } else {
-    if (config_.stream_port != 0 && !config_.security.resumption) {
-      // Full handshakes on the primary port publish session tickets here;
-      // the stream listener consumes them for abbreviated resumes.
-      config_.security.resumption =
-          std::make_shared<crypto::ResumptionCache>();
+    if (config_.session_resumption) {
+      // Unified handshake negotiation on the main port: full handshakes
+      // publish tickets into this store, abbreviated hellos (pool sibling
+      // streams AND cross-session reconnects) redeem them, dispatched by
+      // the first message's magic.  Off, the listener keeps the strict
+      // full-handshake path and its exact pre-resumption timing.
+      if (!config_.security.resumption) {
+        config_.security.resumption =
+            std::make_shared<crypto::ResumptionCache>(
+                config_.resumption_capacity, config_.resumption_ttl_s);
+      }
+      config_.security.negotiate = true;
     }
     rpc_server_ = std::make_unique<rpc::RpcServer>(
         host_, port, config_.security, rng_.fork(),
@@ -67,24 +82,10 @@ void ServerProxy::start(uint16_t port) {
   rpc_server_->register_program(nfs::kMountProgram, nfs::kMountVersion3,
                                 self);
   rpc_server_->start();
-  if (!config_.plain_transport && config_.stream_port != 0) {
-    crypto::SecurityConfig stream_security = config_.security;
-    stream_security.resume_only = true;
-    stream_server_ = std::make_unique<rpc::RpcServer>(
-        host_, config_.stream_port, stream_security, rng_.fork(),
-        /*now_epoch=*/0);
-    stream_server_->set_admission(config_.admission);
-    stream_server_->register_program(nfs::kNfsProgram, nfs::kNfsVersion3,
-                                     self);
-    stream_server_->register_program(nfs::kMountProgram, nfs::kMountVersion3,
-                                     self);
-    stream_server_->start();
-  }
 }
 
 void ServerProxy::stop() {
   if (rpc_server_) rpc_server_->stop();
-  if (stream_server_) stream_server_->stop();
   if (upstream_nfs_) upstream_nfs_->close();
   if (upstream_mount_) upstream_mount_->close();
 }
@@ -96,7 +97,28 @@ void ServerProxy::reload(ServerProxyConfig config) {
   config_.unmapped = config.unmapped;
   config_.anonymous = config.anonymous;
   config_.fine_grained_acls = config.fine_grained_acls;
+  // A reload applies to live sessions immediately: every session re-checks
+  // the (possibly changed) gridmap on its next op.
+  authorized_sessions_.clear();
   if (acl_store_) acl_store_->invalidate();
+}
+
+void ServerProxy::revoke_dn(const crypto::DistinguishedName& dn) {
+  config_.gridmap.remove(dn.to_string());
+  // The revoked user must not resume its way back in on a cached ticket.
+  if (config_.security.resumption) {
+    config_.security.resumption->erase_identity(dn);
+  }
+  if (key_regression_) {
+    // O(1) revocation: wind the generation epoch.  Cached authorizations
+    // carry the epoch they were checked under, so every live session
+    // re-checks the gridmap on its next op — the revoked DN fails closed,
+    // survivors rebind at the new epoch (and can still derive every prior
+    // epoch key from the new secret).
+    key_regression_->wind();
+  }
+  // Without key regression this stays lazy (the paper's story): cached
+  // sessions keep their admission-time rights until reload/reconnect.
 }
 
 sim::Task<void> ServerProxy::ensure_upstream() {
@@ -126,10 +148,31 @@ std::optional<Account> ServerProxy::authorize(const rpc::CallContext& ctx) {
                : std::nullopt;
   }
   if (!ctx.peer_identity) return std::nullopt;  // plaintext: never authorized
-  auto account_name = config_.gridmap.lookup(ctx.peer_identity->to_string());
+  const std::string dn = ctx.peer_identity->to_string();
+  const uint32_t epoch = key_regression_ ? key_regression_->epoch() : 0;
+  if (auto it = authorized_sessions_.find(dn);
+      it != authorized_sessions_.end()) {
+    if (!key_regression_ || it->second.epoch == epoch) {
+      // Cache hit at the current generation — with key regression OFF this
+      // is the deliberate lazy-revocation hole: a session admitted before
+      // a gridmap change keeps its rights (negative-control semantics).
+      return it->second.account;
+    }
+    // The generation moved under this session (a revocation happened):
+    // fall through to a fresh gridmap check.  Fails closed if this DN was
+    // the one revoked.
+    authorized_sessions_.erase(it);
+  }
+  auto account_name = config_.gridmap.lookup(dn);
   if (account_name) {
     auto account = config_.accounts.find(*account_name);
-    if (account) return account;
+    if (account) {
+      SessionAuth auth;
+      auth.account = *account;
+      auth.epoch = epoch;
+      authorized_sessions_[dn] = auth;
+      return account;
+    }
     SGFS_WARN("sgfs-proxy", "gridmap maps to unknown account ",
               *account_name);
     return std::nullopt;

@@ -21,6 +21,7 @@
 // asynchronous RPCs (§6.2.1).
 #pragma once
 
+#include "crypto/key_regression.hpp"
 #include "nfs/nfs3.hpp"
 #include "rpc/rpc_client.hpp"
 #include "rpc/rpc_server.hpp"
@@ -67,8 +68,34 @@ class ServerProxy : public rpc::RpcProgram,
   }
 
   /// Reloads gridmap/ACL/security configuration (paper §4.2: signal the
-  /// proxy to reload its configuration file).
+  /// proxy to reload its configuration file).  Clears the per-session
+  /// authorization cache: a reload applies to live sessions immediately.
   void reload(ServerProxyConfig config);
+
+  /// Revokes one grid user: removes the DN from the gridmap, purges its
+  /// session tickets (no resuming back in), and — with key_regression on —
+  /// winds the session-generation epoch so every live session re-checks the
+  /// gridmap on its next op and the revoked DN fails closed mid-session.
+  /// Without key regression this is the paper's lazy story: live sessions
+  /// keep their admission-time rights.
+  void revoke_dn(const crypto::DistinguishedName& dn);
+
+  /// Current session-generation epoch (0 when key regression is off).
+  uint32_t session_epoch() const {
+    return key_regression_ ? key_regression_->epoch() : 0;
+  }
+  /// Current epoch secret, handed to still-authorized readers out of band
+  /// (like the gridmap itself); earlier generations derive from it via
+  /// crypto::KeyRegression::regress.  Empty when key regression is off.
+  Buffer session_epoch_secret() const {
+    return key_regression_ ? key_regression_->current_secret() : Buffer{};
+  }
+
+  /// The server's session-ticket store (null until start(), or when
+  /// resumption is off).  Exposed for tests and drills.
+  crypto::ResumptionCache* resumption_cache() {
+    return config_.security.resumption.get();
+  }
 
   AclStore* acl_store() { return acl_store_ ? acl_store_.get() : nullptr; }
 
@@ -111,8 +138,6 @@ class ServerProxy : public rpc::RpcProgram,
   std::unique_ptr<AclStore> acl_store_;
   Rng rng_;
   std::unique_ptr<rpc::RpcServer> rpc_server_;
-  /// Resume-only listener for pool streams (config.stream_port != 0).
-  std::unique_ptr<rpc::RpcServer> stream_server_;
   std::unique_ptr<rpc::RpcClient> upstream_nfs_;
   std::unique_ptr<rpc::RpcClient> upstream_mount_;
   sim::SimMutex forward_mutex_;
@@ -131,6 +156,23 @@ class ServerProxy : public rpc::RpcProgram,
   sim::SimTime breaker_open_until_ = 0;
   uint64_t breaker_opens_ = 0;
   uint64_t breaker_fast_fails_ = 0;
+
+  // Session-generation key chain (config.key_regression); absent = lazy
+  // revocation semantics (live sessions keep admission-time rights).
+  std::optional<crypto::KeyRegression> key_regression_;
+
+  // Per-session authorization cache: session key (peer DN) -> the account
+  // it mapped to and the epoch the mapping was checked under.  A hit at the
+  // current epoch skips the gridmap; an epoch mismatch forces a re-check
+  // (fail closed if the DN was revoked).  Pure map state: no CPU charges,
+  // no RNG draws — timing-inert for the pinned baselines.
+  struct SessionAuth {
+    Account account;
+    uint32_t epoch = 0;
+
+    SessionAuth() = default;
+  };
+  std::map<std::string, SessionAuth> authorized_sessions_;
 
   // fh -> (parent fh, name), learned from forwarded lookups/creates.
   // Volatile: a host crash empties it (entries are re-learned from the

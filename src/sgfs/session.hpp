@@ -134,10 +134,25 @@ struct ServerProxyConfig {
   /// needed for the breaker to observe timeouts rather than hang.  Default:
   /// wait forever (loopback is reliable unless a FaultPlan says otherwise).
   rpc::RetryPolicy upstream_retry;
-  /// Extra listener for pool streams (abbreviated resumed handshakes with
-  /// full-handshake fallback).  0 = disabled; the primary listener and its
-  /// exact handshake timing are untouched either way.
-  uint16_t stream_port = 0;
+  /// Abbreviated resumed handshakes on the main port (unified negotiation:
+  /// the first handshake message's magic picks resumed vs full flow).
+  /// Off (default), the listener keeps the strict full-handshake path and
+  /// its exact pre-resumption timing.  On, the proxy issues tickets for
+  /// both pool sibling streams and cross-session reconnects.
+  bool session_resumption = false;
+  /// Ticket store bounds (satellite: LRU + TTL; ttl 0 = never expires).
+  size_t resumption_capacity = crypto::ResumptionCache::kDefaultCapacity;
+  int64_t resumption_ttl_s = 0;
+  /// Model a session-ticket store that survives orderly restarts (e.g. a
+  /// sealed ticket-encryption key on disk).  Default off: a crash wipes
+  /// the cache and reconnecting clients fall back to full handshakes.
+  bool durable_ticket_cache = false;
+  /// Key-regression revocation (crypto::KeyRegression): gridmap changes
+  /// bump the session-generation epoch; sessions authorized under an older
+  /// epoch are re-checked against the gridmap on their next op and fail
+  /// closed if their DN was revoked.  Off (default), a live session keeps
+  /// its admission-time rights — the paper's lazy "re-read gridmap" story.
+  bool key_regression = false;
 
   ServerProxyConfig() = default;
 };
@@ -174,6 +189,13 @@ struct ClientProxyConfig {
   bool verifier_replay = true;
   /// WAN stream pool; pool.streams == 1 (default) keeps it inert.
   StreamPoolConfig pool;
+  /// Cross-session resumption: keep the ticket from the last full handshake
+  /// and reconnect (after crash_restart, breaker trip or retry give-up)
+  /// with an abbreviated handshake instead of a full RSA exchange; falls
+  /// back to a full handshake when the server forgot the ticket.  Requires
+  /// `session_resumption` on the server proxy.  Off by default — sessions
+  /// that never opt in are bit-identical to the pre-resumption code.
+  bool resume_sessions = false;
 
   ClientProxyConfig() = default;
 };

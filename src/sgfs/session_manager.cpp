@@ -1,0 +1,113 @@
+#include "sgfs/session_manager.hpp"
+
+#include "common/log.hpp"
+#include "rpc/transport.hpp"
+
+namespace sgfs::core {
+
+SessionManager::SessionManager(net::Host& host,
+                               const ClientProxyConfig& config, Rng& rng)
+    : host_(host), config_(config), rng_(rng) {
+  auto& m = host.engine().metrics();
+  m_full_ = {m, "sgfs.session.full_handshakes"};
+  m_resumed_ = {m, "sgfs.session.resumed"};
+  m_fallback_ = {m, "sgfs.session.fallback_full"};
+  m_disconnects_ = {m, "sgfs.session.disconnects"};
+}
+
+int64_t SessionManager::now_epoch() const {
+  return static_cast<int64_t>(host_.engine().now() / sim::kSecond);
+}
+
+sim::Task<std::unique_ptr<rpc::RpcClient>> SessionManager::establish(
+    uint32_t prog, uint32_t vers) {
+  const int64_t epoch = now_epoch();
+  if (config_.plain_transport) {
+    co_return co_await rpc::clnt_create(host_, config_.server_proxy, prog,
+                                        vers);
+  }
+  if (config_.resume_sessions && ticket_) {
+    // Abbreviated reconnect: redeem the retained ticket.  A fresh resume
+    // index per redemption keeps key blocks distinct across reconnects.
+    try {
+      auto c = co_await rpc::clnt_ssl_resume(
+          host_, config_.server_proxy, prog, vers, config_.security, rng_,
+          epoch, *ticket_, kSessionResumeBase + next_resume_index_++);
+      ++resumed_sessions_;
+      m_resumed_.inc();
+      c->set_on_broken([this] {
+        ++disconnects_;
+        m_disconnects_.inc();
+      });
+      co_return c;
+    } catch (const net::ConnectionRefused&) {
+      // The server host itself is down — no verdict on the ticket was
+      // rendered.  Keep it; the caller's reconnect loop retries the whole
+      // establishment once the host is back.
+      throw;
+    } catch (const std::exception& e) {
+      // Unknown/expired ticket (server restart wiped the cache, TTL ran
+      // out, or the DN was revoked): the server failed the resume closed.
+      // Drop the dead ticket and pay the full exchange.
+      ++fallback_handshakes_;
+      m_fallback_.inc();
+      ticket_.reset();
+      SGFS_INFO("sgfs-session", "ticket resumption refused (", e.what(),
+                "); falling back to full handshake");
+    }
+  }
+  auto c = co_await rpc::clnt_ssl_create(host_, config_.server_proxy, prog,
+                                         vers, config_.security, rng_,
+                                         epoch);
+  if (config_.resume_sessions) {
+    ++full_handshakes_;
+    m_full_.inc();
+    if (auto* secure =
+            dynamic_cast<rpc::SecureTransport*>(&c->transport())) {
+      // Re-arm: the freshly established session's ticket covers future
+      // reconnects (and the pool's sibling streams pull the live channel's
+      // own copy).
+      ticket_ = secure->channel().ticket();
+    }
+    c->set_on_broken([this] {
+      ++disconnects_;
+      m_disconnects_.inc();
+    });
+  }
+  co_return c;
+}
+
+sim::Task<std::unique_ptr<rpc::RpcClient>> SessionManager::establish_stream(
+    rpc::RpcClient& primary, uint32_t prog, uint32_t vers, uint32_t index,
+    bool* resumed_out) {
+  const int64_t epoch = now_epoch();
+  if (config_.plain_transport) {
+    if (resumed_out) *resumed_out = false;
+    co_return co_await rpc::clnt_create(host_, config_.server_proxy, prog,
+                                        vers);
+  }
+  auto* secure = dynamic_cast<rpc::SecureTransport*>(&primary.transport());
+  if (!secure) {
+    throw crypto::SecurityError("pool primary is not a secure transport");
+  }
+  crypto::ResumptionTicket ticket = secure->channel().ticket();
+  try {
+    auto c = co_await rpc::clnt_ssl_resume(
+        host_, config_.server_proxy, prog, vers, config_.security, rng_,
+        epoch, ticket, index);
+    if (resumed_out) *resumed_out = true;
+    co_return c;
+  } catch (const net::ConnectionRefused&) {
+    throw;  // host down, not a ticket verdict — let the pool's caller retry
+  } catch (const std::exception&) {
+    // The server forgot the session (a restart wiped its ticket cache):
+    // pay a full handshake rather than fail the pool open.
+  }
+  auto c = co_await rpc::clnt_ssl_create(host_, config_.server_proxy, prog,
+                                         vers, config_.security, rng_,
+                                         epoch);
+  if (resumed_out) *resumed_out = false;
+  co_return c;
+}
+
+}  // namespace sgfs::core

@@ -9,8 +9,8 @@ using nfs::Proc3;
 using nfs::Status;
 
 StreamPool::StreamPool(net::Host& host, const ClientProxyConfig& config,
-                       Rng& rng)
-    : host_(host), config_(config), rng_(rng) {
+                       SessionManager& session, Rng& rng)
+    : host_(host), config_(config), session_(session), rng_(rng) {
   auto& m = host.engine().metrics();
   m_striped_reads_ = {m, "sgfs.pool.striped_reads"};
   m_striped_bytes_ = {m, "sgfs.pool.striped_bytes"};
@@ -21,14 +21,6 @@ StreamPool::StreamPool(net::Host& host, const ClientProxyConfig& config,
   m_fallback_handshakes_ = {m, "sgfs.pool.fallback_handshakes"};
   m_batches_ = {m, "sgfs.pool.batches"};
   m_batch_bytes_ = {m, "sgfs.pool.batch_bytes"};
-}
-
-net::Address StreamPool::stream_address() const {
-  if (config_.plain_transport) return config_.server_proxy;
-  // Convention (wired by the testbed): the server proxy's stream listener
-  // sits one port above its primary listener.
-  return net::Address(config_.server_proxy.host,
-                      static_cast<uint16_t>(config_.server_proxy.port + 1));
 }
 
 void StreamPool::update_streams_gauge() {
@@ -54,37 +46,22 @@ sim::Task<void> StreamPool::ensure_streams(
                          "sgfs.pool.stream" + std::to_string(i) + ".bytes"};
     }
   }
-  const int64_t epoch =
-      static_cast<int64_t>(host_.engine().now() / sim::kSecond);
   for (size_t i = 1; i < slots_.size(); ++i) {
     if (slots_[i].client) continue;
     try {
-      std::unique_ptr<rpc::RpcClient> c;
-      if (config_.plain_transport) {
-        c = co_await rpc::clnt_create(host_, stream_address(),
-                                      nfs::kNfsProgram, nfs::kNfsVersion3);
-      } else {
-        auto* secure =
-            dynamic_cast<rpc::SecureTransport*>(&primary.transport());
-        if (!secure) break;  // unexpected transport; stay single-stream
-        crypto::ResumptionTicket ticket = secure->channel().ticket();
-        bool resume_failed = false;
-        try {
-          c = co_await rpc::clnt_ssl_resume(
-              host_, stream_address(), nfs::kNfsProgram, nfs::kNfsVersion3,
-              config_.security, rng_, epoch, ticket,
-              static_cast<uint32_t>(i));
+      bool resumed = false;
+      std::unique_ptr<rpc::RpcClient> c =
+          co_await session_.establish_stream(primary, nfs::kNfsProgram,
+                                             nfs::kNfsVersion3,
+                                             static_cast<uint32_t>(i),
+                                             &resumed);
+      if (!config_.plain_transport) {
+        if (resumed) {
           m_resumed_.inc();
-        } catch (const std::exception&) {
-          resume_failed = true;
-        }
-        if (resume_failed) {
+        } else {
           // The server forgot the session (a restart wiped its ticket
-          // cache): pay a full handshake on the stream port rather than
+          // cache): the SessionManager paid a full handshake rather than
           // fail the pool open.
-          c = co_await rpc::clnt_ssl_create(
-              host_, stream_address(), nfs::kNfsProgram, nfs::kNfsVersion3,
-              config_.security, rng_, epoch);
           m_fallback_handshakes_.inc();
         }
       }

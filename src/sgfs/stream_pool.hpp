@@ -5,7 +5,9 @@
 // bandwidth-bound.  Stream 0 is the proxy's primary upstream connection
 // (metadata and small ops stay there untouched); streams 1..K-1 are opened
 // by an abbreviated resumed handshake — per-stream keys derived from the
-// primary's one RSA exchange — against the server proxy's stream port.
+// primary's one RSA exchange — against the server proxy's main port, whose
+// unified listener dispatches full vs resumed flows by the first message's
+// magic.  Establishment itself is delegated to the SessionManager.
 //
 //   - read_striped() fans fixed-size chunk READs over the pool and
 //     reassembles them strictly in offset order (zero-copy BufChain
@@ -30,19 +32,21 @@
 #include "nfs/nfs3.hpp"
 #include "rpc/rpc_client.hpp"
 #include "sgfs/session.hpp"
+#include "sgfs/session_manager.hpp"
 #include "sim/engine.hpp"
 
 namespace sgfs::core {
 
 class StreamPool {
  public:
-  StreamPool(net::Host& host, const ClientProxyConfig& config, Rng& rng);
+  StreamPool(net::Host& host, const ClientProxyConfig& config,
+             SessionManager& session, Rng& rng);
 
   /// Opens any missing pool streams (1..K-1) by resuming the primary
-  /// channel's session; falls back to a full handshake on the stream port
-  /// when the server forgot the ticket (restart), and degrades to fewer
-  /// streams when even that fails.  No-op for streams the pool already
-  /// holds open.
+  /// channel's session (via the SessionManager); falls back to a full
+  /// handshake when the server forgot the ticket (restart), and degrades
+  /// to fewer streams when even that fails.  No-op for streams the pool
+  /// already holds open.
   sim::Task<void> ensure_streams(
       rpc::RpcClient& primary, std::shared_ptr<rpc::RetryBudget> budget);
 
@@ -152,7 +156,6 @@ class StreamPool {
   };
 
   size_t chunk_len(const ReadJob& job, size_t idx) const;
-  net::Address stream_address() const;
   /// The client a worker slot uses: primary for slot 0, the owned pool
   /// stream otherwise (null if that stream is closed).
   rpc::RpcClient* slot_client(rpc::RpcClient& primary, size_t slot);
@@ -177,6 +180,7 @@ class StreamPool {
 
   net::Host& host_;
   const ClientProxyConfig& config_;
+  SessionManager& session_;
   Rng& rng_;
   std::vector<Slot> slots_;  // index 0 reserved for the primary
   bool primary_dead_ = false;

@@ -1,0 +1,115 @@
+// ResumptionCache bounds tests (ISSUE "unified session lifecycle",
+// satellite: capacity + TTL).
+//
+// Invariants pinned here: eviction is strictly least-recently-USED (a find()
+// refreshes recency, so the untouched ticket goes first), expired tickets
+// fail closed exactly like unknown ones (and are erased on the way out), a
+// re-put refreshes the TTL clock, ttl=0 means no expiry, and a revocation
+// purge drops precisely the revoked identity's tickets.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "crypto/secure_channel.hpp"
+
+namespace sgfs::crypto {
+namespace {
+
+ResumptionTicket make_ticket(uint64_t tag, const DistinguishedName& dn) {
+  Rng rng(0x71c4e7000ull + tag);
+  ResumptionTicket t;
+  t.session_id = rng.bytes(16);
+  t.secret = rng.bytes(48);
+  t.cipher = Cipher::kNull;
+  t.mac = MacAlgo::kHmacSha1;
+  t.peer_identity = dn;
+  return t;
+}
+
+const DistinguishedName kAlice("Grid", "alice");
+const DistinguishedName kBob("Grid", "bob");
+
+TEST(ResumptionCache, LruEvictionPrefersUntouchedTicket) {
+  ResumptionCache cache(/*capacity=*/3);
+  const ResumptionTicket a = make_ticket(1, kAlice);
+  const ResumptionTicket b = make_ticket(2, kAlice);
+  const ResumptionTicket c = make_ticket(3, kBob);
+  cache.put(a);
+  cache.put(b);
+  cache.put(c);
+  ASSERT_EQ(cache.size(), 3u);
+
+  // Touch a: it becomes the most recently used even though it is oldest.
+  ASSERT_TRUE(cache.find(a.session_id).has_value());
+
+  const ResumptionTicket d = make_ticket(4, kBob);
+  cache.put(d);  // over capacity: the untouched b must go, not a
+  EXPECT_EQ(cache.size(), 3u);
+  EXPECT_EQ(cache.evictions(), 1u);
+  EXPECT_FALSE(cache.find(b.session_id).has_value());
+  EXPECT_TRUE(cache.find(a.session_id).has_value());
+  EXPECT_TRUE(cache.find(c.session_id).has_value());
+  EXPECT_TRUE(cache.find(d.session_id).has_value());
+}
+
+TEST(ResumptionCache, EvictionOrderFollowsInsertionWhenNeverTouched) {
+  ResumptionCache cache(/*capacity=*/2);
+  const ResumptionTicket a = make_ticket(10, kAlice);
+  const ResumptionTicket b = make_ticket(11, kAlice);
+  const ResumptionTicket c = make_ticket(12, kAlice);
+  cache.put(a);
+  cache.put(b);
+  cache.put(c);  // evicts a (oldest, never found)
+  cache.put(make_ticket(13, kAlice));  // evicts b
+  EXPECT_EQ(cache.evictions(), 2u);
+  EXPECT_FALSE(cache.find(a.session_id).has_value());
+  EXPECT_FALSE(cache.find(b.session_id).has_value());
+  EXPECT_TRUE(cache.find(c.session_id).has_value());
+}
+
+TEST(ResumptionCache, ExpiredTicketFailsClosedAndIsErased) {
+  ResumptionCache cache(/*capacity=*/8, /*ttl_seconds=*/10);
+  const ResumptionTicket a = make_ticket(20, kAlice);
+  cache.put(a, /*now_s=*/100);
+  EXPECT_TRUE(cache.find(a.session_id, /*now_s=*/105).has_value());
+  // Well past the TTL: absent, counted, and gone from the store.
+  EXPECT_FALSE(cache.find(a.session_id, /*now_s=*/125).has_value());
+  EXPECT_EQ(cache.expirations(), 1u);
+  EXPECT_EQ(cache.size(), 0u);
+  // A later find of the same id is a plain miss, not a second expiry.
+  EXPECT_FALSE(cache.find(a.session_id, /*now_s=*/126).has_value());
+  EXPECT_EQ(cache.expirations(), 1u);
+}
+
+TEST(ResumptionCache, RePutRefreshesTtlClock) {
+  ResumptionCache cache(8, /*ttl_seconds=*/10);
+  const ResumptionTicket a = make_ticket(30, kAlice);
+  cache.put(a, /*now_s=*/0);
+  cache.put(a, /*now_s=*/9);  // refreshed before expiry
+  EXPECT_TRUE(cache.find(a.session_id, /*now_s=*/15).has_value());
+  EXPECT_EQ(cache.size(), 1u);  // refresh, not a duplicate entry
+}
+
+TEST(ResumptionCache, ZeroTtlNeverExpires) {
+  ResumptionCache cache(4, /*ttl_seconds=*/0);
+  const ResumptionTicket a = make_ticket(40, kBob);
+  cache.put(a, 0);
+  EXPECT_TRUE(cache.find(a.session_id, /*now_s=*/1'000'000'000).has_value());
+}
+
+TEST(ResumptionCache, EraseIdentityPurgesOnlyThatDn) {
+  ResumptionCache cache(8);
+  const ResumptionTicket a1 = make_ticket(50, kAlice);
+  const ResumptionTicket a2 = make_ticket(51, kAlice);
+  const ResumptionTicket b1 = make_ticket(52, kBob);
+  cache.put(a1);
+  cache.put(a2);
+  cache.put(b1);
+  EXPECT_EQ(cache.erase_identity(kAlice), 2u);
+  EXPECT_FALSE(cache.find(a1.session_id).has_value());
+  EXPECT_FALSE(cache.find(a2.session_id).has_value());
+  EXPECT_TRUE(cache.find(b1.session_id).has_value());
+  EXPECT_EQ(cache.erase_identity(kAlice), 0u);  // already gone
+}
+
+}  // namespace
+}  // namespace sgfs::crypto

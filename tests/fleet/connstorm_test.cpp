@@ -1,0 +1,67 @@
+// Connection-storm harness tests: determinism and the session-lifecycle
+// accounting the bench gates are built on, at a CI-friendly scale.
+#include <gtest/gtest.h>
+
+#include "fleet/connstorm.hpp"
+
+namespace sgfs::fleet {
+namespace {
+
+ConnstormOptions small_opts() {
+  ConnstormOptions opt;
+  opt.clients = 12;
+  opt.users = 3;
+  opt.warmup_s = 3.0;
+  opt.window_s = 10.0;
+  opt.crash_at_s = 3.0;
+  opt.downtime_s = 1.0;
+  return opt;
+}
+
+TEST(Connstorm, ReplaysBitIdentically) {
+  const ConnstormOptions opt = small_opts();
+  const ConnstormResult a = run_connstorm(opt);
+  const ConnstormResult b = run_connstorm(opt);
+  EXPECT_EQ(a.fingerprint(), b.fingerprint());
+  EXPECT_EQ(a.ok, b.ok);
+  EXPECT_EQ(a.bucket_ok, b.bucket_ok);
+  EXPECT_EQ(a.sim_errors, 0u);
+}
+
+TEST(Connstorm, SeedChangesTheRun) {
+  ConnstormOptions opt = small_opts();
+  const ConnstormResult a = run_connstorm(opt);
+  opt.seed = 43;
+  const ConnstormResult b = run_connstorm(opt);
+  EXPECT_NE(a.fingerprint(), b.fingerprint());
+}
+
+TEST(Connstorm, ResumptionRedeemsTicketsAndCapsSsoSignatures) {
+  ConnstormOptions opt = small_opts();
+  opt.resumption = true;
+  opt.sso_cache = true;
+  const ConnstormResult r = run_connstorm(opt);
+  EXPECT_EQ(r.sim_errors, 0u);
+  EXPECT_GT(r.plateau, 0.0);
+  // Initial MOUNT rides the NFS ticket; the post-restart storm resumes.
+  EXPECT_GE(r.resumed_sessions, static_cast<uint64_t>(opt.clients));
+  EXPECT_EQ(r.fallback_handshakes, 0u);  // durable cache in the harness
+  // O(users): one login + one authorize signature per user, ever.
+  EXPECT_LE(r.fss_signatures, 2ull * static_cast<uint64_t>(opt.users));
+  EXPECT_GT(r.fss_cache_hits, 0u);
+}
+
+TEST(Connstorm, NaiveHerdPaysFullHandshakesAndPerSessionSignatures) {
+  ConnstormOptions opt = small_opts();
+  opt.resumption = false;
+  opt.sso_cache = false;
+  const ConnstormResult r = run_connstorm(opt);
+  EXPECT_EQ(r.sim_errors, 0u);
+  EXPECT_EQ(r.resumed_sessions, 0u);
+  // Every SSO round costs fresh FSS signatures: O(sessions), not O(users).
+  EXPECT_GE(r.fss_signatures, 2ull * static_cast<uint64_t>(opt.clients));
+  EXPECT_EQ(r.fss_cache_hits, 0u);
+}
+
+}  // namespace
+}  // namespace sgfs::fleet

@@ -1,0 +1,210 @@
+// Session-lifecycle semantics over the full testbed (ISSUE "unified session
+// lifecycle"): cross-session resumption tickets across a server restart,
+// key-regression revocation, and the deliberate lazy-revocation negative
+// control.
+//
+// Invariants:
+//   - with a durable ticket cache, a client reconnecting after
+//     crash_restart redeems its ticket (abbreviated handshake, zero
+//     fallbacks);
+//   - with a volatile cache, the restarted server rejects every pre-wipe
+//     ticket (fail closed) and the client pays a full handshake — service
+//     still recovers;
+//   - revoking a DN with key regression ON fails the revoked session closed
+//     on its very next op (the generation bump invalidates its cached
+//     authorization);
+//   - the same revocation with key regression OFF leaves the stale session
+//     its access (the paper's lazy hole — the negative control that proves
+//     the regression machinery is what closes it);
+//   - a surviving reader re-provisioned at the new epoch derives every
+//     prior generation's content key; a stale reader cannot derive the new
+//     one.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "baselines/testbed.hpp"
+#include "crypto/key_regression.hpp"
+#include "nfs/nfs3_client.hpp"
+
+namespace sgfs {
+namespace {
+
+using baselines::SetupKind;
+using baselines::Testbed;
+using baselines::TestbedOptions;
+using sim::Task;
+using namespace sgfs::sim::literals;
+
+TestbedOptions sgfs_opts() {
+  TestbedOptions o;
+  o.kind = SetupKind::kSgfs;
+  o.cipher = crypto::Cipher::kNull;  // wall-clock economy; MAC stays on
+  return o;
+}
+
+// The one identity the testbed gridmap admits.
+crypto::DistinguishedName grid_user() {
+  return crypto::DistinguishedName("UFL", "griduser");
+}
+
+// Creates /GFS/grid/f through the mount and returns after close (all state
+// flushed) so later ops are pure metadata RPCs.
+Task<void> create_file(nfs::MountPoint& mp) {
+  Rng content(17);
+  const Buffer payload = content.bytes(4096);
+  int fd = co_await mp.open("f", nfs::kWrOnly | nfs::kCreate);
+  co_await mp.write(fd, ByteView(payload.data(), payload.size()));
+  co_await mp.close(fd);
+}
+
+TEST(SessionResumption, DurableTicketCacheResumesAcrossRestart) {
+  TestbedOptions o = sgfs_opts();
+  o.resume_sessions = true;
+  o.durable_ticket_cache = true;
+  Testbed tb(o);
+  tb.engine().run_task([](Testbed& tb) -> Task<void> {
+    auto mp = co_await tb.mount();
+    co_await create_file(*mp);
+    // Initial establishment: NFS pays the one full RSA exchange, MOUNT
+    // rides its ticket.
+    const auto& m = tb.engine().metrics();
+    EXPECT_EQ(m.counter_value("sgfs.session.full_handshakes"), 1u);
+    EXPECT_EQ(m.counter_value("sgfs.session.resumed"), 1u);
+
+    tb.server_host().crash_restart(tb.engine().now() + 1_ms, 200_ms);
+    co_await tb.engine().sleep(2_s);
+
+    // Next op discovers the dead session; both upstreams come back on the
+    // retained ticket — abbreviated handshakes only, no fallback.
+    co_await mp->chmod("f", 0600);
+    EXPECT_EQ(m.counter_value("sgfs.session.full_handshakes"), 1u);
+    EXPECT_GE(m.counter_value("sgfs.session.resumed"), 3u);
+    EXPECT_EQ(m.counter_value("sgfs.session.fallback_full"), 0u);
+    EXPECT_GE(m.counter_value("sgfs.session.disconnects"), 1u);
+  }(tb));
+  EXPECT_TRUE(tb.engine().errors().empty());
+}
+
+TEST(SessionResumption, RestartedServerRejectsPreWipeTickets) {
+  TestbedOptions o = sgfs_opts();
+  o.resume_sessions = true;
+  o.durable_ticket_cache = false;  // restart wipes the ticket cache
+  Testbed tb(o);
+  tb.engine().run_task([](Testbed& tb) -> Task<void> {
+    auto mp = co_await tb.mount();
+    co_await create_file(*mp);
+
+    tb.server_host().crash_restart(tb.engine().now() + 1_ms, 200_ms);
+    co_await tb.engine().sleep(2_s);
+
+    // The pre-wipe ticket fails closed; the client falls back to a full
+    // handshake and service recovers.
+    co_await mp->chmod("f", 0600);
+    const auto& m = tb.engine().metrics();
+    EXPECT_GE(m.counter_value("sgfs.session.fallback_full"), 1u);
+    EXPECT_GE(m.counter_value("sgfs.session.full_handshakes"), 2u);
+  }(tb));
+  EXPECT_TRUE(tb.engine().errors().empty());
+}
+
+TEST(SessionResumption, ResumptionOffKeepsLegacyHandshakeSequence) {
+  TestbedOptions o = sgfs_opts();  // resume_sessions stays false
+  Testbed tb(o);
+  tb.engine().run_task([](Testbed& tb) -> Task<void> {
+    auto mp = co_await tb.mount();
+    co_await create_file(*mp);
+    tb.server_host().crash_restart(tb.engine().now() + 1_ms, 200_ms);
+    co_await tb.engine().sleep(2_s);
+    co_await mp->chmod("f", 0600);
+    // No session-lifecycle counters exist with the feature off (golden-pin
+    // protection), and every exchange was a full handshake.
+    const auto& m = tb.engine().metrics();
+    EXPECT_EQ(m.counter_value("sgfs.session.full_handshakes"), 0u);
+    EXPECT_EQ(m.counter_value("sgfs.session.resumed"), 0u);
+    EXPECT_GE(m.counter_value("crypto.handshakes"), 4u);
+  }(tb));
+  EXPECT_TRUE(tb.engine().errors().empty());
+}
+
+TEST(KeyRegressionRevocation, RevokedDnFailsClosedMidSession) {
+  TestbedOptions o = sgfs_opts();
+  o.key_regression = true;
+  Testbed tb(o);
+  tb.engine().run_task([](Testbed& tb) -> Task<void> {
+    auto mp = co_await tb.mount();
+    co_await create_file(*mp);  // admitted: the session authorized fine
+
+    tb.server_proxy()->revoke_dn(grid_user());
+
+    // The generation bump invalidates the cached authorization; the next
+    // op re-checks the gridmap, finds the DN gone, and fails closed.
+    bool denied = false;
+    try {
+      co_await mp->chmod("f", 0600);
+    } catch (const std::exception&) {
+      denied = true;
+    }
+    EXPECT_TRUE(denied);
+  }(tb));
+  EXPECT_TRUE(tb.engine().errors().empty());
+}
+
+TEST(KeyRegressionRevocation, LazyRevocationHoleWithoutRegression) {
+  TestbedOptions o = sgfs_opts();
+  o.key_regression = false;  // the paper's lazy semantics
+  Testbed tb(o);
+  tb.engine().run_task([](Testbed& tb) -> Task<void> {
+    auto mp = co_await tb.mount();
+    co_await create_file(*mp);
+
+    tb.server_proxy()->revoke_dn(grid_user());
+
+    // Negative control: without the generation epoch, the live session's
+    // cached authorization still admits it — the stale reader keeps
+    // access.  This is exactly the hole key regression closes.
+    co_await mp->chmod("f", 0600);
+    auto attrs = co_await mp->stat("f");
+    EXPECT_EQ(attrs.mode & 0777u, 0600u);
+  }(tb));
+  EXPECT_TRUE(tb.engine().errors().empty());
+}
+
+TEST(KeyRegressionRevocation, SurvivorDerivesPriorEpochKeys) {
+  TestbedOptions o = sgfs_opts();
+  o.key_regression = true;
+  Testbed tb(o);
+  auto* server = tb.server_proxy();
+  auto* client = tb.client_proxy();
+  ASSERT_NE(server, nullptr);
+  ASSERT_NE(client, nullptr);
+
+  // Provision the reader at generation 0.
+  ASSERT_EQ(server->session_epoch(), 0u);
+  client->note_epoch_secret(server->session_epoch_secret(),
+                            server->session_epoch());
+  ASSERT_TRUE(client->epoch_key(0).has_value());
+  const Buffer key0 = *client->epoch_key(0);
+  // A reader cannot derive a generation newer than its provisioning.
+  EXPECT_FALSE(client->epoch_key(1).has_value());
+
+  // Revoke someone else: O(1) epoch bump on the server.
+  server->revoke_dn(crypto::DistinguishedName("UFL", "formeruser"));
+  EXPECT_EQ(server->session_epoch(), 1u);
+
+  // The stale reader still cannot reach the new generation...
+  EXPECT_FALSE(client->epoch_key(1).has_value());
+
+  // ...but a survivor re-provisioned once at the new epoch derives every
+  // prior generation's key offline — identical to its pre-revocation key.
+  client->note_epoch_secret(server->session_epoch_secret(),
+                            server->session_epoch());
+  ASSERT_TRUE(client->epoch_key(1).has_value());
+  ASSERT_TRUE(client->epoch_key(0).has_value());
+  EXPECT_EQ(*client->epoch_key(0), key0);
+  EXPECT_NE(*client->epoch_key(1), key0);
+}
+
+}  // namespace
+}  // namespace sgfs
