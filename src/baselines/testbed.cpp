@@ -181,6 +181,16 @@ Testbed::Testbed(TestbedOptions options)
   ccfg.cache.write_back =
       options_.proxy_disk_cache && options_.proxy_write_back;
   ccfg.cache.consistency = options_.consistency;
+  ccfg.cache.encryption = options_.cache_encryption;
+  if (options_.cache_capacity_bytes != 0) {
+    ccfg.cache.capacity_bytes = options_.cache_capacity_bytes;
+  }
+  if (options_.cache_poison_burst != 0) {
+    ccfg.cache.poison_burst = options_.cache_poison_burst;
+  }
+  if (options_.cache_bypass != 0) {
+    ccfg.cache.bypass_duration = options_.cache_bypass;
+  }
   switch (options_.kind) {
     case SetupKind::kGfs:
       ccfg.plain_transport = true;
@@ -211,6 +221,16 @@ Testbed::Testbed(TestbedOptions options)
   client_proxy_ = std::make_shared<core::ClientProxy>(*client_, ccfg,
                                                       rng_.fork());
   client_proxy_->start(2049);
+
+  // --- storage-fault injector against the proxy disk cache ---
+  if (options_.cache_tamper.enabled()) {
+    auto tamper = options_.cache_tamper;
+    if (tamper.seed == 1) tamper.seed = options_.seed ^ 0x7a3fu;
+    cache_injector_ = std::make_unique<core::CacheTamperInjector>(
+        *client_, *client_proxy_, tamper);
+    injector_alive_ = std::make_shared<bool>(true);
+    eng_.spawn(cache_injector_->run(injector_alive_));
+  }
 }
 
 uint64_t Testbed::server_drc_hits() const {
@@ -221,6 +241,7 @@ uint64_t Testbed::server_drc_hits() const {
 }
 
 Testbed::~Testbed() {
+  if (injector_alive_) *injector_alive_ = false;
   if (client_proxy_) client_proxy_->stop();
   if (server_proxy_) server_proxy_->stop();
   if (tunnel_) tunnel_->stop();

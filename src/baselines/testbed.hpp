@@ -25,6 +25,7 @@
 #include "nfs/nfs3_client.hpp"
 #include "nfs/nfs3_server.hpp"
 #include "nfs/nfs4.hpp"
+#include "sgfs/cache_fault.hpp"
 #include "sgfs/client_proxy.hpp"
 #include "sgfs/server_proxy.hpp"
 
@@ -89,6 +90,17 @@ struct TestbedOptions {
   bool durable_ticket_cache = false;
   /// Key regression for lazy revocation (sgfs server proxy).
   bool key_regression = false;
+  /// Encrypt-and-MAC the client proxy's disk cache at rest (DESIGN.md §15).
+  /// false = the paper's plaintext cache, bit-identical to every legacy run
+  /// and the negative control that demonstrably serves poisoned bytes.
+  bool cache_encryption = false;
+  /// Disk-cache tuning overrides; 0 keeps the CacheConfig default.
+  uint64_t cache_capacity_bytes = 0;
+  int cache_poison_burst = 0;
+  sim::SimDur cache_bypass = 0;
+  /// Storage-fault injection against the proxy disk cache (cache_fault.hpp).
+  /// rate_per_s == 0 (the default) spawns no injector.
+  core::CacheFaultOptions cache_tamper;
   /// Server resumption-ticket cache tuning (0 TTL = no expiry).
   size_t resumption_capacity = crypto::ResumptionCache::kDefaultCapacity;
   int64_t resumption_ttl_s = 0;
@@ -135,6 +147,8 @@ class Testbed {
   nfs::Nfs3Server& kernel_server() { return *kernel_nfs_; }
   core::ClientProxy* client_proxy() { return client_proxy_.get(); }
   core::ServerProxy* server_proxy() { return server_proxy_.get(); }
+  /// The storage-fault injector; nullptr unless cache_tamper is enabled.
+  core::CacheTamperInjector* cache_injector() { return cache_injector_.get(); }
   const TestbedOptions& options() const { return options_; }
 
   /// The installed fault plan; nullptr on a perfect network.
@@ -180,6 +194,8 @@ class Testbed {
   std::unique_ptr<rpc::RpcServer> kernel_rpc_;
   std::shared_ptr<core::ServerProxy> server_proxy_;
   std::shared_ptr<core::ClientProxy> client_proxy_;
+  std::unique_ptr<core::CacheTamperInjector> cache_injector_;
+  std::shared_ptr<bool> injector_alive_;
   std::unique_ptr<SshTunnel> tunnel_;
   Rng rng_;
 };

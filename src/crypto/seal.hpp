@@ -1,0 +1,62 @@
+// At-rest sealing for the client proxy's disk cache (hostile-storage
+// threat model, DESIGN.md §15).
+//
+// The proxy's scratch disk lives on whatever grid node the session landed
+// on — untrusted infrastructure.  Every cached data block is therefore
+// stored as AES-256-CBC ciphertext under a per-file key and bound by an
+// HMAC-SHA256 computed over fileid||block||generation||ciphertext:
+//
+//   - a flipped or truncated byte breaks the MAC (tampering);
+//   - a blob copied from another (fileid, block) carries the wrong binding
+//     (splicing);
+//   - a re-installed older blob of the same block carries a stale
+//     generation — the expected generation lives in trusted proxy memory
+//     and is an *input* to the MAC, never stored on disk (rollback).
+//
+// Key schedule: the same HMAC-SHA256 expansion the secure channel uses
+// (exposed here as derive()); the per-file enc/MAC keys hang off a cache
+// master secret that is either random per session or, with key regression,
+// the session generation's content key.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "common/bytes.hpp"
+
+namespace sgfs::crypto {
+
+/// HMAC-SHA256-based key expansion (TLS-PRF substitute) — shared by the
+/// secure channel's key-block derivation and the cache sealer.
+Buffer derive(ByteView secret, const std::string& label, ByteView seed,
+              size_t out_len);
+
+/// Per-file sealing keys, derived from the cache master secret and the
+/// fileid (distinct enc and MAC keys, 32 bytes each).
+struct SealKeys {
+  Buffer enc;
+  Buffer mac;
+};
+
+SealKeys derive_seal_keys(ByteView master, uint64_t fileid);
+
+constexpr size_t kSealMacSize = 32;  // HMAC-SHA256
+/// Bytes a sealed blob adds over the plaintext (CBC padding + MAC); the
+/// exact size also depends on padding, use sealed.size() where it matters.
+constexpr size_t kSealMinOverhead = kSealMacSize + 1;
+
+/// Seals one cache block: ciphertext followed by the binding MAC.  The IV
+/// is derived from the enc key and the binding tuple, so re-sealing the
+/// same block at a new generation produces an unrelated blob.
+Buffer seal_block(const SealKeys& keys, uint64_t fileid, uint64_t block,
+                  uint64_t generation, ByteView plaintext);
+
+/// Verifies and opens a sealed blob.  `generation` is the trusted in-memory
+/// value for this block.  Returns nullopt on ANY mismatch — tampered bytes,
+/// truncation, a blob spliced from another block, or a rolled-back older
+/// generation.  Never throws on malformed input.
+std::optional<Buffer> unseal_block(const SealKeys& keys, uint64_t fileid,
+                                   uint64_t block, uint64_t generation,
+                                   ByteView sealed);
+
+}  // namespace sgfs::crypto

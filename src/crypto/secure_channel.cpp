@@ -1,6 +1,7 @@
 #include "crypto/secure_channel.hpp"
 
 #include "common/log.hpp"
+#include "crypto/seal.hpp"
 #include "xdr/xdr.hpp"
 
 namespace sgfs::crypto {
@@ -23,27 +24,7 @@ Buffer be64(uint64_t v) {
   return out;
 }
 
-// HMAC-SHA256-based key expansion (TLS-PRF substitute).
-Buffer derive(ByteView secret, const std::string& label, ByteView seed,
-              size_t out_len) {
-  Buffer out;
-  uint32_t counter = 0;
-  while (out.size() < out_len) {
-    HmacSha256 h(secret);
-    h.update(to_bytes(label));
-    h.update(seed);
-    Buffer c = {static_cast<uint8_t>(counter >> 24),
-                static_cast<uint8_t>(counter >> 16),
-                static_cast<uint8_t>(counter >> 8),
-                static_cast<uint8_t>(counter)};
-    h.update(c);
-    auto d = h.finish();
-    append(out, ByteView(d.data(), d.size()));
-    ++counter;
-  }
-  out.resize(out_len);
-  return out;
-}
+// Key expansion lives in crypto/seal.hpp now (the cache sealer shares it).
 
 uint64_t fnv1a64(ByteView data) {
   uint64_t h = 1469598103934665603ull;

@@ -365,19 +365,23 @@ bool MountPoint::make_room_clean(size_t incoming) {
 sim::Task<void> MountPoint::ensure_space(size_t incoming) {
   while (cache_bytes_used_ + incoming > config_.cache_bytes &&
          !lru_.empty()) {
+    const uint64_t victim_lru = lru_.begin()->first;
     const BlockKey victim = lru_.begin()->second;
     auto it = blocks_.find(victim);
-    if (it != blocks_.end() && it->second.dirty) {
+    if (it == blocks_.end()) {
+      // Orphaned LRU entry: erase by key, never by begin() — the write-back
+      // suspensions below let concurrent evictions reshape lru_.
+      lru_.erase(victim_lru);
+      continue;
+    }
+    if (it->second.dirty) {
       co_await writeback_block(victim.fileid, victim.block);
       it = blocks_.find(victim);
+      if (it == blocks_.end() || it->second.dirty) continue;
     }
-    if (it != blocks_.end()) {
-      lru_.erase(it->second.lru);
-      blocks_.erase(it);
-      cache_bytes_used_ -= config_.block_size;
-    } else {
-      lru_.erase(lru_.begin());
-    }
+    lru_.erase(it->second.lru);
+    blocks_.erase(it);
+    cache_bytes_used_ -= config_.block_size;
   }
 }
 

@@ -1,0 +1,118 @@
+#include "sgfs/cache_fault.hpp"
+
+#include <vector>
+
+namespace sgfs::core {
+
+CacheTamperInjector::CacheTamperInjector(net::Host& host, ClientProxy& proxy,
+                                         CacheFaultOptions options)
+    : host_(host), proxy_(proxy), options_(options), rng_(options.seed) {
+  auto& m = host.engine().metrics();
+  m_injected_ = {m, "sgfs.cachefault.injected"};
+  m_flips_ = {m, "sgfs.cachefault.flips"};
+  m_truncates_ = {m, "sgfs.cachefault.truncates"};
+  m_splices_ = {m, "sgfs.cachefault.splices"};
+  m_rollbacks_ = {m, "sgfs.cachefault.rollbacks"};
+}
+
+sim::Task<void> CacheTamperInjector::run(std::shared_ptr<bool> alive) {
+  if (!options_.enabled()) co_return;
+  auto& eng = host_.engine();
+  const auto interval =
+      static_cast<sim::SimDur>(sim::kSecond / options_.rate_per_s);
+  if (options_.start > eng.now()) {
+    co_await eng.sleep(options_.start - eng.now());
+  }
+  for (;;) {
+    // Jittered inter-arrival around the mean rate, drawn from the
+    // injector's own stream (deterministic, independent of the workload).
+    const sim::SimDur gap =
+        interval / 2 + static_cast<sim::SimDur>(
+                           rng_.next_below(static_cast<uint64_t>(interval) + 1));
+    co_await eng.sleep(gap);
+    if (!*alive) co_return;
+    if (options_.end != 0 && eng.now() >= options_.end) co_return;
+    tamper_once();
+  }
+}
+
+void CacheTamperInjector::tamper_once() {
+  const auto keys = proxy_.tamperable_blocks();
+  if (keys.empty()) return;
+  const auto victim = keys[rng_.next_below(keys.size())];
+
+  // Stash the pre-tamper image the first time a block is visited: a later
+  // stale-roll re-installs it (by then the proxy may have re-sealed the
+  // block at a newer generation, making the stash genuinely stale).
+  if (!history_.count(victim)) {
+    proxy_.tamper_block(victim,
+                        [&](Buffer& data) { history_[victim] = data; });
+  }
+
+  std::vector<int> kinds;
+  if (options_.flips) kinds.push_back(0);
+  if (options_.truncates) kinds.push_back(1);
+  if (options_.splices) kinds.push_back(2);
+  if (options_.rollbacks) kinds.push_back(3);
+  if (kinds.empty()) return;
+  const int kind = kinds[rng_.next_below(kinds.size())];
+
+  bool fired = false;
+  switch (kind) {
+    case 0:
+      proxy_.tamper_block(victim, [&](Buffer& data) {
+        if (data.empty()) return;
+        data[rng_.next_below(data.size())] ^=
+            static_cast<uint8_t>(1u << rng_.next_below(8));
+        fired = true;
+      });
+      if (fired) m_flips_.inc();
+      break;
+    case 1:
+      proxy_.tamper_block(victim, [&](Buffer& data) {
+        if (data.empty()) return;
+        data.resize(rng_.next_below(data.size()));
+        fired = true;
+      });
+      if (fired) m_truncates_.inc();
+      break;
+    case 2: {
+      if (keys.size() < 2) return;
+      size_t oi = rng_.next_below(keys.size());
+      if (keys[oi] == victim) oi = (oi + 1) % keys.size();
+      const auto other = keys[oi];
+      Buffer donor;
+      proxy_.tamper_block(other, [&](Buffer& data) { donor = data; });
+      if (donor.empty()) return;
+      proxy_.tamper_block(victim, [&](Buffer& data) {
+        data = donor;
+        fired = true;
+      });
+      if (fired) m_splices_.inc();
+      break;
+    }
+    case 3: {
+      auto it = history_.find(victim);
+      if (it == history_.end()) return;
+      bool differs = false;
+      proxy_.tamper_block(victim, [&](Buffer& data) {
+        differs = data != it->second;
+        if (differs) {
+          data = it->second;
+          fired = true;
+        }
+      });
+      // Identical image = not actually stale; count nothing.
+      if (fired) m_rollbacks_.inc();
+      break;
+    }
+    default:
+      break;
+  }
+  if (fired) {
+    ++injected_;
+    m_injected_.inc();
+  }
+}
+
+}  // namespace sgfs::core

@@ -1,0 +1,68 @@
+// Storage-fault injector for the client proxy's disk cache (the chaos
+// matrix's "storage integrity" axis, DESIGN.md §15).
+//
+// Models a hostile or failing scratch disk on the grid node the proxy
+// landed on: a seeded, deterministic actor that mutates the at-rest bytes
+// of resident cache blocks mid-run —
+//
+//   flip      xor one bit somewhere in the blob
+//   truncate  shrink the blob to a random prefix
+//   splice    replace the blob with another resident block's bytes
+//   rollback  re-install a previously-snapshotted older blob
+//
+// Only clean, non-shadowed blocks are eligible (the model is hostile
+// storage, not lost writes; a dirty block's cache copy is the only copy).
+// Every firing is drawn from the injector's own forked Rng, so runs are
+// bit-reproducible — the same FaultPlan discipline as net::FaultPlan.
+#pragma once
+
+#include <map>
+#include <memory>
+
+#include "sgfs/client_proxy.hpp"
+
+namespace sgfs::core {
+
+struct CacheFaultOptions {
+  /// Mean tamper events per simulated second; 0 disables the injector.
+  double rate_per_s = 0;
+  /// Active window; end == 0 keeps injecting until the run finishes.
+  sim::SimTime start = 0;
+  sim::SimTime end = 0;
+  uint64_t seed = 1;
+  bool flips = true;
+  bool truncates = true;
+  bool splices = true;
+  bool rollbacks = true;
+
+  CacheFaultOptions() = default;
+
+  bool enabled() const { return rate_per_s > 0; }
+};
+
+class CacheTamperInjector {
+ public:
+  CacheTamperInjector(net::Host& host, ClientProxy& proxy,
+                      CacheFaultOptions options);
+
+  /// The injector actor; spawn on the engine.  Stops at options.end (when
+  /// set) or when *alive flips false.
+  sim::Task<void> run(std::shared_ptr<bool> alive);
+
+  uint64_t injected() const { return injected_; }
+
+ private:
+  void tamper_once();
+
+  net::Host& host_;
+  ClientProxy& proxy_;
+  CacheFaultOptions options_;
+  Rng rng_;
+  uint64_t injected_ = 0;
+  /// Older at-rest images, stashed per block for stale-roll installs.
+  std::map<ClientProxy::BlockKey, Buffer> history_;
+  obs::CounterHandle m_injected_, m_flips_, m_truncates_;
+  obs::CounterHandle m_splices_, m_rollbacks_;
+};
+
+}  // namespace sgfs::core

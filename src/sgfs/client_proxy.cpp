@@ -1,5 +1,8 @@
 #include "sgfs/client_proxy.hpp"
 
+#include <algorithm>
+#include <cassert>
+
 #include "common/bufchain.hpp"
 
 #include "common/log.hpp"
@@ -27,6 +30,19 @@ ClientProxy::ClientProxy(net::Host& host, ClientProxyConfig config, Rng rng)
   m_absorbed_lookups_ = {m, "sgfs.client_proxy.absorbed.lookups"};
   m_absorbed_reads_ = {m, "sgfs.client_proxy.absorbed.reads"};
   m_absorbed_writes_ = {m, "sgfs.client_proxy.absorbed.writes"};
+  m_sealed_blocks_ = {m, "sgfs.cache.sealed_blocks"};
+  m_verify_failures_ = {m, "sgfs.cache.verify_failures"};
+  m_poison_evictions_ = {m, "sgfs.cache.poison_evictions"};
+  m_refetches_ = {m, "sgfs.cache.refetches"};
+  m_bypass_entries_ = {m, "sgfs.cache.bypass_entries"};
+  m_probes_ = {m, "sgfs.cache.probes"};
+  m_revocation_purges_ = {m, "sgfs.cache.revocation_purges"};
+  if (config_.cache.encryption) {
+    // Session-random until a key-regression epoch secret rebinds it.  The
+    // draw happens ONLY with encryption on: legacy configurations keep
+    // their exact RNG stream (golden-pin protection).
+    cache_master_ = rng_.bytes(crypto::KeyRegression::kSecretSize);
+  }
   if (config_.retry_budget_ratio > 0) {
     // Shared across (and surviving) the session's upstream clients, so a
     // reconnect does not refill the bucket.
@@ -120,6 +136,204 @@ std::optional<Buffer> ClientProxy::epoch_key(uint32_t epoch) const {
   return crypto::KeyRegression::content_key(secret, epoch);
 }
 
+void ClientProxy::note_epoch_secret(Buffer secret, uint32_t epoch) {
+  epoch_secret_ = std::move(secret);
+  epoch_secret_epoch_ = epoch;
+  if (config_.cache.encryption) rekey_cache();
+}
+
+// --- encrypted-at-rest cache (hostile storage, DESIGN.md §15) ---------------
+
+const crypto::SealKeys& ClientProxy::seal_keys(uint64_t fileid) {
+  auto it = file_keys_.find(fileid);
+  if (it == file_keys_.end()) {
+    it = file_keys_
+             .emplace(fileid, crypto::derive_seal_keys(cache_master_, fileid))
+             .first;
+  }
+  return it->second;
+}
+
+sim::SimDur ClientProxy::seal_cost(size_t bytes) const {
+  // One cipher pass plus one MAC pass over the block, at the session's
+  // crypto-cost rates (the at-rest seal always uses AES-256 + HMAC, even
+  // when the wire cipher is kNull).
+  return config_.security.cost.record_cost(crypto::Cipher::kAes256Cbc,
+                                           crypto::MacAlgo::kHmacSha1, bytes);
+}
+
+std::optional<Buffer> ClientProxy::unseal(const Block& b,
+                                          const BlockKey& key) {
+  if (b.generation == 0) return std::nullopt;  // never sealed
+  host_.cpu().charge(seal_cost(b.data.size()), "crypto");
+  return crypto::unseal_block(seal_keys(key.first), key.first, key.second,
+                              b.generation,
+                              ByteView(b.data.data(), b.data.size()));
+}
+
+void ClientProxy::seal_into(Block& b, const BlockKey& key,
+                            ByteView plaintext) {
+  b.generation = ++seal_clock_;
+  b.data = crypto::seal_block(seal_keys(key.first), key.first, key.second,
+                              b.generation, plaintext);
+  host_.cpu().charge(seal_cost(plaintext.size()), "crypto");
+  m_sealed_blocks_.inc();
+}
+
+void ClientProxy::note_verify_failure() {
+  m_verify_failures_.inc();
+  const sim::SimTime now = host_.engine().now();
+  if (now - last_poison_ > config_.cache.poison_window) poison_strikes_ = 0;
+  last_poison_ = now;
+  ++poison_strikes_;
+  if (cache_health_ == CacheHealth::kProbe) {
+    // The half-open probe failed: straight back to bypass.
+    cache_health_ = CacheHealth::kBypass;
+    bypass_until_ = now + config_.cache.bypass_duration;
+    m_bypass_entries_.inc();
+    return;
+  }
+  if (cache_health_ == CacheHealth::kActive &&
+      config_.cache.poison_burst > 0 &&
+      poison_strikes_ >= config_.cache.poison_burst) {
+    // Sustained tampering: stop trusting the scratch disk.  Clean blocks
+    // are dropped (they would keep failing anyway); dirty blocks are the
+    // only copy of absorbed writes and stay until flush.
+    cache_health_ = CacheHealth::kBypass;
+    bypass_until_ = now + config_.cache.bypass_duration;
+    m_bypass_entries_.inc();
+    poison_strikes_ = 0;
+    purge_clean_blocks();
+    SGFS_WARN("sgfs-proxy", "poisoned cache: entering bypass for ",
+              config_.cache.bypass_duration / sim::kMillisecond, " ms");
+  }
+}
+
+void ClientProxy::erase_block(std::map<BlockKey, Block>::iterator it) {
+  lru_.erase(it->second.lru);
+  blocks_.erase(it);
+  cache_bytes_used_ -= config_.cache.block_size;
+  assert(cache_accounting_consistent());
+}
+
+void ClientProxy::poison_evict(const BlockKey& key) {
+  auto it = blocks_.find(key);
+  if (it == blocks_.end()) return;
+  if (it->second.dirty) {
+    // A tampered dirty block is unrecoverable — the cache held the only
+    // copy.  Surface nothing corrupt; account the loss like a cancelled
+    // write-back.
+    cancelled_writeback_bytes_ += it->second.valid;
+    auto ds = dirty_.find(key.first);
+    if (ds != dirty_.end()) {
+      ds->second.erase(key.second);
+      if (ds->second.empty()) dirty_.erase(ds);
+    }
+  }
+  erase_block(it);
+  m_poison_evictions_.inc();
+}
+
+void ClientProxy::purge_clean_blocks() {
+  for (auto it = blocks_.begin(); it != blocks_.end();) {
+    if (it->second.dirty) {
+      ++it;
+      continue;
+    }
+    lru_.erase(it->second.lru);
+    it = blocks_.erase(it);
+    cache_bytes_used_ -= config_.cache.block_size;
+  }
+  assert(cache_accounting_consistent());
+}
+
+void ClientProxy::purge_cached_plaintext() {
+  for (const auto& [key, b] : blocks_) {
+    if (b.dirty) cancelled_writeback_bytes_ += b.valid;
+  }
+  blocks_.clear();
+  lru_.clear();
+  cache_bytes_used_ = 0;
+  dirty_.clear();
+  uncommitted_.clear();
+  attrs_.clear();
+  names_.clear();
+  access_cache_.clear();
+  dir_cache_.clear();
+  file_keys_.clear();
+  m_revocation_purges_.inc();
+}
+
+void ClientProxy::rekey_cache() {
+  Buffer new_master = crypto::KeyRegression::content_key(*epoch_secret_,
+                                                         epoch_secret_epoch_);
+  if (new_master == cache_master_) return;
+  // Dirty blocks are the only copy of absorbed writes: reopen them under
+  // the outgoing keys and re-seal under the new master.  Clean blocks are
+  // simply dropped (a re-fetch is cheaper than a re-seal pass and stale
+  // keys must never serve).
+  struct Pending {
+    BlockKey key;
+    Buffer plaintext;
+  };
+  std::vector<Pending> dirty_plain;
+  for (auto& [key, b] : blocks_) {
+    if (!b.dirty) continue;
+    auto plain = unseal(b, key);
+    if (!plain) {
+      note_verify_failure();
+      continue;  // poisoned while dirty: dropped below with the clean set
+    }
+    dirty_plain.push_back({key, std::move(*plain)});
+  }
+  cache_master_ = std::move(new_master);
+  file_keys_.clear();
+  // Everything not re-sealed below goes: clean blocks and any dirty block
+  // whose blob failed verification.
+  for (auto it = blocks_.begin(); it != blocks_.end();) {
+    const bool keep = std::any_of(
+        dirty_plain.begin(), dirty_plain.end(),
+        [&](const Pending& p) { return p.key == it->first; });
+    if (keep) {
+      ++it;
+      continue;
+    }
+    if (it->second.dirty) {
+      cancelled_writeback_bytes_ += it->second.valid;
+      auto ds = dirty_.find(it->first.first);
+      if (ds != dirty_.end()) {
+        ds->second.erase(it->first.second);
+        if (ds->second.empty()) dirty_.erase(ds);
+      }
+    }
+    lru_.erase(it->second.lru);
+    it = blocks_.erase(it);
+    cache_bytes_used_ -= config_.cache.block_size;
+  }
+  for (Pending& p : dirty_plain) {
+    auto it = blocks_.find(p.key);
+    if (it == blocks_.end()) continue;
+    seal_into(it->second, p.key,
+              ByteView(p.plaintext.data(), p.plaintext.size()));
+  }
+  assert(cache_accounting_consistent());
+}
+
+bool ClientProxy::data_cache_admitting() {
+  if (!config_.cache.encryption) return true;
+  if (cache_health_ == CacheHealth::kBypass &&
+      host_.engine().now() >= bypass_until_) {
+    // Bypass window over: half-open.  Fills are admitted on trial; the
+    // cache earns back full trust only when a trial blob verifies on its
+    // next hit — i.e. after it has actually rested on the suspect disk.
+    cache_health_ = CacheHealth::kProbe;
+    m_probes_.inc();
+    SGFS_INFO("sgfs-proxy", "cache half-open: probing the scratch disk");
+  }
+  return cache_health_ != CacheHealth::kBypass;
+}
+
+
 sim::Task<BufChain> ClientProxy::forward(const rpc::CallContext& ctx,
                                          BufChain args) {
   std::optional<sim::SimMutex::Guard> guard;
@@ -170,6 +384,14 @@ sim::Task<BufChain> ClientProxy::forward(const rpc::CallContext& ctx,
         continue;
       }
       break;
+    } catch (const rpc::RpcAuthError&) {
+      // The server-side proxy rejected this session's credentials — the DN
+      // was revoked (gridmap removal + epoch bump).  Fail closed AND
+      // forget: every cached byte, attribute, name and access verdict this
+      // DN could still read through the proxy is purged before the denial
+      // surfaces (satellite: revocation must not leave readable plaintext).
+      purge_cached_plaintext();
+      throw;
     } catch (const rpc::RpcTimeout&) {
       failure = std::current_exception();
     } catch (const crypto::SecurityError&) {
@@ -234,7 +456,77 @@ void ClientProxy::reload(const ClientProxyConfig& config) {
   const bool security_changed =
       config.security.cipher != config_.security.cipher ||
       config.security.mac != config_.security.mac;
+  const bool encryption_changed =
+      config.cache.encryption != config_.cache.encryption;
   config_ = config;
+  if (encryption_changed) {
+    // Blocks stored under the old at-rest mode must never be served under
+    // the new one: a plaintext blob would fail (or worse, satisfy) the
+    // sealed read path, and a sealed blob is garbage to the plaintext one.
+    // Clean blocks are droppable; dirty blocks carry the only copy of
+    // absorbed writes and convert in place.
+    if (config_.cache.encryption) {
+      // Resident blocks are plaintext right now, so there is nothing to
+      // re-seal from the old key: just (re)bind the master and convert the
+      // dirty set.
+      if (epoch_secret_) {
+        cache_master_ = crypto::KeyRegression::content_key(
+            *epoch_secret_, epoch_secret_epoch_);
+      } else if (cache_master_.empty()) {
+        cache_master_ = rng_.bytes(crypto::KeyRegression::kSecretSize);
+      }
+      file_keys_.clear();
+      purge_clean_blocks();
+      for (auto& [key, b] : blocks_) {
+        if (!b.dirty || b.generation != 0) continue;
+        Buffer plain = std::move(b.data);
+        plain.resize(config_.cache.block_size, 0);
+        seal_into(b, key, ByteView(plain.data(), plain.size()));
+      }
+    } else {
+      purge_clean_blocks();
+      for (auto it = blocks_.begin(); it != blocks_.end();) {
+        auto plain = unseal(it->second, it->first);
+        if (plain) {
+          it->second.data = std::move(*plain);
+          it->second.data.resize(config_.cache.block_size, 0);
+          it->second.generation = 0;
+          ++it;
+          continue;
+        }
+        // Poisoned while dirty: unrecoverable, never surface it.
+        m_verify_failures_.inc();
+        cancelled_writeback_bytes_ += it->second.valid;
+        auto ds = dirty_.find(it->first.first);
+        if (ds != dirty_.end()) {
+          ds->second.erase(it->first.second);
+          if (ds->second.empty()) dirty_.erase(ds);
+        }
+        lru_.erase(it->second.lru);
+        it = blocks_.erase(it);
+        cache_bytes_used_ -= config_.cache.block_size;
+      }
+    }
+    cache_health_ = CacheHealth::kActive;
+    poison_strikes_ = 0;
+    assert(cache_accounting_consistent());
+  }
+  // A shrunk capacity must not leave over-capacity blocks resident: drop
+  // clean victims in LRU order now (reload is synchronous, so dirty blocks
+  // wait for the next cache operation's writeback-eviction).
+  for (auto it = lru_.begin();
+       cache_bytes_used_ > config_.cache.capacity_bytes &&
+       it != lru_.end();) {
+    auto bit = blocks_.find(it->second);
+    if (bit == blocks_.end() || bit->second.dirty) {
+      ++it;
+      continue;
+    }
+    it = lru_.erase(it);
+    blocks_.erase(bit);
+    cache_bytes_used_ -= config_.cache.block_size;
+  }
+  assert(cache_accounting_consistent());
   if (security_changed) {
     // Tear down the secured connections; the next request re-handshakes
     // under the new configuration (certificates are re-read then too).  The
@@ -242,6 +534,24 @@ void ClientProxy::reload(const ClientProxyConfig& config) {
     drop_upstream();
     session_mgr_.invalidate_ticket();
   }
+}
+
+std::vector<ClientProxy::BlockKey> ClientProxy::tamperable_blocks() const {
+  std::vector<BlockKey> keys;
+  keys.reserve(blocks_.size());
+  for (const auto& [key, b] : blocks_) {
+    if (b.dirty || uncommitted_.count(key)) continue;
+    keys.push_back(key);
+  }
+  return keys;
+}
+
+bool ClientProxy::tamper_block(const BlockKey& key,
+                               const std::function<void(Buffer&)>& fn) {
+  auto it = blocks_.find(key);
+  if (it == blocks_.end()) return false;
+  fn(it->second.data);
+  return true;
 }
 
 // --- cache plumbing -----------------------------------------------------------
@@ -294,6 +604,7 @@ void ClientProxy::drop_file(uint64_t fileid) {
     lru_.erase(it->second.lru);
     it = blocks_.erase(it);
   }
+  assert(cache_accounting_consistent());
   dirty_.erase(fileid);
   attrs_.erase(fileid);
   access_cache_.erase(fileid);
@@ -322,6 +633,13 @@ ClientProxy::Block& ClientProxy::put_block(uint64_t fileid, uint64_t block) {
     lru_[it->second.lru] = key;
     cache_bytes_used_ += config_.cache.block_size;
   } else {
+    // A hostile scratch disk may have truncated the at-rest buffer (the
+    // plaintext negative control serves wrong bytes, never out-of-bounds
+    // ones); restore capacity before any overlay.  No-op on honest storage
+    // and on sealed blobs (ciphertext + MAC is never shorter than a block).
+    if (it->second.data.size() < config_.cache.block_size) {
+      it->second.data.resize(config_.cache.block_size, 0);
+    }
     lru_.erase(it->second.lru);
     it->second.lru = ++lru_clock_;
     lru_[it->second.lru] = key;
@@ -336,6 +654,10 @@ sim::Task<void> ClientProxy::writeback_block(uint64_t fileid, uint64_t block,
   if (it == blocks_.end() || !it->second.dirty) co_return;
   // Read the block back from the cache disk, then push it upstream.
   co_await cache_disk_io(fileid, block, it->second.valid, /*write=*/false);
+  // The disk read suspended: a concurrent op (poison eviction, truncate,
+  // another flush) may have erased the block meanwhile.
+  it = blocks_.find(key);
+  if (it == blocks_.end() || !it->second.dirty) co_return;
   nfs::WriteArgs wargs;
   wargs.fh = Fh(seen_fsid_, fileid);
   wargs.offset = block * config_.cache.block_size;
@@ -345,8 +667,24 @@ sim::Task<void> ClientProxy::writeback_block(uint64_t fileid, uint64_t block,
   // block while this WRITE is in flight, so the upstream payload cannot
   // alias it.  This is the one copy a write-back cache fundamentally needs.
   const size_t snap_len = it->second.valid;
-  wargs.data =
-      BufChain::copy_of(ByteView(it->second.data.data(), snap_len));
+  Buffer opened;  // sealed mode: verified plaintext backing the snapshot
+  if (config_.cache.encryption) {
+    auto plain = unseal(it->second, key);
+    if (!plain) {
+      // A dirty block failed verification: the scratch disk destroyed the
+      // only copy.  Never push (or serve) the corrupt bytes.
+      note_verify_failure();
+      SGFS_WARN("sgfs-proxy",
+                "dirty cache block failed verification; dropping write-back");
+      poison_evict(key);
+      co_return;
+    }
+    opened = std::move(*plain);
+    wargs.data = BufChain::copy_of(ByteView(opened.data(), snap_len));
+  } else {
+    wargs.data =
+        BufChain::copy_of(ByteView(it->second.data.data(), snap_len));
+  }
   if (host_.memcpy_charged()) co_await host_.memcpy_cost(snap_len);
   xdr::Encoder enc;
   wargs.encode(enc);
@@ -478,8 +816,14 @@ sim::Task<void> ClientProxy::striped_fill(const nfs::ReadArgs& a) {
       // (it may be dirty) or one with an uncommitted replay shadow.
       if (blocks_.count(key) || uncommitted_.count(key)) continue;
       Block& b = put_block(a.fh.fileid, block);
-      res.data.slice(off, len).copy_to(MutByteView(b.data.data(), len));
       b.valid = static_cast<uint32_t>(len);
+      if (!config_.cache.encryption) {
+        res.data.slice(off, len).copy_to(MutByteView(b.data.data(), len));
+      } else {
+        Buffer stage(bs, 0);
+        res.data.slice(off, len).copy_to(MutByteView(stage.data(), len));
+        seal_into(b, key, ByteView(stage.data(), stage.size()));
+      }
       if (host_.memcpy_charged()) co_await host_.memcpy_cost(len);
       spawn_cache_store(a.fh.fileid, block, len);
     }
@@ -515,13 +859,29 @@ sim::Task<void> ClientProxy::flush_file_striped(uint64_t fileid) {
   for (uint64_t block : pending) {
     auto it = blocks_.find({fileid, block});
     if (it == blocks_.end() || !it->second.dirty) continue;
-    const size_t len = it->second.valid;
     // Read back from the cache disk and snapshot, exactly like the
     // single-stream write-back (the kernel client may keep writing into
     // the cached block while the WRITE is in flight).
-    co_await cache_disk_io(fileid, block, len, /*write=*/false);
-    BufChain snap =
-        BufChain::copy_of(ByteView(it->second.data.data(), len));
+    co_await cache_disk_io(fileid, block, it->second.valid, /*write=*/false);
+    // The disk read suspended: a concurrent op may have erased the block.
+    it = blocks_.find({fileid, block});
+    if (it == blocks_.end() || !it->second.dirty) continue;
+    const size_t len = it->second.valid;
+    BufChain snap;
+    if (config_.cache.encryption) {
+      auto plain = unseal(it->second, {fileid, block});
+      if (!plain) {
+        note_verify_failure();
+        SGFS_WARN("sgfs-proxy",
+                  "dirty cache block failed verification; dropping ",
+                  "write-back");
+        poison_evict({fileid, block});
+        continue;
+      }
+      snap = BufChain::copy_of(ByteView(plain->data(), len));
+    } else {
+      snap = BufChain::copy_of(ByteView(it->second.data.data(), len));
+    }
     if (host_.memcpy_charged()) co_await host_.memcpy_cost(len);
     // Coalesce adjacent full blocks into one compound UNSTABLE WRITE; a
     // short (partially-valid) block may only end a run.
@@ -607,21 +967,26 @@ sim::Task<void> ClientProxy::flush_file_striped(uint64_t fileid) {
 
 sim::Task<void> ClientProxy::evict_if_needed() {
   while (cache_bytes_used_ > config_.cache.capacity_bytes && !lru_.empty()) {
+    const uint64_t victim_lru = lru_.begin()->first;
     const BlockKey victim = lru_.begin()->second;
     auto it = blocks_.find(victim);
-    if (it != blocks_.end() && it->second.dirty) {
+    if (it == blocks_.end()) {
+      // Orphaned LRU entry (the block went away by another path): erase by
+      // key, never by begin() — concurrent evictions may have reshaped lru_.
+      lru_.erase(victim_lru);
+      continue;
+    }
+    if (it->second.dirty) {
       co_await writeback_block(victim.first, victim.second,
                                /*file_sync=*/true);
+      // The write-back suspended: the victim may be gone, re-dirtied, or
+      // merely touched.  Re-validate before erasing anything.
       it = blocks_.find(victim);
+      if (it == blocks_.end() || it->second.dirty) continue;
     }
-    if (it != blocks_.end()) {
-      lru_.erase(it->second.lru);
-      blocks_.erase(it);
-      cache_bytes_used_ -= config_.cache.block_size;
-    } else {
-      lru_.erase(lru_.begin());
-    }
+    erase_block(it);
   }
+  assert(cache_accounting_consistent());
 }
 
 sim::Task<void> ClientProxy::flush() {
@@ -777,35 +1142,77 @@ sim::Task<BufChain> ClientProxy::handle(const rpc::CallContext& ctx,
       // readahead, then re-checks the cache (the pool populated whole
       // blocks).  Without a pool the loop body executes exactly once —
       // the K=1 path is unchanged.
+      const BlockKey rkey{a.fh.fileid, a.offset / bs};
       for (int pass = 0;; ++pass) {
         if (aligned) {
-          auto bit = blocks_.find({a.fh.fileid, a.offset / bs});
+          auto bit = blocks_.find(rkey);
           auto at = attrs_.find(a.fh.fileid);
           if (bit != blocks_.end() && at != attrs_.end() &&
               attrs_fresh(at->second)) {
-            ++absorbed_reads_;
-            m_absorbed_reads_.inc();
-            const uint64_t size = at->second.attrs.size;
-            const Block& b = bit->second;
-            const size_t have =
-                a.offset >= size
-                    ? 0
-                    : std::min<uint64_t>(std::min<uint64_t>(a.count, b.valid),
-                                         size - a.offset);
-            co_await cache_disk_io(a.fh.fileid, a.offset / bs, have ? have : 1,
-                                   /*write=*/false);
-            nfs::ReadRes res;
-            res.count = static_cast<uint32_t>(have);
-            res.eof = a.offset + have >= size;
-            res.data = BufChain::copy_of(ByteView(b.data.data(), have));
-            if (host_.memcpy_charged()) co_await host_.memcpy_cost(have);
-            res.post_attrs = at->second.attrs;
-            xdr::Encoder enc;
-            res.encode(enc);
-            co_return enc.take();
+            // Sealed cache: verify before serving.  During bypass only
+            // dirty blocks (the sole copy of absorbed writes) are served
+            // from cache; everything else reads through.
+            std::optional<Buffer> plain;
+            bool serve = true;
+            if (config_.cache.encryption) {
+              serve = cache_health_ != CacheHealth::kBypass ||
+                      bit->second.dirty;
+              if (serve) {
+                plain = unseal(bit->second, rkey);
+                if (!plain) {
+                  // The scratch disk lied.  Never surface the corrupt
+                  // bytes: count, evict, and re-fetch from the server.
+                  note_verify_failure();
+                  poison_evict(rkey);
+                  m_refetches_.inc();
+                  serve = false;
+                } else if (cache_health_ == CacheHealth::kProbe) {
+                  // A trial blob survived at rest and verified: the disk
+                  // is behaving again, re-arm full caching.
+                  cache_health_ = CacheHealth::kActive;
+                  poison_strikes_ = 0;
+                  SGFS_INFO("sgfs-proxy",
+                            "cache probe clean: caching re-enabled");
+                }
+              }
+            }
+            if (serve) {
+              ++absorbed_reads_;
+              m_absorbed_reads_.inc();
+              const uint64_t size = at->second.attrs.size;
+              const Block& b = bit->second;
+              size_t have =
+                  a.offset >= size
+                      ? 0
+                      : std::min<uint64_t>(
+                            std::min<uint64_t>(a.count, b.valid),
+                            size - a.offset);
+              // The at-rest bytes bound the copy (a tampered plaintext
+              // cache may hold a truncated buffer — the negative control
+              // serves wrong bytes, never out-of-bounds ones).
+              const uint8_t* src = plain ? plain->data() : b.data.data();
+              const size_t cap = plain ? plain->size() : b.data.size();
+              have = std::min(have, cap);
+              // Snapshot the reply before the disk-io suspension: a
+              // concurrent op may evict the block (or drop the attrs)
+              // while this coroutine sleeps on the cache disk.
+              nfs::ReadRes res;
+              res.count = static_cast<uint32_t>(have);
+              res.eof = a.offset + have >= size;
+              res.data = BufChain::copy_of(ByteView(src, have));
+              res.post_attrs = at->second.attrs;
+              co_await cache_disk_io(a.fh.fileid, a.offset / bs,
+                                     have ? have : 1,
+                                     /*write=*/false);
+              if (host_.memcpy_charged()) co_await host_.memcpy_cost(have);
+              xdr::Encoder enc;
+              res.encode(enc);
+              co_return enc.take();
+            }
           }
         }
-        if (pass == 0 && pool_ && aligned) {
+        if (pass == 0 && pool_ && aligned &&
+            (!config_.cache.encryption || data_cache_admitting())) {
           co_await striped_fill(a);
           continue;  // re-check: the readahead usually made this a hit
         }
@@ -816,14 +1223,45 @@ sim::Task<BufChain> ClientProxy::handle(const rpc::CallContext& ctx,
       auto res = nfs::ReadRes::decode(rdec);
       if (res.status == Status::kOk && aligned) {
         remember(a.fh, res.post_attrs);
-        Block& b = put_block(a.fh.fileid, a.offset / bs);
-        res.data.copy_to(MutByteView(b.data.data(), res.data.size()));
-        b.valid = std::max(b.valid, res.count);
-        if (host_.memcpy_charged()) {
-          co_await host_.memcpy_cost(res.data.size());
+        if (!config_.cache.encryption) {
+          Block& b = put_block(a.fh.fileid, a.offset / bs);
+          res.data.copy_to(MutByteView(b.data.data(), res.data.size()));
+          b.valid = std::max(b.valid, res.count);
+          if (host_.memcpy_charged()) {
+            co_await host_.memcpy_cost(res.data.size());
+          }
+          spawn_cache_store(a.fh.fileid, a.offset / bs, res.count);
+          co_await evict_if_needed();
+        } else if (data_cache_admitting()) {
+          // Stage the full plaintext block (old verified contents overlaid
+          // with the fresh server bytes), then seal at a new generation.
+          // References are taken only after any breaker purge could run.
+          Buffer stage(bs, 0);
+          uint32_t old_valid = 0;
+          auto bit = blocks_.find(rkey);
+          if (bit != blocks_.end() && bit->second.generation != 0) {
+            auto old = unseal(bit->second, rkey);
+            if (old) {
+              old_valid = bit->second.valid;
+              stage = std::move(*old);
+              stage.resize(bs, 0);
+            } else {
+              note_verify_failure();
+              poison_evict(rkey);
+            }
+          }
+          if (cache_health_ != CacheHealth::kBypass) {
+            res.data.copy_to(MutByteView(stage.data(), res.data.size()));
+            Block& b = put_block(a.fh.fileid, a.offset / bs);
+            b.valid = std::max(old_valid, res.count);
+            seal_into(b, rkey, ByteView(stage.data(), stage.size()));
+            if (host_.memcpy_charged()) {
+              co_await host_.memcpy_cost(res.data.size());
+            }
+            spawn_cache_store(a.fh.fileid, a.offset / bs, res.count);
+            co_await evict_if_needed();
+          }
         }
-        spawn_cache_store(a.fh.fileid, a.offset / bs, res.count);
-        co_await evict_if_needed();
       }
       co_return reply;
     }
@@ -835,17 +1273,57 @@ sim::Task<BufChain> ClientProxy::handle(const rpc::CallContext& ctx,
       const bool aligned =
           config_.cache.cache_data && a.offset % bs == 0 &&
           a.data.size() <= bs;
-      if (config_.cache.write_back && aligned) {
+      bool absorb = config_.cache.write_back && aligned;
+      if (absorb && config_.cache.encryption) {
+        // During bypass, a block that is already dirty stays cache-owned
+        // (ordering: its eventual flush must not overwrite later
+        // write-throughs); everything else writes through.
+        auto bit = blocks_.find({a.fh.fileid, a.offset / bs});
+        const bool dirty_resident =
+            bit != blocks_.end() && bit->second.dirty;
+        absorb = data_cache_admitting() || dirty_resident;
+      }
+      if (absorb) {
         ++absorbed_writes_;
         m_absorbed_writes_.inc();
-        Block& b = put_block(a.fh.fileid, a.offset / bs);
-        a.data.copy_to(MutByteView(b.data.data(), a.data.size()));
-        if (host_.memcpy_charged()) {
-          co_await host_.memcpy_cost(a.data.size());
+        const BlockKey wkey{a.fh.fileid, a.offset / bs};
+        if (!config_.cache.encryption) {
+          Block& b = put_block(a.fh.fileid, a.offset / bs);
+          a.data.copy_to(MutByteView(b.data.data(), a.data.size()));
+          if (host_.memcpy_charged()) {
+            co_await host_.memcpy_cost(a.data.size());
+          }
+          b.valid = std::max<uint32_t>(b.valid,
+                                       static_cast<uint32_t>(a.data.size()));
+          b.dirty = true;
+        } else {
+          // Overlay onto the verified old plaintext; a failed verification
+          // forfeits the (clean) tail beyond this write — the server still
+          // holds it, so nothing corrupt is ever written back.
+          Buffer stage(bs, 0);
+          uint32_t old_valid = 0;
+          auto bit = blocks_.find(wkey);
+          if (bit != blocks_.end() && bit->second.generation != 0) {
+            auto old = unseal(bit->second, wkey);
+            if (old) {
+              old_valid = bit->second.valid;
+              stage = std::move(*old);
+              stage.resize(bs, 0);
+            } else {
+              note_verify_failure();
+              poison_evict(wkey);
+            }
+          }
+          a.data.copy_to(MutByteView(stage.data(), a.data.size()));
+          if (host_.memcpy_charged()) {
+            co_await host_.memcpy_cost(a.data.size());
+          }
+          Block& b = put_block(a.fh.fileid, a.offset / bs);
+          b.valid = std::max<uint32_t>(old_valid,
+                                       static_cast<uint32_t>(a.data.size()));
+          b.dirty = true;
+          seal_into(b, wkey, ByteView(stage.data(), stage.size()));
         }
-        b.valid = std::max<uint32_t>(b.valid,
-                                     static_cast<uint32_t>(a.data.size()));
-        b.dirty = true;
         dirty_[a.fh.fileid].insert(a.offset / bs);
         spawn_cache_store(a.fh.fileid, a.offset / bs, a.data.size());
         // Update the locally-known attributes.
@@ -875,7 +1353,11 @@ sim::Task<BufChain> ClientProxy::handle(const rpc::CallContext& ctx,
     }
 
     case Proc3::kCommit: {
-      if (config_.cache.write_back && config_.cache.cache_data) {
+      if (config_.cache.write_back && config_.cache.cache_data &&
+          (!config_.cache.encryption ||
+           cache_health_ != CacheHealth::kBypass)) {
+        // (During bypass, WRITEs went through to the server UNSTABLE, so
+        // the COMMIT barrier must reach the server too.)
         // Data is durable in the proxy's disk cache; the real write-back
         // happens at flush() (end of session) or under eviction pressure.
         nfs::CommitRes res;
@@ -996,6 +1478,7 @@ sim::Task<BufChain> ClientProxy::handle(const rpc::CallContext& ctx,
           if (ds != dirty_.end() && ds->second.empty()) {
             dirty_.erase(ds);
           }
+          assert(cache_accounting_consistent());
         }
         remember(a.fh, res.post_attrs);
       }

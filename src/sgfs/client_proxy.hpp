@@ -19,8 +19,11 @@
 // paper's prototype.
 #pragma once
 
+#include <functional>
 #include <set>
+#include <vector>
 
+#include "crypto/seal.hpp"
 #include "nfs/nfs3.hpp"
 #include "rpc/rpc_client.hpp"
 #include "rpc/rpc_server.hpp"
@@ -112,28 +115,58 @@ class ClientProxy : public rpc::RpcProgram,
   /// keys for any generation <= `epoch` are derivable locally; generation
   /// > `epoch` requires a fresh server grant — which a revoked DN never
   /// gets.
-  void note_epoch_secret(Buffer secret, uint32_t epoch) {
-    epoch_secret_ = std::move(secret);
-    epoch_secret_epoch_ = epoch;
-  }
+  void note_epoch_secret(Buffer secret, uint32_t epoch);
   /// Content key for generation `epoch`, derived by regressing the
   /// provisioned secret backwards.  nullopt when no secret was provisioned
   /// or the requested generation is newer than the grant (fail closed).
   std::optional<Buffer> epoch_key(uint32_t epoch) const;
   uint32_t provisioned_epoch() const { return epoch_secret_epoch_; }
 
+  // --- encrypted-at-rest cache (hostile storage, DESIGN.md §15) ----------
+  using BlockKey = std::pair<uint64_t, uint64_t>;  // (fileid, block)
+  /// Resident blocks eligible for tamper injection: clean (the injector
+  /// models hostile scratch storage, not lost writes — dirty blocks are
+  /// the only copy) and without an uncommitted replay shadow.
+  std::vector<BlockKey> tamperable_blocks() const;
+  /// Mutates the at-rest bytes of a cached block — the storage-fault
+  /// injector's seam (same pattern as stream_pool()).  Returns false when
+  /// the block is not resident.
+  bool tamper_block(const BlockKey& key,
+                    const std::function<void(Buffer&)>& fn);
+  size_t resident_blocks() const { return blocks_.size(); }
+  uint64_t cache_bytes_used() const { return cache_bytes_used_; }
+  /// Accounting invariant: accounted bytes equal the sum over resident
+  /// blocks (one block_size charge each) — poison-evictions must not leak
+  /// capacity.
+  bool cache_accounting_consistent() const {
+    return cache_bytes_used_ ==
+           blocks_.size() * static_cast<uint64_t>(config_.cache.block_size);
+  }
+  /// True while the poisoned-cache breaker holds the data cache in
+  /// read-/write-through mode (bypass or half-open probe pending).
+  // True only while reads actually bypass the cache: half-open (kProbe)
+  // admits fills and serves verified hits, so it does not count.
+  bool cache_bypassed() const { return cache_health_ == CacheHealth::kBypass; }
+  const ClientProxyConfig& config() const { return config_; }
+
  private:
   struct Block {
+    /// At-rest bytes: plaintext in the legacy cache, the sealed blob
+    /// (ciphertext + binding MAC) with cache.encryption on.
     Buffer data;
     uint32_t valid = 0;
     bool dirty = false;
     uint64_t lru = 0;
+    /// Seal generation (trusted memory, an input to the MAC — never stored
+    /// on disk).  0 = never sealed; drawn from a proxy-wide clock so a
+    /// stale blob from ANY earlier life of the block fails verification.
+    uint64_t generation = 0;
   };
   struct AttrEntry {
     vfs::Attributes attrs;
     sim::SimTime fetched = 0;
   };
-  using BlockKey = std::pair<uint64_t, uint64_t>;  // (fileid, block)
+  enum class CacheHealth { kActive, kBypass, kProbe };
 
   sim::Task<void> ensure_upstream();
   /// Tears down both upstream connections, folding their retransmission
@@ -173,6 +206,40 @@ class ClientProxy : public rpc::RpcProgram,
   sim::Task<void> replay_uncommitted();
   void drop_shadows(uint64_t fileid);
 
+  // --- sealed-cache helpers (encryption on; DESIGN.md §15) ---------------
+  /// Per-file sealing keys under the current cache master (memoized).
+  const crypto::SealKeys& seal_keys(uint64_t fileid);
+  /// Opens a block's at-rest blob against its trusted generation; nullopt
+  /// means the scratch disk lied (tamper/truncate/splice/rollback).
+  std::optional<Buffer> unseal(const Block& b, const BlockKey& key);
+  /// Seals `plaintext` (a full block_size staging buffer) into the block at
+  /// a fresh generation.
+  void seal_into(Block& b, const BlockKey& key, ByteView plaintext);
+  /// CPU charge for one seal/unseal pass (AES + HMAC over `bytes`).
+  sim::SimDur seal_cost(size_t bytes) const;
+  /// Records a verify failure in the degradation window; may trip the
+  /// breaker into bypass.
+  void note_verify_failure();
+  /// Erases one block with full accounting (LRU, bytes, dirty set).
+  void poison_evict(const BlockKey& key);
+  /// Unlinks a block from blocks_/lru_ and returns its capacity charge.
+  void erase_block(std::map<BlockKey, Block>::iterator it);
+  /// Drops every clean resident block (stale-keyed or poison-suspect data
+  /// must not be served); dirty blocks are left in place.
+  void purge_clean_blocks();
+  /// Revocation hygiene (satellite): forgets every cached byte, attribute,
+  /// name and access verdict this session could still read after its DN
+  /// was revoked upstream.
+  void purge_cached_plaintext();
+  /// Rebinds the cache master secret to the provisioned epoch's content
+  /// key: clean blocks are purged, dirty ones re-sealed under the new key.
+  void rekey_cache();
+  /// Gatekeeper for the data-cache paths under the poisoned-cache breaker;
+  /// transitions kBypass -> kProbe when the bypass window has elapsed.
+  bool data_cache_admitting();
+  /// Half-open probe: after a fill while kProbe, re-open the just-sealed
+  /// blob; success restores kActive, failure re-enters bypass.
+
   net::Host& host_;
   ClientProxyConfig config_;
   Rng rng_;
@@ -192,6 +259,11 @@ class ClientProxy : public rpc::RpcProgram,
   obs::CounterHandle m_reconnects_, m_flushed_bytes_;
   obs::CounterHandle m_absorbed_getattrs_, m_absorbed_lookups_;
   obs::CounterHandle m_absorbed_reads_, m_absorbed_writes_;
+  // Storage-integrity counters (lazy: encryption-off runs never register
+  // them, keeping legacy metric snapshots identical).
+  obs::CounterHandle m_sealed_blocks_, m_verify_failures_;
+  obs::CounterHandle m_poison_evictions_, m_refetches_;
+  obs::CounterHandle m_bypass_entries_, m_probes_, m_revocation_purges_;
   bool stopped_ = false;
 
   // Disk cache state.
@@ -219,6 +291,19 @@ class ClientProxy : public rpc::RpcProgram,
   // the server handed this session, from which all earlier ones derive.
   std::optional<Buffer> epoch_secret_;
   uint32_t epoch_secret_epoch_ = 0;
+  // Encrypted-at-rest cache state (only populated with cache.encryption).
+  // The master secret is random per session until a key-regression epoch
+  // secret is provisioned; then it rebinds to the epoch's content key.
+  Buffer cache_master_;
+  std::map<uint64_t, crypto::SealKeys> file_keys_;
+  /// Proxy-wide seal-generation clock (monotonic across evict/refill, so a
+  /// rolled-back blob from any earlier life fails the binding MAC).
+  uint64_t seal_clock_ = 0;
+  // Poisoned-cache degradation breaker.
+  CacheHealth cache_health_ = CacheHealth::kActive;
+  int poison_strikes_ = 0;
+  sim::SimTime last_poison_ = 0;
+  sim::SimTime bypass_until_ = 0;
 
   uint64_t forwarded_ = 0;
   uint64_t absorbed_reads_ = 0;

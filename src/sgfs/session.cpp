@@ -39,6 +39,17 @@ void apply_config_text(const Config& cfg, CacheConfig& cache,
   cache.attr_ttl =
       cfg.get_int("cache", "attr_ttl_s", cache.attr_ttl / sim::kSecond) *
       sim::kSecond;
+  cache.encryption = cfg.get_bool("cache", "encryption", cache.encryption);
+  cache.poison_burst = static_cast<int>(
+      cfg.get_int("cache", "poison_burst", cache.poison_burst));
+  cache.poison_window =
+      cfg.get_int("cache", "poison_window_ms",
+                  cache.poison_window / sim::kMillisecond) *
+      sim::kMillisecond;
+  cache.bypass_duration =
+      cfg.get_int("cache", "bypass_ms",
+                  cache.bypass_duration / sim::kMillisecond) *
+      sim::kMillisecond;
 }
 
 std::string to_config_text(const CacheConfig& cache,
@@ -63,6 +74,11 @@ std::string to_config_text(const CacheConfig& cache,
                                                               : "revalidate")
       << "\n";
   out << "attr_ttl_s = " << cache.attr_ttl / sim::kSecond << "\n";
+  out << "encryption = " << (cache.encryption ? "true" : "false") << "\n";
+  out << "poison_burst = " << cache.poison_burst << "\n";
+  out << "poison_window_ms = " << cache.poison_window / sim::kMillisecond
+      << "\n";
+  out << "bypass_ms = " << cache.bypass_duration / sim::kMillisecond << "\n";
   return out.str();
 }
 

@@ -64,6 +64,20 @@ struct CacheConfig {
   bool cache_dirs = true;
   Consistency consistency = Consistency::kSessionExclusive;
   sim::SimDur attr_ttl = 30 * sim::kSecond;  // kRevalidate mode only
+  /// Encrypt-and-MAC every cached data block at rest (DESIGN.md §15): the
+  /// proxy's scratch disk is untrusted infrastructure.  Off (the paper's
+  /// plaintext cache) is the negative control that demonstrably serves
+  /// poisoned bytes — and keeps every legacy run bit-identical.
+  bool encryption = false;
+  /// Poisoned-cache degradation (encryption only): after `poison_burst`
+  /// verify failures inside `poison_window`, the proxy drops to cache-bypass
+  /// (read-/write-through) for `bypass_duration`, then goes half-open:
+  /// fills are admitted again and the next cached read that *verifies*
+  /// re-enables caching, while a verify failure on the trial blob re-trips
+  /// the bypass — the PR 5 breaker idiom applied to storage.
+  int poison_burst = 8;
+  sim::SimDur poison_window = 2 * sim::kSecond;
+  sim::SimDur bypass_duration = 5 * sim::kSecond;
 
   CacheConfig() = default;
 };
