@@ -1,0 +1,86 @@
+#include "crypto/merkle.hpp"
+
+namespace sgfs::crypto {
+
+namespace {
+constexpr uint8_t kLeafTag = 0x00;
+constexpr uint8_t kNodeTag = 0x01;
+}  // namespace
+
+MerkleTree::Digest MerkleTree::leaf_hash(uint64_t index, ByteView block) {
+  Sha256 h;
+  uint8_t prefix[9];
+  prefix[0] = kLeafTag;
+  for (int i = 0; i < 8; ++i) {
+    prefix[1 + i] = static_cast<uint8_t>(index >> (56 - 8 * i));
+  }
+  h.update(ByteView(prefix, sizeof(prefix)));
+  h.update(block);
+  return h.finish();
+}
+
+MerkleTree::Digest MerkleTree::node_hash(const Digest& left,
+                                         const Digest& right) {
+  Sha256 h;
+  const uint8_t tag = kNodeTag;
+  h.update(ByteView(&tag, 1));
+  h.update(ByteView(left.data(), left.size()));
+  h.update(ByteView(right.data(), right.size()));
+  return h.finish();
+}
+
+MerkleTree MerkleTree::from_leaves(std::vector<Digest> leaves) {
+  MerkleTree tree;
+  tree.levels_.push_back(std::move(leaves));
+  while (tree.levels_.back().size() > 1) {
+    const auto& prev = tree.levels_.back();
+    std::vector<Digest> next;
+    next.reserve((prev.size() + 1) / 2);
+    for (size_t i = 0; i + 1 < prev.size(); i += 2) {
+      next.push_back(node_hash(prev[i], prev[i + 1]));
+    }
+    if (prev.size() % 2 == 1) next.push_back(prev.back());
+    tree.levels_.push_back(std::move(next));
+  }
+  if (tree.levels_.back().empty()) {
+    // Empty tree: a distinguished root no real block can prove against.
+    tree.levels_.push_back({leaf_hash(~0ull, ByteView())});
+  }
+  return tree;
+}
+
+std::vector<MerkleTree::Digest> MerkleTree::proof(size_t index) const {
+  std::vector<Digest> path;
+  for (size_t level = 0; level + 1 < levels_.size(); ++level) {
+    const auto& nodes = levels_[level];
+    if (nodes.size() <= 1) break;
+    const size_t sibling = index ^ 1;
+    if (sibling < nodes.size()) path.push_back(nodes[sibling]);
+    // else: odd last node promoted unchanged — no sibling at this level.
+    index /= 2;
+  }
+  return path;
+}
+
+bool MerkleTree::verify(const Digest& root, size_t leaf_count, size_t index,
+                        ByteView block, const std::vector<Digest>& proof) {
+  if (leaf_count == 0 || index >= leaf_count) return false;
+  Digest cur = leaf_hash(index, block);
+  size_t width = leaf_count;
+  size_t pos = index;
+  size_t used = 0;
+  while (width > 1) {
+    const bool promoted = (pos == width - 1) && (width % 2 == 1);
+    if (!promoted) {
+      if (used >= proof.size()) return false;  // truncated proof
+      const Digest& sib = proof[used++];
+      cur = (pos % 2 == 0) ? node_hash(cur, sib) : node_hash(sib, cur);
+    }
+    pos /= 2;
+    width = (width + 1) / 2;
+  }
+  if (used != proof.size()) return false;  // padded proof
+  return cur == root;
+}
+
+}  // namespace sgfs::crypto

@@ -1,0 +1,70 @@
+// SHA-256 hash tree over a file's cache blocks (SFS-RO style, DESIGN.md
+// §16): the owner publishes one signed Merkle root per file; any untrusted
+// replica can then serve blocks because the client verifies each block
+// against the root before use — integrity is end-to-end, the transport
+// needs none.
+//
+// Domain separation keeps every malleability trick out:
+//
+//   leaf  = SHA256(0x00 || be64(index) || block bytes)
+//   node  = SHA256(0x01 || left || right)
+//
+// The block's position is an input to its leaf hash, so a proof for block i
+// can never be replayed for block j (wrong-index attack).  A level with an
+// odd node count promotes the last node unchanged, so the verifier can
+// recompute the exact proof shape from (leaf_count, index) alone and a
+// truncated or padded proof fails by construction.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "crypto/sha.hpp"
+
+namespace sgfs::crypto {
+
+class MerkleTree {
+ public:
+  using Digest = Sha256::Digest;
+
+  static Digest leaf_hash(uint64_t index, ByteView block);
+  static Digest node_hash(const Digest& left, const Digest& right);
+
+  MerkleTree() = default;
+
+  /// Builds the tree over `count` blocks supplied by `block(i)`.
+  /// count == 0 yields a well-defined (all-zero-input) sentinel root.
+  template <typename BlockFn>
+  static MerkleTree build(size_t count, BlockFn&& block) {
+    std::vector<Digest> leaves;
+    leaves.reserve(count);
+    for (size_t i = 0; i < count; ++i) {
+      leaves.push_back(leaf_hash(i, block(i)));
+    }
+    return from_leaves(std::move(leaves));
+  }
+
+  static MerkleTree from_leaves(std::vector<Digest> leaves);
+
+  const Digest& root() const { return levels_.back().front(); }
+  size_t leaf_count() const { return levels_.front().size(); }
+  bool empty() const { return levels_.front().empty(); }
+
+  /// Sibling path from leaf `index` to the root, bottom-up.  Promoted
+  /// (odd-last) levels contribute no digest.  Precondition: index valid.
+  std::vector<Digest> proof(size_t index) const;
+
+  /// Recomputes the root from (index, block, proof) and compares against
+  /// `root`.  Fails closed on everything: wrong bytes, wrong index, a
+  /// corrupted sibling at any depth, a truncated proof, or extra digests.
+  static bool verify(const Digest& root, size_t leaf_count, size_t index,
+                     ByteView block, const std::vector<Digest>& proof);
+
+ private:
+  // levels_[0] = leaves, levels_.back() = { root }.  An empty tree stores
+  // one empty leaf level plus a sentinel root level.
+  std::vector<std::vector<Digest>> levels_;
+};
+
+}  // namespace sgfs::crypto

@@ -13,6 +13,7 @@ CacheTamperInjector::CacheTamperInjector(net::Host& host, ClientProxy& proxy,
   m_truncates_ = {m, "sgfs.cachefault.truncates"};
   m_splices_ = {m, "sgfs.cachefault.splices"};
   m_rollbacks_ = {m, "sgfs.cachefault.rollbacks"};
+  m_name_tampers_ = {m, "sgfs.cachefault.name_tampers"};
 }
 
 sim::Task<void> CacheTamperInjector::run(std::shared_ptr<bool> alive) {
@@ -37,6 +38,12 @@ sim::Task<void> CacheTamperInjector::run(std::shared_ptr<bool> alive) {
 }
 
 void CacheTamperInjector::tamper_once() {
+  // The name-table branch draws from the stream ONLY when options_.names is
+  // set, so legacy plans replay bit-identically.
+  if (options_.names && rng_.next_below(4) == 0) {
+    tamper_name_once();
+    return;
+  }
   const auto keys = proxy_.tamperable_blocks();
   if (keys.empty()) return;
   const auto victim = keys[rng_.next_below(keys.size())];
@@ -112,6 +119,27 @@ void CacheTamperInjector::tamper_once() {
   if (fired) {
     ++injected_;
     m_injected_.inc();
+  }
+}
+
+void CacheTamperInjector::tamper_name_once() {
+  // A corrupted name binding is the redirection attack: flip a bit in the
+  // sealed blob so the MAC check on the next LOOKUP hit must fail closed
+  // (served stale bindings would be silent; this makes them detectable).
+  const auto keys = proxy_.tamperable_names();
+  if (keys.empty()) return;
+  const auto& victim = keys[rng_.next_below(keys.size())];
+  bool fired = false;
+  proxy_.tamper_name(victim, [&](Buffer& data) {
+    if (data.empty()) return;
+    data[rng_.next_below(data.size())] ^=
+        static_cast<uint8_t>(1u << rng_.next_below(8));
+    fired = true;
+  });
+  if (fired) {
+    ++injected_;
+    m_injected_.inc();
+    m_name_tampers_.inc();
   }
 }
 

@@ -34,6 +34,10 @@ struct CacheFaultOptions {
   bool truncates = true;
   bool splices = true;
   bool rollbacks = true;
+  /// Also target the sealed name/fileid lookup table (one firing in four
+  /// redirects to a name entry).  Off by default: legacy plans draw the
+  /// exact same Rng stream as before the name table existed.
+  bool names = false;
 
   CacheFaultOptions() = default;
 
@@ -53,6 +57,7 @@ class CacheTamperInjector {
 
  private:
   void tamper_once();
+  void tamper_name_once();
 
   net::Host& host_;
   ClientProxy& proxy_;
@@ -62,7 +67,7 @@ class CacheTamperInjector {
   /// Older at-rest images, stashed per block for stale-roll installs.
   std::map<ClientProxy::BlockKey, Buffer> history_;
   obs::CounterHandle m_injected_, m_flips_, m_truncates_;
-  obs::CounterHandle m_splices_, m_rollbacks_;
+  obs::CounterHandle m_splices_, m_rollbacks_, m_name_tampers_;
 };
 
 }  // namespace sgfs::core

@@ -7,12 +7,17 @@
 
 #include "common/log.hpp"
 #include "crypto/key_regression.hpp"
+#include "sgfs/replica.hpp"
+#include "sgfs/shard_map.hpp"
+#include "xdr/xdr.hpp"
 
 namespace sgfs::core {
 
 using nfs::Fh;
 using nfs::Proc3;
 using nfs::Status;
+
+ClientProxy::~ClientProxy() = default;
 
 ClientProxy::ClientProxy(net::Host& host, ClientProxyConfig config, Rng rng)
     : host_(host),
@@ -37,6 +42,15 @@ ClientProxy::ClientProxy(net::Host& host, ClientProxyConfig config, Rng rng)
   m_bypass_entries_ = {m, "sgfs.cache.bypass_entries"};
   m_probes_ = {m, "sgfs.cache.probes"};
   m_revocation_purges_ = {m, "sgfs.cache.revocation_purges"};
+  m_name_verify_failures_ = {m, "sgfs.cache.name_verify_failures"};
+  m_replica_reads_ = {m, "sgfs.client_proxy.replica_reads"};
+  m_replica_fallbacks_ = {m, "sgfs.client_proxy.replica_fallbacks"};
+  cache_breaker_ = TrustBreaker(cache_breaker_policy());
+  if (config_.replica.enabled) {
+    replica_ = std::make_unique<ReplicaSet>(host_, config_.replica,
+                                            config_.security.trusted,
+                                            &config_.security.cost);
+  }
   if (config_.cache.encryption) {
     // Session-random until a key-regression epoch secret rebinds it.  The
     // draw happens ONLY with encryption on: legacy configurations keep
@@ -180,32 +194,31 @@ void ClientProxy::seal_into(Block& b, const BlockKey& key,
   m_sealed_blocks_.inc();
 }
 
+TrustBreaker::Policy ClientProxy::cache_breaker_policy() const {
+  TrustBreaker::Policy p;
+  p.burst = config_.cache.poison_burst;
+  p.window = config_.cache.poison_window;
+  p.open_duration = config_.cache.bypass_duration;
+  p.probe_on_expiry = true;
+  return p;
+}
+
 void ClientProxy::note_verify_failure() {
   m_verify_failures_.inc();
-  const sim::SimTime now = host_.engine().now();
-  if (now - last_poison_ > config_.cache.poison_window) poison_strikes_ = 0;
-  last_poison_ = now;
-  ++poison_strikes_;
-  if (cache_health_ == CacheHealth::kProbe) {
-    // The half-open probe failed: straight back to bypass.
-    cache_health_ = CacheHealth::kBypass;
-    bypass_until_ = now + config_.cache.bypass_duration;
+  const bool was_active =
+      cache_breaker_.state() == TrustBreaker::State::kActive;
+  if (cache_breaker_.note_failure(host_.engine().now())) {
     m_bypass_entries_.inc();
-    return;
-  }
-  if (cache_health_ == CacheHealth::kActive &&
-      config_.cache.poison_burst > 0 &&
-      poison_strikes_ >= config_.cache.poison_burst) {
-    // Sustained tampering: stop trusting the scratch disk.  Clean blocks
-    // are dropped (they would keep failing anyway); dirty blocks are the
-    // only copy of absorbed writes and stay until flush.
-    cache_health_ = CacheHealth::kBypass;
-    bypass_until_ = now + config_.cache.bypass_duration;
-    m_bypass_entries_.inc();
-    poison_strikes_ = 0;
-    purge_clean_blocks();
-    SGFS_WARN("sgfs-proxy", "poisoned cache: entering bypass for ",
-              config_.cache.bypass_duration / sim::kMillisecond, " ms");
+    if (was_active) {
+      // Sustained tampering: stop trusting the scratch disk.  Clean blocks
+      // are dropped (they would keep failing anyway); dirty blocks are the
+      // only copy of absorbed writes and stay until flush.  A failed
+      // half-open probe goes straight back to bypass without a re-purge
+      // (the probe fill is the only clean block to have landed since).
+      purge_clean_blocks();
+      SGFS_WARN("sgfs-proxy", "poisoned cache: entering bypass for ",
+                config_.cache.bypass_duration / sim::kMillisecond, " ms");
+    }
   }
 }
 
@@ -261,6 +274,8 @@ void ClientProxy::purge_cached_plaintext() {
   access_cache_.clear();
   dir_cache_.clear();
   file_keys_.clear();
+  name_keys_.clear();
+  name_master_.clear();
   m_revocation_purges_.inc();
 }
 
@@ -288,6 +303,12 @@ void ClientProxy::rekey_cache() {
   }
   cache_master_ = std::move(new_master);
   file_keys_.clear();
+  // Sealed name entries were keyed under the outgoing master: they can no
+  // longer verify, so forget them (a name is re-learned on the next LOOKUP,
+  // far cheaper than a data re-fetch).
+  names_.clear();
+  name_keys_.clear();
+  name_master_.clear();
   // Everything not re-sealed below goes: clean blocks and any dirty block
   // whose blob failed verification.
   for (auto it = blocks_.begin(); it != blocks_.end();) {
@@ -321,16 +342,183 @@ void ClientProxy::rekey_cache() {
 
 bool ClientProxy::data_cache_admitting() {
   if (!config_.cache.encryption) return true;
-  if (cache_health_ == CacheHealth::kBypass &&
-      host_.engine().now() >= bypass_until_) {
+  const bool was_open = cache_breaker_.state() == TrustBreaker::State::kOpen;
+  const bool ok = cache_breaker_.admitting(host_.engine().now());
+  if (was_open && ok) {
     // Bypass window over: half-open.  Fills are admitted on trial; the
     // cache earns back full trust only when a trial blob verifies on its
     // next hit — i.e. after it has actually rested on the suspect disk.
-    cache_health_ = CacheHealth::kProbe;
     m_probes_.inc();
     SGFS_INFO("sgfs-proxy", "cache half-open: probing the scratch disk");
   }
-  return cache_health_ != CacheHealth::kBypass;
+  return ok;
+}
+
+// --- sealed name table (satellite of DESIGN.md §16) -------------------------
+//
+// The name/fileid lookup table is cache metadata with the same threat model
+// as the data blocks: a scratch disk that can swap one name's binding for
+// another redirects a victim's open() to an attacker-chosen file.  Entries
+// are therefore sealed under a dedicated sub-master ("sgfs name table") with
+// the directory fileid as the key-schedule file and the name's hash as the
+// block index; verification happens on every hit, and a MAC failure drops
+// the entry (forcing a server refetch) and strikes the poisoned-cache
+// breaker like a data-block failure.
+
+const crypto::SealKeys& ClientProxy::name_keys(uint64_t dir) {
+  if (name_master_.empty()) {
+    name_master_ = crypto::derive(ByteView(cache_master_), "sgfs name table",
+                                  ByteView(), cache_master_.size());
+  }
+  auto it = name_keys_.find(dir);
+  if (it == name_keys_.end()) {
+    it = name_keys_
+             .emplace(dir, crypto::derive_seal_keys(name_master_, dir))
+             .first;
+  }
+  return it->second;
+}
+
+void ClientProxy::name_put(uint64_t dir, const std::string& name,
+                           const nfs::LookupRes& res) {
+  NameEntry& e = names_[{dir, name}];
+  if (!config_.cache.encryption) {
+    e.res = res;
+    e.sealed.clear();
+    e.generation = 0;
+    return;
+  }
+  xdr::Encoder enc;
+  res.encode(enc);
+  Buffer plain = enc.take_flat();
+  e.generation = ++seal_clock_;
+  e.sealed = crypto::seal_block(name_keys(dir), dir, shard_hash(name),
+                                e.generation,
+                                ByteView(plain.data(), plain.size()));
+  e.res = nfs::LookupRes();  // the sealed blob is the only trusted copy
+  host_.cpu().charge(seal_cost(plain.size()), "crypto");
+}
+
+std::optional<nfs::LookupRes> ClientProxy::name_get(uint64_t dir,
+                                                    const std::string& name) {
+  auto it = names_.find({dir, name});
+  if (it == names_.end()) return std::nullopt;
+  NameEntry& e = it->second;
+  if (e.generation == 0) {
+    if (config_.cache.encryption) {
+      // Legacy (unsealed) entry in an encrypted cache: never trust it.
+      names_.erase(it);
+      return std::nullopt;
+    }
+    return e.res;
+  }
+  host_.cpu().charge(seal_cost(e.sealed.size()), "crypto");
+  auto plain = crypto::unseal_block(name_keys(dir), dir, shard_hash(name),
+                                    e.generation,
+                                    ByteView(e.sealed.data(),
+                                             e.sealed.size()));
+  if (plain) {
+    try {
+      xdr::Decoder dec(ByteView(plain->data(), plain->size()));
+      nfs::LookupRes res = nfs::LookupRes::decode(dec);
+      dec.expect_done();
+      return res;
+    } catch (const xdr::XdrError&) {
+      // MAC passed but the payload is malformed: treat as tampering.
+    }
+  }
+  m_name_verify_failures_.inc();
+  names_.erase(it);
+  SGFS_WARN("sgfs-proxy", "name table entry failed verification: dir ", dir,
+            " name ", name);
+  note_verify_failure();
+  return std::nullopt;
+}
+
+std::vector<std::pair<uint64_t, std::string>> ClientProxy::tamperable_names()
+    const {
+  std::vector<std::pair<uint64_t, std::string>> out;
+  for (const auto& [key, e] : names_) {
+    if (e.generation > 0) out.push_back(key);
+  }
+  return out;
+}
+
+bool ClientProxy::tamper_name(const std::pair<uint64_t, std::string>& key,
+                              const std::function<void(Buffer&)>& fn) {
+  auto it = names_.find(key);
+  if (it == names_.end() || it->second.generation == 0) return false;
+  fn(it->second.sealed);
+  return true;
+}
+
+// --- replica read path (DESIGN.md §16) --------------------------------------
+
+sim::Task<std::optional<BufChain>> ClientProxy::replica_read(
+    const nfs::ReadArgs& a) {
+  const uint32_t bs = config_.cache.block_size;
+  auto info = co_await replica_->file_info(a.fh.fileid);
+  // The publication's block geometry must match the cache's — the Merkle
+  // leaves are cache blocks, anything else would verify the wrong bytes.
+  if (!info || info->block_size != bs) co_return std::nullopt;
+  nfs::ReadRes res;
+  auto at = attrs_.find(a.fh.fileid);
+  if (at != attrs_.end()) res.post_attrs = at->second.attrs;
+  if (a.offset >= info->size) {
+    // Reading past the published EOF needs no replica round trip.
+    res.count = 0;
+    res.eof = true;
+    m_replica_reads_.inc();
+    xdr::Encoder enc;
+    res.encode(enc);
+    co_return enc.take();
+  }
+  const uint64_t index = a.offset / bs;
+  auto plain = co_await replica_->fetch_block(a.fh.fileid, index);
+  if (!plain) {
+    // Degraded: all candidates blacklisted or failing.  The caller falls
+    // back to the origin's secure channel — availability over locality.
+    m_replica_fallbacks_.inc();
+    co_return std::nullopt;
+  }
+  const uint64_t size = info->size;
+  const size_t have = static_cast<size_t>(std::min<uint64_t>(
+      std::min<uint64_t>(a.count, plain->size()), size - a.offset));
+  res.count = static_cast<uint32_t>(have);
+  res.eof = a.offset + have >= size;
+  res.data = BufChain::copy_of(ByteView(plain->data(), have));
+  ++absorbed_reads_;
+  m_replica_reads_.inc();
+  // Fill the local cache so repeat reads stay local (same admission rules
+  // as an origin fill; never overwrite resident blocks or replay shadows).
+  const BlockKey rkey{a.fh.fileid, index};
+  const bool fillable = config_.cache.cache_data &&
+                        blocks_.find(rkey) == blocks_.end() &&
+                        uncommitted_.find(rkey) == uncommitted_.end();
+  if (fillable && !config_.cache.encryption) {
+    Block& b = put_block(a.fh.fileid, index);
+    const size_t n = std::min<size_t>(plain->size(), bs);
+    std::copy(plain->begin(), plain->begin() + static_cast<long>(n),
+              b.data.begin());
+    b.valid = static_cast<uint32_t>(n);
+    spawn_cache_store(a.fh.fileid, index, n);
+    co_await evict_if_needed();
+  } else if (fillable && data_cache_admitting()) {
+    Buffer stage(bs, 0);
+    const size_t n = std::min<size_t>(plain->size(), bs);
+    std::copy(plain->begin(), plain->begin() + static_cast<long>(n),
+              stage.begin());
+    Block& b = put_block(a.fh.fileid, index);
+    b.valid = static_cast<uint32_t>(n);
+    seal_into(b, rkey, ByteView(stage.data(), stage.size()));
+    spawn_cache_store(a.fh.fileid, index, n);
+    co_await evict_if_needed();
+  }
+  if (host_.memcpy_charged()) co_await host_.memcpy_cost(have);
+  co_await host_.cpu().use(config_.cost.msg_cost(have), "proxy");
+  xdr::Encoder enc;
+  res.encode(enc);
+  co_return enc.take();
 }
 
 
@@ -507,8 +695,12 @@ void ClientProxy::reload(const ClientProxyConfig& config) {
         cache_bytes_used_ -= config_.cache.block_size;
       }
     }
-    cache_health_ = CacheHealth::kActive;
-    poison_strikes_ = 0;
+    cache_breaker_ = TrustBreaker(cache_breaker_policy());
+    // Name entries sealed (or stored plaintext) under the old mode are
+    // unreadable under the new one; the table re-fills on the next lookups.
+    names_.clear();
+    name_keys_.clear();
+    name_master_.clear();
     assert(cache_accounting_consistent());
   }
   // A shrunk capacity must not leave over-capacity blocks resident: drop
@@ -1084,24 +1276,25 @@ sim::Task<BufChain> ClientProxy::handle(const rpc::CallContext& ctx,
     case Proc3::kLookup: {
       xdr::Decoder dec(args);
       auto a = nfs::DiropArgs::decode(dec);
-      auto key = std::make_pair(a.dir.fileid, a.name);
-      auto hit = names_.find(key);
-      if (config_.cache.cache_names && hit != names_.end()) {
-        ++absorbed_lookups_;
-        m_absorbed_lookups_.inc();
-        nfs::LookupRes res = hit->second;
-        // Refresh attrs from the attribute cache (local writes move them).
-        auto at = attrs_.find(res.fh.fileid);
-        if (at != attrs_.end()) res.attrs = at->second.attrs;
-        xdr::Encoder enc;
-        res.encode(enc);
-        co_return enc.take();
+      if (config_.cache.cache_names) {
+        auto cached = name_get(a.dir.fileid, a.name);
+        if (cached) {
+          ++absorbed_lookups_;
+          m_absorbed_lookups_.inc();
+          nfs::LookupRes res = *cached;
+          // Refresh attrs from the attribute cache (local writes move them).
+          auto at = attrs_.find(res.fh.fileid);
+          if (at != attrs_.end()) res.attrs = at->second.attrs;
+          xdr::Encoder enc;
+          res.encode(enc);
+          co_return enc.take();
+        }
       }
       BufChain reply = co_await forward(ctx, args);
       xdr::Decoder rdec(reply);
       auto res = nfs::LookupRes::decode(rdec);
       if (res.status == Status::kOk && config_.cache.cache_names) {
-        names_[key] = res;
+        name_put(a.dir.fileid, a.name, res);
         remember(res.fh, res.attrs);
         remember(a.dir, res.dir_attrs);
       }
@@ -1136,8 +1329,10 @@ sim::Task<BufChain> ClientProxy::handle(const rpc::CallContext& ctx,
       xdr::Decoder dec(args);
       auto a = nfs::ReadArgs::decode(dec);
       seen_fsid_ = a.fh.fsid;
-      const bool aligned =
-          config_.cache.cache_data && a.offset % bs == 0 && a.count <= bs;
+      // Block alignment is what the replica path needs; cachability
+      // additionally requires the data cache to be on.
+      const bool block_aligned = a.offset % bs == 0 && a.count <= bs;
+      const bool aligned = config_.cache.cache_data && block_aligned;
       // Two passes at most: a miss with a stream pool runs a striped
       // readahead, then re-checks the cache (the pool populated whole
       // blocks).  Without a pool the loop body executes exactly once —
@@ -1155,7 +1350,7 @@ sim::Task<BufChain> ClientProxy::handle(const rpc::CallContext& ctx,
             std::optional<Buffer> plain;
             bool serve = true;
             if (config_.cache.encryption) {
-              serve = cache_health_ != CacheHealth::kBypass ||
+              serve = cache_breaker_.state() != TrustBreaker::State::kOpen ||
                       bit->second.dirty;
               if (serve) {
                 plain = unseal(bit->second, rkey);
@@ -1166,11 +1361,11 @@ sim::Task<BufChain> ClientProxy::handle(const rpc::CallContext& ctx,
                   poison_evict(rkey);
                   m_refetches_.inc();
                   serve = false;
-                } else if (cache_health_ == CacheHealth::kProbe) {
+                } else if (cache_breaker_.state() ==
+                           TrustBreaker::State::kProbe) {
                   // A trial blob survived at rest and verified: the disk
                   // is behaving again, re-arm full caching.
-                  cache_health_ = CacheHealth::kActive;
-                  poison_strikes_ = 0;
+                  cache_breaker_.note_success();
                   SGFS_INFO("sgfs-proxy",
                             "cache probe clean: caching re-enabled");
                 }
@@ -1218,6 +1413,15 @@ sim::Task<BufChain> ClientProxy::handle(const rpc::CallContext& ctx,
         }
         break;
       }
+      // Replica fast path (DESIGN.md §16): a clean miss on a published
+      // read-only file is served from the verified replica set instead of
+      // the origin's secure channel.  Files with local dirty state keep the
+      // origin path (session-exclusive semantics trump the published copy).
+      if (replica_ && block_aligned &&
+          dirty_.find(a.fh.fileid) == dirty_.end()) {
+        auto served = co_await replica_read(a);
+        if (served) co_return std::move(*served);
+      }
       BufChain reply = co_await forward(ctx, args);
       xdr::Decoder rdec(reply);
       auto res = nfs::ReadRes::decode(rdec);
@@ -1250,7 +1454,7 @@ sim::Task<BufChain> ClientProxy::handle(const rpc::CallContext& ctx,
               poison_evict(rkey);
             }
           }
-          if (cache_health_ != CacheHealth::kBypass) {
+          if (cache_breaker_.state() != TrustBreaker::State::kOpen) {
             res.data.copy_to(MutByteView(stage.data(), res.data.size()));
             Block& b = put_block(a.fh.fileid, a.offset / bs);
             b.valid = std::max(old_valid, res.count);
@@ -1355,7 +1559,7 @@ sim::Task<BufChain> ClientProxy::handle(const rpc::CallContext& ctx,
     case Proc3::kCommit: {
       if (config_.cache.write_back && config_.cache.cache_data &&
           (!config_.cache.encryption ||
-           cache_health_ != CacheHealth::kBypass)) {
+           cache_breaker_.state() != TrustBreaker::State::kOpen)) {
         // (During bypass, WRITEs went through to the server UNSTABLE, so
         // the COMMIT barrier must reach the server too.)
         // Data is durable in the proxy's disk cache; the real write-back
@@ -1400,7 +1604,7 @@ sim::Task<BufChain> ClientProxy::handle(const rpc::CallContext& ctx,
           nfs::LookupRes lr;
           lr.fh = res.fh;
           lr.attrs = res.attrs;
-          names_[{dir.fileid, name}] = lr;
+          name_put(dir.fileid, name, lr);
         }
       }
       co_return reply;
@@ -1412,9 +1616,12 @@ sim::Task<BufChain> ClientProxy::handle(const rpc::CallContext& ctx,
       auto a = nfs::DiropArgs::decode(dec);
       // Identify the victim before forwarding so pending write-backs can be
       // cancelled (paper §6.3.2).
+      // (A sealed entry that fails its MAC leaves the victim unknown: the
+      // pending write-backs then flush normally — safe, just not optimal.)
       std::optional<uint64_t> victim;
-      auto hit = names_.find({a.dir.fileid, a.name});
-      if (hit != names_.end()) victim = hit->second.fh.fileid;
+      if (auto hit = name_get(a.dir.fileid, a.name)) {
+        victim = hit->fh.fileid;
+      }
       BufChain reply = co_await forward(ctx, args);
       xdr::Decoder rdec(reply);
       auto res = nfs::WccRes::decode(rdec);
@@ -1436,11 +1643,9 @@ sim::Task<BufChain> ClientProxy::handle(const rpc::CallContext& ctx,
       if (res.status == Status::kOk) {
         dir_cache_.erase(a.from_dir.fileid);
         dir_cache_.erase(a.to_dir.fileid);
-        auto moved = names_.find({a.from_dir.fileid, a.from_name});
-        if (moved != names_.end()) {
-          nfs::LookupRes entry = moved->second;
-          names_.erase(moved);
-          names_[{a.to_dir.fileid, a.to_name}] = entry;
+        if (auto moved = name_get(a.from_dir.fileid, a.from_name)) {
+          names_.erase({a.from_dir.fileid, a.from_name});
+          name_put(a.to_dir.fileid, a.to_name, *moved);
         } else {
           names_.erase({a.to_dir.fileid, a.to_name});
         }
@@ -1510,7 +1715,7 @@ sim::Task<BufChain> ClientProxy::handle(const rpc::CallContext& ctx,
                 nfs::LookupRes lr;
                 lr.fh = *entry.fh;
                 lr.attrs = entry.attrs;
-                names_[{a.dir.fileid, entry.name}] = lr;
+                name_put(a.dir.fileid, entry.name, lr);
               }
             }
           }

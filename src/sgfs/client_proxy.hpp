@@ -30,14 +30,18 @@
 #include "sgfs/session.hpp"
 #include "sgfs/session_manager.hpp"
 #include "sgfs/stream_pool.hpp"
+#include "sgfs/trust_breaker.hpp"
 #include "sim/mutex.hpp"
 
 namespace sgfs::core {
+
+class ReplicaSet;  // sgfs/replica.hpp
 
 class ClientProxy : public rpc::RpcProgram,
                     public std::enable_shared_from_this<ClientProxy> {
  public:
   ClientProxy(net::Host& host, ClientProxyConfig config, Rng rng);
+  ~ClientProxy();  // = default in the .cpp, where ReplicaSet is complete
 
   /// Starts the plain RPC service on the loopback `port`.
   void start(uint16_t port);
@@ -142,11 +146,20 @@ class ClientProxy : public rpc::RpcProgram,
     return cache_bytes_used_ ==
            blocks_.size() * static_cast<uint64_t>(config_.cache.block_size);
   }
-  /// True while the poisoned-cache breaker holds the data cache in
-  /// read-/write-through mode (bypass or half-open probe pending).
-  // True only while reads actually bypass the cache: half-open (kProbe)
-  // admits fills and serves verified hits, so it does not count.
-  bool cache_bypassed() const { return cache_health_ == CacheHealth::kBypass; }
+  /// True only while reads actually bypass the cache: half-open (kProbe)
+  /// admits fills and serves verified hits, so it does not count.
+  bool cache_bypassed() const {
+    return cache_breaker_.state() == TrustBreaker::State::kOpen;
+  }
+  /// Sealed name-table entries eligible for tamper injection (encryption
+  /// on): (dir fileid, name) keys whose at-rest blob can be mutated.
+  std::vector<std::pair<uint64_t, std::string>> tamperable_names() const;
+  /// Mutates the at-rest bytes of a sealed name entry — the storage-fault
+  /// injector's seam.  Returns false when absent or unsealed (legacy).
+  bool tamper_name(const std::pair<uint64_t, std::string>& key,
+                   const std::function<void(Buffer&)>& fn);
+  /// Content-addressed replica reader (null unless config.replica.enabled).
+  ReplicaSet* replica_set() { return replica_.get(); }
   const ClientProxyConfig& config() const { return config_; }
 
  private:
@@ -166,7 +179,15 @@ class ClientProxy : public rpc::RpcProgram,
     vfs::Attributes attrs;
     sim::SimTime fetched = 0;
   };
-  enum class CacheHealth { kActive, kBypass, kProbe };
+  /// Name/fileid lookup-table entry.  With cache.encryption the at-rest
+  /// form is the sealed blob (generation > 0) and every hit re-opens it —
+  /// a tampered entry fails its MAC at use, not at write.  Legacy caches
+  /// store the plaintext result with generation == 0 and an empty blob.
+  struct NameEntry {
+    nfs::LookupRes res;
+    Buffer sealed;
+    uint64_t generation = 0;
+  };
 
   sim::Task<void> ensure_upstream();
   /// Tears down both upstream connections, folding their retransmission
@@ -235,10 +256,26 @@ class ClientProxy : public rpc::RpcProgram,
   /// key: clean blocks are purged, dirty ones re-sealed under the new key.
   void rekey_cache();
   /// Gatekeeper for the data-cache paths under the poisoned-cache breaker;
-  /// transitions kBypass -> kProbe when the bypass window has elapsed.
+  /// takes the open -> half-open-probe edge when the bypass has elapsed.
   bool data_cache_admitting();
-  /// Half-open probe: after a fill while kProbe, re-open the just-sealed
-  /// blob; success restores kActive, failure re-enters bypass.
+  TrustBreaker::Policy cache_breaker_policy() const;
+
+  // --- sealed name-table helpers (encryption on; satellite of §16) -------
+  /// Seal keys for the name table, derived from the cache master under a
+  /// dedicated label and keyed by directory fileid (memoized).
+  const crypto::SealKeys& name_keys(uint64_t dir);
+  /// Stores a lookup result (sealing it when encryption is on).
+  void name_put(uint64_t dir, const std::string& name,
+                const nfs::LookupRes& res);
+  /// Loads and verifies a stored lookup result.  nullopt = absent, or the
+  /// sealed entry failed its MAC (entry erased, verify-failure recorded —
+  /// the caller refetches from the server).
+  std::optional<nfs::LookupRes> name_get(uint64_t dir,
+                                         const std::string& name);
+  /// Replica read path: serve an aligned clean READ from the verified
+  /// replica set.  nullopt = not servable (no catalog, unaligned, dirty,
+  /// all replicas failed) — fall through to the origin forward.
+  sim::Task<std::optional<BufChain>> replica_read(const nfs::ReadArgs& a);
 
   net::Host& host_;
   ClientProxyConfig config_;
@@ -250,6 +287,7 @@ class ClientProxy : public rpc::RpcProgram,
   std::unique_ptr<rpc::RpcClient> upstream_nfs_;
   std::unique_ptr<rpc::RpcClient> upstream_mount_;
   std::unique_ptr<StreamPool> pool_;  // null unless config.pool.streams > 1
+  std::unique_ptr<ReplicaSet> replica_;  // null unless replica.enabled
   std::shared_ptr<rpc::RetryBudget> retry_budget_;
   sim::SimMutex forward_mutex_;
 
@@ -264,6 +302,8 @@ class ClientProxy : public rpc::RpcProgram,
   obs::CounterHandle m_sealed_blocks_, m_verify_failures_;
   obs::CounterHandle m_poison_evictions_, m_refetches_;
   obs::CounterHandle m_bypass_entries_, m_probes_, m_revocation_purges_;
+  obs::CounterHandle m_name_verify_failures_;
+  obs::CounterHandle m_replica_reads_, m_replica_fallbacks_;
   bool stopped_ = false;
 
   // Disk cache state.
@@ -272,7 +312,7 @@ class ClientProxy : public rpc::RpcProgram,
   uint64_t lru_clock_ = 0;
   uint64_t cache_bytes_used_ = 0;
   std::map<uint64_t, AttrEntry> attrs_;
-  std::map<std::pair<uint64_t, std::string>, nfs::LookupRes> names_;
+  std::map<std::pair<uint64_t, std::string>, NameEntry> names_;
   std::map<uint64_t, std::pair<uint32_t, uint32_t>> access_cache_;
   std::map<uint64_t, nfs::ReaddirRes> dir_cache_;
   std::map<uint64_t, std::set<uint64_t>> dirty_;
@@ -296,14 +336,17 @@ class ClientProxy : public rpc::RpcProgram,
   // secret is provisioned; then it rebinds to the epoch's content key.
   Buffer cache_master_;
   std::map<uint64_t, crypto::SealKeys> file_keys_;
+  // Name-table sealing: a sub-master derived from cache_master_ under its
+  // own label (so name blobs never share keys with data blocks), memoized
+  // per directory.  Both are cleared whenever the cache master moves.
+  Buffer name_master_;
+  std::map<uint64_t, crypto::SealKeys> name_keys_;
   /// Proxy-wide seal-generation clock (monotonic across evict/refill, so a
   /// rolled-back blob from any earlier life fails the binding MAC).
   uint64_t seal_clock_ = 0;
-  // Poisoned-cache degradation breaker.
-  CacheHealth cache_health_ = CacheHealth::kActive;
-  int poison_strikes_ = 0;
-  sim::SimTime last_poison_ = 0;
-  sim::SimTime bypass_until_ = 0;
+  // Poisoned-cache degradation breaker (shared TrustBreaker; the old
+  // CacheHealth/strike fields configured as burst-window + half-open probe).
+  TrustBreaker cache_breaker_;
 
   uint64_t forwarded_ = 0;
   uint64_t absorbed_reads_ = 0;

@@ -16,6 +16,12 @@ ServerProxy::ServerProxy(net::Host& host, ServerProxyConfig config,
       rng_(rng),
       forward_mutex_(host.engine()),
       fair_mutex_(host.engine()) {
+  TrustBreaker::Policy breaker_policy;
+  breaker_policy.burst = config_.breaker_failure_threshold;
+  breaker_policy.window = 0;  // consecutive failures only
+  breaker_policy.open_duration = config_.breaker_open_duration;
+  breaker_policy.probe_on_expiry = false;
+  breaker_ = TrustBreaker(breaker_policy);
   auto& m = host.engine().metrics();
   m_breaker_fast_fails_ = {m, "sgfs.server_proxy.breaker_fast_fails"};
   m_forwarded_ = {m, "sgfs.server_proxy.forwarded"};
@@ -193,7 +199,7 @@ sim::Task<BufChain> ServerProxy::forward(const rpc::CallContext& ctx,
   // forwarding mutex only builds a queue of calls doomed to the same fate.
   // Fail fast with the "try later" result instead; after the open window a
   // single probe call goes through and either resets or re-trips it.
-  if (breaker && eng.now() < breaker_open_until_) {
+  if (breaker && !breaker_.admitting(eng.now())) {
     ++breaker_fast_fails_;
     m_breaker_fast_fails_.inc();
     if (ctx.prog == nfs::kNfsProgram) {
@@ -237,7 +243,7 @@ sim::Task<BufChain> ServerProxy::forward(const rpc::CallContext& ctx,
       trip_breaker();
       throw;
     }
-    breaker_failures_ = 0;  // success closes the half-open breaker
+    breaker_.note_success();  // success closes the half-open breaker
   } else {
     reply = co_await client.call(ctx.proc, std::move(args));
   }
@@ -252,7 +258,6 @@ sim::Task<BufChain> ServerProxy::forward(const rpc::CallContext& ctx,
 }
 
 void ServerProxy::trip_breaker() {
-  ++breaker_failures_;
   // The dead connection must not poison post-recovery probes: drop the
   // upstream clients so the next call reconnects.
   if (upstream_nfs_) {
@@ -263,11 +268,8 @@ void ServerProxy::trip_breaker() {
     upstream_mount_->close();
     upstream_mount_.reset();
   }
-  if (breaker_failures_ >= config_.breaker_failure_threshold) {
-    breaker_failures_ = 0;
+  if (breaker_.note_failure(host_.engine().now())) {
     ++breaker_opens_;
-    breaker_open_until_ =
-        host_.engine().now() + config_.breaker_open_duration;
     m_breaker_opens_.inc();
     SGFS_INFO("sgfs-proxy", "upstream circuit opened for ",
               config_.breaker_open_duration / sim::kMillisecond, " ms");

@@ -26,6 +26,7 @@
 #include "rpc/rpc_client.hpp"
 #include "rpc/rpc_server.hpp"
 #include "sgfs/session.hpp"
+#include "sgfs/trust_breaker.hpp"
 #include "sim/fair_mutex.hpp"
 #include "sim/mutex.hpp"
 
@@ -151,9 +152,10 @@ class ServerProxy : public rpc::RpcProgram,
 
   // Circuit breaker toward the upstream kernel NFS server (inert unless
   // breaker_failure_threshold > 0): consecutive upstream failures trip it;
-  // while open, calls fail fast without touching the upstream.
-  int breaker_failures_ = 0;
-  sim::SimTime breaker_open_until_ = 0;
+  // while open, calls fail fast without touching the upstream.  Shared
+  // core::TrustBreaker, configured window=0 (consecutive-only) and
+  // probe_on_expiry=false (an expired breaker re-earns a full burst).
+  TrustBreaker breaker_;
   uint64_t breaker_opens_ = 0;
   uint64_t breaker_fast_fails_ = 0;
 

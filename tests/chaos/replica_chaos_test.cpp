@@ -1,0 +1,419 @@
+// Byzantine-replica chaos family (DESIGN.md §16): a fraction of the
+// read-only replica fleet turns hostile — corrupt blocks under honest
+// proofs, stale-catalog rollbacks, slow-drip, crash — and the client-side
+// invariant is absolute: not one served byte may differ from the published
+// content.  The robustness loop (verify -> strike -> blacklist -> half-open
+// probe -> degrade-to-origin) must also demonstrably FIRE, so every gate
+// here carries a non-vacuity counter check.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "baselines/testbed.hpp"
+#include "nfs/nfs3_client.hpp"
+#include "nfs/wire_ops.hpp"
+#include "sgfs/replica.hpp"
+
+namespace sgfs {
+namespace {
+
+using baselines::SetupKind;
+using baselines::Testbed;
+using baselines::TestbedOptions;
+using sim::Task;
+using namespace sgfs::sim::literals;
+
+constexpr uint64_t kBlock = 32 * 1024;
+
+// The exact bytes Testbed::preload_file generated (same chunked Rng fill).
+Buffer preload_oracle(uint64_t size, uint64_t content_seed) {
+  Buffer out(size);
+  Rng content(content_seed);
+  constexpr size_t kFill = 1 << 20;
+  Buffer chunk(kFill);
+  for (uint64_t off = 0; off < size;) {
+    const size_t n =
+        static_cast<size_t>(std::min<uint64_t>(kFill, size - off));
+    content.fill(MutByteView(chunk.data(), n));
+    std::copy(chunk.begin(), chunk.begin() + n, out.begin() + off);
+    off += n;
+  }
+  return out;
+}
+
+sim::Task<void> read_range(nfs::MountPoint& mp, int fd, uint64_t off,
+                           Buffer& out, uint64_t want) {
+  out.resize(want);
+  uint64_t done = 0;
+  while (done < want) {
+    const size_t got = co_await mp.pread(
+        fd, off + done,
+        MutByteView(out.data() + done, static_cast<size_t>(want - done)));
+    if (got == 0) break;
+    done += got;
+  }
+  out.resize(done);
+}
+
+// --- Byzantine fault matrix --------------------------------------------------
+
+struct ByzSpec {
+  std::string name;
+  uint64_t seed = 1;
+  bool corrupt = false;
+  bool drip = false;
+  bool crash = false;
+
+  ByzSpec() = default;
+  ByzSpec(std::string n, uint64_t s, bool co, bool d, bool cr)
+      : name(std::move(n)), seed(s), corrupt(co), drip(d), crash(cr) {}
+};
+
+std::ostream& operator<<(std::ostream& os, const ByzSpec& s) {
+  return os << s.name;
+}
+
+class ReplicaByzantineMatrix : public ::testing::TestWithParam<ByzSpec> {};
+
+TEST_P(ReplicaByzantineMatrix, VerifiedReadsNeverServeByzantineBytes) {
+  const ByzSpec& spec = GetParam();
+  constexpr uint64_t kFileBytes = 16 * kBlock;
+  TestbedOptions opt;
+  opt.kind = SetupKind::kSgfs;
+  opt.cipher = crypto::Cipher::kNull;  // wall-clock economy; MAC stays on
+  opt.proxy_disk_cache = true;
+  opt.cache_encryption = true;  // replica fills land sealed (key reuse)
+  opt.wan_rtt = 10 * sim::kMillisecond;
+  opt.client_mem_bytes = 2 * kBlock;
+  opt.seed = spec.seed;
+  opt.replicas = 4;
+  opt.replica_policy.blacklist_window = 10 * sim::kSecond;
+  opt.replica_faults.fraction = 0.5;  // 2 of 4 hostile
+  opt.replica_faults.corrupt = spec.corrupt;
+  opt.replica_faults.stale = false;
+  opt.replica_faults.drip = spec.drip;
+  opt.replica_faults.crash = spec.crash;
+  opt.replica_faults.seed = spec.seed ^ 0xb17au;
+  Testbed tb(opt);
+  tb.preload_file("pub.bin", kFileBytes, /*warm=*/true,
+                  /*content_seed=*/spec.seed + 200);
+  tb.publish_replicas();
+  ASSERT_NE(tb.replica_injector(), nullptr);
+  EXPECT_EQ(tb.replica_injector()->armed(), 2u);
+
+  Buffer read_back(kFileBytes);
+  tb.engine().run_task([](Testbed& tb, Buffer& read_back) -> Task<void> {
+    auto mp = co_await tb.mount();
+    int fd = co_await mp->open("pub.bin", nfs::kRdOnly);
+    Buffer tmp;
+    for (uint64_t off = 0; off < kFileBytes; off += kBlock) {
+      co_await read_range(*mp, fd, off, tmp, kBlock);
+      std::copy(tmp.begin(), tmp.end(), read_back.begin() + off);
+    }
+    co_await mp->close(fd);
+  }(tb, read_back));
+  EXPECT_TRUE(tb.engine().errors().empty())
+      << (tb.engine().errors().empty() ? "" : tb.engine().errors()[0]);
+
+  // The invariant: byte-exact against the publication, no matter what the
+  // hostile replicas served.
+  const Buffer oracle = preload_oracle(kFileBytes, spec.seed + 200);
+  EXPECT_TRUE(read_back == oracle) << "replica path served corrupt bytes";
+
+  // Non-vacuity: clean replicas actually served, and the configured fault
+  // actually bit.
+  core::ReplicaSet* rs = tb.client_proxy()->replica_set();
+  ASSERT_NE(rs, nullptr);
+  EXPECT_GE(rs->verified_blocks(), 1u) << "no read used the replica path";
+  uint64_t hostile_served = 0;
+  for (size_t i = 0; i < tb.replica_count(); ++i) {
+    auto* srv = tb.replica_server(i);
+    hostile_served += srv->corrupt_served() + srv->dripped() + srv->refused();
+  }
+  EXPECT_GE(hostile_served, 1u) << "the Byzantine dials never engaged";
+  if (spec.corrupt) {
+    EXPECT_GE(rs->verify_failures(), 1u)
+        << "corrupt blocks never tripped Merkle verification";
+    EXPECT_GE(rs->blacklists(), 1u);
+  }
+  if (spec.drip) {
+    EXPECT_GE(rs->hedged_fetches(), 1u)
+        << "slow-drip never triggered a hedge";
+    EXPECT_GE(rs->hedge_wins(), 1u);
+  }
+  if (spec.crash) {
+    EXPECT_GE(rs->hedged_fetches() + rs->timeouts(), 1u)
+        << "crashed replicas never cost a timeout or hedge";
+  }
+}
+
+std::vector<ByzSpec> byz_specs() {
+  std::vector<ByzSpec> specs;
+  for (uint64_t seed : {3ull, 8ull}) {
+    const std::string tag = "_seed" + std::to_string(seed);
+    specs.emplace_back("corrupt" + tag, seed, true, false, false);
+    specs.emplace_back("drip" + tag, seed, false, true, false);
+    specs.emplace_back("crash" + tag, seed, false, false, true);
+    specs.emplace_back("mixed" + tag, seed, true, true, true);
+  }
+  return specs;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Kinds, ReplicaByzantineMatrix, ::testing::ValuesIn(byz_specs()),
+    [](const ::testing::TestParamInfo<ByzSpec>& info) {
+      return info.param.name;
+    });
+
+// --- blacklist -> degrade -> half-open probe -> re-admission -----------------
+
+TEST(ReplicaFailover, AllByzantineDegradesToOriginThenProbeReadmits) {
+  constexpr uint64_t kFileBytes = 8 * kBlock;
+  TestbedOptions opt;
+  opt.kind = SetupKind::kSgfs;
+  opt.cipher = crypto::Cipher::kNull;
+  opt.proxy_disk_cache = false;  // every read must reach replica or origin
+  opt.wan_rtt = 10 * sim::kMillisecond;
+  opt.client_mem_bytes = 2 * kBlock;
+  opt.replicas = 3;
+  opt.replica_policy.blacklist_burst = 2;
+  opt.replica_policy.blacklist_window = 10 * sim::kSecond;
+  opt.replica_policy.blacklist_duration = 1 * sim::kSecond;
+  // The WHOLE fleet lies for the first 1.5 s, then comes clean.
+  opt.replica_faults.fraction = 1.0;
+  opt.replica_faults.corrupt = true;
+  opt.replica_faults.clear_after = sim::from_seconds(1.5);
+  Testbed tb(opt);
+  tb.preload_file("pub.bin", kFileBytes, /*warm=*/true, /*content_seed=*/77);
+  tb.publish_replicas();
+  ASSERT_NE(tb.replica_injector(), nullptr);
+  EXPECT_EQ(tb.replica_injector()->armed(), 3u);
+  const Buffer oracle = preload_oracle(kFileBytes, 77);
+
+  tb.engine().run_task([](Testbed& tb, const Buffer& oracle) -> Task<void> {
+    core::ReplicaSet* rs = tb.client_proxy()->replica_set();
+    auto& m = tb.engine().metrics();
+    auto mp = co_await tb.mount();
+    int fd = co_await mp->open("pub.bin", nfs::kRdOnly);
+    Buffer tmp;
+    auto check_block = [&](uint64_t b) -> Task<void> {
+      co_await read_range(*mp, fd, b * kBlock, tmp, kBlock);
+      EXPECT_TRUE(std::equal(tmp.begin(), tmp.end(),
+                             oracle.begin() + b * kBlock))
+          << "served bytes diverged at block " << b;
+    };
+
+    // Phase 1: every replica serves corrupt blocks with honest proofs.
+    // Verification catches each one, the fleet blacklists out, and the
+    // reads complete through the origin's secure channel — correct, always.
+    for (uint64_t b = 0; b < 4; ++b) co_await check_block(b);
+    EXPECT_GE(rs->verify_failures(), 1u);
+    EXPECT_EQ(rs->blacklists(), 3u) << "the whole fleet should be out";
+    EXPECT_GE(rs->degraded_to_origin(), 1u);
+    EXPECT_GE(m.counter_value("sgfs.client_proxy.replica_fallbacks"), 1u);
+    const uint64_t verified_before = rs->verified_blocks();
+
+    // Phase 2: past clear_after + blacklist_duration, the half-open probe
+    // re-admits the (now honest) fleet and verified replica reads resume.
+    co_await tb.engine().sleep(3_s);
+    for (uint64_t b = 4; b < 8; ++b) co_await check_block(b);
+    EXPECT_GE(rs->probes(), 1u) << "no half-open probe ever fired";
+    EXPECT_GT(rs->verified_blocks(), verified_before)
+        << "re-admitted replicas never served a verified block";
+    EXPECT_GE(m.counter_value("sgfs.client_proxy.replica_reads"), 1u);
+    co_await mp->close(fd);
+  }(tb, oracle));
+  EXPECT_TRUE(tb.engine().errors().empty())
+      << (tb.engine().errors().empty() ? "" : tb.engine().errors()[0]);
+}
+
+// --- catalog rollback / forgery rejection ------------------------------------
+
+TEST(ReplicaCatalog, RollbackForgeryAndUntrustedSignersAreRejected) {
+  sim::Engine eng;
+  net::Network net(eng);
+  net::Host& host = net.add_host("client");
+
+  Rng rng(99);
+  crypto::CertificateAuthority ca(
+      rng, crypto::DistinguishedName("Grid", "CA"), 0, 1ll << 40);
+  crypto::Credential owner =
+      ca.issue(rng, crypto::DistinguishedName("Grid", "owner"),
+               crypto::CertType::kHost, 0, 1ll << 40);
+  crypto::CertificateAuthority rogue_ca(
+      rng, crypto::DistinguishedName("Evil", "CA"), 0, 1ll << 40);
+  crypto::Credential rogue =
+      rogue_ca.issue(rng, crypto::DistinguishedName("Evil", "owner"),
+                     crypto::CertType::kHost, 0, 1ll << 40);
+
+  crypto::CryptoCostModel cost;
+  core::ReplicaPolicy policy;
+  policy.enabled = true;
+  core::ReplicaSet rs(host, policy, {ca.root()}, &cost);
+
+  core::ReplicaCatalog cat;
+  cat.epoch = 2;
+  cat.replicas.emplace_back("r0", net::Address("r0", 5049));
+
+  const auto hex = [](const core::SignedReplicaCatalog& sc) {
+    return to_hex(sc.serialize());
+  };
+
+  // Honest adoption.
+  EXPECT_TRUE(rs.adopt_catalog(hex(core::sign_replica_catalog(cat, owner, 0))));
+  EXPECT_EQ(rs.epoch(), 2u);
+
+  // Epoch rollback: an old-but-genuinely-signed catalog must be refused
+  // (this is exactly what a stale-catalog replica gossips).
+  core::ReplicaCatalog old_cat = cat;
+  old_cat.epoch = 1;
+  EXPECT_FALSE(
+      rs.adopt_catalog(hex(core::sign_replica_catalog(old_cat, owner, 0))));
+  EXPECT_EQ(rs.stale_catalogs(), 1u);
+  EXPECT_EQ(rs.epoch(), 2u);
+
+  // Same-epoch replay is idempotent (a gossip refresh returns the current
+  // catalog); only a regression counts as stale.
+  EXPECT_TRUE(
+      rs.adopt_catalog(hex(core::sign_replica_catalog(cat, owner, 0))));
+  EXPECT_EQ(rs.epoch(), 2u);
+  EXPECT_EQ(rs.stale_catalogs(), 1u);
+
+  // Forgery: flip one bit anywhere in the signed blob.
+  core::ReplicaCatalog next = cat;
+  next.epoch = 3;
+  Buffer blob = core::sign_replica_catalog(next, owner, 0).serialize();
+  blob[blob.size() / 2] ^= 0x01;
+  EXPECT_FALSE(rs.adopt_catalog(to_hex(blob)));
+  EXPECT_EQ(rs.epoch(), 2u);
+
+  // Untrusted signer: valid chain, wrong root of trust.
+  EXPECT_FALSE(
+      rs.adopt_catalog(hex(core::sign_replica_catalog(next, rogue, 0))));
+  EXPECT_EQ(rs.epoch(), 2u);
+
+  // Garbage input never throws out of the adopter.
+  EXPECT_FALSE(rs.adopt_catalog("not even hex"));
+  EXPECT_FALSE(rs.adopt_catalog("abcd"));
+
+  // A genuine newer epoch still goes through after all the abuse.
+  EXPECT_TRUE(
+      rs.adopt_catalog(hex(core::sign_replica_catalog(next, owner, 0))));
+  EXPECT_EQ(rs.epoch(), 3u);
+}
+
+// --- sealed name/fileid lookup table -----------------------------------------
+
+// A tampered sealed name entry must fail closed on the next LOOKUP hit:
+// detected (MAC), dropped, transparently re-fetched from the origin — the
+// redirection attack surfaces as a counter, never as a wrong binding.
+TEST(NameTableIntegrity, TamperedBindingIsDetectedAndRefetched) {
+  TestbedOptions opt;
+  opt.kind = SetupKind::kSgfs;
+  opt.cipher = crypto::Cipher::kNull;
+  opt.proxy_disk_cache = true;
+  opt.cache_encryption = true;
+  opt.wan_rtt = 10 * sim::kMillisecond;
+  Testbed tb(opt);
+  tb.preload_file("a.bin", kBlock, /*warm=*/true, /*content_seed=*/31);
+  tb.preload_file("b.bin", kBlock, /*warm=*/true, /*content_seed=*/32);
+
+  tb.engine().run_task([](Testbed& tb) -> Task<void> {
+    auto* proxy = tb.client_proxy();
+    auto& m = tb.engine().metrics();
+    // Straight to the proxy's NFS port: the kernel client's dnlc would
+    // otherwise absorb the second LOOKUP and mask the verification.
+    auto ops = co_await nfs::V3WireOps::connect(
+        tb.client_host(),
+        net::Address(tb.client_host().name(), 2049),
+        rpc::AuthSys(Testbed::kGridUid, Testbed::kGridUid, "client"));
+    nfs::Fh root = co_await ops->mount(Testbed::kDataPath);
+
+    nfs::LookupRes first = co_await ops->lookup(root, "a.bin");
+    EXPECT_EQ(first.status, nfs::Status::kOk);
+    co_await ops->lookup(root, "b.bin");
+
+    // The sealed table now holds both bindings.
+    auto keys = proxy->tamperable_names();
+    EXPECT_EQ(keys.size(), 2u);
+
+    // Clean repeat: served from the sealed table, same binding.
+    nfs::LookupRes again = co_await ops->lookup(root, "a.bin");
+    EXPECT_EQ(again.fh.fileid, first.fh.fileid);
+    EXPECT_EQ(m.counter_value("sgfs.cache.name_verify_failures"), 0u);
+
+    // Flip one bit in every sealed entry; the next lookups must detect,
+    // refetch and still resolve to the true binding.
+    for (const auto& key : keys) {
+      EXPECT_TRUE(proxy->tamper_name(key, [](Buffer& data) {
+        EXPECT_FALSE(data.empty());
+        if (!data.empty()) data[data.size() / 2] ^= 0x10;
+      }));
+    }
+    nfs::LookupRes after = co_await ops->lookup(root, "a.bin");
+    EXPECT_EQ(after.status, nfs::Status::kOk);
+    EXPECT_EQ(after.fh.fileid, first.fh.fileid)
+        << "tampered name table redirected a lookup";
+    EXPECT_GE(m.counter_value("sgfs.cache.name_verify_failures"), 1u)
+        << "tampering never tripped the name-table MAC";
+    ops->close();
+  }(tb));
+  EXPECT_TRUE(tb.engine().errors().empty())
+      << (tb.engine().errors().empty() ? "" : tb.engine().errors()[0]);
+}
+
+// The storage-fault injector's name dial drives the same detection path
+// end to end, seeded and rate-based (the chaos-matrix integration).
+TEST(NameTableIntegrity, InjectorNameDialFiresAndNeverCorruptsResolution) {
+  TestbedOptions opt;
+  opt.kind = SetupKind::kSgfs;
+  opt.cipher = crypto::Cipher::kNull;
+  opt.proxy_disk_cache = true;
+  opt.cache_encryption = true;
+  opt.wan_rtt = 10 * sim::kMillisecond;
+  opt.seed = 44;
+  opt.cache_tamper.rate_per_s = 400.0;
+  opt.cache_tamper.names = true;
+  opt.cache_tamper.seed = 4444;
+  Testbed tb(opt);
+  for (int i = 0; i < 4; ++i) {
+    tb.preload_file("f" + std::to_string(i) + ".bin", kBlock,
+                    /*warm=*/true, /*content_seed=*/50 + i);
+  }
+
+  tb.engine().run_task([](Testbed& tb) -> Task<void> {
+    auto ops = co_await nfs::V3WireOps::connect(
+        tb.client_host(),
+        net::Address(tb.client_host().name(), 2049),
+        rpc::AuthSys(Testbed::kGridUid, Testbed::kGridUid, "client"));
+    nfs::Fh root = co_await ops->mount(Testbed::kDataPath);
+    std::vector<uint64_t> fileids(4, 0);
+    for (int round = 0; round < 40; ++round) {
+      const int f = round % 4;
+      nfs::LookupRes r =
+          co_await ops->lookup(root, "f" + std::to_string(f) + ".bin");
+      EXPECT_EQ(r.status, nfs::Status::kOk);
+      if (fileids[static_cast<size_t>(f)] == 0) {
+        fileids[static_cast<size_t>(f)] = r.fh.fileid;
+      } else {
+        EXPECT_EQ(r.fh.fileid, fileids[static_cast<size_t>(f)])
+            << "binding for f" << f << " drifted under tampering";
+      }
+      co_await tb.engine().sleep(25_ms);
+    }
+    ops->close();
+  }(tb));
+  EXPECT_TRUE(tb.engine().errors().empty())
+      << (tb.engine().errors().empty() ? "" : tb.engine().errors()[0]);
+
+  auto& m = tb.engine().metrics();
+  EXPECT_GE(m.counter_value("sgfs.cachefault.name_tampers"), 1u)
+      << "the name dial never fired — the integration is vacuous";
+  EXPECT_GE(m.counter_value("sgfs.cache.name_verify_failures"), 1u)
+      << "name tampering never tripped verification";
+}
+
+}  // namespace
+}  // namespace sgfs

@@ -1,0 +1,182 @@
+// Merkle-proof property battery (DESIGN.md §16): every way a Byzantine
+// replica could doctor a (block, proof) pair must fail verification —
+// corrupted sibling at every depth, truncated proof, padded proof,
+// wrong-index replay, stale root.  Fail closed, always.
+#include <gtest/gtest.h>
+
+#include "crypto/merkle.hpp"
+#include "common/rng.hpp"
+
+namespace sgfs::crypto {
+namespace {
+
+std::vector<Buffer> make_blocks(size_t count, size_t bytes, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Buffer> blocks(count);
+  for (auto& b : blocks) {
+    b.resize(bytes);
+    rng.fill(MutByteView(b.data(), b.size()));
+  }
+  return blocks;
+}
+
+MerkleTree build_over(const std::vector<Buffer>& blocks) {
+  return MerkleTree::build(blocks.size(), [&](size_t i) {
+    return ByteView(blocks[i].data(), blocks[i].size());
+  });
+}
+
+TEST(Merkle, HonestProofVerifiesForEveryLeafAndShape) {
+  // Odd, even, power-of-two and singleton shapes all round-trip.
+  for (size_t count : {1u, 2u, 3u, 7u, 8u, 13u}) {
+    const auto blocks = make_blocks(count, 512, 0xabc0 + count);
+    const MerkleTree tree = build_over(blocks);
+    ASSERT_EQ(tree.leaf_count(), count);
+    for (size_t i = 0; i < count; ++i) {
+      EXPECT_TRUE(MerkleTree::verify(
+          tree.root(), count, i,
+          ByteView(blocks[i].data(), blocks[i].size()), tree.proof(i)))
+          << "count=" << count << " index=" << i;
+    }
+  }
+}
+
+TEST(Merkle, CorruptBlockFailsEvenWithHonestProof) {
+  const auto blocks = make_blocks(9, 4096, 1);
+  const MerkleTree tree = build_over(blocks);
+  for (size_t i = 0; i < blocks.size(); ++i) {
+    Buffer evil = blocks[i];
+    evil[i % evil.size()] ^= 0x40;  // the ReplicaServer corrupt dial
+    EXPECT_FALSE(MerkleTree::verify(tree.root(), blocks.size(), i,
+                                    ByteView(evil.data(), evil.size()),
+                                    tree.proof(i)))
+        << "index=" << i;
+  }
+}
+
+TEST(Merkle, CorruptedSiblingAtEveryDepthFails) {
+  // 13 leaves: four levels of siblings including promoted-odd shapes.
+  const auto blocks = make_blocks(13, 256, 2);
+  const MerkleTree tree = build_over(blocks);
+  for (size_t i = 0; i < blocks.size(); ++i) {
+    const auto honest = tree.proof(i);
+    const ByteView block(blocks[i].data(), blocks[i].size());
+    for (size_t depth = 0; depth < honest.size(); ++depth) {
+      for (size_t bit : {0u, 7u}) {
+        auto evil = honest;
+        evil[depth][0] ^= static_cast<uint8_t>(1u << bit);
+        EXPECT_FALSE(MerkleTree::verify(tree.root(), blocks.size(), i, block,
+                                        evil))
+            << "index=" << i << " depth=" << depth;
+      }
+    }
+  }
+}
+
+TEST(Merkle, TruncatedProofFails) {
+  const auto blocks = make_blocks(8, 256, 3);
+  const MerkleTree tree = build_over(blocks);
+  for (size_t i = 0; i < blocks.size(); ++i) {
+    auto proof = tree.proof(i);
+    const ByteView block(blocks[i].data(), blocks[i].size());
+    while (!proof.empty()) {
+      proof.pop_back();
+      EXPECT_FALSE(MerkleTree::verify(tree.root(), blocks.size(), i, block,
+                                      proof))
+          << "index=" << i << " len=" << proof.size();
+    }
+  }
+}
+
+TEST(Merkle, PaddedProofFails) {
+  const auto blocks = make_blocks(8, 256, 4);
+  const MerkleTree tree = build_over(blocks);
+  for (size_t i = 0; i < blocks.size(); ++i) {
+    auto proof = tree.proof(i);
+    const ByteView block(blocks[i].data(), blocks[i].size());
+    proof.push_back(MerkleTree::Digest{});       // zero digest appended
+    EXPECT_FALSE(MerkleTree::verify(tree.root(), blocks.size(), i, block,
+                                    proof));
+    proof.back() = proof.front();                // plausible digest appended
+    EXPECT_FALSE(MerkleTree::verify(tree.root(), blocks.size(), i, block,
+                                    proof));
+  }
+}
+
+TEST(Merkle, WrongIndexReplayFails) {
+  // Identical content at every position: without index-bound leaves, block
+  // j's proof would verify for block i.  Domain separation must refuse.
+  std::vector<Buffer> blocks(8, Buffer(256, 0x5a));
+  const MerkleTree tree = build_over(blocks);
+  const ByteView block(blocks[0].data(), blocks[0].size());
+  for (size_t i = 0; i < blocks.size(); ++i) {
+    for (size_t j = 0; j < blocks.size(); ++j) {
+      const bool ok = MerkleTree::verify(tree.root(), blocks.size(), i,
+                                         block, tree.proof(j));
+      EXPECT_EQ(ok, i == j) << "i=" << i << " j=" << j;
+    }
+  }
+}
+
+TEST(Merkle, StaleRootFails) {
+  // Epoch n-1's tree differs in one block; its root must not verify any
+  // proof produced against epoch n (and vice versa).
+  auto blocks = make_blocks(8, 256, 5);
+  const MerkleTree old_tree = build_over(blocks);
+  blocks[3][0] ^= 1;
+  const MerkleTree new_tree = build_over(blocks);
+  for (size_t i = 0; i < blocks.size(); ++i) {
+    const ByteView block(blocks[i].data(), blocks[i].size());
+    EXPECT_FALSE(MerkleTree::verify(old_tree.root(), blocks.size(), i, block,
+                                    new_tree.proof(i)))
+        << "index=" << i;
+  }
+}
+
+TEST(Merkle, WrongLeafCountFails) {
+  // A replica lying about the tree shape (leaf_count drives the expected
+  // proof length) must not slip a valid-looking proof through.  Only lies
+  // that change the authentication-path shape are detectable here (a lie of
+  // 7 leaves shape-matches index 2's path in an 8-leaf tree and folds to
+  // the same root); in the system leaf_count comes from the signed catalog,
+  // never from the replica, so shape-preserving lies have no surface.
+  const auto blocks = make_blocks(8, 256, 6);
+  const MerkleTree tree = build_over(blocks);
+  const ByteView block(blocks[2].data(), blocks[2].size());
+  const auto proof = tree.proof(2);
+  for (size_t lied : {1u, 4u, 9u, 16u}) {
+    EXPECT_FALSE(MerkleTree::verify(tree.root(), lied, 2, block, proof))
+        << "leaf_count=" << lied;
+  }
+}
+
+TEST(Merkle, UnevenLastBlockRoundTrips) {
+  // Real files rarely end on a block boundary; the short last leaf must
+  // verify and a padded version of it must not.
+  auto blocks = make_blocks(5, 4096, 7);
+  blocks.back().resize(777);
+  const MerkleTree tree = build_over(blocks);
+  const size_t last = blocks.size() - 1;
+  EXPECT_TRUE(MerkleTree::verify(
+      tree.root(), blocks.size(), last,
+      ByteView(blocks.back().data(), blocks.back().size()),
+      tree.proof(last)));
+  Buffer padded = blocks.back();
+  padded.resize(4096, 0);
+  EXPECT_FALSE(MerkleTree::verify(tree.root(), blocks.size(), last,
+                                  ByteView(padded.data(), padded.size()),
+                                  tree.proof(last)));
+}
+
+TEST(Merkle, EmptyTreeServesNothing) {
+  const MerkleTree tree = MerkleTree::build(0, [](size_t) {
+    return ByteView();
+  });
+  EXPECT_TRUE(tree.empty());
+  EXPECT_EQ(tree.leaf_count(), 0u);
+  // No index is valid against an empty publication.
+  EXPECT_FALSE(MerkleTree::verify(tree.root(), 0, 0, ByteView(), {}));
+}
+
+}  // namespace
+}  // namespace sgfs::crypto
